@@ -1,0 +1,56 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Sorted vs unsorted subset order** — Algorithm 2's best-first order
+//!   is what lets a small `bsf` prune early; processing in scan order keeps
+//!   the bounds but loses the ordering benefit.
+//! * **End-cross clamp on/off** — Algorithm 2 lines 12–13.
+//! * **Grouping on/off** — GTM vs BTM on the same workload isolates the
+//!   contribution of Section 5's multi-level pruning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fremo_bench::{run_algorithm, Algorithm};
+use fremo_core::{BoundSelection, MotifConfig};
+use fremo_trajectory::gen::Dataset;
+
+fn bench_ablations(c: &mut Criterion) {
+    let t = Dataset::GeoLife.generate(500, 17);
+    let xi = 30;
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // End-cross clamp.
+    let with_end = MotifConfig::new(xi);
+    let without_end = MotifConfig::new(xi).with_bounds(BoundSelection {
+        end_cross: false,
+        ..BoundSelection::all_relaxed()
+    });
+    group.bench_function("btm_end_cross_on", |b| {
+        b.iter(|| run_algorithm(Algorithm::Btm, std::hint::black_box(&t), &with_end))
+    });
+    group.bench_function("btm_end_cross_off", |b| {
+        b.iter(|| run_algorithm(Algorithm::Btm, std::hint::black_box(&t), &without_end))
+    });
+
+    // Bound families: none vs all (the sorted order without bounds is the
+    // unsorted ablation — all bounds are −∞, so the sort is a no-op).
+    let no_bounds = MotifConfig::new(xi).with_bounds(BoundSelection::none());
+    group.bench_function("btm_no_bounds_unsorted", |b| {
+        b.iter(|| run_algorithm(Algorithm::Btm, std::hint::black_box(&t), &no_bounds))
+    });
+
+    // Grouping contribution.
+    let gtm_cfg = MotifConfig::new(xi).with_group_size(32);
+    group.bench_function("gtm_grouping_on", |b| {
+        b.iter(|| run_algorithm(Algorithm::Gtm, std::hint::black_box(&t), &gtm_cfg))
+    });
+    let gtm_tau1 = MotifConfig::new(xi).with_group_size(1);
+    group.bench_function("gtm_grouping_off_tau1", |b| {
+        b.iter(|| run_algorithm(Algorithm::Gtm, std::hint::black_box(&t), &gtm_tau1))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

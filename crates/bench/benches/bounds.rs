@@ -1,0 +1,61 @@
+//! Table 3 reproduction: per-evaluation cost of each lower bound family.
+//!
+//! The paper's Table 3 lists `LB_cell` at `O(1)`, tight cross at `O(n)`,
+//! tight band at `O(ξn)`, and every relaxed bound at amortized `O(1)`. We
+//! measure (a) table construction cost and (b) per-subset evaluation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fremo_core::bounds::{BoundTables, RelaxedTables, TightTables};
+use fremo_core::{BoundSelection, Domain};
+use fremo_trajectory::gen::Dataset;
+use fremo_trajectory::DenseMatrix;
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut build = c.benchmark_group("bound_tables_build");
+    for n in [500usize, 1000, 2000] {
+        let t = Dataset::GeoLife.generate(n, 5);
+        let src = DenseMatrix::within(t.points());
+        let domain = Domain::Within { n };
+        let xi = 50;
+        build.bench_with_input(BenchmarkId::new("relaxed", n), &n, |b, _| {
+            b.iter(|| RelaxedTables::build(std::hint::black_box(&src), domain, xi))
+        });
+        build.bench_with_input(BenchmarkId::new("tight", n), &n, |b, _| {
+            b.iter(|| TightTables::build(std::hint::black_box(&src), domain, xi))
+        });
+    }
+    build.finish();
+
+    let mut eval = c.benchmark_group("bound_eval_per_subset");
+    let n = 1000;
+    let t = Dataset::GeoLife.generate(n, 5);
+    let src = DenseMatrix::within(t.points());
+    let domain = Domain::Within { n };
+    let xi = 50;
+    let sel = BoundSelection::all_relaxed();
+    let relaxed = BoundTables::build(&src, domain, xi, sel);
+    let tight = BoundTables::build(&src, domain, xi, BoundSelection::all_tight());
+    let subsets: Vec<(usize, usize)> = domain.subsets(xi).step_by(97).collect();
+    eval.bench_function("relaxed_combined", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &subsets {
+                acc += relaxed.subset_bounds(&src, sel, i, j).combined();
+            }
+            acc
+        })
+    });
+    eval.bench_function("tight_combined", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &subsets {
+                acc += tight.subset_bounds(&src, BoundSelection::all_tight(), i, j).combined();
+            }
+            acc
+        })
+    });
+    eval.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

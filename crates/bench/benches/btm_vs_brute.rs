@@ -1,0 +1,25 @@
+//! BTM vs BruteDP end-to-end (the Figure 18 comparison at bench scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fremo_bench::{run_algorithm, Algorithm};
+use fremo_core::MotifConfig;
+use fremo_trajectory::gen::Dataset;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btm_vs_brute");
+    group.sample_size(10);
+    for n in [200usize, 400] {
+        let t = Dataset::GeoLife.generate(n, 11);
+        let cfg = MotifConfig::new(20);
+        group.bench_with_input(BenchmarkId::new("BruteDP", n), &n, |b, _| {
+            b.iter(|| run_algorithm(Algorithm::BruteDp, std::hint::black_box(&t), &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("BTM", n), &n, |b, _| {
+            b.iter(|| run_algorithm(Algorithm::Btm, std::hint::black_box(&t), &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! DFD kernel micro-benchmarks: full-matrix vs linear-space vs decision
+//! variant (the `O(ℓ²)` cost column of Table 1, and the kernel every motif
+//! search amortizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fremo_similarity::{dfd_decision, dfd_linear, dfd_with_coupling};
+use fremo_trajectory::gen::planar;
+
+fn bench_dfd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfd");
+    for len in [64usize, 256, 1024] {
+        let a = planar::random_walk(len, 0.4, 1);
+        let b = planar::random_walk(len, 0.4, 2);
+        group.bench_with_input(BenchmarkId::new("linear_space", len), &len, |bch, _| {
+            bch.iter(|| dfd_linear(std::hint::black_box(a.points()), std::hint::black_box(b.points())))
+        });
+        group.bench_with_input(BenchmarkId::new("with_coupling", len), &len, |bch, _| {
+            bch.iter(|| dfd_with_coupling(std::hint::black_box(a.points()), std::hint::black_box(b.points())))
+        });
+        let eps = dfd_linear(a.points(), b.points());
+        group.bench_with_input(BenchmarkId::new("decision_tight_eps", len), &len, |bch, _| {
+            bch.iter(|| dfd_decision(std::hint::black_box(a.points()), std::hint::black_box(b.points()), eps))
+        });
+        group.bench_with_input(BenchmarkId::new("decision_small_eps", len), &len, |bch, _| {
+            bch.iter(|| {
+                dfd_decision(std::hint::black_box(a.points()), std::hint::black_box(b.points()), eps * 0.25)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dfd);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Grouping-machinery micro-benchmarks: group matrix construction and the
+//! group-level DFD bound DP (Steps 2 and 4 of Figure 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fremo_core::group::{group_dfd_bounds, GroupMatrices};
+use fremo_core::Domain;
+use fremo_trajectory::gen::Dataset;
+use fremo_trajectory::DenseMatrix;
+
+fn bench_grouping(c: &mut Criterion) {
+    let n = 2000;
+    let t = Dataset::Baboon.generate(n, 31);
+    let src = DenseMatrix::within(t.points());
+    let domain = Domain::Within { n };
+
+    let mut build = c.benchmark_group("group_matrices_build");
+    for tau in [8usize, 32, 128] {
+        build.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
+            b.iter(|| GroupMatrices::build(std::hint::black_box(&src), domain, tau))
+        });
+    }
+    build.finish();
+
+    let mut dp = c.benchmark_group("group_dfd_bounds");
+    for tau in [16usize, 32] {
+        let gm = GroupMatrices::build(&src, domain, tau);
+        dp.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, _| {
+            b.iter(|| {
+                // A representative early block pair.
+                group_dfd_bounds(std::hint::black_box(&gm), domain, 100, 0, 5, f64::INFINITY)
+            })
+        });
+    }
+    dp.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

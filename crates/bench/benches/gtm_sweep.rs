@@ -1,0 +1,25 @@
+//! GTM/GTM* across group sizes τ (the Figure 17 sweep at bench scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fremo_bench::{run_algorithm, Algorithm};
+use fremo_core::MotifConfig;
+use fremo_trajectory::gen::Dataset;
+
+fn bench_gtm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gtm_sweep");
+    group.sample_size(10);
+    let t = Dataset::GeoLife.generate(800, 13);
+    for tau in [8usize, 16, 32, 64] {
+        let cfg = MotifConfig::new(40).with_group_size(tau);
+        group.bench_with_input(BenchmarkId::new("GTM", tau), &tau, |b, _| {
+            b.iter(|| run_algorithm(Algorithm::Gtm, std::hint::black_box(&t), &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("GTM*", tau), &tau, |b, _| {
+            b.iter(|| run_algorithm(Algorithm::GtmStar, std::hint::black_box(&t), &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gtm);
+criterion_main!(benches);

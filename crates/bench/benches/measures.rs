@@ -1,0 +1,33 @@
+//! Similarity-measure costs (the cost column of Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fremo_similarity::{
+    DiscreteFrechet, Dtw, Edr, Hausdorff, Lcss, LockstepEuclidean, SimilarityMeasure,
+};
+use fremo_trajectory::gen::planar;
+use fremo_trajectory::EuclideanPoint;
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measures");
+    let measures: Vec<(&str, Box<dyn SimilarityMeasure<EuclideanPoint>>)> = vec![
+        ("ED", Box::new(LockstepEuclidean)),
+        ("DTW", Box::new(Dtw)),
+        ("LCSS", Box::new(Lcss::new(0.5))),
+        ("EDR", Box::new(Edr::new(0.5))),
+        ("DFD", Box::new(DiscreteFrechet)),
+        ("Hausdorff", Box::new(Hausdorff)),
+    ];
+    for len in [128usize, 512] {
+        let a = planar::random_walk(len, 0.4, 21);
+        let b = planar::random_walk(len, 0.4, 22);
+        for (name, m) in &measures {
+            group.bench_with_input(BenchmarkId::new(*name, len), &len, |bch, _| {
+                bch.iter(|| m.distance(std::hint::black_box(a.points()), std::hint::black_box(b.points())))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

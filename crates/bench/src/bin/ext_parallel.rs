@@ -1,0 +1,10 @@
+//! Regenerates the ext_parallel extension experiment.
+use fremo_bench::experiments::{ext_parallel, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = ext_parallel::run(scale);
+    print_all("ext_parallel", &tables);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the ext_topk extension experiment.
+use fremo_bench::experiments::{ext_topk, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = ext_topk::run(scale);
+    print_all("ext_topk", &tables);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 2 (ED vs DFD motif quality).
+use fremo_bench::experiments::{fig02_ed_vs_dfd, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = fig02_ed_vs_dfd::run(scale);
+    print_all("Figure 2 (ED vs DFD motif quality)", &tables);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 3 (DTW vs DFD, non-uniform sampling).
+use fremo_bench::experiments::{fig03_dtw_vs_dfd, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = fig03_dtw_vs_dfd::run(scale);
+    print_all("Figure 3 (DTW vs DFD, non-uniform sampling)", &tables);
+}

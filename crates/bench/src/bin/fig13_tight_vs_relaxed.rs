@@ -1,0 +1,10 @@
+//! Regenerates Figure 13 (tight vs relaxed bounds, vs n).
+use fremo_bench::experiments::{fig13_tight_vs_relaxed, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = fig13_tight_vs_relaxed::run(scale);
+    print_all("Figure 13 (tight vs relaxed bounds, vs n)", &tables);
+}

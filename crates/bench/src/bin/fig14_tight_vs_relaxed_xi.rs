@@ -1,0 +1,10 @@
+//! Regenerates Figure 14 (tight vs relaxed bounds, vs xi).
+use fremo_bench::experiments::{fig14_tight_vs_relaxed_xi, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = fig14_tight_vs_relaxed_xi::run(scale);
+    print_all("Figure 14 (tight vs relaxed bounds, vs xi)", &tables);
+}

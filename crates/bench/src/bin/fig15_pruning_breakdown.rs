@@ -1,0 +1,10 @@
+//! Regenerates Figure 15 (pruning breakdown per bound).
+use fremo_bench::experiments::{fig15_pruning_breakdown, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = fig15_pruning_breakdown::run(scale);
+    print_all("Figure 15 (pruning breakdown per bound)", &tables);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 16 (bound combinations).
+use fremo_bench::experiments::{fig16_bound_combos, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = fig16_bound_combos::run(scale);
+    print_all("Figure 16 (bound combinations)", &tables);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 17 (GTM group size tau).
+use fremo_bench::experiments::{fig17_group_size, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = fig17_group_size::run(scale);
+    print_all("Figure 17 (GTM group size tau)", &tables);
+}

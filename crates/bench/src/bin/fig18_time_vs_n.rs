@@ -1,0 +1,10 @@
+//! Regenerates Figure 18 (response time vs n, all methods).
+use fremo_bench::experiments::{fig18_time_vs_n, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = fig18_time_vs_n::run(scale);
+    print_all("Figure 18 (response time vs n, all methods)", &tables);
+}

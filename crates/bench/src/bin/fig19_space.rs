@@ -1,0 +1,10 @@
+//! Regenerates Figure 19 (space consumption vs n).
+use fremo_bench::experiments::{fig19_space, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = fig19_space::run(scale);
+    print_all("Figure 19 (space consumption vs n)", &tables);
+}

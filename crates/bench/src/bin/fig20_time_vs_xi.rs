@@ -1,0 +1,10 @@
+//! Regenerates Figure 20 (response time vs xi).
+use fremo_bench::experiments::{fig20_time_vs_xi, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = fig20_time_vs_xi::run(scale);
+    print_all("Figure 20 (response time vs xi)", &tables);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 21 (two-trajectory variant).
+use fremo_bench::experiments::{fig21_cross_trajectory, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = fig21_cross_trajectory::run(scale);
+    print_all("Figure 21 (two-trajectory variant)", &tables);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 1 (similarity measure characteristics).
+use fremo_bench::experiments::{table1_measures, print_all};
+use fremo_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = table1_measures::run(scale);
+    print_all("Table 1 (similarity measure characteristics)", &tables);
+}

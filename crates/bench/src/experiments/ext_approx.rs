@@ -1,0 +1,76 @@
+//! Extension experiment: ε-approximate search — speedup vs certified
+//! error (the paper's future-work direction, quantified).
+//!
+//! For each ε we report the measured response time, the actual error
+//! `found/optimal − 1`, and the guarantee `ε`. The actual error is
+//! typically far below the guarantee (the bounds are loose only where the
+//! data is ambiguous).
+
+use fremo_core::{ApproxGtm, MotifConfig, MotifDiscovery};
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::runner::{average, run_algorithm, Algorithm, Measurement};
+use crate::scale::Scale;
+use crate::table::{fmt_secs, Table};
+use crate::workload::trajectories;
+
+const EPSILONS: [f64; 4] = [0.0, 0.1, 0.5, 1.0];
+
+/// Regenerates the approximate-search table.
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let n = scale.default_n();
+    let xi = scale.default_xi();
+    let reps = scale.repetitions();
+    let ts = trajectories(Dataset::GeoLife, n, reps, 3000);
+
+    // Exact baseline per trajectory.
+    let cfg = MotifConfig::new(xi);
+    let exact: Vec<Measurement> =
+        ts.iter().map(|t| run_algorithm(Algorithm::Gtm, t, &cfg).0).collect();
+    let exact_avg = average(&exact);
+
+    let mut table =
+        Table::new(vec!["epsilon", "time (s)", "speedup", "actual error", "guarantee"]);
+    for eps in EPSILONS {
+        let searcher = ApproxGtm::new(eps);
+        let mut times = Vec::new();
+        let mut worst_err = 0.0_f64;
+        for (t, base) in ts.iter().zip(&exact) {
+            let (motif, stats) = searcher.discover_with_stats(t, &cfg);
+            times.push(stats.total_seconds);
+            let found = motif.expect("motif").distance;
+            let optimal = base.distance.expect("motif");
+            if optimal > 0.0 {
+                worst_err = worst_err.max(found / optimal - 1.0);
+            }
+            assert!(found <= (1.0 + eps) * optimal + 1e-9, "guarantee violated");
+        }
+        let mean_time = times.iter().sum::<f64>() / times.len() as f64;
+        table.row(vec![
+            format!("{eps:.2}"),
+            fmt_secs(mean_time),
+            format!("{:.2}x", exact_avg.seconds / mean_time.max(1e-12)),
+            format!("{:.2}%", worst_err * 100.0),
+            format!("{:.0}%", eps * 100.0),
+        ]);
+    }
+
+    vec![(
+        format!("Extension: (1+eps)-approximate GTM — time vs certified error (n={n}, xi={xi})"),
+        table,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_smoke_scale() {
+        let out = run(Scale::Smoke);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1.render().contains("0.50"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Extension experiment: DFD similarity join — filter effectiveness and
+//! throughput on fleets of synthetic trajectories.
+
+use std::time::Instant;
+
+use fremo_core::similarity_self_join;
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::scale::Scale;
+use crate::table::{fmt_pct, fmt_secs, Table};
+use crate::workload::trajectories;
+
+/// Regenerates the similarity-join table (per dataset, sweeping ε as a
+/// fraction of the dataset's spatial extent).
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let (count, len) = match scale {
+        Scale::Smoke => (10, 80),
+        Scale::Default => (40, 200),
+        Scale::Full => (100, 500),
+    };
+    let mut out = Vec::new();
+
+    for dataset in Dataset::ALL {
+        let fleet = trajectories(dataset, len, count, 3200);
+        let mut table =
+            Table::new(vec!["eps (m)", "matches", "filtered", "verified", "time (s)"]);
+        for eps in [100.0, 1_000.0, 5_000.0] {
+            let t0 = Instant::now();
+            let r = similarity_self_join(&fleet, eps);
+            let secs = t0.elapsed().as_secs_f64();
+            table.row(vec![
+                format!("{eps:.0}"),
+                r.pairs.len().to_string(),
+                fmt_pct(r.pruned_fraction()),
+                r.verified.to_string(),
+                fmt_secs(secs),
+            ]);
+        }
+        out.push((
+            format!("Extension: DFD self-join over {count} × {len}-point {dataset} trajectories"),
+            table,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_smoke_scale() {
+        let out = run(Scale::Smoke);
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -1,0 +1,63 @@
+//! Extension experiment: parallel BTM scaling across worker counts.
+
+use fremo_core::{MotifConfig, MotifDiscovery, ParallelBtm};
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::runner::{average, run_algorithm, Algorithm, Measurement};
+use crate::scale::Scale;
+use crate::table::{fmt_secs, Table};
+use crate::workload::trajectories;
+
+/// Regenerates the parallel-scaling table.
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let n = scale.default_n();
+    let xi = scale.default_xi();
+    let reps = scale.repetitions();
+    let cfg = MotifConfig::new(xi);
+    let ts = trajectories(Dataset::GeoLife, n, reps, 3100);
+
+    let serial: Vec<Measurement> =
+        ts.iter().map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0).collect();
+    let serial_avg = average(&serial);
+
+    let mut table = Table::new(vec!["workers", "time (s)", "speedup vs serial BTM"]);
+    table.row(vec![
+        "serial".to_string(),
+        fmt_secs(serial_avg.seconds),
+        "1.00x".to_string(),
+    ]);
+    for workers in [1usize, 2, 4, 8] {
+        let alg = ParallelBtm::new(workers);
+        let mut times = Vec::new();
+        for (t, base) in ts.iter().zip(&serial) {
+            let (motif, stats) = alg.discover_with_stats(t, &cfg);
+            times.push(stats.total_seconds);
+            let d = motif.expect("motif").distance;
+            assert!(
+                (d - base.distance.expect("motif")).abs() < 1e-9,
+                "parallel result diverged"
+            );
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        table.row(vec![
+            workers.to_string(),
+            fmt_secs(mean),
+            format!("{:.2}x", serial_avg.seconds / mean.max(1e-12)),
+        ]);
+    }
+
+    vec![(format!("Extension: parallel BTM scaling (n={n}, xi={xi}, GeoLife-like)"), table)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_smoke_scale() {
+        let out = run(Scale::Smoke);
+        assert!(out[0].1.render().contains("serial"));
+    }
+}

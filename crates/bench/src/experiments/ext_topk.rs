@@ -1,0 +1,49 @@
+//! Extension experiment: top-k diverse motif discovery — cost growth and
+//! value spread as k increases.
+
+use std::time::Instant;
+
+use fremo_core::{top_k_motifs, MotifConfig};
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::scale::Scale;
+use crate::table::{fmt_secs, Table};
+
+/// Regenerates the top-k table.
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let n = scale.default_n();
+    let xi = scale.default_xi();
+    let t = Dataset::Truck.generate(n, 3300);
+    let cfg = MotifConfig::new(xi);
+
+    let mut table = Table::new(vec!["k", "found", "dfd #1", "dfd #k", "time (s)"]);
+    for k in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let motifs = top_k_motifs(&t, &cfg, k);
+        let secs = t0.elapsed().as_secs_f64();
+        let first = motifs.first().map_or(f64::NAN, |m| m.distance);
+        let last = motifs.last().map_or(f64::NAN, |m| m.distance);
+        table.row(vec![
+            k.to_string(),
+            motifs.len().to_string(),
+            format!("{first:.1}"),
+            format!("{last:.1}"),
+            fmt_secs(secs),
+        ]);
+    }
+
+    vec![(format!("Extension: top-k diverse motifs (Truck-like, n={n}, xi={xi})"), table)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_smoke_scale() {
+        let out = run(Scale::Smoke);
+        assert!(out[0].1.render().contains('8'));
+    }
+}

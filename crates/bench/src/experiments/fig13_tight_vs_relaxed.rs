@@ -1,0 +1,72 @@
+//! Figure 13: BTM with tight vs relaxed bounds, varying trajectory length.
+//!
+//! Two sub-plots: (a) pruning ratio, (b) response time, both vs `n` with
+//! `ξ` fixed. Expected shape (paper Section 6.2.1): relaxed bounds are
+//! only slightly weaker in pruning power but much faster overall. Note
+//! that our tight bounds are computed in `O(n²)` total via the recurrence
+//! described in `fremo-core::bounds`, so the time gap is narrower than the
+//! paper's `O(ξn³)` evaluation — the ordering is preserved.
+
+use fremo_core::{BoundSelection, MotifConfig};
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::runner::{average, run_algorithm, Algorithm, Measurement};
+use crate::scale::Scale;
+use crate::table::{fmt_pct, fmt_secs, Table};
+use crate::workload::trajectories;
+
+fn measure(dataset: Dataset, n: usize, xi: usize, sel: BoundSelection, reps: usize) -> Measurement {
+    let cfg = MotifConfig::new(xi).with_bounds(sel);
+    let ts = trajectories(dataset, n, reps, 1300);
+    let ms: Vec<Measurement> =
+        ts.iter().map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0).collect();
+    average(&ms)
+}
+
+/// Regenerates Figure 13 (GeoLife-like, ξ fixed).
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let xi = scale.default_xi();
+    let reps = scale.repetitions();
+
+    let mut prune = Table::new(vec!["n", "Tight", "Relaxed"]);
+    let mut time = Table::new(vec!["n", "Tight (s)", "Relaxed (s)"]);
+    for &n in scale.lengths() {
+        let tight = measure(Dataset::GeoLife, n, xi, BoundSelection::all_tight(), reps);
+        let relaxed = measure(Dataset::GeoLife, n, xi, BoundSelection::all_relaxed(), reps);
+        assert_eq!(
+            tight.distance, relaxed.distance,
+            "tight and relaxed disagree on the motif at n={n}"
+        );
+        prune.row(vec![
+            n.to_string(),
+            fmt_pct(tight.pruned_fraction),
+            fmt_pct(relaxed.pruned_fraction),
+        ]);
+        time.row(vec![n.to_string(), fmt_secs(tight.seconds), fmt_secs(relaxed.seconds)]);
+    }
+
+    vec![
+        (format!("Figure 13(a): pruning ratio vs n (xi={xi}, GeoLife-like)"), prune),
+        (format!("Figure 13(b): response time vs n (xi={xi}, GeoLife-like)"), time),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_prunes_at_least_as_much_as_relaxed() {
+        let tight = measure(Dataset::GeoLife, 150, 10, BoundSelection::all_tight(), 2);
+        let relaxed = measure(Dataset::GeoLife, 150, 10, BoundSelection::all_relaxed(), 2);
+        assert_eq!(tight.distance, relaxed.distance);
+        assert!(
+            tight.pruned_fraction >= relaxed.pruned_fraction - 1e-9,
+            "tight {} < relaxed {}",
+            tight.pruned_fraction,
+            relaxed.pruned_fraction
+        );
+    }
+}

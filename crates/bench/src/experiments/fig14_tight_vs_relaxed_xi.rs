@@ -1,0 +1,45 @@
+//! Figure 14: BTM with tight vs relaxed bounds, varying minimum motif
+//! length `ξ` (n fixed).
+
+use fremo_core::{BoundSelection, MotifConfig};
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::runner::{average, run_algorithm, Algorithm, Measurement};
+use crate::scale::Scale;
+use crate::table::{fmt_pct, fmt_secs, Table};
+use crate::workload::trajectories;
+
+fn measure(n: usize, xi: usize, sel: BoundSelection, reps: usize) -> Measurement {
+    let cfg = MotifConfig::new(xi).with_bounds(sel);
+    let ts = trajectories(Dataset::GeoLife, n, reps, 1400);
+    let ms: Vec<Measurement> =
+        ts.iter().map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0).collect();
+    average(&ms)
+}
+
+/// Regenerates Figure 14 (GeoLife-like, n fixed).
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let n = scale.default_n();
+    let reps = scale.repetitions();
+
+    let mut prune = Table::new(vec!["xi", "Tight", "Relaxed"]);
+    let mut time = Table::new(vec!["xi", "Tight (s)", "Relaxed (s)"]);
+    for &xi in scale.motif_lengths() {
+        let tight = measure(n, xi, BoundSelection::all_tight(), reps);
+        let relaxed = measure(n, xi, BoundSelection::all_relaxed(), reps);
+        assert_eq!(tight.distance, relaxed.distance, "disagreement at xi={xi}");
+        prune.row(vec![
+            xi.to_string(),
+            fmt_pct(tight.pruned_fraction),
+            fmt_pct(relaxed.pruned_fraction),
+        ]);
+        time.row(vec![xi.to_string(), fmt_secs(tight.seconds), fmt_secs(relaxed.seconds)]);
+    }
+
+    vec![
+        (format!("Figure 14(a): pruning ratio vs xi (n={n}, GeoLife-like)"), prune),
+        (format!("Figure 14(b): response time vs xi (n={n}, GeoLife-like)"), time),
+    ]
+}

@@ -1,0 +1,72 @@
+//! Figure 16: response time of cumulative bound combinations.
+//!
+//! Three BTM variants: `LBcell` only, `LBcell + rLBcross`, and
+//! `LBcell + rLBcross + rLBband` — showing the bounds complement each
+//! other (each addition reduces response time).
+
+use fremo_core::{BoundSelection, MotifConfig};
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::runner::{average, run_algorithm, Algorithm, Measurement};
+use crate::scale::Scale;
+use crate::table::{fmt_secs, Table};
+use crate::workload::trajectories;
+
+const COMBOS: [(&str, BoundSelection); 3] = [
+    ("LBcell", BoundSelection::cell_only()),
+    ("LBcell+rLBcross", BoundSelection::cell_cross()),
+    ("LBcell+rLBcross+rLBband", BoundSelection::all_relaxed()),
+];
+
+fn measure(n: usize, xi: usize, sel: BoundSelection, reps: usize) -> Measurement {
+    let cfg = MotifConfig::new(xi).with_bounds(sel);
+    let ts = trajectories(Dataset::GeoLife, n, reps, 1600);
+    let ms: Vec<Measurement> =
+        ts.iter().map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0).collect();
+    average(&ms)
+}
+
+/// Regenerates Figure 16's two line plots.
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let reps = scale.repetitions();
+
+    let mut by_n = Table::new(vec!["n", COMBOS[0].0, COMBOS[1].0, COMBOS[2].0]);
+    for &n in scale.lengths() {
+        let cells: Vec<String> = COMBOS
+            .iter()
+            .map(|&(_, sel)| fmt_secs(measure(n, scale.default_xi(), sel, reps).seconds))
+            .collect();
+        by_n.row(vec![n.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+    }
+
+    let mut by_xi = Table::new(vec!["xi", COMBOS[0].0, COMBOS[1].0, COMBOS[2].0]);
+    for &xi in scale.motif_lengths() {
+        let cells: Vec<String> = COMBOS
+            .iter()
+            .map(|&(_, sel)| fmt_secs(measure(scale.default_n(), xi, sel, reps).seconds))
+            .collect();
+        by_xi.row(vec![xi.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+    }
+
+    vec![
+        ("Figure 16(a): response time vs n per bound combination".to_string(), by_n),
+        ("Figure 16(b): response time vs xi per bound combination".to_string(), by_xi),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_combos_return_the_same_motif() {
+        let ds: Vec<_> = COMBOS
+            .iter()
+            .map(|&(_, sel)| measure(140, 10, sel, 1).distance.expect("motif"))
+            .collect();
+        assert!((ds[0] - ds[1]).abs() < 1e-9);
+        assert!((ds[0] - ds[2]).abs() < 1e-9);
+    }
+}

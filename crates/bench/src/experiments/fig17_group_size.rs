@@ -1,0 +1,57 @@
+//! Figure 17: GTM response time vs initial group size τ.
+//!
+//! One line per trajectory length; x-axis is τ ∈ {8 … 128}. The paper
+//! observes the response time is "not overly sensitive to τ" with 32 a
+//! good default.
+
+use fremo_core::MotifConfig;
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::runner::{average, run_algorithm, Algorithm, Measurement};
+use crate::scale::Scale;
+use crate::table::{fmt_secs, Table};
+use crate::workload::trajectories;
+
+fn measure(n: usize, xi: usize, tau: usize, reps: usize) -> Measurement {
+    let cfg = MotifConfig::new(xi).with_group_size(tau);
+    let ts = trajectories(Dataset::GeoLife, n, reps, 1700);
+    let ms: Vec<Measurement> =
+        ts.iter().map(|t| run_algorithm(Algorithm::Gtm, t, &cfg).0).collect();
+    average(&ms)
+}
+
+/// Regenerates Figure 17.
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let xi = scale.default_xi();
+    let reps = scale.repetitions();
+
+    let mut header: Vec<String> = vec!["tau".to_string()];
+    header.extend(scale.lengths().iter().map(|n| format!("n={n} (s)")));
+    let mut table = Table::new(header);
+
+    for &tau in scale.group_sizes() {
+        let mut row = vec![tau.to_string()];
+        for &n in scale.lengths() {
+            row.push(fmt_secs(measure(n, xi, tau, reps).seconds));
+        }
+        table.row(row);
+    }
+
+    vec![(format!("Figure 17: GTM response time vs group size tau (xi={xi})"), table)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_tau_returns_the_same_motif() {
+        let base = measure(140, 10, 8, 1).distance.expect("motif");
+        for tau in [4, 16, 32] {
+            let d = measure(140, 10, tau, 1).distance.expect("motif");
+            assert!((d - base).abs() < 1e-9, "tau={tau}: {d} vs {base}");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 18: response time vs trajectory length, all four methods on all
+//! three datasets.
+//!
+//! The paper's headline result: GTM/GTM* beat BruteDP by three orders of
+//! magnitude, BTM by two; BruteDP exceeds the 2-hour cut-off beyond
+//! n ≈ 1000 (we pre-empt it beyond [`Scale::brute_cap`] instead of burning
+//! the hours — reported as `>cap`).
+
+use fremo_core::MotifConfig;
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::runner::{average, run_algorithm, Algorithm, Measurement};
+use crate::scale::Scale;
+use crate::table::{fmt_secs, Table};
+use crate::workload::trajectories;
+
+/// Measures one (dataset, n, algorithm) cell.
+fn cell(dataset: Dataset, n: usize, xi: usize, alg: Algorithm, reps: usize) -> Measurement {
+    let cfg = MotifConfig::new(xi);
+    let ts = trajectories(dataset, n, reps, 1800);
+    let ms: Vec<Measurement> = ts.iter().map(|t| run_algorithm(alg, t, &cfg).0).collect();
+    average(&ms)
+}
+
+/// Regenerates Figure 18 (one table per dataset).
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let xi = scale.default_xi();
+    let reps = scale.repetitions();
+    let mut out = Vec::new();
+
+    for dataset in Dataset::ALL {
+        let mut table =
+            Table::new(vec!["n", "GTM* (s)", "GTM (s)", "BTM (s)", "BruteDP (s)"]);
+        for &n in scale.lengths() {
+            let mut row = vec![n.to_string()];
+            let mut motif_check: Option<f64> = None;
+            for alg in Algorithm::ALL {
+                if alg == Algorithm::BruteDp && n > scale.brute_cap() {
+                    row.push(format!(">cap({})", scale.brute_cap()));
+                    continue;
+                }
+                let m = cell(dataset, n, xi, alg, reps);
+                if let (Some(prev), Some(d)) = (motif_check, m.distance) {
+                    assert!(
+                        (prev - d).abs() < 1e-6,
+                        "{dataset}/{alg} disagrees at n={n}: {d} vs {prev}"
+                    );
+                }
+                motif_check = motif_check.or(m.distance);
+                row.push(fmt_secs(m.seconds));
+            }
+            table.row(row);
+        }
+        out.push((format!("Figure 18: response time vs n — {dataset} (xi={xi})"), table));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advanced_methods_beat_brute_on_geolife() {
+        let n = 220;
+        let xi = 10;
+        let brute = cell(Dataset::GeoLife, n, xi, Algorithm::BruteDp, 1);
+        let btm = cell(Dataset::GeoLife, n, xi, Algorithm::Btm, 1);
+        let gtm = cell(Dataset::GeoLife, n, xi, Algorithm::Gtm, 1);
+        assert_eq!(brute.distance.map(|d| (d * 1e6) as i64), btm.distance.map(|d| (d * 1e6) as i64));
+        assert_eq!(brute.distance.map(|d| (d * 1e6) as i64), gtm.distance.map(|d| (d * 1e6) as i64));
+        assert!(
+            btm.seconds < brute.seconds,
+            "BTM ({}) not faster than BruteDP ({})",
+            btm.seconds,
+            brute.seconds
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 19: space consumption vs trajectory length (BTM, GTM, GTM*).
+//!
+//! Expected shape: BTM and GTM grow quadratically with n (dG matrix +
+//! candidate list), GTM* roughly linearly (`O(max{(n/τ)², n})`) — making
+//! GTM* "the method of choice for very long trajectories".
+
+use fremo_core::MotifConfig;
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::runner::{average, run_algorithm, Algorithm, Measurement};
+use crate::scale::Scale;
+use crate::table::{fmt_mb, Table};
+use crate::workload::trajectories;
+
+fn cell(dataset: Dataset, n: usize, xi: usize, alg: Algorithm, reps: usize) -> Measurement {
+    let cfg = MotifConfig::new(xi);
+    let ts = trajectories(dataset, n, reps, 1900);
+    let ms: Vec<Measurement> = ts.iter().map(|t| run_algorithm(alg, t, &cfg).0).collect();
+    average(&ms)
+}
+
+/// Regenerates Figure 19 (one table per dataset).
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let xi = scale.default_xi();
+    let reps = scale.repetitions().min(2); // space is deterministic
+    let mut out = Vec::new();
+
+    for dataset in Dataset::ALL {
+        let mut table = Table::new(vec!["n", "GTM* (MB)", "GTM (MB)", "BTM (MB)"]);
+        for &n in scale.lengths() {
+            let mut row = vec![n.to_string()];
+            for alg in Algorithm::ADVANCED {
+                row.push(fmt_mb(cell(dataset, n, xi, alg, reps).bytes));
+            }
+            table.row(row);
+        }
+        out.push((format!("Figure 19: space vs n — {dataset} (xi={xi})"), table));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtm_star_uses_least_space_and_scales_subquadratically() {
+        let xi = 10;
+        let small = cell(Dataset::GeoLife, 150, xi, Algorithm::GtmStar, 1);
+        let large = cell(Dataset::GeoLife, 300, xi, Algorithm::GtmStar, 1);
+        let btm_large = cell(Dataset::GeoLife, 300, xi, Algorithm::Btm, 1);
+        assert!(large.bytes < btm_large.bytes, "GTM* should be smaller than BTM");
+        // Doubling n must not quadruple GTM*'s space.
+        assert!(
+            (large.bytes as f64) < 3.0 * small.bytes as f64,
+            "GTM* grew {} -> {}",
+            small.bytes,
+            large.bytes
+        );
+    }
+}

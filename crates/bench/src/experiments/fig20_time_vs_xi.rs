@@ -1,0 +1,59 @@
+//! Figure 20: response time vs minimum motif length ξ (BTM, GTM, GTM*).
+//!
+//! Response time increases with ξ — a large ξ disqualifies short
+//! small-DFD motifs, delaying a good `bsf` and weakening pruning (the
+//! paper ties this back to Figure 14(a)).
+
+use fremo_core::MotifConfig;
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::runner::{average, run_algorithm, Algorithm, Measurement};
+use crate::scale::Scale;
+use crate::table::{fmt_secs, Table};
+use crate::workload::trajectories;
+
+fn cell(dataset: Dataset, n: usize, xi: usize, alg: Algorithm, reps: usize) -> Measurement {
+    let cfg = MotifConfig::new(xi);
+    let ts = trajectories(dataset, n, reps, 2000);
+    let ms: Vec<Measurement> = ts.iter().map(|t| run_algorithm(alg, t, &cfg).0).collect();
+    average(&ms)
+}
+
+/// Regenerates Figure 20 (one table per dataset, n fixed).
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let n = scale.default_n();
+    let reps = scale.repetitions();
+    let mut out = Vec::new();
+
+    for dataset in Dataset::ALL {
+        let mut table = Table::new(vec!["xi", "GTM* (s)", "GTM (s)", "BTM (s)"]);
+        for &xi in scale.motif_lengths() {
+            let mut row = vec![xi.to_string()];
+            for alg in Algorithm::ADVANCED {
+                row.push(fmt_secs(cell(dataset, n, xi, alg, reps).seconds));
+            }
+            table.row(row);
+        }
+        out.push((format!("Figure 20: response time vs xi — {dataset} (n={n})"), table));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methods_agree_across_xi() {
+        for xi in [8, 16] {
+            let btm = cell(Dataset::Truck, 160, xi, Algorithm::Btm, 1);
+            let gtm = cell(Dataset::Truck, 160, xi, Algorithm::Gtm, 1);
+            let star = cell(Dataset::Truck, 160, xi, Algorithm::GtmStar, 1);
+            let d = btm.distance.unwrap();
+            assert!((gtm.distance.unwrap() - d).abs() < 1e-9);
+            assert!((star.distance.unwrap() - d).abs() < 1e-9);
+        }
+    }
+}

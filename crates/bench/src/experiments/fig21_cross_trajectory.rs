@@ -1,0 +1,61 @@
+//! Figure 21: motif discovery between two different trajectories.
+//!
+//! Ten random pairs of input trajectories per dataset; response time vs
+//! their length. The paper reports performance "very similar to the case
+//! of single input trajectory".
+
+use fremo_core::MotifConfig;
+use fremo_trajectory::gen::Dataset;
+
+use crate::experiments::Titled;
+use crate::runner::{average, run_algorithm_between, Algorithm, Measurement};
+use crate::scale::Scale;
+use crate::table::{fmt_secs, Table};
+use crate::workload::trajectory_pairs;
+
+fn cell(dataset: Dataset, n: usize, xi: usize, alg: Algorithm, reps: usize) -> Measurement {
+    let cfg = MotifConfig::new(xi);
+    let pairs = trajectory_pairs(dataset, n, reps, 2100);
+    let ms: Vec<Measurement> =
+        pairs.iter().map(|(a, b)| run_algorithm_between(alg, a, b, &cfg).0).collect();
+    average(&ms)
+}
+
+/// Regenerates Figure 21 (one table per dataset).
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Titled> {
+    let xi = scale.default_xi();
+    let reps = scale.repetitions();
+    let mut out = Vec::new();
+
+    for dataset in Dataset::ALL {
+        let mut table = Table::new(vec!["n", "GTM* (s)", "GTM (s)", "BTM (s)"]);
+        for &n in scale.lengths() {
+            let mut row = vec![n.to_string()];
+            for alg in Algorithm::ADVANCED {
+                row.push(fmt_secs(cell(dataset, n, xi, alg, reps).seconds));
+            }
+            table.row(row);
+        }
+        out.push((
+            format!("Figure 21: response time vs n, two input trajectories — {dataset} (xi={xi})"),
+            table,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methods_agree_between_trajectories() {
+        let btm = cell(Dataset::Baboon, 150, 10, Algorithm::Btm, 1);
+        let gtm = cell(Dataset::Baboon, 150, 10, Algorithm::Gtm, 1);
+        let star = cell(Dataset::Baboon, 150, 10, Algorithm::GtmStar, 1);
+        let d = btm.distance.unwrap();
+        assert!((gtm.distance.unwrap() - d).abs() < 1e-9);
+        assert!((star.distance.unwrap() - d).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every experiment exposes `run(scale) -> Vec<(String, Table)>`: a list of
+//! titled tables matching the paper's sub-plots. The `src/bin/*` binaries
+//! print them; integration tests run them at smoke scale.
+
+pub mod ext_approx;
+pub mod ext_join;
+pub mod ext_parallel;
+pub mod ext_topk;
+pub mod fig02_ed_vs_dfd;
+pub mod fig03_dtw_vs_dfd;
+pub mod fig13_tight_vs_relaxed;
+pub mod fig14_tight_vs_relaxed_xi;
+pub mod fig15_pruning_breakdown;
+pub mod fig16_bound_combos;
+pub mod fig17_group_size;
+pub mod fig18_time_vs_n;
+pub mod fig19_space;
+pub mod fig20_time_vs_xi;
+pub mod fig21_cross_trajectory;
+pub mod table1_measures;
+
+use crate::table::Table;
+
+/// A titled table, one per sub-plot of a figure.
+pub type Titled = (String, Table);
+
+/// Prints a full experiment (title banner + tables).
+pub fn print_all(name: &str, tables: &[Titled]) {
+    println!("== {name} ==");
+    for (title, table) in tables {
+        println!("\n-- {title} --");
+        table.print();
+    }
+}

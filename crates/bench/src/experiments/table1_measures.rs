@@ -1,0 +1,145 @@
+//! Table 1: similarity measures and their characteristics.
+//!
+//! The paper's Table 1 is qualitative (robustness flags + asymptotic
+//! cost). We regenerate it *empirically*: the robustness flags are taken
+//! from the measure implementations and verified by two constructed
+//! workloads (a resampling test and a time-shift test), and the cost
+//! column is measured in microseconds on a 500-point pair.
+
+use std::time::Instant;
+
+use fremo_similarity::{DiscreteFrechet, Dtw, Edr, Hausdorff, Lcss, LockstepEuclidean, SimilarityMeasure};
+use fremo_trajectory::EuclideanPoint;
+
+use crate::experiments::Titled;
+use crate::scale::Scale;
+use crate::table::Table;
+
+fn measures() -> Vec<Box<dyn SimilarityMeasure<EuclideanPoint>>> {
+    vec![
+        Box::new(LockstepEuclidean),
+        Box::new(Dtw),
+        Box::new(Lcss::new(0.5)),
+        Box::new(Edr::new(0.5)),
+        Box::new(DiscreteFrechet),
+        Box::new(Hausdorff),
+    ]
+}
+
+/// A smooth path sampled `n` times, with optional heavy oversampling of
+/// the first 20% (the non-uniform-sampling stressor of Figure 3; an
+/// oversampled trace has *more* points, like a chatty GPS logger).
+fn sampled_path(n: usize, oversample_head: bool, offset: f64) -> Vec<EuclideanPoint> {
+    let point = |s: f64| EuclideanPoint::new(s * 10.0, offset + (s * 6.0).sin());
+    if oversample_head {
+        let total = 5 * n;
+        let head = (total as f64 * 0.8) as usize;
+        let mut points = Vec::with_capacity(total);
+        for k in 0..head {
+            points.push(point(0.2 * k as f64 / head as f64));
+        }
+        for k in 0..(total - head) {
+            points.push(point(0.2 + 0.8 * k as f64 / (total - head - 1).max(1) as f64));
+        }
+        points
+    } else {
+        (0..n).map(|k| point(k as f64 / (n - 1) as f64)).collect()
+    }
+}
+
+/// Empirical check: does the measure rank a *non-uniformly resampled* copy
+/// of the same path closer than a genuinely different path? (Yes ⇒ robust
+/// to sampling-rate variation.)
+fn passes_resampling_test(m: &dyn SimilarityMeasure<EuclideanPoint>) -> bool {
+    let sa = sampled_path(120, false, 0.0);
+    let sb = sampled_path(120, false, 0.3); // different path (offset 0.3)
+    let sc = sampled_path(120, true, 0.1); // same path, non-uniform samples
+    m.distance(&sa, &sc) < m.distance(&sa, &sb)
+}
+
+/// Empirical check: is the measure tolerant to a local time shift (a short
+/// stall at the start)? Lock-step ED is not; the elastic measures are.
+fn passes_time_shift_test(m: &dyn SimilarityMeasure<EuclideanPoint>) -> bool {
+    let sa: Vec<EuclideanPoint> =
+        (0..100).map(|k| EuclideanPoint::new(k as f64, 0.0)).collect();
+    // Same full path, but the sampler stalled for 10 ticks at the origin
+    // before continuing (local time shift, no missing tail).
+    let mut sb: Vec<EuclideanPoint> = vec![EuclideanPoint::new(0.0, 0.0); 10];
+    sb.extend((0..100).map(|k| EuclideanPoint::new(k as f64, 0.0)));
+    // A path at constant offset 3 with no stall.
+    let sc: Vec<EuclideanPoint> =
+        (0..100).map(|k| EuclideanPoint::new(k as f64, 3.0)).collect();
+    m.distance(&sa, &sb) < m.distance(&sa, &sc)
+}
+
+/// Regenerates Table 1.
+#[must_use]
+pub fn run(_scale: Scale) -> Vec<Titled> {
+    let a = sampled_path(500, false, 0.0);
+    let b = sampled_path(500, true, 0.1);
+
+    let mut table = Table::new(vec![
+        "measure",
+        "rate-robust (claimed)",
+        "rate-robust (tested)",
+        "shift-ok (claimed)",
+        "shift-ok (tested)",
+        "cost @500 (us)",
+    ]);
+    for m in measures() {
+        // Warm then time.
+        let _ = m.distance(&a, &b);
+        let t0 = Instant::now();
+        let iters = 5;
+        for _ in 0..iters {
+            std::hint::black_box(m.distance(&a, &b));
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(iters);
+        table.row(vec![
+            m.name().to_string(),
+            yesno(m.robust_to_sampling_rate()),
+            yesno(passes_resampling_test(m.as_ref())),
+            yesno(m.supports_local_time_shifting()),
+            yesno(passes_time_shift_test(m.as_ref())),
+            format!("{us:.1}"),
+        ]);
+    }
+    vec![("Table 1: distance measures and their characteristics".to_string(), table)]
+}
+
+fn yesno(b: bool) -> String {
+    (if b { "yes" } else { "no" }).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfd_passes_both_empirical_tests() {
+        let dfd = DiscreteFrechet;
+        assert!(passes_resampling_test(&dfd));
+        assert!(passes_time_shift_test(&dfd));
+    }
+
+    #[test]
+    fn dtw_fails_resampling_but_passes_shift() {
+        let dtw = Dtw;
+        assert!(!passes_resampling_test(&dtw), "DTW should be fooled by oversampling");
+        assert!(passes_time_shift_test(&dtw));
+    }
+
+    #[test]
+    fn ed_fails_time_shift() {
+        assert!(!passes_time_shift_test(&LockstepEuclidean));
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run(Scale::Smoke);
+        assert_eq!(t.len(), 1);
+        let rendered = t[0].1.render();
+        assert!(rendered.contains("DFD"));
+        assert!(rendered.contains("DTW"));
+    }
+}

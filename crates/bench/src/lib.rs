@@ -1,0 +1,25 @@
+//! # fremo-bench
+//!
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (Section 6). Each `src/bin/figNN_*` binary regenerates one
+//! figure: it builds the workload, sweeps the paper's parameter, and prints
+//! the same rows/series the paper plots. `EXPERIMENTS.md` at the workspace
+//! root records paper-vs-measured values.
+//!
+//! Scaling: set `FREMO_SCALE=smoke|default|full` (default `default`) to
+//! pick sweep sizes. `full` uses the paper's sizes (n up to 10,000), which
+//! needs several GB of RAM and hours for the baselines — exactly as in the
+//! paper, where BruteDP was cut off at 2 hours.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod runner;
+pub mod scale;
+pub mod table;
+pub mod workload;
+
+pub use runner::{run_algorithm, Algorithm, Measurement};
+pub use scale::Scale;
+pub use table::Table;

@@ -1,0 +1,147 @@
+//! Algorithm dispatch and measurement.
+
+use fremo_core::{BruteDp, Btm, Gtm, GtmStar, Motif, MotifConfig, MotifDiscovery, SearchStats};
+use fremo_trajectory::{GeoPoint, Trajectory};
+use serde::Serialize;
+
+/// The four methods compared throughout Section 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Algorithm 1 baseline.
+    BruteDp,
+    /// Algorithm 2.
+    Btm,
+    /// Algorithm 3.
+    Gtm,
+    /// Section 5.5.
+    GtmStar,
+}
+
+impl Algorithm {
+    /// All methods, in the paper's plotting order (GTM* first in legends).
+    pub const ALL: [Algorithm; 4] =
+        [Algorithm::GtmStar, Algorithm::Gtm, Algorithm::Btm, Algorithm::BruteDp];
+
+    /// The advanced methods (Figure 19–21 exclude BruteDP).
+    pub const ADVANCED: [Algorithm; 3] = [Algorithm::GtmStar, Algorithm::Gtm, Algorithm::Btm];
+
+    /// Display name as in the figures.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::BruteDp => "BruteDP",
+            Algorithm::Btm => "BTM",
+            Algorithm::Gtm => "GTM",
+            Algorithm::GtmStar => "GTM*",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One measured search.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Wall-clock seconds (precomputation included, as in the paper).
+    pub seconds: f64,
+    /// Peak tracked heap bytes.
+    pub bytes: usize,
+    /// The motif's DFD (so different methods can be cross-checked).
+    pub distance: Option<f64>,
+    /// Fraction of candidate pairs pruned.
+    pub pruned_fraction: f64,
+}
+
+impl Measurement {
+    fn from_parts(motif: Option<Motif>, stats: &SearchStats) -> Self {
+        Measurement {
+            seconds: stats.total_seconds,
+            bytes: stats.peak_bytes(),
+            distance: motif.map(|m| m.distance),
+            pruned_fraction: stats.pruned_fraction(),
+        }
+    }
+}
+
+/// Runs one algorithm on one trajectory and reports the measurement plus
+/// the full statistics.
+#[must_use]
+pub fn run_algorithm(
+    algorithm: Algorithm,
+    trajectory: &Trajectory<GeoPoint>,
+    config: &MotifConfig,
+) -> (Measurement, SearchStats) {
+    let (motif, stats) = match algorithm {
+        Algorithm::BruteDp => BruteDp.discover_with_stats(trajectory, config),
+        Algorithm::Btm => Btm.discover_with_stats(trajectory, config),
+        Algorithm::Gtm => Gtm.discover_with_stats(trajectory, config),
+        Algorithm::GtmStar => GtmStar.discover_with_stats(trajectory, config),
+    };
+    (Measurement::from_parts(motif, &stats), stats)
+}
+
+/// Two-trajectory variant of [`run_algorithm`] (Figure 21).
+#[must_use]
+pub fn run_algorithm_between(
+    algorithm: Algorithm,
+    a: &Trajectory<GeoPoint>,
+    b: &Trajectory<GeoPoint>,
+    config: &MotifConfig,
+) -> (Measurement, SearchStats) {
+    let (motif, stats) = match algorithm {
+        Algorithm::BruteDp => BruteDp.discover_between_with_stats(a, b, config),
+        Algorithm::Btm => Btm.discover_between_with_stats(a, b, config),
+        Algorithm::Gtm => Gtm.discover_between_with_stats(a, b, config),
+        Algorithm::GtmStar => GtmStar.discover_between_with_stats(a, b, config),
+    };
+    (Measurement::from_parts(motif, &stats), stats)
+}
+
+/// Averages seconds/bytes over repetitions and cross-checks that every
+/// repetition returned the same motif distance per algorithm.
+#[must_use]
+pub fn average(measurements: &[Measurement]) -> Measurement {
+    assert!(!measurements.is_empty());
+    let n = measurements.len() as f64;
+    Measurement {
+        seconds: measurements.iter().map(|m| m.seconds).sum::<f64>() / n,
+        bytes: (measurements.iter().map(|m| m.bytes).sum::<usize>() as f64 / n) as usize,
+        distance: measurements[0].distance,
+        pruned_fraction: measurements.iter().map(|m| m.pruned_fraction).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_trajectory::gen::Dataset;
+
+    #[test]
+    fn all_algorithms_agree_on_a_small_geolife_workload() {
+        let t = Dataset::GeoLife.generate(150, 4);
+        let cfg = MotifConfig::new(10).with_group_size(8);
+        let mut distances = Vec::new();
+        for alg in Algorithm::ALL {
+            let (m, _) = run_algorithm(alg, &t, &cfg);
+            distances.push((alg, m.distance.expect("motif")));
+        }
+        let d0 = distances[0].1;
+        for (alg, d) in &distances {
+            assert!((d - d0).abs() < 1e-9, "{alg} disagrees: {d} vs {d0}");
+        }
+    }
+
+    #[test]
+    fn averaging() {
+        let a = Measurement { seconds: 1.0, bytes: 100, distance: Some(2.0), pruned_fraction: 0.5 };
+        let b = Measurement { seconds: 3.0, bytes: 300, distance: Some(2.0), pruned_fraction: 0.7 };
+        let avg = average(&[a, b]);
+        assert_eq!(avg.seconds, 2.0);
+        assert_eq!(avg.bytes, 200);
+        assert!((avg.pruned_fraction - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! Experiment scaling.
+//!
+//! The paper runs on an i7-4770 with trajectory lengths up to 10,000 and a
+//! 2-hour cut-off for the baseline. [`Scale`] maps that methodology onto
+//! three presets so every figure regenerates in seconds (`smoke`), minutes
+//! (`default`), or at the paper's own sizes (`full`).
+
+/// Sweep-size preset, selected by the `FREMO_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sizes for CI smoke runs (seconds).
+    Smoke,
+    /// Laptop-friendly sizes preserving every trend (minutes).
+    Default,
+    /// The paper's sizes (n up to 10,000; hours, several GB RAM).
+    Full,
+}
+
+impl Scale {
+    /// Reads `FREMO_SCALE` (`smoke`/`default`/`full`), defaulting to
+    /// [`Scale::Default`]; unknown values fall back to the default with a
+    /// warning on stderr.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("FREMO_SCALE").ok().as_deref() {
+            Some("smoke") => Scale::Smoke,
+            Some("full") => Scale::Full,
+            None | Some("default") => Scale::Default,
+            Some(other) => {
+                eprintln!("warning: unknown FREMO_SCALE={other:?}, using default");
+                Scale::Default
+            }
+        }
+    }
+
+    /// Trajectory lengths for the `n` sweeps (paper: 0.5K, 1K, 5K, 10K).
+    #[must_use]
+    pub fn lengths(&self) -> &'static [usize] {
+        match self {
+            Scale::Smoke => &[120, 240],
+            Scale::Default => &[500, 1000, 2000],
+            Scale::Full => &[500, 1000, 5000, 10_000],
+        }
+    }
+
+    /// Minimum motif lengths for the `ξ` sweeps (paper: 100–400).
+    #[must_use]
+    pub fn motif_lengths(&self) -> &'static [usize] {
+        match self {
+            Scale::Smoke => &[10, 20],
+            Scale::Default => &[50, 100, 150, 200],
+            Scale::Full => &[100, 200, 300, 400],
+        }
+    }
+
+    /// The default `ξ` used when it is held fixed (paper: 100).
+    #[must_use]
+    pub fn default_xi(&self) -> usize {
+        match self {
+            Scale::Smoke => 10,
+            Scale::Default | Scale::Full => 100,
+        }
+    }
+
+    /// The trajectory length used when `n` is held fixed (paper: 5,000).
+    #[must_use]
+    pub fn default_n(&self) -> usize {
+        match self {
+            Scale::Smoke => 240,
+            Scale::Default => 2000,
+            Scale::Full => 5000,
+        }
+    }
+
+    /// Group sizes for the `τ` sweep (paper: 8–128).
+    #[must_use]
+    pub fn group_sizes(&self) -> &'static [usize] {
+        match self {
+            Scale::Smoke => &[4, 8, 16],
+            Scale::Default | Scale::Full => &[8, 16, 32, 64, 128],
+        }
+    }
+
+    /// Largest `n` at which BruteDP is attempted (the paper cut it off at 2
+    /// hours around n = 1,000; we pre-empt instead of burning the time).
+    #[must_use]
+    pub fn brute_cap(&self) -> usize {
+        match self {
+            Scale::Smoke => 240,
+            Scale::Default => 600,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// How many distinct trajectories each measurement is averaged over
+    /// (paper: 10).
+    #[must_use]
+    pub fn repetitions(&self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Default => 3,
+            Scale::Full => 10,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(Scale::Smoke.lengths().last() < Scale::Default.lengths().last());
+        assert!(Scale::Default.lengths().last() < Scale::Full.lengths().last());
+        assert!(Scale::Smoke.default_xi() < Scale::Full.default_xi());
+        assert!(Scale::Smoke.brute_cap() <= Scale::Full.brute_cap());
+    }
+
+    #[test]
+    fn xi_fits_lengths() {
+        // Every preset must admit valid candidates: n ≥ 2ξ + 4.
+        for s in [Scale::Smoke, Scale::Default, Scale::Full] {
+            for &n in s.lengths() {
+                assert!(n >= 2 * s.default_xi() + 4, "{s}: n={n} too small");
+            }
+            assert!(s.default_n() >= 2 * s.motif_lengths().last().unwrap() + 4, "{s}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Minimal aligned-table printer for experiment output.
+
+/// A simple text table with aligned columns.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders with two-space gutters, left-aligned.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(cols) {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], out: &mut String| {
+            for (c, cell) in row.iter().enumerate().take(cols) {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', widths[c].saturating_sub(cell.len())));
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.extend(std::iter::repeat_n('-', rule));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats seconds the way the paper's log-scale plots read (3 significant
+/// figures, seconds).
+#[must_use]
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.2e}", s)
+    } else if s < 10.0 {
+        format!("{s:.3}")
+    } else {
+        format!("{s:.1}")
+    }
+}
+
+/// Formats bytes as MB with 1 decimal (Figure 19's unit).
+#[must_use]
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a fraction as a percentage.
+#[must_use]
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["n", "BTM", "GTM"]);
+        t.row(vec!["500", "1.234", "0.1"]);
+        t.row(vec!["10000", "99.9", "12.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("n "));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("1.234"));
+        // Columns align: "BTM" and "1.234" start at the same offset.
+        let header_btm = lines[0].find("BTM").unwrap();
+        let row_val = lines[2].find("1.234").unwrap();
+        assert_eq!(header_btm, row_val);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only"]);
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(0.0001), "1.00e-4");
+        assert_eq!(fmt_secs(1.5), "1.500");
+        assert_eq!(fmt_secs(123.45), "123.5");
+        assert_eq!(fmt_mb(1024 * 1024), "1.0");
+        assert_eq!(fmt_pct(0.925), "92.5%");
+    }
+}

@@ -1,0 +1,67 @@
+//! Workload construction for the experiments.
+//!
+//! The paper reports "average measurements over 10 different trajectories
+//! of the same length", concatenating raw trajectories to reach each
+//! target length (Section 6.1). We mirror that: each repetition uses a
+//! different seed, and trajectories come from the synthetic stand-ins for
+//! GeoLife / Truck / Wild-Baboon (`DESIGN.md` §5). Generation of the
+//! per-repetition trajectories fans out over crossbeam scoped threads —
+//! generation only; timed searches always run sequentially.
+
+use fremo_trajectory::gen::Dataset;
+use fremo_trajectory::{GeoPoint, Trajectory};
+
+/// Builds `reps` trajectories of exactly `n` points from `dataset`,
+/// deterministically seeded (`base_seed + rep`).
+#[must_use]
+pub fn trajectories(dataset: Dataset, n: usize, reps: usize, base_seed: u64) -> Vec<Trajectory<GeoPoint>> {
+    let mut out: Vec<Option<Trajectory<GeoPoint>>> = (0..reps).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (rep, slot) in out.iter_mut().enumerate() {
+            scope.spawn(move |_| {
+                *slot = Some(dataset.generate(n, base_seed + rep as u64));
+            });
+        }
+    })
+    .expect("generator threads do not panic");
+    out.into_iter().map(|t| t.expect("filled")).collect()
+}
+
+/// Builds `reps` *pairs* of trajectories for the two-trajectory variant
+/// (Figure 21: "randomly select 10 pairs of input trajectories").
+#[must_use]
+pub fn trajectory_pairs(
+    dataset: Dataset,
+    n: usize,
+    reps: usize,
+    base_seed: u64,
+) -> Vec<(Trajectory<GeoPoint>, Trajectory<GeoPoint>)> {
+    let firsts = trajectories(dataset, n, reps, base_seed);
+    let seconds = trajectories(dataset, n, reps, base_seed + 10_000);
+    firsts.into_iter().zip(seconds).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_generation_matches_sequential() {
+        let par = trajectories(Dataset::Truck, 200, 3, 7);
+        for (rep, t) in par.iter().enumerate() {
+            let seq = Dataset::Truck.generate(200, 7 + rep as u64);
+            assert_eq!(t.points(), seq.points());
+        }
+    }
+
+    #[test]
+    fn pairs_are_independent() {
+        let pairs = trajectory_pairs(Dataset::GeoLife, 150, 2, 3);
+        assert_eq!(pairs.len(), 2);
+        for (a, b) in &pairs {
+            assert_eq!(a.len(), 150);
+            assert_eq!(b.len(), 150);
+            assert_ne!(a.points(), b.points());
+        }
+    }
+}

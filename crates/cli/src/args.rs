@@ -1,0 +1,111 @@
+//! Tiny `--flag value` argument parser (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs plus boolean switches.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Parsed {
+    /// Parses `--key value` pairs; a `--key` followed by another `--key`
+    /// (or nothing) is a boolean switch.
+    pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+        let mut out = Parsed::default();
+        let mut idx = 0;
+        while idx < argv.len() {
+            let arg = &argv[idx];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            };
+            if key.is_empty() {
+                return Err("empty flag name".into());
+            }
+            match argv.get(idx + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    out.values.insert(key.to_string(), v.clone());
+                    idx += 2;
+                }
+                _ => {
+                    out.switches.push(key.to_string());
+                    idx += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Required string value.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Optional string value.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Required value parsed to `T`.
+    pub fn required_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.required(key)?
+            .parse::<T>()
+            .map_err(|e| format!("invalid value for --{key}: {e}"))
+    }
+
+    /// Optional value parsed to `T`, with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse::<T>().map_err(|e| format!("invalid value for --{key}: {e}")),
+        }
+    }
+
+    /// Whether a boolean switch was passed.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let p = Parsed::parse(&argv(&["--n", "100", "--json", "--xi", "10"])).unwrap();
+        assert_eq!(p.required("n").unwrap(), "100");
+        assert_eq!(p.required_parsed::<usize>("xi").unwrap(), 10);
+        assert!(p.switch("json"));
+        assert!(!p.switch("verbose"));
+        assert_eq!(p.parsed_or("tau", 32usize).unwrap(), 32);
+    }
+
+    #[test]
+    fn rejects_positional_and_reports_missing() {
+        assert!(Parsed::parse(&argv(&["stray"])).is_err());
+        let p = Parsed::parse(&argv(&[])).unwrap();
+        assert!(p.required("n").unwrap_err().contains("--n"));
+        assert!(p.required_parsed::<usize>("n").is_err());
+    }
+
+    #[test]
+    fn bad_numeric_value() {
+        let p = Parsed::parse(&argv(&["--n", "abc"])).unwrap();
+        assert!(p.required_parsed::<usize>("n").is_err());
+    }
+}

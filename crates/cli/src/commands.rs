@@ -1,0 +1,195 @@
+//! Subcommand implementations.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use fremo_bench::experiments::{self, print_all};
+use fremo_bench::Scale;
+use fremo_core::{BruteDp, Btm, Gtm, GtmStar, Motif, MotifConfig, MotifDiscovery, SearchStats};
+use fremo_similarity::{dfd, dtw, edr, hausdorff, lcss_distance, lockstep_euclidean};
+use fremo_trajectory::gen::Dataset;
+use fremo_trajectory::io::{read_csv, read_plt, write_csv};
+use fremo_trajectory::{GeoPoint, Trajectory, TrajectoryStats};
+
+use crate::args::Parsed;
+
+fn load(path_str: &str) -> Result<Trajectory<GeoPoint>, String> {
+    let path = Path::new(path_str);
+    let result = if path.extension().is_some_and(|e| e.eq_ignore_ascii_case("plt")) {
+        read_plt(path)
+    } else {
+        read_csv(path)
+    };
+    result.map_err(|e| format!("cannot read {path_str}: {e}"))
+}
+
+fn algorithm(name: &str) -> Result<Box<dyn MotifDiscovery<GeoPoint>>, String> {
+    match name {
+        "brute" | "brutedp" => Ok(Box::new(BruteDp)),
+        "btm" => Ok(Box::new(Btm)),
+        "gtm" => Ok(Box::new(Gtm)),
+        "gtm-star" | "gtm*" => Ok(Box::new(GtmStar)),
+        other => Err(format!("unknown algorithm {other:?} (brute|btm|gtm|gtm-star)")),
+    }
+}
+
+/// `fremo generate --dataset <d> --n <len> [--seed <u64>] [--out <file>]`
+pub fn generate(args: &Parsed) -> Result<(), String> {
+    let dataset: Dataset = args.required("dataset")?.parse()?;
+    let n: usize = args.required_parsed("n")?;
+    let seed: u64 = args.parsed_or("seed", 1)?;
+    let t = dataset.generate(n, seed);
+
+    match args.optional("out") {
+        Some(path) => {
+            let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            let mut buf = std::io::BufWriter::new(&mut file);
+            write_csv(&mut buf, &t).map_err(|e| e.to_string())?;
+            buf.flush().map_err(|e| e.to_string())?;
+            eprintln!("wrote {n} points ({dataset}) to {path}");
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            write_csv(&mut stdout, &t).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// `fremo inspect --input <csv>`
+pub fn inspect(args: &Parsed) -> Result<(), String> {
+    let t = load(args.required("input")?)?;
+    let stats = TrajectoryStats::compute(&t);
+    println!("{stats}");
+    Ok(())
+}
+
+fn print_motif(motif: Option<&Motif>, stats: &SearchStats, json: bool) -> Result<(), String> {
+    if json {
+        let payload = serde_json::json!({
+            "motif": motif.map(|m| serde_json::json!({
+                "first": { "start": m.first.0, "end": m.first.1 },
+                "second": { "start": m.second.0, "end": m.second.1 },
+                "dfd": m.distance,
+            })),
+            "seconds": stats.total_seconds,
+            "peak_bytes": stats.peak_bytes(),
+            "pruned_fraction": stats.pruned_fraction(),
+            "subsets_total": stats.subsets_total,
+            "subsets_expanded": stats.subsets_expanded,
+        });
+        println!("{}", serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    match motif {
+        Some(m) => {
+            println!("motif: {m}");
+            println!(
+                "stats: {:.3}s, {:.1} MB peak, {:.1}% of candidate pairs pruned ({} of {} subsets expanded)",
+                stats.total_seconds,
+                stats.peak_bytes() as f64 / (1024.0 * 1024.0),
+                stats.pruned_fraction() * 100.0,
+                stats.subsets_expanded,
+                stats.subsets_total,
+            );
+        }
+        None => println!("no valid motif (trajectory too short for the requested ξ)"),
+    }
+    Ok(())
+}
+
+/// `fremo discover --input <csv> --xi <len> [--algorithm <a>] [--tau <t>]
+/// [--k <count>] [--epsilon <eps>] [--json]`
+///
+/// `--k > 1` switches to diverse top-k discovery; `--epsilon > 0` runs the
+/// (1+ε)-approximate search.
+pub fn discover(args: &Parsed) -> Result<(), String> {
+    let t = load(args.required("input")?)?;
+    let xi: usize = args.required_parsed("xi")?;
+    if xi == 0 {
+        return Err("--xi must be at least 1".into());
+    }
+    let tau: usize = args.parsed_or("tau", 32)?;
+    let cfg = MotifConfig::new(xi).with_group_size(tau.max(1));
+
+    let k: usize = args.parsed_or("k", 1)?;
+    if k > 1 {
+        let motifs = fremo_core::top_k_motifs(&t, &cfg, k);
+        if motifs.is_empty() {
+            println!("no valid motif (trajectory too short for the requested ξ)");
+        }
+        for (rank, m) in motifs.iter().enumerate() {
+            println!("#{:<2} {m}", rank + 1);
+        }
+        return Ok(());
+    }
+
+    let epsilon: f64 = args.parsed_or("epsilon", 0.0)?;
+    let (motif, stats) = if epsilon > 0.0 {
+        fremo_core::ApproxGtm::new(epsilon).discover_with_stats(&t, &cfg)
+    } else {
+        let alg = algorithm(args.optional("algorithm").unwrap_or("gtm"))?;
+        alg.discover_with_stats(&t, &cfg)
+    };
+    print_motif(motif.as_ref(), &stats, args.switch("json"))
+}
+
+/// `fremo discover-pair --a <csv> --b <csv> --xi <len> [...]`
+pub fn discover_pair(args: &Parsed) -> Result<(), String> {
+    let a = load(args.required("a")?)?;
+    let b = load(args.required("b")?)?;
+    let xi: usize = args.required_parsed("xi")?;
+    if xi == 0 {
+        return Err("--xi must be at least 1".into());
+    }
+    let tau: usize = args.parsed_or("tau", 32)?;
+    let alg = algorithm(args.optional("algorithm").unwrap_or("gtm"))?;
+    let cfg = MotifConfig::new(xi).with_group_size(tau.max(1));
+    let (motif, stats) = alg.discover_between_with_stats(&a, &b, &cfg);
+    print_motif(motif.as_ref(), &stats, args.switch("json"))
+}
+
+/// `fremo compare --a <csv> --b <csv> [--epsilon <m>]`
+pub fn compare(args: &Parsed) -> Result<(), String> {
+    let a = load(args.required("a")?)?;
+    let b = load(args.required("b")?)?;
+    let eps: f64 = args.parsed_or("epsilon", 25.0)?;
+    let (pa, pb) = (a.points(), b.points());
+    println!("ED        = {:.3}", lockstep_euclidean(pa, pb));
+    println!("DTW       = {:.3}", dtw(pa, pb));
+    println!("LCSS(eps) = {:.3}", lcss_distance(pa, pb, eps));
+    println!("EDR(eps)  = {}", edr(pa, pb, eps));
+    println!("DFD       = {:.3}", dfd(pa, pb));
+    println!("Hausdorff = {:.3}", hausdorff(pa, pb));
+    Ok(())
+}
+
+/// `fremo experiment <name>`
+pub fn experiment(argv: &[String]) -> Result<(), String> {
+    let Some(name) = argv.first() else {
+        return Err("missing experiment name (table1, fig02, fig03, fig13..fig21, ext-approx, ext-topk, ext-join, ext-parallel)".into());
+    };
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale} (set FREMO_SCALE=smoke|default|full)");
+    let tables = match name.as_str() {
+        "table1" => experiments::table1_measures::run(scale),
+        "fig02" => experiments::fig02_ed_vs_dfd::run(scale),
+        "fig03" => experiments::fig03_dtw_vs_dfd::run(scale),
+        "fig13" => experiments::fig13_tight_vs_relaxed::run(scale),
+        "fig14" => experiments::fig14_tight_vs_relaxed_xi::run(scale),
+        "fig15" => experiments::fig15_pruning_breakdown::run(scale),
+        "fig16" => experiments::fig16_bound_combos::run(scale),
+        "fig17" => experiments::fig17_group_size::run(scale),
+        "fig18" => experiments::fig18_time_vs_n::run(scale),
+        "fig19" => experiments::fig19_space::run(scale),
+        "fig20" => experiments::fig20_time_vs_xi::run(scale),
+        "fig21" => experiments::fig21_cross_trajectory::run(scale),
+        "ext-approx" => experiments::ext_approx::run(scale),
+        "ext-topk" => experiments::ext_topk::run(scale),
+        "ext-join" => experiments::ext_join::run(scale),
+        "ext-parallel" => experiments::ext_parallel::run(scale),
+        other => return Err(format!("unknown experiment {other:?}")),
+    };
+    print_all(name, &tables);
+    Ok(())
+}

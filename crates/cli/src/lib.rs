@@ -1,0 +1,61 @@
+//! `fremo` CLI implementation library (separated from the thin binary so
+//! the command surface is integration-testable).
+//!
+//! ```text
+//! fremo generate  --dataset geolife --n 1000 --seed 1 --out walk.csv
+//! fremo inspect   --input walk.csv
+//! fremo discover  --input walk.csv --xi 100 [--algorithm gtm] [--tau 32]
+//!                 [--k 3] [--epsilon 0.5] [--json]
+//! fremo discover-pair --a one.csv --b two.csv --xi 100
+//! fremo compare   --a one.csv --b two.csv [--epsilon 25]
+//! fremo experiment <table1|fig02..fig21|ext-approx|ext-topk|ext-join|ext-parallel>
+//! ```
+
+pub mod args;
+pub mod commands;
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Human-readable message on unknown subcommands, bad flags, unreadable
+/// inputs, or infeasible parameters.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "generate" => commands::generate(&args::Parsed::parse(rest)?),
+        "inspect" => commands::inspect(&args::Parsed::parse(rest)?),
+        "discover" => commands::discover(&args::Parsed::parse(rest)?),
+        "discover-pair" => commands::discover_pair(&args::Parsed::parse(rest)?),
+        "compare" => commands::compare(&args::Parsed::parse(rest)?),
+        "experiment" => commands::experiment(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?} (try `fremo help`)")),
+    }
+}
+
+/// Prints the usage banner to stderr.
+pub fn print_usage() {
+    eprintln!(
+        "fremo — trajectory motif discovery with discrete Fréchet distance (EDBT 2017)
+
+USAGE:
+  fremo generate  --dataset <geolife|truck|baboon> --n <len> [--seed <u64>] [--out <file>]
+  fremo inspect   --input <csv>
+  fremo discover  --input <csv> --xi <len> [--algorithm <brute|btm|gtm|gtm-star>]
+                  [--tau <group-size>] [--k <count>] [--epsilon <eps>] [--json]
+  fremo discover-pair --a <csv> --b <csv> --xi <len> [--algorithm ...] [--tau ...] [--json]
+  fremo compare   --a <csv> --b <csv> [--epsilon <m>]
+  fremo experiment <table1|fig02|fig03|fig13..fig21|ext-approx|ext-topk|ext-join|ext-parallel>
+
+Trajectories are lat,lon[,t] CSV files (GeoLife PLT is accepted for *.plt inputs).
+Set FREMO_SCALE=smoke|default|full to size the experiments."
+    );
+}

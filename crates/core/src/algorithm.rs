@@ -1,0 +1,53 @@
+//! The [`MotifDiscovery`] trait implemented by all four algorithms.
+
+use fremo_trajectory::{GroundDistance, Trajectory};
+
+use crate::config::MotifConfig;
+use crate::result::Motif;
+use crate::stats::SearchStats;
+
+/// A trajectory-motif discovery algorithm (Problem 1 and its two-trajectory
+/// variant).
+///
+/// All four implementations — [`crate::BruteDp`], [`crate::Btm`],
+/// [`crate::Gtm`], [`crate::GtmStar`] — are *exact*: given the same input
+/// and `ξ` they return motifs with the same (minimal) DFD.
+pub trait MotifDiscovery<P: GroundDistance> {
+    /// Algorithm name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Finds the motif within a single trajectory, with full search
+    /// statistics. Returns `None` when no valid candidate exists
+    /// (`n < 2ξ + 4`).
+    fn discover_with_stats(
+        &self,
+        trajectory: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats);
+
+    /// Finds the motif between two trajectories, with statistics. The
+    /// motif's `first` indexes `a`, its `second` indexes `b`.
+    fn discover_between_with_stats(
+        &self,
+        a: &Trajectory<P>,
+        b: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats);
+
+    /// Convenience wrapper around
+    /// [`MotifDiscovery::discover_with_stats`].
+    fn discover(&self, trajectory: &Trajectory<P>, config: &MotifConfig) -> Option<Motif> {
+        self.discover_with_stats(trajectory, config).0
+    }
+
+    /// Convenience wrapper around
+    /// [`MotifDiscovery::discover_between_with_stats`].
+    fn discover_between(
+        &self,
+        a: &Trajectory<P>,
+        b: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> Option<Motif> {
+        self.discover_between_with_stats(a, b, config).0
+    }
+}

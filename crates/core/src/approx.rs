@@ -1,0 +1,176 @@
+//! ε-approximate motif discovery — the paper's future-work direction:
+//! *"A promising direction for future work is to devise approximate
+//! solutions that trade exactness for shorter running times."*
+//!
+//! [`ApproxBtm`] and [`ApproxGtm`] run the exact machinery with inflated
+//! pruning: a candidate set with lower bound `lb` is skipped as soon as
+//! `(1+ε)·lb ≥ bsf`. Every skipped candidate therefore has
+//! `dF ≥ bsf/(1+ε)`, so the returned motif's DFD is at most `(1+ε)` times
+//! the optimum — while pruning fires earlier and more often. With `ε = 0`
+//! both algorithms are exactly their exact counterparts.
+
+use std::time::Instant;
+
+use fremo_trajectory::{DenseMatrix, GroundDistance, Trajectory};
+
+use crate::algorithm::MotifDiscovery;
+use crate::btm::Btm;
+use crate::config::MotifConfig;
+use crate::domain::Domain;
+use crate::gtm::Gtm;
+use crate::result::Motif;
+use crate::stats::SearchStats;
+
+/// BTM with `(1+ε)`-approximate pruning.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxBtm {
+    /// Approximation slack `ε ≥ 0`: the result is within `(1+ε)×` optimal.
+    pub epsilon: f64,
+}
+
+impl ApproxBtm {
+    /// Creates the approximate searcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epsilon` is negative or non-finite.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "epsilon must be finite and ≥ 0");
+        ApproxBtm { epsilon }
+    }
+}
+
+impl<P: GroundDistance> MotifDiscovery<P> for ApproxBtm {
+    fn name(&self) -> &'static str {
+        "BTM(1+eps)"
+    }
+
+    fn discover_with_stats(
+        &self,
+        trajectory: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats) {
+        let started = Instant::now();
+        let domain = Domain::Within { n: trajectory.len() };
+        let src = DenseMatrix::within(trajectory.points());
+        Btm::run(&src, domain, config, self.epsilon, started)
+    }
+
+    fn discover_between_with_stats(
+        &self,
+        a: &Trajectory<P>,
+        b: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats) {
+        let started = Instant::now();
+        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let src = DenseMatrix::between(a.points(), b.points());
+        Btm::run(&src, domain, config, self.epsilon, started)
+    }
+}
+
+/// GTM with `(1+ε)`-approximate pruning at both the group and the point
+/// level.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxGtm {
+    /// Approximation slack `ε ≥ 0`.
+    pub epsilon: f64,
+}
+
+impl ApproxGtm {
+    /// Creates the approximate searcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epsilon` is negative or non-finite.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "epsilon must be finite and ≥ 0");
+        ApproxGtm { epsilon }
+    }
+}
+
+impl<P: GroundDistance> MotifDiscovery<P> for ApproxGtm {
+    fn name(&self) -> &'static str {
+        "GTM(1+eps)"
+    }
+
+    fn discover_with_stats(
+        &self,
+        trajectory: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats) {
+        let started = Instant::now();
+        let domain = Domain::Within { n: trajectory.len() };
+        let src = DenseMatrix::within(trajectory.points());
+        Gtm::run(&src, domain, config, self.epsilon, started)
+    }
+
+    fn discover_between_with_stats(
+        &self,
+        a: &Trajectory<P>,
+        b: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats) {
+        let started = Instant::now();
+        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let src = DenseMatrix::between(a.points(), b.points());
+        Gtm::run(&src, domain, config, self.epsilon, started)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_trajectory::gen::planar;
+
+    #[test]
+    fn zero_epsilon_is_exact() {
+        let t = planar::random_walk(60, 0.4, 3);
+        let cfg = MotifConfig::new(4);
+        let exact = Btm.discover(&t, &cfg).unwrap();
+        let approx = ApproxBtm::new(0.0).discover(&t, &cfg).unwrap();
+        assert_eq!(exact.distance, approx.distance);
+    }
+
+    #[test]
+    fn result_is_within_guarantee() {
+        for seed in 0..5 {
+            let t = planar::random_walk(70, 0.4, seed);
+            let cfg = MotifConfig::new(4).with_group_size(8);
+            let exact = Btm.discover(&t, &cfg).unwrap().distance;
+            for eps in [0.1, 0.5, 1.0, 4.0] {
+                let a = ApproxBtm::new(eps).discover(&t, &cfg).unwrap().distance;
+                assert!(
+                    a <= (1.0 + eps) * exact + 1e-9,
+                    "seed {seed} eps {eps}: {a} > (1+eps)*{exact}"
+                );
+                assert!(a >= exact - 1e-9, "approximate beat the optimum?!");
+                let g = ApproxGtm::new(eps).discover(&t, &cfg).unwrap().distance;
+                assert!(g <= (1.0 + eps) * exact + 1e-9, "GTM eps {eps}: {g} vs {exact}");
+                assert!(g >= exact - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_prunes_no_less() {
+        let t = planar::random_walk(90, 0.4, 11);
+        let cfg = MotifConfig::new(5);
+        let (_, exact_stats) = Btm.discover_with_stats(&t, &cfg);
+        let (_, approx_stats) = ApproxBtm::new(2.0).discover_with_stats(&t, &cfg);
+        assert!(
+            approx_stats.subsets_expanded <= exact_stats.subsets_expanded,
+            "approx expanded {} > exact {}",
+            approx_stats.subsets_expanded,
+            exact_stats.subsets_expanded
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_epsilon_rejected() {
+        let _ = ApproxBtm::new(-0.1);
+    }
+}

@@ -1,0 +1,545 @@
+//! Lower-bound machinery (Sections 4.2–4.3 of the paper).
+//!
+//! Every bound here is *safe*: it never exceeds the DFD of any candidate it
+//! is applied to, so pruning with it cannot discard the motif. Two variants
+//! exist, mirroring the paper:
+//!
+//! * **Tight** bounds (Section 4.2) use per-subset index ranges — stronger,
+//!   but require `O(n²)` extra tables (see note below).
+//! * **Relaxed** bounds (Section 4.3) replace the ranges with full-row /
+//!   full-column minima `Rmin`/`Cmin`, making each evaluation `O(1)` after
+//!   an `O(n²)` precomputation shared with the distance matrix scan.
+//!
+//! ## Soundness fix vs. the paper (end-cross bound)
+//!
+//! Eq. 9 defines the tight end-cross bound at cell `(ie, je)` with a row
+//! term over columns `[ie, je−1]`. A monotone path from start `(i, j)` to an
+//! end `(ic, jc)` with `jc > je` crosses row `je+1` at *some* column in
+//! `[i, ic]` — possibly left of `ie` — so the row term as published is not
+//! individually a lower bound, and `max(row, col)` is only valid when both
+//! terms are. We widen the tight row term to columns `[i, ie_max(je)]`
+//! (i.e. `LB_row(i, je)`) and the column term to rows `[j, je_max]`
+//! (`LB_col(ie, j)`), which restores individual validity; the relaxed
+//! variants use full-range minima and are sound as published. Property
+//! tests in `tests/bounds_safety.rs` exercise exactly this distinction.
+//!
+//! ## Complexity note (tight bounds)
+//!
+//! The paper evaluates tight bounds per candidate subset at `O(n)` (cross)
+//! and `O(ξn)` (band) apiece — `O(ξn³)` overall. We observe that
+//! `LB_row(i, j) = min(dG(i, j+1), LB_row(i+1, j))` (and symmetrically for
+//! `LB_col`), so *all* tight cross bounds fill two `O(n²)` tables in
+//! `O(n²)` time, and the band bounds follow by sliding-window maxima in
+//! another `O(n²)`. Tight stays measurably slower and hungrier than relaxed
+//! (4 extra `n²` tables), but the asymptotic gap the paper reports narrows;
+//! `EXPERIMENTS.md` discusses the effect on Figure 13/14.
+
+use fremo_trajectory::matrix::sliding_window_max;
+use fremo_trajectory::{DistanceSource, RowColMins};
+
+use crate::config::{BoundKind, BoundSelection};
+use crate::domain::Domain;
+
+/// Per-subset bound components (already gated by the active
+/// [`BoundSelection`]; disabled families report `NEG_INFINITY` so they
+/// never win the max).
+#[derive(Debug, Clone, Copy)]
+pub struct SubsetBounds {
+    /// `LB_cell` component.
+    pub cell: f64,
+    /// Cross component (start cross).
+    pub cross: f64,
+    /// Band component.
+    pub band: f64,
+}
+
+impl SubsetBounds {
+    /// The combined bound `CS_{i,j}.LB` (Section 4.4): max of the enabled
+    /// components.
+    #[must_use]
+    pub fn combined(&self) -> f64 {
+        self.cell.max(self.cross).max(self.band)
+    }
+
+    /// Attributes a pruning decision to the first family (cell → cross →
+    /// band, the paper's Figure 15 convention) whose component alone
+    /// satisfies `prune`.
+    pub fn attribute(&self, mut prune: impl FnMut(f64) -> bool) -> Option<BoundKind> {
+        if prune(self.cell) {
+            Some(BoundKind::Cell)
+        } else if prune(self.cross) {
+            Some(BoundKind::Cross)
+        } else if prune(self.band) {
+            Some(BoundKind::Band)
+        } else {
+            None
+        }
+    }
+}
+
+/// Precomputed bound tables: relaxed (`Rmin`/`Cmin` + band windows) or
+/// tight (full `LB_row`/`LB_col` matrices + band windows).
+pub enum BoundTables {
+    /// Relaxed `O(1)` bounds of Section 4.3.
+    Relaxed(RelaxedTables),
+    /// Tight bounds of Section 4.2.
+    Tight(TightTables),
+}
+
+impl BoundTables {
+    /// Builds the tables demanded by `sel` for the given domain.
+    #[must_use]
+    pub fn build<D: DistanceSource>(
+        src: &D,
+        domain: Domain,
+        xi: usize,
+        sel: BoundSelection,
+    ) -> Self {
+        if sel.tight {
+            BoundTables::Tight(TightTables::build(src, domain, xi))
+        } else {
+            BoundTables::Relaxed(RelaxedTables::build(src, domain, xi))
+        }
+    }
+
+    /// Bound components for candidate subset `CS_{i,j}`.
+    #[must_use]
+    pub fn subset_bounds<D: DistanceSource>(
+        &self,
+        src: &D,
+        sel: BoundSelection,
+        i: usize,
+        j: usize,
+    ) -> SubsetBounds {
+        let cell = if sel.cell { src.get(i, j) } else { f64::NEG_INFINITY };
+        let (cross, band) = match self {
+            BoundTables::Relaxed(t) => (
+                if sel.cross { t.cross(i, j) } else { f64::NEG_INFINITY },
+                if sel.band { t.band(i, j) } else { f64::NEG_INFINITY },
+            ),
+            BoundTables::Tight(t) => (
+                if sel.cross { t.cross(i, j) } else { f64::NEG_INFINITY },
+                if sel.band { t.band(i, j) } else { f64::NEG_INFINITY },
+            ),
+        };
+        SubsetBounds { cell, cross, band }
+    }
+
+    /// End-cross bound for DP cell `(ie, je)` of subset `CS_{i,j}`
+    /// (Eq. 9 / Eq. 13, with the widened-and-sound tight ranges described in
+    /// the module docs). Valid as a lower bound for every candidate of the
+    /// subset with `ic > ie` **and** `jc > je`.
+    #[must_use]
+    pub fn end_cross(&self, i: usize, j: usize, ie: usize, je: usize) -> f64 {
+        match self {
+            BoundTables::Relaxed(t) => t.end_cross(ie, je),
+            BoundTables::Tight(t) => t.end_cross(i, j, ie, je),
+        }
+    }
+
+    /// Heap bytes held by the tables.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        match self {
+            BoundTables::Relaxed(t) => t.bytes(),
+            BoundTables::Tight(t) => t.bytes(),
+        }
+    }
+
+    /// Borrows the relaxed tables when this is the relaxed variant (used by
+    /// the grouping machinery, which always works on relaxed arrays).
+    #[must_use]
+    pub fn as_relaxed(&self) -> Option<&RelaxedTables> {
+        match self {
+            BoundTables::Relaxed(t) => Some(t),
+            BoundTables::Tight(_) => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Relaxed bounds (Section 4.3)
+// ---------------------------------------------------------------------------
+
+/// Relaxed bound arrays.
+///
+/// With `row_min[b]` the minimum of matrix row `b` and `col_min[a]` of
+/// column `a` (region-restricted), the bounds are:
+///
+/// * `rLB_cross(i, j)   = max(col_min[i+1], row_min[j+1])` (Eq. 12),
+/// * `rLB_band_row(j)   = max_{j'∈[j+1, j+ξ]} row_min[j']` (Eq. 14),
+/// * `rLB_band_col(i)   = max_{i'∈[i+1, i+ξ]} col_min[i']` (Eq. 15),
+/// * `rLB_cross_end(ie, je) = max(col_min[ie+1], row_min[je+1])` (Eq. 13).
+pub struct RelaxedTables {
+    mins: RowColMins,
+    /// `band_row[j] = max_{j'∈[j+1, j+ξ]} row_min[j']` (window truncated at
+    /// the array end, which only weakens the bound — safe).
+    band_row: Vec<f64>,
+    /// `band_col[i] = max_{i'∈[i+1, i+ξ]} col_min[i']`.
+    band_col: Vec<f64>,
+}
+
+impl RelaxedTables {
+    /// Scans the distance source once (`O(n·m)`) and derives all arrays.
+    #[must_use]
+    pub fn build<D: DistanceSource>(src: &D, domain: Domain, xi: usize) -> Self {
+        let mins = RowColMins::compute(src, domain.region());
+        Self::from_mins(mins, xi)
+    }
+
+    /// Builds the band windows from existing row/column minima.
+    #[must_use]
+    pub fn from_mins(mins: RowColMins, xi: usize) -> Self {
+        // Shift by one so band_row[j] windows row_min[j+1 ..= j+ξ].
+        let shifted_rows: Vec<f64> = mins.row_mins().iter().skip(1).copied().collect();
+        let shifted_cols: Vec<f64> = mins.col_mins().iter().skip(1).copied().collect();
+        let band_row = if shifted_rows.is_empty() {
+            Vec::new()
+        } else {
+            sliding_window_max(&shifted_rows, xi.max(1))
+        };
+        let band_col = if shifted_cols.is_empty() {
+            Vec::new()
+        } else {
+            sliding_window_max(&shifted_cols, xi.max(1))
+        };
+        RelaxedTables { mins, band_row, band_col }
+    }
+
+    /// `rLB_cross^start(i, j)`.
+    #[inline]
+    #[must_use]
+    pub fn cross(&self, i: usize, j: usize) -> f64 {
+        self.mins.col_min(i + 1).max(self.mins.row_min(j + 1))
+    }
+
+    /// `max(rLB_band^row(j), rLB_band^col(i))`.
+    #[inline]
+    #[must_use]
+    pub fn band(&self, i: usize, j: usize) -> f64 {
+        let r = self.band_row.get(j).copied().unwrap_or(f64::NEG_INFINITY);
+        let c = self.band_col.get(i).copied().unwrap_or(f64::NEG_INFINITY);
+        r.max(c)
+    }
+
+    /// `rLB_cross^end(ie, je)`.
+    #[inline]
+    #[must_use]
+    pub fn end_cross(&self, ie: usize, je: usize) -> f64 {
+        self.mins.col_min(ie + 1).max(self.mins.row_min(je + 1))
+    }
+
+    /// The underlying row/column minima.
+    #[must_use]
+    pub fn mins(&self) -> &RowColMins {
+        &self.mins
+    }
+
+    /// `rLB_band^row(j)` alone (used by the group-level bounds).
+    #[inline]
+    #[must_use]
+    pub fn band_row(&self, j: usize) -> f64 {
+        self.band_row.get(j).copied().unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// `rLB_band^col(i)` alone (used by the group-level bounds).
+    #[inline]
+    #[must_use]
+    pub fn band_col(&self, i: usize) -> f64 {
+        self.band_col.get(i).copied().unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Heap bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.mins.bytes()
+            + (self.band_row.capacity() + self.band_col.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tight bounds (Section 4.2)
+// ---------------------------------------------------------------------------
+
+/// Tight bound matrices.
+///
+/// `lb_row[i·m + j] = LB_row(i, j) = min_{a∈[i, ie_max(j)]} dG(a, j+1)`
+/// (row-major: per-`i` slices are contiguous in `j`), and
+/// `lb_col[j·n + i] = LB_col(i, j) = min_{b∈[j, je_max]} dG(i+1, b)`
+/// (column-major: per-`j` slices contiguous in `i`). Band matrices hold the
+/// window maxima of Eq. 5–6.
+pub struct TightTables {
+    n: usize,
+    m: usize,
+    lb_row: Vec<f64>,
+    lb_col: Vec<f64>,
+    band_row: Vec<f64>,
+    band_col: Vec<f64>,
+}
+
+impl TightTables {
+    /// Fills all four matrices in `O(n·m)`.
+    #[must_use]
+    pub fn build<D: DistanceSource>(src: &D, domain: Domain, xi: usize) -> Self {
+        let n = domain.len_a();
+        let m = domain.len_b();
+        let mut lb_row = vec![f64::INFINITY; n * m];
+        let mut lb_col = vec![f64::INFINITY; n * m];
+
+        // LB_row(i, j) = min(dG(i, j+1), LB_row(i+1, j)), downward from
+        // i = ie_max(j).
+        for j in 0..m.saturating_sub(1) {
+            if matches!(domain, Domain::Within { .. }) && j == 0 {
+                continue; // LB_row's range [i, j−1] is empty at j = 0
+            }
+            let ie_max = domain.ie_max(j).min(n.saturating_sub(1));
+            let mut acc = f64::INFINITY;
+            for i in (0..=ie_max).rev() {
+                acc = acc.min(src.get(i, j + 1));
+                lb_row[i * m + j] = acc;
+            }
+        }
+
+        // LB_col(i, j) = min(dG(i+1, j), LB_col(i, j+1)), leftward from
+        // j = m−1.
+        for i in 0..n.saturating_sub(1) {
+            let mut acc = f64::INFINITY;
+            for j in (0..m).rev() {
+                acc = acc.min(src.get(i + 1, j));
+                lb_col[j * n + i] = acc;
+            }
+        }
+
+        // Band windows (Eq. 5–6) via sliding-window maxima.
+        let win = xi.max(1);
+        let mut band_row = vec![f64::NEG_INFINITY; n * m];
+        for i in 0..n {
+            let row = &lb_row[i * m..(i + 1) * m];
+            // Guard: sliding max over a slice full of +∞ would fabricate a
+            // pruning bound; +∞ entries mean "no valid cells", and the max
+            // of a window containing them must stay usable only where the
+            // subset itself is valid. We keep them — call sites only query
+            // (i, j) of non-empty subsets, whose windows hold finite values
+            // (every row j+1..j+ξ has valid cells there).
+            band_row[i * m..(i + 1) * m].copy_from_slice(&sliding_window_max(row, win));
+        }
+        let mut band_col = vec![f64::NEG_INFINITY; n * m];
+        for j in 0..m {
+            let col = &lb_col[j * n..(j + 1) * n];
+            band_col[j * n..(j + 1) * n].copy_from_slice(&sliding_window_max(col, win));
+        }
+
+        TightTables { n, m, lb_row, lb_col, band_row, band_col }
+    }
+
+    /// `LB_cross^start(i, j)` (Eq. 4).
+    #[inline]
+    #[must_use]
+    pub fn cross(&self, i: usize, j: usize) -> f64 {
+        let r = self.lb_row[i * self.m + j];
+        let c = self.lb_col[j * self.n + i];
+        finite_max(r, c)
+    }
+
+    /// `max(LB_band^row(i,j), LB_band^col(i,j))` (Eq. 5–6).
+    #[inline]
+    #[must_use]
+    pub fn band(&self, i: usize, j: usize) -> f64 {
+        let r = self.band_row[i * self.m + j];
+        let c = self.band_col[j * self.n + i];
+        finite_max(r, c)
+    }
+
+    /// Sound tight end-cross bound at `(ie, je)` for subset `CS_{i,j}`:
+    /// `max(LB_row(i, je), LB_col(ie, j))` (see module docs).
+    #[inline]
+    #[must_use]
+    pub fn end_cross(&self, i: usize, j: usize, ie: usize, je: usize) -> f64 {
+        let r = self.lb_row.get(i * self.m + je).copied().unwrap_or(f64::INFINITY);
+        let c = self.lb_col.get(j * self.n + ie).copied().unwrap_or(f64::INFINITY);
+        // +∞ here means "no cell beyond in that direction", i.e. nothing to
+        // protect — pruning the (empty) remainder is correct.
+        r.max(c)
+    }
+
+    /// Heap bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        (self.lb_row.capacity()
+            + self.lb_col.capacity()
+            + self.band_row.capacity()
+            + self.band_col.capacity())
+            * std::mem::size_of::<f64>()
+    }
+}
+
+/// Max that treats `+∞` as "no information" (empty range) rather than "prune
+/// everything": if either side is `+∞`, fall back to the other; if both,
+/// report `−∞` (no bound).
+#[inline]
+fn finite_max(a: f64, b: f64) -> f64 {
+    match (a.is_finite(), b.is_finite()) {
+        (true, true) => a.max(b),
+        (true, false) => a,
+        (false, true) => b,
+        (false, false) => f64::NEG_INFINITY,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use fremo_trajectory::DenseMatrix;
+
+    /// The paper's Figure 5 example matrix (12 points, upper triangle).
+    /// `figure5()[a][b]` for a < b; symmetric closure applied.
+    pub(crate) fn figure5() -> DenseMatrix {
+        // Row r of the figure lists dG(c, r) for columns c = 0..r (the
+        // figure's vertical axis is the second index). Transcribed top-down
+        // from the figure: row index b = 11 down to 1.
+        let rows: [(usize, &[f64]); 11] = [
+            (11, &[8.0, 7.0, 6.0, 5.0, 9.0, 7.0, 7.0, 3.0, 3.0, 2.0, 9.0]),
+            (10, &[5.0, 6.0, 7.0, 6.0, 8.0, 6.0, 6.0, 6.0, 8.0, 1.0]),
+            (9, &[2.0, 2.0, 4.0, 1.0, 7.0, 6.0, 8.0, 7.0, 7.0]),
+            (8, &[3.0, 1.0, 1.0, 2.0, 5.0, 7.0, 3.0, 4.0]),
+            (7, &[1.0, 3.0, 2.0, 3.0, 6.0, 5.0, 6.0]),
+            (6, &[1.0, 2.0, 3.0, 2.0, 5.0, 9.0]),
+            (5, &[3.0, 4.0, 5.0, 6.0, 4.0]),
+            (4, &[3.0, 5.0, 3.0, 2.0]),
+            (3, &[2.0, 1.0, 5.0]),
+            (2, &[2.0, 3.0]),
+            (1, &[1.0]),
+        ];
+        let n = 12;
+        let mut data = vec![0.0; n * n];
+        for (b, vals) in rows {
+            for (a, &v) in vals.iter().enumerate() {
+                data[a * n + b] = v;
+                data[b * n + a] = v;
+            }
+        }
+        DenseMatrix::from_raw(n, n, data)
+    }
+
+    #[test]
+    fn figure5_spot_checks() {
+        let m = figure5();
+        // From the paper's examples: dG(5, 9) = 6 (LB_cell example).
+        assert_eq!(m.get(5, 9), 6.0);
+        // dF(0,3,6,9) example uses dG values: dG(0,6)=1, dG(3,9)=1.
+        assert_eq!(m.get(0, 6), 1.0);
+        assert_eq!(m.get(3, 9), 1.0);
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn paper_example_cross_bound() {
+        // LB_cross^start(4, 8) = max(min_{i'∈[4,7]} dG(i', 9),
+        //                            min_{j'∈[8,11]} dG(5, j')) = max(6,6) = 6
+        let m = figure5();
+        let domain = Domain::Within { n: 12 };
+        let t = TightTables::build(&m, domain, 4);
+        // LB_row(4, 8) = min over a∈[4, 7] of dG(a, 9) = min(7,6,8,7) = 6.
+        assert_eq!(t.lb_row[4 * 12 + 8], 6.0);
+        // LB_col(4, 8) = min over b∈[8,11] of dG(5, b) = min(7,6,6,7) = 6.
+        assert_eq!(t.lb_col[8 * 12 + 4], 6.0);
+        assert_eq!(t.cross(4, 8), 6.0);
+    }
+
+    #[test]
+    fn paper_example_band_bounds() {
+        // ξ = 4, n = 12: LB_band^row(1, 6) = max over rows 7..10 of
+        // LB_row(1, ·) = max(2, 1, 1, 6) = 6.
+        let m = figure5();
+        let domain = Domain::Within { n: 12 };
+        let t = TightTables::build(&m, domain, 4);
+        // LB_row(1, 6) = min_{a∈[1,5]} dG(a, 7) = min(3,2,3,6,5) = 2.
+        assert_eq!(t.lb_row[12 + 6], 2.0);
+        assert_eq!(t.lb_row[12 + 7], 1.0);
+        assert_eq!(t.lb_row[12 + 8], 1.0);
+        assert_eq!(t.lb_row[12 + 9], 6.0);
+        assert_eq!(t.band_row[12 + 6], 6.0);
+
+        // LB_band^col(1, 8) = max over columns 2..5 of LB_col(·, 8)
+        //                   = max(1, 1, 5, 6) = 6.
+        assert_eq!(t.lb_col[8 * 12 + 1], 1.0); // column 2 min from row 8
+        assert_eq!(t.lb_col[8 * 12 + 2], 1.0);
+        assert_eq!(t.lb_col[8 * 12 + 3], 5.0);
+        assert_eq!(t.lb_col[8 * 12 + 4], 6.0);
+        assert_eq!(t.band_col[8 * 12 + 1], 6.0);
+    }
+
+    #[test]
+    fn relaxed_never_exceeds_tight() {
+        // Lemma 2: rLB ≤ LB for cross and band, everywhere.
+        // The containment Rmin ⊆ tight-range only holds at subsets valid
+        // for the ξ the tables were built with (j ≥ i+ξ+2).
+        let m = figure5();
+        let domain = Domain::Within { n: 12 };
+        let xi = 2;
+        let tight = TightTables::build(&m, domain, xi);
+        let relaxed = RelaxedTables::build(&m, domain, xi);
+        for (i, j) in domain.subsets(xi) {
+            assert!(
+                relaxed.cross(i, j) <= tight.cross(i, j) + 1e-12,
+                "cross relaxed > tight at ({i},{j})"
+            );
+            let tb = tight.band(i, j);
+            if tb.is_finite() {
+                assert!(
+                    relaxed.band(i, j) <= tb + 1e-12,
+                    "band relaxed > tight at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subset_bounds_respect_selection() {
+        let m = figure5();
+        let domain = Domain::Within { n: 12 };
+        let tables = BoundTables::build(&m, domain, 2, BoundSelection::all_relaxed());
+        let full = tables.subset_bounds(&m, BoundSelection::all_relaxed(), 0, 6);
+        assert_eq!(full.cell, m.get(0, 6));
+        assert!(full.cross.is_finite());
+
+        let cell_only = tables.subset_bounds(&m, BoundSelection::cell_only(), 0, 6);
+        assert_eq!(cell_only.cell, m.get(0, 6));
+        assert_eq!(cell_only.cross, f64::NEG_INFINITY);
+        assert_eq!(cell_only.band, f64::NEG_INFINITY);
+        assert_eq!(cell_only.combined(), m.get(0, 6));
+
+        let none = tables.subset_bounds(&m, BoundSelection::none(), 0, 6);
+        assert_eq!(none.combined(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn attribution_order_is_cell_cross_band() {
+        let b = SubsetBounds { cell: 5.0, cross: 7.0, band: 9.0 };
+        assert_eq!(b.attribute(|v| v >= 5.0), Some(BoundKind::Cell));
+        assert_eq!(b.attribute(|v| v >= 6.0), Some(BoundKind::Cross));
+        assert_eq!(b.attribute(|v| v >= 8.0), Some(BoundKind::Band));
+        assert_eq!(b.attribute(|v| v >= 10.0), None);
+    }
+
+    #[test]
+    fn finite_max_conventions() {
+        assert_eq!(finite_max(1.0, 2.0), 2.0);
+        assert_eq!(finite_max(f64::INFINITY, 2.0), 2.0);
+        assert_eq!(finite_max(1.0, f64::INFINITY), 1.0);
+        assert_eq!(finite_max(f64::INFINITY, f64::INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bytes_are_reported() {
+        let m = figure5();
+        let domain = Domain::Within { n: 12 };
+        let t = BoundTables::build(&m, domain, 2, BoundSelection::all_tight());
+        assert!(t.bytes() >= 4 * 144 * 8);
+        let r = BoundTables::build(&m, domain, 2, BoundSelection::all_relaxed());
+        assert!(r.bytes() > 0);
+        assert!(r.bytes() < t.bytes());
+        assert!(r.as_relaxed().is_some());
+        assert!(t.as_relaxed().is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! `BruteDP` (Algorithm 1): the `O(n⁴)` baseline.
+//!
+//! Enumerates every candidate subset `CS_{i,j}` and shares the DFD
+//! computation of all candidates with the same start pair via dynamic
+//! programming, with all pair ground distances precomputed in `dG[·][·]`.
+//! No pruning of any kind (the paper's baseline), which is what the
+//! advanced solutions are measured against in Figure 18.
+
+use std::time::Instant;
+
+use fremo_trajectory::{DenseMatrix, DistanceSource, GroundDistance, Trajectory};
+
+use crate::algorithm::MotifDiscovery;
+use crate::config::MotifConfig;
+use crate::domain::Domain;
+use crate::dp::{expand_subset, Bsf, DpBuffers};
+use crate::result::Motif;
+use crate::stats::SearchStats;
+
+/// The baseline solution of Algorithm 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteDp;
+
+impl BruteDp {
+    fn run<D: DistanceSource>(
+        src: &D,
+        domain: Domain,
+        config: &MotifConfig,
+        precompute_seconds: f64,
+        started: Instant,
+    ) -> (Option<Motif>, SearchStats) {
+        let xi = config.min_length;
+        let mut stats = SearchStats {
+            precompute_seconds,
+            bytes_distance_matrix: src.bytes(),
+            subsets_total: domain.subsets_count(xi),
+            pairs_total: domain.pairs_count(xi),
+            ..SearchStats::default()
+        };
+        let mut bsf = Bsf::new();
+        let mut buf = DpBuffers::with_width(domain.len_b());
+        stats.bytes_dp = buf.bytes();
+
+        for (i, j) in domain.subsets(xi) {
+            stats.subsets_expanded += 1;
+            stats.pairs_exact += domain.pairs_in_subset(i, j, xi);
+            expand_subset(src, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf);
+        }
+
+        stats.total_seconds = started.elapsed().as_secs_f64();
+        (bsf.motif, stats)
+    }
+}
+
+impl<P: GroundDistance> MotifDiscovery<P> for BruteDp {
+    fn name(&self) -> &'static str {
+        "BruteDP"
+    }
+
+    fn discover_with_stats(
+        &self,
+        trajectory: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats) {
+        let started = Instant::now();
+        let domain = Domain::Within { n: trajectory.len() };
+        let src = DenseMatrix::within(trajectory.points());
+        let pre = started.elapsed().as_secs_f64();
+        Self::run(&src, domain, config, pre, started)
+    }
+
+    fn discover_between_with_stats(
+        &self,
+        a: &Trajectory<P>,
+        b: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats) {
+        let started = Instant::now();
+        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let src = DenseMatrix::between(a.points(), b.points());
+        let pre = started.elapsed().as_secs_f64();
+        Self::run(&src, domain, config, pre, started)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_similarity::dfd;
+    use fremo_trajectory::gen::planar;
+    use fremo_trajectory::EuclideanPoint;
+
+    /// Independent `O(n⁶)` reference built on the standalone DFD.
+    fn naive_within(
+        points: &[EuclideanPoint],
+        xi: usize,
+    ) -> Option<(f64, (usize, usize, usize, usize))> {
+        let n = points.len();
+        let mut best: Option<(f64, (usize, usize, usize, usize))> = None;
+        for i in 0..n {
+            for ie in (i + xi + 1)..n {
+                for j in (ie + 1)..n {
+                    for je in (j + xi + 1)..n {
+                        let d = dfd(&points[i..=ie], &points[j..=je]);
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, (i, ie, j, je)));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_independent_naive_reference() {
+        for seed in 0..4 {
+            let t = planar::random_walk(16, 0.4, seed);
+            let cfg = MotifConfig::new(2);
+            let (motif, stats) = BruteDp.discover_with_stats(&t, &cfg);
+            let naive = naive_within(t.points(), 2);
+            match naive {
+                None => assert!(motif.is_none()),
+                Some((nd, _)) => {
+                    let m = motif.expect("BruteDP found nothing");
+                    assert!(
+                        (m.distance - nd).abs() < 1e-12,
+                        "seed {seed}: brute={} naive={nd}",
+                        m.distance
+                    );
+                    assert!(m.is_valid_within(t.len(), 2));
+                }
+            }
+            assert_eq!(stats.pairs_exact, stats.pairs_total);
+        }
+    }
+
+    #[test]
+    fn too_short_returns_none() {
+        let t = planar::line((0.0, 0.0), (1.0, 0.0), 5);
+        let cfg = MotifConfig::new(1); // needs n ≥ 6
+        let (motif, stats) = BruteDp.discover_with_stats(&t, &cfg);
+        assert!(motif.is_none());
+        assert_eq!(stats.subsets_total, 0);
+    }
+
+    #[test]
+    fn between_matches_naive() {
+        let a = planar::random_walk(12, 0.5, 7);
+        let b = planar::random_walk(10, 0.5, 8);
+        let xi = 2;
+        let cfg = MotifConfig::new(xi);
+        let (motif, _) = BruteDp.discover_between_with_stats(&a, &b, &cfg);
+        let mut best = f64::INFINITY;
+        for i in 0..a.len() {
+            for ie in (i + xi + 1)..a.len() {
+                for j in 0..b.len() {
+                    for je in (j + xi + 1)..b.len() {
+                        best = best.min(dfd(&a.points()[i..=ie], &b.points()[j..=je]));
+                    }
+                }
+            }
+        }
+        let m = motif.expect("found");
+        assert!((m.distance - best).abs() < 1e-12);
+        assert!(m.is_valid_between(a.len(), b.len(), xi));
+    }
+
+    #[test]
+    fn reports_resource_usage() {
+        let t = planar::random_walk(40, 0.3, 3);
+        let cfg = MotifConfig::new(3);
+        let (_, stats) = BruteDp.discover_with_stats(&t, &cfg);
+        assert!(stats.bytes_distance_matrix >= 40 * 40 * 8);
+        assert!(stats.dp_cells > 0);
+        assert!(stats.total_seconds >= stats.precompute_seconds);
+    }
+}

@@ -1,0 +1,230 @@
+//! DFD-based subtrajectory clustering — the last of the paper's
+//! future-work applications: *"accelerate other trajectory analysis
+//! operations that rely on DFD, such as … subtrajectory clustering"*.
+//!
+//! [`cluster_subtrajectories`] slides fixed-length windows over a
+//! trajectory (with a configurable stride) and groups them with the
+//! classic *leader* algorithm: a window joins the first existing cluster
+//! whose representative is within `ε` under DFD, otherwise it founds a new
+//! cluster. The same cheap filters as the similarity join (endpoints,
+//! directed Hausdorff) guard the `O(ℓ²)` decision kernel, and trivially
+//! overlapping windows are kept apart by requiring cluster members to be
+//! disjoint in index space.
+//!
+//! Leader clustering is order-dependent but deterministic, cheap
+//! (`O(#windows × #clusters)` kernel invocations at worst), and exactly
+//! the flavour of building block the paper's introduction says motifs
+//! feed into (\[16, 31, 12\]).
+
+use fremo_similarity::dfd_decision;
+use fremo_trajectory::{GroundDistance, Trajectory};
+
+/// One cluster of mutually similar, index-disjoint subtrajectory windows.
+#[derive(Debug, Clone)]
+pub struct SubtrajectoryCluster {
+    /// Inclusive index range of the representative (the cluster founder).
+    pub representative: (usize, usize),
+    /// Inclusive index ranges of all members, representative included.
+    pub members: Vec<(usize, usize)>,
+}
+
+impl SubtrajectoryCluster {
+    /// Number of member windows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// A cluster always holds at least its representative.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Clustering parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Window length in points (≥ 2).
+    pub window: usize,
+    /// Stride between window starts (≥ 1); `window` gives disjoint
+    /// tilings, smaller strides give overlapping candidates (members are
+    /// still kept index-disjoint within each cluster).
+    pub stride: usize,
+    /// DFD threshold for joining a cluster.
+    pub epsilon: f64,
+}
+
+impl ClusterConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a window below 2 points, a zero stride, or a negative
+    /// threshold.
+    #[must_use]
+    pub fn new(window: usize, stride: usize, epsilon: f64) -> Self {
+        assert!(window >= 2, "window must have at least 2 points");
+        assert!(stride >= 1, "stride must be at least 1");
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        ClusterConfig { window, stride, epsilon }
+    }
+}
+
+/// Endpoint lower bound: prune when it already exceeds `eps`.
+fn endpoints_exceed<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
+    a[0].distance(&b[0]).max(a[a.len() - 1].distance(&b[b.len() - 1])) > eps
+}
+
+/// Directed Hausdorff early-exit filter (see `join`).
+fn hausdorff_exceeds<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
+    'outer: for p in a {
+        for q in b {
+            if p.distance(q) <= eps {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Clusters the sliding windows of `trajectory` by DFD, returning clusters
+/// sorted by size (largest first). Windows that match no cluster found so
+/// far start their own; singleton clusters are retained (callers can
+/// filter on [`SubtrajectoryCluster::len`]).
+#[must_use]
+pub fn cluster_subtrajectories<P: GroundDistance>(
+    trajectory: &Trajectory<P>,
+    config: &ClusterConfig,
+) -> Vec<SubtrajectoryCluster> {
+    let pts = trajectory.points();
+    let n = pts.len();
+    if n < config.window {
+        return Vec::new();
+    }
+
+    let mut clusters: Vec<SubtrajectoryCluster> = Vec::new();
+    let mut start = 0usize;
+    while start + config.window <= n {
+        let end = start + config.window - 1;
+        let win = &pts[start..=end];
+
+        let mut placed = false;
+        for cluster in &mut clusters {
+            // Keep members index-disjoint within a cluster.
+            let overlaps = cluster
+                .members
+                .iter()
+                .any(|&(lo, hi)| start <= hi && lo <= end);
+            if overlaps {
+                continue;
+            }
+            let rep = &pts[cluster.representative.0..=cluster.representative.1];
+            if endpoints_exceed(rep, win, config.epsilon)
+                || hausdorff_exceeds(rep, win, config.epsilon)
+                || hausdorff_exceeds(win, rep, config.epsilon)
+            {
+                continue;
+            }
+            if dfd_decision(rep, win, config.epsilon) {
+                cluster.members.push((start, end));
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            clusters.push(SubtrajectoryCluster {
+                representative: (start, end),
+                members: vec![(start, end)],
+            });
+        }
+        start += config.stride;
+    }
+
+    clusters.sort_by(|a, b| b.members.len().cmp(&a.members.len()));
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_similarity::dfd;
+    use fremo_trajectory::gen::planar;
+    use fremo_trajectory::EuclideanPoint;
+
+    /// Trajectory tracing the same loop `laps` times with per-lap jitter.
+    fn looping(laps: usize, per_lap: usize, jitter: f64) -> Trajectory<EuclideanPoint> {
+        let mut pts = Vec::new();
+        for lap in 0..laps {
+            let off = jitter * lap as f64;
+            for k in 0..per_lap {
+                let a = std::f64::consts::TAU * k as f64 / per_lap as f64;
+                pts.push(EuclideanPoint::new(10.0 * a.cos() + off, 10.0 * a.sin()));
+            }
+        }
+        Trajectory::new(pts)
+    }
+
+    #[test]
+    fn repeated_laps_form_one_big_cluster() {
+        let t = looping(5, 24, 0.05);
+        let cfg = ClusterConfig::new(24, 24, 1.0);
+        let clusters = cluster_subtrajectories(&t, &cfg);
+        assert_eq!(clusters[0].len(), 5, "all five laps should cluster together");
+    }
+
+    #[test]
+    fn members_are_within_epsilon_of_representative() {
+        let t = looping(4, 20, 0.2);
+        let cfg = ClusterConfig::new(20, 10, 2.0);
+        let clusters = cluster_subtrajectories(&t, &cfg);
+        for c in &clusters {
+            let rep = &t.points()[c.representative.0..=c.representative.1];
+            for &(lo, hi) in &c.members {
+                let d = dfd(rep, &t.points()[lo..=hi]);
+                assert!(d <= cfg.epsilon + 1e-9, "member ({lo},{hi}) at {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn members_within_a_cluster_are_disjoint() {
+        let t = planar::random_walk(200, 0.4, 3);
+        let cfg = ClusterConfig::new(20, 5, 5.0);
+        let clusters = cluster_subtrajectories(&t, &cfg);
+        for c in &clusters {
+            let mut sorted = c.members.clone();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                assert!(w[0].1 < w[1].0, "{:?} overlaps {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn random_walk_mostly_singletons_at_tiny_epsilon() {
+        let t = planar::random_walk(150, 0.5, 9);
+        let cfg = ClusterConfig::new(15, 15, 1e-6);
+        let clusters = cluster_subtrajectories(&t, &cfg);
+        assert!(clusters.iter().all(|c| c.len() == 1));
+        assert_eq!(clusters.len(), 10); // ⌊150/15⌋ windows
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let short = planar::random_walk(5, 0.4, 1);
+        assert!(cluster_subtrajectories(&short, &ClusterConfig::new(10, 10, 1.0)).is_empty());
+        // Exactly one window.
+        let exact = planar::random_walk(10, 0.4, 1);
+        let cs = cluster_subtrajectories(&exact, &ClusterConfig::new(10, 10, 1.0));
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].representative, (0, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rejects_tiny_window() {
+        let _ = ClusterConfig::new(1, 1, 1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Search configuration.
+
+/// Which lower-bound families BTM/GTM may use.
+///
+/// The paper's Figure 15/16 experiments toggle the bound families to show
+/// they complement each other; [`BoundSelection`] reproduces those toggles.
+/// All-on relaxed bounds (the paper's final choice, Section 6.2.1) is the
+/// default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundSelection {
+    /// `LB_cell` (Eq. 1): the start-cell ground distance.
+    pub cell: bool,
+    /// Start cross bounds `LB_cross^start` (Eq. 4) / `rLB_cross^start`
+    /// (Eq. 12).
+    pub cross: bool,
+    /// Band bounds `LB_band^{row,col}` (Eq. 5–6) / relaxed (Eq. 14–15).
+    pub band: bool,
+    /// End-cell cross pruning inside a candidate subset (Eq. 9/13 and
+    /// Algorithm 2 lines 12–13).
+    pub end_cross: bool,
+    /// Use the tight `O(n)`/`O(ξn)` bounds of Section 4.2 instead of the
+    /// relaxed `O(1)` bounds of Section 4.3 (Figure 13/14's comparison).
+    pub tight: bool,
+}
+
+impl BoundSelection {
+    /// Every bound on, relaxed variants (the paper's recommended setting).
+    #[must_use]
+    pub const fn all_relaxed() -> Self {
+        BoundSelection { cell: true, cross: true, band: true, end_cross: true, tight: false }
+    }
+
+    /// Every bound on, tight variants (Figure 13/14's "Tight" line).
+    #[must_use]
+    pub const fn all_tight() -> Self {
+        BoundSelection { cell: true, cross: true, band: true, end_cross: true, tight: true }
+    }
+
+    /// Only `LB_cell` (Figure 16's weakest configuration).
+    #[must_use]
+    pub const fn cell_only() -> Self {
+        BoundSelection { cell: true, cross: false, band: false, end_cross: false, tight: false }
+    }
+
+    /// `LB_cell + rLB_cross` (Figure 16's middle configuration).
+    #[must_use]
+    pub const fn cell_cross() -> Self {
+        BoundSelection { cell: true, cross: true, band: false, end_cross: false, tight: false }
+    }
+
+    /// No bounds at all — degenerates BTM to BruteDP order (used by
+    /// ablation benches).
+    #[must_use]
+    pub const fn none() -> Self {
+        BoundSelection { cell: false, cross: false, band: false, end_cross: false, tight: false }
+    }
+}
+
+impl Default for BoundSelection {
+    fn default() -> Self {
+        BoundSelection::all_relaxed()
+    }
+}
+
+/// The bound families, used for pruning attribution (Figure 15's breakdown
+/// charts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundKind {
+    /// Pruned by `LB_cell`.
+    Cell,
+    /// Pruned by a cross bound.
+    Cross,
+    /// Pruned by a band bound.
+    Band,
+    /// Pruned at the group level by a pattern bound (`GLB_cell`/cross/band).
+    GroupPattern,
+    /// Pruned at the group level by `GLB_DFD`.
+    GroupDfd,
+    /// Survived every bound; exact DFD computation was required.
+    Exact,
+}
+
+/// Configuration of a motif search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotifConfig {
+    /// Minimum motif length `ξ`: each motif half must satisfy
+    /// `ie > i + ξ` (Problem 1). Must be at least 1.
+    pub min_length: usize,
+    /// Which lower bounds the bounding-based algorithms use.
+    pub bounds: BoundSelection,
+    /// Initial group size `τ` for GTM/GTM* (the paper's default is 32,
+    /// Section 6.2.3). Rounded up to a power of two by GTM so halving
+    /// reaches exactly 1.
+    pub group_size: usize,
+}
+
+impl MotifConfig {
+    /// Creates a configuration with minimum motif length `xi` and default
+    /// bounds/grouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xi == 0` — Problem 1's constraint `i < ie` needs at
+    /// least `ξ = 1`.
+    #[must_use]
+    pub fn new(xi: usize) -> Self {
+        assert!(xi >= 1, "minimum motif length ξ must be at least 1");
+        MotifConfig { min_length: xi, bounds: BoundSelection::default(), group_size: 32 }
+    }
+
+    /// Replaces the bound selection.
+    #[must_use]
+    pub const fn with_bounds(mut self, bounds: BoundSelection) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Replaces the initial group size `τ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tau == 0`.
+    #[must_use]
+    pub fn with_group_size(mut self, tau: usize) -> Self {
+        assert!(tau >= 1, "group size τ must be at least 1");
+        self.group_size = tau;
+        self
+    }
+
+    /// Smallest single-trajectory length for which any valid candidate
+    /// exists: `i < ie < j < je` with `ie ≥ i+ξ+1`, `je ≥ j+ξ+1` needs
+    /// `n ≥ 2ξ + 4`.
+    #[must_use]
+    pub const fn min_trajectory_len(&self) -> usize {
+        2 * self.min_length + 4
+    }
+
+    /// Smallest per-trajectory length for the two-trajectory variant:
+    /// `ie ≥ i+ξ+1` needs `n ≥ ξ + 2`.
+    #[must_use]
+    pub const fn min_trajectory_len_between(&self) -> usize {
+        self.min_length + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MotifConfig::new(100);
+        assert_eq!(c.min_length, 100);
+        assert_eq!(c.group_size, 32);
+        assert!(c.bounds.cell && c.bounds.cross && c.bounds.band && c.bounds.end_cross);
+        assert!(!c.bounds.tight);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_xi_rejected() {
+        let _ = MotifConfig::new(0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MotifConfig::new(10)
+            .with_bounds(BoundSelection::cell_only())
+            .with_group_size(8);
+        assert!(c.bounds.cell && !c.bounds.cross);
+        assert_eq!(c.group_size, 8);
+    }
+
+    #[test]
+    fn minimum_lengths() {
+        let c = MotifConfig::new(1);
+        assert_eq!(c.min_trajectory_len(), 6); // i=0,ie=2,j=3,je=5
+        assert_eq!(c.min_trajectory_len_between(), 3);
+        let c = MotifConfig::new(100);
+        assert_eq!(c.min_trajectory_len(), 204);
+    }
+}

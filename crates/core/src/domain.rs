@@ -1,0 +1,227 @@
+//! Search domain: motif discovery within one trajectory vs between two.
+//!
+//! The paper presents Problem 1 for a single trajectory and notes (Sections
+//! 3–5) that every algorithm "is readily applicable" to the two-trajectory
+//! variant by adjusting index ranges and dropping the non-overlap
+//! constraint. [`Domain`] centralizes exactly those differences so the
+//! algorithms are written once.
+
+use fremo_trajectory::ValidRegion;
+
+/// The index geometry of a motif search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Single trajectory of length `n`: candidates satisfy
+    /// `i < ie < j < je ≤ n−1` (non-overlapping halves).
+    Within {
+        /// Trajectory length.
+        n: usize,
+    },
+    /// Two trajectories of lengths `n` and `m`: the first half indexes the
+    /// first trajectory, the second half the second; no ordering between
+    /// them.
+    Between {
+        /// First trajectory length.
+        n: usize,
+        /// Second trajectory length.
+        m: usize,
+    },
+}
+
+impl Domain {
+    /// Which distance-matrix cells motif paths can visit.
+    #[must_use]
+    pub fn region(&self) -> ValidRegion {
+        match self {
+            Domain::Within { .. } => ValidRegion::UpperTriangle,
+            Domain::Between { .. } => ValidRegion::Full,
+        }
+    }
+
+    /// Number of valid first indices (`a` axis of the distance matrix).
+    #[must_use]
+    pub fn len_a(&self) -> usize {
+        match *self {
+            Domain::Within { n } => n,
+            Domain::Between { n, .. } => n,
+        }
+    }
+
+    /// Number of valid second indices (`b` axis).
+    #[must_use]
+    pub fn len_b(&self) -> usize {
+        match *self {
+            Domain::Within { n } => n,
+            Domain::Between { m, .. } => m,
+        }
+    }
+
+    /// Largest `ie` (inclusive) a candidate starting at `(i, j)` may use:
+    /// `j − 1` within one trajectory (non-overlap), `n − 1` between two.
+    #[must_use]
+    pub fn ie_max(&self, j: usize) -> usize {
+        match *self {
+            Domain::Within { .. } => j.saturating_sub(1),
+            Domain::Between { n, .. } => n - 1,
+        }
+    }
+
+    /// Largest `je` (inclusive): `n − 1` / `m − 1`.
+    #[must_use]
+    pub fn je_max(&self) -> usize {
+        self.len_b() - 1
+    }
+
+    /// Whether candidate subset `CS_{i,j}` contains at least one candidate
+    /// satisfying the length constraints for minimum motif length `xi`.
+    #[must_use]
+    pub fn subset_nonempty(&self, i: usize, j: usize, xi: usize) -> bool {
+        self.pairs_in_subset(i, j, xi) > 0
+    }
+
+    /// Number of candidate pairs in `CS_{i,j}`:
+    /// `ie ∈ [i+ξ+1, ie_max]` × `je ∈ [j+ξ+1, je_max]`.
+    #[must_use]
+    pub fn pairs_in_subset(&self, i: usize, j: usize, xi: usize) -> u128 {
+        let ie_lo = i + xi + 1;
+        let je_lo = j + xi + 1;
+        let ie_hi = self.ie_max(j);
+        let je_hi = self.je_max();
+        if ie_lo > ie_hi || je_lo > je_hi {
+            return 0;
+        }
+        ((ie_hi - ie_lo + 1) as u128) * ((je_hi - je_lo + 1) as u128)
+    }
+
+    /// Enumerates the start pairs `(i, j)` of all non-empty candidate
+    /// subsets, in row-major order.
+    pub fn subsets(&self, xi: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        type JRange = Box<dyn Fn(usize) -> (usize, usize)>;
+        let domain = *self;
+        let (i_hi, j_of_i): (usize, JRange) = match domain {
+            Domain::Within { n } => {
+                // j ∈ [i+ξ+2, n−ξ−2] must be non-empty.
+                let i_hi = n.saturating_sub(2 * xi + 4);
+                (i_hi, Box::new(move |i| (i + xi + 2, n.saturating_sub(xi + 2))))
+            }
+            Domain::Between { n, m } => {
+                let i_hi = n.saturating_sub(xi + 2);
+                (i_hi, Box::new(move |_| (0, m.saturating_sub(xi + 2))))
+            }
+        };
+        let feasible = match domain {
+            Domain::Within { n } => n >= 2 * xi + 4,
+            Domain::Between { n, m } => n >= xi + 2 && m >= xi + 2,
+        };
+        (0..=i_hi)
+            .filter(move |_| feasible)
+            .flat_map(move |i| {
+                let (j_lo, j_hi) = j_of_i(i);
+                (j_lo..=j_hi).map(move |j| (i, j))
+            })
+    }
+
+    /// Total number of non-empty candidate subsets.
+    #[must_use]
+    pub fn subsets_count(&self, xi: usize) -> u64 {
+        self.subsets(xi).count() as u64
+    }
+
+    /// Total number of candidate pairs across all subsets (the Figure 15
+    /// denominator).
+    #[must_use]
+    pub fn pairs_count(&self, xi: usize) -> u128 {
+        self.subsets(xi).map(|(i, j)| self.pairs_in_subset(i, j, xi)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_minimal_case() {
+        // n = 2ξ+4 with ξ=1 → n=6: exactly one subset (i=0, j=3) with one
+        // candidate (0,2,3,5).
+        let d = Domain::Within { n: 6 };
+        let subsets: Vec<_> = d.subsets(1).collect();
+        assert_eq!(subsets, vec![(0, 3)]);
+        assert_eq!(d.pairs_in_subset(0, 3, 1), 1);
+        assert_eq!(d.pairs_count(1), 1);
+    }
+
+    #[test]
+    fn within_too_short_is_empty() {
+        let d = Domain::Within { n: 5 };
+        assert_eq!(d.subsets(1).count(), 0);
+        assert_eq!(d.pairs_count(1), 0);
+        let d = Domain::Within { n: 0 };
+        assert_eq!(d.subsets(3).count(), 0);
+    }
+
+    #[test]
+    fn within_subsets_are_all_nonempty_and_complete() {
+        let d = Domain::Within { n: 20 };
+        let xi = 3;
+        let listed: std::collections::HashSet<_> = d.subsets(xi).collect();
+        // Cross-check against brute-force enumeration of valid candidates.
+        let mut expected = std::collections::HashSet::new();
+        for i in 0..20 {
+            for ie in (i + xi + 1)..20 {
+                for j in (ie + 1)..20 {
+                    for je in (j + xi + 1)..20 {
+                        expected.insert((i, j));
+                        let _ = (ie, je);
+                    }
+                }
+            }
+        }
+        assert_eq!(listed, expected);
+        // Pair counts agree with brute force too.
+        let mut pair_total: u128 = 0;
+        for i in 0..20_usize {
+            for ie in (i + xi + 1)..20 {
+                for j in (ie + 1)..20 {
+                    for je in (j + xi + 1)..20 {
+                        let _ = (ie, je);
+                        pair_total += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(d.pairs_count(xi), pair_total);
+    }
+
+    #[test]
+    fn between_subsets_complete() {
+        let d = Domain::Between { n: 10, m: 8 };
+        let xi = 2;
+        let listed: Vec<_> = d.subsets(xi).collect();
+        // i ∈ [0, 10-4], j ∈ [0, 8-4]
+        assert_eq!(listed.len(), 7 * 5);
+        assert!(listed.contains(&(0, 0)));
+        assert!(listed.contains(&(6, 4)));
+        // Every listed subset is non-empty; none beyond.
+        for &(i, j) in &listed {
+            assert!(d.subset_nonempty(i, j, xi));
+        }
+        assert!(!d.subset_nonempty(7, 0, xi));
+        assert!(!d.subset_nonempty(0, 5, xi));
+    }
+
+    #[test]
+    fn ie_ranges_respect_overlap_rule() {
+        let within = Domain::Within { n: 30 };
+        assert_eq!(within.ie_max(10), 9);
+        let between = Domain::Between { n: 30, m: 20 };
+        assert_eq!(between.ie_max(10), 29);
+        assert_eq!(between.je_max(), 19);
+        assert_eq!(within.je_max(), 29);
+    }
+
+    #[test]
+    fn regions() {
+        assert_eq!(Domain::Within { n: 4 }.region(), ValidRegion::UpperTriangle);
+        assert_eq!(Domain::Between { n: 4, m: 4 }.region(), ValidRegion::Full);
+    }
+}

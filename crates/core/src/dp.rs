@@ -1,0 +1,427 @@
+//! The shared dynamic program over a candidate subset.
+//!
+//! For all candidates in `CS_{i,j}` the paper shares one DFD computation
+//! (Section 3): a single DP over end cells `(ie, je)` rooted at `(i, j)`
+//! yields `dF(i, ie, j, je)` for every end cell. [`expand_subset`] runs that
+//! DP with two rolling rows (`O(n)` space — GTM*'s Idea ii; BruteDP/BTM
+//! never need the full `dF` matrix because candidates are evaluated as the
+//! cells are produced), plus two safe accelerations used by BTM/GTM:
+//!
+//! * **End-cross clamping** (Algorithm 2 lines 12–13): when the best-so-far
+//!   improves at `(ie, je)` and the end-cross bound there already reaches
+//!   `bsf`, no candidate ending strictly beyond `(ie, je)` in *both*
+//!   coordinates can improve — later rows stop at column `je`.
+//! * **Row abandoning**: DP values never fall below the minimum of the
+//!   previous row (each cell is `max(dG, min(predecessors))`), so once an
+//!   entire row is at or above `bsf`, the subset is exhausted.
+
+use fremo_trajectory::DistanceSource;
+
+use crate::bounds::BoundTables;
+use crate::domain::Domain;
+use crate::result::Motif;
+use crate::stats::SearchStats;
+
+/// Best-so-far state.
+///
+/// `value` may come from an actual candidate (then `motif` is set) or from
+/// a group-level upper bound (GTM's Algorithm 3 lines 12–13; `motif` still
+/// `None`). Pruning is strict (`>`) until a concrete pair exists, so a
+/// candidate tying the upper bound can still be found.
+#[derive(Debug, Clone)]
+pub struct Bsf {
+    /// Current best DFD value (or tightened upper bound).
+    pub value: f64,
+    /// The pair achieving `value`, once one has been seen.
+    pub motif: Option<Motif>,
+    /// Approximation factor `1 + ε`: lower bounds are inflated by this
+    /// factor before pruning, trading exactness for speed (the paper's
+    /// future-work direction). `1.0` = exact.
+    factor: f64,
+}
+
+impl Bsf {
+    /// Fresh state: `+∞`, no pair, exact pruning.
+    #[must_use]
+    pub fn new() -> Self {
+        Bsf { value: f64::INFINITY, motif: None, factor: 1.0 }
+    }
+
+    /// Fresh state with ε-approximate pruning: the returned motif's DFD is
+    /// guaranteed to be at most `(1 + epsilon) ×` the optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epsilon` is negative or non-finite.
+    #[must_use]
+    pub fn approximate(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "epsilon must be finite and ≥ 0");
+        Bsf { value: f64::INFINITY, motif: None, factor: 1.0 + epsilon }
+    }
+
+    /// The approximation factor `1 + ε`.
+    #[inline]
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Whether a candidate set with lower bound `lb` can be skipped.
+    ///
+    /// With a concrete pair recorded, `(1+ε)·lb ≥ value` suffices: every
+    /// skipped candidate has `dF ≥ lb ≥ value/(1+ε)`, so the recorded pair
+    /// is within the approximation guarantee (with ε = 0 this is the exact
+    /// tie rule). Without a pair — `value` stems from a group upper bound —
+    /// only strict *un-inflated* inequality is safe: the witness achieving
+    /// `value` might live exactly in the skipped set, and the final answer
+    /// must be able to reach it (inflating here could prune every witness
+    /// and leave no result at all).
+    #[inline]
+    #[must_use]
+    pub fn prunable(&self, lb: f64) -> bool {
+        if self.motif.is_some() {
+            lb * self.factor >= self.value
+        } else {
+            lb > self.value
+        }
+    }
+
+    /// Offers a concrete candidate; returns whether it became the new best.
+    #[inline]
+    pub fn offer(&mut self, distance: f64, motif: Motif) -> bool {
+        if distance < self.value || (self.motif.is_none() && distance <= self.value) {
+            self.value = distance;
+            self.motif = Some(motif);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tightens `value` from a group-level upper bound without recording a
+    /// pair (Algorithm 3 lines 12–13).
+    #[inline]
+    pub fn tighten(&mut self, upper_bound: f64) -> bool {
+        if upper_bound < self.value {
+            self.value = upper_bound;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Default for Bsf {
+    fn default() -> Self {
+        Bsf::new()
+    }
+}
+
+/// Reusable DP row buffers (allocated once per search).
+#[derive(Debug, Default)]
+pub struct DpBuffers {
+    prev: Vec<f64>,
+    curr: Vec<f64>,
+}
+
+impl DpBuffers {
+    /// Creates buffers able to hold rows of width up to `width`.
+    #[must_use]
+    pub fn with_width(width: usize) -> Self {
+        DpBuffers { prev: vec![0.0; width], curr: vec![0.0; width] }
+    }
+
+    /// Heap bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        (self.prev.capacity() + self.curr.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+/// Runs the shared DP for candidate subset `CS_{i,j}`, updating `bsf` with
+/// every improving candidate.
+///
+/// `tables` enables the end-cross clamp; `allow_pruning` turns on both
+/// accelerations (BruteDP runs with `false` to match Algorithm 1 exactly).
+#[allow(clippy::too_many_arguments)]
+pub fn expand_subset<D: DistanceSource>(
+    src: &D,
+    domain: Domain,
+    xi: usize,
+    i: usize,
+    j: usize,
+    tables: Option<&BoundTables>,
+    allow_pruning: bool,
+    bsf: &mut Bsf,
+    stats: &mut SearchStats,
+    buf: &mut DpBuffers,
+) {
+    expand_subset_capped(
+        src,
+        domain,
+        xi,
+        i,
+        j,
+        (usize::MAX, usize::MAX),
+        tables,
+        allow_pruning,
+        bsf,
+        stats,
+        buf,
+    );
+}
+
+/// [`expand_subset`] with inclusive caps on `ie` and `je` — used by the
+/// top-k search to exclude index ranges already claimed by reported motifs
+/// (a subtrajectory is contiguous, so forbidding an interval simply clamps
+/// how far the DP may extend).
+#[allow(clippy::too_many_arguments)]
+pub fn expand_subset_capped<D: DistanceSource>(
+    src: &D,
+    domain: Domain,
+    xi: usize,
+    i: usize,
+    j: usize,
+    (ie_cap, je_cap): (usize, usize),
+    tables: Option<&BoundTables>,
+    allow_pruning: bool,
+    bsf: &mut Bsf,
+    stats: &mut SearchStats,
+    buf: &mut DpBuffers,
+) {
+    let je_max = domain.je_max().min(je_cap);
+    let ie_max = domain.ie_max(j).min(ie_cap);
+    if ie_max <= i || je_max <= j {
+        return;
+    }
+    let width = je_max - j + 1; // column offset k ↔ je = j + k
+    if buf.prev.len() < width {
+        buf.prev.resize(width, 0.0);
+        buf.curr.resize(width, 0.0);
+    }
+    let mut prev = std::mem::take(&mut buf.prev);
+    let mut curr = std::mem::take(&mut buf.curr);
+
+    // Boundary row ie = i: running max of dG(i, j..=je_max).
+    let mut running = 0.0_f64;
+    for (k, slot) in prev.iter_mut().enumerate().take(width) {
+        running = running.max(src.get(i, j + k));
+        *slot = running;
+    }
+
+    // jend: inclusive column-offset limit; pending_jend applies from the
+    // *next* row onward (the end-cross clamp covers ic > ie strictly).
+    let mut jend = width - 1;
+    let mut pending_jend = jend;
+
+    'rows: for ie in (i + 1)..=ie_max {
+        if pending_jend < jend {
+            jend = pending_jend;
+        }
+        stats.cells_skipped_end_cross += (width - 1 - jend) as u64;
+
+        // Boundary column je = j.
+        curr[0] = prev[0].max(src.get(ie, j));
+        let mut row_min = curr[0];
+
+        let ie_valid = ie > i + xi;
+        for k in 1..=jend {
+            let je = j + k;
+            let reach = prev[k].min(prev[k - 1]).min(curr[k - 1]);
+            let v = reach.max(src.get(ie, je));
+            curr[k] = v;
+            if v < row_min {
+                row_min = v;
+            }
+            stats.dp_cells += 1;
+
+            if ie_valid && je > j + xi {
+                let motif = Motif { first: (i, ie), second: (j, je), distance: v };
+                if bsf.offer(v, motif) {
+                    stats.bsf_updates += 1;
+                    if allow_pruning {
+                        if let Some(tables) = tables {
+                            let end = tables.end_cross(i, j, ie, je);
+                            if bsf.prunable(end) {
+                                pending_jend = pending_jend.min(k);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if allow_pruning && bsf.prunable(row_min) {
+            stats.rows_abandoned += 1;
+            break 'rows;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+
+    buf.prev = prev;
+    buf.curr = curr;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_similarity::dfd;
+    use fremo_trajectory::{DenseMatrix, EuclideanPoint};
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
+        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+    }
+
+    /// Enumerate all candidates in CS_{i,j} with the standalone DFD and
+    /// compare against the DP's best.
+    fn best_in_subset_naive(
+        points: &[EuclideanPoint],
+        domain: Domain,
+        xi: usize,
+        i: usize,
+        j: usize,
+    ) -> Option<(f64, (usize, usize, usize, usize))> {
+        let mut best: Option<(f64, (usize, usize, usize, usize))> = None;
+        for ie in (i + xi + 1)..=domain.ie_max(j) {
+            for je in (j + xi + 1)..=domain.je_max() {
+                let d = dfd(&points[i..=ie], &points[j..=je]);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, (i, ie, j, je)));
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn dp_matches_naive_per_subset() {
+        let points = pts(&[
+            (0.0, 0.0),
+            (1.0, 0.5),
+            (2.0, -0.5),
+            (3.0, 1.0),
+            (4.0, 0.0),
+            (5.0, 2.0),
+            (0.5, 0.1),
+            (1.5, 0.4),
+            (2.5, -0.3),
+            (3.5, 0.9),
+            (4.5, 0.2),
+            (5.5, 1.8),
+        ]);
+        let domain = Domain::Within { n: points.len() };
+        let src = DenseMatrix::within(&points);
+        let xi = 1;
+        for (i, j) in domain.subsets(xi) {
+            let mut bsf = Bsf::new();
+            let mut stats = SearchStats::default();
+            let mut buf = DpBuffers::default();
+            expand_subset(&src, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf);
+            let naive = best_in_subset_naive(&points, domain, xi, i, j);
+            match naive {
+                None => assert!(bsf.motif.is_none(), "({i},{j}) found spurious candidate"),
+                Some((nd, _)) => {
+                    let m = bsf.motif.expect("DP found nothing");
+                    assert!(
+                        (m.distance - nd).abs() < 1e-12,
+                        "({i},{j}): dp={} naive={nd}",
+                        m.distance
+                    );
+                    // And the reported pair achieves its distance.
+                    let check =
+                        dfd(&points[m.first.0..=m.first.1], &points[m.second.0..=m.second.1]);
+                    assert!((check - m.distance).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dp_between_matches_naive() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.5), (3.0, 0.0), (4.0, -0.5)]);
+        let b = pts(&[(0.0, 1.0), (1.0, 1.2), (2.0, 0.8), (3.0, 1.1)]);
+        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let src = DenseMatrix::between(&a, &b);
+        let xi = 1;
+        for (i, j) in domain.subsets(xi) {
+            let mut bsf = Bsf::new();
+            let mut stats = SearchStats::default();
+            let mut buf = DpBuffers::default();
+            expand_subset(&src, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf);
+            // Naive over the two-trajectory candidate space.
+            let mut best = f64::INFINITY;
+            for ie in (i + xi + 1)..a.len() {
+                for je in (j + xi + 1)..b.len() {
+                    best = best.min(dfd(&a[i..=ie], &b[j..=je]));
+                }
+            }
+            if best.is_finite() {
+                let m = bsf.motif.expect("DP found nothing");
+                assert!((m.distance - best).abs() < 1e-12, "({i},{j})");
+            } else {
+                assert!(bsf.motif.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_never_changes_the_result() {
+        // With pruning on (row abandoning only; no tables), the final best
+        // across all subsets must equal the unpruned result.
+        let points = pts(&[
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (2.0, 0.0),
+            (3.0, -1.0),
+            (4.0, 0.0),
+            (5.0, 1.0),
+            (6.0, 0.0),
+            (0.2, 0.1),
+            (1.2, 1.1),
+            (2.2, 0.1),
+            (3.2, -0.9),
+            (4.2, 0.1),
+        ]);
+        let domain = Domain::Within { n: points.len() };
+        let src = DenseMatrix::within(&points);
+        let xi = 2;
+
+        let mut plain = Bsf::new();
+        let mut pruned = Bsf::new();
+        let mut stats = SearchStats::default();
+        let mut buf = DpBuffers::default();
+        for (i, j) in domain.subsets(xi) {
+            expand_subset(&src, domain, xi, i, j, None, false, &mut plain, &mut stats, &mut buf);
+        }
+        for (i, j) in domain.subsets(xi) {
+            expand_subset(&src, domain, xi, i, j, None, true, &mut pruned, &mut stats, &mut buf);
+        }
+        let p = plain.motif.unwrap();
+        let q = pruned.motif.unwrap();
+        assert!((p.distance - q.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bsf_semantics() {
+        let mut bsf = Bsf::new();
+        assert!(!bsf.prunable(1e300)); // strict > against +∞ fails
+        assert!(!bsf.prunable(f64::INFINITY));
+
+        // Tighten from a group UB: strict pruning only.
+        assert!(bsf.tighten(5.0));
+        assert!(!bsf.prunable(5.0));
+        assert!(bsf.prunable(5.1));
+
+        // A tying candidate is accepted when no pair exists yet.
+        let m = Motif { first: (0, 2), second: (3, 5), distance: 5.0 };
+        assert!(bsf.offer(5.0, m));
+        assert!(bsf.motif.is_some());
+        // Now ties prune.
+        assert!(bsf.prunable(5.0));
+        // A worse candidate is rejected; a better accepted.
+        assert!(!bsf.offer(6.0, m));
+        assert!(bsf.offer(4.0, m));
+        assert_eq!(bsf.value, 4.0);
+        assert!(!bsf.tighten(4.5));
+    }
+}

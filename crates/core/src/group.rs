@@ -1,0 +1,491 @@
+//! Grouping machinery (Section 5): τ-grouping, group distance bounds, group
+//! pattern bounds, and the group-level DFD bounds `GLB_DFD`/`GUB_DFD`.
+//!
+//! ## Safety notes vs. the paper
+//!
+//! * **Group pattern bounds** are derived from the *point-level* relaxed
+//!   arrays: for all candidates starting in block `(g_u, g_v)`,
+//!   `dF ≥ max(min_{i∈g_u} rLB_col(i), min_{j∈g_v} rLB_row(j))` etc.
+//!   This is equivalent in spirit to Section 5.2 but stays sound at every
+//!   refinement level even though pruned blocks elsewhere no longer carry
+//!   bound information (paths of surviving candidates may cross pruned
+//!   regions — the point-level arrays cover them).
+//! * **`GLB_DFD` feasibility** (Eq. 19) uses the exact integer condition
+//!   `ue ≥ u + (ξ+1)/τ` (integer division) instead of the paper's
+//!   real-valued `ue − u > ξ/τ`, which can exclude feasible end groups and
+//!   would make the bound unsafe (see `DESIGN.md`).
+//! * **`GUB_DFD` witnesses** (Eq. 20): a block pair contributes an upper
+//!   bound only when a concrete valid candidate provably exists with those
+//!   end groups ([`witness_exists`], a greedy interval check), and blocks
+//!   whose valid-cell region is empty take `dmax = +∞` so the max-path DP
+//!   can never tunnel through them.
+
+use fremo_trajectory::{DistanceSource, ValidRegion};
+
+use crate::domain::Domain;
+
+/// The τ-grouping of both axes of the distance matrix (Definition 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupGrid {
+    /// Group size τ.
+    pub tau: usize,
+    /// Number of groups on the first axis (`⌈len_a/τ⌉`).
+    pub ga: usize,
+    /// Number of groups on the second axis.
+    pub gb: usize,
+    len_a: usize,
+    len_b: usize,
+}
+
+impl GroupGrid {
+    /// Grid for the given domain and group size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tau == 0`.
+    #[must_use]
+    pub fn new(domain: Domain, tau: usize) -> Self {
+        assert!(tau > 0, "group size τ must be positive");
+        let (len_a, len_b) = (domain.len_a(), domain.len_b());
+        GroupGrid {
+            tau,
+            ga: len_a.max(1).div_ceil(tau),
+            gb: len_b.max(1).div_ceil(tau),
+            len_a,
+            len_b,
+        }
+    }
+
+    /// Point range `[lo, hi]` (inclusive) of group `g` on the first axis;
+    /// `None` when the group starts past the end (possible for padded
+    /// grids).
+    #[must_use]
+    pub fn range_a(&self, g: usize) -> Option<(usize, usize)> {
+        let lo = g * self.tau;
+        if lo >= self.len_a {
+            return None;
+        }
+        Some((lo, ((g + 1) * self.tau - 1).min(self.len_a - 1)))
+    }
+
+    /// Point range of group `g` on the second axis.
+    #[must_use]
+    pub fn range_b(&self, g: usize) -> Option<(usize, usize)> {
+        let lo = g * self.tau;
+        if lo >= self.len_b {
+            return None;
+        }
+        Some((lo, ((g + 1) * self.tau - 1).min(self.len_b - 1)))
+    }
+
+    /// Group index of point `p` (either axis — groups are aligned).
+    #[inline]
+    #[must_use]
+    pub fn group_of(&self, p: usize) -> usize {
+        p / self.tau
+    }
+}
+
+/// Per-level group distance matrices `dminG`/`dmaxG` (Eq. 16–17),
+/// region-restricted: only cells a motif path can visit contribute. Blocks
+/// with no valid cells hold `dmin = dmax = +∞` (see module docs).
+pub struct GroupMatrices {
+    /// The grid this level uses.
+    pub grid: GroupGrid,
+    dmin: Vec<f64>,
+    dmax: Vec<f64>,
+}
+
+impl GroupMatrices {
+    /// Scans the distance source once per block (`O(len_a · len_b)` total).
+    #[must_use]
+    pub fn build<D: DistanceSource>(src: &D, domain: Domain, tau: usize) -> Self {
+        let grid = GroupGrid::new(domain, tau);
+        let region = domain.region();
+        let (ga, gb) = (grid.ga, grid.gb);
+        let mut dmin = vec![f64::INFINITY; ga * gb];
+        let mut dmax = vec![f64::INFINITY; ga * gb];
+        for u in 0..ga {
+            let Some((alo, ahi)) = grid.range_a(u) else { continue };
+            for v in 0..gb {
+                // Upper-triangle region: blocks strictly below the diagonal
+                // are unreachable; skip (they keep +∞/+∞).
+                if region == ValidRegion::UpperTriangle && u > v {
+                    continue;
+                }
+                let Some((blo, bhi)) = grid.range_b(v) else { continue };
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for a in alo..=ahi {
+                    let b_start = match region {
+                        ValidRegion::Full => blo,
+                        ValidRegion::UpperTriangle => blo.max(a + 1),
+                    };
+                    for b in b_start..=bhi {
+                        let d = src.get(a, b);
+                        if d < lo {
+                            lo = d;
+                        }
+                        if d > hi {
+                            hi = d;
+                        }
+                    }
+                }
+                let idx = u * gb + v;
+                if hi.is_finite() {
+                    dmin[idx] = lo;
+                    dmax[idx] = hi;
+                }
+                // else: empty region — both stay +∞ (safe for both DPs).
+            }
+        }
+        GroupMatrices { grid, dmin, dmax }
+    }
+
+    /// `dminG(g_u, g_v)`; `+∞` for unreachable/empty blocks.
+    #[inline]
+    #[must_use]
+    pub fn dmin(&self, u: usize, v: usize) -> f64 {
+        self.dmin[u * self.grid.gb + v]
+    }
+
+    /// `dmaxG(g_u, g_v)`; `+∞` for unreachable/empty blocks.
+    #[inline]
+    #[must_use]
+    pub fn dmax(&self, u: usize, v: usize) -> f64 {
+        self.dmax[u * self.grid.gb + v]
+    }
+
+    /// Heap bytes of both matrices.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        (self.dmin.capacity() + self.dmax.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+/// Does a valid candidate `(i, ie, j, je)` exist with `i ∈ g_u`,
+/// `ie ∈ g_ue`, `j ∈ g_v`, `je ∈ g_ve`?
+///
+/// Greedy over the interval constraints: choosing the smallest feasible
+/// `i`, then `ie`, then `j` is optimal because each later constraint is of
+/// the form `later ≥ earlier + const`.
+#[must_use]
+pub fn witness_exists(
+    grid: &GroupGrid,
+    domain: Domain,
+    xi: usize,
+    u: usize,
+    ue: usize,
+    v: usize,
+    ve: usize,
+) -> bool {
+    let (Some((i_lo, _i_hi)), Some((ie_lo, ie_hi))) = (grid.range_a(u), grid.range_a(ue)) else {
+        return false;
+    };
+    let (Some((j_lo, j_hi)), Some((je_lo, je_hi))) = (grid.range_b(v), grid.range_b(ve)) else {
+        return false;
+    };
+    let i = i_lo;
+    let ie = ie_lo.max(i + xi + 1);
+    if ie > ie_hi {
+        return false;
+    }
+    let j = match domain {
+        Domain::Within { .. } => j_lo.max(ie + 1),
+        Domain::Between { .. } => j_lo,
+    };
+    if j > j_hi {
+        return false;
+    }
+    let je = je_lo.max(j + xi + 1);
+    je <= je_hi
+}
+
+/// Result of the group-level DFD DP for one block pair.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupDfdBounds {
+    /// `GLB_DFD(u, v)`: a safe lower bound on the DFD of every valid
+    /// candidate starting in the block (possibly truncated by early
+    /// termination, in which case it is still a valid lower bound).
+    pub lower: f64,
+    /// `GUB_DFD(u, v)`: an upper bound witnessed by at least one valid
+    /// candidate, or `+∞` when no witness block pair was reached.
+    pub upper: f64,
+}
+
+/// Runs the `dFmin`/`dFmax` recurrences (Definition 5) over end blocks
+/// `(ue, ve)` for start block pair `(u, v)` and extracts
+/// `GLB_DFD`/`GUB_DFD` (Eq. 19–20, with the corrected feasibility
+/// conditions described in the module docs).
+///
+/// `threshold` enables early termination: once the running lower bound can
+/// no longer drop below it, the scan stops (Section 5.3's early
+/// termination; row minima of the DP are non-decreasing).
+#[must_use]
+pub fn group_dfd_bounds(
+    gm: &GroupMatrices,
+    domain: Domain,
+    xi: usize,
+    u: usize,
+    v: usize,
+    threshold: f64,
+) -> GroupDfdBounds {
+    let grid = &gm.grid;
+    let gb = grid.gb;
+
+    // End-block ranges.
+    let ue_hi = match domain {
+        Domain::Within { .. } => v.min(grid.ga - 1),
+        Domain::Between { .. } => grid.ga - 1,
+    };
+    let ve_hi = gb - 1;
+    if u > ue_hi || v > ve_hi {
+        return GroupDfdBounds { lower: f64::INFINITY, upper: f64::INFINITY };
+    }
+    // Every candidate's end groups satisfy ue ≥ u + (ξ+1)/τ (exact integer
+    // feasibility; over-inclusive is safe for the lower bound).
+    let shift = (xi + 1) / grid.tau;
+    let ue_feasible_lo = u + shift;
+    let ve_feasible_lo = v + shift;
+
+    let width = ve_hi - v + 1; // column offset k ↔ ve = v + k
+    let mut prev_min = vec![f64::INFINITY; width];
+    let mut curr_min = vec![f64::INFINITY; width];
+    let mut prev_max = vec![f64::INFINITY; width];
+    let mut curr_max = vec![f64::INFINITY; width];
+
+    let mut lower_best = f64::INFINITY;
+    let mut upper_best = f64::INFINITY;
+
+    // Boundary row ue = u: running max along ve (single-row coupling).
+    {
+        let mut run_min = f64::NEG_INFINITY;
+        let mut run_max = f64::NEG_INFINITY;
+        for k in 0..width {
+            let ve = v + k;
+            run_min = run_min.max(gm.dmin(u, ve));
+            run_max = run_max.max(gm.dmax(u, ve));
+            prev_min[k] = run_min;
+            prev_max[k] = run_max;
+            consider(
+                gm, domain, xi, u, v, u, ve, ue_feasible_lo, ve_feasible_lo, run_min, run_max,
+                &mut lower_best, &mut upper_best,
+            );
+        }
+    }
+
+    for ue in (u + 1)..=ue_hi {
+        let mut row_min_of_mins = f64::INFINITY;
+        for k in 0..width {
+            let ve = v + k;
+            let (reach_min, reach_max) = if k == 0 {
+                (prev_min[0], prev_max[0])
+            } else {
+                (
+                    prev_min[k].min(prev_min[k - 1]).min(curr_min[k - 1]),
+                    prev_max[k].min(prev_max[k - 1]).min(curr_max[k - 1]),
+                )
+            };
+            let vmin = reach_min.max(gm.dmin(ue, ve));
+            let vmax = reach_max.max(gm.dmax(ue, ve));
+            curr_min[k] = vmin;
+            curr_max[k] = vmax;
+            row_min_of_mins = row_min_of_mins.min(vmin);
+            consider(
+                gm, domain, xi, u, v, ue, ve, ue_feasible_lo, ve_feasible_lo, vmin, vmax,
+                &mut lower_best, &mut upper_best,
+            );
+        }
+        // Early termination: dFmin row minima never decrease, so once the
+        // current row cannot improve on what we have (and we already beat
+        // or met the caller's threshold question), stop. The reported lower
+        // bound min(lower_best, row_min) is still safe.
+        let decided = lower_best.min(row_min_of_mins);
+        if decided >= threshold && decided.is_finite() {
+            return GroupDfdBounds { lower: decided, upper: upper_best };
+        }
+        std::mem::swap(&mut prev_min, &mut curr_min);
+        std::mem::swap(&mut prev_max, &mut curr_max);
+    }
+
+    GroupDfdBounds { lower: lower_best, upper: upper_best }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn consider(
+    gm: &GroupMatrices,
+    domain: Domain,
+    xi: usize,
+    u: usize,
+    v: usize,
+    ue: usize,
+    ve: usize,
+    ue_feasible_lo: usize,
+    ve_feasible_lo: usize,
+    vmin: f64,
+    vmax: f64,
+    lower_best: &mut f64,
+    upper_best: &mut f64,
+) {
+    if ue >= ue_feasible_lo && ve >= ve_feasible_lo && vmin < *lower_best {
+        *lower_best = vmin;
+    }
+    if vmax < *upper_best && witness_exists(&gm.grid, domain, xi, u, ue, v, ve) {
+        *upper_best = vmax;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_similarity::dfd;
+    use fremo_trajectory::gen::planar;
+    use fremo_trajectory::DenseMatrix;
+
+    #[test]
+    fn grid_ranges() {
+        let g = GroupGrid::new(Domain::Within { n: 10 }, 4);
+        assert_eq!(g.ga, 3);
+        assert_eq!(g.range_a(0), Some((0, 3)));
+        assert_eq!(g.range_a(1), Some((4, 7)));
+        assert_eq!(g.range_a(2), Some((8, 9))); // partial block
+        assert_eq!(g.range_a(3), None);
+        assert_eq!(g.group_of(7), 1);
+        assert_eq!(g.group_of(8), 2);
+    }
+
+    #[test]
+    fn group_matrices_bound_point_distances() {
+        let t = planar::random_walk(30, 0.4, 5);
+        let src = DenseMatrix::within(t.points());
+        let domain = Domain::Within { n: 30 };
+        let gm = GroupMatrices::build(&src, domain, 4);
+        for u in 0..gm.grid.ga {
+            for v in u..gm.grid.gb {
+                let (alo, ahi) = gm.grid.range_a(u).unwrap();
+                let (blo, bhi) = gm.grid.range_b(v).unwrap();
+                for a in alo..=ahi {
+                    for b in blo.max(a + 1)..=bhi {
+                        let d = src.get(a, b);
+                        assert!(gm.dmin(u, v) <= d + 1e-12, "dmin violated at ({a},{b})");
+                        assert!(gm.dmax(u, v) + 1e-12 >= d, "dmax violated at ({a},{b})");
+                    }
+                }
+            }
+        }
+        // Blocks below the diagonal are unreachable.
+        assert_eq!(gm.dmin(2, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn paper_example_group_distances() {
+        // Figure 10(b): for groups g2 = [4,5], g5 = [10,11],
+        // dminG = 6 and dmaxG = 9.
+        let m = crate::bounds::tests::figure5();
+        let gm = GroupMatrices::build(&m, Domain::Within { n: 12 }, 2);
+        assert_eq!(gm.dmin(2, 5), 6.0);
+        assert_eq!(gm.dmax(2, 5), 9.0);
+    }
+
+    #[test]
+    fn witness_feasibility() {
+        let grid = GroupGrid::new(Domain::Within { n: 40 }, 4);
+        let domain = Domain::Within { n: 40 };
+        // ξ = 3: i=0, ie ≥ 4 → ie can live in group 1; j ≥ ie+1, je ≥ j+4.
+        assert!(witness_exists(&grid, domain, 3, 0, 1, 2, 4));
+        // Same-group ie with tiny ξ is fine: i=0, ie=2 ∈ g0? ie ≥ i+2 → 2.
+        assert!(witness_exists(&grid, domain, 1, 0, 0, 1, 2));
+        // Impossible: ie group entirely before i + ξ + 1.
+        assert!(!witness_exists(&grid, domain, 10, 0, 1, 5, 9));
+        // Overlap violation: j must exceed ie; ue == v with full blocks
+        // leaves no room when je's group equals v too... construct: u=0,
+        // ue=3, v=3, ve=3 and ξ=1: i=0, ie=max(12, 2)=12, j=max(12,13)=13,
+        // je=max(12,15)=15 > 15? je_hi=15 → feasible.
+        assert!(witness_exists(&grid, domain, 1, 0, 3, 3, 3));
+        // But with ξ=3 je = j+4 = 17 > 15 → infeasible.
+        assert!(!witness_exists(&grid, domain, 3, 0, 3, 3, 3));
+    }
+
+    #[test]
+    fn group_dfd_bounds_sandwich_true_dfd() {
+        // Lemma 3/4: GLB ≤ dF(candidate) ≤ (witnessed) GUB for every valid
+        // candidate starting in the block.
+        let t = planar::random_walk(36, 0.5, 11);
+        let pts = t.points();
+        let src = DenseMatrix::within(pts);
+        let domain = Domain::Within { n: 36 };
+        let xi = 2;
+        let gm = GroupMatrices::build(&src, domain, 4);
+
+        for u in 0..gm.grid.ga {
+            for v in u..gm.grid.gb {
+                let b = group_dfd_bounds(&gm, domain, xi, u, v, f64::INFINITY);
+                let (alo, ahi) = gm.grid.range_a(u).unwrap();
+                let (blo, bhi) = gm.grid.range_b(v).unwrap();
+                let mut any = false;
+                let mut best = f64::INFINITY;
+                for i in alo..=ahi {
+                    for j in blo..=bhi {
+                        for ie in (i + xi + 1)..j.min(pts.len()) {
+                            for je in (j + xi + 1)..pts.len() {
+                                let d = dfd(&pts[i..=ie], &pts[j..=je]);
+                                any = true;
+                                best = best.min(d);
+                                assert!(
+                                    b.lower <= d + 1e-9,
+                                    "GLB {} > dF {} for ({i},{ie},{j},{je}) in block ({u},{v})",
+                                    b.lower,
+                                    d
+                                );
+                            }
+                        }
+                    }
+                }
+                if any {
+                    // The upper bound must be achieved by some candidate.
+                    assert!(
+                        b.upper + 1e-9 >= best,
+                        "GUB {} < best {} in block ({u},{v})",
+                        b.upper,
+                        best
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_is_still_safe() {
+        let t = planar::random_walk(36, 0.5, 13);
+        let src = DenseMatrix::within(t.points());
+        let domain = Domain::Within { n: 36 };
+        let xi = 2;
+        let gm = GroupMatrices::build(&src, domain, 4);
+        for u in 0..gm.grid.ga {
+            for v in u..gm.grid.gb {
+                let full = group_dfd_bounds(&gm, domain, xi, u, v, f64::INFINITY);
+                for thr in [0.1, 0.5, 1.0, 2.0] {
+                    let cut = group_dfd_bounds(&gm, domain, xi, u, v, thr);
+                    // The truncated lower bound never exceeds the exact one
+                    // ... it must still lower-bound all candidates, i.e. be
+                    // ≤ the exact GLB.
+                    assert!(
+                        cut.lower <= full.lower + 1e-12,
+                        "block ({u},{v}) thr {thr}: cut {} > full {}",
+                        cut.lower,
+                        full.lower
+                    );
+                    // And when it claims prunability vs thr, the exact one
+                    // must agree that nothing below thr exists.
+                    if cut.lower >= thr {
+                        assert!(full.lower >= thr - 1e-12);
+                    }
+                    // Upper bounds from a truncated scan are still valid
+                    // upper bounds (checked against full's witnesses).
+                    assert!(cut.upper + 1e-12 >= full.upper);
+                }
+            }
+        }
+    }
+}

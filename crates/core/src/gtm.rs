@@ -1,0 +1,454 @@
+//! `GTM` (Algorithm 3): grouping-based trajectory motif discovery.
+//!
+//! The multi-level framework of Figure 9: partition the trajectory into
+//! groups of τ samples, prune unpromising *pairs of groups* with `O(1)`
+//! pattern bounds and then with the group-level DFD bounds, halve τ and
+//! repeat on the survivors, and finally run the BTM machinery on the
+//! surviving candidate subsets.
+//!
+//! One deliberate refinement over the pseudocode: Algorithm 3's
+//! `S_survive` keeps surviving *groups* and re-pairs them at the next
+//! level; we keep surviving group *pairs* and split each into its four
+//! children, which is strictly more precise (a pair prunes independently of
+//! what other pairs its groups participate in) and equally safe — every
+//! candidate lives in exactly one pair per level.
+
+use std::time::Instant;
+
+use fremo_trajectory::{DenseMatrix, DistanceSource, GroundDistance, Trajectory};
+
+use crate::algorithm::MotifDiscovery;
+use crate::bounds::{BoundTables, RelaxedTables};
+use crate::config::{BoundKind, BoundSelection, MotifConfig};
+use crate::domain::Domain;
+use crate::dp::{Bsf, DpBuffers};
+use crate::group::{group_dfd_bounds, GroupGrid, GroupMatrices};
+use crate::result::Motif;
+use crate::search::{build_entries, list_bytes, process_sorted_subsets, ListEntry};
+use crate::stats::SearchStats;
+
+/// The grouping-based solution of Algorithm 3.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gtm;
+
+/// Per-level pattern-bound arrays for groups, derived from the point-level
+/// relaxed arrays (see `group` module docs for why this stays safe at every
+/// refinement level).
+pub(crate) struct GroupPatternBounds {
+    cross_a: Vec<f64>,
+    cross_b: Vec<f64>,
+    band_a: Vec<f64>,
+    band_b: Vec<f64>,
+}
+
+impl GroupPatternBounds {
+    pub(crate) fn build(relaxed: &RelaxedTables, grid: &GroupGrid) -> Self {
+        let mut cross_a = vec![f64::INFINITY; grid.ga];
+        let mut band_a = vec![f64::INFINITY; grid.ga];
+        for (u, (ca, ba)) in cross_a.iter_mut().zip(band_a.iter_mut()).enumerate() {
+            if let Some((lo, hi)) = grid.range_a(u) {
+                let mut c = f64::INFINITY;
+                let mut b = f64::INFINITY;
+                for i in lo..=hi {
+                    c = c.min(relaxed.mins().col_min(i + 1));
+                    b = b.min(relaxed.band_col(i));
+                }
+                *ca = c;
+                *ba = b;
+            }
+        }
+        let mut cross_b = vec![f64::INFINITY; grid.gb];
+        let mut band_b = vec![f64::INFINITY; grid.gb];
+        for (v, (cb, bb)) in cross_b.iter_mut().zip(band_b.iter_mut()).enumerate() {
+            if let Some((lo, hi)) = grid.range_b(v) {
+                let mut c = f64::INFINITY;
+                let mut b = f64::INFINITY;
+                for j in lo..=hi {
+                    c = c.min(relaxed.mins().row_min(j + 1));
+                    b = b.min(relaxed.band_row(j));
+                }
+                *cb = c;
+                *bb = b;
+            }
+        }
+        GroupPatternBounds { cross_a, cross_b, band_a, band_b }
+    }
+
+    /// Combined pattern bound for block pair `(u, v)` under the selection.
+    pub(crate) fn bound(&self, sel: BoundSelection, gcell: f64, u: usize, v: usize) -> f64 {
+        let mut lb = f64::NEG_INFINITY;
+        if sel.cell && gcell.is_finite() {
+            lb = lb.max(gcell);
+        }
+        if sel.cross {
+            let c = self.cross_a[u].max(self.cross_b[v]);
+            if c.is_finite() {
+                lb = lb.max(c);
+            }
+        }
+        if sel.band {
+            let b = self.band_a[u].max(self.band_b[v]);
+            if b.is_finite() {
+                lb = lb.max(b);
+            }
+        }
+        lb
+    }
+}
+
+/// Sum of candidate pairs over all subsets starting inside block `(u, v)`.
+pub(crate) fn pairs_in_block(domain: Domain, grid: &GroupGrid, xi: usize, u: usize, v: usize) -> u128 {
+    let (Some((alo, ahi)), Some((blo, bhi))) = (grid.range_a(u), grid.range_b(v)) else {
+        return 0;
+    };
+    let mut total = 0u128;
+    for i in alo..=ahi {
+        for j in blo..=bhi {
+            total += domain.pairs_in_subset(i, j, xi);
+        }
+    }
+    total
+}
+
+/// Whether block `(u, v)` contains at least one non-empty candidate subset.
+pub(crate) fn block_nonempty(domain: Domain, grid: &GroupGrid, xi: usize, u: usize, v: usize) -> bool {
+    let (Some((alo, _ahi)), Some((blo, bhi))) = (grid.range_a(u), grid.range_b(v)) else {
+        return false;
+    };
+    match domain {
+        Domain::Within { n } => {
+            // Most permissive i is alo; j must leave room for ie below it
+            // and je above it.
+            let j_lo_feasible = alo + xi + 2;
+            let j_hi_feasible = n.saturating_sub(xi + 2);
+            blo.max(j_lo_feasible) <= bhi.min(j_hi_feasible)
+        }
+        Domain::Between { n, m } => alo + xi + 1 < n && blo + xi + 1 < m,
+    }
+}
+
+/// One grouping level: prune the given block pairs, tighten `bsf` with
+/// group upper bounds, and return the survivors. Shared by GTM (per level)
+/// and GTM* (single level).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_group_level(
+    gm: &GroupMatrices,
+    pattern: &GroupPatternBounds,
+    domain: Domain,
+    xi: usize,
+    sel: BoundSelection,
+    pairs: &[(u32, u32)],
+    bsf: &mut Bsf,
+    stats: &mut SearchStats,
+) -> Vec<(u32, u32)> {
+    let mut entries: Vec<(f64, u32, u32)> = pairs
+        .iter()
+        .map(|&(u, v)| {
+            let gcell = gm.dmin(u as usize, v as usize);
+            (pattern.bound(sel, gcell, u as usize, v as usize), u, v)
+        })
+        .collect();
+    entries.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+    stats.bytes_lists = stats
+        .bytes_lists
+        .max(entries.len() * std::mem::size_of::<(f64, u32, u32)>());
+
+    let mut survivors = Vec::new();
+    let mut stop = entries.len();
+    for (idx, &(lb, u, v)) in entries.iter().enumerate() {
+        stats.group_pairs_total += 1;
+        if bsf.prunable(lb) {
+            stop = idx;
+            break;
+        }
+        let (u_us, v_us) = (u as usize, v as usize);
+        let bounds = group_dfd_bounds(gm, domain, xi, u_us, v_us, bsf.value);
+        if bsf.prunable(bounds.lower) {
+            stats.group_pairs_pruned_dfd += 1;
+            stats.record_subset_pruned(
+                BoundKind::GroupDfd,
+                pairs_in_block(domain, &gm.grid, xi, u_us, v_us),
+            );
+            continue;
+        }
+        survivors.push((u, v));
+        stats.group_pairs_survived += 1;
+        if bounds.upper < bsf.value && bsf.tighten(bounds.upper) {
+            stats.bsf_tightened_by_group_ub += 1;
+        }
+    }
+    for &(_, u, v) in &entries[stop..] {
+        stats.group_pairs_total += 1;
+        stats.group_pairs_pruned_pattern += 1;
+        stats.record_subset_pruned(
+            BoundKind::GroupPattern,
+            pairs_in_block(domain, &gm.grid, xi, u as usize, v as usize),
+        );
+    }
+    survivors
+}
+
+/// Splits surviving block pairs at group size τ into their children at
+/// τ/2, keeping only children that can contain candidates.
+pub(crate) fn split_pairs(
+    domain: Domain,
+    xi: usize,
+    survivors: &[(u32, u32)],
+    child_grid: &GroupGrid,
+) -> Vec<(u32, u32)> {
+    let mut out = Vec::with_capacity(survivors.len() * 4);
+    for &(u, v) in survivors {
+        for cu in [2 * u, 2 * u + 1] {
+            for cv in [2 * v, 2 * v + 1] {
+                let (cu_us, cv_us) = (cu as usize, cv as usize);
+                if cu_us >= child_grid.ga || cv_us >= child_grid.gb {
+                    continue;
+                }
+                if matches!(domain, Domain::Within { .. }) && cu > cv {
+                    continue;
+                }
+                if block_nonempty(domain, child_grid, xi, cu_us, cv_us) {
+                    out.push((cu, cv));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Initial block-pair enumeration at the coarsest level.
+pub(crate) fn initial_pairs(domain: Domain, xi: usize, grid: &GroupGrid) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for u in 0..grid.ga {
+        let v_lo = match domain {
+            Domain::Within { .. } => u,
+            Domain::Between { .. } => 0,
+        };
+        for v in v_lo..grid.gb {
+            if block_nonempty(domain, grid, xi, u, v) {
+                out.push((u as u32, v as u32));
+            }
+        }
+    }
+    out
+}
+
+impl Gtm {
+    pub(crate) fn run<D: DistanceSource>(
+        src: &D,
+        domain: Domain,
+        config: &MotifConfig,
+        epsilon: f64,
+        started: Instant,
+    ) -> (Option<Motif>, SearchStats) {
+        let xi = config.min_length;
+        let sel = config.bounds;
+
+        let tables = BoundTables::build(src, domain, xi, sel);
+        // Group pattern bounds always use relaxed arrays; build them
+        // separately when the final stage runs tight bounds.
+        let relaxed_extra;
+        let relaxed: &RelaxedTables = match tables.as_relaxed() {
+            Some(r) => r,
+            None => {
+                relaxed_extra = RelaxedTables::build(src, domain, xi);
+                &relaxed_extra
+            }
+        };
+
+        let mut stats = SearchStats {
+            bytes_distance_matrix: src.bytes(),
+            bytes_bounds: tables.bytes(),
+            subsets_total: domain.subsets_count(xi),
+            pairs_total: domain.pairs_count(xi),
+            precompute_seconds: started.elapsed().as_secs_f64(),
+            ..SearchStats::default()
+        };
+
+        // τ rounded up to a power of two so repeated halving reaches 1.
+        let mut tau = config.group_size.next_power_of_two().max(1);
+        let max_len = domain.len_a().max(domain.len_b()).max(1);
+        while tau > max_len {
+            tau /= 2;
+        }
+        let tau0 = tau.max(1);
+
+        let mut bsf = Bsf::approximate(epsilon);
+        let mut survivors = initial_pairs(domain, xi, &GroupGrid::new(domain, tau0));
+
+        let mut level_tau = tau0;
+        while level_tau > 1 && !survivors.is_empty() {
+            let gm = GroupMatrices::build(src, domain, level_tau);
+            stats.bytes_groups = stats.bytes_groups.max(gm.bytes());
+            let pattern = GroupPatternBounds::build(relaxed, &gm.grid);
+            let level_survivors = process_group_level(
+                &gm, &pattern, domain, xi, sel, &survivors, &mut bsf, &mut stats,
+            );
+            let child_grid = GroupGrid::new(domain, level_tau / 2);
+            survivors = split_pairs(domain, xi, &level_survivors, &child_grid);
+            level_tau /= 2;
+        }
+
+        // Final stage: survivors are candidate subsets (τ = 1).
+        let starts = survivors
+            .iter()
+            .map(|&(i, j)| (i as usize, j as usize))
+            .filter(|&(i, j)| domain.subset_nonempty(i, j, xi));
+        let mut entries: Vec<ListEntry> = build_entries(src, &tables, sel, starts);
+        stats.bytes_lists = stats.bytes_lists.max(list_bytes(&entries));
+
+        let mut buf = DpBuffers::with_width(domain.len_b());
+        stats.bytes_dp = buf.bytes();
+        process_sorted_subsets(
+            src, domain, xi, sel, &tables, &mut entries, &mut bsf, &mut stats, &mut buf,
+        );
+
+        stats.total_seconds = started.elapsed().as_secs_f64();
+        (bsf.motif, stats)
+    }
+}
+
+impl<P: GroundDistance> MotifDiscovery<P> for Gtm {
+    fn name(&self) -> &'static str {
+        "GTM"
+    }
+
+    fn discover_with_stats(
+        &self,
+        trajectory: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats) {
+        let started = Instant::now();
+        let domain = Domain::Within { n: trajectory.len() };
+        let src = DenseMatrix::within(trajectory.points());
+        Self::run(&src, domain, config, 0.0, started)
+    }
+
+    fn discover_between_with_stats(
+        &self,
+        a: &Trajectory<P>,
+        b: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats) {
+        let started = Instant::now();
+        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let src = DenseMatrix::between(a.points(), b.points());
+        Self::run(&src, domain, config, 0.0, started)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteDp;
+    use crate::btm::Btm;
+    use fremo_trajectory::gen::planar;
+
+    #[test]
+    fn agrees_with_brutedp_on_random_walks() {
+        for seed in 0..6 {
+            let t = planar::random_walk(48, 0.35, seed);
+            let cfg = MotifConfig::new(3).with_group_size(8);
+            let brute = BruteDp.discover(&t, &cfg).expect("brute");
+            let gtm = Gtm.discover(&t, &cfg).expect("gtm");
+            assert!(
+                (brute.distance - gtm.distance).abs() < 1e-12,
+                "seed {seed}: brute={} gtm={}",
+                brute.distance,
+                gtm.distance
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_across_group_sizes() {
+        let t = planar::random_walk(64, 0.4, 17);
+        let reference = Btm.discover(&t, &MotifConfig::new(4)).unwrap();
+        for tau in [1, 2, 4, 8, 16, 32, 64, 128] {
+            let cfg = MotifConfig::new(4).with_group_size(tau);
+            let m = Gtm.discover(&t, &cfg).expect("motif");
+            assert!(
+                (m.distance - reference.distance).abs() < 1e-12,
+                "tau={tau}: {} vs {}",
+                m.distance,
+                reference.distance
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_between_trajectories() {
+        for seed in 0..4 {
+            let a = planar::random_walk(40, 0.4, seed);
+            let b = planar::random_walk(34, 0.4, seed + 50);
+            let cfg = MotifConfig::new(3).with_group_size(8);
+            let brute = BruteDp.discover_between(&a, &b, &cfg).expect("brute");
+            let gtm = Gtm.discover_between(&a, &b, &cfg).expect("gtm");
+            assert!(
+                (brute.distance - gtm.distance).abs() < 1e-12,
+                "seed {seed}: {} vs {}",
+                brute.distance,
+                gtm.distance
+            );
+        }
+    }
+
+    #[test]
+    fn pairs_accounting_is_complete() {
+        let t = planar::random_walk(60, 0.4, 23);
+        let cfg = MotifConfig::new(4).with_group_size(8);
+        let (motif, stats) = Gtm.discover_with_stats(&t, &cfg);
+        assert!(motif.is_some());
+        let accounted = stats.pairs_pruned_cell
+            + stats.pairs_pruned_cross
+            + stats.pairs_pruned_band
+            + stats.pairs_pruned_group_pattern
+            + stats.pairs_pruned_group_dfd
+            + stats.pairs_exact;
+        assert_eq!(accounted, stats.pairs_total);
+    }
+
+    #[test]
+    fn block_helpers() {
+        let domain = Domain::Within { n: 40 };
+        let grid = GroupGrid::new(domain, 8);
+        let xi = 3;
+        // Block (0, 0): j ≤ 7 but j must be ≥ i+ξ+2 ≥ 5 and ≤ 35 → j ∈ [5,7].
+        assert!(block_nonempty(domain, &grid, xi, 0, 0));
+        // Block (4, 0) is below the diagonal in practice (i ≥ 32, j ≤ 7).
+        assert!(!block_nonempty(domain, &grid, xi, 4, 0));
+        // pairs_in_block sums subsets exactly.
+        let total: u128 =
+            (0..grid.ga).flat_map(|u| (0..grid.gb).map(move |v| (u, v)))
+                .map(|(u, v)| pairs_in_block(domain, &grid, xi, u, v))
+                .sum();
+        assert_eq!(total, domain.pairs_count(xi));
+    }
+
+    #[test]
+    fn initial_pairs_cover_all_subsets() {
+        let domain = Domain::Within { n: 50 };
+        let xi = 2;
+        let grid = GroupGrid::new(domain, 8);
+        let pairs = initial_pairs(domain, xi, &grid);
+        // Every non-empty subset's block must be listed.
+        for (i, j) in domain.subsets(xi) {
+            let (u, v) = (grid.group_of(i) as u32, grid.group_of(j) as u32);
+            assert!(pairs.contains(&(u, v)), "subset ({i},{j}) block ({u},{v}) missing");
+        }
+    }
+
+    #[test]
+    fn split_preserves_coverage() {
+        let domain = Domain::Within { n: 50 };
+        let xi = 2;
+        let parent = GroupGrid::new(domain, 8);
+        let child = GroupGrid::new(domain, 4);
+        let parents = initial_pairs(domain, xi, &parent);
+        let children = split_pairs(domain, xi, &parents, &child);
+        for (i, j) in domain.subsets(xi) {
+            let (u, v) = (child.group_of(i) as u32, child.group_of(j) as u32);
+            assert!(children.contains(&(u, v)), "subset ({i},{j}) lost in split");
+        }
+    }
+}

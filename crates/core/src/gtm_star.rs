@@ -1,0 +1,198 @@
+//! `GTM*` (Section 5.5): the space-efficient variant of GTM.
+//!
+//! Three ideas: (i) ground distances are computed on the fly (no `dG`
+//! matrix), (ii) the DP uses `O(n)` space (two rolling rows — which the
+//! shared [`crate::dp::expand_subset`] already does), and (iii) the
+//! grouping loop runs exactly once at the configured τ. Space drops to
+//! `O(max{(n/τ)², n})` while time grows because more group pairs survive a
+//! single level and every `dG` access recomputes a distance.
+
+use std::time::Instant;
+
+use fremo_trajectory::{DistanceSource, GroundDistance, LazyDistances, Trajectory};
+
+use crate::algorithm::MotifDiscovery;
+use crate::bounds::{BoundTables, RelaxedTables};
+use crate::config::MotifConfig;
+use crate::domain::Domain;
+use crate::dp::{Bsf, DpBuffers};
+use crate::group::{GroupGrid, GroupMatrices};
+use crate::gtm::{initial_pairs, process_group_level, GroupPatternBounds};
+use crate::result::Motif;
+use crate::search::{build_entries, list_bytes, process_sorted_subsets, ListEntry};
+use crate::stats::SearchStats;
+
+/// The space-efficient grouping solution of Section 5.5.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GtmStar;
+
+impl GtmStar {
+    fn run<D: DistanceSource>(
+        src: &D,
+        domain: Domain,
+        config: &MotifConfig,
+        started: Instant,
+    ) -> (Option<Motif>, SearchStats) {
+        let xi = config.min_length;
+        let sel = config.bounds;
+
+        // GTM* always uses the relaxed O(1) bounds: tight tables would
+        // reintroduce the O(n²) memory it exists to avoid.
+        let relaxed = RelaxedTables::build(src, domain, xi);
+
+        let mut stats = SearchStats {
+            bytes_distance_matrix: src.bytes(), // 0 for LazyDistances
+            bytes_bounds: relaxed.bytes(),
+            subsets_total: domain.subsets_count(xi),
+            pairs_total: domain.pairs_count(xi),
+            precompute_seconds: started.elapsed().as_secs_f64(),
+            ..SearchStats::default()
+        };
+
+        let max_len = domain.len_a().max(domain.len_b()).max(1);
+        let mut tau = config.group_size.next_power_of_two().max(1);
+        while tau > max_len {
+            tau /= 2;
+        }
+
+        let mut bsf = Bsf::new();
+
+        // Single grouping level (Idea iii).
+        let survivors = if tau > 1 {
+            let gm = GroupMatrices::build(src, domain, tau);
+            stats.bytes_groups = gm.bytes();
+            let pattern = GroupPatternBounds::build(&relaxed, &gm.grid);
+            let pairs = initial_pairs(domain, xi, &gm.grid);
+            process_group_level(&gm, &pattern, domain, xi, sel, &pairs, &mut bsf, &mut stats)
+        } else {
+            initial_pairs(domain, xi, &GroupGrid::new(domain, 1))
+        };
+
+        // Expand surviving blocks directly into candidate subsets.
+        let grid = GroupGrid::new(domain, tau);
+        let tables = BoundTables::Relaxed(relaxed);
+        let mut starts = Vec::new();
+        for &(u, v) in &survivors {
+            let (Some((alo, ahi)), Some((blo, bhi))) =
+                (grid.range_a(u as usize), grid.range_b(v as usize))
+            else {
+                continue;
+            };
+            for i in alo..=ahi {
+                for j in blo..=bhi {
+                    if domain.subset_nonempty(i, j, xi) {
+                        starts.push((i, j));
+                    }
+                }
+            }
+        }
+        let mut entries: Vec<ListEntry> = build_entries(src, &tables, sel, starts.into_iter());
+        stats.bytes_lists = stats.bytes_lists.max(list_bytes(&entries));
+
+        let mut buf = DpBuffers::with_width(domain.len_b());
+        stats.bytes_dp = buf.bytes();
+        process_sorted_subsets(
+            src, domain, xi, sel, &tables, &mut entries, &mut bsf, &mut stats, &mut buf,
+        );
+
+        stats.total_seconds = started.elapsed().as_secs_f64();
+        (bsf.motif, stats)
+    }
+}
+
+impl<P: GroundDistance> MotifDiscovery<P> for GtmStar {
+    fn name(&self) -> &'static str {
+        "GTM*"
+    }
+
+    fn discover_with_stats(
+        &self,
+        trajectory: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats) {
+        let started = Instant::now();
+        let domain = Domain::Within { n: trajectory.len() };
+        let src = LazyDistances::within(trajectory.points());
+        Self::run(&src, domain, config, started)
+    }
+
+    fn discover_between_with_stats(
+        &self,
+        a: &Trajectory<P>,
+        b: &Trajectory<P>,
+        config: &MotifConfig,
+    ) -> (Option<Motif>, SearchStats) {
+        let started = Instant::now();
+        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let src = LazyDistances::between(a.points(), b.points());
+        Self::run(&src, domain, config, started)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteDp;
+    use crate::btm::Btm;
+    use crate::gtm::Gtm;
+    use fremo_trajectory::gen::planar;
+
+    #[test]
+    fn agrees_with_brutedp_on_random_walks() {
+        for seed in 0..6 {
+            let t = planar::random_walk(48, 0.35, seed);
+            let cfg = MotifConfig::new(3).with_group_size(8);
+            let brute = BruteDp.discover(&t, &cfg).expect("brute");
+            let star = GtmStar.discover(&t, &cfg).expect("gtm*");
+            assert!(
+                (brute.distance - star.distance).abs() < 1e-12,
+                "seed {seed}: brute={} gtm*={}",
+                brute.distance,
+                star.distance
+            );
+        }
+    }
+
+    #[test]
+    fn all_four_algorithms_agree() {
+        let t = planar::random_walk(56, 0.45, 99);
+        let cfg = MotifConfig::new(4).with_group_size(8);
+        let d_brute = BruteDp.discover(&t, &cfg).unwrap().distance;
+        let d_btm = Btm.discover(&t, &cfg).unwrap().distance;
+        let d_gtm = Gtm.discover(&t, &cfg).unwrap().distance;
+        let d_star = GtmStar.discover(&t, &cfg).unwrap().distance;
+        assert!((d_brute - d_btm).abs() < 1e-12);
+        assert!((d_brute - d_gtm).abs() < 1e-12);
+        assert!((d_brute - d_star).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uses_no_distance_matrix_memory() {
+        let t = planar::random_walk(64, 0.4, 3);
+        let cfg = MotifConfig::new(4).with_group_size(8);
+        let (motif, stats) = GtmStar.discover_with_stats(&t, &cfg);
+        assert!(motif.is_some());
+        assert_eq!(stats.bytes_distance_matrix, 0);
+        // Bound arrays are linear: far below n² × 8.
+        assert!(stats.bytes_bounds < 64 * 64 * 8 / 2);
+    }
+
+    #[test]
+    fn between_agrees_with_btm() {
+        let a = planar::random_walk(40, 0.4, 7);
+        let b = planar::random_walk(36, 0.4, 8);
+        let cfg = MotifConfig::new(3).with_group_size(8);
+        let btm = Btm.discover_between(&a, &b, &cfg).unwrap();
+        let star = GtmStar.discover_between(&a, &b, &cfg).unwrap();
+        assert!((btm.distance - star.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_tau_one_still_works() {
+        let t = planar::random_walk(30, 0.4, 5);
+        let cfg = MotifConfig::new(2).with_group_size(1);
+        let brute = BruteDp.discover(&t, &cfg).unwrap();
+        let star = GtmStar.discover(&t, &cfg).unwrap();
+        assert!((brute.distance - star.distance).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,241 @@
+//! DFD similarity join — another of the paper's future-work applications:
+//! *"apply similar optimizations in order to accelerate other trajectory
+//! analysis operations that rely on DFD, such as similarity join"*.
+//!
+//! Given two collections of (whole) trajectories and a threshold `ε`,
+//! [`similarity_join`] returns every cross pair with `DFD ≤ ε`. Two
+//! cheap, safe filters run before the quadratic DFD kernel:
+//!
+//! 1. **Endpoints** — every coupling matches first-with-first and
+//!    last-with-last, so `max(d(a₀,b₀), d(aₙ,bₘ)) ≤ DFD`.
+//! 2. **Directed Hausdorff** — `max_p min_q d(p,q) ≤ DFD` (orderless
+//!    matching can only do better); evaluated with early exit, so a
+//!    far-apart pair costs roughly one scan of the first trajectory.
+//!
+//! Surviving pairs run the `O(ℓ²)` *decision* kernel
+//! ([`fremo_similarity::dfd_decision`]), which abandons as soon as no
+//! coupling can stay under `ε`.
+
+use fremo_similarity::dfd_decision;
+use fremo_trajectory::{GroundDistance, Trajectory};
+
+
+/// Result of a similarity join.
+#[derive(Debug, Clone, Default)]
+pub struct JoinResult {
+    /// Index pairs `(a_idx, b_idx)` with `DFD ≤ ε`.
+    pub pairs: Vec<(usize, usize)>,
+    /// Candidate pairs eliminated by the endpoint filter.
+    pub pruned_endpoints: u64,
+    /// Candidate pairs eliminated by the directed-Hausdorff filter.
+    pub pruned_hausdorff: u64,
+    /// Candidate pairs that ran the full decision kernel.
+    pub verified: u64,
+}
+
+/// Directed "max-min" lower bound with early exit at `eps`: returns `true`
+/// when some point of `a` is farther than `eps` from every point of `b`
+/// (⇒ `DFD > eps`, prune).
+fn hausdorff_exceeds<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
+    'outer: for p in a {
+        for q in b {
+            if p.distance(q) <= eps {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// All pairs `(i, j)` with `DFD(a[i], b[j]) ≤ eps`.
+///
+/// # Panics
+///
+/// Panics when `eps` is negative or NaN.
+#[must_use]
+pub fn similarity_join<P: GroundDistance>(
+    a: &[Trajectory<P>],
+    b: &[Trajectory<P>],
+    eps: f64,
+) -> JoinResult {
+    assert!(eps >= 0.0, "threshold must be non-negative");
+    let mut out = JoinResult::default();
+    for (i, ta) in a.iter().enumerate() {
+        for (j, tb) in b.iter().enumerate() {
+            let (pa, pb) = (ta.points(), tb.points());
+            if pa.is_empty() || pb.is_empty() {
+                continue;
+            }
+            // Filter 1: endpoints.
+            let ends = pa[0]
+                .distance(&pb[0])
+                .max(pa[pa.len() - 1].distance(&pb[pb.len() - 1]));
+            if ends > eps {
+                out.pruned_endpoints += 1;
+                continue;
+            }
+            // Filter 2: directed Hausdorff both ways with early exit.
+            if hausdorff_exceeds(pa, pb, eps) || hausdorff_exceeds(pb, pa, eps) {
+                out.pruned_hausdorff += 1;
+                continue;
+            }
+            // Exact decision.
+            out.verified += 1;
+            if dfd_decision(pa, pb, eps) {
+                out.pairs.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Self-join: all unordered pairs `(i, j)`, `i < j`, within one collection
+/// with `DFD ≤ eps`.
+///
+/// # Panics
+///
+/// Panics when `eps` is negative or NaN.
+#[must_use]
+pub fn similarity_self_join<P: GroundDistance>(set: &[Trajectory<P>], eps: f64) -> JoinResult {
+    assert!(eps >= 0.0, "threshold must be non-negative");
+    let mut out = JoinResult::default();
+    for i in 0..set.len() {
+        for j in (i + 1)..set.len() {
+            let (pa, pb) = (set[i].points(), set[j].points());
+            if pa.is_empty() || pb.is_empty() {
+                continue;
+            }
+            let ends = pa[0]
+                .distance(&pb[0])
+                .max(pa[pa.len() - 1].distance(&pb[pb.len() - 1]));
+            if ends > eps {
+                out.pruned_endpoints += 1;
+                continue;
+            }
+            if hausdorff_exceeds(pa, pb, eps) || hausdorff_exceeds(pb, pa, eps) {
+                out.pruned_hausdorff += 1;
+                continue;
+            }
+            out.verified += 1;
+            if dfd_decision(pa, pb, eps) {
+                out.pairs.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+impl JoinResult {
+    /// Summary line for reports (shares the vocabulary of
+    /// [`crate::stats::SearchStats`]).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} matches; pruned {} by endpoints, {} by hausdorff; {} verified",
+            self.pairs.len(),
+            self.pruned_endpoints,
+            self.pruned_hausdorff,
+            self.verified
+        )
+    }
+
+    /// Converts the filter counters into a [`crate::stats::SearchStats`]-style pruned
+    /// fraction (of all candidate pairs considered).
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.pruned_endpoints + self.pruned_hausdorff + self.verified;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.pruned_endpoints + self.pruned_hausdorff) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_similarity::dfd;
+    use fremo_trajectory::gen::planar;
+    use fremo_trajectory::EuclideanPoint;
+
+    fn walks(n: usize, count: usize, seed: u64) -> Vec<Trajectory<EuclideanPoint>> {
+        (0..count).map(|k| planar::random_walk(n, 0.4, seed + k as u64)).collect()
+    }
+
+    /// Exhaustive reference join.
+    fn naive_join(
+        a: &[Trajectory<EuclideanPoint>],
+        b: &[Trajectory<EuclideanPoint>],
+        eps: f64,
+    ) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, ta) in a.iter().enumerate() {
+            for (j, tb) in b.iter().enumerate() {
+                if dfd(ta.points(), tb.points()) <= eps {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn join_matches_naive_reference() {
+        let a = walks(25, 6, 1);
+        let b = walks(25, 6, 100);
+        for eps in [0.5, 2.0, 8.0, 30.0] {
+            let fast = similarity_join(&a, &b, eps);
+            let slow = naive_join(&a, &b, eps);
+            assert_eq!(fast.pairs, slow, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn filters_fire_on_distant_pairs() {
+        // Shift the second set far away: everything should be endpoint- or
+        // hausdorff-pruned, nothing verified.
+        let a = walks(20, 4, 1);
+        let b: Vec<Trajectory<EuclideanPoint>> = walks(20, 4, 2)
+            .into_iter()
+            .map(|t| {
+                t.points()
+                    .iter()
+                    .map(|p| EuclideanPoint::new(p.x + 1e6, p.y))
+                    .collect()
+            })
+            .collect();
+        let r = similarity_join(&a, &b, 10.0);
+        assert!(r.pairs.is_empty());
+        assert_eq!(r.verified, 0);
+        assert_eq!(r.pruned_endpoints + r.pruned_hausdorff, 16);
+        assert!((r.pruned_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_join_excludes_diagonal_and_matches_naive() {
+        let set = walks(22, 7, 42);
+        let eps = 6.0;
+        let fast = similarity_self_join(&set, eps);
+        let mut slow = Vec::new();
+        for i in 0..set.len() {
+            for j in (i + 1)..set.len() {
+                if dfd(set[i].points(), set[j].points()) <= eps {
+                    slow.push((i, j));
+                }
+            }
+        }
+        assert_eq!(fast.pairs, slow);
+        for &(i, j) in &fast.pairs {
+            assert!(i < j);
+        }
+        assert!(!fast.summary().is_empty());
+    }
+
+    #[test]
+    fn identical_trajectories_always_join() {
+        let t = planar::random_walk(30, 0.4, 9);
+        let r = similarity_join(std::slice::from_ref(&t), std::slice::from_ref(&t), 0.0);
+        assert_eq!(r.pairs, vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,71 @@
+//! # fremo-core
+//!
+//! Trajectory motif discovery with the discrete Fréchet distance — a
+//! faithful implementation of Tang, Yiu, Mouratidis & Wang, *"Efficient
+//! Motif Discovery in Spatial Trajectories Using Discrete Fréchet
+//! Distance"*, EDBT 2017.
+//!
+//! **Problem 1.** Given a trajectory `S` and a minimum motif length `ξ`,
+//! return the pair of non-overlapping subtrajectories
+//! `(S[i..=ie], S[j..=je])`, `i < ie < j < je`, `ie > i+ξ`, `je > j+ξ`,
+//! with the smallest discrete Fréchet distance. A variant finds the most
+//! similar subtrajectory pair *between two* trajectories.
+//!
+//! Four exact algorithms, all implementing [`MotifDiscovery`]:
+//!
+//! | algorithm  | paper        | time           | space               |
+//! |------------|--------------|----------------|---------------------|
+//! | [`BruteDp`]| Algorithm 1  | `O(n⁴)`        | `O(n²)`             |
+//! | [`Btm`]    | Algorithm 2  | `O(n⁴)` worst  | `O(n²)`             |
+//! | [`Gtm`]    | Algorithm 3  | `O(n⁴)` worst  | `O(n²)`             |
+//! | [`GtmStar`]| Section 5.5  | `O(n⁴)` worst  | `O(max{(n/τ)², n})` |
+//!
+//! In practice BTM beats BruteDP by ~2 orders of magnitude and GTM by ~3
+//! (paper Section 6; reproduced by `fremo-bench`).
+//!
+//! ```
+//! use fremo_core::{Gtm, MotifConfig, MotifDiscovery};
+//! use fremo_trajectory::gen::planar;
+//!
+//! let trajectory = planar::random_walk(200, 0.4, 7);
+//! let config = MotifConfig::new(10);
+//! let motif = Gtm.discover(&trajectory, &config).expect("motif exists");
+//! assert!(motif.is_valid_within(trajectory.len(), 10));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod algorithm;
+pub mod approx;
+pub mod bounds;
+mod brute;
+mod btm;
+pub mod cluster;
+pub mod config;
+pub mod domain;
+pub mod dp;
+pub mod group;
+mod gtm;
+mod gtm_star;
+pub mod join;
+pub mod parallel;
+pub mod result;
+pub mod search;
+pub mod stats;
+pub mod topk;
+
+pub use algorithm::MotifDiscovery;
+pub use approx::{ApproxBtm, ApproxGtm};
+pub use brute::BruteDp;
+pub use btm::Btm;
+pub use cluster::{cluster_subtrajectories, ClusterConfig, SubtrajectoryCluster};
+pub use config::{BoundKind, BoundSelection, MotifConfig};
+pub use domain::Domain;
+pub use gtm::Gtm;
+pub use gtm_star::GtmStar;
+pub use join::{similarity_join, similarity_self_join, JoinResult};
+pub use parallel::ParallelBtm;
+pub use result::Motif;
+pub use stats::SearchStats;
+pub use topk::{top_k_motifs, ForbiddenIntervals};

@@ -1,0 +1,97 @@
+//! Search results.
+
+/// A discovered trajectory motif: the pair of subtrajectories with the
+/// smallest discrete Fréchet distance (Problem 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Motif {
+    /// First subtrajectory as inclusive indices `(i, ie)` into the (first)
+    /// input trajectory.
+    pub first: (usize, usize),
+    /// Second subtrajectory as inclusive indices `(j, je)` — into the same
+    /// trajectory for the single-input problem, into the second trajectory
+    /// for the two-input variant.
+    pub second: (usize, usize),
+    /// The pair's discrete Fréchet distance in ground-distance units.
+    pub distance: f64,
+}
+
+impl Motif {
+    /// Number of points of the first half.
+    #[must_use]
+    pub const fn first_len(&self) -> usize {
+        self.first.1 - self.first.0 + 1
+    }
+
+    /// Number of points of the second half.
+    #[must_use]
+    pub const fn second_len(&self) -> usize {
+        self.second.1 - self.second.0 + 1
+    }
+
+    /// Whether this motif satisfies Problem 1's constraints for a
+    /// single-trajectory search: `i < ie < j < je`, `ie > i + ξ`,
+    /// `je > j + ξ`.
+    #[must_use]
+    pub fn is_valid_within(&self, n: usize, xi: usize) -> bool {
+        let (i, ie) = self.first;
+        let (j, je) = self.second;
+        i < ie && ie < j && j < je && je < n && ie > i + xi && je > j + xi
+    }
+
+    /// Whether this motif satisfies the two-trajectory variant's
+    /// constraints: each half a valid subtrajectory of its own input with
+    /// length above `ξ`.
+    #[must_use]
+    pub fn is_valid_between(&self, n: usize, m: usize, xi: usize) -> bool {
+        let (i, ie) = self.first;
+        let (j, je) = self.second;
+        i < ie && ie < n && j < je && je < m && ie > i + xi && je > j + xi
+    }
+}
+
+impl std::fmt::Display for Motif {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "S[{}..={}] ~ S[{}..={}] (dfd = {:.6})",
+            self.first.0, self.first.1, self.second.0, self.second.1, self.distance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths() {
+        let m = Motif { first: (2, 10), second: (15, 24), distance: 1.5 };
+        assert_eq!(m.first_len(), 9);
+        assert_eq!(m.second_len(), 10);
+    }
+
+    #[test]
+    fn within_validity() {
+        let m = Motif { first: (0, 5), second: (6, 12), distance: 0.0 };
+        assert!(m.is_valid_within(13, 4));
+        assert!(!m.is_valid_within(13, 5)); // ie = i+5 not > i+5
+        assert!(!m.is_valid_within(12, 4)); // je out of range
+        let overlapping = Motif { first: (0, 6), second: (6, 12), distance: 0.0 };
+        assert!(!overlapping.is_valid_within(13, 4)); // ie == j
+    }
+
+    #[test]
+    fn between_validity() {
+        let m = Motif { first: (0, 5), second: (0, 5), distance: 0.0 };
+        assert!(m.is_valid_between(6, 6, 4));
+        assert!(!m.is_valid_between(6, 5, 4));
+        assert!(!m.is_valid_between(6, 6, 5));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = Motif { first: (1, 2), second: (3, 4), distance: 0.25 };
+        let s = m.to_string();
+        assert!(s.contains("S[1..=2]") && s.contains("S[3..=4]") && s.contains("0.25"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared best-first processing of a sorted candidate-subset list
+//! (Algorithm 2 lines 3–13, also the final stage of Algorithm 3).
+
+use fremo_trajectory::DistanceSource;
+
+use crate::bounds::BoundTables;
+use crate::config::{BoundKind, BoundSelection};
+use crate::domain::Domain;
+use crate::dp::{expand_subset, Bsf, DpBuffers};
+use crate::stats::SearchStats;
+
+/// One candidate subset in the sorted list `A` of Algorithm 2. 16 bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct ListEntry {
+    /// Combined lower bound `CS_{i,j}.LB`.
+    pub lb: f64,
+    /// Start index of the first half.
+    pub i: u32,
+    /// Start index of the second half.
+    pub j: u32,
+}
+
+/// Heap bytes of an entry list.
+#[must_use]
+pub fn list_bytes(entries: &[ListEntry]) -> usize {
+    std::mem::size_of_val(entries)
+}
+
+/// Builds list entries for the given start pairs using the combined bound.
+pub fn build_entries<D: DistanceSource>(
+    src: &D,
+    tables: &BoundTables,
+    sel: BoundSelection,
+    starts: impl Iterator<Item = (usize, usize)>,
+) -> Vec<ListEntry> {
+    starts
+        .map(|(i, j)| ListEntry {
+            lb: tables.subset_bounds(src, sel, i, j).combined(),
+            i: i as u32,
+            j: j as u32,
+        })
+        .collect()
+}
+
+/// Sorts the list ascending by bound and processes it best-first: expand
+/// while `bsf` cannot prune, then attribute everything after the stop point
+/// to the first bound family that disqualifies it (Figure 15's accounting).
+#[allow(clippy::too_many_arguments)]
+pub fn process_sorted_subsets<D: DistanceSource>(
+    src: &D,
+    domain: Domain,
+    xi: usize,
+    sel: BoundSelection,
+    tables: &BoundTables,
+    entries: &mut [ListEntry],
+    bsf: &mut Bsf,
+    stats: &mut SearchStats,
+    buf: &mut DpBuffers,
+) {
+    entries.sort_unstable_by(|a, b| a.lb.total_cmp(&b.lb));
+
+    let mut stop = entries.len();
+    let end_tables = if sel.end_cross { Some(tables) } else { None };
+    for (idx, e) in entries.iter().enumerate() {
+        if bsf.prunable(e.lb) {
+            stop = idx;
+            break;
+        }
+        let (i, j) = (e.i as usize, e.j as usize);
+        stats.subsets_expanded += 1;
+        stats.pairs_exact += domain.pairs_in_subset(i, j, xi);
+        expand_subset(src, domain, xi, i, j, end_tables, true, bsf, stats, buf);
+    }
+
+    // Everything after `stop` is pruned; attribute each subset to the first
+    // family whose component alone reaches the final bsf (cell → cross →
+    // band, the paper's convention for Figure 15).
+    for e in &entries[stop..] {
+        let (i, j) = (e.i as usize, e.j as usize);
+        let comps = tables.subset_bounds(src, sel, i, j);
+        let pairs = domain.pairs_in_subset(i, j, xi);
+        let kind = comps.attribute(|v| bsf.prunable(v)).unwrap_or(BoundKind::Band);
+        stats.record_subset_pruned(kind, pairs);
+        stats.subsets_skipped_sorted += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_trajectory::DenseMatrix;
+    use fremo_trajectory::EuclideanPoint;
+
+    fn pts(n: usize) -> Vec<EuclideanPoint> {
+        // Deterministic pseudo-random walk.
+        let mut x: u64 = 0xDEADBEEF;
+        let mut out = Vec::with_capacity(n);
+        let (mut px, mut py) = (0.0_f64, 0.0_f64);
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            px += ((x % 100) as f64 - 49.5) / 50.0;
+            py += (((x >> 8) % 100) as f64 - 49.5) / 50.0;
+            out.push(EuclideanPoint::new(px, py));
+        }
+        out
+    }
+
+    #[test]
+    fn sorted_processing_equals_exhaustive() {
+        let points = pts(40);
+        let domain = Domain::Within { n: points.len() };
+        let src = DenseMatrix::within(&points);
+        let xi = 3;
+        let sel = BoundSelection::all_relaxed();
+        let tables = BoundTables::build(&src, domain, xi, sel);
+
+        // Exhaustive reference with no pruning at all.
+        let mut reference = Bsf::new();
+        let mut stats = SearchStats::default();
+        let mut buf = DpBuffers::default();
+        for (i, j) in domain.subsets(xi) {
+            expand_subset(&src, domain, xi, i, j, None, false, &mut reference, &mut stats, &mut buf);
+        }
+
+        let mut entries = build_entries(&src, &tables, sel, domain.subsets(xi));
+        let mut bsf = Bsf::new();
+        let mut stats2 =
+            SearchStats { pairs_total: domain.pairs_count(xi), ..SearchStats::default() };
+        process_sorted_subsets(
+            &src, domain, xi, sel, &tables, &mut entries, &mut bsf, &mut stats2, &mut buf,
+        );
+
+        let r = reference.motif.expect("reference found a motif");
+        let b = bsf.motif.expect("sorted search found a motif");
+        assert!(
+            (r.distance - b.distance).abs() < 1e-12,
+            "sorted={} exhaustive={}",
+            b.distance,
+            r.distance
+        );
+
+        // Accounting must be complete: pruned + exact == total pairs.
+        let accounted = stats2.pairs_pruned_cell
+            + stats2.pairs_pruned_cross
+            + stats2.pairs_pruned_band
+            + stats2.pairs_exact;
+        assert_eq!(accounted, stats2.pairs_total);
+        // And the bounds must prune something on this workload.
+        assert!(stats2.subsets_skipped_sorted > 0, "no pruning at all is suspicious");
+    }
+
+    #[test]
+    fn works_with_no_bounds_selected() {
+        let points = pts(24);
+        let domain = Domain::Within { n: points.len() };
+        let src = DenseMatrix::within(&points);
+        let xi = 2;
+        let sel = BoundSelection::none();
+        let tables = BoundTables::build(&src, domain, xi, sel);
+        let mut entries = build_entries(&src, &tables, sel, domain.subsets(xi));
+        let mut bsf = Bsf::new();
+        let mut stats = SearchStats::default();
+        let mut buf = DpBuffers::default();
+        process_sorted_subsets(
+            &src, domain, xi, sel, &tables, &mut entries, &mut bsf, &mut stats, &mut buf,
+        );
+        assert!(bsf.motif.is_some());
+        assert_eq!(stats.subsets_skipped_sorted, 0); // nothing prunable
+    }
+}

@@ -1,0 +1,187 @@
+//! Search statistics: pruning attribution, work and space accounting.
+//!
+//! Backs the paper's evaluation: Figure 13/14's pruning ratios, Figure 15's
+//! per-bound breakdown, and Figure 19's space consumption all come straight
+//! out of [`SearchStats`].
+
+use crate::config::BoundKind;
+
+/// Counters collected during one motif search.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Total candidate subsets `CS_{i,j}` in the search space.
+    pub subsets_total: u64,
+    /// Candidate subsets pruned before any DP, attributed to the first
+    /// bound that disqualified them (evaluation order: cell → cross → band,
+    /// matching Figure 15).
+    pub subsets_pruned_cell: u64,
+    /// See [`SearchStats::subsets_pruned_cell`].
+    pub subsets_pruned_cross: u64,
+    /// See [`SearchStats::subsets_pruned_cell`].
+    pub subsets_pruned_band: u64,
+    /// Candidate subsets never reached because the best-first scan stopped
+    /// (sorted list, `bsf ≤ LB` for everything after the stop point). These
+    /// count as pruned by whichever bound produced their `LB`.
+    pub subsets_skipped_sorted: u64,
+    /// Candidate subsets that required running the shared-DP (exact DFD).
+    pub subsets_expanded: u64,
+
+    /// Total candidate *pairs* `(i, ie, j, je)` (the paper's Figure 15
+    /// denominators are pairs, not subsets).
+    pub pairs_total: u128,
+    /// Candidate pairs pruned by each bound family.
+    pub pairs_pruned_cell: u128,
+    /// See [`SearchStats::pairs_pruned_cell`].
+    pub pairs_pruned_cross: u128,
+    /// See [`SearchStats::pairs_pruned_cell`].
+    pub pairs_pruned_band: u128,
+    /// Candidate pairs pruned by group-level pattern bounds (GTM).
+    pub pairs_pruned_group_pattern: u128,
+    /// Candidate pairs pruned by group-level DFD bounds (GTM).
+    pub pairs_pruned_group_dfd: u128,
+    /// Candidate pairs whose exact DFD was evaluated (the "DFD" bar segment
+    /// of Figure 15).
+    pub pairs_exact: u128,
+
+    /// DP cells expanded across all candidate subsets.
+    pub dp_cells: u64,
+    /// Cells skipped by the end-cross clamp (Algorithm 2 lines 12–13).
+    pub cells_skipped_end_cross: u64,
+    /// Rows abandoned because the whole DP frontier already exceeded `bsf`.
+    pub rows_abandoned: u64,
+    /// How many times `bsf` improved.
+    pub bsf_updates: u64,
+    /// How many times a group-level upper bound tightened `bsf` (GTM,
+    /// Algorithm 3 lines 12–13).
+    pub bsf_tightened_by_group_ub: u64,
+
+    /// Group pairs considered across all grouping levels (GTM/GTM*).
+    pub group_pairs_total: u64,
+    /// Group pairs pruned by pattern bounds (Step 3 of Figure 9).
+    pub group_pairs_pruned_pattern: u64,
+    /// Group pairs pruned by `GLB_DFD` (Step 4 of Figure 9).
+    pub group_pairs_pruned_dfd: u64,
+    /// Group pairs surviving to the next level.
+    pub group_pairs_survived: u64,
+
+    /// Bytes held by the precomputed ground-distance matrix (0 for GTM*).
+    pub bytes_distance_matrix: usize,
+    /// Bytes held by bound tables (`Rmin`/`Cmin`, band windows, tight
+    /// matrices).
+    pub bytes_bounds: usize,
+    /// Bytes held by the sorted candidate / group-pair lists.
+    pub bytes_lists: usize,
+    /// Bytes held by DP buffers.
+    pub bytes_dp: usize,
+    /// Bytes held by group min/max matrices across levels (peak).
+    pub bytes_groups: usize,
+
+    /// Wall-clock seconds spent in precomputation (distances + bounds),
+    /// included in total response time as in the paper (Section 6.1).
+    pub precompute_seconds: f64,
+    /// Total wall-clock seconds of the search.
+    pub total_seconds: f64,
+}
+
+impl SearchStats {
+    /// Total peak heap bytes across the tracked structures (Figure 19's
+    /// "space consumption").
+    #[must_use]
+    pub fn peak_bytes(&self) -> usize {
+        self.bytes_distance_matrix
+            + self.bytes_bounds
+            + self.bytes_lists
+            + self.bytes_dp
+            + self.bytes_groups
+    }
+
+    /// Fraction of candidate pairs pruned without exact DFD computation,
+    /// in `[0, 1]` (Figure 13/14's "% of candidates pruned").
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.pairs_total == 0 {
+            return 0.0;
+        }
+        1.0 - (self.pairs_exact as f64 / self.pairs_total as f64)
+    }
+
+    /// Fraction of candidate pairs attributed to one bound family
+    /// (Figure 15's stacked bars).
+    #[must_use]
+    pub fn pruned_fraction_by(&self, kind: BoundKind) -> f64 {
+        if self.pairs_total == 0 {
+            return 0.0;
+        }
+        let num = match kind {
+            BoundKind::Cell => self.pairs_pruned_cell,
+            BoundKind::Cross => self.pairs_pruned_cross,
+            BoundKind::Band => self.pairs_pruned_band,
+            BoundKind::GroupPattern => self.pairs_pruned_group_pattern,
+            BoundKind::GroupDfd => self.pairs_pruned_group_dfd,
+            BoundKind::Exact => self.pairs_exact,
+        };
+        num as f64 / self.pairs_total as f64
+    }
+
+    /// Records a pruned candidate subset holding `pairs` candidate pairs,
+    /// attributed to `kind`.
+    pub(crate) fn record_subset_pruned(&mut self, kind: BoundKind, pairs: u128) {
+        match kind {
+            BoundKind::Cell => {
+                self.subsets_pruned_cell += 1;
+                self.pairs_pruned_cell += pairs;
+            }
+            BoundKind::Cross => {
+                self.subsets_pruned_cross += 1;
+                self.pairs_pruned_cross += pairs;
+            }
+            BoundKind::Band => {
+                self.subsets_pruned_band += 1;
+                self.pairs_pruned_band += pairs;
+            }
+            BoundKind::GroupPattern => self.pairs_pruned_group_pattern += pairs,
+            BoundKind::GroupDfd => self.pairs_pruned_group_dfd += pairs,
+            BoundKind::Exact => self.pairs_exact += pairs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_bytes_sums_components() {
+        let s = SearchStats {
+            bytes_distance_matrix: 100,
+            bytes_bounds: 10,
+            bytes_lists: 5,
+            bytes_dp: 1,
+            bytes_groups: 2,
+            ..SearchStats::default()
+        };
+        assert_eq!(s.peak_bytes(), 118);
+    }
+
+    #[test]
+    fn pruned_fractions() {
+        let mut s = SearchStats { pairs_total: 100, pairs_exact: 8, ..SearchStats::default() };
+        s.record_subset_pruned(BoundKind::Cell, 70);
+        s.record_subset_pruned(BoundKind::Cross, 12);
+        s.record_subset_pruned(BoundKind::Band, 10);
+        assert!((s.pruned_fraction() - 0.92).abs() < 1e-12);
+        assert!((s.pruned_fraction_by(BoundKind::Cell) - 0.70).abs() < 1e-12);
+        assert!((s.pruned_fraction_by(BoundKind::Cross) - 0.12).abs() < 1e-12);
+        assert!((s.pruned_fraction_by(BoundKind::Band) - 0.10).abs() < 1e-12);
+        assert!((s.pruned_fraction_by(BoundKind::Exact) - 0.08).abs() < 1e-12);
+        assert_eq!(s.subsets_pruned_cell, 1);
+    }
+
+    #[test]
+    fn empty_stats_are_harmless() {
+        let s = SearchStats::default();
+        assert_eq!(s.pruned_fraction(), 0.0);
+        assert_eq!(s.pruned_fraction_by(BoundKind::Cell), 0.0);
+        assert_eq!(s.peak_bytes(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Top-k motif discovery: the k best *index-disjoint* motifs.
+//!
+//! A natural extension of Problem 1 (motifs are "used as a building block
+//! for other trajectory mining and analysis methods", Section 1): report
+//! not just the single best pair but the `k` best, subject to a diversity
+//! rule — no reported subtrajectory may overlap a previously reported one,
+//! otherwise the top-k collapses into k one-index shifts of the same pair.
+//!
+//! Implementation: `k` rounds of the BTM machinery. After each round the
+//! winning intervals become *forbidden*; because subtrajectories are
+//! contiguous, forbidding an interval clamps how far a candidate may start
+//! or extend, which maps onto per-subset caps on `ie`/`je`
+//! ([`crate::dp::expand_subset_capped`]) plus skipping subsets whose start
+//! lies inside a forbidden interval. Each round is exact for its masked
+//! search space, so the result is the greedy-optimal diverse top-k.
+
+use std::time::Instant;
+
+use fremo_trajectory::{DenseMatrix, GroundDistance, Trajectory};
+
+use crate::bounds::BoundTables;
+use crate::config::MotifConfig;
+use crate::domain::Domain;
+use crate::dp::{expand_subset_capped, Bsf, DpBuffers};
+use crate::result::Motif;
+use crate::search::build_entries;
+use crate::stats::SearchStats;
+
+/// A set of forbidden index intervals (kept sorted and disjoint).
+#[derive(Debug, Clone, Default)]
+pub struct ForbiddenIntervals {
+    /// Sorted, disjoint, inclusive intervals.
+    intervals: Vec<(usize, usize)>,
+}
+
+impl ForbiddenIntervals {
+    /// Empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ForbiddenIntervals::default()
+    }
+
+    /// Adds an inclusive interval, merging overlaps.
+    pub fn add(&mut self, lo: usize, hi: usize) {
+        debug_assert!(lo <= hi);
+        self.intervals.push((lo, hi));
+        self.intervals.sort_unstable();
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(self.intervals.len());
+        for &(lo, hi) in &self.intervals {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 + 1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.intervals = merged;
+    }
+
+    /// Whether `p` lies inside a forbidden interval.
+    #[must_use]
+    pub fn contains(&self, p: usize) -> bool {
+        self.intervals
+            .binary_search_by(|&(lo, hi)| {
+                if p < lo {
+                    std::cmp::Ordering::Greater
+                } else if p > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Largest inclusive end `e` such that `[start, e]` avoids all
+    /// intervals, or `None` when `start` itself is forbidden. `usize::MAX`
+    /// means unbounded.
+    #[must_use]
+    pub fn free_run_from(&self, start: usize) -> Option<usize> {
+        if self.contains(start) {
+            return None;
+        }
+        let next = self
+            .intervals
+            .iter()
+            .map(|&(lo, _)| lo)
+            .filter(|&lo| lo > start)
+            .min();
+        Some(next.map_or(usize::MAX, |lo| lo - 1))
+    }
+}
+
+/// Finds the `k` best index-disjoint motifs within one trajectory.
+///
+/// Results are in non-decreasing DFD order; fewer than `k` are returned
+/// when the trajectory runs out of disjoint candidates.
+#[must_use]
+pub fn top_k_motifs<P: GroundDistance>(
+    trajectory: &Trajectory<P>,
+    config: &MotifConfig,
+    k: usize,
+) -> Vec<Motif> {
+    let started = Instant::now();
+    let domain = Domain::Within { n: trajectory.len() };
+    let src = DenseMatrix::within(trajectory.points());
+    let xi = config.min_length;
+    let sel = config.bounds;
+    let tables = BoundTables::build(&src, domain, xi, sel);
+    let mut buf = DpBuffers::with_width(domain.len_b());
+
+    let mut forbidden = ForbiddenIntervals::new();
+    let mut results = Vec::with_capacity(k);
+
+    for _round in 0..k {
+        let mut bsf = Bsf::new();
+        let mut stats = SearchStats::default();
+
+        // Masked candidate-subset list: skip subsets whose start index is
+        // forbidden; caps come from the free run at each start.
+        let starts: Vec<(usize, usize, usize, usize)> = domain
+            .subsets(xi)
+            .filter_map(|(i, j)| {
+                let ie_cap = forbidden.free_run_from(i)?;
+                let je_cap = forbidden.free_run_from(j)?;
+                // The halves must still fit under the caps.
+                if i + xi + 1 > ie_cap || j + xi + 1 > je_cap {
+                    return None;
+                }
+                Some((i, j, ie_cap, je_cap))
+            })
+            .collect();
+
+        let mut entries = build_entries(&src, &tables, sel, starts.iter().map(|&(i, j, _, _)| (i, j)));
+        // Re-attach the caps after the sort by pairing on (i, j).
+        let caps: std::collections::HashMap<(u32, u32), (usize, usize)> = starts
+            .iter()
+            .map(|&(i, j, ic, jc)| ((i as u32, j as u32), (ic, jc)))
+            .collect();
+        entries.sort_unstable_by(|a, b| a.lb.total_cmp(&b.lb));
+
+        for e in &entries {
+            if bsf.prunable(e.lb) {
+                break;
+            }
+            let (i, j) = (e.i as usize, e.j as usize);
+            let cap = caps[&(e.i, e.j)];
+            let end_tables = if sel.end_cross { Some(&tables) } else { None };
+            expand_subset_capped(
+                &src, domain, xi, i, j, cap, end_tables, true, &mut bsf, &mut stats, &mut buf,
+            );
+        }
+
+        let Some(motif) = bsf.motif else { break };
+        forbidden.add(motif.first.0, motif.first.1);
+        forbidden.add(motif.second.0, motif.second.1);
+        results.push(motif);
+    }
+
+    let _elapsed = started.elapsed();
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::MotifDiscovery;
+    use crate::btm::Btm;
+    use fremo_trajectory::gen::planar;
+
+    #[test]
+    fn forbidden_intervals_merge_and_query() {
+        let mut f = ForbiddenIntervals::new();
+        f.add(10, 20);
+        f.add(30, 40);
+        assert!(f.contains(10) && f.contains(15) && f.contains(20));
+        assert!(!f.contains(9) && !f.contains(21));
+        assert_eq!(f.free_run_from(0), Some(9));
+        assert_eq!(f.free_run_from(21), Some(29));
+        assert_eq!(f.free_run_from(41), Some(usize::MAX));
+        assert_eq!(f.free_run_from(35), None);
+        // Adjacent intervals merge.
+        f.add(21, 29);
+        assert_eq!(f.free_run_from(0), Some(9));
+        assert!(f.contains(25));
+        assert_eq!(f.free_run_from(41), Some(usize::MAX));
+    }
+
+    #[test]
+    fn first_motif_matches_btm() {
+        let t = planar::random_walk(70, 0.4, 5);
+        let cfg = MotifConfig::new(4);
+        let top = top_k_motifs(&t, &cfg, 3);
+        let single = Btm.discover(&t, &cfg).unwrap();
+        assert!(!top.is_empty());
+        assert!((top[0].distance - single.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn results_are_disjoint_and_ordered() {
+        let t = planar::random_walk(90, 0.4, 6);
+        let cfg = MotifConfig::new(3);
+        let top = top_k_motifs(&t, &cfg, 4);
+        assert!(top.len() >= 2, "expected at least two disjoint motifs");
+        // Non-decreasing distances.
+        for w in top.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-9);
+        }
+        // Pairwise disjoint intervals.
+        let mut intervals: Vec<(usize, usize)> = Vec::new();
+        for m in &top {
+            intervals.push(m.first);
+            intervals.push(m.second);
+        }
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            assert!(w[0].1 < w[1].0, "intervals {:?} and {:?} overlap", w[0], w[1]);
+        }
+        // Every reported motif satisfies the validity rules.
+        for m in &top {
+            assert!(m.is_valid_within(t.len(), 3));
+        }
+    }
+
+    #[test]
+    fn exhausts_gracefully() {
+        // Tiny trajectory: only one disjoint motif fits.
+        let t = planar::random_walk(12, 0.4, 7);
+        let cfg = MotifConfig::new(2);
+        let top = top_k_motifs(&t, &cfg, 5);
+        assert_eq!(top.len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Dynamic Time Warping (DTW) \[28\].
+//!
+//! Sum-of-matched-distances under an optimal monotone alignment. Because it
+//! *adds up* point-to-point distances, DTW "requires each point to be
+//! matched to another … thus being sensitive to non-uniform sampling"
+//! (Section 2, Figure 3) — an oversampled stretch of one trajectory drags
+//! many matches and inflates the total. This is precisely the failure mode
+//! the paper's Figure 3 demonstrates and that DFD avoids; the bench harness
+//! reproduces it in `fig03_dtw_vs_dfd`.
+
+use fremo_trajectory::GroundDistance;
+
+use crate::measure::SimilarityMeasure;
+
+/// Dynamic Time Warping distance (unconstrained band, sum formulation).
+///
+/// Conventions: both empty → `0`, exactly one empty → `+∞`.
+#[must_use]
+pub fn dtw<P: GroundDistance>(a: &[P], b: &[P]) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let m = inner.len();
+    let mut prev = vec![0.0_f64; m];
+    let mut curr = vec![0.0_f64; m];
+
+    let mut running = 0.0;
+    for (j, q) in inner.iter().enumerate() {
+        running += outer[0].distance(q);
+        prev[j] = running;
+    }
+    for p in &outer[1..] {
+        curr[0] = prev[0] + p.distance(&inner[0]);
+        for j in 1..m {
+            let best = prev[j].min(prev[j - 1]).min(curr[j - 1]);
+            curr[j] = best + p.distance(&inner[j]);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m - 1]
+}
+
+/// [`SimilarityMeasure`] wrapper for DTW.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dtw;
+
+impl<P: GroundDistance> SimilarityMeasure<P> for Dtw {
+    fn distance(&self, a: &[P], b: &[P]) -> f64 {
+        dtw(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "DTW"
+    }
+
+    fn robust_to_sampling_rate(&self) -> bool {
+        false
+    }
+
+    fn supports_local_time_shifting(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_trajectory::EuclideanPoint;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
+        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(dtw(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn parallel_lines_sum_offsets() {
+        // 4 points at constant offset 1 → DTW = 4 (sum), DFD would be 1.
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let b = pts(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0), (3.0, 1.0)]);
+        assert_eq!(dtw(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn handles_unequal_lengths() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (2.0, 0.0)]);
+        // (0,0)->(0,0): 0; (1,0) matches (0,0) or (2,0): 1; (2,0)->(2,0): 0.
+        assert_eq!(dtw(&a, &b), 1.0);
+        assert_eq!(dtw(&b, &a), 1.0);
+    }
+
+    #[test]
+    fn sensitive_to_oversampling_unlike_dfd() {
+        // Figure 3's phenomenon: Sc traces the same path as Sa but is
+        // non-uniformly (over)sampled; DTW(a, c) blows up while DFD stays
+        // put.
+        let sa = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let sb = pts(&[(0.0, 0.6), (1.0, 0.6), (2.0, 0.6), (3.0, 0.6)]);
+        // Sc: same path as Sa at offset 0.3, but 5x oversampled near x=0.
+        let mut sc_coords = vec![(0.0, 0.3), (0.05, 0.3), (0.1, 0.3), (0.15, 0.3), (0.2, 0.3)];
+        sc_coords.extend([(1.0, 0.3), (2.0, 0.3), (3.0, 0.3)]);
+        let sc = pts(&sc_coords);
+
+        let dfd_ab = crate::frechet::dfd(&sa, &sb);
+        let dfd_ac = crate::frechet::dfd(&sa, &sc);
+        assert!(dfd_ac < dfd_ab, "DFD correctly ranks Sc closer");
+
+        let dtw_ab = dtw(&sa, &sb);
+        let dtw_ac = dtw(&sa, &sc);
+        assert!(dtw_ac > dtw_ab, "DTW misranks due to oversampling: {dtw_ac} vs {dtw_ab}");
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let a = pts(&[(0.0, 0.0)]);
+        let empty: Vec<EuclideanPoint> = vec![];
+        assert_eq!(dtw(&empty, &empty), 0.0);
+        assert_eq!(dtw(&a, &empty), f64::INFINITY);
+    }
+}

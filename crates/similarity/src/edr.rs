@@ -1,0 +1,137 @@
+//! Edit Distance on Real sequence (EDR) \[6\].
+//!
+//! Chen, Özsu & Oria's edit distance for trajectories: substituting a
+//! non-ε-matching pair costs 1, inserting or deleting a point costs 1, and
+//! ε-matching pairs are free. Robust to noise and local time shifting, but
+//! — being a per-sample count — still sensitive to the sampling rate
+//! (Table 1).
+
+use fremo_trajectory::GroundDistance;
+
+use crate::measure::SimilarityMeasure;
+
+/// EDR edit count between `a` and `b` with matching threshold `epsilon`.
+///
+/// Conventions: both empty → `0`; one empty → the other's length (all
+/// insertions) as `f64` (the trait-level `+∞` convention is applied by
+/// [`Edr`], mirroring the "nothing to align" semantics used across the
+/// crate).
+#[must_use]
+pub fn edr<P: GroundDistance>(a: &[P], b: &[P], epsilon: f64) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let m = inner.len();
+    // prev[j] = edit distance between outer[..i] and inner[..j].
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr = vec![0_usize; m + 1];
+    for (i, p) in outer.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, q) in inner.iter().enumerate() {
+            let subcost = usize::from(p.distance(q) > epsilon);
+            curr[j + 1] = (prev[j] + subcost) // match / substitute
+                .min(prev[j + 1] + 1) // delete from outer
+                .min(curr[j] + 1); // insert into outer
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// [`SimilarityMeasure`] wrapper for EDR with a fixed matching threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edr {
+    /// Matching threshold `ε` in ground-distance units.
+    pub epsilon: f64,
+}
+
+impl Edr {
+    /// Creates the measure with matching threshold `epsilon`.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        Edr { epsilon }
+    }
+}
+
+impl<P: GroundDistance> SimilarityMeasure<P> for Edr {
+    fn distance(&self, a: &[P], b: &[P]) -> f64 {
+        match (a.is_empty(), b.is_empty()) {
+            (true, true) => 0.0,
+            (true, false) | (false, true) => f64::INFINITY,
+            _ => edr(a, b, self.epsilon) as f64,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "EDR"
+    }
+
+    fn robust_to_sampling_rate(&self) -> bool {
+        false
+    }
+
+    fn supports_local_time_shifting(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_trajectory::EuclideanPoint;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
+        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_is_zero_edits() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(edr(&a, &a, 0.1), 0);
+    }
+
+    #[test]
+    fn single_substitution() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (50.0, 50.0), (2.0, 0.0)]);
+        assert_eq!(edr(&a, &b, 0.25), 1);
+    }
+
+    #[test]
+    fn insertion_cost() {
+        let a = pts(&[(0.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(edr(&a, &b, 0.25), 1);
+        assert_eq!(edr(&b, &a, 0.25), 1);
+    }
+
+    #[test]
+    fn all_different_costs_max_len() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(90.0, 90.0), (91.0, 90.0), (92.0, 90.0)]);
+        assert_eq!(edr(&a, &b, 0.5), 3);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let empty: Vec<EuclideanPoint> = vec![];
+        assert_eq!(edr(&a, &empty, 0.5), 2);
+        assert_eq!(edr(&empty, &a, 0.5), 2);
+        assert_eq!(edr(&empty, &empty, 0.5), 0);
+    }
+
+    #[test]
+    fn bounded_by_max_length() {
+        let a = pts(&[(0.0, 0.0), (5.0, 0.0), (9.0, 3.0), (2.0, 2.0)]);
+        let b = pts(&[(1.0, 1.0), (4.0, 4.0)]);
+        let e = edr(&a, &b, 1.0);
+        assert!(e <= 4);
+        // Lower bound: length difference.
+        assert!(e >= 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Lock-step Euclidean distance (ED).
+//!
+//! The `O(ℓ)` baseline of Table 1: points are matched strictly by index and
+//! the distances aggregated. It "measures spatial proximity only, and
+//! dismisses the movement pattern" (Section 2, Figure 2) and is undefined
+//! across lengths — we follow the common convention of comparing the first
+//! `min(n, m)` positions and returning `+∞` when the lengths differ, which
+//! preserves the paper's point that ED is not robust to any time shifting.
+
+use fremo_trajectory::GroundDistance;
+
+use crate::measure::SimilarityMeasure;
+
+/// Lock-step Euclidean distance: the *mean* of index-wise ground distances
+/// (mean rather than sum so values are comparable across lengths, as in the
+/// paper's Figure 2 caption where ED is reported in metres).
+///
+/// Returns `+∞` when the lengths differ (no lock-step alignment exists);
+/// both empty → `0`.
+#[must_use]
+pub fn lockstep_euclidean<P: GroundDistance>(a: &[P], b: &[P]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    let sum: f64 = a.iter().zip(b).map(|(p, q)| p.distance(q)).sum();
+    sum / a.len() as f64
+}
+
+/// [`SimilarityMeasure`] wrapper for lock-step ED.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockstepEuclidean;
+
+impl<P: GroundDistance> SimilarityMeasure<P> for LockstepEuclidean {
+    fn distance(&self, a: &[P], b: &[P]) -> f64 {
+        lockstep_euclidean(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "ED"
+    }
+
+    fn robust_to_sampling_rate(&self) -> bool {
+        false
+    }
+
+    fn supports_local_time_shifting(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_trajectory::EuclideanPoint;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
+        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+    }
+
+    #[test]
+    fn mean_of_lockstep_distances() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(0.0, 1.0), (1.0, 3.0)]);
+        assert_eq!(lockstep_euclidean(&a, &b), 2.0); // (1 + 3) / 2
+    }
+
+    #[test]
+    fn length_mismatch_is_infinite() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0)]);
+        assert_eq!(lockstep_euclidean(&a, &b), f64::INFINITY);
+    }
+
+    #[test]
+    fn ignores_movement_pattern() {
+        // A forward pass and its reverse have the same point *sets* but
+        // opposite movement; lock-step ED sees the reversal, but two loops
+        // traversed with a phase shift fool it — DFD with the right pairing
+        // would not. Here we check the simpler Figure 2 phenomenon: close
+        // in space, different pattern.
+        let forward = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let backward = pts(&[(3.0, 0.0), (2.0, 0.0), (1.0, 0.0), (0.0, 0.0)]);
+        let ed = lockstep_euclidean(&forward, &backward);
+        let dfd = crate::frechet::dfd(&forward, &backward);
+        // ED: (3+1+1+3)/4 = 2; DFD must pay the full 3 for matching ends.
+        assert_eq!(ed, 2.0);
+        assert_eq!(dfd, 3.0);
+        assert!(dfd > ed, "DFD penalizes reversed movement more than ED");
+    }
+
+    #[test]
+    fn zero_on_identical() {
+        let a = pts(&[(5.0, 5.0), (6.0, 6.0)]);
+        assert_eq!(lockstep_euclidean(&a, &a), 0.0);
+    }
+}

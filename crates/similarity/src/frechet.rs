@@ -1,0 +1,348 @@
+//! Discrete Fréchet distance (DFD).
+//!
+//! The "dog-man" distance of Eiter & Mannila \[8\]: the minimum over all
+//! monotone couplings of the two point sequences of the maximum coupled
+//! ground distance. Section 3 of the paper defines it by the recurrence
+//!
+//! ```text
+//! dF(i, ie, j, je) = max( dG(ie, je),
+//!                         min( dF(i, ie−1, j, je),
+//!                              dF(i, ie,   j, je−1),
+//!                              dF(i, ie−1, j, je−1) ) )
+//! ```
+//!
+//! with `dF(i, i, j, j) = dG(i, j)`.
+//!
+//! Three implementations are provided:
+//!
+//! * [`dfd`] / [`dfd_linear`] — `O(n·m)` time, `O(min(n,m))` space.
+//! * [`dfd_with_coupling`] — also recovers an optimal coupling (the "path
+//!   in the dG matrix" of the paper's Observation 1).
+//! * [`dfd_decision`] — the threshold variant `DFD(a,b) ≤ ε?` with early
+//!   row abandoning, cheaper than computing the exact value when only a
+//!   comparison is needed.
+
+use fremo_trajectory::GroundDistance;
+
+use crate::measure::SimilarityMeasure;
+
+/// Discrete Fréchet distance between `a` and `b`.
+///
+/// Conventions: both empty → `0`, exactly one empty → `+∞`.
+#[must_use]
+pub fn dfd<P: GroundDistance>(a: &[P], b: &[P]) -> f64 {
+    dfd_linear(a, b)
+}
+
+/// Linear-space DFD: rolls two rows of the DP matrix (the same trick GTM*
+/// uses in Section 5.5, Idea ii).
+#[must_use]
+pub fn dfd_linear<P: GroundDistance>(a: &[P], b: &[P]) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    // Roll over the shorter side to minimize the buffer.
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let m = inner.len();
+
+    let mut prev = vec![0.0_f64; m];
+    let mut curr = vec![0.0_f64; m];
+
+    // First row: dF(0, j) = max(dG(0, 0..=j)).
+    let mut running = 0.0_f64;
+    for (j, q) in inner.iter().enumerate() {
+        running = running.max(outer[0].distance(q));
+        prev[j] = running;
+    }
+
+    for p in &outer[1..] {
+        curr[0] = prev[0].max(p.distance(&inner[0]));
+        for j in 1..m {
+            let reach = prev[j].min(prev[j - 1]).min(curr[j - 1]);
+            curr[j] = reach.max(p.distance(&inner[j]));
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m - 1]
+}
+
+/// DFD plus one optimal coupling: the monotone sequence of index pairs
+/// `(i, j)` from `(0,0)` to `(n−1, m−1)` whose worst ground distance equals
+/// the returned value (Observation 1's minimax path).
+///
+/// Uses the full `O(n·m)` matrix; prefer [`dfd`] when the path is not
+/// needed.
+#[must_use]
+pub fn dfd_with_coupling<P: GroundDistance>(a: &[P], b: &[P]) -> (f64, Vec<(usize, usize)>) {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return (0.0, vec![]),
+        (true, false) | (false, true) => return (f64::INFINITY, vec![]),
+        _ => {}
+    }
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![0.0_f64; n * m];
+    let idx = |i: usize, j: usize| i * m + j;
+
+    dp[idx(0, 0)] = a[0].distance(&b[0]);
+    for j in 1..m {
+        dp[idx(0, j)] = dp[idx(0, j - 1)].max(a[0].distance(&b[j]));
+    }
+    for i in 1..n {
+        dp[idx(i, 0)] = dp[idx(i - 1, 0)].max(a[i].distance(&b[0]));
+        for j in 1..m {
+            let reach = dp[idx(i - 1, j)]
+                .min(dp[idx(i, j - 1)])
+                .min(dp[idx(i - 1, j - 1)]);
+            dp[idx(i, j)] = reach.max(a[i].distance(&b[j]));
+        }
+    }
+    let value = dp[idx(n - 1, m - 1)];
+
+    // Backtrack: from (n-1, m-1) follow any predecessor whose DP value does
+    // not exceed the final value; such a predecessor always exists on an
+    // optimal path because DP values are non-decreasing along it.
+    let mut path = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n - 1, m - 1);
+    path.push((i, j));
+    while i > 0 || j > 0 {
+        let candidates: [(isize, isize); 3] = [(-1, -1), (-1, 0), (0, -1)];
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (di, dj) in candidates {
+            let (pi, pj) = (i as isize + di, j as isize + dj);
+            if pi < 0 || pj < 0 {
+                continue;
+            }
+            let (pi, pj) = (pi as usize, pj as usize);
+            let v = dp[idx(pi, pj)];
+            if best.is_none_or(|(_, _, bv)| v < bv) {
+                best = Some((pi, pj, v));
+            }
+        }
+        let (pi, pj, _) = best.expect("interior cell always has a predecessor");
+        i = pi;
+        j = pj;
+        path.push((i, j));
+    }
+    path.reverse();
+    (value, path)
+}
+
+/// Decision variant: is `DFD(a, b) ≤ eps`?
+///
+/// Runs the same DP but clamps cells above `eps` to `+∞` and abandons as
+/// soon as an entire row is infeasible (DP values never decrease along the
+/// dependency order, so no later cell can become feasible again).
+#[must_use]
+pub fn dfd_decision<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return true,
+        (true, false) | (false, true) => return false,
+        _ => {}
+    }
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let m = inner.len();
+    let mut prev = vec![f64::INFINITY; m];
+    let mut curr = vec![f64::INFINITY; m];
+
+    let mut running = 0.0_f64;
+    for (j, q) in inner.iter().enumerate() {
+        running = running.max(outer[0].distance(q));
+        prev[j] = if running <= eps { running } else { f64::INFINITY };
+        if prev[j].is_infinite() {
+            // Everything to the right of an infeasible first-row cell is
+            // infeasible too.
+            for slot in prev.iter_mut().skip(j + 1) {
+                *slot = f64::INFINITY;
+            }
+            break;
+        }
+    }
+    if prev.iter().all(|v| v.is_infinite()) {
+        return false;
+    }
+
+    for p in &outer[1..] {
+        let d0 = p.distance(&inner[0]);
+        curr[0] = if d0 <= eps && prev[0].is_finite() { prev[0].max(d0) } else { f64::INFINITY };
+        let mut any_feasible = curr[0].is_finite();
+        for j in 1..m {
+            let reach = prev[j].min(prev[j - 1]).min(curr[j - 1]);
+            let v = reach.max(p.distance(&inner[j]));
+            curr[j] = if v <= eps { v } else { f64::INFINITY };
+            any_feasible |= curr[j].is_finite();
+        }
+        if !any_feasible {
+            return false;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m - 1].is_finite()
+}
+
+/// [`SimilarityMeasure`] wrapper for the discrete Fréchet distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiscreteFrechet;
+
+impl<P: GroundDistance> SimilarityMeasure<P> for DiscreteFrechet {
+    fn distance(&self, a: &[P], b: &[P]) -> f64 {
+        dfd(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "DFD"
+    }
+
+    fn robust_to_sampling_rate(&self) -> bool {
+        true
+    }
+
+    fn supports_local_time_shifting(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_trajectory::EuclideanPoint;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
+        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+    }
+
+    /// Exponential-time reference: tries every monotone coupling.
+    fn dfd_reference(a: &[EuclideanPoint], b: &[EuclideanPoint]) -> f64 {
+        fn rec(a: &[EuclideanPoint], b: &[EuclideanPoint], i: usize, j: usize) -> f64 {
+            let d = a[i].distance(&b[j]);
+            if i == 0 && j == 0 {
+                return d;
+            }
+            let mut best = f64::INFINITY;
+            if i > 0 {
+                best = best.min(rec(a, b, i - 1, j));
+            }
+            if j > 0 {
+                best = best.min(rec(a, b, i, j - 1));
+            }
+            if i > 0 && j > 0 {
+                best = best.min(rec(a, b, i - 1, j - 1));
+            }
+            best.max(d)
+        }
+        rec(a, b, a.len() - 1, b.len() - 1)
+    }
+
+    #[test]
+    fn matches_reference_on_small_inputs() {
+        let cases = [
+            (pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]), pts(&[(0.0, 1.0), (2.0, 1.0)])),
+            (pts(&[(0.0, 0.0)]), pts(&[(3.0, 4.0)])),
+            (
+                pts(&[(0.0, 0.0), (1.0, 2.0), (2.0, -1.0), (3.0, 0.5)]),
+                pts(&[(0.5, 0.5), (1.5, 1.5), (2.5, 0.0), (3.5, 0.0), (4.0, 1.0)]),
+            ),
+            (pts(&[(0.0, 0.0), (5.0, 5.0)]), pts(&[(0.0, 0.0), (5.0, 5.0)])),
+        ];
+        for (a, b) in cases {
+            let expected = dfd_reference(&a, &b);
+            assert!((dfd(&a, &b) - expected).abs() < 1e-12);
+            assert!((dfd_linear(&a, &b) - expected).abs() < 1e-12);
+            let (v, _) = dfd_with_coupling(&a, &b);
+            assert!((v - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_points_reduce_to_ground_distance() {
+        let a = pts(&[(0.0, 0.0)]);
+        let b = pts(&[(3.0, 4.0)]);
+        assert_eq!(dfd(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn dog_man_classic_example() {
+        // Man on a straight line, dog zigzagging: DFD is the zigzag
+        // amplitude offset, not the sum of detours (unlike DTW).
+        let man = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let dog = pts(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0), (3.0, 1.0)]);
+        assert_eq!(dfd(&man, &dog), 1.0);
+    }
+
+    #[test]
+    fn insensitive_to_resampling_density() {
+        // The same path sampled at 5 vs 50 points: DFD stays small. This is
+        // the paper's core argument for DFD over DTW (Figure 3).
+        let coarse: Vec<EuclideanPoint> =
+            (0..5).map(|i| EuclideanPoint::new(i as f64 * 2.5, 0.0)).collect();
+        let fine: Vec<EuclideanPoint> =
+            (0..50).map(|i| EuclideanPoint::new(i as f64 * 10.0 / 49.0, 0.0)).collect();
+        let d = dfd(&coarse, &fine);
+        assert!(d < 1.3, "DFD should be small under resampling, got {d}");
+    }
+
+    #[test]
+    fn coupling_is_valid_and_achieves_value() {
+        let a = pts(&[(0.0, 0.0), (1.0, 2.0), (2.0, -1.0), (3.0, 0.5), (4.0, 0.0)]);
+        let b = pts(&[(0.5, 0.5), (1.5, 1.5), (2.5, 0.0), (4.5, 0.5)]);
+        let (v, path) = dfd_with_coupling(&a, &b);
+        assert_eq!(path.first(), Some(&(0, 0)));
+        assert_eq!(path.last(), Some(&(4, 3)));
+        let mut worst = 0.0_f64;
+        for w in path.windows(2) {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            assert!(i1 >= i0 && j1 >= j0, "not monotone");
+            assert!(i1 - i0 <= 1 && j1 - j0 <= 1, "skips cells");
+            assert!((i1, j1) != (i0, j0), "stalls");
+        }
+        for &(i, j) in &path {
+            worst = worst.max(a[i].distance(&b[j]));
+        }
+        assert!((worst - v).abs() < 1e-12, "path achieves {worst}, dfd is {v}");
+    }
+
+    #[test]
+    fn decision_variant_agrees_with_exact() {
+        let a = pts(&[(0.0, 0.0), (1.0, 2.0), (2.0, -1.0), (3.0, 0.5)]);
+        let b = pts(&[(0.5, 0.5), (1.5, 1.5), (2.5, 0.0), (3.5, 0.0)]);
+        let exact = dfd(&a, &b);
+        assert!(dfd_decision(&a, &b, exact));
+        assert!(dfd_decision(&a, &b, exact + 0.1));
+        assert!(!dfd_decision(&a, &b, exact - 1e-9));
+        assert!(!dfd_decision(&a, &b, 0.0));
+        // Empty conventions.
+        let empty: Vec<EuclideanPoint> = vec![];
+        assert!(dfd_decision(&empty, &empty, 0.0));
+        assert!(!dfd_decision(&a, &empty, f64::MAX));
+    }
+
+    #[test]
+    fn swapping_arguments_is_symmetric() {
+        let a = pts(&[(0.0, 0.0), (2.0, 3.0), (4.0, 0.0), (6.0, -2.0)]);
+        let b = pts(&[(0.0, 1.0), (3.0, 2.0), (6.0, 1.0)]);
+        assert_eq!(dfd(&a, &b), dfd(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        // DFD is a metric on sequences (up to indiscernibles).
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 2.0), (1.0, 2.0), (2.0, 3.0)]);
+        let c = pts(&[(0.0, 5.0), (2.0, 5.0)]);
+        let ab = dfd(&a, &b);
+        let bc = dfd(&b, &c);
+        let ac = dfd(&a, &c);
+        assert!(ac <= ab + bc + 1e-12);
+    }
+
+    #[test]
+    fn lower_bounded_by_endpoint_distances() {
+        // Any coupling matches first-with-first and last-with-last.
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (9.0, 0.0)]);
+        let b = pts(&[(0.0, 3.0), (9.0, 4.0)]);
+        let lb = a[0].distance(&b[0]).max(a[2].distance(&b[1]));
+        assert!(dfd(&a, &b) >= lb - 1e-12);
+    }
+}

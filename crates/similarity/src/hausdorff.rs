@@ -1,0 +1,119 @@
+//! Hausdorff distance between point sets.
+//!
+//! Not part of the paper's Table 1 but a classical geometric baseline worth
+//! having next to DFD: it ignores ordering entirely (it treats the
+//! trajectories as point *sets*), so it lower-bounds DFD — a fact the test
+//! suite checks and the motif property tests reuse.
+
+use fremo_trajectory::GroundDistance;
+
+use crate::measure::SimilarityMeasure;
+
+/// Directed Hausdorff distance: `max_{p∈a} min_{q∈b} d(p, q)`.
+///
+/// Returns `0` when `a` is empty and `+∞` when `b` alone is empty.
+#[must_use]
+pub fn directed_hausdorff<P: GroundDistance>(a: &[P], b: &[P]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    if b.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut worst = 0.0_f64;
+    for p in a {
+        let mut best = f64::INFINITY;
+        for q in b {
+            let d = p.distance(q);
+            if d < best {
+                best = d;
+                if best == 0.0 {
+                    break;
+                }
+            }
+        }
+        if best > worst {
+            worst = best;
+        }
+    }
+    worst
+}
+
+/// Symmetric Hausdorff distance: the max of the two directed distances.
+///
+/// Conventions: both empty → `0`, exactly one empty → `+∞`.
+#[must_use]
+pub fn hausdorff<P: GroundDistance>(a: &[P], b: &[P]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    directed_hausdorff(a, b).max(directed_hausdorff(b, a))
+}
+
+/// [`SimilarityMeasure`] wrapper for the symmetric Hausdorff distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hausdorff;
+
+impl<P: GroundDistance> SimilarityMeasure<P> for Hausdorff {
+    fn distance(&self, a: &[P], b: &[P]) -> f64 {
+        hausdorff(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "Hausdorff"
+    }
+
+    fn robust_to_sampling_rate(&self) -> bool {
+        true
+    }
+
+    fn supports_local_time_shifting(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frechet::dfd;
+    use fremo_trajectory::EuclideanPoint;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
+        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+    }
+
+    #[test]
+    fn directed_asymmetry() {
+        // b ⊂ neighbourhood of a, but a has an outlier far from b.
+        let a = pts(&[(0.0, 0.0), (10.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0)]);
+        assert_eq!(directed_hausdorff(&b, &a), 0.0);
+        assert_eq!(directed_hausdorff(&a, &b), 10.0);
+        assert_eq!(hausdorff(&a, &b), 10.0);
+    }
+
+    #[test]
+    fn parallel_lines() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        assert_eq!(hausdorff(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn hausdorff_lower_bounds_dfd() {
+        // DFD respects ordering, Hausdorff doesn't, so Hausdorff ≤ DFD.
+        let cases = [
+            (pts(&[(0.0, 0.0), (1.0, 2.0), (2.0, 0.0)]), pts(&[(2.0, 0.1), (1.0, 2.2), (0.0, 0.3)])),
+            (pts(&[(0.0, 0.0), (5.0, 0.0)]), pts(&[(5.0, 0.0), (0.0, 0.0)])),
+            (pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]), pts(&[(0.0, 1.0), (2.0, 1.0)])),
+        ];
+        for (a, b) in cases {
+            assert!(hausdorff(&a, &b) <= dfd(&a, &b) + 1e-12);
+        }
+        // Reversal makes the gap strict.
+        let fwd = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let rev = pts(&[(2.0, 0.0), (1.0, 0.0), (0.0, 0.0)]);
+        assert_eq!(hausdorff(&fwd, &rev), 0.0);
+        assert_eq!(dfd(&fwd, &rev), 2.0);
+    }
+}

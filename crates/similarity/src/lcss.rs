@@ -1,0 +1,141 @@
+//! Longest Common Subsequence similarity (LCSS) \[26\].
+//!
+//! Vlachos et al.'s measure: two points "match" when their ground distance
+//! is at most `ε`; LCSS is the length of the longest common subsequence of
+//! matches. As a count it is a similarity; [`lcss_distance`] is the usual
+//! normalization `1 − LCSS / min(n, m)` into a `[0, 1]` dissimilarity.
+//! Like DTW it tolerates local time shifting but, being a count over
+//! samples, it is sensitive to the sampling rate (Table 1).
+
+use fremo_trajectory::GroundDistance;
+
+use crate::measure::SimilarityMeasure;
+
+/// Length of the longest ε-matched common subsequence.
+#[must_use]
+pub fn lcss_length<P: GroundDistance>(a: &[P], b: &[P], epsilon: f64) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let m = inner.len();
+    let mut prev = vec![0_usize; m + 1];
+    let mut curr = vec![0_usize; m + 1];
+    for p in outer {
+        for (j, q) in inner.iter().enumerate() {
+            curr[j + 1] = if p.distance(q) <= epsilon {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Normalized LCSS dissimilarity `1 − LCSS/min(n, m)` in `[0, 1]`.
+///
+/// Conventions: both empty → `0`, exactly one empty → `+∞`.
+#[must_use]
+pub fn lcss_distance<P: GroundDistance>(a: &[P], b: &[P], epsilon: f64) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    let lcs = lcss_length(a, b, epsilon) as f64;
+    1.0 - lcs / a.len().min(b.len()) as f64
+}
+
+/// [`SimilarityMeasure`] wrapper for normalized LCSS with a fixed matching
+/// threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lcss {
+    /// Matching threshold `ε` in ground-distance units.
+    pub epsilon: f64,
+}
+
+impl Lcss {
+    /// Creates the measure with matching threshold `epsilon`.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        Lcss { epsilon }
+    }
+}
+
+impl<P: GroundDistance> SimilarityMeasure<P> for Lcss {
+    fn distance(&self, a: &[P], b: &[P]) -> f64 {
+        lcss_distance(a, b, self.epsilon)
+    }
+
+    fn name(&self) -> &'static str {
+        "LCSS"
+    }
+
+    fn robust_to_sampling_rate(&self) -> bool {
+        false
+    }
+
+    fn supports_local_time_shifting(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_trajectory::EuclideanPoint;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
+        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_matches_fully() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(lcss_length(&a, &a, 0.1), 3);
+        assert_eq!(lcss_distance(&a, &a, 0.1), 0.0);
+    }
+
+    #[test]
+    fn disjoint_matches_nothing() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(100.0, 100.0), (101.0, 100.0)]);
+        assert_eq!(lcss_length(&a, &b, 0.5), 0);
+        assert_eq!(lcss_distance(&a, &b, 0.5), 1.0);
+    }
+
+    #[test]
+    fn partial_subsequence() {
+        // b shares a's first and third points but detours in between.
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (50.0, 50.0), (2.0, 0.0)]);
+        assert_eq!(lcss_length(&a, &b, 0.25), 2);
+        assert!((lcss_distance(&a, &b, 0.25) - (1.0 - 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_widens_matching() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(0.0, 0.4), (1.0, 0.4)]);
+        assert_eq!(lcss_length(&a, &b, 0.1), 0);
+        assert_eq!(lcss_length(&a, &b, 0.5), 2);
+    }
+
+    #[test]
+    fn subsequence_respects_order() {
+        // Reversed sequence: only one element can match in order.
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(2.0, 0.0), (1.0, 0.0), (0.0, 0.0)]);
+        assert_eq!(lcss_length(&a, &b, 0.01), 1);
+    }
+
+    #[test]
+    fn length_is_bounded_by_shorter_input() {
+        let a = pts(&[(0.0, 0.0); 10]);
+        let b = pts(&[(0.0, 0.0); 3]);
+        assert_eq!(lcss_length(&a, &b, 0.1), 3);
+        assert_eq!(lcss_distance(&a, &b, 0.1), 0.0);
+    }
+}

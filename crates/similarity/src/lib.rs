@@ -1,0 +1,40 @@
+//! # fremo-similarity
+//!
+//! Trajectory similarity measures: the discrete Fréchet distance (DFD) the
+//! paper is built on, plus every alternative its Related Work compares
+//! against (Table 1): lock-step Euclidean distance (ED), Dynamic Time
+//! Warping (DTW), Longest Common Subsequence (LCSS) and Edit Distance on
+//! Real sequence (EDR), with Hausdorff as an extra classical baseline.
+//!
+//! | measure | non-uniform sampling | local time shifting | cost |
+//! |---------|----------------------|---------------------|--------|
+//! | ED      | ✗                    | ✗                   | `O(ℓ)` |
+//! | DTW     | ✗                    | ✓                   | `O(ℓ²)`|
+//! | LCSS    | ✗                    | ✓                   | `O(ℓ²)`|
+//! | EDR     | ✗                    | ✓                   | `O(ℓ²)`|
+//! | DFD     | ✓                    | ✓                   | `O(ℓ²)`|
+//!
+//! All measures are generic over the point type through
+//! [`fremo_trajectory::GroundDistance`], so they work on geographic and
+//! planar data alike.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dtw;
+pub mod edr;
+pub mod erp;
+pub mod euclid;
+pub mod frechet;
+pub mod hausdorff;
+pub mod lcss;
+pub mod measure;
+
+pub use dtw::{dtw, Dtw};
+pub use edr::{edr, Edr};
+pub use erp::{erp, Erp};
+pub use euclid::{lockstep_euclidean, LockstepEuclidean};
+pub use frechet::{dfd, dfd_decision, dfd_linear, dfd_with_coupling, DiscreteFrechet};
+pub use hausdorff::{hausdorff, Hausdorff};
+pub use lcss::{lcss_distance, lcss_length, Lcss};
+pub use measure::SimilarityMeasure;

@@ -1,0 +1,99 @@
+//! The common interface over all similarity measures.
+
+use fremo_trajectory::GroundDistance;
+
+/// A distance-like dissimilarity between two point sequences.
+///
+/// Lower is more similar. Every built-in implementation is symmetric
+/// (`distance(a, b) == distance(b, a)`) and non-negative, but only DFD and
+/// Hausdorff satisfy the triangle inequality over sequences.
+pub trait SimilarityMeasure<P: GroundDistance> {
+    /// Dissimilarity between `a` and `b`.
+    ///
+    /// For empty inputs the convention is: both empty → `0.0`, exactly one
+    /// empty → `f64::INFINITY` (nothing to match against).
+    fn distance(&self, a: &[P], b: &[P]) -> f64;
+
+    /// Short name, matching the paper's Table 1 labels where applicable.
+    fn name(&self) -> &'static str;
+
+    /// Whether the measure tolerates non-uniform/varying sampling rates
+    /// (column 2 of Table 1).
+    fn robust_to_sampling_rate(&self) -> bool;
+
+    /// Whether the measure tolerates local time shifting (column 3 of
+    /// Table 1).
+    fn supports_local_time_shifting(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiscreteFrechet, Dtw, Edr, Hausdorff, Lcss, LockstepEuclidean};
+    use fremo_trajectory::EuclideanPoint;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
+        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+    }
+
+    fn all_measures() -> Vec<Box<dyn SimilarityMeasure<EuclideanPoint>>> {
+        vec![
+            Box::new(LockstepEuclidean),
+            Box::new(Dtw),
+            Box::new(Lcss::new(0.5)),
+            Box::new(Edr::new(0.5)),
+            Box::new(DiscreteFrechet),
+            Box::new(Hausdorff),
+        ]
+    }
+
+    #[test]
+    fn table1_characteristics() {
+        // The robustness flags must reproduce the paper's Table 1.
+        for m in all_measures() {
+            let (rate, shift) = (m.robust_to_sampling_rate(), m.supports_local_time_shifting());
+            match m.name() {
+                "ED" => assert!((!rate, !shift) == (true, true), "ED row wrong"),
+                "DTW" | "LCSS" | "EDR" => {
+                    assert!(!rate, "{} should not be rate-robust", m.name());
+                    assert!(shift, "{} should support time shifting", m.name());
+                }
+                "DFD" => assert!(rate && shift, "DFD row wrong"),
+                "Hausdorff" => {} // not in Table 1
+                other => panic!("unexpected measure {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_measures_symmetric_and_nonnegative() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.5), (2.0, 0.0), (3.0, 1.0)]);
+        let b = pts(&[(0.0, 1.0), (1.5, 1.0), (3.0, 0.0)]);
+        for m in all_measures() {
+            let ab = m.distance(&a, &b);
+            let ba = m.distance(&b, &a);
+            assert!(ab >= 0.0, "{} negative", m.name());
+            let symmetric = (ab == ba) || (ab - ba).abs() < 1e-12;
+            assert!(symmetric, "{} asymmetric: {ab} vs {ba}", m.name());
+        }
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        for m in all_measures() {
+            assert_eq!(m.distance(&a, &a), 0.0, "{} nonzero on identical input", m.name());
+        }
+    }
+
+    #[test]
+    fn empty_input_conventions() {
+        let a = pts(&[(0.0, 0.0)]);
+        let empty: Vec<EuclideanPoint> = vec![];
+        for m in all_measures() {
+            assert_eq!(m.distance(&empty, &empty), 0.0, "{}", m.name());
+            assert_eq!(m.distance(&a, &empty), f64::INFINITY, "{}", m.name());
+            assert_eq!(m.distance(&empty, &a), f64::INFINITY, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Ground-distance functions.
+//!
+//! The paper measures the ground distance between two trajectory points
+//! `s_i = (φ_i, λ_i)` and `s_j = (φ_j, λ_j)` as the great-circle distance
+//!
+//! ```text
+//! dG(i, j) = 2R · arcsin √( sin²((φj−φi)/2) + cos φi · cos φj · sin²((λj−λi)/2) )
+//! ```
+//!
+//! i.e. the haversine formula of Sinnott \[21\], with `R` the Earth radius.
+//! [`haversine_m`] implements exactly this. [`equirectangular_m`] is a cheap
+//! small-area approximation useful for generators, and [`Euclidean`] covers
+//! planar data. The [`Metric`] trait lets callers plug any of them (or their
+//! own) into the similarity measures of `fremo-similarity`.
+
+use crate::point::{GeoPoint, GroundDistance};
+
+/// Mean Earth radius in metres (IUGG mean radius `R1`).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Great-circle distance in metres between two geographic points using the
+/// haversine formula (Sinnott \[21\]), exactly as in Section 3 of the paper.
+///
+/// Numerically stable for small separations (unlike the spherical law of
+/// cosines) and clamped so floating-point rounding can never produce a NaN
+/// from `arcsin` of a value marginally above 1.
+#[inline]
+#[must_use]
+pub fn haversine_m(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let phi1 = a.lat_rad();
+    let phi2 = b.lat_rad();
+    let dphi = (b.lat - a.lat).to_radians();
+    let dlambda = (b.lon - a.lon).to_radians();
+
+    let sin_dphi = (dphi * 0.5).sin();
+    let sin_dlambda = (dlambda * 0.5).sin();
+    let h = sin_dphi * sin_dphi + phi1.cos() * phi2.cos() * sin_dlambda * sin_dlambda;
+    // `h` can exceed 1.0 by a few ULPs for antipodal points.
+    2.0 * EARTH_RADIUS_M * h.min(1.0).sqrt().asin()
+}
+
+/// Equirectangular approximation of the ground distance in metres.
+///
+/// Projects the two points onto a plane tangent at their mean latitude; the
+/// error is negligible for the city-scale separations trajectory motifs live
+/// at, and it is several times cheaper than [`haversine_m`].
+#[inline]
+#[must_use]
+pub fn equirectangular_m(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let mean_lat = 0.5 * (a.lat + b.lat);
+    let x = (b.lon - a.lon).to_radians() * mean_lat.to_radians().cos();
+    let y = (b.lat - a.lat).to_radians();
+    EARTH_RADIUS_M * (x * x + y * y).sqrt()
+}
+
+/// A pluggable point-to-point metric over a point type `P`.
+///
+/// Mirrors the paper's remark that the framework works with "other types of
+/// ground distance". All provided metrics are symmetric and non-negative.
+pub trait Metric<P> {
+    /// Distance between `a` and `b`.
+    fn dist(&self, a: &P, b: &P) -> f64;
+}
+
+/// Haversine great-circle metric over [`GeoPoint`] (the paper's `dG`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Haversine;
+
+impl Metric<GeoPoint> for Haversine {
+    #[inline]
+    fn dist(&self, a: &GeoPoint, b: &GeoPoint) -> f64 {
+        haversine_m(a, b)
+    }
+}
+
+/// Equirectangular-approximation metric over [`GeoPoint`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Equirectangular;
+
+impl Metric<GeoPoint> for Equirectangular {
+    #[inline]
+    fn dist(&self, a: &GeoPoint, b: &GeoPoint) -> f64 {
+        equirectangular_m(a, b)
+    }
+}
+
+/// Euclidean metric over any [`GroundDistance`] point whose native distance
+/// is Euclidean; also usable as the "native" metric for any point type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl<P: GroundDistance> Metric<P> for Euclidean {
+    #[inline]
+    fn dist(&self, a: &P, b: &P) -> f64 {
+        a.distance(b)
+    }
+}
+
+/// Metric adapter that delegates to the point type's own
+/// [`GroundDistance::distance`]. Identical behaviour to [`Euclidean`] but
+/// with a name that reads correctly for geographic points.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Native;
+
+impl<P: GroundDistance> Metric<P> for Native {
+    #[inline]
+    fn dist(&self, a: &P, b: &P) -> f64 {
+        a.distance(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::EuclideanPoint;
+
+    fn geo(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn haversine_known_distances() {
+        // London -> Paris ≈ 343.5 km.
+        let london = geo(51.5074, -0.1278);
+        let paris = geo(48.8566, 2.3522);
+        let d = haversine_m(&london, &paris);
+        assert!((d - 343_500.0).abs() < 2_000.0, "got {d}");
+
+        // One degree of latitude ≈ 111.2 km.
+        let a = geo(0.0, 0.0);
+        let b = geo(1.0, 0.0);
+        let d = haversine_m(&a, &b);
+        assert!((d - 111_195.0).abs() < 100.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_antipodal_is_half_circumference() {
+        let a = geo(0.0, 0.0);
+        let b = geo(0.0, 180.0);
+        let d = haversine_m(&a, &b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_M;
+        assert!((d - half).abs() < 1.0, "got {d}, want {half}");
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn haversine_small_distances_stable() {
+        // ~1.1 m apart; law-of-cosines would lose precision here.
+        let a = geo(39.900000, 116.400000);
+        let b = geo(39.900010, 116.400000);
+        let d = haversine_m(&a, &b);
+        assert!((d - 1.112).abs() < 0.01, "got {d}");
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn equirectangular_close_to_haversine_at_city_scale() {
+        let a = geo(39.9042, 116.4074);
+        let b = geo(39.9500, 116.4500);
+        let h = haversine_m(&a, &b);
+        let e = equirectangular_m(&a, &b);
+        let rel = (h - e).abs() / h;
+        assert!(rel < 1e-3, "relative error {rel}");
+    }
+
+    #[test]
+    fn metric_trait_objects_agree_with_free_functions() {
+        let a = geo(10.0, 20.0);
+        let b = geo(11.0, 21.0);
+        assert_eq!(Haversine.dist(&a, &b), haversine_m(&a, &b));
+        assert_eq!(Equirectangular.dist(&a, &b), equirectangular_m(&a, &b));
+        let p = EuclideanPoint::new(0.0, 0.0);
+        let q = EuclideanPoint::new(1.0, 0.0);
+        assert_eq!(Euclidean.dist(&p, &q), 1.0);
+        assert_eq!(Native.dist(&p, &q), 1.0);
+        // Native over GeoPoint equals haversine.
+        assert_eq!(Native.dist(&a, &b), haversine_m(&a, &b));
+    }
+
+    #[test]
+    fn symmetry_over_grid() {
+        let pts: Vec<GeoPoint> = (0..10)
+            .map(|i| geo(-80.0 + 17.0 * i as f64, -170.0 + 34.0 * i as f64))
+            .collect();
+        for p in &pts {
+            for q in &pts {
+                let pq = haversine_m(p, q);
+                let qp = haversine_m(q, p);
+                assert!((pq - qp).abs() < 1e-9);
+                assert!(pq >= 0.0);
+                assert!(pq.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Error types shared across the trajectory substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by trajectory construction, parsing and validation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A latitude was outside `[-90, 90]` or a longitude outside `[-180, 180]`.
+    CoordinateOutOfRange {
+        /// Human-readable description of the offending coordinate.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Timestamps must be strictly ascending (Definition 1 of the paper).
+    NonAscendingTimestamps {
+        /// Index at which the violation occurred.
+        index: usize,
+    },
+    /// The number of timestamps does not match the number of points.
+    TimestampLengthMismatch {
+        /// Number of points.
+        points: usize,
+        /// Number of timestamps.
+        timestamps: usize,
+    },
+    /// A trajectory was too short for the requested operation.
+    TooShort {
+        /// Number of points available.
+        len: usize,
+        /// Number of points required.
+        required: usize,
+    },
+    /// A subtrajectory range `[start..=end]` was invalid for the trajectory.
+    InvalidRange {
+        /// Requested start index.
+        start: usize,
+        /// Requested (inclusive) end index.
+        end: usize,
+        /// Length of the trajectory.
+        len: usize,
+    },
+    /// A non-finite coordinate (NaN or infinity) was encountered.
+    NonFiniteCoordinate {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// An I/O error occurred while reading or writing a dataset.
+    Io(std::io::Error),
+    /// A dataset file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending record, if known.
+        line: usize,
+        /// Description of the parse failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::CoordinateOutOfRange { what, value } => {
+                write!(f, "{what} out of range: {value}")
+            }
+            Error::NonAscendingTimestamps { index } => {
+                write!(f, "timestamps must be strictly ascending (violation at index {index})")
+            }
+            Error::TimestampLengthMismatch { points, timestamps } => write!(
+                f,
+                "timestamp count {timestamps} does not match point count {points}"
+            ),
+            Error::TooShort { len, required } => {
+                write!(f, "trajectory has {len} points but {required} are required")
+            }
+            Error::InvalidRange { start, end, len } => {
+                write!(f, "invalid subtrajectory range [{start}..={end}] for length {len}")
+            }
+            Error::NonFiniteCoordinate { index } => {
+                write!(f, "non-finite coordinate at index {index}")
+            }
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::CoordinateOutOfRange { what: "latitude", value: 91.0 };
+        assert!(e.to_string().contains("latitude"));
+        assert!(e.to_string().contains("91"));
+
+        let e = Error::InvalidRange { start: 3, end: 2, len: 10 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('2') && s.contains("10"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let e = Error::Parse { line: 42, message: "bad latitude".into() };
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("bad latitude"));
+    }
+}

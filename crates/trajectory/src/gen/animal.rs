@@ -1,0 +1,145 @@
+//! Wild-Baboon-like animal trajectory generator.
+//!
+//! The Wild-Baboon dataset \[23\] was recorded by GPS collars "that recorded
+//! a location every second" — uniform, high-frequency sampling of smooth,
+//! strongly autocorrelated movement. Consecutive points are centimetres to
+//! a couple of metres apart, so the group-level distance bounds
+//! (`dminG`/`dmaxG`) of GTM are very tight: this is the workload where the
+//! grouping framework shines.
+//!
+//! Model: the troop centroid follows an Ornstein–Uhlenbeck (OU) process
+//! attracted to a slowly rotating set of foraging anchors (sleeping grove,
+//! waterhole, fig stands); the focal individual follows its own OU process
+//! around the centroid. Daily returns to the grove create motif structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::{randn, step_m};
+use crate::point::GeoPoint;
+use crate::trajectory::{Trajectory, TrajectoryBuilder};
+
+/// Mpala Research Centre, Kenya.
+const BASE_LAT: f64 = 0.2921;
+const BASE_LON: f64 = 36.8986;
+
+/// Generates a Wild-Baboon-like trajectory with exactly `n` points at 1 Hz.
+#[must_use]
+pub fn baboon_like(n: usize, seed: u64) -> Trajectory<GeoPoint> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x424142); // "BAB"
+    let mut builder = TrajectoryBuilder::with_capacity(n);
+
+    // Foraging anchors within ~1.5 km of the sleeping grove (the base).
+    let n_anchors = rng.gen_range(3..=5);
+    let anchors: Vec<(f64, f64)> = (0..n_anchors)
+        .map(|_| (randn(&mut rng) * 700.0, randn(&mut rng) * 700.0))
+        .collect();
+
+    // State in metres relative to the base: troop centroid and the focal
+    // individual's offset from the centroid.
+    let (mut cx, mut cy) = (0.0_f64, 0.0_f64);
+    let (mut ox, mut oy) = (0.0_f64, 0.0_f64);
+    let (mut cvx, mut cvy) = (0.0_f64, 0.0_f64);
+
+    let mut anchor_idx = 0usize;
+    // Switch anchors every ~20 minutes of the 1 Hz trace; the grove
+    // (index wrapping to 0) recurs, creating repeated approach paths.
+    let dwell = 1200;
+
+    for i in 0..n {
+        if i % dwell == 0 {
+            anchor_idx = if (i / dwell) % 2 == 0 {
+                0 // return towards the grove / first anchor
+            } else {
+                rng.gen_range(0..anchors.len())
+            };
+        }
+        let (ax, ay) = anchors[anchor_idx];
+
+        // Smooth centroid dynamics: velocity OU with attraction.
+        let attraction = 0.0004;
+        let damping = 0.05;
+        cvx += attraction * (ax - cx) - damping * cvx + 0.05 * randn(&mut rng);
+        cvy += attraction * (ay - cy) - damping * cvy + 0.05 * randn(&mut rng);
+        // Baboons walk at ≲1.5 m/s.
+        let speed = (cvx * cvx + cvy * cvy).sqrt();
+        if speed > 1.5 {
+            let k = 1.5 / speed;
+            cvx *= k;
+            cvy *= k;
+        }
+        cx += cvx;
+        cy += cvy;
+
+        // Individual offset OU around the centroid (troop spread ~15 m).
+        ox += -0.02 * ox + 0.35 * randn(&mut rng);
+        oy += -0.02 * oy + 0.35 * randn(&mut rng);
+
+        let (lat, lon) = step_m(BASE_LAT, BASE_LON, cy + oy, cx + ox);
+        builder
+            .push(GeoPoint::new_unchecked(lat, lon).with_alt(1700.0), i as f64)
+            .expect("1 Hz timestamps are strictly ascending");
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::GroundDistance;
+
+    #[test]
+    fn sampling_is_uniform_1hz() {
+        let t = baboon_like(500, 21);
+        let ts = t.timestamps().unwrap();
+        for w in ts.windows(2) {
+            assert_eq!(w[1] - w[0], 1.0);
+        }
+    }
+
+    #[test]
+    fn movement_is_smooth() {
+        let t = baboon_like(2000, 22);
+        for i in 1..t.len() {
+            let d = t.dist(i - 1, i);
+            assert!(d < 4.0, "step of {d} m at 1 Hz is not baboon-like (i={i})");
+        }
+    }
+
+    #[test]
+    fn stays_home_range_scale() {
+        let t = baboon_like(5000, 23);
+        let base = GeoPoint::new_unchecked(BASE_LAT, BASE_LON);
+        for p in t.points() {
+            assert!(p.distance(&base) < 10_000.0);
+        }
+    }
+
+    #[test]
+    fn high_autocorrelation_means_tight_groups() {
+        // The diameter of any 32-point window should be small relative to
+        // the whole trace — the property GTM's group bounds exploit.
+        let t = baboon_like(4000, 24);
+        let mut max_group_diam: f64 = 0.0;
+        for chunk in t.points().chunks(32) {
+            let mut diam: f64 = 0.0;
+            for a in chunk {
+                for b in chunk {
+                    diam = diam.max(a.distance(b));
+                }
+            }
+            max_group_diam = max_group_diam.max(diam);
+        }
+        let mut total_diam: f64 = 0.0;
+        for a in t.points().iter().step_by(40) {
+            for b in t.points().iter().step_by(40) {
+                total_diam = total_diam.max(a.distance(b));
+            }
+        }
+        assert!(
+            max_group_diam < total_diam / 3.0,
+            "groups not tight: {max_group_diam} vs trace diameter {total_diam}"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on three real datasets — GeoLife (pedestrians,
+//! varying sampling rate), Truck (concrete trucks in Athens) and Wild-Baboon
+//! (1 Hz GPS collars in Kenya). Those datasets are not redistributable here,
+//! so each generator below synthesizes trajectories reproducing the
+//! *behavioural properties the algorithms are sensitive to* (see DESIGN.md
+//! §5):
+//!
+//! * [`geolife_like`] — anchor-based pedestrian movement with heading
+//!   persistence, speed regimes, **non-uniform sampling** and dropped
+//!   samples. Repeated home–work trips create natural motifs.
+//! * [`truck_like`] — depot-to-site shuttles on a jittered road grid:
+//!   strongly repeated routes, near-duplicate subtrajectories.
+//! * [`baboon_like`] — group-correlated smooth movement at uniform 1 Hz,
+//!   high autocorrelation (tight group bounds for GTM).
+//! * [`planted()`] — a random walk with an explicitly planted pair of similar
+//!   subtrajectories, for ground-truth testing.
+//! * [`planar`] — small planar shapes used by unit tests and examples.
+//!
+//! All generators are deterministic given a seed and produce exactly the
+//! requested number of points.
+
+pub mod animal;
+pub mod noise;
+pub mod planar;
+pub mod planted;
+pub mod vehicle;
+pub mod walk;
+
+pub use animal::baboon_like;
+pub use noise::{with_dropped_samples, with_gps_noise, with_outliers};
+pub use planted::{planted, PlantedMotif};
+pub use vehicle::truck_like;
+pub use walk::geolife_like;
+
+use rand::Rng;
+
+use crate::point::GeoPoint;
+use crate::trajectory::Trajectory;
+
+/// The three dataset families of the paper's evaluation (Section 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// GeoLife-like pedestrian data (non-uniform sampling).
+    GeoLife,
+    /// Truck-like vehicle data (repeated depot routes).
+    Truck,
+    /// Wild-Baboon-like animal data (1 Hz, group-correlated).
+    Baboon,
+}
+
+impl Dataset {
+    /// All dataset families, in the order the paper plots them.
+    pub const ALL: [Dataset; 3] = [Dataset::GeoLife, Dataset::Truck, Dataset::Baboon];
+
+    /// Short human-readable name matching the paper's figures.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::GeoLife => "GeoLife",
+            Dataset::Truck => "Truck",
+            Dataset::Baboon => "Wild-Baboon",
+        }
+    }
+
+    /// Generates a trajectory of exactly `n` points from this family.
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64) -> Trajectory<GeoPoint> {
+        match self {
+            Dataset::GeoLife => geolife_like(n, seed),
+            Dataset::Truck => truck_like(n, seed),
+            Dataset::Baboon => baboon_like(n, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Dataset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "geolife" => Ok(Dataset::GeoLife),
+            "truck" => Ok(Dataset::Truck),
+            "baboon" | "wild-baboon" => Ok(Dataset::Baboon),
+            other => Err(format!("unknown dataset {other:?} (expected geolife|truck|baboon)")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared numeric helpers (kept here so the sub-generators stay focused).
+// ---------------------------------------------------------------------------
+
+/// Metres per degree of latitude (approximately constant on the sphere).
+pub(crate) const M_PER_DEG_LAT: f64 = 111_132.0;
+
+/// Metres per degree of longitude at latitude `lat_deg`.
+pub(crate) fn m_per_deg_lon(lat_deg: f64) -> f64 {
+    111_320.0 * lat_deg.to_radians().cos()
+}
+
+/// Standard normal sample via the Box–Muller transform (the pre-approved
+/// `rand` crate alone provides only uniform primitives).
+pub(crate) fn randn<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Log-normal sample: `exp(mu + sigma * N(0,1))`.
+pub(crate) fn rand_lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * randn(rng)).exp()
+}
+
+/// Moves `(lat, lon)` by `(north_m, east_m)` metres, clamping latitude away
+/// from the poles so longitude scaling stays sane.
+pub(crate) fn step_m(lat: f64, lon: f64, north_m: f64, east_m: f64) -> (f64, f64) {
+    let new_lat = (lat + north_m / M_PER_DEG_LAT).clamp(-89.0, 89.0);
+    let new_lon = lon + east_m / m_per_deg_lon(new_lat);
+    // Wrap longitude into [-180, 180].
+    let wrapped = (new_lon + 180.0).rem_euclid(360.0) - 180.0;
+    (new_lat, wrapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dataset_roundtrip_parse() {
+        for d in Dataset::ALL {
+            let parsed: Dataset = d.name().to_ascii_lowercase().parse().unwrap();
+            assert_eq!(parsed, d);
+        }
+        assert!("mars-rover".parse::<Dataset>().is_err());
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_exact_length() {
+        for d in Dataset::ALL {
+            let a = d.generate(257, 42);
+            let b = d.generate(257, 42);
+            let c = d.generate(257, 43);
+            assert_eq!(a.len(), 257, "{d}");
+            assert_eq!(a.points(), b.points(), "{d} not deterministic");
+            assert_ne!(a.points(), c.points(), "{d} ignores seed");
+            let ts = a.timestamps().expect("generators attach timestamps");
+            assert!(ts.windows(2).all(|w| w[1] > w[0]), "{d} timestamps not ascending");
+            for (i, p) in a.points().iter().enumerate() {
+                assert!(p.lat.is_finite() && p.lon.is_finite(), "{d} point {i} not finite");
+                assert!((-90.0..=90.0).contains(&p.lat), "{d} lat out of range");
+                assert!((-180.0..=180.0).contains(&p.lon), "{d} lon out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn randn_has_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(rand_lognormal(&mut rng, 1.0, 0.8) > 0.0);
+        }
+    }
+
+    #[test]
+    fn step_m_moves_as_expected() {
+        let (lat, lon) = step_m(40.0, 116.0, 111_132.0, 0.0);
+        assert!((lat - 41.0).abs() < 1e-9);
+        assert!((lon - 116.0).abs() < 1e-9);
+        // Clamps near poles and wraps longitude.
+        let (lat, _lon) = step_m(88.9, 0.0, 1e9, 0.0);
+        assert!(lat <= 89.0);
+        let (_, lon) = step_m(0.0, 179.9, 0.0, 50_000.0);
+        assert!((-180.0..=180.0).contains(&lon));
+    }
+}

@@ -1,0 +1,152 @@
+//! Degradation models for robustness testing.
+//!
+//! Real GPS data suffers exactly the defects the paper motivates DFD with:
+//! missing samples and measurement error (Section 2). These utilities
+//! apply controlled doses of both to any trajectory so the test suites can
+//! assert that (a) the algorithms stay exact on degraded data and (b) the
+//! discovered motif degrades gracefully with the noise level.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::{randn, step_m};
+use crate::point::GeoPoint;
+use crate::trajectory::Trajectory;
+
+/// Adds isotropic Gaussian position noise of `sigma_m` metres to every
+/// point (altitude untouched).
+#[must_use]
+pub fn with_gps_noise(t: &Trajectory<GeoPoint>, sigma_m: f64, seed: u64) -> Trajectory<GeoPoint> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4E4F49); // "NOI"
+    let points: Vec<GeoPoint> = t
+        .points()
+        .iter()
+        .map(|p| {
+            let (lat, lon) =
+                step_m(p.lat, p.lon, randn(&mut rng) * sigma_m, randn(&mut rng) * sigma_m);
+            GeoPoint::new_unchecked(lat, lon).with_alt(p.alt)
+        })
+        .collect();
+    match t.timestamps() {
+        Some(ts) => Trajectory::with_timestamps(points, ts.to_vec())
+            .expect("timestamps unchanged, still ascending"),
+        None => Trajectory::new(points),
+    }
+}
+
+/// Replaces a fraction `rate` of points with gross outliers displaced by
+/// `offset_m` metres in a random direction (cheap receivers produce such
+/// glitches; they stress the `max`-based DFD far more than sum-based
+/// measures).
+#[must_use]
+pub fn with_outliers(
+    t: &Trajectory<GeoPoint>,
+    rate: f64,
+    offset_m: f64,
+    seed: u64,
+) -> Trajectory<GeoPoint> {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4F5554); // "OUT"
+    let points: Vec<GeoPoint> = t
+        .points()
+        .iter()
+        .map(|p| {
+            if rng.gen_bool(rate) {
+                let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                let (lat, lon) =
+                    step_m(p.lat, p.lon, offset_m * angle.cos(), offset_m * angle.sin());
+                GeoPoint::new_unchecked(lat, lon).with_alt(p.alt)
+            } else {
+                *p
+            }
+        })
+        .collect();
+    match t.timestamps() {
+        Some(ts) => Trajectory::with_timestamps(points, ts.to_vec())
+            .expect("timestamps unchanged, still ascending"),
+        None => Trajectory::new(points),
+    }
+}
+
+/// Drops each point independently with probability `rate` (keeping the
+/// first and last so the trace still spans its extent) — the "missing
+/// samples at some time points" defect of Section 1.
+#[must_use]
+pub fn with_dropped_samples(
+    t: &Trajectory<GeoPoint>,
+    rate: f64,
+    seed: u64,
+) -> Trajectory<GeoPoint> {
+    assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x44524F); // "DRO"
+    let n = t.len();
+    let keep: Vec<usize> = (0..n)
+        .filter(|&i| i == 0 || i == n.saturating_sub(1) || !rng.gen_bool(rate))
+        .collect();
+    let points: Vec<GeoPoint> = keep.iter().map(|&i| t[i]).collect();
+    match t.timestamps() {
+        Some(ts) => {
+            let stamps: Vec<f64> = keep.iter().map(|&i| ts[i]).collect();
+            Trajectory::with_timestamps(points, stamps)
+                .expect("subsequence of ascending timestamps")
+        }
+        None => Trajectory::new(points),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::geolife_like;
+    use crate::point::GroundDistance;
+
+    #[test]
+    fn gps_noise_displaces_by_roughly_sigma() {
+        let t = geolife_like(500, 1);
+        let noisy = with_gps_noise(&t, 10.0, 2);
+        assert_eq!(noisy.len(), t.len());
+        let mean: f64 = t
+            .points()
+            .iter()
+            .zip(noisy.points())
+            .map(|(a, b)| a.distance(b))
+            .sum::<f64>()
+            / t.len() as f64;
+        // Rayleigh mean for sigma=10 is ~12.5 m.
+        assert!((8.0..20.0).contains(&mean), "mean displacement {mean}");
+        assert_eq!(noisy.timestamps().unwrap(), t.timestamps().unwrap());
+    }
+
+    #[test]
+    fn outliers_affect_only_the_requested_fraction() {
+        let t = geolife_like(1000, 3);
+        let noisy = with_outliers(&t, 0.05, 500.0, 4);
+        let displaced = t
+            .points()
+            .iter()
+            .zip(noisy.points())
+            .filter(|(a, b)| a.distance(b) > 100.0)
+            .count();
+        let frac = displaced as f64 / t.len() as f64;
+        assert!((0.02..0.10).contains(&frac), "outlier fraction {frac}");
+    }
+
+    #[test]
+    fn dropping_keeps_endpoints_and_order() {
+        let t = geolife_like(800, 5);
+        let dropped = with_dropped_samples(&t, 0.3, 6);
+        assert!(dropped.len() < t.len());
+        assert!(dropped.len() > t.len() / 2);
+        assert_eq!(dropped[0], t[0]);
+        assert_eq!(dropped[dropped.len() - 1], t[t.len() - 1]);
+        let ts = dropped.timestamps().unwrap();
+        assert!(ts.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn zero_rates_are_identity() {
+        let t = geolife_like(200, 7);
+        assert_eq!(with_outliers(&t, 0.0, 500.0, 1).points(), t.points());
+        assert_eq!(with_dropped_samples(&t, 0.0, 1).points(), t.points());
+    }
+}

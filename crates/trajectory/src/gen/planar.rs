@@ -1,0 +1,130 @@
+//! Small planar workloads for unit tests, doc examples and figures.
+//!
+//! These generate [`EuclideanPoint`] trajectories with easily reasoned-about
+//! geometry: straight lines, zigzags, circles, and uniform random scatter.
+//! Used throughout the test suites of `fremo-similarity` and `fremo-core`
+//! where hand-checkable distances matter more than realism.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::point::EuclideanPoint;
+use crate::trajectory::Trajectory;
+
+/// `n` points evenly spaced on the segment from `from` to `to`.
+///
+/// # Panics
+///
+/// Panics when `n < 2`.
+#[must_use]
+pub fn line(from: (f64, f64), to: (f64, f64), n: usize) -> Trajectory<EuclideanPoint> {
+    assert!(n >= 2, "a line needs at least two points");
+    (0..n)
+        .map(|i| {
+            let f = i as f64 / (n - 1) as f64;
+            EuclideanPoint::new(from.0 + f * (to.0 - from.0), from.1 + f * (to.1 - from.1))
+        })
+        .collect()
+}
+
+/// A horizontal zigzag of `n` points with unit step in x and amplitude `amp`
+/// in y — alternating `(0,0), (1,amp), (2,0), (3,amp), …`.
+#[must_use]
+pub fn zigzag(n: usize, amp: f64) -> Trajectory<EuclideanPoint> {
+    (0..n)
+        .map(|i| EuclideanPoint::new(i as f64, if i % 2 == 0 { 0.0 } else { amp }))
+        .collect()
+}
+
+/// `n` points evenly spaced on a circle of radius `r` centred at `c`,
+/// starting at angle 0 and travelling counter-clockwise (not closed: the
+/// last point is one step short of the first).
+#[must_use]
+pub fn circle(c: (f64, f64), r: f64, n: usize) -> Trajectory<EuclideanPoint> {
+    (0..n)
+        .map(|i| {
+            let a = std::f64::consts::TAU * i as f64 / n as f64;
+            EuclideanPoint::new(c.0 + r * a.cos(), c.1 + r * a.sin())
+        })
+        .collect()
+}
+
+/// `n` i.i.d. uniform points in the axis-aligned box `[0, w] × [0, h]`.
+#[must_use]
+pub fn uniform_box(n: usize, w: f64, h: f64, seed: u64) -> Trajectory<EuclideanPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| EuclideanPoint::new(rng.gen::<f64>() * w, rng.gen::<f64>() * h))
+        .collect()
+}
+
+/// A planar correlated random walk with `n` points, unit mean step length
+/// and turning-angle noise `kappa` (radians std-dev per step).
+#[must_use]
+pub fn random_walk(n: usize, kappa: f64, seed: u64) -> Trajectory<EuclideanPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let (mut x, mut y) = (0.0_f64, 0.0_f64);
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        points.push(EuclideanPoint::new(x, y));
+        heading += kappa * super::randn(&mut rng);
+        x += heading.cos();
+        y += heading.sin();
+    }
+    Trajectory::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::GroundDistance;
+
+    #[test]
+    fn line_endpoints_and_spacing() {
+        let t = line((0.0, 0.0), (10.0, 0.0), 11);
+        assert_eq!(t.len(), 11);
+        assert_eq!(t[0], EuclideanPoint::new(0.0, 0.0));
+        assert_eq!(t[10], EuclideanPoint::new(10.0, 0.0));
+        for i in 1..11 {
+            assert!((t.dist(i - 1, i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zigzag_alternates() {
+        let t = zigzag(4, 2.0);
+        assert_eq!(t[0].y, 0.0);
+        assert_eq!(t[1].y, 2.0);
+        assert_eq!(t[2].y, 0.0);
+        assert_eq!(t[3].y, 2.0);
+    }
+
+    #[test]
+    fn circle_points_on_radius() {
+        let t = circle((1.0, -1.0), 5.0, 16);
+        let c = EuclideanPoint::new(1.0, -1.0);
+        for p in t.points() {
+            assert!((p.distance(&c) - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_box_in_bounds_and_deterministic() {
+        let a = uniform_box(100, 3.0, 7.0, 5);
+        let b = uniform_box(100, 3.0, 7.0, 5);
+        assert_eq!(a.points(), b.points());
+        for p in a.points() {
+            assert!((0.0..=3.0).contains(&p.x));
+            assert!((0.0..=7.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn random_walk_has_unit_steps() {
+        let t = random_walk(50, 0.3, 9);
+        for i in 1..t.len() {
+            assert!((t.dist(i - 1, i) - 1.0).abs() < 1e-9);
+        }
+    }
+}

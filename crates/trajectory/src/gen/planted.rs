@@ -1,0 +1,179 @@
+//! Planted-motif workloads for ground-truth testing.
+//!
+//! The exact algorithms (BruteDP, BTM, GTM, GTM*) must all return a motif
+//! with the same (minimal) DFD. To test that end-to-end we need workloads
+//! where a very similar pair of subtrajectories *provably* exists:
+//! [`planted`] embeds a noisy copy of an earlier segment into a background
+//! random walk and reports where it put it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::{randn, step_m};
+use crate::point::GeoPoint;
+use crate::trajectory::Trajectory;
+
+/// Description of a planted pair of similar segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlantedMotif {
+    /// Start index of the original segment.
+    pub first_start: usize,
+    /// Inclusive end index of the original segment.
+    pub first_end: usize,
+    /// Start index of the noisy copy.
+    pub second_start: usize,
+    /// Inclusive end index of the noisy copy.
+    pub second_end: usize,
+}
+
+impl PlantedMotif {
+    /// Length (in points) of each planted half.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.first_end - self.first_start + 1
+    }
+
+    /// Planted halves always contain at least one point.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Generates a background random walk of `n` points containing a planted
+/// pair of similar segments of `motif_len` points whose pointwise
+/// displacement is at most `noise_m` metres, and returns the trajectory
+/// together with the plant location.
+///
+/// The planted pair's DFD is therefore at most `noise_m` (each point of the
+/// copy stays within `noise_m` of its counterpart, so the diagonal coupling
+/// achieves `max ≤ noise_m`), which tests use as a certified upper bound on
+/// the optimal motif value.
+///
+/// # Panics
+///
+/// Panics when `n < 4 * motif_len + 8` (not enough room to keep the halves
+/// non-overlapping with background in between) or `motif_len == 0`.
+#[must_use]
+pub fn planted(n: usize, motif_len: usize, noise_m: f64, seed: u64) -> (Trajectory<GeoPoint>, PlantedMotif) {
+    assert!(motif_len > 0, "motif_len must be positive");
+    assert!(n >= 4 * motif_len + 8, "n={n} too small for motif_len={motif_len}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x504C54); // "PLT"
+
+    let base_lat = 39.9042;
+    let base_lon = 116.4074;
+
+    // Background correlated random walk, in metres relative to base.
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    let (mut x, mut y) = (0.0_f64, 0.0_f64);
+    let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    for _ in 0..n {
+        heading += 0.25 * randn(&mut rng);
+        let step = 8.0 + 2.0 * randn(&mut rng).abs();
+        x += step * heading.cos();
+        y += step * heading.sin();
+        xs.push(x);
+        ys.push(y);
+    }
+
+    // Choose non-overlapping slots: the original in the first third, the
+    // copy in the last third.
+    let first_start = rng.gen_range(1..(n / 3 - motif_len).max(2));
+    let first_end = first_start + motif_len - 1;
+    let second_start = rng.gen_range((2 * n / 3)..(n - motif_len));
+    let second_end = second_start + motif_len - 1;
+
+    // Overwrite the copy slot with a jittered, translated copy of the
+    // original. A translation offset well below noise_m keeps the pair's
+    // DFD ≤ noise_m while making it non-trivial.
+    let shift_x = randn(&mut rng) * noise_m * 0.1;
+    let shift_y = randn(&mut rng) * noise_m * 0.1;
+    for k in 0..motif_len {
+        // Total per-point displacement must stay ≤ noise_m: budget 3σ of
+        // jitter plus the shift inside the envelope.
+        let jitter_sigma = (noise_m * 0.8 - shift_x.hypot(shift_y)).max(0.0) / 3.0;
+        let (jx, jy) = loop {
+            let jx = randn(&mut rng) * jitter_sigma;
+            let jy = randn(&mut rng) * jitter_sigma;
+            let total = (shift_x + jx).hypot(shift_y + jy);
+            if total <= noise_m {
+                break (jx, jy);
+            }
+        };
+        xs[second_start + k] = xs[first_start + k] + shift_x + jx;
+        ys[second_start + k] = ys[first_start + k] + shift_y + jy;
+    }
+
+    // Re-stitch the walk after the copy so there is no teleport: translate
+    // the tail to continue from the copy's end.
+    if second_end + 1 < n {
+        let dx = xs[second_end] - xs[second_end + 1] + 8.0;
+        let dy = ys[second_end] - ys[second_end + 1];
+        for k in (second_end + 1)..n {
+            xs[k] += dx;
+            ys[k] += dy;
+        }
+    }
+    // The entry into the copy may jump; GPS traces contain such gaps anyway
+    // and repairing it would move the original segment, voiding the
+    // certified `noise_m` bound on the planted pair's DFD.
+
+    let points: Vec<GeoPoint> = xs
+        .iter()
+        .zip(&ys)
+        .map(|(&px, &py)| {
+            let (lat, lon) = step_m(base_lat, base_lon, py, px);
+            GeoPoint::new_unchecked(lat, lon)
+        })
+        .collect();
+    let timestamps: Vec<f64> = (0..n).map(|i| i as f64 * 5.0).collect();
+    let trajectory = Trajectory::with_timestamps(points, timestamps)
+        .expect("constructed timestamps are ascending");
+
+    (
+        trajectory,
+        PlantedMotif { first_start, first_end, second_start, second_end },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::GroundDistance;
+
+    #[test]
+    fn plant_respects_layout_constraints() {
+        let (t, m) = planted(400, 30, 5.0, 1);
+        assert_eq!(t.len(), 400);
+        assert_eq!(m.len(), 30);
+        assert!(m.first_end < m.second_start, "halves overlap");
+        assert!(m.second_end < t.len());
+    }
+
+    #[test]
+    fn planted_pair_is_pointwise_close() {
+        let noise = 5.0;
+        let (t, m) = planted(500, 40, noise, 2);
+        for k in 0..m.len() {
+            let d = t[m.first_start + k].distance(&t[m.second_start + k]);
+            assert!(d <= noise + 1e-6, "point {k} displaced by {d} m > {noise} m");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, ma) = planted(300, 20, 3.0, 7);
+        let (b, mb) = planted(300, 20, 3.0, 7);
+        assert_eq!(a.points(), b.points());
+        assert_eq!(ma, mb);
+        let (c, _) = planted(300, 20, 3.0, 8);
+        assert_ne!(a.points(), c.points());
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_insufficient_room() {
+        let _ = planted(50, 20, 3.0, 1);
+    }
+}

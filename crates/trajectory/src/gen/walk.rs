@@ -1,0 +1,171 @@
+//! GeoLife-like pedestrian trajectory generator.
+//!
+//! GeoLife trajectories were "recorded by different GPS loggers and
+//! GPS-phones, and therefore they have different sampling rates" (Section
+//! 6.1), with missing samples — the two properties the paper argues make DFD
+//! the right similarity measure. The generator reproduces:
+//!
+//! * **Anchor-based daily movement** — an entity shuttles between a handful
+//!   of anchor places (home, work, shops) along noisy, roughly straight
+//!   legs; repeated trips over the "days" of the trace create natural
+//!   motifs, just like the commuting motif of the paper's Figure 1.
+//! * **Heading persistence** — a correlated random walk within each leg.
+//! * **Speed regimes** — walking (~1.4 m/s) and vehicle (~8 m/s) legs.
+//! * **Non-uniform sampling** — log-normal inter-sample gaps.
+//! * **Missing samples** — occasional bursts where the logger goes dark
+//!   while movement continues.
+//! * **GPS noise** — isotropic Gaussian jitter of a few metres.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::{rand_lognormal, randn, step_m};
+use crate::point::GeoPoint;
+use crate::trajectory::{Trajectory, TrajectoryBuilder};
+
+/// Beijing city centre, the modal GeoLife location.
+const BASE_LAT: f64 = 39.9042;
+const BASE_LON: f64 = 116.4074;
+
+/// GPS noise standard deviation in metres.
+const GPS_NOISE_M: f64 = 4.0;
+
+/// Generates a GeoLife-like pedestrian trajectory with exactly `n` points.
+#[must_use]
+pub fn geolife_like(n: usize, seed: u64) -> Trajectory<GeoPoint> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x47454F); // "GEO"
+    let mut builder = TrajectoryBuilder::with_capacity(n);
+
+    // Anchor places within ~3 km of the base, shared by all legs so routes
+    // repeat (repetition is what gives the trace motifs).
+    let n_anchors = rng.gen_range(3..=6);
+    let anchors: Vec<(f64, f64)> = (0..n_anchors)
+        .map(|_| {
+            step_m(
+                BASE_LAT,
+                BASE_LON,
+                randn(&mut rng) * 1_500.0,
+                randn(&mut rng) * 1_500.0,
+            )
+        })
+        .collect();
+
+    let (mut lat, mut lon) = anchors[0];
+    let mut t = 0.0_f64;
+    let mut target_idx = 1 % anchors.len();
+    let mut speed_mps = 1.4;
+    let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+
+    let mut emitted = 0;
+    while emitted < n {
+        // Non-uniform sampling: median ~3 s, heavy right tail up to a minute.
+        let mut dt = rand_lognormal(&mut rng, 1.1, 0.6).clamp(1.0, 60.0);
+        // Missing-sample bursts: ~2% of samples are preceded by a dark
+        // window of 1-5 minutes during which movement continued.
+        if rng.gen_bool(0.02) {
+            dt += rng.gen_range(60.0..300.0);
+        }
+        t += dt;
+
+        // Advance towards the current target anchor with heading persistence.
+        let (tgt_lat, tgt_lon) = anchors[target_idx];
+        let north = (tgt_lat - lat) * crate::gen::M_PER_DEG_LAT;
+        let east = (tgt_lon - lon) * crate::gen::m_per_deg_lon(lat);
+        let dist_to_target = (north * north + east * east).sqrt();
+
+        if dist_to_target < 50.0 {
+            // Arrived: dwell briefly, then pick a new target and speed regime.
+            target_idx = rng.gen_range(0..anchors.len());
+            speed_mps = if rng.gen_bool(0.7) { 1.4 } else { 8.0 };
+            heading = rng.gen_range(0.0..std::f64::consts::TAU);
+        } else {
+            let bearing = east.atan2(north);
+            // Blend persistent heading with the bearing to the target and
+            // add turning noise: a correlated random walk that still makes
+            // progress.
+            let blend = 0.75;
+            let mut delta = bearing - heading;
+            while delta > std::f64::consts::PI {
+                delta -= std::f64::consts::TAU;
+            }
+            while delta < -std::f64::consts::PI {
+                delta += std::f64::consts::TAU;
+            }
+            heading += blend * delta + 0.15 * randn(&mut rng);
+            let step = (speed_mps * dt).min(dist_to_target);
+            let (nlat, nlon) = step_m(lat, lon, step * heading.cos(), step * heading.sin());
+            lat = nlat;
+            lon = nlon;
+        }
+
+        let (obs_lat, obs_lon) = step_m(
+            lat,
+            lon,
+            randn(&mut rng) * GPS_NOISE_M,
+            randn(&mut rng) * GPS_NOISE_M,
+        );
+        let point = GeoPoint::new_unchecked(obs_lat, obs_lon).with_alt(50.0 + randn(&mut rng));
+        builder
+            .push(point, t)
+            .expect("timestamps are constructed strictly ascending");
+        emitted += 1;
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::GroundDistance;
+
+    #[test]
+    fn stays_city_scale() {
+        let t = geolife_like(2000, 1);
+        let base = GeoPoint::new_unchecked(BASE_LAT, BASE_LON);
+        for p in t.points() {
+            // Anchors are within ~3 km + noise; nothing should leave ~30 km.
+            assert!(p.distance(&base) < 30_000.0, "escaped to {p:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_non_uniform() {
+        let t = geolife_like(3000, 2);
+        let ts = t.timestamps().unwrap();
+        let gaps: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        // Coefficient of variation well above zero ⇒ non-uniform sampling.
+        assert!(var.sqrt() / mean > 0.3, "cv = {}", var.sqrt() / mean);
+        // And some long dark windows exist.
+        assert!(gaps.iter().any(|&g| g > 60.0));
+    }
+
+    #[test]
+    fn movement_is_continuous() {
+        let t = geolife_like(1000, 3);
+        let ts = t.timestamps().unwrap();
+        for i in 1..t.len() {
+            let d = t.dist(i - 1, i);
+            let dt = ts[i] - ts[i - 1];
+            // Never faster than vehicle speed + generous noise allowance.
+            assert!(d <= 10.0 * dt + 40.0, "jump of {d} m in {dt} s at {i}");
+        }
+    }
+
+    #[test]
+    fn revisits_create_similar_segments() {
+        // The anchor structure must produce at least two passes near some
+        // anchor — a necessary condition for motifs to exist.
+        let t = geolife_like(4000, 4);
+        let probe = t[100];
+        let mut close_later = 0;
+        for i in 1000..t.len() {
+            if t[i].distance(&probe) < 300.0 {
+                close_later += 1;
+            }
+        }
+        assert!(close_later > 0, "no revisit found — workload has no motif structure");
+    }
+}

@@ -1,0 +1,236 @@
+//! Simple delimited trajectory reader/writer.
+//!
+//! Covers the common `lat,lon[,t]` exports used by the Truck
+//! (chorochronos.org) and Wild-Baboon (Movebank) datasets after minimal
+//! preprocessing, plus planar `x,y[,t]` files. Lines starting with `#` and
+//! blank lines are ignored; an optional non-numeric first line is treated as
+//! a header.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use crate::error::{Error, Result};
+use crate::point::{EuclideanPoint, GeoPoint};
+use crate::trajectory::Trajectory;
+
+/// Reads a `lat,lon[,t]` CSV file into a geographic trajectory.
+///
+/// # Errors
+///
+/// I/O errors, malformed numeric fields, out-of-range coordinates, and
+/// non-ascending timestamps.
+pub fn read_csv(path: &Path) -> Result<Trajectory<GeoPoint>> {
+    let file = std::fs::File::open(path)?;
+    read_csv_from(std::io::BufReader::new(file))
+}
+
+/// Reads `lat,lon[,t]` records from any buffered reader.
+///
+/// # Errors
+///
+/// See [`read_csv`].
+pub fn read_csv_from<R: BufRead>(reader: R) -> Result<Trajectory<GeoPoint>> {
+    let rows = parse_rows(reader)?;
+    let mut points = Vec::with_capacity(rows.len());
+    let mut timestamps = Vec::with_capacity(rows.len());
+    let mut any_time = false;
+    for (line, (a, b, t)) in rows {
+        let point = GeoPoint::new(a, b).map_err(|e| Error::Parse {
+            line,
+            message: e.to_string(),
+        })?;
+        points.push(point);
+        if let Some(t) = t {
+            any_time = true;
+            timestamps.push(t);
+        }
+    }
+    finish(points, timestamps, any_time)
+}
+
+/// Reads a planar `x,y[,t]` CSV file into a Euclidean trajectory.
+///
+/// # Errors
+///
+/// See [`read_csv`].
+pub fn read_csv_euclidean(path: &Path) -> Result<Trajectory<EuclideanPoint>> {
+    let file = std::fs::File::open(path)?;
+    read_csv_euclidean_from(std::io::BufReader::new(file))
+}
+
+/// Reads planar `x,y[,t]` records from any buffered reader.
+///
+/// # Errors
+///
+/// See [`read_csv`].
+pub fn read_csv_euclidean_from<R: BufRead>(reader: R) -> Result<Trajectory<EuclideanPoint>> {
+    let rows = parse_rows(reader)?;
+    let mut points = Vec::with_capacity(rows.len());
+    let mut timestamps = Vec::with_capacity(rows.len());
+    let mut any_time = false;
+    for (_, (x, y, t)) in rows {
+        points.push(EuclideanPoint::new(x, y));
+        if let Some(t) = t {
+            any_time = true;
+            timestamps.push(t);
+        }
+    }
+    finish(points, timestamps, any_time)
+}
+
+/// Writes a geographic trajectory as `lat,lon[,t]` CSV.
+///
+/// # Errors
+///
+/// I/O errors only.
+pub fn write_csv<W: Write>(out: &mut W, trajectory: &Trajectory<GeoPoint>) -> Result<()> {
+    writeln!(out, "# lat,lon{}", if trajectory.timestamps().is_some() { ",t" } else { "" })?;
+    match trajectory.timestamps() {
+        Some(ts) => {
+            for (p, t) in trajectory.points().iter().zip(ts) {
+                writeln!(out, "{:.8},{:.8},{:.3}", p.lat, p.lon, t)?;
+            }
+        }
+        None => {
+            for p in trajectory.points() {
+                writeln!(out, "{:.8},{:.8}", p.lat, p.lon)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+type Row = (usize, (f64, f64, Option<f64>));
+
+fn parse_rows<R: BufRead>(reader: R) -> Result<Vec<Row>> {
+    let mut rows = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(&[',', ';', '\t'][..]).collect();
+        if fields.len() < 2 {
+            return Err(Error::Parse {
+                line: idx + 1,
+                message: format!("expected at least 2 fields, got {}", fields.len()),
+            });
+        }
+        let parse = |s: &str, what: &str| -> Result<f64> {
+            s.trim().parse::<f64>().map_err(|e| Error::Parse {
+                line: idx + 1,
+                message: format!("bad {what} ({s:?}): {e}"),
+            })
+        };
+        let a = match parse(fields[0], "first coordinate") {
+            Ok(v) => v,
+            // A non-numeric row before any data row is a header; skip it.
+            Err(_) if rows.is_empty() => continue,
+            Err(e) => return Err(e),
+        };
+        let b = parse(fields[1], "second coordinate")?;
+        let t = if fields.len() >= 3 && !fields[2].trim().is_empty() {
+            Some(parse(fields[2], "timestamp")?)
+        } else {
+            None
+        };
+        rows.push((idx + 1, (a, b, t)));
+    }
+    Ok(rows)
+}
+
+fn finish<P>(points: Vec<P>, timestamps: Vec<f64>, any_time: bool) -> Result<Trajectory<P>> {
+    if any_time {
+        Trajectory::with_timestamps(points, timestamps)
+    } else {
+        Ok(Trajectory::new(points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_geo_with_timestamps() {
+        let data = "# comment\nlat,lon,t\n39.9,116.4,0\n39.91,116.41,30\n39.92,116.42,65\n";
+        let t = read_csv_from(data.as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.timestamps().unwrap(), &[0.0, 30.0, 65.0]);
+        assert!((t[0].lat - 39.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reads_geo_without_timestamps() {
+        let data = "39.9,116.4\n39.91,116.41\n";
+        let t = read_csv_from(data.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.timestamps().is_none());
+    }
+
+    #[test]
+    fn supports_semicolons_and_tabs() {
+        let data = "1.0;2.0;3.0\n4.0\t5.0\t6.0\n";
+        let t = read_csv_from(data.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.timestamps().unwrap(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_latitude() {
+        let data = "95.0,10.0\n";
+        assert!(matches!(read_csv_from(data.as_bytes()), Err(Error::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_too_few_fields() {
+        let data = "1.0\n";
+        assert!(read_csv_from(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_ascending_timestamps() {
+        let data = "1.0,1.0,5\n2.0,2.0,4\n";
+        assert!(matches!(
+            read_csv_from(data.as_bytes()),
+            Err(Error::NonAscendingTimestamps { .. })
+        ));
+    }
+
+    #[test]
+    fn euclidean_reader_accepts_any_coordinates() {
+        let data = "1000.0,-2000.0,1\n1001.0,-2001.0,2\n";
+        let t = read_csv_euclidean_from(data.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].x, 1000.0);
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let original = Trajectory::with_timestamps(
+            vec![
+                GeoPoint::new(39.9, 116.4).unwrap(),
+                GeoPoint::new(39.95, 116.45).unwrap(),
+            ],
+            vec![0.0, 10.0],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &original).unwrap();
+        let parsed = read_csv_from(buf.as_slice()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!((parsed[1].lat - 39.95).abs() < 1e-6);
+        assert_eq!(parsed.timestamps().unwrap(), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn round_trip_without_timestamps() {
+        let original = Trajectory::new(vec![GeoPoint::new(1.0, 2.0).unwrap()]);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &original).unwrap();
+        let parsed = read_csv_from(buf.as_slice()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed.timestamps().is_none());
+    }
+}

@@ -1,0 +1,13 @@
+//! Dataset readers and writers.
+//!
+//! The paper evaluates on GeoLife (Microsoft's PLT files), Truck and
+//! Wild-Baboon (CSV-style exports). [`plt`] parses the GeoLife PLT format so
+//! real data can be dropped into the benchmark harness; [`csv`] covers
+//! simple delimited lat/lon(/time) files such as the Truck and Movebank
+//! exports, plus a writer for round-tripping synthetic workloads.
+
+pub mod csv;
+pub mod plt;
+
+pub use csv::{read_csv, read_csv_euclidean, write_csv};
+pub use plt::read_plt;

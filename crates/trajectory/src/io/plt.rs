@@ -1,0 +1,161 @@
+//! GeoLife PLT reader.
+//!
+//! The GeoLife GPS trajectory dataset \[32\] ships one PLT file per
+//! trajectory: six header lines followed by one record per sample,
+//!
+//! ```text
+//! lat,lon,0,altitude_feet,days_since_1899_12_30,date,time
+//! 39.906631,116.385564,0,492,40097.5864583333,2009-10-11,14:04:30
+//! ```
+//!
+//! We take latitude, longitude, altitude (converted to metres) and the
+//! fractional-day timestamp (converted to seconds). Records with invalid
+//! coordinates (GeoLife uses lat 400 / lon -777 as error markers in places)
+//! are skipped, and non-increasing timestamps are nudged forward by 1 ms so
+//! Definition 1's strictly-ascending requirement holds — real GeoLife files
+//! occasionally contain duplicated timestamps from logger glitches.
+
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::error::{Error, Result};
+use crate::point::GeoPoint;
+use crate::trajectory::Trajectory;
+
+const HEADER_LINES: usize = 6;
+const FEET_TO_M: f64 = 0.3048;
+const DAY_SECONDS: f64 = 86_400.0;
+
+/// Reads a GeoLife PLT file from disk.
+///
+/// # Errors
+///
+/// I/O failures and unrecoverable parse failures (malformed record
+/// structure). Individual out-of-range fixes are skipped, not fatal.
+pub fn read_plt(path: &Path) -> Result<Trajectory<GeoPoint>> {
+    let file = std::fs::File::open(path)?;
+    read_plt_from(std::io::BufReader::new(file))
+}
+
+/// Reads PLT-formatted data from any buffered reader (exposed for tests and
+/// in-memory data).
+///
+/// # Errors
+///
+/// See [`read_plt`].
+pub fn read_plt_from<R: BufRead>(reader: R) -> Result<Trajectory<GeoPoint>> {
+    let mut points = Vec::new();
+    let mut timestamps: Vec<f64> = Vec::new();
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line_no < HEADER_LINES {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let lat: f64 = parse_field(fields.next(), line_no, "latitude")?;
+        let lon: f64 = parse_field(fields.next(), line_no, "longitude")?;
+        let _flag = fields.next(); // "0" field, unused
+        let alt_feet: f64 = parse_field(fields.next(), line_no, "altitude")?;
+        let days: f64 = parse_field(fields.next(), line_no, "timestamp days")?;
+
+        // Skip GeoLife's error-marker coordinates rather than failing.
+        let Ok(point) = GeoPoint::new(lat, lon) else { continue };
+        let mut t = days * DAY_SECONDS;
+        if let Some(&prev) = timestamps.last() {
+            if t <= prev {
+                t = prev + 1e-3;
+            }
+        }
+        points.push(point.with_alt(alt_feet * FEET_TO_M));
+        timestamps.push(t);
+    }
+
+    Trajectory::with_timestamps(points, timestamps)
+}
+
+fn parse_field(field: Option<&str>, line_no: usize, what: &str) -> Result<f64> {
+    let raw = field.ok_or_else(|| Error::Parse {
+        line: line_no + 1,
+        message: format!("missing {what} field"),
+    })?;
+    raw.trim().parse::<f64>().map_err(|e| Error::Parse {
+        line: line_no + 1,
+        message: format!("bad {what} ({raw:?}): {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Geolife trajectory\n\
+WGS 84\n\
+Altitude is in Feet\n\
+Reserved 3\n\
+0,2,255,My Track,0,0,2,8421376\n\
+0\n\
+39.906631,116.385564,0,492,40097.5864583333,2009-10-11,14:04:30\n\
+39.906554,116.385625,0,492,40097.5864930556,2009-10-11,14:04:33\n\
+39.906420,116.385683,0,492,40097.5865277778,2009-10-11,14:04:36\n";
+
+    #[test]
+    fn parses_sample_file() {
+        let t = read_plt_from(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        let p = &t[0];
+        assert!((p.lat - 39.906631).abs() < 1e-9);
+        assert!((p.lon - 116.385564).abs() < 1e-9);
+        assert!((p.alt - 492.0 * 0.3048).abs() < 1e-9);
+        let ts = t.timestamps().unwrap();
+        assert!(ts.windows(2).all(|w| w[1] > w[0]));
+        // 3-second sampling interval.
+        assert!((ts[1] - ts[0] - 3.0).abs() < 0.01, "dt = {}", ts[1] - ts[0]);
+    }
+
+    #[test]
+    fn skips_error_marker_coordinates() {
+        let data = format!(
+            "{}400.0,-777.0,0,0,40097.60,2009-10-11,14:30:00\n",
+            SAMPLE
+        );
+        let t = read_plt_from(data.as_bytes()).unwrap();
+        assert_eq!(t.len(), 3); // bad record dropped
+    }
+
+    #[test]
+    fn nudges_duplicate_timestamps() {
+        let data = "h\nh\nh\nh\nh\nh\n\
+1.0,1.0,0,0,100.0,d,t\n\
+1.1,1.0,0,0,100.0,d,t\n";
+        let t = read_plt_from(data.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        let ts = t.timestamps().unwrap();
+        assert!(ts[1] > ts[0]);
+    }
+
+    #[test]
+    fn reports_malformed_records() {
+        let data = "h\nh\nh\nh\nh\nh\nnot-a-number,1.0,0,0,100.0,d,t\n";
+        let err = read_plt_from(data.as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 7, .. }), "{err}");
+    }
+
+    #[test]
+    fn reports_missing_fields() {
+        let data = "h\nh\nh\nh\nh\nh\n1.0,2.0\n";
+        let err = read_plt_from(data.as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_body_gives_empty_trajectory() {
+        let data = "h\nh\nh\nh\nh\nh\n";
+        let t = read_plt_from(data.as_bytes()).unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! # fremo-trajectory
+//!
+//! Spatial-trajectory substrate for the `fremo` workspace: the data model,
+//! ground-distance functions, precomputed distance matrices, dataset loaders
+//! and synthetic workload generators used by the motif-discovery algorithms
+//! of Tang et al., *"Efficient Motif Discovery in Spatial Trajectories Using
+//! Discrete Fréchet Distance"*, EDBT 2017.
+//!
+//! ## Overview
+//!
+//! * [`point`] — geographic ([`GeoPoint`]) and planar ([`EuclideanPoint`])
+//!   points plus the [`GroundDistance`] abstraction (Section 3 of the paper:
+//!   "our methods are directly applicable to higher dimensions and other
+//!   types of ground distance").
+//! * [`distance`] — great-circle distance via the haversine formula of
+//!   Sinnott \[21\], Euclidean distances, and the equirectangular
+//!   approximation.
+//! * [`trajectory`] — [`Trajectory`]: an ordered point sequence with
+//!   (possibly non-uniform) timestamps, subtrajectory views and utilities.
+//! * [`matrix`] — dense `O(n^2)` all-pair ground-distance matrices, the
+//!   on-the-fly variant used by GTM*, and the row/column minima (`Rmin`,
+//!   `Cmin`) backing the paper's relaxed lower bounds.
+//! * [`io`] — GeoLife PLT and CSV readers/writers.
+//! * [`gen`] — synthetic workload generators standing in for the GeoLife,
+//!   Truck and Wild-Baboon datasets (see `DESIGN.md` §5 for the
+//!   substitution rationale).
+//! * [`stats`] — descriptive statistics over trajectories.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distance;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod matrix;
+pub mod point;
+pub mod resample;
+pub mod simplify;
+pub mod stats;
+pub mod trajectory;
+
+pub use distance::{Equirectangular, Euclidean, Haversine, Metric, Native, EARTH_RADIUS_M};
+pub use error::{Error, Result};
+pub use matrix::{DenseMatrix, DistanceSource, LazyDistances, RowColMins, ValidRegion};
+pub use point::{Euclidean3dPoint, EuclideanPoint, GeoPoint, GroundDistance};
+pub use resample::{resample_count, resample_uniform, Lerp};
+pub use simplify::{simplify_euclidean, simplify_geo};
+pub use stats::TrajectoryStats;
+pub use trajectory::{SubTrajectory, Trajectory, TrajectoryBuilder};

@@ -1,0 +1,435 @@
+//! All-pair ground-distance storage.
+//!
+//! `BruteDP`, `BTM` and `GTM` "precompute all pairs of ground distances, and
+//! store them in matrix `dG[·][·]` for quick access" (Section 3); `GTM*`
+//! instead "computes ground distances on-the-fly" (Section 5.5, Idea i).
+//! [`DenseMatrix`] and [`LazyDistances`] implement these two strategies
+//! behind the common [`DistanceSource`] trait, and [`RowColMins`] holds the
+//! full-range row/column minima (`Rmin`, `Cmin` of Section 4.3) that make
+//! the relaxed lower bounds `O(1)`.
+//!
+//! ## Index convention
+//!
+//! `get(a, b)` returns `dG(S[a], T[b])`. For the within-trajectory problem
+//! `S == T` and the matrix is symmetric; every cell a motif path can visit
+//! satisfies `a < b` (the first subtrajectory precedes the second), which is
+//! the [`ValidRegion::UpperTriangle`] region. For motif discovery between two
+//! different trajectories every cell is valid ([`ValidRegion::Full`]).
+
+use crate::point::GroundDistance;
+
+/// Which cells of the distance matrix a motif path may visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidRegion {
+    /// Every cell `(a, b)` is reachable (two-trajectory variant).
+    Full,
+    /// Only cells with `a < b` are reachable (single-trajectory variant,
+    /// where the first subtrajectory ends before the second starts).
+    UpperTriangle,
+}
+
+/// Abstract source of ground distances `dG(a, b)`.
+///
+/// Implemented by the precomputed [`DenseMatrix`] (fast `get`, `O(n·m)`
+/// space) and by [`LazyDistances`] (recomputes per call, `O(1)` space),
+/// letting every algorithm in `fremo-core` run in either space regime.
+pub trait DistanceSource {
+    /// Number of valid first indices (length of the first trajectory).
+    fn len_a(&self) -> usize;
+
+    /// Number of valid second indices (length of the second trajectory).
+    fn len_b(&self) -> usize;
+
+    /// Ground distance between point `a` of the first trajectory and point
+    /// `b` of the second.
+    fn get(&self, a: usize, b: usize) -> f64;
+
+    /// Approximate heap footprint in bytes, for the paper's Figure 19 space
+    /// accounting.
+    fn bytes(&self) -> usize;
+}
+
+/// Precomputed dense `len_a × len_b` ground-distance matrix (row-major,
+/// indexed `a * len_b + b`).
+#[derive(Debug, Clone)]
+pub struct DenseMatrix {
+    len_a: usize,
+    len_b: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Precomputes all pair distances within a single point sequence.
+    ///
+    /// The matrix is symmetric; both halves are stored so that `get` stays a
+    /// single multiply-add (the paper's methods index `dG` heavily in inner
+    /// loops).
+    #[must_use]
+    pub fn within<P: GroundDistance>(points: &[P]) -> Self {
+        let n = points.len();
+        let mut data = vec![0.0; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = points[a].distance(&points[b]);
+                data[a * n + b] = d;
+                data[b * n + a] = d;
+            }
+        }
+        DenseMatrix { len_a: n, len_b: n, data }
+    }
+
+    /// Precomputes all pair distances between two point sequences.
+    #[must_use]
+    pub fn between<P: GroundDistance>(a_pts: &[P], b_pts: &[P]) -> Self {
+        let (na, nb) = (a_pts.len(), b_pts.len());
+        let mut data = Vec::with_capacity(na * nb);
+        for a in a_pts {
+            for b in b_pts {
+                data.push(a.distance(b));
+            }
+        }
+        DenseMatrix { len_a: na, len_b: nb, data }
+    }
+
+    /// Builds a matrix directly from raw row-major values (used by unit
+    /// tests to reproduce the paper's Figure 5 worked example).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != len_a * len_b`.
+    #[must_use]
+    pub fn from_raw(len_a: usize, len_b: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), len_a * len_b, "raw data size mismatch");
+        DenseMatrix { len_a, len_b, data }
+    }
+
+    /// The raw row-major buffer.
+    #[must_use]
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl DistanceSource for DenseMatrix {
+    #[inline]
+    fn len_a(&self) -> usize {
+        self.len_a
+    }
+
+    #[inline]
+    fn len_b(&self) -> usize {
+        self.len_b
+    }
+
+    #[inline]
+    fn get(&self, a: usize, b: usize) -> f64 {
+        debug_assert!(a < self.len_a && b < self.len_b);
+        self.data[a * self.len_b + b]
+    }
+
+    fn bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// On-the-fly ground distances (GTM*'s Idea i): stores only borrowed point
+/// slices and recomputes `dG` per call.
+#[derive(Debug, Clone, Copy)]
+pub struct LazyDistances<'a, P> {
+    a_pts: &'a [P],
+    b_pts: &'a [P],
+}
+
+impl<'a, P: GroundDistance> LazyDistances<'a, P> {
+    /// Lazy distances within a single point sequence.
+    #[must_use]
+    pub fn within(points: &'a [P]) -> Self {
+        LazyDistances { a_pts: points, b_pts: points }
+    }
+
+    /// Lazy distances between two point sequences.
+    #[must_use]
+    pub fn between(a_pts: &'a [P], b_pts: &'a [P]) -> Self {
+        LazyDistances { a_pts, b_pts }
+    }
+}
+
+impl<P: GroundDistance> DistanceSource for LazyDistances<'_, P> {
+    #[inline]
+    fn len_a(&self) -> usize {
+        self.a_pts.len()
+    }
+
+    #[inline]
+    fn len_b(&self) -> usize {
+        self.b_pts.len()
+    }
+
+    #[inline]
+    fn get(&self, a: usize, b: usize) -> f64 {
+        self.a_pts[a].distance(&self.b_pts[b])
+    }
+
+    fn bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Full-range row and column minima of a distance source, restricted to a
+/// [`ValidRegion`].
+///
+/// These are the `Cmin`/`Rmin` arrays of Section 4.3: `col_min[a]` is the
+/// minimum of matrix column `a` (first index fixed to `a`) over all valid
+/// second indices, and `row_min[b]` the minimum of row `b` over all valid
+/// first indices. Both are `O(n·m)` to build once and power the `O(1)`
+/// relaxed cross/band bounds.
+///
+/// Entries whose row/column contain no valid cell (e.g. `row_min[0]` in the
+/// upper-triangle region) are `f64::INFINITY`, which makes the derived
+/// bounds degenerate to "prune nothing is impossible / prune everything is
+/// allowed only if bsf is also infinite" — i.e. they stay safe.
+#[derive(Debug, Clone)]
+pub struct RowColMins {
+    col_min: Vec<f64>,
+    row_min: Vec<f64>,
+}
+
+impl RowColMins {
+    /// Scans the source once and records per-column and per-row minima.
+    #[must_use]
+    pub fn compute<D: DistanceSource>(src: &D, region: ValidRegion) -> Self {
+        let (na, nb) = (src.len_a(), src.len_b());
+        let mut col_min = vec![f64::INFINITY; na];
+        let mut row_min = vec![f64::INFINITY; nb];
+        for (a, cmin) in col_min.iter_mut().enumerate() {
+            let b_start = match region {
+                ValidRegion::Full => 0,
+                ValidRegion::UpperTriangle => a + 1,
+            };
+            for (b, rmin) in row_min.iter_mut().enumerate().skip(b_start) {
+                let d = src.get(a, b);
+                if d < *cmin {
+                    *cmin = d;
+                }
+                if d < *rmin {
+                    *rmin = d;
+                }
+            }
+        }
+        RowColMins { col_min, row_min }
+    }
+
+    /// Minimum of matrix column `a` (`Cmin`), or `+∞` when out of range /
+    /// empty.
+    #[inline]
+    #[must_use]
+    pub fn col_min(&self, a: usize) -> f64 {
+        self.col_min.get(a).copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Minimum of matrix row `b` (`Rmin`), or `+∞` when out of range /
+    /// empty.
+    #[inline]
+    #[must_use]
+    pub fn row_min(&self, b: usize) -> f64 {
+        self.row_min.get(b).copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// The column-minimum array.
+    #[must_use]
+    pub fn col_mins(&self) -> &[f64] {
+        &self.col_min
+    }
+
+    /// The row-minimum array.
+    #[must_use]
+    pub fn row_mins(&self) -> &[f64] {
+        &self.row_min
+    }
+
+    /// Heap footprint in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        (self.col_min.capacity() + self.row_min.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+/// Sliding-window maximum over `values` with window length `win`:
+/// `out[i] = max(values[i..i+win])`, with the window truncated at the end of
+/// the array (`out[i] = max(values[i..])` for the tail).
+///
+/// Used to turn `Rmin`/`Cmin` into the relaxed band bounds
+/// `rLB_band^row(j) = max_{j'∈[j, j+ξ−1]} Rmin[j']` (Eq. 14–15) in `O(n)`
+/// total instead of the paper's `O(ξ·n)`, via a monotone deque.
+///
+/// # Panics
+///
+/// Panics when `win == 0`.
+#[must_use]
+pub fn sliding_window_max(values: &[f64], win: usize) -> Vec<f64> {
+    assert!(win > 0, "window must be positive");
+    let n = values.len();
+    let mut out = vec![f64::NEG_INFINITY; n];
+    // Indices of candidate maxima, values decreasing front-to-back.
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    // Process windows right-to-left so window [i, i+win) is complete when we
+    // emit out[i].
+    for i in (0..n).rev() {
+        while let Some(&back) = deque.back() {
+            if values[back] <= values[i] {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(i);
+        while let Some(&front) = deque.front() {
+            if front >= i + win {
+                deque.pop_front();
+            } else {
+                break;
+            }
+        }
+        out[i] = values[*deque.front().expect("deque holds current index")];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::EuclideanPoint;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
+        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+    }
+
+    #[test]
+    fn dense_within_matches_pointwise() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (5.0, 5.0)]);
+        let m = DenseMatrix::within(&p);
+        assert_eq!(m.len_a(), 4);
+        assert_eq!(m.len_b(), 4);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(m.get(a, b), p[a].distance(&p[b]));
+                assert_eq!(m.get(a, b), m.get(b, a));
+            }
+            assert_eq!(m.get(a, a), 0.0);
+        }
+        assert!(m.bytes() >= 16 * 8);
+    }
+
+    #[test]
+    fn dense_between_matches_pointwise() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(0.0, 1.0), (2.0, 0.0), (3.0, 4.0)]);
+        let m = DenseMatrix::between(&a, &b);
+        assert_eq!(m.len_a(), 2);
+        assert_eq!(m.len_b(), 3);
+        for (i, pa) in a.iter().enumerate() {
+            for (j, pb) in b.iter().enumerate() {
+                assert_eq!(m.get(i, j), pa.distance(pb));
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_agrees_with_dense() {
+        let p = pts(&[(0.0, 0.0), (2.0, 1.0), (4.0, 4.0), (1.0, 7.0), (0.5, 0.5)]);
+        let dense = DenseMatrix::within(&p);
+        let lazy = LazyDistances::within(&p);
+        for a in 0..p.len() {
+            for b in 0..p.len() {
+                assert_eq!(dense.get(a, b), lazy.get(a, b));
+            }
+        }
+        assert_eq!(lazy.bytes(), 0);
+        assert!(dense.bytes() > 0);
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        let m = DenseMatrix::from_raw(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.raw().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_raw_rejects_bad_size() {
+        let _ = DenseMatrix::from_raw(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn row_col_mins_full_region() {
+        let m = DenseMatrix::from_raw(2, 3, vec![5.0, 2.0, 9.0, 1.0, 8.0, 3.0]);
+        let mins = RowColMins::compute(&m, ValidRegion::Full);
+        assert_eq!(mins.col_min(0), 2.0);
+        assert_eq!(mins.col_min(1), 1.0);
+        assert_eq!(mins.row_min(0), 1.0);
+        assert_eq!(mins.row_min(1), 2.0);
+        assert_eq!(mins.row_min(2), 3.0);
+        assert_eq!(mins.col_min(99), f64::INFINITY);
+        assert_eq!(mins.row_min(99), f64::INFINITY);
+    }
+
+    #[test]
+    fn row_col_mins_upper_triangle_excludes_diagonal_and_below() {
+        // 3x3 with small values on/below the diagonal that must be ignored.
+        let m = DenseMatrix::from_raw(
+            3,
+            3,
+            vec![
+                0.0, 7.0, 5.0, //
+                0.1, 0.0, 6.0, //
+                0.1, 0.2, 0.0,
+            ],
+        );
+        let mins = RowColMins::compute(&m, ValidRegion::UpperTriangle);
+        assert_eq!(mins.col_min(0), 5.0); // min over b in {1,2}
+        assert_eq!(mins.col_min(1), 6.0); // min over b in {2}
+        assert_eq!(mins.col_min(2), f64::INFINITY); // no valid cell
+        assert_eq!(mins.row_min(0), f64::INFINITY); // no valid cell
+        assert_eq!(mins.row_min(1), 7.0);
+        assert_eq!(mins.row_min(2), 5.0);
+    }
+
+    #[test]
+    fn sliding_window_max_basic() {
+        let v = [2.0, 1.0, 6.0, 1.0, 1.0, 5.0];
+        assert_eq!(sliding_window_max(&v, 1), v.to_vec());
+        assert_eq!(sliding_window_max(&v, 2), vec![2.0, 6.0, 6.0, 1.0, 5.0, 5.0]);
+        assert_eq!(sliding_window_max(&v, 3), vec![6.0, 6.0, 6.0, 5.0, 5.0, 5.0]);
+        assert_eq!(
+            sliding_window_max(&v, 100),
+            vec![6.0, 6.0, 6.0, 5.0, 5.0, 5.0]
+        );
+        assert!(sliding_window_max(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn sliding_window_max_matches_naive_on_random_data() {
+        // Deterministic pseudo-random values (xorshift), no rand dependency
+        // needed in this crate's tests.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut vals = Vec::with_capacity(200);
+        for _ in 0..200 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            vals.push((x % 1000) as f64);
+        }
+        for win in [1usize, 2, 3, 7, 50, 200, 500] {
+            let fast = sliding_window_max(&vals, win);
+            for i in 0..vals.len() {
+                let end = (i + win).min(vals.len());
+                let naive = vals[i..end].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(fast[i], naive, "win={win} i={i}");
+            }
+        }
+    }
+}

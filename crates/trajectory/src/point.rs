@@ -1,0 +1,238 @@
+//! Point types and the ground-distance abstraction.
+//!
+//! The paper (Section 3) assumes each trajectory point is a
+//! latitude–longitude pair measured with the great-circle distance, but notes
+//! that "our methods are directly applicable to higher dimensions (e.g., 3-d
+//! data points) and other types of ground distance (e.g., Euclidean)". The
+//! [`GroundDistance`] trait captures exactly that degree of freedom: every
+//! algorithm in `fremo-core` is generic over it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// A point paired with a native notion of distance to other points of the
+/// same type.
+///
+/// Implementations must return a **non-negative, finite** distance and must
+/// be symmetric (`a.distance(b) == b.distance(a)`); the motif-discovery
+/// bounds rely on both properties. Identity of indiscernibles is *not*
+/// required (duplicate samples at the same location are common in GPS data).
+pub trait GroundDistance: Copy {
+    /// Distance from `self` to `other` in the point type's native unit
+    /// (metres for [`GeoPoint`], coordinate units for [`EuclideanPoint`]).
+    fn distance(&self, other: &Self) -> f64;
+}
+
+/// A geographic point: latitude/longitude in **degrees** plus an optional
+/// altitude in metres (GeoLife records altitude; it does not participate in
+/// the ground distance, matching the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, `[-180, 180]`.
+    pub lon: f64,
+    /// Altitude in metres above sea level (informational only).
+    pub alt: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point after validating coordinate ranges and finiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CoordinateOutOfRange`] when the latitude is outside
+    /// `[-90, 90]` or the longitude outside `[-180, 180]`, including the
+    /// NaN case.
+    pub fn new(lat: f64, lon: f64) -> Result<Self> {
+        if !(-90.0..=90.0).contains(&lat) {
+            return Err(Error::CoordinateOutOfRange { what: "latitude", value: lat });
+        }
+        if !(-180.0..=180.0).contains(&lon) {
+            return Err(Error::CoordinateOutOfRange { what: "longitude", value: lon });
+        }
+        Ok(GeoPoint { lat, lon, alt: 0.0 })
+    }
+
+    /// Creates a point without range validation.
+    ///
+    /// Useful for generators that clamp coordinates themselves. Prefer
+    /// [`GeoPoint::new`] for untrusted input.
+    #[must_use]
+    pub const fn new_unchecked(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon, alt: 0.0 }
+    }
+
+    /// Returns a copy with the given altitude.
+    #[must_use]
+    pub const fn with_alt(mut self, alt: f64) -> Self {
+        self.alt = alt;
+        self
+    }
+
+    /// Latitude in radians.
+    #[inline]
+    #[must_use]
+    pub fn lat_rad(&self) -> f64 {
+        self.lat.to_radians()
+    }
+
+    /// Longitude in radians.
+    #[inline]
+    #[must_use]
+    pub fn lon_rad(&self) -> f64 {
+        self.lon.to_radians()
+    }
+
+    /// Great-circle distance to `other` in metres (haversine formula).
+    ///
+    /// This is the paper's ground distance `dG` (Section 3, citing Sinnott
+    /// \[21\], "Virtues of the haversine").
+    #[inline]
+    #[must_use]
+    pub fn haversine_m(&self, other: &GeoPoint) -> f64 {
+        crate::distance::haversine_m(self, other)
+    }
+}
+
+impl GroundDistance for GeoPoint {
+    #[inline]
+    fn distance(&self, other: &Self) -> f64 {
+        self.haversine_m(other)
+    }
+}
+
+/// A planar point in arbitrary coordinate units with Euclidean distance.
+///
+/// Used for the worked examples of the paper (Figures 5–8 operate on an
+/// abstract distance matrix), for unit-square synthetic workloads, and for
+/// applications such as sports analysis where positions live on a pitch
+/// rather than the globe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EuclideanPoint {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl EuclideanPoint {
+    /// Creates a planar point.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        EuclideanPoint { x, y }
+    }
+
+    /// Squared Euclidean distance (cheaper than [`GroundDistance::distance`]
+    /// when only comparisons are needed).
+    #[inline]
+    #[must_use]
+    pub fn distance_sq(&self, other: &Self) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+impl GroundDistance for EuclideanPoint {
+    #[inline]
+    fn distance(&self, other: &Self) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+}
+
+impl From<(f64, f64)> for EuclideanPoint {
+    fn from((x, y): (f64, f64)) -> Self {
+        EuclideanPoint::new(x, y)
+    }
+}
+
+/// A 3-dimensional Euclidean point, demonstrating the paper's claim that the
+/// framework applies unchanged to higher dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Euclidean3dPoint {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+    /// Z coordinate.
+    pub z: f64,
+}
+
+impl Euclidean3dPoint {
+    /// Creates a 3-D point.
+    #[must_use]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Euclidean3dPoint { x, y, z }
+    }
+}
+
+impl GroundDistance for Euclidean3dPoint {
+    #[inline]
+    fn distance(&self, other: &Self) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_point_validation() {
+        assert!(GeoPoint::new(39.9, 116.4).is_ok());
+        assert!(GeoPoint::new(90.0, 180.0).is_ok());
+        assert!(GeoPoint::new(-90.0, -180.0).is_ok());
+        assert!(matches!(
+            GeoPoint::new(90.5, 0.0),
+            Err(Error::CoordinateOutOfRange { what: "latitude", .. })
+        ));
+        assert!(matches!(
+            GeoPoint::new(0.0, 180.5),
+            Err(Error::CoordinateOutOfRange { what: "longitude", .. })
+        ));
+        assert!(GeoPoint::new(f64::NAN, 0.0).is_err());
+        assert!(GeoPoint::new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn geo_distance_is_symmetric_and_zero_on_self() {
+        let a = GeoPoint::new(39.9042, 116.4074).unwrap(); // Beijing
+        let b = GeoPoint::new(22.5431, 114.0579).unwrap(); // Shenzhen
+        assert_eq!(a.distance(&a), 0.0);
+        let ab = a.distance(&b);
+        let ba = b.distance(&a);
+        assert!((ab - ba).abs() < 1e-9);
+        // Beijing -> Shenzhen is roughly 1,940 km.
+        assert!((1_900_000.0..2_000_000.0).contains(&ab), "got {ab}");
+    }
+
+    #[test]
+    fn altitude_does_not_affect_distance() {
+        let a = GeoPoint::new(10.0, 10.0).unwrap();
+        let b = GeoPoint::new(10.0, 10.0).unwrap().with_alt(8848.0);
+        assert_eq!(a.distance(&b), 0.0);
+    }
+
+    #[test]
+    fn euclidean_distance_basics() {
+        let a = EuclideanPoint::new(0.0, 0.0);
+        let b = EuclideanPoint::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(b.distance(&a), 5.0);
+        let c: EuclideanPoint = (1.0, 1.0).into();
+        assert_eq!(c.x, 1.0);
+    }
+
+    #[test]
+    fn euclidean_3d_distance() {
+        let a = Euclidean3dPoint::new(0.0, 0.0, 0.0);
+        let b = Euclidean3dPoint::new(2.0, 3.0, 6.0);
+        assert_eq!(a.distance(&b), 7.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Trajectory resampling.
+//!
+//! Real traces arrive with non-uniform sampling (the very property DFD
+//! tolerates); preprocessing pipelines nevertheless sometimes need uniform
+//! grids — e.g. to feed measures that assume them (DTW/LCSS/EDR in
+//! Table 1) or to thin 1 Hz collar data. [`resample_uniform`]
+//! re-samples a timestamped trajectory onto a fixed time step by linear
+//! interpolation; [`resample_count`] distributes a fixed number of samples
+//! uniformly along the *path* (arc length), independent of timestamps.
+
+use crate::point::{Euclidean3dPoint, EuclideanPoint, GeoPoint, GroundDistance};
+use crate::trajectory::Trajectory;
+
+/// Linear interpolation between two points (`f ∈ [0, 1]`).
+///
+/// For [`GeoPoint`] the interpolation is linear in latitude/longitude,
+/// which is accurate for the sub-kilometre gaps between consecutive GPS
+/// samples (do not use it to interpolate across oceans).
+pub trait Lerp: Sized {
+    /// Point at fraction `f` of the way from `self` to `other`.
+    #[must_use]
+    fn lerp(&self, other: &Self, f: f64) -> Self;
+}
+
+impl Lerp for EuclideanPoint {
+    fn lerp(&self, other: &Self, f: f64) -> Self {
+        EuclideanPoint::new(self.x + (other.x - self.x) * f, self.y + (other.y - self.y) * f)
+    }
+}
+
+impl Lerp for Euclidean3dPoint {
+    fn lerp(&self, other: &Self, f: f64) -> Self {
+        Euclidean3dPoint::new(
+            self.x + (other.x - self.x) * f,
+            self.y + (other.y - self.y) * f,
+            self.z + (other.z - self.z) * f,
+        )
+    }
+}
+
+impl Lerp for GeoPoint {
+    fn lerp(&self, other: &Self, f: f64) -> Self {
+        GeoPoint::new_unchecked(
+            self.lat + (other.lat - self.lat) * f,
+            self.lon + (other.lon - self.lon) * f,
+        )
+        .with_alt(self.alt + (other.alt - self.alt) * f)
+    }
+}
+
+/// Resamples a timestamped trajectory onto a uniform grid with step `dt`
+/// seconds, linearly interpolating positions. Returns `None` when the
+/// input has no timestamps or fewer than two points.
+///
+/// # Panics
+///
+/// Panics when `dt` is not strictly positive.
+#[must_use]
+pub fn resample_uniform<P: Lerp + Clone>(t: &Trajectory<P>, dt: f64) -> Option<Trajectory<P>> {
+    assert!(dt > 0.0, "dt must be positive");
+    let ts = t.timestamps()?;
+    if t.len() < 2 {
+        return None;
+    }
+    let (start, end) = (ts[0], ts[ts.len() - 1]);
+    let steps = ((end - start) / dt).floor() as usize;
+
+    let mut points = Vec::with_capacity(steps + 1);
+    let mut stamps = Vec::with_capacity(steps + 1);
+    let mut seg = 0usize;
+    for k in 0..=steps {
+        let target = start + k as f64 * dt;
+        while seg + 1 < ts.len() - 1 && ts[seg + 1] <= target {
+            seg += 1;
+        }
+        let (t0, t1) = (ts[seg], ts[seg + 1]);
+        let f = ((target - t0) / (t1 - t0)).clamp(0.0, 1.0);
+        points.push(t[seg].lerp(&t[seg + 1], f));
+        stamps.push(target);
+    }
+    Trajectory::with_timestamps(points, stamps).ok()
+}
+
+/// Resamples to exactly `n` points spaced uniformly along the path's arc
+/// length (timestamps, if any, are dropped — arc-length spacing has no
+/// canonical time). Returns `None` when the input has fewer than two
+/// points or `n < 2`.
+#[must_use]
+pub fn resample_count<P: Lerp + GroundDistance + Clone>(
+    t: &Trajectory<P>,
+    n: usize,
+) -> Option<Trajectory<P>> {
+    if t.len() < 2 || n < 2 {
+        return None;
+    }
+    // Cumulative arc length.
+    let pts = t.points();
+    let mut cum = Vec::with_capacity(pts.len());
+    cum.push(0.0_f64);
+    for w in pts.windows(2) {
+        let d = w[0].distance(&w[1]);
+        cum.push(cum.last().unwrap() + d);
+    }
+    let total = *cum.last().unwrap();
+    if total == 0.0 {
+        // Degenerate: all points coincide.
+        return Some(Trajectory::new(vec![pts[0]; n]));
+    }
+
+    let mut out = Vec::with_capacity(n);
+    let mut seg = 0usize;
+    for k in 0..n {
+        let target = total * k as f64 / (n - 1) as f64;
+        while seg + 1 < cum.len() - 1 && cum[seg + 1] < target {
+            seg += 1;
+        }
+        let seg_len = cum[seg + 1] - cum[seg];
+        let f = if seg_len > 0.0 { ((target - cum[seg]) / seg_len).clamp(0.0, 1.0) } else { 0.0 };
+        out.push(pts[seg].lerp(&pts[seg + 1], f));
+    }
+    Some(Trajectory::new(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = EuclideanPoint::new(0.0, 0.0);
+        let b = EuclideanPoint::new(2.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), EuclideanPoint::new(1.0, 2.0));
+
+        let g = GeoPoint::new_unchecked(10.0, 20.0).with_alt(100.0);
+        let h = GeoPoint::new_unchecked(12.0, 22.0).with_alt(200.0);
+        let m = g.lerp(&h, 0.5);
+        assert_eq!((m.lat, m.lon, m.alt), (11.0, 21.0, 150.0));
+
+        let p = Euclidean3dPoint::new(0.0, 0.0, 0.0);
+        let q = Euclidean3dPoint::new(2.0, 2.0, 2.0);
+        assert_eq!(p.lerp(&q, 0.25), Euclidean3dPoint::new(0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn uniform_resampling_produces_fixed_dt() {
+        let t = gen::geolife_like(200, 3);
+        let r = resample_uniform(&t, 10.0).expect("timestamped input");
+        let ts = r.timestamps().unwrap();
+        assert!(ts.len() > 10);
+        for w in ts.windows(2) {
+            assert!((w[1] - w[0] - 10.0).abs() < 1e-9);
+        }
+        // The resampled path stays close to the original envelope.
+        let orig_len = t.path_length();
+        let res_len = r.path_length();
+        assert!(res_len <= orig_len * 1.01, "{res_len} vs {orig_len}");
+    }
+
+    #[test]
+    fn uniform_needs_timestamps_and_two_points() {
+        let no_ts: Trajectory<EuclideanPoint> =
+            vec![EuclideanPoint::new(0.0, 0.0), EuclideanPoint::new(1.0, 0.0)]
+                .into_iter()
+                .collect();
+        assert!(resample_uniform(&no_ts, 1.0).is_none());
+        let single =
+            Trajectory::with_timestamps(vec![EuclideanPoint::new(0.0, 0.0)], vec![0.0]).unwrap();
+        assert!(resample_uniform(&single, 1.0).is_none());
+    }
+
+    #[test]
+    fn count_resampling_is_arclength_uniform() {
+        // An L-shaped path: spacing must be uniform along the path, not in
+        // parameter space.
+        let t: Trajectory<EuclideanPoint> = vec![
+            EuclideanPoint::new(0.0, 0.0),
+            EuclideanPoint::new(10.0, 0.0),
+            EuclideanPoint::new(10.0, 10.0),
+        ]
+        .into_iter()
+        .collect();
+        let r = resample_count(&t, 21).unwrap();
+        assert_eq!(r.len(), 21);
+        assert_eq!(r[0], EuclideanPoint::new(0.0, 0.0));
+        assert_eq!(r[20], EuclideanPoint::new(10.0, 10.0));
+        for w in r.points().windows(2) {
+            assert!((w[0].distance(&w[1]) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn count_resampling_degenerate_inputs() {
+        let stationary: Trajectory<EuclideanPoint> =
+            vec![EuclideanPoint::new(1.0, 1.0); 5].into_iter().collect();
+        let r = resample_count(&stationary, 3).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.points().iter().all(|p| *p == EuclideanPoint::new(1.0, 1.0)));
+
+        let single: Trajectory<EuclideanPoint> =
+            vec![EuclideanPoint::new(0.0, 0.0)].into_iter().collect();
+        assert!(resample_count(&single, 5).is_none());
+        let two: Trajectory<EuclideanPoint> =
+            vec![EuclideanPoint::new(0.0, 0.0), EuclideanPoint::new(1.0, 0.0)]
+                .into_iter()
+                .collect();
+        assert!(resample_count(&two, 1).is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! Trajectory simplification (Douglas–Peucker).
+//!
+//! GPS traces oversample straight stretches; Douglas–Peucker keeps only
+//! the points needed to stay within `tolerance` of the original polyline.
+//! Because DFD compares *shapes*, motifs on a simplified trace approximate
+//! motifs on the raw trace while the `O(n⁴)`-ish search runs on a much
+//! smaller `n` — a practical preprocessing step the paper's related work
+//! (trajectory indexing \[4, 9\]) relies on heavily.
+
+use crate::point::{EuclideanPoint, GeoPoint};
+use crate::trajectory::Trajectory;
+
+/// Perpendicular distance from `p` to the segment `a..b` for planar points.
+fn seg_dist_euclidean(p: &EuclideanPoint, a: &EuclideanPoint, b: &EuclideanPoint) -> f64 {
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    let len_sq = dx * dx + dy * dy;
+    if len_sq == 0.0 {
+        return p.distance_sq(a).sqrt();
+    }
+    let t = (((p.x - a.x) * dx + (p.y - a.y) * dy) / len_sq).clamp(0.0, 1.0);
+    let proj = EuclideanPoint::new(a.x + t * dx, a.y + t * dy);
+    proj.distance_sq(p).sqrt()
+}
+
+/// Perpendicular distance in metres from `p` to the segment `a..b`, via a
+/// local equirectangular projection around `a` (accurate at GPS-segment
+/// scales).
+fn seg_dist_geo(p: &GeoPoint, a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let scale_lon = crate::distance::EARTH_RADIUS_M * a.lat_rad().cos() * std::f64::consts::PI / 180.0;
+    let scale_lat = crate::distance::EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+    let to_xy = |g: &GeoPoint| EuclideanPoint::new((g.lon - a.lon) * scale_lon, (g.lat - a.lat) * scale_lat);
+    seg_dist_euclidean(&to_xy(p), &to_xy(a), &to_xy(b))
+}
+
+/// Indices kept by Douglas–Peucker with the given point-to-segment
+/// distance; always includes the first and last index.
+pub fn simplify_indices<P>(
+    points: &[P],
+    tolerance: f64,
+    seg_dist: impl Fn(&P, &P, &P) -> f64 + Copy,
+) -> Vec<usize> {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let n = points.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let mut keep = vec![false; n];
+    keep[0] = true;
+    keep[n - 1] = true;
+    // Explicit stack instead of recursion (traces can be long).
+    let mut stack = vec![(0usize, n - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let mut worst = 0.0_f64;
+        let mut worst_idx = lo + 1;
+        for (idx, p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = seg_dist(p, &points[lo], &points[hi]);
+            if d > worst {
+                worst = d;
+                worst_idx = idx;
+            }
+        }
+        if worst > tolerance {
+            keep[worst_idx] = true;
+            stack.push((lo, worst_idx));
+            stack.push((worst_idx, hi));
+        }
+    }
+    keep.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect()
+}
+
+/// Simplifies a planar trajectory to within `tolerance` (coordinate
+/// units). Timestamps of kept points are preserved.
+#[must_use]
+pub fn simplify_euclidean(
+    t: &Trajectory<EuclideanPoint>,
+    tolerance: f64,
+) -> Trajectory<EuclideanPoint> {
+    let kept = simplify_indices(t.points(), tolerance, seg_dist_euclidean);
+    take_indices(t, &kept)
+}
+
+/// Simplifies a geographic trajectory to within `tolerance` metres.
+/// Timestamps of kept points are preserved.
+#[must_use]
+pub fn simplify_geo(t: &Trajectory<GeoPoint>, tolerance_m: f64) -> Trajectory<GeoPoint> {
+    let kept = simplify_indices(t.points(), tolerance_m, seg_dist_geo);
+    take_indices(t, &kept)
+}
+
+fn take_indices<P: Clone>(t: &Trajectory<P>, kept: &[usize]) -> Trajectory<P> {
+    let points: Vec<P> = kept.iter().map(|&i| t[i].clone()).collect();
+    match t.timestamps() {
+        Some(ts) => {
+            let stamps: Vec<f64> = kept.iter().map(|&i| ts[i]).collect();
+            Trajectory::with_timestamps(points, stamps)
+                .expect("subsequence of ascending timestamps is ascending")
+        }
+        None => Trajectory::new(points),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use std::ops::Index;
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let t = gen::planar::line((0.0, 0.0), (100.0, 0.0), 50);
+        let s = simplify_euclidean(&t, 0.01);
+        assert_eq!(s.len(), 2);
+        assert_eq!(*s.index(0), EuclideanPoint::new(0.0, 0.0));
+        assert_eq!(*s.index(1), EuclideanPoint::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn corner_is_preserved() {
+        let t: Trajectory<EuclideanPoint> = vec![
+            EuclideanPoint::new(0.0, 0.0),
+            EuclideanPoint::new(5.0, 0.1),
+            EuclideanPoint::new(10.0, 0.0),
+            EuclideanPoint::new(10.1, 5.0),
+            EuclideanPoint::new(10.0, 10.0),
+        ]
+        .into_iter()
+        .collect();
+        let s = simplify_euclidean(&t, 0.5);
+        // The corner at (10, 0) must survive.
+        assert!(s.points().iter().any(|p| p.distance_sq(&EuclideanPoint::new(10.0, 0.0)) < 1e-9));
+        assert!(s.len() >= 3);
+    }
+
+    #[test]
+    fn simplified_trace_stays_within_tolerance() {
+        let t = gen::planar::random_walk(300, 0.3, 8);
+        let tol = 2.0;
+        let s = simplify_euclidean(&t, tol);
+        assert!(s.len() < t.len());
+        // Every original point is within tol of the simplified polyline.
+        for p in t.points() {
+            let mut best = f64::INFINITY;
+            for w in s.points().windows(2) {
+                best = best.min(seg_dist_euclidean(p, &w[0], &w[1]));
+            }
+            assert!(best <= tol + 1e-9, "point strayed {best}");
+        }
+    }
+
+    #[test]
+    fn geo_simplification_shrinks_gps_noise() {
+        let t = gen::geolife_like(500, 4);
+        let s = simplify_geo(&t, 15.0);
+        assert!(s.len() < t.len(), "{} -> {}", t.len(), s.len());
+        assert!(s.len() >= 2);
+        // Timestamps carried over and still ascending.
+        let ts = s.timestamps().unwrap();
+        assert!(ts.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: Trajectory<EuclideanPoint> = Trajectory::new(vec![]);
+        assert_eq!(simplify_euclidean(&empty, 1.0).len(), 0);
+        let single: Trajectory<EuclideanPoint> =
+            vec![EuclideanPoint::new(0.0, 0.0)].into_iter().collect();
+        assert_eq!(simplify_euclidean(&single, 1.0).len(), 1);
+        // Zero-length segment (duplicate endpoints).
+        let dup: Trajectory<EuclideanPoint> = vec![
+            EuclideanPoint::new(0.0, 0.0),
+            EuclideanPoint::new(1.0, 1.0),
+            EuclideanPoint::new(0.0, 0.0),
+        ]
+        .into_iter()
+        .collect();
+        let s = simplify_euclidean(&dup, 0.1);
+        assert!(s.len() >= 2);
+    }
+}

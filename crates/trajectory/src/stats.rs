@@ -1,0 +1,135 @@
+//! Descriptive statistics over trajectories.
+//!
+//! Used by the CLI's `inspect` command and by the benchmark harness to
+//! report workload characteristics alongside measured results (the paper
+//! notes its datasets "have different characteristics, such as sampling
+//! frequency and data distribution", Section 6.1 — we quantify ours).
+
+use crate::point::GroundDistance;
+use crate::trajectory::Trajectory;
+
+/// Summary statistics of a trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryStats {
+    /// Number of points.
+    pub len: usize,
+    /// Total path length in ground-distance units (metres for geo data).
+    pub path_length: f64,
+    /// Mean consecutive-point step in ground-distance units.
+    pub mean_step: f64,
+    /// Maximum consecutive-point step.
+    pub max_step: f64,
+    /// Mean inter-sample time gap in seconds (`None` without timestamps).
+    pub mean_dt: Option<f64>,
+    /// Coefficient of variation of the time gaps — 0 means perfectly
+    /// uniform sampling; GeoLife-like data is well above 0.3.
+    pub dt_cv: Option<f64>,
+    /// Duration covered in seconds (`None` without timestamps).
+    pub duration: Option<f64>,
+}
+
+impl TrajectoryStats {
+    /// Computes statistics for `t`.
+    ///
+    /// Degenerate inputs are handled gracefully: an empty or single-point
+    /// trajectory reports zero path length and steps.
+    #[must_use]
+    pub fn compute<P: GroundDistance>(t: &Trajectory<P>) -> Self {
+        let len = t.len();
+        let mut path_length = 0.0;
+        let mut max_step: f64 = 0.0;
+        for w in t.points().windows(2) {
+            let d = w[0].distance(&w[1]);
+            path_length += d;
+            max_step = max_step.max(d);
+        }
+        let steps = len.saturating_sub(1);
+        let mean_step = if steps > 0 { path_length / steps as f64 } else { 0.0 };
+
+        let (mean_dt, dt_cv, duration) = match t.timestamps() {
+            Some(ts) if ts.len() >= 2 => {
+                let gaps: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+                let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+                let var =
+                    gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+                let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+                (Some(mean), Some(cv), Some(ts[ts.len() - 1] - ts[0]))
+            }
+            _ => (None, None, None),
+        };
+
+        TrajectoryStats { len, path_length, mean_step, max_step, mean_dt, dt_cv, duration }
+    }
+}
+
+impl std::fmt::Display for TrajectoryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} path={:.1} mean_step={:.2} max_step={:.2}",
+            self.len, self.path_length, self.mean_step, self.max_step
+        )?;
+        if let (Some(dt), Some(cv), Some(dur)) = (self.mean_dt, self.dt_cv, self.duration) {
+            write!(f, " mean_dt={dt:.2}s dt_cv={cv:.2} duration={dur:.0}s")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::point::EuclideanPoint;
+
+    #[test]
+    fn stats_on_line() {
+        let t = gen::planar::line((0.0, 0.0), (10.0, 0.0), 11);
+        let s = TrajectoryStats::compute(&t);
+        assert_eq!(s.len, 11);
+        assert!((s.path_length - 10.0).abs() < 1e-9);
+        assert!((s.mean_step - 1.0).abs() < 1e-9);
+        assert!((s.max_step - 1.0).abs() < 1e-9);
+        assert!(s.mean_dt.is_none());
+    }
+
+    #[test]
+    fn stats_with_timestamps() {
+        let t = Trajectory::with_timestamps(
+            vec![
+                EuclideanPoint::new(0.0, 0.0),
+                EuclideanPoint::new(1.0, 0.0),
+                EuclideanPoint::new(2.0, 0.0),
+            ],
+            vec![0.0, 1.0, 4.0],
+        )
+        .unwrap();
+        let s = TrajectoryStats::compute(&t);
+        assert_eq!(s.mean_dt, Some(2.0));
+        assert_eq!(s.duration, Some(4.0));
+        // gaps 1 and 3 ⇒ sd = 1, mean 2 ⇒ cv = 0.5
+        assert!((s.dt_cv.unwrap() - 0.5).abs() < 1e-12);
+        assert!(s.to_string().contains("dt_cv=0.50"));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: Trajectory<EuclideanPoint> = Trajectory::new(vec![]);
+        let s = TrajectoryStats::compute(&empty);
+        assert_eq!(s.len, 0);
+        assert_eq!(s.path_length, 0.0);
+        assert_eq!(s.mean_step, 0.0);
+
+        let single = Trajectory::new(vec![EuclideanPoint::new(1.0, 1.0)]);
+        let s = TrajectoryStats::compute(&single);
+        assert_eq!(s.len, 1);
+        assert_eq!(s.max_step, 0.0);
+    }
+
+    #[test]
+    fn geolife_like_reports_nonuniform_sampling() {
+        let t = gen::geolife_like(1500, 77);
+        let s = TrajectoryStats::compute(&t);
+        assert!(s.dt_cv.unwrap() > 0.3, "cv = {:?}", s.dt_cv);
+    }
+}

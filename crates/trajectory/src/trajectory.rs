@@ -1,0 +1,493 @@
+//! The trajectory data model.
+//!
+//! Definition 1 of the paper: *"A spatial trajectory `S = ⟨…, s_i, …⟩` is a
+//! sequence of points. … Let `T(S) = ⟨…, t_i, …⟩` be a sequence of ascending
+//! timestamps, where `t_i` is the timestamp of location `s_i` in `S`. The
+//! timestamps may be non-uniform."*
+//!
+//! [`Trajectory`] stores the point sequence plus optional timestamps;
+//! [`SubTrajectory`] is the paper's `S_{i,ie} = S[i..ie]` — a borrowed,
+//! inclusive-range view.
+
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::point::{GeoPoint, GroundDistance};
+
+/// An ordered sequence of spatial points with optional strictly-ascending
+/// timestamps (in seconds; any epoch).
+///
+/// The type parameter defaults to [`GeoPoint`] (the paper's setting) but any
+/// [`GroundDistance`] point works.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory<P = GeoPoint> {
+    points: Vec<P>,
+    /// `None` means "timestamps unknown"; algorithms that only need the
+    /// sequence order (all of the motif machinery) work either way.
+    timestamps: Option<Vec<f64>>,
+}
+
+impl<P> Trajectory<P> {
+    /// Creates a trajectory from points without timestamps.
+    #[must_use]
+    pub fn new(points: Vec<P>) -> Self {
+        Trajectory { points, timestamps: None }
+    }
+
+    /// Creates a trajectory with timestamps, validating that the counts match
+    /// and the timestamps are strictly ascending and finite.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TimestampLengthMismatch`] or
+    /// [`Error::NonAscendingTimestamps`].
+    pub fn with_timestamps(points: Vec<P>, timestamps: Vec<f64>) -> Result<Self> {
+        if points.len() != timestamps.len() {
+            return Err(Error::TimestampLengthMismatch {
+                points: points.len(),
+                timestamps: timestamps.len(),
+            });
+        }
+        for (idx, w) in timestamps.windows(2).enumerate() {
+            if w[1] <= w[0] || w[1].is_nan() {
+                return Err(Error::NonAscendingTimestamps { index: idx + 1 });
+            }
+        }
+        if let Some(first) = timestamps.first() {
+            if !first.is_finite() {
+                return Err(Error::NonAscendingTimestamps { index: 0 });
+            }
+        }
+        Ok(Trajectory { points, timestamps: Some(timestamps) })
+    }
+
+    /// Number of points `n = |S|`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory has no points.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point sequence.
+    #[inline]
+    #[must_use]
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// The timestamp sequence, if known.
+    #[inline]
+    #[must_use]
+    pub fn timestamps(&self) -> Option<&[f64]> {
+        self.timestamps.as_deref()
+    }
+
+    /// The `i`-th point, or `None` when out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&P> {
+        self.points.get(i)
+    }
+
+    /// Borrowed view of the subtrajectory `S_{start,end} = S[start..=end]`
+    /// (inclusive on both sides, matching the paper's notation).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidRange`] unless `start <= end < len`.
+    pub fn sub(&self, start: usize, end: usize) -> Result<SubTrajectory<'_, P>> {
+        if start > end || end >= self.points.len() {
+            return Err(Error::InvalidRange { start, end, len: self.points.len() });
+        }
+        Ok(SubTrajectory { trajectory: self, start, end })
+    }
+
+    /// Consumes the trajectory and returns its parts.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<P>, Option<Vec<f64>>) {
+        (self.points, self.timestamps)
+    }
+
+    /// Appends another trajectory, shifting its timestamps so they continue
+    /// strictly after this trajectory's last timestamp (the paper
+    /// concatenates raw trajectories "in order to build longer trajectories",
+    /// Section 6.1).
+    ///
+    /// When either side lacks timestamps the result has none.
+    pub fn concat(mut self, other: Trajectory<P>) -> Trajectory<P> {
+        let (mut pts, ts) = other.into_parts();
+        self.timestamps = match (self.timestamps.take(), ts) {
+            (Some(mut a), Some(b)) => {
+                let last = a.last().copied().unwrap_or(0.0);
+                let first = b.first().copied().unwrap_or(0.0);
+                // Leave a 1-second artificial gap between the stitched parts.
+                let shift = last - first + 1.0;
+                a.extend(b.iter().map(|t| t + shift));
+                Some(a)
+            }
+            _ => None,
+        };
+        self.points.append(&mut pts);
+        self
+    }
+
+    /// Keeps only every `k`-th point (1 keeps everything). Used to thin
+    /// high-frequency traces; timestamps are thinned consistently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn thin(&self, k: usize) -> Trajectory<P>
+    where
+        P: Clone,
+    {
+        assert!(k > 0, "thinning factor must be positive");
+        let points = self.points.iter().step_by(k).cloned().collect();
+        let timestamps = self
+            .timestamps
+            .as_ref()
+            .map(|ts| ts.iter().copied().step_by(k).collect());
+        Trajectory { points, timestamps }
+    }
+
+    /// Truncates to the first `n` points (no-op when already shorter).
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> Trajectory<P>
+    where
+        P: Clone,
+    {
+        let n = n.min(self.points.len());
+        Trajectory {
+            points: self.points[..n].to_vec(),
+            timestamps: self.timestamps.as_ref().map(|ts| ts[..n].to_vec()),
+        }
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, P> {
+        self.points.iter()
+    }
+}
+
+impl<P: GroundDistance> Trajectory<P> {
+    /// Ground distance `dG(i, j)` between the `i`-th and `j`-th points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range (this is a hot inner-loop
+    /// primitive; use [`Trajectory::get`] for checked access).
+    #[inline]
+    #[must_use]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.points[i].distance(&self.points[j])
+    }
+
+    /// Total path length: the sum of consecutive ground distances.
+    #[must_use]
+    pub fn path_length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].distance(&w[1])).sum()
+    }
+}
+
+impl<P> Index<usize> for Trajectory<P> {
+    type Output = P;
+
+    #[inline]
+    fn index(&self, i: usize) -> &P {
+        &self.points[i]
+    }
+}
+
+impl<P> FromIterator<P> for Trajectory<P> {
+    fn from_iter<I: IntoIterator<Item = P>>(iter: I) -> Self {
+        Trajectory::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a, P> IntoIterator for &'a Trajectory<P> {
+    type Item = &'a P;
+    type IntoIter = std::slice::Iter<'a, P>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+/// The paper's `S_{i,ie}`: a borrowed inclusive-range view of a trajectory.
+#[derive(Debug, Clone, Copy)]
+pub struct SubTrajectory<'a, P = GeoPoint> {
+    trajectory: &'a Trajectory<P>,
+    start: usize,
+    end: usize,
+}
+
+impl<'a, P> SubTrajectory<'a, P> {
+    /// Start index `i` into the parent trajectory.
+    #[inline]
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// End index `ie` (inclusive) into the parent trajectory.
+    #[inline]
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of points, `ie - i + 1`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// A subtrajectory always has at least one point.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The underlying points as a slice.
+    #[inline]
+    #[must_use]
+    pub fn points(&self) -> &'a [P] {
+        &self.trajectory.points()[self.start..=self.end]
+    }
+
+    /// Timestamps covering this view, if the parent has them.
+    #[must_use]
+    pub fn timestamps(&self) -> Option<&'a [f64]> {
+        self.trajectory.timestamps().map(|ts| &ts[self.start..=self.end])
+    }
+
+    /// The parent trajectory.
+    #[inline]
+    #[must_use]
+    pub fn parent(&self) -> &'a Trajectory<P> {
+        self.trajectory
+    }
+
+    /// Materializes the view as an owned trajectory.
+    #[must_use]
+    pub fn to_trajectory(&self) -> Trajectory<P>
+    where
+        P: Clone,
+    {
+        Trajectory {
+            points: self.points().to_vec(),
+            timestamps: self.timestamps().map(<[f64]>::to_vec),
+        }
+    }
+
+    /// Whether this view's timestamp interval overlaps another view from the
+    /// same parent (Problem 1 requires motif halves not to overlap).
+    #[must_use]
+    pub fn overlaps(&self, other: &SubTrajectory<'_, P>) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+/// Incremental builder validating timestamps as they are appended.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryBuilder<P = GeoPoint> {
+    points: Vec<P>,
+    timestamps: Vec<f64>,
+}
+
+impl<P> TrajectoryBuilder<P> {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        TrajectoryBuilder { points: Vec::new(), timestamps: Vec::new() }
+    }
+
+    /// Creates an empty builder with capacity for `n` points.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        TrajectoryBuilder { points: Vec::with_capacity(n), timestamps: Vec::with_capacity(n) }
+    }
+
+    /// Number of points appended so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing has been appended yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Appends a point with its timestamp.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NonAscendingTimestamps`] when `t` does not strictly exceed
+    /// the previous timestamp (or is non-finite).
+    pub fn push(&mut self, point: P, t: f64) -> Result<()> {
+        if !t.is_finite() || self.timestamps.last().is_some_and(|&prev| t <= prev) {
+            return Err(Error::NonAscendingTimestamps { index: self.timestamps.len() });
+        }
+        self.points.push(point);
+        self.timestamps.push(t);
+        Ok(())
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> Trajectory<P> {
+        Trajectory { points: self.points, timestamps: Some(self.timestamps) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::EuclideanPoint;
+
+    fn planar(coords: &[(f64, f64)]) -> Trajectory<EuclideanPoint> {
+        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = planar(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t[1], EuclideanPoint::new(1.0, 0.0));
+        assert_eq!(t.get(2), Some(&EuclideanPoint::new(2.0, 0.0)));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.timestamps(), None);
+        assert_eq!(t.iter().count(), 3);
+    }
+
+    #[test]
+    fn timestamps_must_ascend_strictly() {
+        let pts = vec![EuclideanPoint::new(0.0, 0.0); 3];
+        assert!(Trajectory::with_timestamps(pts.clone(), vec![0.0, 1.0, 2.0]).is_ok());
+        assert!(matches!(
+            Trajectory::with_timestamps(pts.clone(), vec![0.0, 1.0, 1.0]),
+            Err(Error::NonAscendingTimestamps { index: 2 })
+        ));
+        assert!(matches!(
+            Trajectory::with_timestamps(pts.clone(), vec![0.0, 1.0]),
+            Err(Error::TimestampLengthMismatch { points: 3, timestamps: 2 })
+        ));
+        assert!(Trajectory::with_timestamps(pts, vec![f64::NAN, 1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn subtrajectory_views() {
+        let t = planar(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let s = t.sub(1, 2).unwrap();
+        assert_eq!(s.start(), 1);
+        assert_eq!(s.end(), 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points(), &t.points()[1..=2]);
+        assert!(t.sub(2, 1).is_err());
+        assert!(t.sub(0, 4).is_err());
+        // Single-point subtrajectory is allowed (dF(i,i,j,j) = dG(i,j)).
+        assert_eq!(t.sub(3, 3).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn subtrajectory_overlap_detection() {
+        let t = planar(&[(0.0, 0.0); 10]);
+        let a = t.sub(0, 3).unwrap();
+        let b = t.sub(3, 6).unwrap();
+        let c = t.sub(4, 9).unwrap();
+        assert!(a.overlaps(&b)); // share index 3
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn concat_shifts_timestamps() {
+        let a = Trajectory::with_timestamps(
+            vec![EuclideanPoint::new(0.0, 0.0), EuclideanPoint::new(1.0, 0.0)],
+            vec![10.0, 20.0],
+        )
+        .unwrap();
+        let b = Trajectory::with_timestamps(
+            vec![EuclideanPoint::new(2.0, 0.0), EuclideanPoint::new(3.0, 0.0)],
+            vec![5.0, 6.0],
+        )
+        .unwrap();
+        let c = a.concat(b);
+        assert_eq!(c.len(), 4);
+        let ts = c.timestamps().unwrap();
+        assert_eq!(ts, &[10.0, 20.0, 21.0, 22.0]);
+        // Still strictly ascending end-to-end.
+        assert!(ts.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn concat_without_timestamps_drops_them() {
+        let a = planar(&[(0.0, 0.0)]);
+        let b = Trajectory::with_timestamps(vec![EuclideanPoint::new(1.0, 0.0)], vec![0.0]).unwrap();
+        assert!(a.concat(b).timestamps().is_none());
+    }
+
+    #[test]
+    fn thin_and_truncate() {
+        let t = planar(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (4.0, 0.0)]);
+        let thinned = t.thin(2);
+        assert_eq!(thinned.len(), 3);
+        assert_eq!(thinned[1], EuclideanPoint::new(2.0, 0.0));
+        let trunc = t.truncated(2);
+        assert_eq!(trunc.len(), 2);
+        assert_eq!(t.truncated(99).len(), 5);
+    }
+
+    #[test]
+    fn path_length_and_dist() {
+        let t = planar(&[(0.0, 0.0), (3.0, 4.0), (3.0, 5.0)]);
+        assert_eq!(t.dist(0, 1), 5.0);
+        assert_eq!(t.path_length(), 6.0);
+    }
+
+    #[test]
+    fn builder_validates() {
+        let mut b = TrajectoryBuilder::with_capacity(4);
+        assert!(b.is_empty());
+        b.push(EuclideanPoint::new(0.0, 0.0), 0.0).unwrap();
+        b.push(EuclideanPoint::new(1.0, 0.0), 1.5).unwrap();
+        assert!(b.push(EuclideanPoint::new(2.0, 0.0), 1.5).is_err());
+        assert!(b.push(EuclideanPoint::new(2.0, 0.0), f64::INFINITY).is_err());
+        b.push(EuclideanPoint::new(2.0, 0.0), 2.0).unwrap();
+        assert_eq!(b.len(), 3);
+        let t = b.build();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.timestamps().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn to_trajectory_materializes_view() {
+        let t = Trajectory::with_timestamps(
+            vec![
+                EuclideanPoint::new(0.0, 0.0),
+                EuclideanPoint::new(1.0, 0.0),
+                EuclideanPoint::new(2.0, 0.0),
+            ],
+            vec![0.0, 1.0, 2.0],
+        )
+        .unwrap();
+        let owned = t.sub(1, 2).unwrap().to_trajectory();
+        assert_eq!(owned.len(), 2);
+        assert_eq!(owned.timestamps().unwrap(), &[1.0, 2.0]);
+    }
+}

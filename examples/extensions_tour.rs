@@ -1,0 +1,54 @@
+//! Tour of the extensions beyond the paper: ε-approximate search, top-k
+//! motifs, similarity join, and parallel BTM.
+//!
+//! ```bash
+//! cargo run --release --example extensions_tour
+//! ```
+
+use fremo::motif::{similarity_self_join, top_k_motifs, ApproxGtm, ParallelBtm};
+use fremo::prelude::*;
+use fremo::trajectory::gen::Dataset;
+
+fn main() {
+    let t = Dataset::Truck.generate(1500, 7);
+    let cfg = MotifConfig::new(60);
+
+    // --- Exact baseline ---------------------------------------------------
+    let (exact, exact_stats) = Gtm.discover_with_stats(&t, &cfg);
+    let exact = exact.expect("motif");
+    println!("exact    : {exact}  ({:.3}s)", exact_stats.total_seconds);
+
+    // --- (1+eps)-approximate ----------------------------------------------
+    for eps in [0.1, 0.5] {
+        let (m, stats) = ApproxGtm::new(eps).discover_with_stats(&t, &cfg);
+        let m = m.expect("motif");
+        println!(
+            "eps={eps:<4}: {m}  ({:.3}s, guarantee ≤ {:.1} m)",
+            stats.total_seconds,
+            (1.0 + eps) * exact.distance
+        );
+        assert!(m.distance <= (1.0 + eps) * exact.distance + 1e-9);
+    }
+
+    // --- Top-k disjoint motifs ---------------------------------------------
+    println!("\ntop-3 index-disjoint motifs:");
+    for (rank, m) in top_k_motifs(&t, &cfg, 3).iter().enumerate() {
+        println!("  #{} {m}", rank + 1);
+    }
+
+    // --- Parallel BTM -------------------------------------------------------
+    let (pm, pstats) = ParallelBtm::default().discover_with_stats(&t, &cfg);
+    let pm = pm.expect("motif");
+    println!(
+        "\nparallel : {pm}  ({:.3}s on {} workers)",
+        pstats.total_seconds,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    assert!((pm.distance - exact.distance).abs() < 1e-9);
+
+    // --- Similarity join ----------------------------------------------------
+    // Five trucks from the same depot family: whole-trajectory join.
+    let fleet: Vec<_> = (0..5).map(|k| Dataset::Truck.generate(300, 100 + k)).collect();
+    let joined = similarity_self_join(&fleet, 8_000.0);
+    println!("\nfleet self-join at 8 km: {}", joined.summary());
+}

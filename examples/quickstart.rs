@@ -1,0 +1,57 @@
+//! Quickstart: find the motif in a GPS trajectory.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use fremo::prelude::*;
+
+fn main() {
+    // A GeoLife-like pedestrian trajectory: 1,500 samples with non-uniform
+    // sampling, GPS noise and repeated home–work trips.
+    let trajectory = fremo::trajectory::gen::geolife_like(1500, 42);
+    println!(
+        "input: {} points, {:.1} km path length",
+        trajectory.len(),
+        trajectory.path_length() / 1000.0
+    );
+
+    // Find the most similar pair of non-overlapping subtrajectories of at
+    // least ~50 samples each, using the paper's fastest exact algorithm.
+    let config = MotifConfig::new(50);
+    let (motif, stats) = Gtm.discover_with_stats(&trajectory, &config);
+    let motif = motif.expect("trajectory long enough for ξ = 50");
+
+    println!("motif:  {motif}");
+    println!(
+        "        first half  = S[{}..={}] ({} points)",
+        motif.first.0,
+        motif.first.1,
+        motif.first_len()
+    );
+    println!(
+        "        second half = S[{}..={}] ({} points)",
+        motif.second.0,
+        motif.second.1,
+        motif.second_len()
+    );
+    println!("        DFD = {:.1} m", motif.distance);
+    println!(
+        "search: {:.3} s, {:.1}% of candidate pairs pruned without a DFD computation",
+        stats.total_seconds,
+        stats.pruned_fraction() * 100.0
+    );
+
+    // The halves are genuine subtrajectories — inspect them further:
+    let first = trajectory.sub(motif.first.0, motif.first.1).unwrap();
+    let second = trajectory.sub(motif.second.0, motif.second.1).unwrap();
+    if let (Some(t1), Some(t2)) = (first.timestamps(), second.timestamps()) {
+        println!(
+            "        first half spans t = {:.0}..{:.0} s, second t = {:.0}..{:.0} s",
+            t1[0],
+            t1[t1.len() - 1],
+            t2[0],
+            t2[t2.len() - 1]
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # fremo — Fréchet-distance trajectory motif discovery
+//!
+//! Umbrella crate re-exporting the public API of the `fremo` workspace, a
+//! reproduction of Tang, Yiu, Mouratidis & Wang, *"Efficient Motif
+//! Discovery in Spatial Trajectories Using Discrete Fréchet Distance"*,
+//! EDBT 2017.
+//!
+//! * [`trajectory`] — data model, distances, loaders, synthetic generators.
+//! * [`similarity`] — DFD and the alternative measures of the paper's
+//!   Table 1 (ED, DTW, LCSS, EDR, Hausdorff).
+//! * [`motif`] — the paper's contribution: `BruteDP`, `BTM`, `GTM`, `GTM*`
+//!   plus the lower-bound machinery, for motif discovery within one
+//!   trajectory or between two.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fremo::prelude::*;
+//!
+//! // A small GeoLife-like trajectory and a motif-length threshold.
+//! let trajectory = fremo::trajectory::gen::geolife_like(300, 42);
+//! let config = MotifConfig::new(20);
+//! let motif = Gtm::default().discover(&trajectory, &config).expect("found a motif");
+//! println!(
+//!     "motif: S[{}..={}] ~ S[{}..={}]  dfd = {:.2} m",
+//!     motif.first.0, motif.first.1, motif.second.0, motif.second.1, motif.distance
+//! );
+//! ```
+
+pub use fremo_core as motif;
+pub use fremo_similarity as similarity;
+pub use fremo_trajectory as trajectory;
+
+/// Convenient glob-importable surface of the most used items.
+pub mod prelude {
+    pub use fremo_core::{
+        BoundKind, Btm, BruteDp, Gtm, GtmStar, Motif, MotifConfig, MotifDiscovery, SearchStats,
+    };
+    pub use fremo_similarity::{dfd, SimilarityMeasure};
+    pub use fremo_trajectory::{
+        EuclideanPoint, GeoPoint, GroundDistance, SubTrajectory, Trajectory,
+    };
+}

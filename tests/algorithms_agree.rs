@@ -1,0 +1,129 @@
+//! Cross-algorithm equivalence: all four algorithms are exact, so they must
+//! return motifs with identical DFD on every workload, every parameter
+//! setting, and both problem variants.
+
+use fremo::prelude::*;
+use fremo::trajectory::gen::Dataset;
+
+fn algorithms() -> Vec<Box<dyn MotifDiscovery<GeoPoint>>> {
+    vec![Box::new(BruteDp), Box::new(Btm), Box::new(Gtm), Box::new(GtmStar)]
+}
+
+#[test]
+fn within_all_datasets() {
+    for dataset in Dataset::ALL {
+        for seed in [1_u64, 2] {
+            let t = dataset.generate(130, seed);
+            let cfg = MotifConfig::new(8).with_group_size(8);
+            let mut reference: Option<f64> = None;
+            for alg in algorithms() {
+                let m = alg.discover(&t, &cfg).expect("motif exists");
+                assert!(m.is_valid_within(t.len(), 8), "{}: invalid motif {m}", alg.name());
+                match reference {
+                    None => reference = Some(m.distance),
+                    Some(r) => assert!(
+                        (m.distance - r).abs() < 1e-9,
+                        "{dataset}/{}: {} vs {}",
+                        alg.name(),
+                        m.distance,
+                        r
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn between_all_datasets() {
+    for dataset in Dataset::ALL {
+        let a = dataset.generate(110, 10);
+        let b = dataset.generate(95, 20);
+        let cfg = MotifConfig::new(7).with_group_size(8);
+        let mut reference: Option<f64> = None;
+        for alg in algorithms() {
+            let m = alg.discover_between(&a, &b, &cfg).expect("motif exists");
+            assert!(m.is_valid_between(a.len(), b.len(), 7), "{}: {m}", alg.name());
+            match reference {
+                None => reference = Some(m.distance),
+                Some(r) => assert!(
+                    (m.distance - r).abs() < 1e-9,
+                    "{dataset}/{}: {} vs {}",
+                    alg.name(),
+                    m.distance,
+                    r
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn across_xi_values() {
+    let t = Dataset::GeoLife.generate(140, 3);
+    for xi in [1_usize, 2, 5, 10, 20, 40] {
+        let cfg = MotifConfig::new(xi).with_group_size(8);
+        let brute = BruteDp.discover(&t, &cfg);
+        let gtm = Gtm.discover(&t, &cfg);
+        match (brute, gtm) {
+            (Some(b), Some(g)) => {
+                assert!((b.distance - g.distance).abs() < 1e-9, "xi={xi}");
+                // Larger ξ can only make the optimum worse (fewer pairs).
+            }
+            (None, None) => {} // too short for this ξ
+            (b, g) => panic!("xi={xi}: disagreement on existence: {b:?} vs {g:?}"),
+        }
+    }
+}
+
+#[test]
+fn optimum_is_monotone_in_xi() {
+    // The candidate sets shrink as ξ grows, so the optimal DFD is
+    // non-decreasing in ξ.
+    let t = Dataset::Truck.generate(150, 9);
+    let mut last = 0.0_f64;
+    for xi in [1_usize, 3, 6, 12, 24] {
+        let cfg = MotifConfig::new(xi);
+        let m = Btm.discover(&t, &cfg).expect("motif");
+        assert!(
+            m.distance >= last - 1e-9,
+            "optimum decreased from {last} to {} at xi={xi}",
+            m.distance
+        );
+        last = m.distance;
+    }
+}
+
+#[test]
+fn boundary_lengths() {
+    // Exactly at the minimum feasible n, exactly one candidate exists.
+    let xi = 5;
+    let n = 2 * xi + 4;
+    let t = Dataset::Baboon.generate(n, 4);
+    let cfg = MotifConfig::new(xi);
+    for alg in algorithms() {
+        let m = alg.discover(&t, &cfg).expect("single candidate must be found");
+        assert_eq!(m.first, (0, xi + 1), "{}", alg.name());
+        assert_eq!(m.second, (xi + 2, 2 * xi + 3), "{}", alg.name());
+    }
+    // One point shorter: no candidate.
+    let t = Dataset::Baboon.generate(n - 1, 4);
+    for alg in algorithms() {
+        assert!(alg.discover(&t, &cfg).is_none(), "{}", alg.name());
+    }
+}
+
+#[test]
+fn motif_distance_matches_standalone_dfd() {
+    // The reported distance must equal the DFD of the reported pair.
+    let t = Dataset::GeoLife.generate(120, 8);
+    let cfg = MotifConfig::new(6);
+    for alg in algorithms() {
+        let m = alg.discover(&t, &cfg).expect("motif");
+        let d = dfd(
+            &t.points()[m.first.0..=m.first.1],
+            &t.points()[m.second.0..=m.second.1],
+        );
+        assert!((d - m.distance).abs() < 1e-9, "{}: {} vs {}", alg.name(), d, m.distance);
+    }
+}

@@ -1,0 +1,214 @@
+//! Safety of the pruning machinery: no lower bound may ever exceed the true
+//! DFD of a candidate it applies to (false negatives would make the
+//! algorithms inexact). These tests exercise the bound tables directly
+//! through the public `fremo_core` modules.
+
+use fremo::motif::bounds::{BoundTables, RelaxedTables, TightTables};
+use fremo::motif::domain::Domain;
+use fremo::motif::group::{group_dfd_bounds, GroupMatrices};
+use fremo::motif::{BoundSelection, MotifConfig};
+use fremo::prelude::*;
+use fremo::trajectory::DenseMatrix;
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = EuclideanPoint> {
+    (-30.0..30.0_f64, -30.0..30.0_f64).prop_map(|(x, y)| EuclideanPoint::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn subset_bounds_never_exceed_candidate_dfd(
+        points in proptest::collection::vec(point(), 14..26),
+        xi in 1usize..3,
+    ) {
+        let n = points.len();
+        let domain = Domain::Within { n };
+        let src = DenseMatrix::within(&points);
+        let relaxed = BoundTables::build(&src, domain, xi, BoundSelection::all_relaxed());
+        let tight = BoundTables::build(&src, domain, xi, BoundSelection::all_tight());
+
+        for (i, j) in domain.subsets(xi) {
+            let rb = relaxed.subset_bounds(&src, BoundSelection::all_relaxed(), i, j).combined();
+            let tb = tight.subset_bounds(&src, BoundSelection::all_tight(), i, j).combined();
+            for ie in (i + xi + 1)..j {
+                for je in (j + xi + 1)..n {
+                    let d = dfd(&points[i..=ie], &points[j..=je]);
+                    prop_assert!(rb <= d + 1e-9,
+                        "relaxed bound {rb} > dfd {d} for ({i},{ie},{j},{je})");
+                    prop_assert!(tb <= d + 1e-9,
+                        "tight bound {tb} > dfd {d} for ({i},{ie},{j},{je})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn end_cross_bound_is_safe(
+        points in proptest::collection::vec(point(), 14..22),
+    ) {
+        // For every DP cell (ie, je) of subset (i, j), the end-cross bound
+        // must lower-bound candidates ending strictly beyond it.
+        let xi = 1;
+        let n = points.len();
+        let domain = Domain::Within { n };
+        let src = DenseMatrix::within(&points);
+        for sel in [BoundSelection::all_relaxed(), BoundSelection::all_tight()] {
+            let tables = BoundTables::build(&src, domain, xi, sel);
+            for (i, j) in domain.subsets(xi) {
+                for ie in (i + 1)..j {
+                    for je in (j + 1)..n {
+                        let bound = tables.end_cross(i, j, ie, je);
+                        for ic in (ie + 1)..j {
+                            for jc in (je + 1)..n {
+                                if ic > i + xi && jc > j + xi {
+                                    let d = dfd(&points[i..=ic], &points[j..=jc]);
+                                    prop_assert!(bound <= d + 1e-9,
+                                        "end-cross {bound} > dfd {d} for (i={i},j={j}) end ({ic},{jc}) via ({ie},{je}) tight={}",
+                                        sel.tight);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_bounds_sandwich(
+        points in proptest::collection::vec(point(), 16..26),
+        tau in 2usize..5,
+    ) {
+        let xi = 1;
+        let n = points.len();
+        let domain = Domain::Within { n };
+        let src = DenseMatrix::within(&points);
+        let gm = GroupMatrices::build(&src, domain, tau);
+        for u in 0..gm.grid.ga {
+            for v in u..gm.grid.gb {
+                let b = group_dfd_bounds(&gm, domain, xi, u, v, f64::INFINITY);
+                let (alo, ahi) = gm.grid.range_a(u).unwrap();
+                let (blo, bhi) = gm.grid.range_b(v).unwrap();
+                let mut best = f64::INFINITY;
+                for i in alo..=ahi {
+                    for j in blo..=bhi {
+                        for ie in (i + xi + 1)..j {
+                            for je in (j + xi + 1)..n {
+                                let d = dfd(&points[i..=ie], &points[j..=je]);
+                                best = best.min(d);
+                                prop_assert!(b.lower <= d + 1e-9,
+                                    "GLB {} > dfd {d} in block ({u},{v})", b.lower);
+                            }
+                        }
+                    }
+                }
+                if best.is_finite() {
+                    prop_assert!(b.upper + 1e-9 >= best,
+                        "GUB {} < best {best} in block ({u},{v})", b.upper);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn relaxed_bounds_never_exceed_tight_bounds() {
+    // Lemma 2 on a real workload, at matched subsets.
+    let t = fremo::trajectory::gen::Dataset::GeoLife.generate(160, 5);
+    let n = t.len();
+    let domain = Domain::Within { n };
+    let src = DenseMatrix::within(t.points());
+    let xi = 8;
+    let relaxed = RelaxedTables::build(&src, domain, xi);
+    let tight = TightTables::build(&src, domain, xi);
+    for (i, j) in domain.subsets(xi) {
+        assert!(relaxed.cross(i, j) <= tight.cross(i, j) + 1e-9, "cross at ({i},{j})");
+        let tb = tight.band(i, j);
+        if tb.is_finite() {
+            assert!(relaxed.band(i, j) <= tb + 1e-9, "band at ({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn disabling_bounds_never_changes_results_only_speed() {
+    let t = fremo::trajectory::gen::Dataset::Baboon.generate(140, 6);
+    let reference = Btm
+        .discover(&t, &MotifConfig::new(8).with_bounds(BoundSelection::none()))
+        .unwrap();
+    for sel in [
+        BoundSelection::all_relaxed(),
+        BoundSelection::all_tight(),
+        BoundSelection::cell_only(),
+        BoundSelection::cell_cross(),
+    ] {
+        let m = Btm.discover(&t, &MotifConfig::new(8).with_bounds(sel)).unwrap();
+        assert!(
+            (m.distance - reference.distance).abs() < 1e-9,
+            "{sel:?} changed the optimum"
+        );
+    }
+}
+
+#[test]
+fn between_domain_bounds_are_safe() {
+    // The cross/band ranges differ between the two domains (no overlap
+    // constraint); fuzz the between-domain tables too.
+    use fremo::trajectory::gen::planar;
+    let a = planar::random_walk(18, 0.5, 41);
+    let b = planar::random_walk(15, 0.5, 42);
+    let xi = 2;
+    let domain = Domain::Between { n: a.len(), m: b.len() };
+    let src = DenseMatrix::between(a.points(), b.points());
+    for sel in [BoundSelection::all_relaxed(), BoundSelection::all_tight()] {
+        let tables = BoundTables::build(&src, domain, xi, sel);
+        for (i, j) in domain.subsets(xi) {
+            let lb = tables.subset_bounds(&src, sel, i, j).combined();
+            for ie in (i + xi + 1)..a.len() {
+                for je in (j + xi + 1)..b.len() {
+                    let d = dfd(&a.points()[i..=ie], &b.points()[j..=je]);
+                    assert!(
+                        lb <= d + 1e-9,
+                        "tight={} bound {lb} > dfd {d} at ({i},{ie},{j},{je})",
+                        sel.tight
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn between_domain_group_bounds_are_safe() {
+    use fremo::trajectory::gen::planar;
+    let a = planar::random_walk(16, 0.5, 43);
+    let b = planar::random_walk(14, 0.5, 44);
+    let xi = 1;
+    let domain = Domain::Between { n: a.len(), m: b.len() };
+    let src = DenseMatrix::between(a.points(), b.points());
+    let gm = GroupMatrices::build(&src, domain, 4);
+    for u in 0..gm.grid.ga {
+        for v in 0..gm.grid.gb {
+            let bounds = group_dfd_bounds(&gm, domain, xi, u, v, f64::INFINITY);
+            let (alo, ahi) = gm.grid.range_a(u).unwrap();
+            let (blo, bhi) = gm.grid.range_b(v).unwrap();
+            let mut best = f64::INFINITY;
+            for i in alo..=ahi {
+                for j in blo..=bhi {
+                    for ie in (i + xi + 1)..a.len() {
+                        for je in (j + xi + 1)..b.len() {
+                            let d = dfd(&a.points()[i..=ie], &b.points()[j..=je]);
+                            best = best.min(d);
+                            assert!(bounds.lower <= d + 1e-9, "block ({u},{v})");
+                        }
+                    }
+                }
+            }
+            if best.is_finite() {
+                assert!(bounds.upper + 1e-9 >= best, "block ({u},{v}): GUB too small");
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end flows through the umbrella crate's public API: data
+//! generation → serialization → reload → discovery → verification, plus
+//! dataset-loader behaviour on representative inputs.
+
+use fremo::prelude::*;
+use fremo::trajectory::gen::Dataset;
+use fremo::trajectory::io::{csv::read_csv_from, write_csv};
+use fremo::trajectory::TrajectoryStats;
+
+#[test]
+fn generate_roundtrip_discover() {
+    let original = Dataset::GeoLife.generate(180, 77);
+
+    // Serialize to CSV and re-read.
+    let mut buf = Vec::new();
+    write_csv(&mut buf, &original).expect("write");
+    let reloaded = read_csv_from(buf.as_slice()).expect("read");
+    assert_eq!(reloaded.len(), original.len());
+
+    // Discovery on original and reloaded data must agree (up to the CSV's
+    // 1e-8-degree rounding — far below GPS noise).
+    let cfg = MotifConfig::new(10);
+    let a = Gtm.discover(&original, &cfg).expect("motif");
+    let b = Gtm.discover(&reloaded, &cfg).expect("motif");
+    assert_eq!(a.first, b.first);
+    assert_eq!(a.second, b.second);
+    assert!((a.distance - b.distance).abs() < 1e-3);
+}
+
+#[test]
+fn stats_describe_generated_data() {
+    for dataset in Dataset::ALL {
+        let t = dataset.generate(400, 5);
+        let s = TrajectoryStats::compute(&t);
+        assert_eq!(s.len, 400);
+        assert!(s.path_length > 0.0);
+        assert!(s.mean_dt.unwrap() > 0.0);
+        match dataset {
+            Dataset::Baboon => assert!(s.dt_cv.unwrap() < 1e-9, "baboon is 1 Hz uniform"),
+            Dataset::GeoLife => assert!(s.dt_cv.unwrap() > 0.3, "geolife is non-uniform"),
+            Dataset::Truck => assert!(s.mean_dt.unwrap() > 25.0, "trucks sample coarsely"),
+        }
+    }
+}
+
+#[test]
+fn prelude_supports_the_documented_quickstart() {
+    let trajectory = fremo::trajectory::gen::geolife_like(300, 42);
+    let config = MotifConfig::new(20);
+    let motif = Gtm.discover(&trajectory, &config).expect("found a motif");
+    assert!(motif.is_valid_within(trajectory.len(), 20));
+    assert!(motif.distance.is_finite());
+}
+
+#[test]
+fn subtrajectory_views_match_motif_indices() {
+    let t = Dataset::Truck.generate(160, 12);
+    let cfg = MotifConfig::new(8);
+    let m = Btm.discover(&t, &cfg).expect("motif");
+    let first = t.sub(m.first.0, m.first.1).expect("valid range");
+    let second = t.sub(m.second.0, m.second.1).expect("valid range");
+    assert_eq!(first.len(), m.first_len());
+    assert_eq!(second.len(), m.second_len());
+    assert!(!first.overlaps(&second));
+    // Materialized halves reproduce the reported DFD via the standalone
+    // kernel.
+    let d = dfd(first.points(), second.points());
+    assert!((d - m.distance).abs() < 1e-9);
+}
+
+#[test]
+fn between_variant_accepts_unequal_lengths() {
+    let a = Dataset::GeoLife.generate(140, 1);
+    let b = Dataset::GeoLife.generate(90, 2);
+    let cfg = MotifConfig::new(8);
+    let m = GtmStar.discover_between(&a, &b, &cfg).expect("motif");
+    assert!(m.is_valid_between(a.len(), b.len(), 8));
+    assert!(m.first.1 < a.len());
+    assert!(m.second.1 < b.len());
+}
+
+#[test]
+fn search_stats_are_plausible() {
+    let t = Dataset::GeoLife.generate(200, 3);
+    let cfg = MotifConfig::new(10);
+    let (motif, stats) = Btm.discover_with_stats(&t, &cfg);
+    assert!(motif.is_some());
+    assert!(stats.subsets_total > 0);
+    assert!(stats.pairs_total > 0);
+    assert!(stats.total_seconds > 0.0);
+    assert!(stats.total_seconds >= stats.precompute_seconds);
+    assert!(stats.peak_bytes() >= 200 * 200 * 8); // at least the dG matrix
+    assert!(stats.pruned_fraction() >= 0.0 && stats.pruned_fraction() <= 1.0);
+}

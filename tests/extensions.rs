@@ -1,0 +1,115 @@
+//! Integration tests for the extensions beyond the paper: approximate
+//! search, top-k motifs, similarity join, and parallel BTM — exercised
+//! end-to-end on the realistic synthetic datasets.
+
+use fremo::motif::{
+    similarity_join, similarity_self_join, top_k_motifs, ApproxBtm, ApproxGtm, ParallelBtm,
+};
+use fremo::prelude::*;
+use fremo::trajectory::gen::Dataset;
+
+#[test]
+fn approximate_search_guarantee_on_gps_data() {
+    let t = Dataset::GeoLife.generate(200, 55);
+    let cfg = MotifConfig::new(10);
+    let exact = Btm.discover(&t, &cfg).unwrap().distance;
+    for eps in [0.05, 0.25, 1.0] {
+        for (name, d) in [
+            ("approx-btm", ApproxBtm::new(eps).discover(&t, &cfg).unwrap().distance),
+            ("approx-gtm", ApproxGtm::new(eps).discover(&t, &cfg).unwrap().distance),
+        ] {
+            assert!(d >= exact - 1e-9, "{name} beat the optimum");
+            assert!(
+                d <= (1.0 + eps) * exact + 1e-9,
+                "{name} eps={eps}: {d} > (1+eps)*{exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn approximate_search_prunes_more_as_epsilon_grows() {
+    let t = Dataset::GeoLife.generate(260, 56);
+    let cfg = MotifConfig::new(12);
+    let mut last_expanded = u64::MAX;
+    for eps in [0.0, 0.5, 2.0] {
+        let (_, stats) = ApproxBtm::new(eps).discover_with_stats(&t, &cfg);
+        assert!(
+            stats.subsets_expanded <= last_expanded,
+            "eps={eps} expanded {} > previous {last_expanded}",
+            stats.subsets_expanded
+        );
+        last_expanded = stats.subsets_expanded;
+    }
+}
+
+#[test]
+fn top_k_on_truck_routes() {
+    // Trucks repeat routes, so several disjoint motifs should exist.
+    let t = Dataset::Truck.generate(400, 21);
+    let cfg = MotifConfig::new(15);
+    let motifs = top_k_motifs(&t, &cfg, 3);
+    assert!(!motifs.is_empty());
+    // #1 equals the single-motif search.
+    let single = Gtm.discover(&t, &cfg).unwrap();
+    assert!((motifs[0].distance - single.distance).abs() < 1e-9);
+    // Disjointness across all reported intervals.
+    let mut intervals: Vec<(usize, usize)> = Vec::new();
+    for m in &motifs {
+        intervals.push(m.first);
+        intervals.push(m.second);
+    }
+    intervals.sort_unstable();
+    for w in intervals.windows(2) {
+        assert!(w[0].1 < w[1].0, "{:?} overlaps {:?}", w[0], w[1]);
+    }
+}
+
+#[test]
+fn similarity_join_on_baboon_troop() {
+    // Individuals of the same troop stay close ⇒ joins fire; a different
+    // troop far away never joins.
+    let troop: Vec<_> = (0..4).map(|k| Dataset::Baboon.generate(120, 400 + k)).collect();
+    let r = similarity_self_join(&troop, 2_000.0);
+    assert!(!r.pairs.is_empty(), "troop members should join at 2 km");
+
+    let other: Vec<_> = (0..3).map(|k| Dataset::GeoLife.generate(120, k)).collect();
+    let cross = similarity_join(&troop, &other, 2_000.0);
+    assert!(cross.pairs.is_empty(), "Kenya and Beijing should not join");
+    assert!(cross.pruned_fraction() > 0.99);
+}
+
+#[test]
+fn parallel_btm_agrees_on_every_dataset() {
+    for dataset in Dataset::ALL {
+        let t = dataset.generate(180, 77);
+        let cfg = MotifConfig::new(10);
+        let serial = Btm.discover(&t, &cfg).unwrap();
+        let parallel = ParallelBtm::new(4).discover(&t, &cfg).unwrap();
+        assert!(
+            (serial.distance - parallel.distance).abs() < 1e-9,
+            "{dataset}: {} vs {}",
+            serial.distance,
+            parallel.distance
+        );
+    }
+}
+
+#[test]
+fn preprocessing_pipeline_composes_with_discovery() {
+    use fremo::trajectory::{resample_uniform, simplify_geo};
+    let raw = Dataset::GeoLife.generate(500, 91);
+
+    // Simplify to 10 m, then resample to a uniform 30 s grid, then mine.
+    let simplified = simplify_geo(&raw, 10.0);
+    assert!(simplified.len() <= raw.len());
+    let uniform = resample_uniform(&simplified, 30.0).expect("timestamped");
+    assert!(uniform.len() >= 20);
+
+    let xi = 8;
+    if uniform.len() >= 2 * xi + 4 {
+        let cfg = MotifConfig::new(xi);
+        let m = Gtm.discover(&uniform, &cfg).expect("motif on preprocessed trace");
+        assert!(m.is_valid_within(uniform.len(), xi));
+    }
+}

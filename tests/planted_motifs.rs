@@ -1,0 +1,66 @@
+//! Ground-truth tests on planted-motif workloads: a noisy copy of an
+//! earlier segment is embedded in a random walk, certifying an upper bound
+//! on the optimal motif DFD.
+
+use fremo::prelude::*;
+use fremo::trajectory::gen::planted;
+
+#[test]
+fn discovered_motif_beats_the_plant() {
+    for seed in 0..5 {
+        let noise = 5.0;
+        let motif_len = 20;
+        let (t, plant) = planted(260, motif_len, noise, seed);
+        // ξ small enough that the planted halves qualify:
+        // length motif_len ⇒ ie - i = motif_len - 1 > ξ.
+        let xi = motif_len - 2;
+        let cfg = MotifConfig::new(xi).with_group_size(8);
+        let m = Gtm.discover(&t, &cfg).expect("motif");
+        assert!(
+            m.distance <= noise + 1e-6,
+            "seed {seed}: optimal {} exceeds planted bound {noise} (plant at {plant:?})",
+            m.distance
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_find_the_same_optimum_on_plants() {
+    let (t, _) = planted(220, 16, 3.0, 42);
+    let cfg = MotifConfig::new(10).with_group_size(8);
+    let d_brute = BruteDp.discover(&t, &cfg).unwrap().distance;
+    for (name, d) in [
+        ("BTM", Btm.discover(&t, &cfg).unwrap().distance),
+        ("GTM", Gtm.discover(&t, &cfg).unwrap().distance),
+        ("GTM*", GtmStar.discover(&t, &cfg).unwrap().distance),
+    ] {
+        assert!((d - d_brute).abs() < 1e-9, "{name}: {d} vs {d_brute}");
+    }
+}
+
+#[test]
+fn found_halves_do_not_overlap() {
+    let (t, _) = planted(300, 24, 4.0, 7);
+    let cfg = MotifConfig::new(12);
+    let m = Btm.discover(&t, &cfg).expect("motif");
+    let first = t.sub(m.first.0, m.first.1).unwrap();
+    let second = t.sub(m.second.0, m.second.1).unwrap();
+    assert!(!first.overlaps(&second));
+    assert!(m.first.1 < m.second.0);
+}
+
+#[test]
+fn tighter_noise_gives_tighter_motif() {
+    // Two plants differing only in noise: the low-noise instance must
+    // admit a lower (or equal) optimal DFD.
+    let (loud, _) = planted(240, 18, 12.0, 11);
+    let (quiet, _) = planted(240, 18, 1.0, 11);
+    let cfg = MotifConfig::new(10);
+    let d_loud = Gtm.discover(&loud, &cfg).unwrap().distance;
+    let d_quiet = Gtm.discover(&quiet, &cfg).unwrap().distance;
+    assert!(
+        d_quiet <= d_loud + 1e-9,
+        "quiet plant ({d_quiet}) should beat loud plant ({d_loud})"
+    );
+    assert!(d_quiet <= 1.0 + 1e-6);
+}

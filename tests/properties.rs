@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) on the similarity measures and the
+//! motif machinery's core invariants.
+
+use fremo::prelude::*;
+use fremo::similarity::{dfd_decision, dfd_linear, dfd_with_coupling, dtw, hausdorff};
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = EuclideanPoint> {
+    (-50.0..50.0_f64, -50.0..50.0_f64).prop_map(|(x, y)| EuclideanPoint::new(x, y))
+}
+
+fn seq(max: usize) -> impl Strategy<Value = Vec<EuclideanPoint>> {
+    proptest::collection::vec(point(), 1..max)
+}
+
+/// Exponential reference DFD over all monotone couplings (tiny inputs).
+fn dfd_reference(a: &[EuclideanPoint], b: &[EuclideanPoint]) -> f64 {
+    fn rec(a: &[EuclideanPoint], b: &[EuclideanPoint], i: usize, j: usize) -> f64 {
+        let d = a[i].distance(&b[j]);
+        if i == 0 && j == 0 {
+            return d;
+        }
+        let mut best = f64::INFINITY;
+        if i > 0 {
+            best = best.min(rec(a, b, i - 1, j));
+        }
+        if j > 0 {
+            best = best.min(rec(a, b, i, j - 1));
+        }
+        if i > 0 && j > 0 {
+            best = best.min(rec(a, b, i - 1, j - 1));
+        }
+        best.max(d)
+    }
+    rec(a, b, a.len() - 1, b.len() - 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dfd_matches_exponential_reference(a in seq(7), b in seq(7)) {
+        let fast = dfd(&a, &b);
+        let slow = dfd_reference(&a, &b);
+        prop_assert!((fast - slow).abs() < 1e-9, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn dfd_is_symmetric(a in seq(20), b in seq(20)) {
+        prop_assert!((dfd(&a, &b) - dfd(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dfd_triangle_inequality(a in seq(10), b in seq(10), c in seq(10)) {
+        let ab = dfd(&a, &b);
+        let bc = dfd(&b, &c);
+        let ac = dfd(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9, "ac={ac} ab={ab} bc={bc}");
+    }
+
+    #[test]
+    fn dfd_linear_equals_coupling_variant(a in seq(15), b in seq(15)) {
+        let (v, path) = dfd_with_coupling(&a, &b);
+        prop_assert!((dfd_linear(&a, &b) - v).abs() < 1e-12);
+        // The coupling is monotone, complete, and achieves the value.
+        prop_assert_eq!(path.first().copied(), Some((0usize, 0usize)));
+        prop_assert_eq!(path.last().copied(), Some((a.len() - 1, b.len() - 1)));
+        let worst = path
+            .iter()
+            .map(|&(i, j)| a[i].distance(&b[j]))
+            .fold(0.0_f64, f64::max);
+        prop_assert!((worst - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dfd_decision_is_consistent(a in seq(12), b in seq(12), slack in 0.0..2.0_f64) {
+        let exact = dfd(&a, &b);
+        prop_assert!(dfd_decision(&a, &b, exact + slack));
+        if exact > 0.0 {
+            prop_assert!(!dfd_decision(&a, &b, exact * 0.999 - 1e-12));
+        }
+    }
+
+    #[test]
+    fn dfd_lower_bounds(a in seq(12), b in seq(12)) {
+        let v = dfd(&a, &b);
+        // Endpoint matches are forced by any coupling.
+        let endpoints = a[0].distance(&b[0]).max(a[a.len()-1].distance(&b[b.len()-1]));
+        prop_assert!(v >= endpoints - 1e-9);
+        // Hausdorff (orderless) never exceeds DFD (ordered).
+        prop_assert!(hausdorff(&a, &b) <= v + 1e-9);
+        // DTW's per-step cost is bounded by DFD, so DTW ≤ DFD × path length.
+        let path_bound = v * (a.len() + b.len()) as f64;
+        prop_assert!(dtw(&a, &b) <= path_bound + 1e-6);
+    }
+
+    #[test]
+    fn dfd_invariant_under_duplication(a in seq(10), b in seq(10), idx in 0usize..10) {
+        // Duplicating a point (zero-length dwell) never changes DFD: the
+        // duplicate can couple to the same partners.
+        let k = idx % a.len();
+        let mut dup = a.clone();
+        dup.insert(k, a[k]);
+        prop_assert!((dfd(&dup, &b) - dfd(&a, &b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dfd_translation_invariance(a in seq(10), b in seq(10), dx in -10.0..10.0_f64, dy in -10.0..10.0_f64) {
+        let shift = |s: &[EuclideanPoint]| -> Vec<EuclideanPoint> {
+            s.iter().map(|p| EuclideanPoint::new(p.x + dx, p.y + dy)).collect()
+        };
+        prop_assert!((dfd(&shift(&a), &shift(&b)) - dfd(&a, &b)).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn btm_equals_brute_on_random_inputs(
+        points in proptest::collection::vec(point(), 12..28),
+        xi in 1usize..4,
+    ) {
+        let t: fremo::trajectory::Trajectory<EuclideanPoint> = points.into_iter().collect();
+        let cfg = MotifConfig::new(xi).with_group_size(4);
+        let brute = BruteDp.discover(&t, &cfg);
+        let btm = Btm.discover(&t, &cfg);
+        let gtm = Gtm.discover(&t, &cfg);
+        let star = GtmStar.discover(&t, &cfg);
+        match brute {
+            None => {
+                prop_assert!(btm.is_none() && gtm.is_none() && star.is_none());
+            }
+            Some(b) => {
+                prop_assert!((btm.unwrap().distance - b.distance).abs() < 1e-9);
+                prop_assert!((gtm.unwrap().distance - b.distance).abs() < 1e-9);
+                prop_assert!((star.unwrap().distance - b.distance).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn subtrajectory_dfd_is_bounded_by_motif_reports(
+        points in proptest::collection::vec(point(), 14..24),
+    ) {
+        // The motif value lower-bounds the DFD of EVERY valid candidate.
+        let t: fremo::trajectory::Trajectory<EuclideanPoint> = points.into_iter().collect();
+        let xi = 2;
+        let cfg = MotifConfig::new(xi);
+        if let Some(m) = Btm.discover(&t, &cfg) {
+            let n = t.len();
+            for i in 0..n {
+                for ie in (i + xi + 1)..n {
+                    for j in (ie + 1)..n {
+                        for je in (j + xi + 1)..n {
+                            let d = dfd(&t.points()[i..=ie], &t.points()[j..=je]);
+                            prop_assert!(d >= m.distance - 1e-9,
+                                "candidate ({i},{ie},{j},{je}) beats the motif: {d} < {}", m.distance);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

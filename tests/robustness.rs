@@ -1,0 +1,84 @@
+//! Robustness tests: the algorithms must stay exact (mutually agreeing) on
+//! degraded data, and the discovered motif must degrade gracefully with
+//! the noise level — the practical face of the paper's claim that DFD
+//! suits real-world GPS defects.
+
+use fremo::prelude::*;
+use fremo::trajectory::gen::{
+    planted, with_dropped_samples, with_gps_noise, with_outliers, Dataset,
+};
+
+#[test]
+fn algorithms_agree_on_noisy_data() {
+    let clean = Dataset::GeoLife.generate(140, 31);
+    let degraded = with_outliers(&with_gps_noise(&clean, 8.0, 1), 0.03, 200.0, 2);
+    let cfg = MotifConfig::new(8).with_group_size(8);
+    let brute = BruteDp.discover(&degraded, &cfg).unwrap();
+    for (name, d) in [
+        ("BTM", Btm.discover(&degraded, &cfg).unwrap().distance),
+        ("GTM", Gtm.discover(&degraded, &cfg).unwrap().distance),
+        ("GTM*", GtmStar.discover(&degraded, &cfg).unwrap().distance),
+    ] {
+        assert!((d - brute.distance).abs() < 1e-9, "{name} disagrees on noisy data");
+    }
+}
+
+#[test]
+fn algorithms_agree_after_sample_dropping() {
+    let clean = Dataset::Baboon.generate(200, 32);
+    let degraded = with_dropped_samples(&clean, 0.25, 3);
+    assert!(degraded.len() < clean.len());
+    let cfg = MotifConfig::new(8);
+    let a = Btm.discover(&degraded, &cfg).unwrap();
+    let b = GtmStar.discover(&degraded, &cfg).unwrap();
+    assert!((a.distance - b.distance).abs() < 1e-9);
+}
+
+#[test]
+fn motif_value_grows_gracefully_with_noise() {
+    // On a planted workload, the optimum should grow roughly with the GPS
+    // noise floor, not explode.
+    let (clean, _) = planted(300, 25, 2.0, 17);
+    let cfg = MotifConfig::new(15);
+    let base = Gtm.discover(&clean, &cfg).unwrap().distance;
+    assert!(base <= 2.0 + 1e-6);
+
+    let mut last = base;
+    for (sigma, cap) in [(2.0, 25.0), (5.0, 60.0), (10.0, 120.0)] {
+        let noisy = with_gps_noise(&clean, sigma, 99);
+        let d = Gtm.discover(&noisy, &cfg).unwrap().distance;
+        // Noise can only plausibly raise the optimum (the planted pair's
+        // points get displaced independently), and should stay bounded by
+        // a few noise standard deviations.
+        assert!(d <= cap, "sigma={sigma}: motif {d} blew past {cap}");
+        assert!(d >= last * 0.5, "sigma={sigma}: motif {d} dropped suspiciously from {last}");
+        last = d;
+    }
+}
+
+#[test]
+fn pruning_remains_effective_under_noise() {
+    let clean = Dataset::Truck.generate(300, 33);
+    let noisy = with_gps_noise(&clean, 10.0, 4);
+    let cfg = MotifConfig::new(15);
+    let (_, stats) = Btm.discover_with_stats(&noisy, &cfg);
+    assert!(
+        stats.pruned_fraction() > 0.5,
+        "noise collapsed pruning to {:.1}%",
+        stats.pruned_fraction() * 100.0
+    );
+}
+
+#[test]
+fn outliers_hit_dfd_harder_than_average_measures() {
+    // DFD is a max — a single outlier inside the motif region can move it.
+    // This is expected behaviour, not a bug; verify the mechanism: adding
+    // one gross outlier raises the *whole-trajectory* DFD by roughly the
+    // outlier offset, while the mean-based lock-step ED barely moves.
+    use fremo::similarity::lockstep_euclidean;
+    let a = Dataset::GeoLife.generate(150, 8);
+    let b = with_outliers(&a, 1.0 / 150.0, 1_000.0, 5);
+    let d_dfd = dfd(a.points(), b.points());
+    let d_ed = lockstep_euclidean(a.points(), b.points());
+    assert!(d_dfd >= d_ed, "max-based DFD should dominate mean-based ED");
+}
