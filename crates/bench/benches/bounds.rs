@@ -49,7 +49,9 @@ fn bench_bounds(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for &(i, j) in &subsets {
-                acc += tight.subset_bounds(&src, BoundSelection::all_tight(), i, j).combined();
+                acc += tight
+                    .subset_bounds(&src, BoundSelection::all_tight(), i, j)
+                    .combined();
             }
             acc
         })

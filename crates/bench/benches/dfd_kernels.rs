@@ -12,20 +12,48 @@ fn bench_dfd(c: &mut Criterion) {
         let a = planar::random_walk(len, 0.4, 1);
         let b = planar::random_walk(len, 0.4, 2);
         group.bench_with_input(BenchmarkId::new("linear_space", len), &len, |bch, _| {
-            bch.iter(|| dfd_linear(std::hint::black_box(a.points()), std::hint::black_box(b.points())))
-        });
-        group.bench_with_input(BenchmarkId::new("with_coupling", len), &len, |bch, _| {
-            bch.iter(|| dfd_with_coupling(std::hint::black_box(a.points()), std::hint::black_box(b.points())))
-        });
-        let eps = dfd_linear(a.points(), b.points());
-        group.bench_with_input(BenchmarkId::new("decision_tight_eps", len), &len, |bch, _| {
-            bch.iter(|| dfd_decision(std::hint::black_box(a.points()), std::hint::black_box(b.points()), eps))
-        });
-        group.bench_with_input(BenchmarkId::new("decision_small_eps", len), &len, |bch, _| {
             bch.iter(|| {
-                dfd_decision(std::hint::black_box(a.points()), std::hint::black_box(b.points()), eps * 0.25)
+                dfd_linear(
+                    std::hint::black_box(a.points()),
+                    std::hint::black_box(b.points()),
+                )
             })
         });
+        group.bench_with_input(BenchmarkId::new("with_coupling", len), &len, |bch, _| {
+            bch.iter(|| {
+                dfd_with_coupling(
+                    std::hint::black_box(a.points()),
+                    std::hint::black_box(b.points()),
+                )
+            })
+        });
+        let eps = dfd_linear(a.points(), b.points());
+        group.bench_with_input(
+            BenchmarkId::new("decision_tight_eps", len),
+            &len,
+            |bch, _| {
+                bch.iter(|| {
+                    dfd_decision(
+                        std::hint::black_box(a.points()),
+                        std::hint::black_box(b.points()),
+                        eps,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decision_small_eps", len),
+            &len,
+            |bch, _| {
+                bch.iter(|| {
+                    dfd_decision(
+                        std::hint::black_box(a.points()),
+                        std::hint::black_box(b.points()),
+                        eps * 0.25,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -22,7 +22,12 @@ fn bench_measures(c: &mut Criterion) {
         let b = planar::random_walk(len, 0.4, 22);
         for (name, m) in &measures {
             group.bench_with_input(BenchmarkId::new(*name, len), &len, |bch, _| {
-                bch.iter(|| m.distance(std::hint::black_box(a.points()), std::hint::black_box(b.points())))
+                bch.iter(|| {
+                    m.distance(
+                        std::hint::black_box(a.points()),
+                        std::hint::black_box(b.points()),
+                    )
+                })
             });
         }
     }

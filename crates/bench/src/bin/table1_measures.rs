@@ -1,5 +1,5 @@
 //! Regenerates Table 1 (similarity measure characteristics).
-use fremo_bench::experiments::{table1_measures, print_all};
+use fremo_bench::experiments::{print_all, table1_measures};
 use fremo_bench::Scale;
 
 fn main() {

@@ -27,12 +27,19 @@ pub fn run(scale: Scale) -> Vec<Titled> {
 
     // Exact baseline per trajectory.
     let cfg = MotifConfig::new(xi);
-    let exact: Vec<Measurement> =
-        ts.iter().map(|t| run_algorithm(Algorithm::Gtm, t, &cfg).0).collect();
+    let exact: Vec<Measurement> = ts
+        .iter()
+        .map(|t| run_algorithm(Algorithm::Gtm, t, &cfg).0)
+        .collect();
     let exact_avg = average(&exact);
 
-    let mut table =
-        Table::new(vec!["epsilon", "time (s)", "speedup", "actual error", "guarantee"]);
+    let mut table = Table::new(vec![
+        "epsilon",
+        "time (s)",
+        "speedup",
+        "actual error",
+        "guarantee",
+    ]);
     for eps in EPSILONS {
         let searcher = ApproxGtm::new(eps);
         let mut times = Vec::new();

@@ -24,8 +24,9 @@ pub fn run(scale: Scale) -> Vec<Titled> {
 
     for dataset in Dataset::ALL {
         let fleet = trajectories(dataset, len, count, 3200);
-        let mut table =
-            Table::new(vec!["eps (m)", "matches", "filtered", "verified", "time (s)"]);
+        let mut table = Table::new(vec![
+            "eps (m)", "matches", "filtered", "verified", "time (s)",
+        ]);
         for eps in [100.0, 1_000.0, 5_000.0] {
             let t0 = Instant::now();
             let r = similarity_self_join(&fleet, eps);

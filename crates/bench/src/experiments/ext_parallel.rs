@@ -18,8 +18,10 @@ pub fn run(scale: Scale) -> Vec<Titled> {
     let cfg = MotifConfig::new(xi);
     let ts = trajectories(Dataset::GeoLife, n, reps, 3100);
 
-    let serial: Vec<Measurement> =
-        ts.iter().map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0).collect();
+    let serial: Vec<Measurement> = ts
+        .iter()
+        .map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0)
+        .collect();
     let serial_avg = average(&serial);
 
     let mut table = Table::new(vec!["workers", "time (s)", "speedup vs serial BTM"]);
@@ -48,7 +50,10 @@ pub fn run(scale: Scale) -> Vec<Titled> {
         ]);
     }
 
-    vec![(format!("Extension: parallel BTM scaling (n={n}, xi={xi}, GeoLife-like)"), table)]
+    vec![(
+        format!("Extension: parallel BTM scaling (n={n}, xi={xi}, GeoLife-like)"),
+        table,
+    )]
 }
 
 #[cfg(test)]

@@ -34,7 +34,10 @@ pub fn run(scale: Scale) -> Vec<Titled> {
         ]);
     }
 
-    vec![(format!("Extension: top-k diverse motifs (Truck-like, n={n}, xi={xi})"), table)]
+    vec![(
+        format!("Extension: top-k diverse motifs (Truck-like, n={n}, xi={xi})"),
+        table,
+    )]
 }
 
 #[cfg(test)]

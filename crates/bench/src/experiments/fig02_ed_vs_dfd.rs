@@ -75,7 +75,11 @@ pub fn run(scale: Scale) -> Vec<Titled> {
         ),
         format!(
             "{}",
-            if dfd_pair_ed.is_finite() { format!("{dfd_pair_ed:.2}") } else { "n/a (lengths differ)".into() }
+            if dfd_pair_ed.is_finite() {
+                format!("{dfd_pair_ed:.2}")
+            } else {
+                "n/a (lengths differ)".into()
+            }
         ),
         format!("{:.2}", motif.distance),
     ]);

@@ -19,11 +19,21 @@ use crate::table::Table;
 /// it has 4× the samples, 80% of them crammed into the first 20% of the
 /// path — the dense dot cluster of the paper's Figure 3.
 #[must_use]
-pub fn triplet(n: usize) -> (Vec<EuclideanPoint>, Vec<EuclideanPoint>, Vec<EuclideanPoint>) {
+pub fn triplet(
+    n: usize,
+) -> (
+    Vec<EuclideanPoint>,
+    Vec<EuclideanPoint>,
+    Vec<EuclideanPoint>,
+) {
     let path = |s: f64, off: f64| EuclideanPoint::new(s * 100.0, off + 8.0 * (s * 4.0).sin());
-    let sa: Vec<_> = (0..n).map(|k| path(k as f64 / (n - 1) as f64, 0.0)).collect();
+    let sa: Vec<_> = (0..n)
+        .map(|k| path(k as f64 / (n - 1) as f64, 0.0))
+        .collect();
     // Sb: uniformly sampled, genuinely different path (offset 4 m).
-    let sb: Vec<_> = (0..n).map(|k| path(k as f64 / (n - 1) as f64, 4.0)).collect();
+    let sb: Vec<_> = (0..n)
+        .map(|k| path(k as f64 / (n - 1) as f64, 4.0))
+        .collect();
     // Sc: nearly Sa's path (offset 1.5 m), oversampled non-uniformly.
     let nc = 4 * n;
     let head = (nc as f64 * 0.8) as usize;
@@ -32,7 +42,10 @@ pub fn triplet(n: usize) -> (Vec<EuclideanPoint>, Vec<EuclideanPoint>, Vec<Eucli
         sc.push(path(0.2 * k as f64 / head as f64, 1.5));
     }
     for k in 0..(nc - head) {
-        sc.push(path(0.2 + 0.8 * k as f64 / (nc - head - 1).max(1) as f64, 1.5));
+        sc.push(path(
+            0.2 + 0.8 * k as f64 / (nc - head - 1).max(1) as f64,
+            1.5,
+        ));
     }
     (sa, sb, sc)
 }
@@ -67,7 +80,10 @@ pub fn run(scale: Scale) -> Vec<Titled> {
     verdict.row(vec!["DFD".to_string(), dfd_correct.to_string()]);
 
     vec![
-        ("Figure 3: DTW vs DFD; Sc is non-uniformly sampled".to_string(), table),
+        (
+            "Figure 3: DTW vs DFD; Sc is non-uniformly sampled".to_string(),
+            table,
+        ),
         ("Verdict".to_string(), verdict),
     ]
 }

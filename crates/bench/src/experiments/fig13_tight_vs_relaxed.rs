@@ -19,8 +19,10 @@ use crate::workload::trajectories;
 fn measure(dataset: Dataset, n: usize, xi: usize, sel: BoundSelection, reps: usize) -> Measurement {
     let cfg = MotifConfig::new(xi).with_bounds(sel);
     let ts = trajectories(dataset, n, reps, 1300);
-    let ms: Vec<Measurement> =
-        ts.iter().map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0).collect();
+    let ms: Vec<Measurement> = ts
+        .iter()
+        .map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0)
+        .collect();
     average(&ms)
 }
 
@@ -44,12 +46,22 @@ pub fn run(scale: Scale) -> Vec<Titled> {
             fmt_pct(tight.pruned_fraction),
             fmt_pct(relaxed.pruned_fraction),
         ]);
-        time.row(vec![n.to_string(), fmt_secs(tight.seconds), fmt_secs(relaxed.seconds)]);
+        time.row(vec![
+            n.to_string(),
+            fmt_secs(tight.seconds),
+            fmt_secs(relaxed.seconds),
+        ]);
     }
 
     vec![
-        (format!("Figure 13(a): pruning ratio vs n (xi={xi}, GeoLife-like)"), prune),
-        (format!("Figure 13(b): response time vs n (xi={xi}, GeoLife-like)"), time),
+        (
+            format!("Figure 13(a): pruning ratio vs n (xi={xi}, GeoLife-like)"),
+            prune,
+        ),
+        (
+            format!("Figure 13(b): response time vs n (xi={xi}, GeoLife-like)"),
+            time,
+        ),
     ]
 }
 

@@ -13,8 +13,10 @@ use crate::workload::trajectories;
 fn measure(n: usize, xi: usize, sel: BoundSelection, reps: usize) -> Measurement {
     let cfg = MotifConfig::new(xi).with_bounds(sel);
     let ts = trajectories(Dataset::GeoLife, n, reps, 1400);
-    let ms: Vec<Measurement> =
-        ts.iter().map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0).collect();
+    let ms: Vec<Measurement> = ts
+        .iter()
+        .map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0)
+        .collect();
     average(&ms)
 }
 
@@ -35,11 +37,21 @@ pub fn run(scale: Scale) -> Vec<Titled> {
             fmt_pct(tight.pruned_fraction),
             fmt_pct(relaxed.pruned_fraction),
         ]);
-        time.row(vec![xi.to_string(), fmt_secs(tight.seconds), fmt_secs(relaxed.seconds)]);
+        time.row(vec![
+            xi.to_string(),
+            fmt_secs(tight.seconds),
+            fmt_secs(relaxed.seconds),
+        ]);
     }
 
     vec![
-        (format!("Figure 14(a): pruning ratio vs xi (n={n}, GeoLife-like)"), prune),
-        (format!("Figure 14(b): response time vs xi (n={n}, GeoLife-like)"), time),
+        (
+            format!("Figure 14(a): pruning ratio vs xi (n={n}, GeoLife-like)"),
+            prune,
+        ),
+        (
+            format!("Figure 14(b): response time vs xi (n={n}, GeoLife-like)"),
+            time,
+        ),
     ]
 }

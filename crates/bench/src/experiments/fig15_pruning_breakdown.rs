@@ -59,8 +59,14 @@ pub fn run(scale: Scale) -> Vec<Titled> {
     }
 
     vec![
-        ("Figure 15(a): pruning breakdown vs trajectory length n".to_string(), by_n),
-        ("Figure 15(b): pruning breakdown vs minimum motif length xi".to_string(), by_xi),
+        (
+            "Figure 15(a): pruning breakdown vs trajectory length n".to_string(),
+            by_n,
+        ),
+        (
+            "Figure 15(b): pruning breakdown vs minimum motif length xi".to_string(),
+            by_xi,
+        ),
     ]
 }
 

@@ -22,8 +22,10 @@ const COMBOS: [(&str, BoundSelection); 3] = [
 fn measure(n: usize, xi: usize, sel: BoundSelection, reps: usize) -> Measurement {
     let cfg = MotifConfig::new(xi).with_bounds(sel);
     let ts = trajectories(Dataset::GeoLife, n, reps, 1600);
-    let ms: Vec<Measurement> =
-        ts.iter().map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0).collect();
+    let ms: Vec<Measurement> = ts
+        .iter()
+        .map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0)
+        .collect();
     average(&ms)
 }
 
@@ -38,7 +40,12 @@ pub fn run(scale: Scale) -> Vec<Titled> {
             .iter()
             .map(|&(_, sel)| fmt_secs(measure(n, scale.default_xi(), sel, reps).seconds))
             .collect();
-        by_n.row(vec![n.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        by_n.row(vec![
+            n.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
     }
 
     let mut by_xi = Table::new(vec!["xi", COMBOS[0].0, COMBOS[1].0, COMBOS[2].0]);
@@ -47,12 +54,23 @@ pub fn run(scale: Scale) -> Vec<Titled> {
             .iter()
             .map(|&(_, sel)| fmt_secs(measure(scale.default_n(), xi, sel, reps).seconds))
             .collect();
-        by_xi.row(vec![xi.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        by_xi.row(vec![
+            xi.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
     }
 
     vec![
-        ("Figure 16(a): response time vs n per bound combination".to_string(), by_n),
-        ("Figure 16(b): response time vs xi per bound combination".to_string(), by_xi),
+        (
+            "Figure 16(a): response time vs n per bound combination".to_string(),
+            by_n,
+        ),
+        (
+            "Figure 16(b): response time vs xi per bound combination".to_string(),
+            by_xi,
+        ),
     ]
 }
 

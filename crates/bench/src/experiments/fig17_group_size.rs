@@ -16,8 +16,10 @@ use crate::workload::trajectories;
 fn measure(n: usize, xi: usize, tau: usize, reps: usize) -> Measurement {
     let cfg = MotifConfig::new(xi).with_group_size(tau);
     let ts = trajectories(Dataset::GeoLife, n, reps, 1700);
-    let ms: Vec<Measurement> =
-        ts.iter().map(|t| run_algorithm(Algorithm::Gtm, t, &cfg).0).collect();
+    let ms: Vec<Measurement> = ts
+        .iter()
+        .map(|t| run_algorithm(Algorithm::Gtm, t, &cfg).0)
+        .collect();
     average(&ms)
 }
 
@@ -39,7 +41,10 @@ pub fn run(scale: Scale) -> Vec<Titled> {
         table.row(row);
     }
 
-    vec![(format!("Figure 17: GTM response time vs group size tau (xi={xi})"), table)]
+    vec![(
+        format!("Figure 17: GTM response time vs group size tau (xi={xi})"),
+        table,
+    )]
 }
 
 #[cfg(test)]

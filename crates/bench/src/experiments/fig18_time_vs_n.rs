@@ -31,8 +31,7 @@ pub fn run(scale: Scale) -> Vec<Titled> {
     let mut out = Vec::new();
 
     for dataset in Dataset::ALL {
-        let mut table =
-            Table::new(vec!["n", "GTM* (s)", "GTM (s)", "BTM (s)", "BruteDP (s)"]);
+        let mut table = Table::new(vec!["n", "GTM* (s)", "GTM (s)", "BTM (s)", "BruteDP (s)"]);
         for &n in scale.lengths() {
             let mut row = vec![n.to_string()];
             let mut motif_check: Option<f64> = None;
@@ -53,7 +52,10 @@ pub fn run(scale: Scale) -> Vec<Titled> {
             }
             table.row(row);
         }
-        out.push((format!("Figure 18: response time vs n — {dataset} (xi={xi})"), table));
+        out.push((
+            format!("Figure 18: response time vs n — {dataset} (xi={xi})"),
+            table,
+        ));
     }
     out
 }
@@ -69,8 +71,14 @@ mod tests {
         let brute = cell(Dataset::GeoLife, n, xi, Algorithm::BruteDp, 1);
         let btm = cell(Dataset::GeoLife, n, xi, Algorithm::Btm, 1);
         let gtm = cell(Dataset::GeoLife, n, xi, Algorithm::Gtm, 1);
-        assert_eq!(brute.distance.map(|d| (d * 1e6) as i64), btm.distance.map(|d| (d * 1e6) as i64));
-        assert_eq!(brute.distance.map(|d| (d * 1e6) as i64), gtm.distance.map(|d| (d * 1e6) as i64));
+        assert_eq!(
+            brute.distance.map(|d| (d * 1e6) as i64),
+            btm.distance.map(|d| (d * 1e6) as i64)
+        );
+        assert_eq!(
+            brute.distance.map(|d| (d * 1e6) as i64),
+            gtm.distance.map(|d| (d * 1e6) as i64)
+        );
         assert!(
             btm.seconds < brute.seconds,
             "BTM ({}) not faster than BruteDP ({})",

@@ -36,7 +36,10 @@ pub fn run(scale: Scale) -> Vec<Titled> {
             }
             table.row(row);
         }
-        out.push((format!("Figure 19: space vs n — {dataset} (xi={xi})"), table));
+        out.push((
+            format!("Figure 19: space vs n — {dataset} (xi={xi})"),
+            table,
+        ));
     }
     out
 }
@@ -51,7 +54,10 @@ mod tests {
         let small = cell(Dataset::GeoLife, 150, xi, Algorithm::GtmStar, 1);
         let large = cell(Dataset::GeoLife, 300, xi, Algorithm::GtmStar, 1);
         let btm_large = cell(Dataset::GeoLife, 300, xi, Algorithm::Btm, 1);
-        assert!(large.bytes < btm_large.bytes, "GTM* should be smaller than BTM");
+        assert!(
+            large.bytes < btm_large.bytes,
+            "GTM* should be smaller than BTM"
+        );
         // Doubling n must not quadruple GTM*'s space.
         assert!(
             (large.bytes as f64) < 3.0 * small.bytes as f64,

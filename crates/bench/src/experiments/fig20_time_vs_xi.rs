@@ -36,7 +36,10 @@ pub fn run(scale: Scale) -> Vec<Titled> {
             }
             table.row(row);
         }
-        out.push((format!("Figure 20: response time vs xi — {dataset} (n={n})"), table));
+        out.push((
+            format!("Figure 20: response time vs xi — {dataset} (n={n})"),
+            table,
+        ));
     }
     out
 }

@@ -16,8 +16,10 @@ use crate::workload::trajectory_pairs;
 fn cell(dataset: Dataset, n: usize, xi: usize, alg: Algorithm, reps: usize) -> Measurement {
     let cfg = MotifConfig::new(xi);
     let pairs = trajectory_pairs(dataset, n, reps, 2100);
-    let ms: Vec<Measurement> =
-        pairs.iter().map(|(a, b)| run_algorithm_between(alg, a, b, &cfg).0).collect();
+    let ms: Vec<Measurement> = pairs
+        .iter()
+        .map(|(a, b)| run_algorithm_between(alg, a, b, &cfg).0)
+        .collect();
     average(&ms)
 }
 

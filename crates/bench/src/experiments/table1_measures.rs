@@ -8,7 +8,9 @@
 
 use std::time::Instant;
 
-use fremo_similarity::{DiscreteFrechet, Dtw, Edr, Hausdorff, Lcss, LockstepEuclidean, SimilarityMeasure};
+use fremo_similarity::{
+    DiscreteFrechet, Dtw, Edr, Hausdorff, Lcss, LockstepEuclidean, SimilarityMeasure,
+};
 use fremo_trajectory::EuclideanPoint;
 
 use crate::experiments::Titled;
@@ -39,7 +41,9 @@ fn sampled_path(n: usize, oversample_head: bool, offset: f64) -> Vec<EuclideanPo
             points.push(point(0.2 * k as f64 / head as f64));
         }
         for k in 0..(total - head) {
-            points.push(point(0.2 + 0.8 * k as f64 / (total - head - 1).max(1) as f64));
+            points.push(point(
+                0.2 + 0.8 * k as f64 / (total - head - 1).max(1) as f64,
+            ));
         }
         points
     } else {
@@ -60,15 +64,17 @@ fn passes_resampling_test(m: &dyn SimilarityMeasure<EuclideanPoint>) -> bool {
 /// Empirical check: is the measure tolerant to a local time shift (a short
 /// stall at the start)? Lock-step ED is not; the elastic measures are.
 fn passes_time_shift_test(m: &dyn SimilarityMeasure<EuclideanPoint>) -> bool {
-    let sa: Vec<EuclideanPoint> =
-        (0..100).map(|k| EuclideanPoint::new(k as f64, 0.0)).collect();
+    let sa: Vec<EuclideanPoint> = (0..100)
+        .map(|k| EuclideanPoint::new(k as f64, 0.0))
+        .collect();
     // Same full path, but the sampler stalled for 10 ticks at the origin
     // before continuing (local time shift, no missing tail).
     let mut sb: Vec<EuclideanPoint> = vec![EuclideanPoint::new(0.0, 0.0); 10];
     sb.extend((0..100).map(|k| EuclideanPoint::new(k as f64, 0.0)));
     // A path at constant offset 3 with no stall.
-    let sc: Vec<EuclideanPoint> =
-        (0..100).map(|k| EuclideanPoint::new(k as f64, 3.0)).collect();
+    let sc: Vec<EuclideanPoint> = (0..100)
+        .map(|k| EuclideanPoint::new(k as f64, 3.0))
+        .collect();
     m.distance(&sa, &sb) < m.distance(&sa, &sc)
 }
 
@@ -104,7 +110,10 @@ pub fn run(_scale: Scale) -> Vec<Titled> {
             format!("{us:.1}"),
         ]);
     }
-    vec![("Table 1: distance measures and their characteristics".to_string(), table)]
+    vec![(
+        "Table 1: distance measures and their characteristics".to_string(),
+        table,
+    )]
 }
 
 fn yesno(b: bool) -> String {
@@ -125,7 +134,10 @@ mod tests {
     #[test]
     fn dtw_fails_resampling_but_passes_shift() {
         let dtw = Dtw;
-        assert!(!passes_resampling_test(&dtw), "DTW should be fooled by oversampling");
+        assert!(
+            !passes_resampling_test(&dtw),
+            "DTW should be fooled by oversampling"
+        );
         assert!(passes_time_shift_test(&dtw));
     }
 

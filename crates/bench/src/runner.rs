@@ -19,8 +19,12 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All methods, in the paper's plotting order (GTM* first in legends).
-    pub const ALL: [Algorithm; 4] =
-        [Algorithm::GtmStar, Algorithm::Gtm, Algorithm::Btm, Algorithm::BruteDp];
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::GtmStar,
+        Algorithm::Gtm,
+        Algorithm::Btm,
+        Algorithm::BruteDp,
+    ];
 
     /// The advanced methods (Figure 19–21 exclude BruteDP).
     pub const ADVANCED: [Algorithm; 3] = [Algorithm::GtmStar, Algorithm::Gtm, Algorithm::Btm];
@@ -137,8 +141,18 @@ mod tests {
 
     #[test]
     fn averaging() {
-        let a = Measurement { seconds: 1.0, bytes: 100, distance: Some(2.0), pruned_fraction: 0.5 };
-        let b = Measurement { seconds: 3.0, bytes: 300, distance: Some(2.0), pruned_fraction: 0.7 };
+        let a = Measurement {
+            seconds: 1.0,
+            bytes: 100,
+            distance: Some(2.0),
+            pruned_fraction: 0.5,
+        };
+        let b = Measurement {
+            seconds: 3.0,
+            bytes: 300,
+            distance: Some(2.0),
+            pruned_fraction: 0.7,
+        };
         let avg = average(&[a, b]);
         assert_eq!(avg.seconds, 2.0);
         assert_eq!(avg.bytes, 200);

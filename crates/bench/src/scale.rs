@@ -133,7 +133,10 @@ mod tests {
             for &n in s.lengths() {
                 assert!(n >= 2 * s.default_xi() + 4, "{s}: n={n} too small");
             }
-            assert!(s.default_n() >= 2 * s.motif_lengths().last().unwrap() + 4, "{s}");
+            assert!(
+                s.default_n() >= 2 * s.motif_lengths().last().unwrap() + 4,
+                "{s}"
+            );
         }
     }
 }

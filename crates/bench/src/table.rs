@@ -11,7 +11,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -38,7 +41,10 @@ impl Table {
                     out.push_str("  ");
                 }
                 out.push_str(cell);
-                out.extend(std::iter::repeat_n(' ', widths[c].saturating_sub(cell.len())));
+                out.extend(std::iter::repeat_n(
+                    ' ',
+                    widths[c].saturating_sub(cell.len()),
+                ));
             }
             // Trim trailing padding.
             while out.ends_with(' ') {

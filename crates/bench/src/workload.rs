@@ -14,7 +14,12 @@ use fremo_trajectory::{GeoPoint, Trajectory};
 /// Builds `reps` trajectories of exactly `n` points from `dataset`,
 /// deterministically seeded (`base_seed + rep`).
 #[must_use]
-pub fn trajectories(dataset: Dataset, n: usize, reps: usize, base_seed: u64) -> Vec<Trajectory<GeoPoint>> {
+pub fn trajectories(
+    dataset: Dataset,
+    n: usize,
+    reps: usize,
+    base_seed: u64,
+) -> Vec<Trajectory<GeoPoint>> {
     let mut out: Vec<Option<Trajectory<GeoPoint>>> = (0..reps).map(|_| None).collect();
     crossbeam::scope(|scope| {
         for (rep, slot) in out.iter_mut().enumerate() {

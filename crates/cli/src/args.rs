@@ -67,7 +67,9 @@ impl Parsed {
     {
         match self.optional(key) {
             None => Ok(default),
-            Some(raw) => raw.parse::<T>().map_err(|e| format!("invalid value for --{key}: {e}")),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|e| format!("invalid value for --{key}: {e}")),
         }
     }
 

@@ -15,7 +15,10 @@ use crate::args::Parsed;
 
 fn load(path_str: &str) -> Result<Trajectory<GeoPoint>, String> {
     let path = Path::new(path_str);
-    let result = if path.extension().is_some_and(|e| e.eq_ignore_ascii_case("plt")) {
+    let result = if path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("plt"))
+    {
         read_plt(path)
     } else {
         read_csv(path)
@@ -29,7 +32,9 @@ fn algorithm(name: &str) -> Result<Box<dyn MotifDiscovery<GeoPoint>>, String> {
         "btm" => Ok(Box::new(Btm)),
         "gtm" => Ok(Box::new(Gtm)),
         "gtm-star" | "gtm*" => Ok(Box::new(GtmStar)),
-        other => Err(format!("unknown algorithm {other:?} (brute|btm|gtm|gtm-star)")),
+        other => Err(format!(
+            "unknown algorithm {other:?} (brute|btm|gtm|gtm-star)"
+        )),
     }
 }
 
@@ -78,7 +83,10 @@ fn print_motif(motif: Option<&Motif>, stats: &SearchStats, json: bool) -> Result
             "subsets_total": stats.subsets_total,
             "subsets_expanded": stats.subsets_expanded,
         });
-        println!("{}", serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?
+        );
         return Ok(());
     }
     match motif {

@@ -19,7 +19,15 @@ fn generate_then_discover() {
     let file_str = file.to_str().unwrap();
 
     fremo_cli::run(&argv(&[
-        "generate", "--dataset", "geolife", "--n", "150", "--seed", "7", "--out", file_str,
+        "generate",
+        "--dataset",
+        "geolife",
+        "--n",
+        "150",
+        "--seed",
+        "7",
+        "--out",
+        file_str,
     ]))
     .expect("generate");
     assert!(file.exists());
@@ -27,13 +35,28 @@ fn generate_then_discover() {
     fremo_cli::run(&argv(&["inspect", "--input", file_str])).expect("inspect");
     fremo_cli::run(&argv(&["discover", "--input", file_str, "--xi", "10"])).expect("discover");
     fremo_cli::run(&argv(&[
-        "discover", "--input", file_str, "--xi", "10", "--algorithm", "btm", "--json",
+        "discover",
+        "--input",
+        file_str,
+        "--xi",
+        "10",
+        "--algorithm",
+        "btm",
+        "--json",
     ]))
     .expect("discover json");
-    fremo_cli::run(&argv(&["discover", "--input", file_str, "--xi", "10", "--k", "2"]))
-        .expect("top-k");
     fremo_cli::run(&argv(&[
-        "discover", "--input", file_str, "--xi", "10", "--epsilon", "0.5",
+        "discover", "--input", file_str, "--xi", "10", "--k", "2",
+    ]))
+    .expect("top-k");
+    fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        file_str,
+        "--xi",
+        "10",
+        "--epsilon",
+        "0.5",
     ]))
     .expect("approximate");
 
@@ -45,10 +68,30 @@ fn discover_pair_and_compare() {
     let fa = temp_path("a.csv");
     let fb = temp_path("b.csv");
     let (sa, sb) = (fa.to_str().unwrap(), fb.to_str().unwrap());
-    fremo_cli::run(&argv(&["generate", "--dataset", "truck", "--n", "120", "--seed", "1", "--out", sa]))
-        .unwrap();
-    fremo_cli::run(&argv(&["generate", "--dataset", "truck", "--n", "100", "--seed", "2", "--out", sb]))
-        .unwrap();
+    fremo_cli::run(&argv(&[
+        "generate",
+        "--dataset",
+        "truck",
+        "--n",
+        "120",
+        "--seed",
+        "1",
+        "--out",
+        sa,
+    ]))
+    .unwrap();
+    fremo_cli::run(&argv(&[
+        "generate",
+        "--dataset",
+        "truck",
+        "--n",
+        "100",
+        "--seed",
+        "2",
+        "--out",
+        sb,
+    ]))
+    .unwrap();
 
     fremo_cli::run(&argv(&["discover-pair", "--a", sa, "--b", sb, "--xi", "8"])).expect("pair");
     fremo_cli::run(&argv(&["compare", "--a", sa, "--b", sb, "--epsilon", "50"])).expect("compare");
@@ -60,15 +103,33 @@ fn discover_pair_and_compare() {
 #[test]
 fn error_paths_are_reported() {
     assert!(fremo_cli::run(&argv(&[])).is_err());
-    assert!(fremo_cli::run(&argv(&["frobnicate"])).unwrap_err().contains("unknown subcommand"));
-    assert!(fremo_cli::run(&argv(&["generate", "--dataset", "mars", "--n", "10"])).is_err());
-    assert!(fremo_cli::run(&argv(&["discover", "--input", "/nonexistent.csv", "--xi", "5"]))
+    assert!(fremo_cli::run(&argv(&["frobnicate"]))
         .unwrap_err()
-        .contains("cannot read"));
+        .contains("unknown subcommand"));
+    assert!(fremo_cli::run(&argv(&["generate", "--dataset", "mars", "--n", "10"])).is_err());
+    assert!(fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        "/nonexistent.csv",
+        "--xi",
+        "5"
+    ]))
+    .unwrap_err()
+    .contains("cannot read"));
     let file = temp_path("short.csv");
     let s = file.to_str().unwrap();
-    fremo_cli::run(&argv(&["generate", "--dataset", "baboon", "--n", "20", "--seed", "1", "--out", s]))
-        .unwrap();
+    fremo_cli::run(&argv(&[
+        "generate",
+        "--dataset",
+        "baboon",
+        "--n",
+        "20",
+        "--seed",
+        "1",
+        "--out",
+        s,
+    ]))
+    .unwrap();
     // ξ = 0 is rejected before any search.
     assert!(fremo_cli::run(&argv(&["discover", "--input", s, "--xi", "0"])).is_err());
     assert!(fremo_cli::run(&argv(&["experiment", "nope"])).is_err());

@@ -36,7 +36,10 @@ impl ApproxBtm {
     /// Panics when `epsilon` is negative or non-finite.
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon >= 0.0 && epsilon.is_finite(), "epsilon must be finite and ≥ 0");
+        assert!(
+            epsilon >= 0.0 && epsilon.is_finite(),
+            "epsilon must be finite and ≥ 0"
+        );
         ApproxBtm { epsilon }
     }
 }
@@ -52,7 +55,9 @@ impl<P: GroundDistance> MotifDiscovery<P> for ApproxBtm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Within { n: trajectory.len() };
+        let domain = Domain::Within {
+            n: trajectory.len(),
+        };
         let src = DenseMatrix::within(trajectory.points());
         Btm::run(&src, domain, config, self.epsilon, started)
     }
@@ -64,7 +69,10 @@ impl<P: GroundDistance> MotifDiscovery<P> for ApproxBtm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let domain = Domain::Between {
+            n: a.len(),
+            m: b.len(),
+        };
         let src = DenseMatrix::between(a.points(), b.points());
         Btm::run(&src, domain, config, self.epsilon, started)
     }
@@ -86,7 +94,10 @@ impl ApproxGtm {
     /// Panics when `epsilon` is negative or non-finite.
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon >= 0.0 && epsilon.is_finite(), "epsilon must be finite and ≥ 0");
+        assert!(
+            epsilon >= 0.0 && epsilon.is_finite(),
+            "epsilon must be finite and ≥ 0"
+        );
         ApproxGtm { epsilon }
     }
 }
@@ -102,7 +113,9 @@ impl<P: GroundDistance> MotifDiscovery<P> for ApproxGtm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Within { n: trajectory.len() };
+        let domain = Domain::Within {
+            n: trajectory.len(),
+        };
         let src = DenseMatrix::within(trajectory.points());
         Gtm::run(&src, domain, config, self.epsilon, started)
     }
@@ -114,7 +127,10 @@ impl<P: GroundDistance> MotifDiscovery<P> for ApproxGtm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let domain = Domain::Between {
+            n: a.len(),
+            m: b.len(),
+        };
         let src = DenseMatrix::between(a.points(), b.points());
         Gtm::run(&src, domain, config, self.epsilon, started)
     }
@@ -148,7 +164,10 @@ mod tests {
                 );
                 assert!(a >= exact - 1e-9, "approximate beat the optimum?!");
                 let g = ApproxGtm::new(eps).discover(&t, &cfg).unwrap().distance;
-                assert!(g <= (1.0 + eps) * exact + 1e-9, "GTM eps {eps}: {g} vs {exact}");
+                assert!(
+                    g <= (1.0 + eps) * exact + 1e-9,
+                    "GTM eps {eps}: {g} vs {exact}"
+                );
                 assert!(g >= exact - 1e-9);
             }
         }

@@ -111,15 +111,35 @@ impl BoundTables {
         i: usize,
         j: usize,
     ) -> SubsetBounds {
-        let cell = if sel.cell { src.get(i, j) } else { f64::NEG_INFINITY };
+        let cell = if sel.cell {
+            src.get(i, j)
+        } else {
+            f64::NEG_INFINITY
+        };
         let (cross, band) = match self {
             BoundTables::Relaxed(t) => (
-                if sel.cross { t.cross(i, j) } else { f64::NEG_INFINITY },
-                if sel.band { t.band(i, j) } else { f64::NEG_INFINITY },
+                if sel.cross {
+                    t.cross(i, j)
+                } else {
+                    f64::NEG_INFINITY
+                },
+                if sel.band {
+                    t.band(i, j)
+                } else {
+                    f64::NEG_INFINITY
+                },
             ),
             BoundTables::Tight(t) => (
-                if sel.cross { t.cross(i, j) } else { f64::NEG_INFINITY },
-                if sel.band { t.band(i, j) } else { f64::NEG_INFINITY },
+                if sel.cross {
+                    t.cross(i, j)
+                } else {
+                    f64::NEG_INFINITY
+                },
+                if sel.band {
+                    t.band(i, j)
+                } else {
+                    f64::NEG_INFINITY
+                },
             ),
         };
         SubsetBounds { cell, cross, band }
@@ -203,7 +223,11 @@ impl RelaxedTables {
         } else {
             sliding_window_max(&shifted_cols, xi.max(1))
         };
-        RelaxedTables { mins, band_row, band_col }
+        RelaxedTables {
+            mins,
+            band_row,
+            band_col,
+        }
     }
 
     /// `rLB_cross^start(i, j)`.
@@ -329,7 +353,14 @@ impl TightTables {
             band_col[j * n..(j + 1) * n].copy_from_slice(&sliding_window_max(col, win));
         }
 
-        TightTables { n, m, lb_row, lb_col, band_row, band_col }
+        TightTables {
+            n,
+            m,
+            lb_row,
+            lb_col,
+            band_row,
+            band_col,
+        }
     }
 
     /// `LB_cross^start(i, j)` (Eq. 4).
@@ -355,8 +386,16 @@ impl TightTables {
     #[inline]
     #[must_use]
     pub fn end_cross(&self, i: usize, j: usize, ie: usize, je: usize) -> f64 {
-        let r = self.lb_row.get(i * self.m + je).copied().unwrap_or(f64::INFINITY);
-        let c = self.lb_col.get(j * self.n + ie).copied().unwrap_or(f64::INFINITY);
+        let r = self
+            .lb_row
+            .get(i * self.m + je)
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        let c = self
+            .lb_col
+            .get(j * self.n + ie)
+            .copied()
+            .unwrap_or(f64::INFINITY);
         // +∞ here means "no cell beyond in that direction", i.e. nothing to
         // protect — pruning the (empty) remainder is correct.
         r.max(c)
@@ -515,7 +554,11 @@ pub(crate) mod tests {
 
     #[test]
     fn attribution_order_is_cell_cross_band() {
-        let b = SubsetBounds { cell: 5.0, cross: 7.0, band: 9.0 };
+        let b = SubsetBounds {
+            cell: 5.0,
+            cross: 7.0,
+            band: 9.0,
+        };
         assert_eq!(b.attribute(|v| v >= 5.0), Some(BoundKind::Cell));
         assert_eq!(b.attribute(|v| v >= 6.0), Some(BoundKind::Cross));
         assert_eq!(b.attribute(|v| v >= 8.0), Some(BoundKind::Band));

@@ -44,7 +44,9 @@ impl BruteDp {
         for (i, j) in domain.subsets(xi) {
             stats.subsets_expanded += 1;
             stats.pairs_exact += domain.pairs_in_subset(i, j, xi);
-            expand_subset(src, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf);
+            expand_subset(
+                src, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf,
+            );
         }
 
         stats.total_seconds = started.elapsed().as_secs_f64();
@@ -63,7 +65,9 @@ impl<P: GroundDistance> MotifDiscovery<P> for BruteDp {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Within { n: trajectory.len() };
+        let domain = Domain::Within {
+            n: trajectory.len(),
+        };
         let src = DenseMatrix::within(trajectory.points());
         let pre = started.elapsed().as_secs_f64();
         Self::run(&src, domain, config, pre, started)
@@ -76,7 +80,10 @@ impl<P: GroundDistance> MotifDiscovery<P> for BruteDp {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let domain = Domain::Between {
+            n: a.len(),
+            m: b.len(),
+        };
         let src = DenseMatrix::between(a.points(), b.points());
         let pre = started.elapsed().as_secs_f64();
         Self::run(&src, domain, config, pre, started)

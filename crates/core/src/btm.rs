@@ -51,7 +51,15 @@ impl Btm {
         let mut buf = DpBuffers::with_width(domain.len_b());
         stats.bytes_dp = buf.bytes();
         process_sorted_subsets(
-            src, domain, xi, sel, &tables, &mut entries, &mut bsf, &mut stats, &mut buf,
+            src,
+            domain,
+            xi,
+            sel,
+            &tables,
+            &mut entries,
+            &mut bsf,
+            &mut stats,
+            &mut buf,
         );
 
         stats.total_seconds = started.elapsed().as_secs_f64();
@@ -70,7 +78,9 @@ impl<P: GroundDistance> MotifDiscovery<P> for Btm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Within { n: trajectory.len() };
+        let domain = Domain::Within {
+            n: trajectory.len(),
+        };
         let src = DenseMatrix::within(trajectory.points());
         Self::run(&src, domain, config, 0.0, started)
     }
@@ -82,7 +92,10 @@ impl<P: GroundDistance> MotifDiscovery<P> for Btm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let domain = Domain::Between {
+            n: a.len(),
+            m: b.len(),
+        };
         let src = DenseMatrix::between(a.points(), b.points());
         Self::run(&src, domain, config, 0.0, started)
     }
@@ -122,8 +135,20 @@ mod tests {
             BoundSelection::cell_only(),
             BoundSelection::cell_cross(),
             BoundSelection::none(),
-            BoundSelection { cell: false, cross: true, band: true, end_cross: false, tight: false },
-            BoundSelection { cell: true, cross: false, band: true, end_cross: true, tight: true },
+            BoundSelection {
+                cell: false,
+                cross: true,
+                band: true,
+                end_cross: false,
+                tight: false,
+            },
+            BoundSelection {
+                cell: true,
+                cross: false,
+                band: true,
+                end_cross: true,
+                tight: true,
+            },
         ];
         for sel in selections {
             let cfg = MotifConfig::new(2).with_bounds(sel);
@@ -158,10 +183,14 @@ mod tests {
     fn prunes_most_subsets_on_self_similar_data() {
         // A trajectory passing twice along the same path gives a tiny bsf
         // early; the sorted search should then prune the bulk.
-        let mut coords: Vec<(f64, f64)> = (0..40).map(|i| (i as f64, (i as f64 * 0.3).sin())).collect();
+        let mut coords: Vec<(f64, f64)> = (0..40)
+            .map(|i| (i as f64, (i as f64 * 0.3).sin()))
+            .collect();
         coords.extend((0..40).map(|i| (i as f64, 0.02 + (i as f64 * 0.3).sin())));
-        let t: fremo_trajectory::Trajectory<fremo_trajectory::EuclideanPoint> =
-            coords.into_iter().map(fremo_trajectory::EuclideanPoint::from).collect();
+        let t: fremo_trajectory::Trajectory<fremo_trajectory::EuclideanPoint> = coords
+            .into_iter()
+            .map(fremo_trajectory::EuclideanPoint::from)
+            .collect();
         let cfg = MotifConfig::new(5);
         let (motif, stats) = Btm.discover_with_stats(&t, &cfg);
         assert!(motif.is_some());

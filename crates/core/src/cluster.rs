@@ -67,13 +67,19 @@ impl ClusterConfig {
         assert!(window >= 2, "window must have at least 2 points");
         assert!(stride >= 1, "stride must be at least 1");
         assert!(epsilon >= 0.0, "epsilon must be non-negative");
-        ClusterConfig { window, stride, epsilon }
+        ClusterConfig {
+            window,
+            stride,
+            epsilon,
+        }
     }
 }
 
 /// Endpoint lower bound: prune when it already exceeds `eps`.
 fn endpoints_exceed<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
-    a[0].distance(&b[0]).max(a[a.len() - 1].distance(&b[b.len() - 1])) > eps
+    a[0].distance(&b[0])
+        .max(a[a.len() - 1].distance(&b[b.len() - 1]))
+        > eps
 }
 
 /// Directed Hausdorff early-exit filter (see `join`).
@@ -142,7 +148,7 @@ pub fn cluster_subtrajectories<P: GroundDistance>(
         start += config.stride;
     }
 
-    clusters.sort_by(|a, b| b.members.len().cmp(&a.members.len()));
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
     clusters
 }
 
@@ -171,7 +177,11 @@ mod tests {
         let t = looping(5, 24, 0.05);
         let cfg = ClusterConfig::new(24, 24, 1.0);
         let clusters = cluster_subtrajectories(&t, &cfg);
-        assert_eq!(clusters[0].len(), 5, "all five laps should cluster together");
+        assert_eq!(
+            clusters[0].len(),
+            5,
+            "all five laps should cluster together"
+        );
     }
 
     #[test]

@@ -27,32 +27,62 @@ impl BoundSelection {
     /// Every bound on, relaxed variants (the paper's recommended setting).
     #[must_use]
     pub const fn all_relaxed() -> Self {
-        BoundSelection { cell: true, cross: true, band: true, end_cross: true, tight: false }
+        BoundSelection {
+            cell: true,
+            cross: true,
+            band: true,
+            end_cross: true,
+            tight: false,
+        }
     }
 
     /// Every bound on, tight variants (Figure 13/14's "Tight" line).
     #[must_use]
     pub const fn all_tight() -> Self {
-        BoundSelection { cell: true, cross: true, band: true, end_cross: true, tight: true }
+        BoundSelection {
+            cell: true,
+            cross: true,
+            band: true,
+            end_cross: true,
+            tight: true,
+        }
     }
 
     /// Only `LB_cell` (Figure 16's weakest configuration).
     #[must_use]
     pub const fn cell_only() -> Self {
-        BoundSelection { cell: true, cross: false, band: false, end_cross: false, tight: false }
+        BoundSelection {
+            cell: true,
+            cross: false,
+            band: false,
+            end_cross: false,
+            tight: false,
+        }
     }
 
     /// `LB_cell + rLB_cross` (Figure 16's middle configuration).
     #[must_use]
     pub const fn cell_cross() -> Self {
-        BoundSelection { cell: true, cross: true, band: false, end_cross: false, tight: false }
+        BoundSelection {
+            cell: true,
+            cross: true,
+            band: false,
+            end_cross: false,
+            tight: false,
+        }
     }
 
     /// No bounds at all — degenerates BTM to BruteDP order (used by
     /// ablation benches).
     #[must_use]
     pub const fn none() -> Self {
-        BoundSelection { cell: false, cross: false, band: false, end_cross: false, tight: false }
+        BoundSelection {
+            cell: false,
+            cross: false,
+            band: false,
+            end_cross: false,
+            tight: false,
+        }
     }
 }
 
@@ -105,7 +135,11 @@ impl MotifConfig {
     #[must_use]
     pub fn new(xi: usize) -> Self {
         assert!(xi >= 1, "minimum motif length ξ must be at least 1");
-        MotifConfig { min_length: xi, bounds: BoundSelection::default(), group_size: 32 }
+        MotifConfig {
+            min_length: xi,
+            bounds: BoundSelection::default(),
+            group_size: 32,
+        }
     }
 
     /// Replaces the bound selection.

@@ -102,7 +102,10 @@ impl Domain {
             Domain::Within { n } => {
                 // j ∈ [i+ξ+2, n−ξ−2] must be non-empty.
                 let i_hi = n.saturating_sub(2 * xi + 4);
-                (i_hi, Box::new(move |i| (i + xi + 2, n.saturating_sub(xi + 2))))
+                (
+                    i_hi,
+                    Box::new(move |i| (i + xi + 2, n.saturating_sub(xi + 2))),
+                )
             }
             Domain::Between { n, m } => {
                 let i_hi = n.saturating_sub(xi + 2);
@@ -113,12 +116,10 @@ impl Domain {
             Domain::Within { n } => n >= 2 * xi + 4,
             Domain::Between { n, m } => n >= xi + 2 && m >= xi + 2,
         };
-        (0..=i_hi)
-            .filter(move |_| feasible)
-            .flat_map(move |i| {
-                let (j_lo, j_hi) = j_of_i(i);
-                (j_lo..=j_hi).map(move |j| (i, j))
-            })
+        (0..=i_hi).filter(move |_| feasible).flat_map(move |i| {
+            let (j_lo, j_hi) = j_of_i(i);
+            (j_lo..=j_hi).map(move |j| (i, j))
+        })
     }
 
     /// Total number of non-empty candidate subsets.
@@ -131,7 +132,9 @@ impl Domain {
     /// denominator).
     #[must_use]
     pub fn pairs_count(&self, xi: usize) -> u128 {
-        self.subsets(xi).map(|(i, j)| self.pairs_in_subset(i, j, xi)).sum()
+        self.subsets(xi)
+            .map(|(i, j)| self.pairs_in_subset(i, j, xi))
+            .sum()
     }
 }
 

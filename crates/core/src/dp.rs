@@ -44,7 +44,11 @@ impl Bsf {
     /// Fresh state: `+∞`, no pair, exact pruning.
     #[must_use]
     pub fn new() -> Self {
-        Bsf { value: f64::INFINITY, motif: None, factor: 1.0 }
+        Bsf {
+            value: f64::INFINITY,
+            motif: None,
+            factor: 1.0,
+        }
     }
 
     /// Fresh state with ε-approximate pruning: the returned motif's DFD is
@@ -55,8 +59,15 @@ impl Bsf {
     /// Panics when `epsilon` is negative or non-finite.
     #[must_use]
     pub fn approximate(epsilon: f64) -> Self {
-        assert!(epsilon >= 0.0 && epsilon.is_finite(), "epsilon must be finite and ≥ 0");
-        Bsf { value: f64::INFINITY, motif: None, factor: 1.0 + epsilon }
+        assert!(
+            epsilon >= 0.0 && epsilon.is_finite(),
+            "epsilon must be finite and ≥ 0"
+        );
+        Bsf {
+            value: f64::INFINITY,
+            motif: None,
+            factor: 1.0 + epsilon,
+        }
     }
 
     /// The approximation factor `1 + ε`.
@@ -128,7 +139,10 @@ impl DpBuffers {
     /// Creates buffers able to hold rows of width up to `width`.
     #[must_use]
     pub fn with_width(width: usize) -> Self {
-        DpBuffers { prev: vec![0.0; width], curr: vec![0.0; width] }
+        DpBuffers {
+            prev: vec![0.0; width],
+            curr: vec![0.0; width],
+        }
     }
 
     /// Heap bytes.
@@ -236,7 +250,11 @@ pub fn expand_subset_capped<D: DistanceSource>(
             stats.dp_cells += 1;
 
             if ie_valid && je > j + xi {
-                let motif = Motif { first: (i, ie), second: (j, je), distance: v };
+                let motif = Motif {
+                    first: (i, ie),
+                    second: (j, je),
+                    distance: v,
+                };
                 if bsf.offer(v, motif) {
                     stats.bsf_updates += 1;
                     if allow_pruning {
@@ -269,7 +287,10 @@ mod tests {
     use fremo_trajectory::{DenseMatrix, EuclideanPoint};
 
     fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
-        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+        coords
+            .iter()
+            .map(|&(x, y)| EuclideanPoint::new(x, y))
+            .collect()
     }
 
     /// Enumerate all candidates in CS_{i,j} with the standalone DFD and
@@ -316,7 +337,9 @@ mod tests {
             let mut bsf = Bsf::new();
             let mut stats = SearchStats::default();
             let mut buf = DpBuffers::default();
-            expand_subset(&src, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf);
+            expand_subset(
+                &src, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf,
+            );
             let naive = best_in_subset_naive(&points, domain, xi, i, j);
             match naive {
                 None => assert!(bsf.motif.is_none(), "({i},{j}) found spurious candidate"),
@@ -328,8 +351,10 @@ mod tests {
                         m.distance
                     );
                     // And the reported pair achieves its distance.
-                    let check =
-                        dfd(&points[m.first.0..=m.first.1], &points[m.second.0..=m.second.1]);
+                    let check = dfd(
+                        &points[m.first.0..=m.first.1],
+                        &points[m.second.0..=m.second.1],
+                    );
                     assert!((check - m.distance).abs() < 1e-12);
                 }
             }
@@ -340,14 +365,19 @@ mod tests {
     fn dp_between_matches_naive() {
         let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.5), (3.0, 0.0), (4.0, -0.5)]);
         let b = pts(&[(0.0, 1.0), (1.0, 1.2), (2.0, 0.8), (3.0, 1.1)]);
-        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let domain = Domain::Between {
+            n: a.len(),
+            m: b.len(),
+        };
         let src = DenseMatrix::between(&a, &b);
         let xi = 1;
         for (i, j) in domain.subsets(xi) {
             let mut bsf = Bsf::new();
             let mut stats = SearchStats::default();
             let mut buf = DpBuffers::default();
-            expand_subset(&src, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf);
+            expand_subset(
+                &src, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf,
+            );
             // Naive over the two-trajectory candidate space.
             let mut best = f64::INFINITY;
             for ie in (i + xi + 1)..a.len() {
@@ -391,10 +421,23 @@ mod tests {
         let mut stats = SearchStats::default();
         let mut buf = DpBuffers::default();
         for (i, j) in domain.subsets(xi) {
-            expand_subset(&src, domain, xi, i, j, None, false, &mut plain, &mut stats, &mut buf);
+            expand_subset(
+                &src, domain, xi, i, j, None, false, &mut plain, &mut stats, &mut buf,
+            );
         }
         for (i, j) in domain.subsets(xi) {
-            expand_subset(&src, domain, xi, i, j, None, true, &mut pruned, &mut stats, &mut buf);
+            expand_subset(
+                &src,
+                domain,
+                xi,
+                i,
+                j,
+                None,
+                true,
+                &mut pruned,
+                &mut stats,
+                &mut buf,
+            );
         }
         let p = plain.motif.unwrap();
         let q = pruned.motif.unwrap();
@@ -413,7 +456,11 @@ mod tests {
         assert!(bsf.prunable(5.1));
 
         // A tying candidate is accepted when no pair exists yet.
-        let m = Motif { first: (0, 2), second: (3, 5), distance: 5.0 };
+        let m = Motif {
+            first: (0, 2),
+            second: (3, 5),
+            distance: 5.0,
+        };
         assert!(bsf.offer(5.0, m));
         assert!(bsf.motif.is_some());
         // Now ties prune.

@@ -106,14 +106,18 @@ impl GroupMatrices {
         let mut dmin = vec![f64::INFINITY; ga * gb];
         let mut dmax = vec![f64::INFINITY; ga * gb];
         for u in 0..ga {
-            let Some((alo, ahi)) = grid.range_a(u) else { continue };
+            let Some((alo, ahi)) = grid.range_a(u) else {
+                continue;
+            };
             for v in 0..gb {
                 // Upper-triangle region: blocks strictly below the diagonal
                 // are unreachable; skip (they keep +∞/+∞).
                 if region == ValidRegion::UpperTriangle && u > v {
                     continue;
                 }
-                let Some((blo, bhi)) = grid.range_b(v) else { continue };
+                let Some((blo, bhi)) = grid.range_b(v) else {
+                    continue;
+                };
                 let mut lo = f64::INFINITY;
                 let mut hi = f64::NEG_INFINITY;
                 for a in alo..=ahi {
@@ -240,7 +244,10 @@ pub fn group_dfd_bounds(
     };
     let ve_hi = gb - 1;
     if u > ue_hi || v > ve_hi {
-        return GroupDfdBounds { lower: f64::INFINITY, upper: f64::INFINITY };
+        return GroupDfdBounds {
+            lower: f64::INFINITY,
+            upper: f64::INFINITY,
+        };
     }
     // Every candidate's end groups satisfy ue ≥ u + (ξ+1)/τ (exact integer
     // feasibility; over-inclusive is safe for the lower bound).
@@ -268,8 +275,19 @@ pub fn group_dfd_bounds(
             prev_min[k] = run_min;
             prev_max[k] = run_max;
             consider(
-                gm, domain, xi, u, v, u, ve, ue_feasible_lo, ve_feasible_lo, run_min, run_max,
-                &mut lower_best, &mut upper_best,
+                gm,
+                domain,
+                xi,
+                u,
+                v,
+                u,
+                ve,
+                ue_feasible_lo,
+                ve_feasible_lo,
+                run_min,
+                run_max,
+                &mut lower_best,
+                &mut upper_best,
             );
         }
     }
@@ -292,8 +310,19 @@ pub fn group_dfd_bounds(
             curr_max[k] = vmax;
             row_min_of_mins = row_min_of_mins.min(vmin);
             consider(
-                gm, domain, xi, u, v, ue, ve, ue_feasible_lo, ve_feasible_lo, vmin, vmax,
-                &mut lower_best, &mut upper_best,
+                gm,
+                domain,
+                xi,
+                u,
+                v,
+                ue,
+                ve,
+                ue_feasible_lo,
+                ve_feasible_lo,
+                vmin,
+                vmax,
+                &mut lower_best,
+                &mut upper_best,
             );
         }
         // Early termination: dFmin row minima never decrease, so once the
@@ -302,13 +331,19 @@ pub fn group_dfd_bounds(
         // bound min(lower_best, row_min) is still safe.
         let decided = lower_best.min(row_min_of_mins);
         if decided >= threshold && decided.is_finite() {
-            return GroupDfdBounds { lower: decided, upper: upper_best };
+            return GroupDfdBounds {
+                lower: decided,
+                upper: upper_best,
+            };
         }
         std::mem::swap(&mut prev_min, &mut curr_min);
         std::mem::swap(&mut prev_max, &mut curr_max);
     }
 
-    GroupDfdBounds { lower: lower_best, upper: upper_best }
+    GroupDfdBounds {
+        lower: lower_best,
+        upper: upper_best,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -71,7 +71,12 @@ impl GroupPatternBounds {
                 *bb = b;
             }
         }
-        GroupPatternBounds { cross_a, cross_b, band_a, band_b }
+        GroupPatternBounds {
+            cross_a,
+            cross_b,
+            band_a,
+            band_b,
+        }
     }
 
     /// Combined pattern bound for block pair `(u, v)` under the selection.
@@ -97,7 +102,13 @@ impl GroupPatternBounds {
 }
 
 /// Sum of candidate pairs over all subsets starting inside block `(u, v)`.
-pub(crate) fn pairs_in_block(domain: Domain, grid: &GroupGrid, xi: usize, u: usize, v: usize) -> u128 {
+pub(crate) fn pairs_in_block(
+    domain: Domain,
+    grid: &GroupGrid,
+    xi: usize,
+    u: usize,
+    v: usize,
+) -> u128 {
     let (Some((alo, ahi)), Some((blo, bhi))) = (grid.range_a(u), grid.range_b(v)) else {
         return 0;
     };
@@ -111,7 +122,13 @@ pub(crate) fn pairs_in_block(domain: Domain, grid: &GroupGrid, xi: usize, u: usi
 }
 
 /// Whether block `(u, v)` contains at least one non-empty candidate subset.
-pub(crate) fn block_nonempty(domain: Domain, grid: &GroupGrid, xi: usize, u: usize, v: usize) -> bool {
+pub(crate) fn block_nonempty(
+    domain: Domain,
+    grid: &GroupGrid,
+    xi: usize,
+    u: usize,
+    v: usize,
+) -> bool {
     let (Some((alo, _ahi)), Some((blo, bhi))) = (grid.range_a(u), grid.range_b(v)) else {
         return false;
     };
@@ -300,7 +317,15 @@ impl Gtm {
         let mut buf = DpBuffers::with_width(domain.len_b());
         stats.bytes_dp = buf.bytes();
         process_sorted_subsets(
-            src, domain, xi, sel, &tables, &mut entries, &mut bsf, &mut stats, &mut buf,
+            src,
+            domain,
+            xi,
+            sel,
+            &tables,
+            &mut entries,
+            &mut bsf,
+            &mut stats,
+            &mut buf,
         );
 
         stats.total_seconds = started.elapsed().as_secs_f64();
@@ -319,7 +344,9 @@ impl<P: GroundDistance> MotifDiscovery<P> for Gtm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Within { n: trajectory.len() };
+        let domain = Domain::Within {
+            n: trajectory.len(),
+        };
         let src = DenseMatrix::within(trajectory.points());
         Self::run(&src, domain, config, 0.0, started)
     }
@@ -331,7 +358,10 @@ impl<P: GroundDistance> MotifDiscovery<P> for Gtm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let domain = Domain::Between {
+            n: a.len(),
+            m: b.len(),
+        };
         let src = DenseMatrix::between(a.points(), b.points());
         Self::run(&src, domain, config, 0.0, started)
     }
@@ -418,10 +448,10 @@ mod tests {
         // Block (4, 0) is below the diagonal in practice (i ≥ 32, j ≤ 7).
         assert!(!block_nonempty(domain, &grid, xi, 4, 0));
         // pairs_in_block sums subsets exactly.
-        let total: u128 =
-            (0..grid.ga).flat_map(|u| (0..grid.gb).map(move |v| (u, v)))
-                .map(|(u, v)| pairs_in_block(domain, &grid, xi, u, v))
-                .sum();
+        let total: u128 = (0..grid.ga)
+            .flat_map(|u| (0..grid.gb).map(move |v| (u, v)))
+            .map(|(u, v)| pairs_in_block(domain, &grid, xi, u, v))
+            .sum();
         assert_eq!(total, domain.pairs_count(xi));
     }
 
@@ -434,7 +464,10 @@ mod tests {
         // Every non-empty subset's block must be listed.
         for (i, j) in domain.subsets(xi) {
             let (u, v) = (grid.group_of(i) as u32, grid.group_of(j) as u32);
-            assert!(pairs.contains(&(u, v)), "subset ({i},{j}) block ({u},{v}) missing");
+            assert!(
+                pairs.contains(&(u, v)),
+                "subset ({i},{j}) block ({u},{v}) missing"
+            );
         }
     }
 

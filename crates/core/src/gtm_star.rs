@@ -92,7 +92,15 @@ impl GtmStar {
         let mut buf = DpBuffers::with_width(domain.len_b());
         stats.bytes_dp = buf.bytes();
         process_sorted_subsets(
-            src, domain, xi, sel, &tables, &mut entries, &mut bsf, &mut stats, &mut buf,
+            src,
+            domain,
+            xi,
+            sel,
+            &tables,
+            &mut entries,
+            &mut bsf,
+            &mut stats,
+            &mut buf,
         );
 
         stats.total_seconds = started.elapsed().as_secs_f64();
@@ -111,7 +119,9 @@ impl<P: GroundDistance> MotifDiscovery<P> for GtmStar {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Within { n: trajectory.len() };
+        let domain = Domain::Within {
+            n: trajectory.len(),
+        };
         let src = LazyDistances::within(trajectory.points());
         Self::run(&src, domain, config, started)
     }
@@ -123,7 +133,10 @@ impl<P: GroundDistance> MotifDiscovery<P> for GtmStar {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let domain = Domain::Between {
+            n: a.len(),
+            m: b.len(),
+        };
         let src = LazyDistances::between(a.points(), b.points());
         Self::run(&src, domain, config, started)
     }

@@ -19,7 +19,6 @@
 use fremo_similarity::dfd_decision;
 use fremo_trajectory::{GroundDistance, Trajectory};
 
-
 /// Result of a similarity join.
 #[derive(Debug, Clone, Default)]
 pub struct JoinResult {
@@ -160,7 +159,9 @@ mod tests {
     use fremo_trajectory::EuclideanPoint;
 
     fn walks(n: usize, count: usize, seed: u64) -> Vec<Trajectory<EuclideanPoint>> {
-        (0..count).map(|k| planar::random_walk(n, 0.4, seed + k as u64)).collect()
+        (0..count)
+            .map(|k| planar::random_walk(n, 0.4, seed + k as u64))
+            .collect()
     }
 
     /// Exhaustive reference join.

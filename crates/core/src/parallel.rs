@@ -77,13 +77,13 @@ impl ParallelBtm {
 
         let cursor = AtomicUsize::new(0);
         let shared: Mutex<Bsf> = Mutex::new(Bsf::new());
-        let expanded: Vec<AtomicBool> =
-            entries.iter().map(|_| AtomicBool::new(false)).collect();
+        let expanded: Vec<AtomicBool> = entries.iter().map(|_| AtomicBool::new(false)).collect();
         let end_tables = if sel.end_cross { Some(&tables) } else { None };
 
         let workers = self.worker_count();
-        let worker_stats: Vec<Mutex<SearchStats>> =
-            (0..workers).map(|_| Mutex::new(SearchStats::default())).collect();
+        let worker_stats: Vec<Mutex<SearchStats>> = (0..workers)
+            .map(|_| Mutex::new(SearchStats::default()))
+            .collect();
 
         crossbeam::scope(|scope| {
             for w in 0..workers {
@@ -109,8 +109,16 @@ impl ParallelBtm {
                         local_stats.subsets_expanded += 1;
                         local_stats.pairs_exact += domain.pairs_in_subset(i, j, xi);
                         expand_subset(
-                            src, domain, xi, i, j, end_tables, true, &mut local_bsf,
-                            &mut local_stats, &mut buf,
+                            src,
+                            domain,
+                            xi,
+                            i,
+                            j,
+                            end_tables,
+                            true,
+                            &mut local_bsf,
+                            &mut local_stats,
+                            &mut buf,
                         );
                         // Publish improvements.
                         if let Some(m) = local_bsf.motif {
@@ -174,7 +182,9 @@ impl<P: GroundDistance + Sync> MotifDiscovery<P> for ParallelBtm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Within { n: trajectory.len() };
+        let domain = Domain::Within {
+            n: trajectory.len(),
+        };
         let src = DenseMatrix::within(trajectory.points());
         self.run(&src, domain, config, started)
     }
@@ -186,7 +196,10 @@ impl<P: GroundDistance + Sync> MotifDiscovery<P> for ParallelBtm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
-        let domain = Domain::Between { n: a.len(), m: b.len() };
+        let domain = Domain::Between {
+            n: a.len(),
+            m: b.len(),
+        };
         let src = DenseMatrix::between(a.points(), b.points());
         self.run(&src, domain, config, started)
     }
@@ -222,7 +235,9 @@ mod tests {
         let b = planar::random_walk(50, 0.4, 10);
         let cfg = MotifConfig::new(4);
         let serial = Btm.discover_between(&a, &b, &cfg).unwrap();
-        let par = ParallelBtm::default().discover_between(&a, &b, &cfg).unwrap();
+        let par = ParallelBtm::default()
+            .discover_between(&a, &b, &cfg)
+            .unwrap();
         assert!((par.distance - serial.distance).abs() < 1e-12);
     }
 
@@ -236,6 +251,9 @@ mod tests {
             + stats.pairs_pruned_band
             + stats.pairs_exact;
         assert_eq!(accounted, stats.pairs_total);
-        assert_eq!(stats.subsets_expanded + stats.subsets_skipped_sorted, stats.subsets_total);
+        assert_eq!(
+            stats.subsets_expanded + stats.subsets_skipped_sorted,
+            stats.subsets_total
+        );
     }
 }

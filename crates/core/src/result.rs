@@ -65,24 +65,40 @@ mod tests {
 
     #[test]
     fn lengths() {
-        let m = Motif { first: (2, 10), second: (15, 24), distance: 1.5 };
+        let m = Motif {
+            first: (2, 10),
+            second: (15, 24),
+            distance: 1.5,
+        };
         assert_eq!(m.first_len(), 9);
         assert_eq!(m.second_len(), 10);
     }
 
     #[test]
     fn within_validity() {
-        let m = Motif { first: (0, 5), second: (6, 12), distance: 0.0 };
+        let m = Motif {
+            first: (0, 5),
+            second: (6, 12),
+            distance: 0.0,
+        };
         assert!(m.is_valid_within(13, 4));
         assert!(!m.is_valid_within(13, 5)); // ie = i+5 not > i+5
         assert!(!m.is_valid_within(12, 4)); // je out of range
-        let overlapping = Motif { first: (0, 6), second: (6, 12), distance: 0.0 };
+        let overlapping = Motif {
+            first: (0, 6),
+            second: (6, 12),
+            distance: 0.0,
+        };
         assert!(!overlapping.is_valid_within(13, 4)); // ie == j
     }
 
     #[test]
     fn between_validity() {
-        let m = Motif { first: (0, 5), second: (0, 5), distance: 0.0 };
+        let m = Motif {
+            first: (0, 5),
+            second: (0, 5),
+            distance: 0.0,
+        };
         assert!(m.is_valid_between(6, 6, 4));
         assert!(!m.is_valid_between(6, 5, 4));
         assert!(!m.is_valid_between(6, 6, 5));
@@ -90,7 +106,11 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let m = Motif { first: (1, 2), second: (3, 4), distance: 0.25 };
+        let m = Motif {
+            first: (1, 2),
+            second: (3, 4),
+            distance: 0.25,
+        };
         let s = m.to_string();
         assert!(s.contains("S[1..=2]") && s.contains("S[3..=4]") && s.contains("0.25"));
     }

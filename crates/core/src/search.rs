@@ -79,7 +79,9 @@ pub fn process_sorted_subsets<D: DistanceSource>(
         let (i, j) = (e.i as usize, e.j as usize);
         let comps = tables.subset_bounds(src, sel, i, j);
         let pairs = domain.pairs_in_subset(i, j, xi);
-        let kind = comps.attribute(|v| bsf.prunable(v)).unwrap_or(BoundKind::Band);
+        let kind = comps
+            .attribute(|v| bsf.prunable(v))
+            .unwrap_or(BoundKind::Band);
         stats.record_subset_pruned(kind, pairs);
         stats.subsets_skipped_sorted += 1;
     }
@@ -121,15 +123,36 @@ mod tests {
         let mut stats = SearchStats::default();
         let mut buf = DpBuffers::default();
         for (i, j) in domain.subsets(xi) {
-            expand_subset(&src, domain, xi, i, j, None, false, &mut reference, &mut stats, &mut buf);
+            expand_subset(
+                &src,
+                domain,
+                xi,
+                i,
+                j,
+                None,
+                false,
+                &mut reference,
+                &mut stats,
+                &mut buf,
+            );
         }
 
         let mut entries = build_entries(&src, &tables, sel, domain.subsets(xi));
         let mut bsf = Bsf::new();
-        let mut stats2 =
-            SearchStats { pairs_total: domain.pairs_count(xi), ..SearchStats::default() };
+        let mut stats2 = SearchStats {
+            pairs_total: domain.pairs_count(xi),
+            ..SearchStats::default()
+        };
         process_sorted_subsets(
-            &src, domain, xi, sel, &tables, &mut entries, &mut bsf, &mut stats2, &mut buf,
+            &src,
+            domain,
+            xi,
+            sel,
+            &tables,
+            &mut entries,
+            &mut bsf,
+            &mut stats2,
+            &mut buf,
         );
 
         let r = reference.motif.expect("reference found a motif");
@@ -148,7 +171,10 @@ mod tests {
             + stats2.pairs_exact;
         assert_eq!(accounted, stats2.pairs_total);
         // And the bounds must prune something on this workload.
-        assert!(stats2.subsets_skipped_sorted > 0, "no pruning at all is suspicious");
+        assert!(
+            stats2.subsets_skipped_sorted > 0,
+            "no pruning at all is suspicious"
+        );
     }
 
     #[test]
@@ -164,7 +190,15 @@ mod tests {
         let mut stats = SearchStats::default();
         let mut buf = DpBuffers::default();
         process_sorted_subsets(
-            &src, domain, xi, sel, &tables, &mut entries, &mut bsf, &mut stats, &mut buf,
+            &src,
+            domain,
+            xi,
+            sel,
+            &tables,
+            &mut entries,
+            &mut bsf,
+            &mut stats,
+            &mut buf,
         );
         assert!(bsf.motif.is_some());
         assert_eq!(stats.subsets_skipped_sorted, 0); // nothing prunable

@@ -165,7 +165,11 @@ mod tests {
 
     #[test]
     fn pruned_fractions() {
-        let mut s = SearchStats { pairs_total: 100, pairs_exact: 8, ..SearchStats::default() };
+        let mut s = SearchStats {
+            pairs_total: 100,
+            pairs_exact: 8,
+            ..SearchStats::default()
+        };
         s.record_subset_pruned(BoundKind::Cell, 70);
         s.record_subset_pruned(BoundKind::Cross, 12);
         s.record_subset_pruned(BoundKind::Band, 10);

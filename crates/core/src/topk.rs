@@ -100,7 +100,9 @@ pub fn top_k_motifs<P: GroundDistance>(
     k: usize,
 ) -> Vec<Motif> {
     let started = Instant::now();
-    let domain = Domain::Within { n: trajectory.len() };
+    let domain = Domain::Within {
+        n: trajectory.len(),
+    };
     let src = DenseMatrix::within(trajectory.points());
     let xi = config.min_length;
     let sel = config.bounds;
@@ -129,7 +131,12 @@ pub fn top_k_motifs<P: GroundDistance>(
             })
             .collect();
 
-        let mut entries = build_entries(&src, &tables, sel, starts.iter().map(|&(i, j, _, _)| (i, j)));
+        let mut entries = build_entries(
+            &src,
+            &tables,
+            sel,
+            starts.iter().map(|&(i, j, _, _)| (i, j)),
+        );
         // Re-attach the caps after the sort by pairing on (i, j).
         let caps: std::collections::HashMap<(u32, u32), (usize, usize)> = starts
             .iter()
@@ -212,7 +219,12 @@ mod tests {
         }
         intervals.sort_unstable();
         for w in intervals.windows(2) {
-            assert!(w[0].1 < w[1].0, "intervals {:?} and {:?} overlap", w[0], w[1]);
+            assert!(
+                w[0].1 < w[1].0,
+                "intervals {:?} and {:?} overlap",
+                w[0],
+                w[1]
+            );
         }
         // Every reported motif satisfies the validity rules.
         for m in &top {

@@ -142,7 +142,13 @@ fn figure12_group_dfd_bounds_sandwich() {
     // Textbook dFmin/dFmax recurrence over the 2×2 group rectangle
     // ue ∈ {1,2}, ve ∈ {4,5}.
     let block_df = |use_max: bool| -> f64 {
-        let get = |u: usize, v: usize| if use_max { gm.dmax(u, v) } else { gm.dmin(u, v) };
+        let get = |u: usize, v: usize| {
+            if use_max {
+                gm.dmax(u, v)
+            } else {
+                gm.dmin(u, v)
+            }
+        };
         let c00 = get(1, 4);
         let c01 = c00.max(get(1, 5));
         let c10 = c00.max(get(2, 4));
@@ -194,7 +200,9 @@ fn shared_dp_agrees_with_textbook_recurrence_everywhere() {
         let mut bsf = Bsf::new();
         let mut stats = SearchStats::default();
         let mut buf = DpBuffers::default();
-        expand_subset(&m, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf);
+        expand_subset(
+            &m, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf,
+        );
 
         let mut best = f64::INFINITY;
         for ie in (i + xi + 1)..j {

@@ -71,7 +71,10 @@ mod tests {
     use fremo_trajectory::EuclideanPoint;
 
     fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
-        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+        coords
+            .iter()
+            .map(|&(x, y)| EuclideanPoint::new(x, y))
+            .collect()
     }
 
     #[test]
@@ -115,7 +118,10 @@ mod tests {
 
         let dtw_ab = dtw(&sa, &sb);
         let dtw_ac = dtw(&sa, &sc);
-        assert!(dtw_ac > dtw_ab, "DTW misranks due to oversampling: {dtw_ac} vs {dtw_ab}");
+        assert!(
+            dtw_ac > dtw_ab,
+            "DTW misranks due to oversampling: {dtw_ac} vs {dtw_ab}"
+        );
     }
 
     #[test]

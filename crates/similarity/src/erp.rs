@@ -90,7 +90,10 @@ mod tests {
     const G: EuclideanPoint = EuclideanPoint::new(0.0, 0.0);
 
     fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
-        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+        coords
+            .iter()
+            .map(|&(x, y)| EuclideanPoint::new(x, y))
+            .collect()
     }
 
     #[test]

@@ -57,7 +57,10 @@ mod tests {
     use fremo_trajectory::EuclideanPoint;
 
     fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
-        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+        coords
+            .iter()
+            .map(|&(x, y)| EuclideanPoint::new(x, y))
+            .collect()
     }
 
     #[test]

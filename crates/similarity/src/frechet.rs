@@ -149,7 +149,11 @@ pub fn dfd_decision<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
     let mut running = 0.0_f64;
     for (j, q) in inner.iter().enumerate() {
         running = running.max(outer[0].distance(q));
-        prev[j] = if running <= eps { running } else { f64::INFINITY };
+        prev[j] = if running <= eps {
+            running
+        } else {
+            f64::INFINITY
+        };
         if prev[j].is_infinite() {
             // Everything to the right of an infeasible first-row cell is
             // infeasible too.
@@ -165,7 +169,11 @@ pub fn dfd_decision<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
 
     for p in &outer[1..] {
         let d0 = p.distance(&inner[0]);
-        curr[0] = if d0 <= eps && prev[0].is_finite() { prev[0].max(d0) } else { f64::INFINITY };
+        curr[0] = if d0 <= eps && prev[0].is_finite() {
+            prev[0].max(d0)
+        } else {
+            f64::INFINITY
+        };
         let mut any_feasible = curr[0].is_finite();
         for j in 1..m {
             let reach = prev[j].min(prev[j - 1]).min(curr[j - 1]);
@@ -209,7 +217,10 @@ mod tests {
     use fremo_trajectory::EuclideanPoint;
 
     fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
-        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+        coords
+            .iter()
+            .map(|&(x, y)| EuclideanPoint::new(x, y))
+            .collect()
     }
 
     /// Exponential-time reference: tries every monotone coupling.
@@ -237,13 +248,19 @@ mod tests {
     #[test]
     fn matches_reference_on_small_inputs() {
         let cases = [
-            (pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]), pts(&[(0.0, 1.0), (2.0, 1.0)])),
+            (
+                pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]),
+                pts(&[(0.0, 1.0), (2.0, 1.0)]),
+            ),
             (pts(&[(0.0, 0.0)]), pts(&[(3.0, 4.0)])),
             (
                 pts(&[(0.0, 0.0), (1.0, 2.0), (2.0, -1.0), (3.0, 0.5)]),
                 pts(&[(0.5, 0.5), (1.5, 1.5), (2.5, 0.0), (3.5, 0.0), (4.0, 1.0)]),
             ),
-            (pts(&[(0.0, 0.0), (5.0, 5.0)]), pts(&[(0.0, 0.0), (5.0, 5.0)])),
+            (
+                pts(&[(0.0, 0.0), (5.0, 5.0)]),
+                pts(&[(0.0, 0.0), (5.0, 5.0)]),
+            ),
         ];
         for (a, b) in cases {
             let expected = dfd_reference(&a, &b);
@@ -274,10 +291,12 @@ mod tests {
     fn insensitive_to_resampling_density() {
         // The same path sampled at 5 vs 50 points: DFD stays small. This is
         // the paper's core argument for DFD over DTW (Figure 3).
-        let coarse: Vec<EuclideanPoint> =
-            (0..5).map(|i| EuclideanPoint::new(i as f64 * 2.5, 0.0)).collect();
-        let fine: Vec<EuclideanPoint> =
-            (0..50).map(|i| EuclideanPoint::new(i as f64 * 10.0 / 49.0, 0.0)).collect();
+        let coarse: Vec<EuclideanPoint> = (0..5)
+            .map(|i| EuclideanPoint::new(i as f64 * 2.5, 0.0))
+            .collect();
+        let fine: Vec<EuclideanPoint> = (0..50)
+            .map(|i| EuclideanPoint::new(i as f64 * 10.0 / 49.0, 0.0))
+            .collect();
         let d = dfd(&coarse, &fine);
         assert!(d < 1.3, "DFD should be small under resampling, got {d}");
     }
@@ -300,7 +319,10 @@ mod tests {
         for &(i, j) in &path {
             worst = worst.max(a[i].distance(&b[j]));
         }
-        assert!((worst - v).abs() < 1e-12, "path achieves {worst}, dfd is {v}");
+        assert!(
+            (worst - v).abs() < 1e-12,
+            "path achieves {worst}, dfd is {v}"
+        );
     }
 
     #[test]

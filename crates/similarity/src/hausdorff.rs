@@ -79,7 +79,10 @@ mod tests {
     use fremo_trajectory::EuclideanPoint;
 
     fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
-        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+        coords
+            .iter()
+            .map(|&(x, y)| EuclideanPoint::new(x, y))
+            .collect()
     }
 
     #[test]
@@ -103,9 +106,18 @@ mod tests {
     fn hausdorff_lower_bounds_dfd() {
         // DFD respects ordering, Hausdorff doesn't, so Hausdorff ≤ DFD.
         let cases = [
-            (pts(&[(0.0, 0.0), (1.0, 2.0), (2.0, 0.0)]), pts(&[(2.0, 0.1), (1.0, 2.2), (0.0, 0.3)])),
-            (pts(&[(0.0, 0.0), (5.0, 0.0)]), pts(&[(5.0, 0.0), (0.0, 0.0)])),
-            (pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]), pts(&[(0.0, 1.0), (2.0, 1.0)])),
+            (
+                pts(&[(0.0, 0.0), (1.0, 2.0), (2.0, 0.0)]),
+                pts(&[(2.0, 0.1), (1.0, 2.2), (0.0, 0.3)]),
+            ),
+            (
+                pts(&[(0.0, 0.0), (5.0, 0.0)]),
+                pts(&[(5.0, 0.0), (0.0, 0.0)]),
+            ),
+            (
+                pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]),
+                pts(&[(0.0, 1.0), (2.0, 1.0)]),
+            ),
         ];
         for (a, b) in cases {
             assert!(hausdorff(&a, &b) <= dfd(&a, &b) + 1e-12);

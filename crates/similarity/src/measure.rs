@@ -33,7 +33,10 @@ mod tests {
     use fremo_trajectory::EuclideanPoint;
 
     fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
-        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+        coords
+            .iter()
+            .map(|&(x, y)| EuclideanPoint::new(x, y))
+            .collect()
     }
 
     fn all_measures() -> Vec<Box<dyn SimilarityMeasure<EuclideanPoint>>> {
@@ -51,7 +54,10 @@ mod tests {
     fn table1_characteristics() {
         // The robustness flags must reproduce the paper's Table 1.
         for m in all_measures() {
-            let (rate, shift) = (m.robust_to_sampling_rate(), m.supports_local_time_shifting());
+            let (rate, shift) = (
+                m.robust_to_sampling_rate(),
+                m.supports_local_time_shifting(),
+            );
             match m.name() {
                 "ED" => assert!((!rate, !shift) == (true, true), "ED row wrong"),
                 "DTW" | "LCSS" | "EDR" => {
@@ -82,7 +88,12 @@ mod tests {
     fn identical_sequences_have_zero_distance() {
         let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
         for m in all_measures() {
-            assert_eq!(m.distance(&a, &a), 0.0, "{} nonzero on identical input", m.name());
+            assert_eq!(
+                m.distance(&a, &a),
+                0.0,
+                "{} nonzero on identical input",
+                m.name()
+            );
         }
     }
 

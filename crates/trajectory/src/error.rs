@@ -67,7 +67,10 @@ impl fmt::Display for Error {
                 write!(f, "{what} out of range: {value}")
             }
             Error::NonAscendingTimestamps { index } => {
-                write!(f, "timestamps must be strictly ascending (violation at index {index})")
+                write!(
+                    f,
+                    "timestamps must be strictly ascending (violation at index {index})"
+                )
             }
             Error::TimestampLengthMismatch { points, timestamps } => write!(
                 f,
@@ -77,7 +80,10 @@ impl fmt::Display for Error {
                 write!(f, "trajectory has {len} points but {required} are required")
             }
             Error::InvalidRange { start, end, len } => {
-                write!(f, "invalid subtrajectory range [{start}..={end}] for length {len}")
+                write!(
+                    f,
+                    "invalid subtrajectory range [{start}..={end}] for length {len}"
+                )
             }
             Error::NonFiniteCoordinate { index } => {
                 write!(f, "non-finite coordinate at index {index}")
@@ -109,11 +115,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::CoordinateOutOfRange { what: "latitude", value: 91.0 };
+        let e = Error::CoordinateOutOfRange {
+            what: "latitude",
+            value: 91.0,
+        };
         assert!(e.to_string().contains("latitude"));
         assert!(e.to_string().contains("91"));
 
-        let e = Error::InvalidRange { start: 3, end: 2, len: 10 };
+        let e = Error::InvalidRange {
+            start: 3,
+            end: 2,
+            len: 10,
+        };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('2') && s.contains("10"));
     }
@@ -129,7 +142,10 @@ mod tests {
 
     #[test]
     fn parse_error_reports_line() {
-        let e = Error::Parse { line: 42, message: "bad latitude".into() };
+        let e = Error::Parse {
+            line: 42,
+            message: "bad latitude".into(),
+        };
         assert!(e.to_string().contains("42"));
         assert!(e.to_string().contains("bad latitude"));
     }

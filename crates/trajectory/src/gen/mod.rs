@@ -89,7 +89,9 @@ impl std::str::FromStr for Dataset {
             "geolife" => Ok(Dataset::GeoLife),
             "truck" => Ok(Dataset::Truck),
             "baboon" | "wild-baboon" => Ok(Dataset::Baboon),
-            other => Err(format!("unknown dataset {other:?} (expected geolife|truck|baboon)")),
+            other => Err(format!(
+                "unknown dataset {other:?} (expected geolife|truck|baboon)"
+            )),
         }
     }
 }
@@ -158,9 +160,15 @@ mod tests {
             assert_eq!(a.points(), b.points(), "{d} not deterministic");
             assert_ne!(a.points(), c.points(), "{d} ignores seed");
             let ts = a.timestamps().expect("generators attach timestamps");
-            assert!(ts.windows(2).all(|w| w[1] > w[0]), "{d} timestamps not ascending");
+            assert!(
+                ts.windows(2).all(|w| w[1] > w[0]),
+                "{d} timestamps not ascending"
+            );
             for (i, p) in a.points().iter().enumerate() {
-                assert!(p.lat.is_finite() && p.lon.is_finite(), "{d} point {i} not finite");
+                assert!(
+                    p.lat.is_finite() && p.lon.is_finite(),
+                    "{d} point {i} not finite"
+                );
                 assert!((-90.0..=90.0).contains(&p.lat), "{d} lat out of range");
                 assert!((-180.0..=180.0).contains(&p.lon), "{d} lon out of range");
             }

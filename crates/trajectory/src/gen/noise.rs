@@ -22,8 +22,12 @@ pub fn with_gps_noise(t: &Trajectory<GeoPoint>, sigma_m: f64, seed: u64) -> Traj
         .points()
         .iter()
         .map(|p| {
-            let (lat, lon) =
-                step_m(p.lat, p.lon, randn(&mut rng) * sigma_m, randn(&mut rng) * sigma_m);
+            let (lat, lon) = step_m(
+                p.lat,
+                p.lon,
+                randn(&mut rng) * sigma_m,
+                randn(&mut rng) * sigma_m,
+            );
             GeoPoint::new_unchecked(lat, lon).with_alt(p.alt)
         })
         .collect();

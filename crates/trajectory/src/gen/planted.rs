@@ -55,9 +55,17 @@ impl PlantedMotif {
 /// Panics when `n < 4 * motif_len + 8` (not enough room to keep the halves
 /// non-overlapping with background in between) or `motif_len == 0`.
 #[must_use]
-pub fn planted(n: usize, motif_len: usize, noise_m: f64, seed: u64) -> (Trajectory<GeoPoint>, PlantedMotif) {
+pub fn planted(
+    n: usize,
+    motif_len: usize,
+    noise_m: f64,
+    seed: u64,
+) -> (Trajectory<GeoPoint>, PlantedMotif) {
     assert!(motif_len > 0, "motif_len must be positive");
-    assert!(n >= 4 * motif_len + 8, "n={n} too small for motif_len={motif_len}");
+    assert!(
+        n >= 4 * motif_len + 8,
+        "n={n} too small for motif_len={motif_len}"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x504C54); // "PLT"
 
     let base_lat = 39.9042;
@@ -133,7 +141,12 @@ pub fn planted(n: usize, motif_len: usize, noise_m: f64, seed: u64) -> (Trajecto
 
     (
         trajectory,
-        PlantedMotif { first_start, first_end, second_start, second_end },
+        PlantedMotif {
+            first_start,
+            first_end,
+            second_start,
+            second_end,
+        },
     )
 }
 
@@ -157,7 +170,10 @@ mod tests {
         let (t, m) = planted(500, 40, noise, 2);
         for k in 0..m.len() {
             let d = t[m.first_start + k].distance(&t[m.second_start + k]);
-            assert!(d <= noise + 1e-6, "point {k} displaced by {d} m > {noise} m");
+            assert!(
+                d <= noise + 1e-6,
+                "point {k} displaced by {d} m > {noise} m"
+            );
         }
     }
 

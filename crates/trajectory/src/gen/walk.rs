@@ -166,6 +166,9 @@ mod tests {
                 close_later += 1;
             }
         }
-        assert!(close_later > 0, "no revisit found — workload has no motif structure");
+        assert!(
+            close_later > 0,
+            "no revisit found — workload has no motif structure"
+        );
     }
 }

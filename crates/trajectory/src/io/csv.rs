@@ -84,7 +84,15 @@ pub fn read_csv_euclidean_from<R: BufRead>(reader: R) -> Result<Trajectory<Eucli
 ///
 /// I/O errors only.
 pub fn write_csv<W: Write>(out: &mut W, trajectory: &Trajectory<GeoPoint>) -> Result<()> {
-    writeln!(out, "# lat,lon{}", if trajectory.timestamps().is_some() { ",t" } else { "" })?;
+    writeln!(
+        out,
+        "# lat,lon{}",
+        if trajectory.timestamps().is_some() {
+            ",t"
+        } else {
+            ""
+        }
+    )?;
     match trajectory.timestamps() {
         Some(ts) => {
             for (p, t) in trajectory.points().iter().zip(ts) {
@@ -180,7 +188,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range_latitude() {
         let data = "95.0,10.0\n";
-        assert!(matches!(read_csv_from(data.as_bytes()), Err(Error::Parse { line: 1, .. })));
+        assert!(matches!(
+            read_csv_from(data.as_bytes()),
+            Err(Error::Parse { line: 1, .. })
+        ));
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub fn read_plt_from<R: BufRead>(reader: R) -> Result<Trajectory<GeoPoint>> {
         let days: f64 = parse_field(fields.next(), line_no, "timestamp days")?;
 
         // Skip GeoLife's error-marker coordinates rather than failing.
-        let Ok(point) = GeoPoint::new(lat, lon) else { continue };
+        let Ok(point) = GeoPoint::new(lat, lon) else {
+            continue;
+        };
         let mut t = days * DAY_SECONDS;
         if let Some(&prev) = timestamps.last() {
             if t <= prev {
@@ -119,10 +121,7 @@ Reserved 3\n\
 
     #[test]
     fn skips_error_marker_coordinates() {
-        let data = format!(
-            "{}400.0,-777.0,0,0,40097.60,2009-10-11,14:30:00\n",
-            SAMPLE
-        );
+        let data = format!("{}400.0,-777.0,0,0,40097.60,2009-10-11,14:30:00\n", SAMPLE);
         let t = read_plt_from(data.as_bytes()).unwrap();
         assert_eq!(t.len(), 3); // bad record dropped
     }

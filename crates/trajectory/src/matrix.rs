@@ -75,7 +75,11 @@ impl DenseMatrix {
                 data[b * n + a] = d;
             }
         }
-        DenseMatrix { len_a: n, len_b: n, data }
+        DenseMatrix {
+            len_a: n,
+            len_b: n,
+            data,
+        }
     }
 
     /// Precomputes all pair distances between two point sequences.
@@ -88,7 +92,11 @@ impl DenseMatrix {
                 data.push(a.distance(b));
             }
         }
-        DenseMatrix { len_a: na, len_b: nb, data }
+        DenseMatrix {
+            len_a: na,
+            len_b: nb,
+            data,
+        }
     }
 
     /// Builds a matrix directly from raw row-major values (used by unit
@@ -144,7 +152,10 @@ impl<'a, P: GroundDistance> LazyDistances<'a, P> {
     /// Lazy distances within a single point sequence.
     #[must_use]
     pub fn within(points: &'a [P]) -> Self {
-        LazyDistances { a_pts: points, b_pts: points }
+        LazyDistances {
+            a_pts: points,
+            b_pts: points,
+        }
     }
 
     /// Lazy distances between two point sequences.
@@ -301,7 +312,10 @@ mod tests {
     use crate::point::EuclideanPoint;
 
     fn pts(coords: &[(f64, f64)]) -> Vec<EuclideanPoint> {
-        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+        coords
+            .iter()
+            .map(|&(x, y)| EuclideanPoint::new(x, y))
+            .collect()
     }
 
     #[test]
@@ -402,8 +416,14 @@ mod tests {
     fn sliding_window_max_basic() {
         let v = [2.0, 1.0, 6.0, 1.0, 1.0, 5.0];
         assert_eq!(sliding_window_max(&v, 1), v.to_vec());
-        assert_eq!(sliding_window_max(&v, 2), vec![2.0, 6.0, 6.0, 1.0, 5.0, 5.0]);
-        assert_eq!(sliding_window_max(&v, 3), vec![6.0, 6.0, 6.0, 5.0, 5.0, 5.0]);
+        assert_eq!(
+            sliding_window_max(&v, 2),
+            vec![2.0, 6.0, 6.0, 1.0, 5.0, 5.0]
+        );
+        assert_eq!(
+            sliding_window_max(&v, 3),
+            vec![6.0, 6.0, 6.0, 5.0, 5.0, 5.0]
+        );
         assert_eq!(
             sliding_window_max(&v, 100),
             vec![6.0, 6.0, 6.0, 5.0, 5.0, 5.0]
@@ -427,7 +447,10 @@ mod tests {
             let fast = sliding_window_max(&vals, win);
             for i in 0..vals.len() {
                 let end = (i + win).min(vals.len());
-                let naive = vals[i..end].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let naive = vals[i..end]
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
                 assert_eq!(fast[i], naive, "win={win} i={i}");
             }
         }

@@ -47,10 +47,16 @@ impl GeoPoint {
     /// NaN case.
     pub fn new(lat: f64, lon: f64) -> Result<Self> {
         if !(-90.0..=90.0).contains(&lat) {
-            return Err(Error::CoordinateOutOfRange { what: "latitude", value: lat });
+            return Err(Error::CoordinateOutOfRange {
+                what: "latitude",
+                value: lat,
+            });
         }
         if !(-180.0..=180.0).contains(&lon) {
-            return Err(Error::CoordinateOutOfRange { what: "longitude", value: lon });
+            return Err(Error::CoordinateOutOfRange {
+                what: "longitude",
+                value: lon,
+            });
         }
         Ok(GeoPoint { lat, lon, alt: 0.0 })
     }
@@ -189,11 +195,17 @@ mod tests {
         assert!(GeoPoint::new(-90.0, -180.0).is_ok());
         assert!(matches!(
             GeoPoint::new(90.5, 0.0),
-            Err(Error::CoordinateOutOfRange { what: "latitude", .. })
+            Err(Error::CoordinateOutOfRange {
+                what: "latitude",
+                ..
+            })
         ));
         assert!(matches!(
             GeoPoint::new(0.0, 180.5),
-            Err(Error::CoordinateOutOfRange { what: "longitude", .. })
+            Err(Error::CoordinateOutOfRange {
+                what: "longitude",
+                ..
+            })
         ));
         assert!(GeoPoint::new(f64::NAN, 0.0).is_err());
         assert!(GeoPoint::new(0.0, f64::NAN).is_err());

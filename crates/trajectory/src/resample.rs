@@ -24,7 +24,10 @@ pub trait Lerp: Sized {
 
 impl Lerp for EuclideanPoint {
     fn lerp(&self, other: &Self, f: f64) -> Self {
-        EuclideanPoint::new(self.x + (other.x - self.x) * f, self.y + (other.y - self.y) * f)
+        EuclideanPoint::new(
+            self.x + (other.x - self.x) * f,
+            self.y + (other.y - self.y) * f,
+        )
     }
 }
 
@@ -115,7 +118,11 @@ pub fn resample_count<P: Lerp + GroundDistance + Clone>(
             seg += 1;
         }
         let seg_len = cum[seg + 1] - cum[seg];
-        let f = if seg_len > 0.0 { ((target - cum[seg]) / seg_len).clamp(0.0, 1.0) } else { 0.0 };
+        let f = if seg_len > 0.0 {
+            ((target - cum[seg]) / seg_len).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         out.push(pts[seg].lerp(&pts[seg + 1], f));
     }
     Some(Trajectory::new(out))
@@ -197,7 +204,10 @@ mod tests {
             vec![EuclideanPoint::new(1.0, 1.0); 5].into_iter().collect();
         let r = resample_count(&stationary, 3).unwrap();
         assert_eq!(r.len(), 3);
-        assert!(r.points().iter().all(|p| *p == EuclideanPoint::new(1.0, 1.0)));
+        assert!(r
+            .points()
+            .iter()
+            .all(|p| *p == EuclideanPoint::new(1.0, 1.0)));
 
         let single: Trajectory<EuclideanPoint> =
             vec![EuclideanPoint::new(0.0, 0.0)].into_iter().collect();

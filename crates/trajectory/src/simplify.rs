@@ -26,9 +26,12 @@ fn seg_dist_euclidean(p: &EuclideanPoint, a: &EuclideanPoint, b: &EuclideanPoint
 /// local equirectangular projection around `a` (accurate at GPS-segment
 /// scales).
 fn seg_dist_geo(p: &GeoPoint, a: &GeoPoint, b: &GeoPoint) -> f64 {
-    let scale_lon = crate::distance::EARTH_RADIUS_M * a.lat_rad().cos() * std::f64::consts::PI / 180.0;
+    let scale_lon =
+        crate::distance::EARTH_RADIUS_M * a.lat_rad().cos() * std::f64::consts::PI / 180.0;
     let scale_lat = crate::distance::EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
-    let to_xy = |g: &GeoPoint| EuclideanPoint::new((g.lon - a.lon) * scale_lon, (g.lat - a.lat) * scale_lat);
+    let to_xy = |g: &GeoPoint| {
+        EuclideanPoint::new((g.lon - a.lon) * scale_lon, (g.lat - a.lat) * scale_lat)
+    };
     seg_dist_euclidean(&to_xy(p), &to_xy(a), &to_xy(b))
 }
 
@@ -68,7 +71,10 @@ pub fn simplify_indices<P>(
             stack.push((worst_idx, hi));
         }
     }
-    keep.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect()
+    keep.iter()
+        .enumerate()
+        .filter_map(|(i, &k)| k.then_some(i))
+        .collect()
 }
 
 /// Simplifies a planar trajectory to within `tolerance` (coordinate
@@ -130,7 +136,10 @@ mod tests {
         .collect();
         let s = simplify_euclidean(&t, 0.5);
         // The corner at (10, 0) must survive.
-        assert!(s.points().iter().any(|p| p.distance_sq(&EuclideanPoint::new(10.0, 0.0)) < 1e-9));
+        assert!(s
+            .points()
+            .iter()
+            .any(|p| p.distance_sq(&EuclideanPoint::new(10.0, 0.0)) < 1e-9));
         assert!(s.len() >= 3);
     }
 

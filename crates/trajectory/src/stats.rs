@@ -44,7 +44,11 @@ impl TrajectoryStats {
             max_step = max_step.max(d);
         }
         let steps = len.saturating_sub(1);
-        let mean_step = if steps > 0 { path_length / steps as f64 } else { 0.0 };
+        let mean_step = if steps > 0 {
+            path_length / steps as f64
+        } else {
+            0.0
+        };
 
         let (mean_dt, dt_cv, duration) = match t.timestamps() {
             Some(ts) if ts.len() >= 2 => {
@@ -58,7 +62,15 @@ impl TrajectoryStats {
             _ => (None, None, None),
         };
 
-        TrajectoryStats { len, path_length, mean_step, max_step, mean_dt, dt_cv, duration }
+        TrajectoryStats {
+            len,
+            path_length,
+            mean_step,
+            max_step,
+            mean_dt,
+            dt_cv,
+            duration,
+        }
     }
 }
 

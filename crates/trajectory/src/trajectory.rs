@@ -33,7 +33,10 @@ impl<P> Trajectory<P> {
     /// Creates a trajectory from points without timestamps.
     #[must_use]
     pub fn new(points: Vec<P>) -> Self {
-        Trajectory { points, timestamps: None }
+        Trajectory {
+            points,
+            timestamps: None,
+        }
     }
 
     /// Creates a trajectory with timestamps, validating that the counts match
@@ -60,7 +63,10 @@ impl<P> Trajectory<P> {
                 return Err(Error::NonAscendingTimestamps { index: 0 });
             }
         }
-        Ok(Trajectory { points, timestamps: Some(timestamps) })
+        Ok(Trajectory {
+            points,
+            timestamps: Some(timestamps),
+        })
     }
 
     /// Number of points `n = |S|`.
@@ -106,9 +112,17 @@ impl<P> Trajectory<P> {
     /// [`Error::InvalidRange`] unless `start <= end < len`.
     pub fn sub(&self, start: usize, end: usize) -> Result<SubTrajectory<'_, P>> {
         if start > end || end >= self.points.len() {
-            return Err(Error::InvalidRange { start, end, len: self.points.len() });
+            return Err(Error::InvalidRange {
+                start,
+                end,
+                len: self.points.len(),
+            });
         }
-        Ok(SubTrajectory { trajectory: self, start, end })
+        Ok(SubTrajectory {
+            trajectory: self,
+            start,
+            end,
+        })
     }
 
     /// Consumes the trajectory and returns its parts.
@@ -270,7 +284,9 @@ impl<'a, P> SubTrajectory<'a, P> {
     /// Timestamps covering this view, if the parent has them.
     #[must_use]
     pub fn timestamps(&self) -> Option<&'a [f64]> {
-        self.trajectory.timestamps().map(|ts| &ts[self.start..=self.end])
+        self.trajectory
+            .timestamps()
+            .map(|ts| &ts[self.start..=self.end])
     }
 
     /// The parent trajectory.
@@ -311,13 +327,19 @@ impl<P> TrajectoryBuilder<P> {
     /// Creates an empty builder.
     #[must_use]
     pub fn new() -> Self {
-        TrajectoryBuilder { points: Vec::new(), timestamps: Vec::new() }
+        TrajectoryBuilder {
+            points: Vec::new(),
+            timestamps: Vec::new(),
+        }
     }
 
     /// Creates an empty builder with capacity for `n` points.
     #[must_use]
     pub fn with_capacity(n: usize) -> Self {
-        TrajectoryBuilder { points: Vec::with_capacity(n), timestamps: Vec::with_capacity(n) }
+        TrajectoryBuilder {
+            points: Vec::with_capacity(n),
+            timestamps: Vec::with_capacity(n),
+        }
     }
 
     /// Number of points appended so far.
@@ -340,7 +362,9 @@ impl<P> TrajectoryBuilder<P> {
     /// the previous timestamp (or is non-finite).
     pub fn push(&mut self, point: P, t: f64) -> Result<()> {
         if !t.is_finite() || self.timestamps.last().is_some_and(|&prev| t <= prev) {
-            return Err(Error::NonAscendingTimestamps { index: self.timestamps.len() });
+            return Err(Error::NonAscendingTimestamps {
+                index: self.timestamps.len(),
+            });
         }
         self.points.push(point);
         self.timestamps.push(t);
@@ -350,7 +374,10 @@ impl<P> TrajectoryBuilder<P> {
     /// Finishes the build.
     #[must_use]
     pub fn build(self) -> Trajectory<P> {
-        Trajectory { points: self.points, timestamps: Some(self.timestamps) }
+        Trajectory {
+            points: self.points,
+            timestamps: Some(self.timestamps),
+        }
     }
 }
 
@@ -360,7 +387,10 @@ mod tests {
     use crate::point::EuclideanPoint;
 
     fn planar(coords: &[(f64, f64)]) -> Trajectory<EuclideanPoint> {
-        coords.iter().map(|&(x, y)| EuclideanPoint::new(x, y)).collect()
+        coords
+            .iter()
+            .map(|&(x, y)| EuclideanPoint::new(x, y))
+            .collect()
     }
 
     #[test]
@@ -385,7 +415,10 @@ mod tests {
         ));
         assert!(matches!(
             Trajectory::with_timestamps(pts.clone(), vec![0.0, 1.0]),
-            Err(Error::TimestampLengthMismatch { points: 3, timestamps: 2 })
+            Err(Error::TimestampLengthMismatch {
+                points: 3,
+                timestamps: 2
+            })
         ));
         assert!(Trajectory::with_timestamps(pts, vec![f64::NAN, 1.0, 2.0]).is_err());
     }
@@ -438,7 +471,8 @@ mod tests {
     #[test]
     fn concat_without_timestamps_drops_them() {
         let a = planar(&[(0.0, 0.0)]);
-        let b = Trajectory::with_timestamps(vec![EuclideanPoint::new(1.0, 0.0)], vec![0.0]).unwrap();
+        let b =
+            Trajectory::with_timestamps(vec![EuclideanPoint::new(1.0, 0.0)], vec![0.0]).unwrap();
         assert!(a.concat(b).timestamps().is_none());
     }
 
@@ -467,7 +501,9 @@ mod tests {
         b.push(EuclideanPoint::new(0.0, 0.0), 0.0).unwrap();
         b.push(EuclideanPoint::new(1.0, 0.0), 1.5).unwrap();
         assert!(b.push(EuclideanPoint::new(2.0, 0.0), 1.5).is_err());
-        assert!(b.push(EuclideanPoint::new(2.0, 0.0), f64::INFINITY).is_err());
+        assert!(b
+            .push(EuclideanPoint::new(2.0, 0.0), f64::INFINITY)
+            .is_err());
         b.push(EuclideanPoint::new(2.0, 0.0), 2.0).unwrap();
         assert_eq!(b.len(), 3);
         let t = b.build();

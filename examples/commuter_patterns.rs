@@ -67,14 +67,28 @@ fn main() {
     let day2 = gen::geolife_like(DAY_LEN, 202);
     let day3 = rewalk(&day1, 0xBEEF);
     let log = day1.concat(day2).concat(day3);
-    println!("3-day log: {} samples, {:.1} km", log.len(), log.path_length() / 1000.0);
+    println!(
+        "3-day log: {} samples, {:.1} km",
+        log.len(),
+        log.path_length() / 1000.0
+    );
 
     let config = MotifConfig::new(60);
-    let motif = GtmStar.discover(&log, &config).expect("log long enough for ξ = 60");
+    let motif = GtmStar
+        .discover(&log, &config)
+        .expect("log long enough for ξ = 60");
 
     println!("repeated route found (DFD = {:.1} m):", motif.distance);
-    println!("  red:  {} - {}", clock(&log, motif.first.0), clock(&log, motif.first.1));
-    println!("  blue: {} - {}", clock(&log, motif.second.0), clock(&log, motif.second.1));
+    println!(
+        "  red:  {} - {}",
+        clock(&log, motif.first.0),
+        clock(&log, motif.first.1)
+    );
+    println!(
+        "  blue: {} - {}",
+        clock(&log, motif.second.0),
+        clock(&log, motif.second.1)
+    );
 
     let first = log.sub(motif.first.0, motif.first.1).unwrap();
     let second = log.sub(motif.second.0, motif.second.1).unwrap();

@@ -55,5 +55,8 @@ fn main() {
         (check.distance - motif.distance).abs() < 1e-9,
         "exact algorithms must agree"
     );
-    println!("  verified: BTM finds the same DFD ({:.1} m)", check.distance);
+    println!(
+        "  verified: BTM finds the same DFD ({:.1} m)",
+        check.distance
+    );
 }

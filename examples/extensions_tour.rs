@@ -48,7 +48,9 @@ fn main() {
 
     // --- Similarity join ----------------------------------------------------
     // Five trucks from the same depot family: whole-trajectory join.
-    let fleet: Vec<_> = (0..5).map(|k| Dataset::Truck.generate(300, 100 + k)).collect();
+    let fleet: Vec<_> = (0..5)
+        .map(|k| Dataset::Truck.generate(300, 100 + k))
+        .collect();
     let joined = similarity_self_join(&fleet, 8_000.0);
     println!("\nfleet self-join at 8 km: {}", joined.summary());
 }

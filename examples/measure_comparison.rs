@@ -26,9 +26,18 @@ fn main() {
     let mut backward = forward.clone();
     backward.reverse();
     println!("same points, opposite direction:");
-    println!("  ED  = {:8.2}  (small: points coincide)", lockstep_euclidean(&forward, &backward));
-    println!("  DFD = {:8.2}  (large: movement reversed)", dfd(&forward, &backward));
-    println!("  Hausdorff = {:.2} (zero: it is set-based)", hausdorff(&forward, &backward));
+    println!(
+        "  ED  = {:8.2}  (small: points coincide)",
+        lockstep_euclidean(&forward, &backward)
+    );
+    println!(
+        "  DFD = {:8.2}  (large: movement reversed)",
+        dfd(&forward, &backward)
+    );
+    println!(
+        "  Hausdorff = {:.2} (zero: it is set-based)",
+        hausdorff(&forward, &backward)
+    );
 
     // --- Phenomenon 2: DTW vs non-uniform sampling -----------------------
     let sa = path(50, 0.0);
@@ -44,10 +53,21 @@ fn main() {
     }
 
     println!("\nnon-uniform sampling (Sc follows Sa's path, oversampled):");
-    println!("  DTW(Sa,Sb) = {:9.1}   DTW(Sa,Sc) = {:9.1}", dtw(&sa, &sb), dtw(&sa, &sc));
-    println!("  DFD(Sa,Sb) = {:9.2}   DFD(Sa,Sc) = {:9.2}", dfd(&sa, &sb), dfd(&sa, &sc));
-    println!("  LCSS(Sa,Sb)= {:9.2}   LCSS(Sa,Sc)= {:9.2}",
-        lcss_distance(&sa, &sb, 2.0), lcss_distance(&sa, &sc, 2.0));
+    println!(
+        "  DTW(Sa,Sb) = {:9.1}   DTW(Sa,Sc) = {:9.1}",
+        dtw(&sa, &sb),
+        dtw(&sa, &sc)
+    );
+    println!(
+        "  DFD(Sa,Sb) = {:9.2}   DFD(Sa,Sc) = {:9.2}",
+        dfd(&sa, &sb),
+        dfd(&sa, &sc)
+    );
+    println!(
+        "  LCSS(Sa,Sb)= {:9.2}   LCSS(Sa,Sc)= {:9.2}",
+        lcss_distance(&sa, &sb, 2.0),
+        lcss_distance(&sa, &sc, 2.0)
+    );
 
     let dtw_wrong = dtw(&sa, &sc) > dtw(&sa, &sb);
     let dfd_right = dfd(&sa, &sc) < dfd(&sa, &sb);

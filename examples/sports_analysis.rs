@@ -20,10 +20,7 @@ fn set_play(phase: f64, noise: f64) -> Vec<EuclideanPoint> {
         .map(|k| {
             let s = k as f64 / 59.0;
             let wobble = noise * ((k as f64 * 1.7 + phase).sin());
-            EuclideanPoint::new(
-                20.0 + 70.0 * s + wobble,
-                5.0 + 25.0 * s * s + wobble * 0.5,
-            )
+            EuclideanPoint::new(20.0 + 70.0 * s + wobble, 5.0 + 25.0 * s * s + wobble * 0.5)
         })
         .collect()
 }
@@ -61,7 +58,10 @@ fn main() {
     let (motif, stats) = Btm.discover_with_stats(&trace, &config);
     let motif = motif.expect("trace long enough");
 
-    println!("recovered set play (DFD = {:.2} m): {motif}", motif.distance);
+    println!(
+        "recovered set play (DFD = {:.2} m): {motif}",
+        motif.distance
+    );
     println!(
         "  play 1 was planted at samples 150..=209, play 2 at {}..={}",
         150 + 60 + 200,
@@ -76,5 +76,8 @@ fn main() {
 
     // Sanity: the two halves really are within a couple of metres under
     // the optimal coupling.
-    assert!(motif.distance < 3.0, "expected the planted play to dominate");
+    assert!(
+        motif.distance < 3.0,
+        "expected the planted play to dominate"
+    );
 }

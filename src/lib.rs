@@ -20,7 +20,7 @@
 //! // A small GeoLife-like trajectory and a motif-length threshold.
 //! let trajectory = fremo::trajectory::gen::geolife_like(300, 42);
 //! let config = MotifConfig::new(20);
-//! let motif = Gtm::default().discover(&trajectory, &config).expect("found a motif");
+//! let motif = Gtm.discover(&trajectory, &config).expect("found a motif");
 //! println!(
 //!     "motif: S[{}..={}] ~ S[{}..={}]  dfd = {:.2} m",
 //!     motif.first.0, motif.first.1, motif.second.0, motif.second.1, motif.distance
@@ -34,7 +34,7 @@ pub use fremo_trajectory as trajectory;
 /// Convenient glob-importable surface of the most used items.
 pub mod prelude {
     pub use fremo_core::{
-        BoundKind, Btm, BruteDp, Gtm, GtmStar, Motif, MotifConfig, MotifDiscovery, SearchStats,
+        BoundKind, BruteDp, Btm, Gtm, GtmStar, Motif, MotifConfig, MotifDiscovery, SearchStats,
     };
     pub use fremo_similarity::{dfd, SimilarityMeasure};
     pub use fremo_trajectory::{

@@ -6,7 +6,12 @@ use fremo::prelude::*;
 use fremo::trajectory::gen::Dataset;
 
 fn algorithms() -> Vec<Box<dyn MotifDiscovery<GeoPoint>>> {
-    vec![Box::new(BruteDp), Box::new(Btm), Box::new(Gtm), Box::new(GtmStar)]
+    vec![
+        Box::new(BruteDp),
+        Box::new(Btm),
+        Box::new(Gtm),
+        Box::new(GtmStar),
+    ]
 }
 
 #[test]
@@ -18,7 +23,11 @@ fn within_all_datasets() {
             let mut reference: Option<f64> = None;
             for alg in algorithms() {
                 let m = alg.discover(&t, &cfg).expect("motif exists");
-                assert!(m.is_valid_within(t.len(), 8), "{}: invalid motif {m}", alg.name());
+                assert!(
+                    m.is_valid_within(t.len(), 8),
+                    "{}: invalid motif {m}",
+                    alg.name()
+                );
                 match reference {
                     None => reference = Some(m.distance),
                     Some(r) => assert!(
@@ -43,7 +52,11 @@ fn between_all_datasets() {
         let mut reference: Option<f64> = None;
         for alg in algorithms() {
             let m = alg.discover_between(&a, &b, &cfg).expect("motif exists");
-            assert!(m.is_valid_between(a.len(), b.len(), 7), "{}: {m}", alg.name());
+            assert!(
+                m.is_valid_between(a.len(), b.len(), 7),
+                "{}: {m}",
+                alg.name()
+            );
             match reference {
                 None => reference = Some(m.distance),
                 Some(r) => assert!(
@@ -102,7 +115,9 @@ fn boundary_lengths() {
     let t = Dataset::Baboon.generate(n, 4);
     let cfg = MotifConfig::new(xi);
     for alg in algorithms() {
-        let m = alg.discover(&t, &cfg).expect("single candidate must be found");
+        let m = alg
+            .discover(&t, &cfg)
+            .expect("single candidate must be found");
         assert_eq!(m.first, (0, xi + 1), "{}", alg.name());
         assert_eq!(m.second, (xi + 2, 2 * xi + 3), "{}", alg.name());
     }
@@ -124,6 +139,12 @@ fn motif_distance_matches_standalone_dfd() {
             &t.points()[m.first.0..=m.first.1],
             &t.points()[m.second.0..=m.second.1],
         );
-        assert!((d - m.distance).abs() < 1e-9, "{}: {} vs {}", alg.name(), d, m.distance);
+        assert!(
+            (d - m.distance).abs() < 1e-9,
+            "{}: {} vs {}",
+            alg.name(),
+            d,
+            m.distance
+        );
     }
 }

@@ -124,7 +124,10 @@ fn relaxed_bounds_never_exceed_tight_bounds() {
     let relaxed = RelaxedTables::build(&src, domain, xi);
     let tight = TightTables::build(&src, domain, xi);
     for (i, j) in domain.subsets(xi) {
-        assert!(relaxed.cross(i, j) <= tight.cross(i, j) + 1e-9, "cross at ({i},{j})");
+        assert!(
+            relaxed.cross(i, j) <= tight.cross(i, j) + 1e-9,
+            "cross at ({i},{j})"
+        );
         let tb = tight.band(i, j);
         if tb.is_finite() {
             assert!(relaxed.band(i, j) <= tb + 1e-9, "band at ({i},{j})");
@@ -144,7 +147,9 @@ fn disabling_bounds_never_changes_results_only_speed() {
         BoundSelection::cell_only(),
         BoundSelection::cell_cross(),
     ] {
-        let m = Btm.discover(&t, &MotifConfig::new(8).with_bounds(sel)).unwrap();
+        let m = Btm
+            .discover(&t, &MotifConfig::new(8).with_bounds(sel))
+            .unwrap();
         assert!(
             (m.distance - reference.distance).abs() < 1e-9,
             "{sel:?} changed the optimum"
@@ -160,7 +165,10 @@ fn between_domain_bounds_are_safe() {
     let a = planar::random_walk(18, 0.5, 41);
     let b = planar::random_walk(15, 0.5, 42);
     let xi = 2;
-    let domain = Domain::Between { n: a.len(), m: b.len() };
+    let domain = Domain::Between {
+        n: a.len(),
+        m: b.len(),
+    };
     let src = DenseMatrix::between(a.points(), b.points());
     for sel in [BoundSelection::all_relaxed(), BoundSelection::all_tight()] {
         let tables = BoundTables::build(&src, domain, xi, sel);
@@ -186,7 +194,10 @@ fn between_domain_group_bounds_are_safe() {
     let a = planar::random_walk(16, 0.5, 43);
     let b = planar::random_walk(14, 0.5, 44);
     let xi = 1;
-    let domain = Domain::Between { n: a.len(), m: b.len() };
+    let domain = Domain::Between {
+        n: a.len(),
+        m: b.len(),
+    };
     let src = DenseMatrix::between(a.points(), b.points());
     let gm = GroupMatrices::build(&src, domain, 4);
     for u in 0..gm.grid.ga {
@@ -207,7 +218,10 @@ fn between_domain_group_bounds_are_safe() {
                 }
             }
             if best.is_finite() {
-                assert!(bounds.upper + 1e-9 >= best, "block ({u},{v}): GUB too small");
+                assert!(
+                    bounds.upper + 1e-9 >= best,
+                    "block ({u},{v}): GUB too small"
+                );
             }
         }
     }

@@ -15,8 +15,14 @@ fn approximate_search_guarantee_on_gps_data() {
     let exact = Btm.discover(&t, &cfg).unwrap().distance;
     for eps in [0.05, 0.25, 1.0] {
         for (name, d) in [
-            ("approx-btm", ApproxBtm::new(eps).discover(&t, &cfg).unwrap().distance),
-            ("approx-gtm", ApproxGtm::new(eps).discover(&t, &cfg).unwrap().distance),
+            (
+                "approx-btm",
+                ApproxBtm::new(eps).discover(&t, &cfg).unwrap().distance,
+            ),
+            (
+                "approx-gtm",
+                ApproxGtm::new(eps).discover(&t, &cfg).unwrap().distance,
+            ),
         ] {
             assert!(d >= exact - 1e-9, "{name} beat the optimum");
             assert!(
@@ -69,7 +75,9 @@ fn top_k_on_truck_routes() {
 fn similarity_join_on_baboon_troop() {
     // Individuals of the same troop stay close ⇒ joins fire; a different
     // troop far away never joins.
-    let troop: Vec<_> = (0..4).map(|k| Dataset::Baboon.generate(120, 400 + k)).collect();
+    let troop: Vec<_> = (0..4)
+        .map(|k| Dataset::Baboon.generate(120, 400 + k))
+        .collect();
     let r = similarity_self_join(&troop, 2_000.0);
     assert!(!r.pairs.is_empty(), "troop members should join at 2 km");
 
@@ -109,7 +117,9 @@ fn preprocessing_pipeline_composes_with_discovery() {
     let xi = 8;
     if uniform.len() >= 2 * xi + 4 {
         let cfg = MotifConfig::new(xi);
-        let m = Gtm.discover(&uniform, &cfg).expect("motif on preprocessed trace");
+        let m = Gtm
+            .discover(&uniform, &cfg)
+            .expect("motif on preprocessed trace");
         assert!(m.is_valid_within(uniform.len(), xi));
     }
 }

@@ -19,7 +19,10 @@ fn algorithms_agree_on_noisy_data() {
         ("GTM", Gtm.discover(&degraded, &cfg).unwrap().distance),
         ("GTM*", GtmStar.discover(&degraded, &cfg).unwrap().distance),
     ] {
-        assert!((d - brute.distance).abs() < 1e-9, "{name} disagrees on noisy data");
+        assert!(
+            (d - brute.distance).abs() < 1e-9,
+            "{name} disagrees on noisy data"
+        );
     }
 }
 
@@ -51,7 +54,10 @@ fn motif_value_grows_gracefully_with_noise() {
         // points get displaced independently), and should stay bounded by
         // a few noise standard deviations.
         assert!(d <= cap, "sigma={sigma}: motif {d} blew past {cap}");
-        assert!(d >= last * 0.5, "sigma={sigma}: motif {d} dropped suspiciously from {last}");
+        assert!(
+            d >= last * 0.5,
+            "sigma={sigma}: motif {d} dropped suspiciously from {last}"
+        );
         last = d;
     }
 }

@@ -1,0 +1,54 @@
+//! Build-surface smoke test: the quickstart from the `fremo` crate docs
+//! (and the README) must run end-to-end through `fremo::prelude` alone.
+//! If re-exports drift or the umbrella crate stops wiring the sub-crates
+//! together, this fails before any doc reader does.
+
+use fremo::prelude::*;
+
+#[test]
+fn prelude_quickstart_runs_end_to_end() {
+    // Mirrors the `src/lib.rs` quickstart verbatim.
+    let trajectory = fremo::trajectory::gen::geolife_like(300, 42);
+    let config = MotifConfig::new(20);
+    let motif = Gtm.discover(&trajectory, &config).expect("found a motif");
+
+    assert!(motif.is_valid_within(trajectory.len(), 20));
+    assert!(motif.distance.is_finite() && motif.distance >= 0.0);
+    // The reported value is the actual DFD of the reported subtrajectories.
+    let (a0, a1) = motif.first;
+    let (b0, b1) = motif.second;
+    let d = dfd(&trajectory.points()[a0..=a1], &trajectory.points()[b0..=b1]);
+    assert!(
+        (d - motif.distance).abs() < 1e-9,
+        "reported {} but recomputed {d}",
+        motif.distance
+    );
+}
+
+#[test]
+fn prelude_exposes_every_quickstart_name() {
+    // Compile-time surface check: every name the docs lean on resolves
+    // through the prelude glob. Algorithms agree on a tiny instance.
+    let t: Trajectory<EuclideanPoint> = (0..40)
+        .map(|i| {
+            let x = f64::from(i);
+            EuclideanPoint::new(x, (x * 0.7).sin() * 3.0)
+        })
+        .collect();
+    let config = MotifConfig::new(3);
+    let brute = BruteDp.discover(&t, &config).expect("brute finds a motif");
+    for result in [
+        Btm.discover(&t, &config),
+        Gtm.discover(&t, &config),
+        GtmStar.discover(&t, &config),
+    ] {
+        let m = result.expect("algorithm finds a motif");
+        assert!((m.distance - brute.distance).abs() < 1e-9);
+    }
+
+    // SearchStats and BoundKind are part of the documented surface.
+    let (_, stats): (Option<Motif>, SearchStats) = Btm.discover_with_stats(&t, &config);
+    let pruned = stats.pairs_pruned_cell + stats.pairs_pruned_cross + stats.pairs_pruned_band;
+    assert_eq!(stats.pairs_total, stats.pairs_exact + pruned);
+    assert!((0.0..=1.0).contains(&stats.pruned_fraction_by(BoundKind::Cell)));
+}

@@ -1,0 +1,350 @@
+//! Minimal, API-compatible subset of `criterion`, vendored so the workspace
+//! builds offline. Provides [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros used by `harness = false` bench targets.
+//!
+//! Measurement is a plain adaptive timing loop (warm-up, then enough
+//! iterations to fill the measurement window) — no outlier analysis or
+//! statistics, but stable enough to seed a perf trajectory. Results are
+//! printed per benchmark and appended as JSON lines to
+//! `target/criterion/<bench-name>.json` (one object per benchmark:
+//! `{"id": ..., "mean_ns": ..., "iters": ...}`) so CI can archive them.
+//!
+//! `--quick` on the command line (real criterion's flag) shrinks warm-up
+//! and measurement windows ~10×; other CLI arguments are accepted and
+//! ignored. Swap the path dependency for crates.io `criterion = "0.5"`
+//! once network access is available.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group (subset of the real type).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, printed as `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// A parameter-only id, printed as the parameter itself.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    window: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = (self.window.as_secs_f64() / per_iter).clamp(1.0, 1e7) as u64;
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_secs_f64() * 1e9 / target as f64;
+        self.iters = target;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    warm_up: Duration,
+    window: Duration,
+}
+
+impl Settings {
+    fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        if quick {
+            Settings {
+                warm_up: Duration::from_millis(20),
+                window: Duration::from_millis(50),
+            }
+        } else {
+            Settings {
+                warm_up: Duration::from_millis(200),
+                window: Duration::from_millis(500),
+            }
+        }
+    }
+}
+
+/// The benchmark driver (subset of the real `Criterion`).
+pub struct Criterion {
+    settings: Settings,
+    results: Vec<(String, f64, u64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::from_args(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+        }
+    }
+
+    /// Times a single free-standing benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        self.run_one(id.to_string(), routine);
+        self
+    }
+
+    fn run_one<R: FnMut(&mut Bencher)>(&mut self, id: String, mut routine: R) {
+        let mut bencher = Bencher {
+            warm_up: self.settings.warm_up,
+            window: self.settings.window,
+            mean_ns: f64::NAN,
+            iters: 0,
+        };
+        routine(&mut bencher);
+        println!(
+            "{id:<50} {:>14} /iter   ({} iters)",
+            format_ns(bencher.mean_ns),
+            bencher.iters
+        );
+        self.results.push((id, bencher.mean_ns, bencher.iters));
+    }
+
+    /// Writes collected results as JSON lines under `target/criterion/`.
+    ///
+    /// Called by [`criterion_main!`]; harmless to call again.
+    pub fn finalize(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let Some(dir) = criterion_dir() else { return };
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let bench = std::env::args()
+            .next()
+            .map(PathBuf::from)
+            .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+            .map(|s| {
+                // Strip cargo's `-<hash>` suffix from the executable name.
+                match s.rsplit_once('-') {
+                    Some((base, hash)) if hash.len() == 16 => base.to_string(),
+                    _ => s,
+                }
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        let mut out = String::new();
+        for (id, mean_ns, iters) in &self.results {
+            let _ = writeln!(
+                out,
+                "{{\"id\": \"{}\", \"mean_ns\": {mean_ns}, \"iters\": {iters}}}",
+                id.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+        }
+        let path = dir.join(format!("{bench}.json"));
+        // A bench binary may hold several `criterion_group!`s, each calling
+        // `finalize` on its own `Criterion`: truncate on the first write of
+        // this process, append on later ones so no group's lines are lost.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static WROTE_THIS_PROCESS: AtomicBool = AtomicBool::new(false);
+        let append = WROTE_THIS_PROCESS.swap(true, Ordering::Relaxed);
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(append)
+            .truncate(!append)
+            .write(true)
+            .open(&path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, out.as_bytes()));
+        if written.is_ok() {
+            println!("criterion (shim): results written to {}", path.display());
+        }
+    }
+}
+
+/// Locates `<workspace>/target/criterion`, creating nothing yet.
+fn criterion_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return Some(PathBuf::from(dir).join("criterion"));
+    }
+    // Walk up from the current directory to the outermost dir containing a
+    // `target/` (the workspace root when run via cargo).
+    let mut found = None;
+    let mut cur = std::env::current_dir().ok()?;
+    loop {
+        if cur.join("target").is_dir() {
+            found = Some(cur.join("target").join("criterion"));
+        }
+        if !cur.pop() {
+            break;
+        }
+    }
+    found
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// One named group of benchmarks (subset of the real `BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim's loop adapts automatically.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim's loop adapts automatically.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times one benchmark in this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: R,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(id, routine);
+        self
+    }
+
+    /// Times one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(id, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runner callable from
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.finalize();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            settings: Settings {
+                warm_up: Duration::from_millis(1),
+                window: Duration::from_millis(2),
+            },
+            results: Vec::new(),
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1.is_finite() && c.results[0].1 >= 0.0);
+        assert!(c.results[0].2 >= 1);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("linear_space", 64).id, "linear_space/64");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert_eq!(format_ns(1500.0), "1.500 µs");
+        assert_eq!(format_ns(2.5e6), "2.500 ms");
+        assert_eq!(format_ns(3.2e9), "3.200 s");
+    }
+}

@@ -1,0 +1,66 @@
+//! Minimal, API-compatible subset of `crossbeam`, vendored so the workspace
+//! builds offline: [`scope`] for structured borrowing threads, implemented
+//! on top of `std::thread::scope` (stabilized since crossbeam introduced the
+//! pattern). The visible difference from real crossbeam is panic handling:
+//! a panicking child makes the enclosing `std::thread::scope` panic instead
+//! of surfacing as `Err`, which is equivalent for callers that `.expect()`
+//! the result — as this workspace does.
+//!
+//! Swap the path dependency for crates.io `crossbeam = "0.8"` once network
+//! access is available.
+
+#![warn(missing_docs)]
+
+/// Scoped-thread handle passed to [`scope`] closures (mirrors
+/// `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread that may borrow from the enclosing scope. The closure
+    /// receives the scope again so it can spawn nested threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which spawned threads may borrow non-`'static` data;
+/// all threads are joined before the call returns.
+///
+/// # Errors
+///
+/// Never returns `Err` in the shim: a panicking child propagates through
+/// `std::thread::scope` as a panic instead.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    sum.fetch_add(
+                        chunk.iter().sum::<u64>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    )
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.into_inner(), 10);
+    }
+}

@@ -1,0 +1,25 @@
+//! Minimal, API-compatible subset of `serde`, vendored so the workspace
+//! builds offline. It provides the [`Serialize`] / [`Deserialize`] marker
+//! traits and re-exports the matching derive macros (which currently emit
+//! marker impls only — no actual serialization machinery is generated).
+//!
+//! The workspace uses serde derives as forward-looking annotations on the
+//! data model; the only concrete JSON produced today goes through the
+//! `serde_json` shim's [`json!`]-built values, which do not consult these
+//! traits. Swap the path dependency for crates.io `serde = { version = "1",
+//! features = ["derive"] }` once network access is available.
+
+#![warn(missing_docs)]
+
+/// Marker for types that can be serialized (shim: no methods).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (shim: no methods).
+pub trait Deserialize<'de> {}
+
+/// Owned-deserialization alias mirror of serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,111 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` traits are pure markers, so the
+//! derives emit a marker impl for the annotated type (handling the simple
+//! generics the workspace uses). No serialization code is generated.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(type_name, generic_params)` from a struct/enum definition.
+///
+/// Returns the identifier following the `struct`/`enum` keyword and the
+/// *names* of its generic type parameters (bounds stripped, lifetimes
+/// skipped), e.g. `Trajectory` + `["P"]` for `struct Trajectory<P: Ord>`.
+fn parse_item(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("serde shim derive: expected `struct` or `enum`");
+
+    // Collect top-level generic type-parameter names from `<...>`, if any.
+    let mut params = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        let mut skip_lifetime_name = false;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                    expect_param = false; // bounds follow; skip to comma
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 => {
+                    skip_lifetime_name = true;
+                }
+                TokenTree::Ident(_) if skip_lifetime_name => {
+                    skip_lifetime_name = false;
+                }
+                TokenTree::Ident(id) if depth == 1 && expect_param && id.to_string() != "const" => {
+                    params.push(id.to_string());
+                    expect_param = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    (name, params)
+}
+
+/// Derives the shim's marker `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let code = if params.is_empty() {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    } else {
+        let decl: Vec<String> = params
+            .iter()
+            .map(|p| format!("{p}: ::serde::Serialize"))
+            .collect();
+        let args = params.join(", ");
+        format!(
+            "impl<{}> ::serde::Serialize for {name}<{args}> {{}}",
+            decl.join(", ")
+        )
+    };
+    code.parse()
+        .expect("serde shim derive: generated impl parses")
+}
+
+/// Derives the shim's marker `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let code = if params.is_empty() {
+        format!("impl<'de_shim> ::serde::Deserialize<'de_shim> for {name} {{}}")
+    } else {
+        let decl: Vec<String> = params
+            .iter()
+            .map(|p| format!("{p}: ::serde::Deserialize<'de_shim>"))
+            .collect();
+        let args = params.join(", ");
+        format!(
+            "impl<'de_shim, {}> ::serde::Deserialize<'de_shim> for {name}<{args}> {{}}",
+            decl.join(", ")
+        )
+    };
+    code.parse()
+        .expect("serde shim derive: generated impl parses")
+}

@@ -1,0 +1,293 @@
+//! Minimal, API-compatible subset of `serde_json`, vendored so the
+//! workspace builds offline: a [`Value`] tree, the [`json!`] macro (objects,
+//! arrays, `null`, and arbitrary expressions convertible via [`From`]), and
+//! [`to_string`] / [`to_string_pretty`] over `Value`. Object key order is
+//! preserved (insertion order), matching what the CLI prints.
+//!
+//! Swap the path dependency for crates.io `serde_json = "1"` once network
+//! access is available; the `json!` call sites need no changes.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (stored as `f64`; integers print without `.0`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+macro_rules! value_from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(v as f64)
+            }
+        }
+    )*};
+}
+
+value_from_number!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string(); // serde_json serializes non-finite as null
+    }
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, pretty: bool, indent: usize) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&number_to_string(*n)),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&PAD.repeat(indent + 1));
+                }
+                write_value(item, out, pretty, indent + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&PAD.repeat(indent + 1));
+                }
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, out, pretty, indent + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(self, &mut out, false, 0);
+        f.write_str(&out)
+    }
+}
+
+/// Serialization error (the shim's writer is infallible; kept for API parity).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a [`Value`] to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in the shim; the `Result` mirrors the real API.
+pub fn to_string(value: &Value) -> Result<String> {
+    let mut out = String::new();
+    write_value(value, &mut out, false, 0);
+    Ok(out)
+}
+
+/// Serializes a [`Value`] to a pretty-printed (2-space indented) string.
+///
+/// # Errors
+///
+/// Never fails in the shim; the `Result` mirrors the real API.
+pub fn to_string_pretty(value: &Value) -> Result<String> {
+    let mut out = String::new();
+    write_value(value, &mut out, true, 0);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from JSON-like syntax: objects, arrays, `null`, and
+/// Rust expressions convertible into `Value` via [`From`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($body:tt)+ }) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let entries = {
+            let mut entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+                ::std::vec::Vec::new();
+            $crate::json_object_entries!(entries ; $($body)+);
+            entries
+        };
+        $crate::Value::Object(entries)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_entries {
+    ($entries:ident ;) => {};
+    ($entries:ident ; $key:literal : $($rest:tt)*) => {
+        $crate::json_object_value!($entries ; $key ; [] $($rest)*)
+    };
+}
+
+/// Implementation detail of [`json!`]: accumulates a value's tokens until a
+/// top-level comma (or the end of input), then recurses into [`json!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_value {
+    ($entries:ident ; $key:literal ; [$($val:tt)*] , $($rest:tt)*) => {
+        $entries.push((::std::string::String::from($key), $crate::json!($($val)*)));
+        $crate::json_object_entries!($entries ; $($rest)*)
+    };
+    ($entries:ident ; $key:literal ; [$($val:tt)*]) => {
+        $entries.push((::std::string::String::from($key), $crate::json!($($val)*)));
+    };
+    ($entries:ident ; $key:literal ; [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_object_value!($entries ; $key ; [$($val)* $next] $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Value;
+
+    #[test]
+    fn object_macro_preserves_order_and_nests() {
+        let inner = 0.5_f64;
+        let v = json!({
+            "motif": Some(json!({ "first": { "start": 3, "end": 9 }, "dfd": inner })),
+            "none": None::<Value>,
+            "count": 12usize,
+        });
+        let s = super::to_string(&v).unwrap();
+        assert_eq!(
+            s,
+            r#"{"motif":{"first":{"start":3,"end":9},"dfd":0.5},"none":null,"count":12}"#
+        );
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = json!({ "a": 1, "b": [1, 2] });
+        let s = super::to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({ "k": "a\"b\\c\nd" });
+        assert_eq!(super::to_string(&v).unwrap(), r#"{"k":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(super::number_to_string(3.0), "3");
+        assert_eq!(super::number_to_string(3.25), "3.25");
+        assert_eq!(super::number_to_string(f64::NAN), "null");
+    }
+}
