@@ -21,10 +21,8 @@ fn bench_ablations(c: &mut Criterion) {
 
     // End-cross clamp.
     let with_end = MotifConfig::new(xi);
-    let without_end = MotifConfig::new(xi).with_bounds(BoundSelection {
-        end_cross: false,
-        ..BoundSelection::all_relaxed()
-    });
+    let without_end =
+        MotifConfig::new(xi).with_bounds(BoundSelection::all_relaxed().with_end_cross(false));
     group.bench_function("btm_end_cross_on", |b| {
         b.iter(|| run_algorithm(Algorithm::Btm, std::hint::black_box(&t), &with_end))
     });

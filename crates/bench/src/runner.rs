@@ -1,6 +1,11 @@
 //! Algorithm dispatch and measurement.
+//!
+//! Every measured search runs through a fresh [`Engine`] session
+//! (cold cache), so the experiments exercise the same facade production
+//! traffic uses while still timing full precomputation as the paper does.
 
-use fremo_core::{BruteDp, Btm, Gtm, GtmStar, Motif, MotifConfig, MotifDiscovery, SearchStats};
+use fremo_core::engine::{AlgorithmChoice, Engine, Query, QueryOutcome};
+use fremo_core::{MotifConfig, SearchStats};
 use fremo_trajectory::{GeoPoint, Trajectory};
 use serde::Serialize;
 
@@ -39,6 +44,17 @@ impl Algorithm {
             Algorithm::GtmStar => "GTM*",
         }
     }
+
+    /// The engine-level choice this method maps to.
+    #[must_use]
+    pub fn choice(&self) -> AlgorithmChoice {
+        match self {
+            Algorithm::BruteDp => AlgorithmChoice::BruteDp,
+            Algorithm::Btm => AlgorithmChoice::Btm,
+            Algorithm::Gtm => AlgorithmChoice::Gtm,
+            Algorithm::GtmStar => AlgorithmChoice::GtmStar,
+        }
+    }
 }
 
 impl std::fmt::Display for Algorithm {
@@ -61,14 +77,22 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    fn from_parts(motif: Option<Motif>, stats: &SearchStats) -> Self {
+    fn from_outcome(outcome: &QueryOutcome) -> Self {
         Measurement {
-            seconds: stats.total_seconds,
-            bytes: stats.peak_bytes(),
-            distance: motif.map(|m| m.distance),
-            pruned_fraction: stats.pruned_fraction(),
+            seconds: outcome.stats.total_seconds,
+            bytes: outcome.stats.peak_bytes(),
+            distance: outcome.motif().map(|m| m.distance),
+            pruned_fraction: outcome.stats.pruned_fraction(),
         }
     }
+}
+
+fn configured(builder: fremo_core::engine::QueryBuilder, config: &MotifConfig) -> Query {
+    builder
+        .xi(config.min_length)
+        .bounds(config.bounds)
+        .group_size(config.group_size)
+        .build()
 }
 
 /// Runs one algorithm on one trajectory and reports the measurement plus
@@ -79,13 +103,15 @@ pub fn run_algorithm(
     trajectory: &Trajectory<GeoPoint>,
     config: &MotifConfig,
 ) -> (Measurement, SearchStats) {
-    let (motif, stats) = match algorithm {
-        Algorithm::BruteDp => BruteDp.discover_with_stats(trajectory, config),
-        Algorithm::Btm => Btm.discover_with_stats(trajectory, config),
-        Algorithm::Gtm => Gtm.discover_with_stats(trajectory, config),
-        Algorithm::GtmStar => GtmStar.discover_with_stats(trajectory, config),
-    };
-    (Measurement::from_parts(motif, &stats), stats)
+    // Registration clones the trajectory, but the engine's timer starts
+    // inside execute(), so Measurement.seconds (what the figures plot)
+    // covers exactly the search + precomputation, as before; the clone
+    // is O(n) noise against the O(n²)+ search in any measured workload.
+    let mut engine = Engine::new();
+    let id = engine.register(trajectory.clone());
+    let query = configured(Query::motif(id), config).with_algorithm(algorithm.choice());
+    let outcome = engine.execute(&query).expect("valid motif query");
+    (Measurement::from_outcome(&outcome), outcome.stats)
 }
 
 /// Two-trajectory variant of [`run_algorithm`] (Figure 21).
@@ -96,13 +122,13 @@ pub fn run_algorithm_between(
     b: &Trajectory<GeoPoint>,
     config: &MotifConfig,
 ) -> (Measurement, SearchStats) {
-    let (motif, stats) = match algorithm {
-        Algorithm::BruteDp => BruteDp.discover_between_with_stats(a, b, config),
-        Algorithm::Btm => Btm.discover_between_with_stats(a, b, config),
-        Algorithm::Gtm => Gtm.discover_between_with_stats(a, b, config),
-        Algorithm::GtmStar => GtmStar.discover_between_with_stats(a, b, config),
-    };
-    (Measurement::from_parts(motif, &stats), stats)
+    let mut engine = Engine::new();
+    let ida = engine.register(a.clone());
+    let idb = engine.register(b.clone());
+    let query =
+        configured(Query::motif_between(ida, idb), config).with_algorithm(algorithm.choice());
+    let outcome = engine.execute(&query).expect("valid motif query");
+    (Measurement::from_outcome(&outcome), outcome.stats)
 }
 
 /// Averages seconds/bytes over repetitions and cross-checks that every

@@ -8,6 +8,7 @@
 //! per-repetition trajectories fans out over crossbeam scoped threads —
 //! generation only; timed searches always run sequentially.
 
+use fremo_core::engine::{Engine, TrajId};
 use fremo_trajectory::gen::Dataset;
 use fremo_trajectory::{GeoPoint, Trajectory};
 
@@ -30,6 +31,22 @@ pub fn trajectories(
     })
     .expect("generator threads do not panic");
     out.into_iter().map(|t| t.expect("filled")).collect()
+}
+
+/// Builds a workload and registers it with a fresh [`Engine`] session —
+/// the corpus form for session-style measurements (used by
+/// `benches/engine_overhead.rs`; the seam future serving frontends plug
+/// into).
+#[must_use]
+pub fn corpus(
+    dataset: Dataset,
+    n: usize,
+    reps: usize,
+    base_seed: u64,
+) -> (Engine<GeoPoint>, Vec<TrajId>) {
+    let mut engine = Engine::new();
+    let ids = engine.register_all(trajectories(dataset, n, reps, base_seed));
+    (engine, ids)
 }
 
 /// Builds `reps` *pairs* of trajectories for the two-trajectory variant
@@ -55,6 +72,18 @@ mod tests {
         let par = trajectories(Dataset::Truck, 200, 3, 7);
         for (rep, t) in par.iter().enumerate() {
             let seq = Dataset::Truck.generate(200, 7 + rep as u64);
+            assert_eq!(t.points(), seq.points());
+        }
+    }
+
+    #[test]
+    fn corpus_registers_every_repetition() {
+        let (engine, ids) = corpus(Dataset::Baboon, 120, 4, 9);
+        assert_eq!(engine.len(), 4);
+        assert_eq!(ids.len(), 4);
+        for (rep, id) in ids.iter().enumerate() {
+            let t = engine.trajectory(*id).expect("registered");
+            let seq = Dataset::Baboon.generate(120, 9 + rep as u64);
             assert_eq!(t.points(), seq.points());
         }
     }

@@ -1,12 +1,17 @@
 //! Subcommand implementations.
+//!
+//! Every analysis subcommand (`discover`, `discover-pair`, `compare`)
+//! routes through one [`Engine`] session, so the CLI exercises exactly
+//! the facade that library users and future server frontends see, and
+//! `--json` emits one stable schema across commands (see
+//! [`outcome_to_json`]).
 
 use std::io::Write as _;
 use std::path::Path;
 
 use fremo_bench::experiments::{self, print_all};
 use fremo_bench::Scale;
-use fremo_core::{BruteDp, Btm, Gtm, GtmStar, Motif, MotifConfig, MotifDiscovery, SearchStats};
-use fremo_similarity::{dfd, dtw, edr, hausdorff, lcss_distance, lockstep_euclidean};
+use fremo_core::engine::{AlgorithmChoice, Engine, Query, QueryBudget, QueryBuilder, QueryOutcome};
 use fremo_trajectory::gen::Dataset;
 use fremo_trajectory::io::{read_csv, read_plt, write_csv};
 use fremo_trajectory::{GeoPoint, Trajectory, TrajectoryStats};
@@ -26,16 +31,39 @@ fn load(path_str: &str) -> Result<Trajectory<GeoPoint>, String> {
     result.map_err(|e| format!("cannot read {path_str}: {e}"))
 }
 
-fn algorithm(name: &str) -> Result<Box<dyn MotifDiscovery<GeoPoint>>, String> {
-    match name {
-        "brute" | "brutedp" => Ok(Box::new(BruteDp)),
-        "btm" => Ok(Box::new(Btm)),
-        "gtm" => Ok(Box::new(Gtm)),
-        "gtm-star" | "gtm*" => Ok(Box::new(GtmStar)),
-        other => Err(format!(
-            "unknown algorithm {other:?} (brute|btm|gtm|gtm-star)"
-        )),
+/// Parses `--algorithm`; the error lists every valid name.
+fn algorithm(args: &Parsed) -> Result<AlgorithmChoice, String> {
+    match args.optional("algorithm") {
+        None => Ok(AlgorithmChoice::Auto),
+        Some(name) => name.parse::<AlgorithmChoice>().map_err(|e| e.to_string()),
     }
+}
+
+/// Applies the shared tuning flags (`--tau`, `--budget-seconds`,
+/// `--budget-subsets`) to a query builder.
+fn tuned(mut builder: QueryBuilder, args: &Parsed) -> Result<QueryBuilder, String> {
+    let tau: usize = args.parsed_or("tau", 32)?;
+    builder = builder.group_size(tau.max(1));
+    let mut budget = QueryBudget::default();
+    if let Some(secs) = args.optional("budget-seconds") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|e| format!("invalid value for --budget-seconds: {e}"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err("--budget-seconds must be finite and ≥ 0".into());
+        }
+        budget = budget.with_max_seconds(secs);
+    }
+    if let Some(subsets) = args.optional("budget-subsets") {
+        let subsets: u64 = subsets
+            .parse()
+            .map_err(|e| format!("invalid value for --budget-subsets: {e}"))?;
+        budget = budget.with_max_subsets(subsets);
+    }
+    if !budget.is_unlimited() {
+        builder = builder.budget(budget);
+    }
+    Ok(builder)
 }
 
 /// `fremo generate --dataset <d> --n <len> [--seed <u64>] [--out <file>]`
@@ -69,77 +97,170 @@ pub fn inspect(args: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn print_motif(motif: Option<&Motif>, stats: &SearchStats, json: bool) -> Result<(), String> {
-    if json {
-        let payload = serde_json::json!({
-            "motif": motif.map(|m| serde_json::json!({
+/// The one stable JSON schema every engine-backed subcommand emits:
+///
+/// ```json
+/// {
+///   "query": "<motif|topk|motif-pair|compare>",
+///   "algorithm": "<resolved algorithm name>",
+///   "motifs": [ { "first": {"start", "end"}, "second": {...}, "dfd" } ],
+///   "measures": { ... } | null,
+///   "stats": { "seconds", "peak_bytes", "pruned_fraction",
+///              "subsets_total", "subsets_expanded" },
+///   "wall_seconds": <engine wall time>,
+///   "truncated": <budget hit>
+/// }
+/// ```
+///
+/// Top-k caveat: `subsets_expanded` aggregates work across the `k`
+/// masked rounds while `subsets_total` counts one round's search space,
+/// so for `"query": "topk"` the ratio of the two can exceed 1.
+#[must_use]
+pub fn outcome_to_json(label: &str, outcome: &QueryOutcome) -> serde_json::Value {
+    let motifs: Vec<serde_json::Value> = outcome
+        .motifs()
+        .iter()
+        .map(|m| {
+            serde_json::json!({
                 "first": { "start": m.first.0, "end": m.first.1 },
                 "second": { "start": m.second.0, "end": m.second.1 },
                 "dfd": m.distance,
-            })),
-            "seconds": stats.total_seconds,
-            "peak_bytes": stats.peak_bytes(),
-            "pruned_fraction": stats.pruned_fraction(),
-            "subsets_total": stats.subsets_total,
-            "subsets_expanded": stats.subsets_expanded,
-        });
+            })
+        })
+        .collect();
+    let measures = outcome.measures().map(|p| {
+        serde_json::json!({
+            "euclidean": p.euclidean,
+            "dtw": p.dtw,
+            "lcss": p.lcss,
+            "edr": p.edr,
+            "dfd": p.dfd,
+            "hausdorff": p.hausdorff,
+            "epsilon": p.epsilon,
+        })
+    });
+    serde_json::json!({
+        "query": label,
+        "algorithm": outcome.algorithm,
+        "motifs": motifs,
+        "measures": measures,
+        "stats": {
+            "seconds": outcome.stats.total_seconds,
+            "peak_bytes": outcome.stats.peak_bytes(),
+            "pruned_fraction": outcome.stats.pruned_fraction(),
+            "subsets_total": outcome.stats.subsets_total,
+            "subsets_expanded": outcome.stats.subsets_expanded,
+        },
+        "wall_seconds": outcome.wall_seconds,
+        "truncated": outcome.truncated,
+    })
+}
+
+fn print_outcome(label: &str, outcome: &QueryOutcome, json: bool) -> Result<(), String> {
+    if json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?
+            serde_json::to_string_pretty(&outcome_to_json(label, outcome))
+                .map_err(|e| e.to_string())?
         );
         return Ok(());
     }
-    match motif {
-        Some(m) => {
-            println!("motif: {m}");
-            println!(
-                "stats: {:.3}s, {:.1} MB peak, {:.1}% of candidate pairs pruned ({} of {} subsets expanded)",
-                stats.total_seconds,
-                stats.peak_bytes() as f64 / (1024.0 * 1024.0),
-                stats.pruned_fraction() * 100.0,
-                stats.subsets_expanded,
-                stats.subsets_total,
-            );
+    let motifs = outcome.motifs();
+    if motifs.is_empty() {
+        if outcome.truncated {
+            println!("no motif found within the budget (search truncated; raise --budget-seconds/--budget-subsets)");
+        } else {
+            println!("no valid motif (trajectory too short for the requested ξ)");
         }
-        None => println!("no valid motif (trajectory too short for the requested ξ)"),
+        return Ok(());
     }
+    if motifs.len() == 1 {
+        println!("motif: {}", motifs[0]);
+    } else {
+        for (rank, m) in motifs.iter().enumerate() {
+            println!("#{:<2} {m}", rank + 1);
+        }
+    }
+    let stats = &outcome.stats;
+    // Top-k runs k masked rounds over the same search space, so its
+    // expansion counter is work done, not a fraction of subsets_total.
+    let expansions = if matches!(outcome.results, fremo_core::engine::QueryResults::TopK(_)) {
+        format!("{} subset expansions across rounds", stats.subsets_expanded)
+    } else {
+        format!(
+            "{} of {} subsets expanded",
+            stats.subsets_expanded, stats.subsets_total
+        )
+    };
+    println!(
+        "stats: [{}] {:.3}s, {:.1} MB peak, {:.1}% of candidate pairs pruned ({expansions}){}",
+        outcome.algorithm,
+        stats.total_seconds,
+        stats.peak_bytes() as f64 / (1024.0 * 1024.0),
+        stats.pruned_fraction() * 100.0,
+        if outcome.truncated {
+            " — budget hit, result is best-effort"
+        } else {
+            ""
+        },
+    );
     Ok(())
 }
 
 /// `fremo discover --input <csv> --xi <len> [--algorithm <a>] [--tau <t>]
-/// [--k <count>] [--epsilon <eps>] [--json]`
+/// [--k <count>] [--epsilon <eps>] [--budget-seconds <s>]
+/// [--budget-subsets <n>] [--json]`
 ///
-/// `--k > 1` switches to diverse top-k discovery; `--epsilon > 0` runs the
-/// (1+ε)-approximate search.
+/// `--k > 1` switches to diverse top-k discovery (BTM machinery only:
+/// combining it with `--epsilon` or a non-BTM `--algorithm` is an error);
+/// `--epsilon > 0` runs the (1+ε)-approximate search and conflicts with
+/// an explicit `--algorithm` (spell it `--algorithm approx:<eps>` instead).
 pub fn discover(args: &Parsed) -> Result<(), String> {
     let t = load(args.required("input")?)?;
     let xi: usize = args.required_parsed("xi")?;
     if xi == 0 {
         return Err("--xi must be at least 1".into());
     }
-    let tau: usize = args.parsed_or("tau", 32)?;
-    let cfg = MotifConfig::new(xi).with_group_size(tau.max(1));
+
+    let mut engine = Engine::new();
+    let id = engine.register(t);
 
     let k: usize = args.parsed_or("k", 1)?;
-    if k > 1 {
-        let motifs = fremo_core::top_k_motifs(&t, &cfg, k);
-        if motifs.is_empty() {
-            println!("no valid motif (trajectory too short for the requested ξ)");
-        }
-        for (rank, m) in motifs.iter().enumerate() {
-            println!("#{:<2} {m}", rank + 1);
-        }
-        return Ok(());
-    }
-
     let epsilon: f64 = args.parsed_or("epsilon", 0.0)?;
-    let (motif, stats) = if epsilon > 0.0 {
-        fremo_core::ApproxGtm::new(epsilon).discover_with_stats(&t, &cfg)
+    if !epsilon.is_finite() || epsilon < 0.0 {
+        return Err("--epsilon must be finite and ≥ 0".into());
+    }
+    if k > 1 && epsilon > 0.0 {
+        return Err(
+            "--k cannot be combined with --epsilon: diverse top-k runs the exact BTM \
+             machinery (drop one flag)"
+                .into(),
+        );
+    }
+    // Always validate --algorithm (a bogus name must error even when
+    // --epsilon would override it).
+    let choice = algorithm(args)?;
+    let choice = if epsilon > 0.0 {
+        if args.optional("algorithm").is_some() {
+            return Err(format!(
+                "--epsilon {epsilon} selects the (1+ε)-approximate search and cannot be \
+                 combined with an explicit --algorithm (use --algorithm approx:{epsilon} \
+                 or drop one flag)"
+            ));
+        }
+        AlgorithmChoice::Approx { epsilon }
     } else {
-        let alg = algorithm(args.optional("algorithm").unwrap_or("gtm"))?;
-        alg.discover_with_stats(&t, &cfg)
+        choice
     };
-    print_motif(motif.as_ref(), &stats, args.switch("json"))
+
+    let (label, builder) = if k > 1 {
+        ("topk", Query::top_k(id, k))
+    } else {
+        ("motif", Query::motif(id))
+    };
+    let query = tuned(builder, args)?.xi(xi).algorithm(choice).build();
+    let outcome = engine.execute(&query).map_err(|e| e.to_string())?;
+    print_outcome(label, &outcome, args.switch("json"))
 }
 
 /// `fremo discover-pair --a <csv> --b <csv> --xi <len> [...]`
@@ -150,25 +271,40 @@ pub fn discover_pair(args: &Parsed) -> Result<(), String> {
     if xi == 0 {
         return Err("--xi must be at least 1".into());
     }
-    let tau: usize = args.parsed_or("tau", 32)?;
-    let alg = algorithm(args.optional("algorithm").unwrap_or("gtm"))?;
-    let cfg = MotifConfig::new(xi).with_group_size(tau.max(1));
-    let (motif, stats) = alg.discover_between_with_stats(&a, &b, &cfg);
-    print_motif(motif.as_ref(), &stats, args.switch("json"))
+
+    let mut engine = Engine::new();
+    let ida = engine.register(a);
+    let idb = engine.register(b);
+    let query = tuned(Query::motif_between(ida, idb), args)?
+        .xi(xi)
+        .algorithm(algorithm(args)?)
+        .build();
+    let outcome = engine.execute(&query).map_err(|e| e.to_string())?;
+    print_outcome("motif-pair", &outcome, args.switch("json"))
 }
 
-/// `fremo compare --a <csv> --b <csv> [--epsilon <m>]`
+/// `fremo compare --a <csv> --b <csv> [--epsilon <m>] [--json]`
 pub fn compare(args: &Parsed) -> Result<(), String> {
     let a = load(args.required("a")?)?;
     let b = load(args.required("b")?)?;
     let eps: f64 = args.parsed_or("epsilon", 25.0)?;
-    let (pa, pb) = (a.points(), b.points());
-    println!("ED        = {:.3}", lockstep_euclidean(pa, pb));
-    println!("DTW       = {:.3}", dtw(pa, pb));
-    println!("LCSS(eps) = {:.3}", lcss_distance(pa, pb, eps));
-    println!("EDR(eps)  = {}", edr(pa, pb, eps));
-    println!("DFD       = {:.3}", dfd(pa, pb));
-    println!("Hausdorff = {:.3}", hausdorff(pa, pb));
+
+    let mut engine = Engine::new();
+    let ida = engine.register(a);
+    let idb = engine.register(b);
+    let outcome = engine
+        .execute(&Query::measures(ida, idb, eps).build())
+        .map_err(|e| e.to_string())?;
+    if args.switch("json") {
+        return print_outcome("compare", &outcome, true);
+    }
+    let p = outcome.measures().expect("measures query yields a profile");
+    println!("ED        = {:.3}", p.euclidean);
+    println!("DTW       = {:.3}", p.dtw);
+    println!("LCSS(eps) = {:.3}", p.lcss);
+    println!("EDR(eps)  = {}", p.edr);
+    println!("DFD       = {:.3}", p.dfd);
+    println!("Hausdorff = {:.3}", p.hausdorff);
     Ok(())
 }
 

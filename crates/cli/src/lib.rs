@@ -4,12 +4,17 @@
 //! ```text
 //! fremo generate  --dataset geolife --n 1000 --seed 1 --out walk.csv
 //! fremo inspect   --input walk.csv
-//! fremo discover  --input walk.csv --xi 100 [--algorithm gtm] [--tau 32]
-//!                 [--k 3] [--epsilon 0.5] [--json]
+//! fremo discover  --input walk.csv --xi 100 [--algorithm auto] [--tau 32]
+//!                 [--k 3] [--epsilon 0.5] [--budget-seconds 1.5]
+//!                 [--budget-subsets 5000] [--json]
 //! fremo discover-pair --a one.csv --b two.csv --xi 100
-//! fremo compare   --a one.csv --b two.csv [--epsilon 25]
+//! fremo compare   --a one.csv --b two.csv [--epsilon 25] [--json]
 //! fremo experiment <table1|fig02..fig21|ext-approx|ext-topk|ext-join|ext-parallel>
 //! ```
+//!
+//! Analysis subcommands run through the [`fremo_core::engine::Engine`]
+//! facade; `--json` emits the stable schema documented on
+//! [`commands::outcome_to_json`].
 
 pub mod args;
 pub mod commands;
@@ -49,13 +54,15 @@ pub fn print_usage() {
 USAGE:
   fremo generate  --dataset <geolife|truck|baboon> --n <len> [--seed <u64>] [--out <file>]
   fremo inspect   --input <csv>
-  fremo discover  --input <csv> --xi <len> [--algorithm <brute|btm|gtm|gtm-star>]
-                  [--tau <group-size>] [--k <count>] [--epsilon <eps>] [--json]
+  fremo discover  --input <csv> --xi <len> [--algorithm <auto|brute|btm|gtm|gtm-star|approx:<eps>>]
+                  [--tau <group-size>] [--k <count>] [--epsilon <eps>]
+                  [--budget-seconds <s>] [--budget-subsets <n>] [--json]
   fremo discover-pair --a <csv> --b <csv> --xi <len> [--algorithm ...] [--tau ...] [--json]
-  fremo compare   --a <csv> --b <csv> [--epsilon <m>]
+  fremo compare   --a <csv> --b <csv> [--epsilon <m>] [--json]
   fremo experiment <table1|fig02|fig03|fig13..fig21|ext-approx|ext-topk|ext-join|ext-parallel>
 
 Trajectories are lat,lon[,t] CSV files (GeoLife PLT is accepted for *.plt inputs).
+The default --algorithm auto picks BruteDP/BTM/GTM/GTM* from n and ξ (paper Section 6).
 Set FREMO_SCALE=smoke|default|full to size the experiments."
     );
 }

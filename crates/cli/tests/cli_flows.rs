@@ -142,3 +142,221 @@ fn help_succeeds() {
     assert!(fremo_cli::run(&argv(&["help"])).is_ok());
     assert!(fremo_cli::run(&argv(&["--help"])).is_ok());
 }
+
+#[test]
+fn unknown_algorithm_error_lists_valid_names() {
+    let file = temp_path("alg.csv");
+    let s = file.to_str().unwrap();
+    fremo_cli::run(&argv(&[
+        "generate",
+        "--dataset",
+        "geolife",
+        "--n",
+        "80",
+        "--seed",
+        "3",
+        "--out",
+        s,
+    ]))
+    .unwrap();
+    let err = fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "5",
+        "--algorithm",
+        "quantum",
+    ]))
+    .unwrap_err();
+    for name in ["auto", "brute", "btm", "gtm", "gtm-star", "approx:<eps>"] {
+        assert!(err.contains(name), "error {err:?} does not list {name}");
+    }
+    // Negative / non-finite --epsilon is rejected, not silently ignored.
+    assert!(fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "5",
+        "--epsilon",
+        "-0.5",
+    ]))
+    .unwrap_err()
+    .contains("--epsilon"));
+    assert!(fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "5",
+        "--epsilon",
+        "nan",
+    ]))
+    .is_err());
+    // --epsilon conflicts with an explicit --algorithm (even a valid one),
+    // and a bogus name still gets the valid-names error.
+    assert!(fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "5",
+        "--algorithm",
+        "btm",
+        "--epsilon",
+        "0.5",
+    ]))
+    .unwrap_err()
+    .contains("approx:"));
+    assert!(fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "5",
+        "--algorithm",
+        "quantum",
+        "--epsilon",
+        "0.5",
+    ]))
+    .unwrap_err()
+    .contains("valid: auto"));
+    // `auto` and the explicit approx syntax are accepted.
+    fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "5",
+        "--algorithm",
+        "auto",
+    ]))
+    .expect("auto algorithm");
+    fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "5",
+        "--algorithm",
+        "approx:0.5",
+    ]))
+    .expect("approx algorithm");
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn budget_flags_are_accepted() {
+    let file = temp_path("budget.csv");
+    let s = file.to_str().unwrap();
+    fremo_cli::run(&argv(&[
+        "generate",
+        "--dataset",
+        "truck",
+        "--n",
+        "90",
+        "--seed",
+        "4",
+        "--out",
+        s,
+    ]))
+    .unwrap();
+    fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "5",
+        "--budget-subsets",
+        "3",
+        "--json",
+    ]))
+    .expect("budgeted discover");
+    assert!(fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "5",
+        "--budget-seconds",
+        "-1",
+    ]))
+    .is_err());
+    // A cap beyond any representable deadline must not panic — it simply
+    // never fires.
+    fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "5",
+        "--budget-seconds",
+        "1e20",
+    ]))
+    .expect("oversized budget is harmless");
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn json_schema_is_stable_across_commands() {
+    use fremo_cli::commands::outcome_to_json;
+    use fremo_core::engine::{Engine, Query};
+    use fremo_trajectory::gen::Dataset;
+
+    let mut engine = Engine::new();
+    let a = engine.register(Dataset::GeoLife.generate(120, 1));
+    let b = engine.register(Dataset::GeoLife.generate(100, 2));
+
+    let outcomes = [
+        (
+            "motif",
+            engine.execute(&Query::motif(a).xi(8).build()).unwrap(),
+        ),
+        (
+            "topk",
+            engine.execute(&Query::top_k(a, 2).xi(8).build()).unwrap(),
+        ),
+        (
+            "motif-pair",
+            engine
+                .execute(&Query::motif_between(a, b).xi(8).build())
+                .unwrap(),
+        ),
+        (
+            "compare",
+            engine
+                .execute(&Query::measures(a, b, 25.0).build())
+                .unwrap(),
+        ),
+    ];
+    for (label, outcome) in &outcomes {
+        let json = outcome_to_json(label, outcome);
+        // One schema: every command carries the same top-level keys.
+        assert_eq!(json["query"], *label);
+        assert!(json["algorithm"].is_string(), "{label}: algorithm missing");
+        assert!(json["motifs"].is_array(), "{label}: motifs missing");
+        assert!(
+            json["stats"]["seconds"].is_number(),
+            "{label}: stats.seconds missing"
+        );
+        assert!(
+            json["stats"]["subsets_total"].is_number(),
+            "{label}: stats.subsets_total missing"
+        );
+        assert!(
+            json["wall_seconds"].is_number(),
+            "{label}: wall_seconds missing"
+        );
+        assert!(json["truncated"].is_boolean(), "{label}: truncated missing");
+    }
+    // Motif-bearing commands fill motifs; compare fills measures.
+    assert_eq!(
+        outcome_to_json("motif", &outcomes[0].1)["motifs"]
+            .as_array()
+            .unwrap()
+            .len(),
+        1
+    );
+    assert!(outcome_to_json("compare", &outcomes[3].1)["measures"]["dfd"].is_number());
+}

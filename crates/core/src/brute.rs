@@ -15,6 +15,7 @@ use crate::config::MotifConfig;
 use crate::domain::Domain;
 use crate::dp::{expand_subset, Bsf, DpBuffers};
 use crate::result::Motif;
+use crate::search::SearchBudget;
 use crate::stats::SearchStats;
 
 /// The baseline solution of Algorithm 1.
@@ -29,6 +30,31 @@ impl BruteDp {
         precompute_seconds: f64,
         started: Instant,
     ) -> (Option<Motif>, SearchStats) {
+        let mut buf = DpBuffers::with_width(domain.len_b());
+        let (motif, stats, _) = Self::run_prepared(
+            src,
+            domain,
+            config,
+            precompute_seconds,
+            started,
+            &mut buf,
+            None,
+        );
+        (motif, stats)
+    }
+
+    /// Algorithm 1 over an external DP buffer — the entry point used by
+    /// [`crate::engine::Engine`]. The third return value is `false` when
+    /// `budget` stopped the exhaustive scan early.
+    pub(crate) fn run_prepared<D: DistanceSource>(
+        src: &D,
+        domain: Domain,
+        config: &MotifConfig,
+        precompute_seconds: f64,
+        started: Instant,
+        buf: &mut DpBuffers,
+        budget: Option<&SearchBudget>,
+    ) -> (Option<Motif>, SearchStats, bool) {
         let xi = config.min_length;
         let mut stats = SearchStats {
             precompute_seconds,
@@ -38,19 +64,30 @@ impl BruteDp {
             ..SearchStats::default()
         };
         let mut bsf = Bsf::new();
-        let mut buf = DpBuffers::with_width(domain.len_b());
-        stats.bytes_dp = buf.bytes();
 
+        let mut completed = true;
         for (i, j) in domain.subsets(xi) {
+            if budget.is_some_and(|b| b.exceeded(stats.subsets_expanded)) {
+                completed = false;
+                break;
+            }
             stats.subsets_expanded += 1;
             stats.pairs_exact += domain.pairs_in_subset(i, j, xi);
             expand_subset(
-                src, domain, xi, i, j, None, false, &mut bsf, &mut stats, &mut buf,
+                src, domain, xi, i, j, None, false, &mut bsf, &mut stats, buf,
             );
         }
+        if !completed {
+            // Keep the accounting honest in O(1): unexamined subsets are
+            // budget-skipped, not pruned (BruteDP prunes nothing).
+            stats.subsets_skipped_budget = stats.subsets_total - stats.subsets_expanded;
+            stats.pairs_skipped_budget += stats.pairs_total.saturating_sub(stats.pairs_accounted());
+        }
 
+        // Recorded after the scan: a shared engine buffer grows lazily.
+        stats.bytes_dp = buf.bytes_for_width(domain.len_b());
         stats.total_seconds = started.elapsed().as_secs_f64();
-        (bsf.motif, stats)
+        (bsf.motif, stats, completed)
     }
 }
 

@@ -16,7 +16,7 @@ use crate::config::MotifConfig;
 use crate::domain::Domain;
 use crate::dp::{Bsf, DpBuffers};
 use crate::result::Motif;
-use crate::search::{build_entries, list_bytes, process_sorted_subsets};
+use crate::search::{build_entries, list_bytes, process_sorted_subsets, SearchBudget};
 use crate::stats::SearchStats;
 
 /// The bounding-based solution of Algorithm 2.
@@ -31,11 +31,34 @@ impl Btm {
         epsilon: f64,
         started: Instant,
     ) -> (Option<Motif>, SearchStats) {
+        let tables = BoundTables::build(src, domain, config.min_length, config.bounds);
+        let mut buf = DpBuffers::with_width(domain.len_b());
+        let (motif, stats, _) = Self::run_prepared(
+            src, &tables, domain, config, epsilon, started, &mut buf, None,
+        );
+        (motif, stats)
+    }
+
+    /// Algorithm 2 over prebuilt bound tables and an external DP buffer —
+    /// the entry point used by [`crate::engine::Engine`] so repeated
+    /// queries on the same trajectory skip the `O(n²)` precomputation.
+    ///
+    /// The third return value is `false` when `budget` truncated the scan.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_prepared<D: DistanceSource>(
+        src: &D,
+        tables: &BoundTables,
+        domain: Domain,
+        config: &MotifConfig,
+        epsilon: f64,
+        started: Instant,
+        buf: &mut DpBuffers,
+        budget: Option<&SearchBudget>,
+    ) -> (Option<Motif>, SearchStats, bool) {
         let xi = config.min_length;
         let sel = config.bounds;
 
-        let tables = BoundTables::build(src, domain, xi, sel);
-        let mut entries = build_entries(src, &tables, sel, domain.subsets(xi));
+        let mut entries = build_entries(src, tables, sel, domain.subsets(xi));
 
         let mut stats = SearchStats {
             bytes_distance_matrix: src.bytes(),
@@ -48,22 +71,23 @@ impl Btm {
         };
 
         let mut bsf = Bsf::approximate(epsilon);
-        let mut buf = DpBuffers::with_width(domain.len_b());
-        stats.bytes_dp = buf.bytes();
-        process_sorted_subsets(
+        let completed = process_sorted_subsets(
             src,
             domain,
             xi,
             sel,
-            &tables,
+            tables,
             &mut entries,
             &mut bsf,
             &mut stats,
-            &mut buf,
+            buf,
+            budget,
         );
 
+        // Recorded after the scan: a shared engine buffer grows lazily.
+        stats.bytes_dp = buf.bytes_for_width(domain.len_b());
         stats.total_seconds = started.elapsed().as_secs_f64();
-        (bsf.motif, stats)
+        (bsf.motif, stats, completed)
     }
 }
 

@@ -6,7 +6,13 @@
 /// they complement each other; [`BoundSelection`] reproduces those toggles.
 /// All-on relaxed bounds (the paper's final choice, Section 6.2.1) is the
 /// default.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The struct is `#[non_exhaustive]`: construct it with one of the named
+/// presets ([`BoundSelection::all_relaxed`] etc.) and adjust individual
+/// families with the `with_*` setters, so future bound families can be
+/// added without breaking callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub struct BoundSelection {
     /// `LB_cell` (Eq. 1): the start-cell ground distance.
     pub cell: bool,
@@ -84,6 +90,42 @@ impl BoundSelection {
             tight: false,
         }
     }
+
+    /// Toggles the `LB_cell` family.
+    #[must_use]
+    pub const fn with_cell(mut self, on: bool) -> Self {
+        self.cell = on;
+        self
+    }
+
+    /// Toggles the start cross bounds.
+    #[must_use]
+    pub const fn with_cross(mut self, on: bool) -> Self {
+        self.cross = on;
+        self
+    }
+
+    /// Toggles the band bounds.
+    #[must_use]
+    pub const fn with_band(mut self, on: bool) -> Self {
+        self.band = on;
+        self
+    }
+
+    /// Toggles end-cell cross pruning inside expanded subsets.
+    #[must_use]
+    pub const fn with_end_cross(mut self, on: bool) -> Self {
+        self.end_cross = on;
+        self
+    }
+
+    /// Switches between the tight (Section 4.2) and relaxed (Section 4.3)
+    /// bound variants.
+    #[must_use]
+    pub const fn with_tight(mut self, on: bool) -> Self {
+        self.tight = on;
+        self
+    }
 }
 
 impl Default for BoundSelection {
@@ -111,7 +153,11 @@ pub enum BoundKind {
 }
 
 /// Configuration of a motif search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `#[non_exhaustive]`: construct via [`MotifConfig::new`] and customize
+/// with the `with_*` setters so new knobs stay non-breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub struct MotifConfig {
     /// Minimum motif length `ξ`: each motif half must satisfy
     /// `ie > i + ξ` (Problem 1). Must be at least 1.

@@ -83,10 +83,24 @@ impl Domain {
     /// `ie ∈ [i+ξ+1, ie_max]` × `je ∈ [j+ξ+1, je_max]`.
     #[must_use]
     pub fn pairs_in_subset(&self, i: usize, j: usize, xi: usize) -> u128 {
+        self.pairs_in_subset_capped(i, j, xi, (usize::MAX, usize::MAX))
+    }
+
+    /// [`Domain::pairs_in_subset`] with inclusive caps on `ie`/`je` — the
+    /// masked rectangle the top-k search actually expands
+    /// ([`crate::dp::expand_subset_capped`]).
+    #[must_use]
+    pub fn pairs_in_subset_capped(
+        &self,
+        i: usize,
+        j: usize,
+        xi: usize,
+        (ie_cap, je_cap): (usize, usize),
+    ) -> u128 {
         let ie_lo = i + xi + 1;
         let je_lo = j + xi + 1;
-        let ie_hi = self.ie_max(j);
-        let je_hi = self.je_max();
+        let ie_hi = self.ie_max(j).min(ie_cap);
+        let je_hi = self.je_max().min(je_cap);
         if ie_lo > ie_hi || je_lo > je_hi {
             return 0;
         }

@@ -150,6 +150,15 @@ impl DpBuffers {
     pub fn bytes(&self) -> usize {
         (self.prev.capacity() + self.curr.capacity()) * std::mem::size_of::<f64>()
     }
+
+    /// Heap bytes attributable to a search of DP row width `width`: a
+    /// shared (engine) buffer never shrinks, so the allocation is capped
+    /// at the two rows this search actually touches — keeping per-query
+    /// memory reports independent of earlier, larger queries.
+    #[must_use]
+    pub fn bytes_for_width(&self, width: usize) -> usize {
+        self.bytes().min(2 * width * std::mem::size_of::<f64>())
+    }
 }
 
 /// Runs the shared DP for candidate subset `CS_{i,j}`, updating `bsf` with

@@ -1,0 +1,318 @@
+//! Per-corpus memoization of search state.
+//!
+//! The expensive, query-independent part of every dense-matrix algorithm
+//! is the `O(n²)` ground-distance matrix plus the bound tables derived
+//! from it. Both depend only on the trajectory (matrix) and on `(ξ,
+//! tight-vs-relaxed)` (tables) — never on the query's algorithm, budget,
+//! k, or the individual bound-family toggles — so a session serving
+//! repeated traffic on the same corpus can build each exactly once.
+//! This is the same memoization insight that makes tabling pay off for
+//! logic programs: cache the subcomputation keyed by what it actually
+//! depends on.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use fremo_trajectory::{DenseMatrix, GroundDistance, LazyDistances};
+
+use crate::bounds::BoundTables;
+use crate::config::BoundSelection;
+use crate::domain::Domain;
+
+/// Cache key: which distance matrix a computation is over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum ScopeKey {
+    /// Within one trajectory (upper-triangle matrix).
+    Within(usize),
+    /// Between two trajectories, in this order.
+    Between(usize, usize),
+}
+
+/// Cache activity of one query (or cumulative totals on
+/// [`super::EngineStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheReport {
+    /// Distance matrices computed from scratch.
+    pub matrices_built: u64,
+    /// Distance matrices served from cache.
+    pub matrices_reused: u64,
+    /// Bound tables computed from scratch.
+    pub tables_built: u64,
+    /// Bound tables served from cache.
+    pub tables_reused: u64,
+}
+
+impl CacheReport {
+    /// Total structures recomputed by this query — the number a warm
+    /// cache drives to zero.
+    #[must_use]
+    pub const fn recomputed(&self) -> u64 {
+        self.matrices_built + self.tables_built
+    }
+
+    /// Total structures served from cache.
+    #[must_use]
+    pub const fn reused(&self) -> u64 {
+        self.matrices_reused + self.tables_reused
+    }
+
+    pub(crate) const fn delta_since(&self, earlier: &CacheReport) -> CacheReport {
+        CacheReport {
+            matrices_built: self.matrices_built - earlier.matrices_built,
+            matrices_reused: self.matrices_reused - earlier.matrices_reused,
+            tables_built: self.tables_built - earlier.tables_built,
+            tables_reused: self.tables_reused - earlier.tables_reused,
+        }
+    }
+}
+
+/// The engine's memo: distance matrices per scope, bound tables per
+/// `(scope, ξ, tight?)`.
+///
+/// [`BoundTables::build`] depends on the selection only through
+/// `sel.tight` (the cell/cross/band/end-cross flags gate *lookups*, not
+/// table construction), so keying by the flag set would rebuild and
+/// store byte-identical tables for every flag combination.
+#[derive(Default)]
+pub(crate) struct CorpusCache {
+    matrices: HashMap<ScopeKey, DenseMatrix>,
+    tables: HashMap<(ScopeKey, usize, bool), BoundTables>,
+    pub(crate) counters: CacheReport,
+}
+
+impl CorpusCache {
+    /// The cached (or freshly built) distance matrix for `key`.
+    pub(crate) fn matrix<P: GroundDistance>(
+        &mut self,
+        key: ScopeKey,
+        a: &[P],
+        b: Option<&[P]>,
+    ) -> &DenseMatrix {
+        match self.matrices.entry(key) {
+            Entry::Occupied(e) => {
+                self.counters.matrices_reused += 1;
+                e.into_mut()
+            }
+            Entry::Vacant(v) => {
+                self.counters.matrices_built += 1;
+                v.insert(match b {
+                    None => DenseMatrix::within(a),
+                    Some(b) => DenseMatrix::between(a, b),
+                })
+            }
+        }
+    }
+
+    /// GTM*'s working set: the cached dense matrix *if one already
+    /// exists* (never built — GTM* must not create the `O(n²)`
+    /// allocation it avoids) plus the relaxed bound tables, cached and
+    /// built from the best available distance source.
+    pub(crate) fn gtm_star_prepared<P: GroundDistance>(
+        &mut self,
+        key: ScopeKey,
+        a: &[P],
+        b: Option<&[P]>,
+        domain: Domain,
+        xi: usize,
+    ) -> (Option<&DenseMatrix>, &BoundTables) {
+        let tkey = (key, xi, false);
+        if self.tables.contains_key(&tkey) {
+            self.counters.tables_reused += 1;
+        } else {
+            let sel = BoundSelection::all_relaxed();
+            let t = match self.matrices.get(&key) {
+                Some(m) => BoundTables::build(m, domain, xi, sel),
+                None => match b {
+                    None => BoundTables::build(&LazyDistances::within(a), domain, xi, sel),
+                    Some(b) => BoundTables::build(&LazyDistances::between(a, b), domain, xi, sel),
+                },
+            };
+            self.tables.insert(tkey, t);
+            self.counters.tables_built += 1;
+        }
+        let matrix = self.matrices.get(&key);
+        if matrix.is_some() {
+            self.counters.matrices_reused += 1;
+        }
+        (matrix, &self.tables[&tkey])
+    }
+
+    /// The cached matrix *and* bound tables for `(key, ξ, sel)`.
+    pub(crate) fn prepared<P: GroundDistance>(
+        &mut self,
+        key: ScopeKey,
+        a: &[P],
+        b: Option<&[P]>,
+        domain: Domain,
+        xi: usize,
+        sel: BoundSelection,
+    ) -> (&DenseMatrix, &BoundTables) {
+        let (matrix, tables, _) = self.prepared_with_relaxed(key, a, b, domain, xi, sel, false);
+        (matrix, tables)
+    }
+
+    /// [`CorpusCache::prepared`], optionally also ensuring the *relaxed*
+    /// tables GTM's grouping machinery needs when `sel` selects tight
+    /// bounds (the third return value; `None` when `sel` is already
+    /// relaxed or `want_relaxed` is `false`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn prepared_with_relaxed<P: GroundDistance>(
+        &mut self,
+        key: ScopeKey,
+        a: &[P],
+        b: Option<&[P]>,
+        domain: Domain,
+        xi: usize,
+        sel: BoundSelection,
+        want_relaxed: bool,
+    ) -> (&DenseMatrix, &BoundTables, Option<&BoundTables>) {
+        let _ = self.matrix(key, a, b);
+        let matrix = &self.matrices[&key];
+
+        let tkey = (key, xi, sel.tight);
+        ensure_table(
+            &mut self.tables,
+            &mut self.counters,
+            matrix,
+            tkey,
+            domain,
+            sel,
+        );
+
+        let rkey = (key, xi, false);
+        if want_relaxed && sel.tight {
+            ensure_table(
+                &mut self.tables,
+                &mut self.counters,
+                matrix,
+                rkey,
+                domain,
+                sel.with_tight(false),
+            );
+        }
+        let relaxed = if want_relaxed && sel.tight {
+            Some(&self.tables[&rkey])
+        } else {
+            None
+        };
+        (matrix, &self.tables[&tkey], relaxed)
+    }
+
+    /// Heap bytes held by every cached structure.
+    pub(crate) fn bytes(&self) -> usize {
+        use fremo_trajectory::DistanceSource as _;
+        self.matrices
+            .values()
+            .map(DenseMatrix::bytes)
+            .sum::<usize>()
+            + self.tables.values().map(BoundTables::bytes).sum::<usize>()
+    }
+
+    /// Drops every cached structure (counters are kept — they are
+    /// lifetime totals).
+    pub(crate) fn clear(&mut self) {
+        self.matrices.clear();
+        self.tables.clear();
+    }
+}
+
+/// Build-or-reuse of one bound-table entry. A free function over the
+/// individual fields so callers holding a borrow of `matrices` can still
+/// mutate `tables` (disjoint field borrows).
+fn ensure_table(
+    tables: &mut HashMap<(ScopeKey, usize, bool), BoundTables>,
+    counters: &mut CacheReport,
+    matrix: &DenseMatrix,
+    key: (ScopeKey, usize, bool),
+    domain: Domain,
+    sel: BoundSelection,
+) {
+    match tables.entry(key) {
+        Entry::Occupied(_) => counters.tables_reused += 1,
+        Entry::Vacant(v) => {
+            counters.tables_built += 1;
+            v.insert(BoundTables::build(matrix, domain, key.1, sel));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_trajectory::gen::planar;
+
+    #[test]
+    fn matrix_and_tables_are_built_once() {
+        let t = planar::random_walk(40, 0.4, 1);
+        let mut cache = CorpusCache::default();
+        let key = ScopeKey::Within(0);
+        let domain = Domain::Within { n: t.len() };
+        let sel = BoundSelection::all_relaxed();
+
+        let _ = cache.prepared(key, t.points(), None, domain, 3, sel);
+        assert_eq!(cache.counters.matrices_built, 1);
+        assert_eq!(cache.counters.tables_built, 1);
+        assert_eq!(cache.counters.reused(), 0);
+
+        let _ = cache.prepared(key, t.points(), None, domain, 3, sel);
+        assert_eq!(cache.counters.matrices_built, 1);
+        assert_eq!(cache.counters.tables_built, 1);
+        assert_eq!(cache.counters.matrices_reused, 1);
+        assert_eq!(cache.counters.tables_reused, 1);
+
+        // A different ξ reuses the matrix but needs new tables.
+        let _ = cache.prepared(key, t.points(), None, domain, 5, sel);
+        assert_eq!(cache.counters.matrices_built, 1);
+        assert_eq!(cache.counters.tables_built, 2);
+
+        // Flag-only variants (same `tight`) are warm hits: table
+        // construction depends on the selection only through `tight`.
+        let _ = cache.prepared(
+            key,
+            t.points(),
+            None,
+            domain,
+            3,
+            BoundSelection::cell_only(),
+        );
+        assert_eq!(cache.counters.tables_built, 2);
+        assert_eq!(cache.counters.tables_reused, 2);
+        // The tight variant is a genuinely different table.
+        let _ = cache.prepared(
+            key,
+            t.points(),
+            None,
+            domain,
+            3,
+            BoundSelection::all_tight(),
+        );
+        assert_eq!(cache.counters.tables_built, 3);
+
+        assert!(cache.bytes() > 0);
+        cache.clear();
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn delta_isolates_one_query() {
+        let before = CacheReport {
+            matrices_built: 2,
+            matrices_reused: 1,
+            tables_built: 3,
+            tables_reused: 4,
+        };
+        let after = CacheReport {
+            matrices_built: 2,
+            matrices_reused: 2,
+            tables_built: 4,
+            tables_reused: 4,
+        };
+        let d = after.delta_since(&before);
+        assert_eq!(d.matrices_built, 0);
+        assert_eq!(d.matrices_reused, 1);
+        assert_eq!(d.tables_built, 1);
+        assert_eq!(d.recomputed(), 1);
+        assert_eq!(d.reused(), 1);
+    }
+}

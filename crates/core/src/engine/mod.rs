@@ -1,0 +1,870 @@
+//! The session-oriented query engine: one facade over every workload.
+//!
+//! [`Engine`] owns a corpus of registered trajectories (lightweight
+//! [`TrajId`] handles) and executes typed [`Query`] values — motif
+//! discovery within or between trajectories, diverse top-k, similarity
+//! join, subtrajectory clustering, and whole-trajectory measure profiles
+//! — through one entry point, [`Engine::execute`]. Every query returns a
+//! [`QueryOutcome`] bundling results, [`crate::SearchStats`], the
+//! resolved algorithm name, wall time, and cache activity.
+//!
+//! Two things make the facade more than plumbing:
+//!
+//! * **Memoization.** The `O(n²)` distance matrix and the bound tables of
+//!   a trajectory depend only on `(trajectory, ξ, bounds)` — never on the
+//!   algorithm, k, or budget — so the engine caches them per corpus
+//!   entry. Repeated traffic on the same trajectory skips precomputation
+//!   entirely ([`QueryOutcome::cache`] shows what was reused), and one
+//!   shared [`crate::dp::DpBuffers`] serves every query.
+//! * **Selection.** [`AlgorithmChoice::Auto`] picks
+//!   BruteDP/BTM/GTM/GTM* from `n` and ξ using the crossovers measured in
+//!   the paper's Section 6 (see [`AlgorithmChoice::resolve`]).
+//!
+//! ```
+//! use fremo_core::engine::{AlgorithmChoice, Engine, Query};
+//! use fremo_trajectory::gen::planar;
+//!
+//! let mut engine = Engine::new();
+//! let id = engine.register(planar::random_walk(200, 0.4, 7));
+//!
+//! let query = Query::motif(id).xi(10).build();
+//! let first = engine.execute(&query).unwrap();
+//! let again = engine.execute(&query).unwrap();
+//!
+//! assert_eq!(first.motif(), again.motif());
+//! // The second query recomputed nothing: matrix and tables were cached.
+//! assert_eq!(again.cache.recomputed(), 0);
+//! assert!(again.cache.reused() > 0);
+//! ```
+
+mod cache;
+mod query;
+
+pub use cache::CacheReport;
+pub use query::{
+    AlgorithmChoice, EngineError, MeasureProfile, MotifScope, ParseAlgorithmError, Query,
+    QueryBudget, QueryBuilder, QueryKind, QueryOutcome, QueryResults, ResolvedAlgorithm,
+    AUTO_BRUTE_MAX_N, AUTO_BTM_MAX_N, AUTO_GTM_MAX_N,
+};
+
+use std::time::Instant;
+
+use fremo_trajectory::{GroundDistance, LazyDistances, Trajectory};
+
+use crate::brute::BruteDp;
+use crate::btm::Btm;
+use crate::cluster::{cluster_subtrajectories, ClusterConfig};
+use crate::domain::Domain;
+use crate::dp::DpBuffers;
+use crate::gtm::Gtm;
+use crate::gtm_star::GtmStar;
+use crate::join::{similarity_join, similarity_self_join};
+use crate::stats::SearchStats;
+use crate::topk::top_k_prepared;
+
+use cache::{CorpusCache, ScopeKey};
+
+/// Opaque handle to a trajectory registered with an [`Engine`].
+///
+/// Handles carry the issuing engine's identity: passing a handle to a
+/// *different* engine fails with [`EngineError::UnknownTrajectory`] even
+/// when the index happens to be in range there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrajId {
+    engine: u64,
+    index: usize,
+}
+
+impl TrajId {
+    /// The corpus index (stable for the issuing engine's lifetime).
+    #[must_use]
+    pub const fn index(&self) -> usize {
+        self.index
+    }
+
+    /// A handle no engine ever issues (engine ids start at 1) — foreign
+    /// by construction, for negative tests.
+    #[cfg(test)]
+    pub(crate) const fn from_index(index: usize) -> Self {
+        TrajId { engine: 0, index }
+    }
+}
+
+/// Engine identities, so [`TrajId`]s cannot cross engines (ids start
+/// at 1; see [`TrajId::from_index`]).
+static NEXT_ENGINE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Lifetime counters of an [`Engine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EngineStats {
+    /// Queries executed (successful or not).
+    pub queries: u64,
+    /// Cumulative cache activity.
+    pub cache: CacheReport,
+}
+
+/// A session-oriented query engine over a corpus of trajectories.
+///
+/// See the [module docs](self) for the full picture and an example.
+pub struct Engine<P> {
+    id: u64,
+    corpus: Vec<Trajectory<P>>,
+    cache: CorpusCache,
+    buffers: DpBuffers,
+    queries: u64,
+    cache_limit: Option<usize>,
+}
+
+impl<P: GroundDistance> Default for Engine<P> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<P: GroundDistance> Engine<P> {
+    /// An engine with an empty corpus.
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            id: NEXT_ENGINE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            corpus: Vec::new(),
+            cache: CorpusCache::default(),
+            buffers: DpBuffers::default(),
+            queries: 0,
+            cache_limit: None,
+        }
+    }
+
+    /// Caps cached memory: after any query that leaves more than `bytes`
+    /// of matrices and tables cached, the whole cache is dropped (crude
+    /// wholesale eviction — bounded memory at the cost of re-warming;
+    /// finer-grained LRU is a natural follow-up). `None` (the default)
+    /// means unbounded: a long-lived session over a large corpus should
+    /// either set a limit or call [`Engine::clear_cache`] periodically.
+    pub fn set_cache_limit(&mut self, bytes: Option<usize>) {
+        self.cache_limit = bytes;
+    }
+
+    /// Builder form of [`Engine::set_cache_limit`].
+    #[must_use]
+    pub fn with_cache_limit(mut self, bytes: usize) -> Self {
+        self.cache_limit = Some(bytes);
+        self
+    }
+
+    /// Registers a trajectory, returning its handle.
+    pub fn register(&mut self, trajectory: Trajectory<P>) -> TrajId {
+        self.corpus.push(trajectory);
+        TrajId {
+            engine: self.id,
+            index: self.corpus.len() - 1,
+        }
+    }
+
+    /// Registers every trajectory of an iterator, returning the handles
+    /// in order.
+    pub fn register_all(
+        &mut self,
+        trajectories: impl IntoIterator<Item = Trajectory<P>>,
+    ) -> Vec<TrajId> {
+        trajectories.into_iter().map(|t| self.register(t)).collect()
+    }
+
+    /// The trajectory behind a handle.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownTrajectory`] when the handle is not from
+    /// this engine.
+    pub fn trajectory(&self, id: TrajId) -> Result<&Trajectory<P>, EngineError> {
+        if id.engine != self.id {
+            return Err(EngineError::UnknownTrajectory(id));
+        }
+        self.corpus
+            .get(id.index)
+            .ok_or(EngineError::UnknownTrajectory(id))
+    }
+
+    /// Number of registered trajectories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Whether the corpus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.corpus.is_empty()
+    }
+
+    /// Lifetime counters (queries executed, cache hits/builds).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queries: self.queries,
+            cache: self.cache.counters,
+        }
+    }
+
+    /// Heap bytes currently held by cached matrices and bound tables.
+    #[must_use]
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.bytes()
+    }
+
+    /// Drops every cached structure (registered trajectories are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Executes one query against the corpus.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownTrajectory`] for foreign handles,
+    /// [`EngineError::InvalidParameter`] for out-of-range parameters
+    /// (ξ = 0, τ = 0, k = 0, negative ε, window < 2, stride = 0).
+    pub fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
+        let started = Instant::now();
+        self.queries += 1;
+        let cache_before = self.cache.counters;
+
+        let mut outcome = match &query.kind {
+            QueryKind::Motif { scope } => self.execute_motif(*scope, query, started)?,
+            QueryKind::TopK { id, k } => self.execute_top_k(*id, *k, query, started)?,
+            kind => {
+                // Join/cluster/measures have no subset scan to truncate;
+                // reject a budget instead of silently blowing through it.
+                if !query.budget.is_unlimited() {
+                    return Err(EngineError::InvalidParameter(
+                        "budgets apply to motif and top-k queries only; this workload \
+                         cannot honor one"
+                            .into(),
+                    ));
+                }
+                match kind {
+                    QueryKind::Join {
+                        probe,
+                        base,
+                        epsilon,
+                    } => self.execute_join(probe, base.as_deref(), *epsilon)?,
+                    QueryKind::Cluster {
+                        id,
+                        window,
+                        stride,
+                        epsilon,
+                    } => self.execute_cluster(*id, *window, *stride, *epsilon)?,
+                    QueryKind::Measures { a, b, epsilon } => {
+                        self.execute_measures(*a, *b, *epsilon)?
+                    }
+                    QueryKind::Motif { .. } | QueryKind::TopK { .. } => {
+                        unreachable!("handled above")
+                    }
+                }
+            }
+        };
+
+        outcome.cache = self.cache.counters.delta_since(&cache_before);
+        outcome.wall_seconds = started.elapsed().as_secs_f64();
+        if let Some(limit) = self.cache_limit {
+            if self.cache.bytes() > limit {
+                self.cache.clear();
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn validate_motif_params(&self, query: &Query) -> Result<(), EngineError> {
+        if query.min_length == 0 {
+            return Err(EngineError::InvalidParameter(
+                "minimum motif length ξ must be at least 1".into(),
+            ));
+        }
+        if query.group_size == 0 {
+            return Err(EngineError::InvalidParameter(
+                "group size τ must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn execute_motif(
+        &mut self,
+        scope: MotifScope,
+        query: &Query,
+        started: Instant,
+    ) -> Result<QueryOutcome, EngineError> {
+        self.validate_motif_params(query)?;
+        let config = query.motif_config();
+        let budget = query.budget.to_search_budget(started);
+        let budget = budget.as_ref();
+
+        let (key, a_id, b_id) = match scope {
+            MotifScope::Within(id) => (ScopeKey::Within(id.index), id, None),
+            MotifScope::Between(a, b) => (ScopeKey::Between(a.index, b.index), a, Some(b)),
+        };
+        let a = self.trajectory(a_id)?;
+        let n = a.len();
+        let (domain, m) = match b_id {
+            None => (Domain::Within { n }, None),
+            Some(b) => {
+                let b = self.trajectory(b)?;
+                (Domain::Between { n, m: b.len() }, Some(b.len()))
+            }
+        };
+        let longest = n.max(m.unwrap_or(0));
+        let resolved = query.algorithm.resolve(longest, query.min_length);
+
+        let (pa, pb) = match scope {
+            MotifScope::Within(id) => (self.corpus[id.index].points(), None),
+            MotifScope::Between(ai, bi) => (
+                self.corpus[ai.index].points(),
+                Some(self.corpus[bi.index].points()),
+            ),
+        };
+
+        // GTM* exists to avoid allocating the O(n²) matrix, so it never
+        // *builds* one — but a matrix another algorithm already paid for
+        // is free to read, and its relaxed bound tables are cached like
+        // everyone else's, so warm queries skip precomputation.
+        if let ResolvedAlgorithm::GtmStar = resolved {
+            let (dense, tables) =
+                self.cache
+                    .gtm_star_prepared(key, pa, pb, domain, config.min_length);
+            let tables = Some(tables);
+            let (motif, stats, completed) = match dense {
+                Some(src) => GtmStar::run(
+                    src,
+                    domain,
+                    &config,
+                    started,
+                    &mut self.buffers,
+                    budget,
+                    tables,
+                ),
+                None => match pb {
+                    None => GtmStar::run(
+                        &LazyDistances::within(pa),
+                        domain,
+                        &config,
+                        started,
+                        &mut self.buffers,
+                        budget,
+                        tables,
+                    ),
+                    Some(pb) => GtmStar::run(
+                        &LazyDistances::between(pa, pb),
+                        domain,
+                        &config,
+                        started,
+                        &mut self.buffers,
+                        budget,
+                        tables,
+                    ),
+                },
+            };
+            return Ok(outcome_skeleton(
+                QueryResults::Motif(motif),
+                resolved.name(),
+                stats,
+                !completed,
+            ));
+        }
+
+        let (motif, stats, completed) = match resolved {
+            ResolvedAlgorithm::BruteDp => {
+                let src = self.cache.matrix(key, pa, pb);
+                let pre = started.elapsed().as_secs_f64();
+                BruteDp::run_prepared(
+                    src,
+                    domain,
+                    &config,
+                    pre,
+                    started,
+                    &mut self.buffers,
+                    budget,
+                )
+            }
+            ResolvedAlgorithm::Btm => {
+                let (src, tables) =
+                    self.cache
+                        .prepared(key, pa, pb, domain, config.min_length, config.bounds);
+                Btm::run_prepared(
+                    src,
+                    tables,
+                    domain,
+                    &config,
+                    0.0,
+                    started,
+                    &mut self.buffers,
+                    budget,
+                )
+            }
+            ResolvedAlgorithm::Gtm => {
+                let (src, tables, relaxed) = self.cache.prepared_with_relaxed(
+                    key,
+                    pa,
+                    pb,
+                    domain,
+                    config.min_length,
+                    config.bounds,
+                    true,
+                );
+                Gtm::run_prepared(
+                    src,
+                    tables,
+                    relaxed.and_then(|t| t.as_relaxed()),
+                    domain,
+                    &config,
+                    0.0,
+                    started,
+                    &mut self.buffers,
+                    budget,
+                )
+            }
+            ResolvedAlgorithm::Approx(epsilon) => {
+                if !(epsilon >= 0.0 && epsilon.is_finite()) {
+                    return Err(EngineError::InvalidParameter(
+                        "approximation ε must be finite and ≥ 0".into(),
+                    ));
+                }
+                let (src, tables, relaxed) = self.cache.prepared_with_relaxed(
+                    key,
+                    pa,
+                    pb,
+                    domain,
+                    config.min_length,
+                    config.bounds,
+                    true,
+                );
+                Gtm::run_prepared(
+                    src,
+                    tables,
+                    relaxed.and_then(|t| t.as_relaxed()),
+                    domain,
+                    &config,
+                    epsilon,
+                    started,
+                    &mut self.buffers,
+                    budget,
+                )
+            }
+            ResolvedAlgorithm::GtmStar => unreachable!("handled above"),
+        };
+
+        Ok(outcome_skeleton(
+            QueryResults::Motif(motif),
+            resolved.name(),
+            stats,
+            !completed,
+        ))
+    }
+
+    fn execute_top_k(
+        &mut self,
+        id: TrajId,
+        k: usize,
+        query: &Query,
+        started: Instant,
+    ) -> Result<QueryOutcome, EngineError> {
+        self.validate_motif_params(query)?;
+        if k == 0 {
+            return Err(EngineError::InvalidParameter("k must be at least 1".into()));
+        }
+        // Diverse top-k is defined on the BTM machinery (masked rounds);
+        // reject explicit choices it cannot honor rather than silently
+        // running something else.
+        match query.algorithm {
+            AlgorithmChoice::Auto | AlgorithmChoice::Btm => {}
+            other => {
+                return Err(EngineError::InvalidParameter(format!(
+                    "top-k queries run on the BTM machinery; algorithm \"{other}\" is not \
+                     supported (use auto or btm)"
+                )))
+            }
+        }
+        let config = query.motif_config();
+        let budget = query.budget.to_search_budget(started);
+        let n = self.trajectory(id)?.len();
+        let domain = Domain::Within { n };
+        let pts = self.corpus[id.index].points();
+        let (src, tables) = self.cache.prepared(
+            ScopeKey::Within(id.index),
+            pts,
+            None,
+            domain,
+            config.min_length,
+            config.bounds,
+        );
+        let (motifs, stats, completed) = top_k_prepared(
+            src,
+            tables,
+            domain,
+            &config,
+            k,
+            started,
+            &mut self.buffers,
+            budget.as_ref(),
+        );
+        Ok(outcome_skeleton(
+            QueryResults::TopK(motifs),
+            "BTM(top-k)",
+            stats,
+            !completed,
+        ))
+    }
+
+    fn execute_join(
+        &mut self,
+        probe: &[TrajId],
+        base: Option<&[TrajId]>,
+        epsilon: f64,
+    ) -> Result<QueryOutcome, EngineError> {
+        if epsilon.is_nan() || epsilon < 0.0 {
+            return Err(EngineError::InvalidParameter(
+                "join threshold ε must be non-negative".into(),
+            ));
+        }
+        let resolve = |ids: &[TrajId]| -> Result<Vec<&Trajectory<P>>, EngineError> {
+            ids.iter().map(|&id| self.trajectory(id)).collect()
+        };
+        let a = resolve(probe)?;
+        let result = match base {
+            None => similarity_self_join(&a, epsilon),
+            Some(base) => {
+                let b = resolve(base)?;
+                similarity_join(&a, &b, epsilon)
+            }
+        };
+        Ok(outcome_skeleton(
+            QueryResults::Join(result),
+            "FILTER-JOIN",
+            SearchStats::default(),
+            false,
+        ))
+    }
+
+    fn execute_cluster(
+        &mut self,
+        id: TrajId,
+        window: usize,
+        stride: usize,
+        epsilon: f64,
+    ) -> Result<QueryOutcome, EngineError> {
+        if window < 2 {
+            return Err(EngineError::InvalidParameter(
+                "cluster window must have at least 2 points".into(),
+            ));
+        }
+        if stride == 0 {
+            return Err(EngineError::InvalidParameter(
+                "cluster stride must be at least 1".into(),
+            ));
+        }
+        if epsilon.is_nan() || epsilon < 0.0 {
+            return Err(EngineError::InvalidParameter(
+                "cluster threshold ε must be non-negative".into(),
+            ));
+        }
+        let t = self.trajectory(id)?;
+        let clusters = cluster_subtrajectories(t, &ClusterConfig::new(window, stride, epsilon));
+        Ok(outcome_skeleton(
+            QueryResults::Cluster(clusters),
+            "LEADER",
+            SearchStats::default(),
+            false,
+        ))
+    }
+
+    fn execute_measures(
+        &mut self,
+        a: TrajId,
+        b: TrajId,
+        epsilon: f64,
+    ) -> Result<QueryOutcome, EngineError> {
+        if epsilon.is_nan() || epsilon < 0.0 {
+            return Err(EngineError::InvalidParameter(
+                "measure threshold ε must be non-negative".into(),
+            ));
+        }
+        let ta = self.trajectory(a)?;
+        let tb = self.trajectory(b)?;
+        let (pa, pb) = (ta.points(), tb.points());
+        let profile = MeasureProfile {
+            euclidean: fremo_similarity::lockstep_euclidean(pa, pb),
+            dtw: fremo_similarity::dtw(pa, pb),
+            lcss: fremo_similarity::lcss_distance(pa, pb, epsilon),
+            edr: fremo_similarity::edr(pa, pb, epsilon),
+            dfd: fremo_similarity::dfd(pa, pb),
+            hausdorff: fremo_similarity::hausdorff(pa, pb),
+            epsilon,
+        };
+        Ok(outcome_skeleton(
+            QueryResults::Measures(profile),
+            "MEASURES",
+            SearchStats::default(),
+            false,
+        ))
+    }
+}
+
+/// An outcome with cache/wall fields left for [`Engine::execute`] to fill.
+fn outcome_skeleton(
+    results: QueryResults,
+    algorithm: &'static str,
+    stats: SearchStats,
+    truncated: bool,
+) -> QueryOutcome {
+    QueryOutcome {
+        results,
+        algorithm,
+        stats,
+        wall_seconds: 0.0,
+        cache: CacheReport::default(),
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::MotifDiscovery;
+    use crate::config::MotifConfig;
+    use fremo_trajectory::gen::planar;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut engine = Engine::new();
+        assert!(engine.is_empty());
+        let ids = engine.register_all((0..3).map(|s| planar::random_walk(30, 0.4, s)));
+        assert_eq!(engine.len(), 3);
+        assert_eq!(ids[2].index(), 2);
+        assert!(engine.trajectory(ids[1]).is_ok());
+        let foreign = TrajId::from_index(99);
+        assert_eq!(
+            engine.trajectory(foreign),
+            Err(EngineError::UnknownTrajectory(foreign))
+        );
+    }
+
+    #[test]
+    fn motif_matches_direct_btm_and_reuses_cache() {
+        let t = planar::random_walk(60, 0.4, 11);
+        let direct = crate::Btm.discover(&t, &MotifConfig::new(4)).unwrap();
+
+        let mut engine = Engine::new();
+        let id = engine.register(t);
+        let q = Query::motif(id)
+            .xi(4)
+            .algorithm(AlgorithmChoice::Btm)
+            .build();
+        let first = engine.execute(&q).unwrap();
+        let m = first.motif().expect("motif");
+        assert_eq!(m.first, direct.first);
+        assert_eq!(m.second, direct.second);
+        assert_eq!(m.distance.to_bits(), direct.distance.to_bits());
+        assert_eq!(first.algorithm, "BTM");
+        assert_eq!(first.cache.matrices_built, 1);
+        assert_eq!(first.cache.tables_built, 1);
+
+        let second = engine.execute(&q).unwrap();
+        assert_eq!(second.motif(), first.motif());
+        assert_eq!(second.cache.recomputed(), 0);
+        assert_eq!(second.cache.reused(), 2);
+        assert_eq!(engine.stats().queries, 2);
+        assert!(engine.cache_bytes() > 0);
+        engine.clear_cache();
+        assert_eq!(engine.cache_bytes(), 0);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected_not_panicked() {
+        let mut engine = Engine::new();
+        let id = engine.register(planar::random_walk(40, 0.4, 1));
+        for q in [
+            Query::motif(id).xi(0).build(),
+            Query::motif(id).group_size(0).build(),
+            Query::top_k(id, 0).build(),
+            Query::cluster(id, 1, 1, 1.0).build(),
+            Query::cluster(id, 10, 0, 1.0).build(),
+            Query::cluster(id, 10, 5, -1.0).build(),
+            Query::join(vec![id], -0.5).build(),
+            Query::measures(id, id, f64::NAN).build(),
+            Query::top_k(id, 2).algorithm(AlgorithmChoice::Gtm).build(),
+            Query::top_k(id, 2)
+                .algorithm(AlgorithmChoice::Approx { epsilon: 0.5 })
+                .build(),
+            Query::join(vec![id], 1.0).candidate_budget(5).build(),
+            Query::cluster(id, 10, 5, 1.0).candidate_budget(5).build(),
+            Query::measures(id, id, 1.0).candidate_budget(5).build(),
+        ] {
+            assert!(
+                matches!(engine.execute(&q), Err(EngineError::InvalidParameter(_))),
+                "{q:?} should be rejected"
+            );
+        }
+        let foreign = TrajId::from_index(7);
+        assert!(matches!(
+            engine.execute(&Query::motif(foreign).xi(2).build()),
+            Err(EngineError::UnknownTrajectory(_))
+        ));
+    }
+
+    #[test]
+    fn handles_do_not_cross_engines() {
+        let mut a = Engine::new();
+        let mut b = Engine::new();
+        let id_a = a.register(planar::random_walk(30, 0.4, 1));
+        let _id_b = b.register(planar::random_walk(30, 0.4, 2));
+        // Same in-range index, wrong engine: must be rejected, not
+        // silently resolved to b's trajectory.
+        assert!(matches!(
+            b.execute(&Query::motif(id_a).xi(2).build()),
+            Err(EngineError::UnknownTrajectory(_))
+        ));
+        assert!(a.execute(&Query::motif(id_a).xi(2).build()).is_ok());
+    }
+
+    #[test]
+    fn cache_limit_bounds_memory() {
+        let mut engine = Engine::new().with_cache_limit(1);
+        let ids = engine.register_all((0..3).map(|s| planar::random_walk(40, 0.4, s)));
+        for id in &ids {
+            let outcome = engine.execute(&Query::motif(*id).xi(3).build()).unwrap();
+            assert!(outcome.motif().is_some());
+            // Every query overflows the 1-byte limit, so the cache is
+            // dropped right after it — memory stays bounded.
+            assert_eq!(engine.cache_bytes(), 0);
+        }
+        // Unbounded engines keep the cache.
+        let mut engine = Engine::new();
+        let id = engine.register(planar::random_walk(40, 0.4, 9));
+        engine.execute(&Query::motif(id).xi(3).build()).unwrap();
+        assert!(engine.cache_bytes() > 0);
+        engine.set_cache_limit(Some(1));
+        engine.execute(&Query::motif(id).xi(3).build()).unwrap();
+        assert_eq!(engine.cache_bytes(), 0);
+    }
+
+    #[test]
+    fn gtm_star_caches_relaxed_tables_and_reuses_dense_matrix() {
+        let t = planar::random_walk(70, 0.4, 33);
+        let direct = crate::GtmStar
+            .discover(&t, &MotifConfig::new(4).with_group_size(8))
+            .unwrap();
+        let mut engine = Engine::new();
+        let id = engine.register(t);
+        let q = Query::motif(id)
+            .xi(4)
+            .group_size(8)
+            .algorithm(AlgorithmChoice::GtmStar)
+            .build();
+
+        // Cold: builds relaxed tables (never a dense matrix).
+        let first = engine.execute(&q).unwrap();
+        assert_eq!(first.cache.matrices_built, 0);
+        assert_eq!(first.cache.tables_built, 1);
+        assert_eq!(first.motif().unwrap().distance, direct.distance);
+
+        // Warm: everything reused.
+        let second = engine.execute(&q).unwrap();
+        assert_eq!(second.cache.recomputed(), 0);
+        assert_eq!(second.cache.tables_reused, 1);
+        assert_eq!(second.motif(), first.motif());
+
+        // After a BTM query pays for the dense matrix, GTM* reads it.
+        engine
+            .execute(
+                &Query::motif(id)
+                    .xi(4)
+                    .algorithm(AlgorithmChoice::Btm)
+                    .build(),
+            )
+            .unwrap();
+        let third = engine.execute(&q).unwrap();
+        assert_eq!(third.cache.matrices_reused, 1);
+        assert_eq!(third.cache.recomputed(), 0);
+        assert_eq!(third.motif().unwrap().distance, direct.distance);
+    }
+
+    #[test]
+    fn budget_truncation_is_reported() {
+        let t = planar::random_walk(90, 0.4, 5);
+        let mut engine = Engine::new();
+        let id = engine.register(t);
+        let q = Query::motif(id)
+            .xi(3)
+            .algorithm(AlgorithmChoice::BruteDp)
+            .candidate_budget(2)
+            .build();
+        let outcome = engine.execute(&q).unwrap();
+        assert!(outcome.truncated);
+        assert_eq!(outcome.stats.subsets_expanded, 2);
+        // Unexamined subsets are budget-skipped, not "pruned": BruteDP
+        // prunes nothing, so the pruned fraction must stay 0.
+        assert!(outcome.stats.subsets_skipped_budget > 0);
+        assert_eq!(outcome.stats.pruned_fraction(), 0.0);
+        assert_eq!(
+            outcome.stats.pairs_exact + outcome.stats.pairs_skipped_budget,
+            outcome.stats.pairs_total
+        );
+    }
+
+    #[test]
+    fn tight_gtm_caches_relaxed_tables_for_warm_queries() {
+        let t = planar::random_walk(70, 0.4, 21);
+        let mut engine = Engine::new();
+        let id = engine.register(t);
+        let q = Query::motif(id)
+            .xi(4)
+            .bounds(crate::BoundSelection::all_tight())
+            .algorithm(AlgorithmChoice::Gtm)
+            .build();
+        let first = engine.execute(&q).unwrap();
+        // Matrix + tight tables + the relaxed arrays the grouping needs.
+        assert_eq!(first.cache.matrices_built, 1);
+        assert_eq!(first.cache.tables_built, 2);
+        let second = engine.execute(&q).unwrap();
+        assert_eq!(second.cache.recomputed(), 0);
+        assert_eq!(second.cache.reused(), 3);
+        assert_eq!(second.motif(), first.motif());
+    }
+
+    #[test]
+    fn mixed_workloads_share_one_session() {
+        let mut engine = Engine::new();
+        let ids = engine.register_all((0..4).map(|s| planar::random_walk(50, 0.4, s)));
+
+        let motif = engine.execute(&Query::motif(ids[0]).xi(3).build()).unwrap();
+        assert!(motif.motif().is_some());
+
+        let topk = engine
+            .execute(&Query::top_k(ids[0], 2).xi(3).build())
+            .unwrap();
+        assert!(!topk.motifs().is_empty());
+        // Top-k reuses the motif query's matrix and tables.
+        assert_eq!(topk.cache.matrices_built, 0);
+        // And its stats account real work: some pairs were evaluated
+        // exactly, so the pruned fraction cannot sit at 1.0.
+        assert!(topk.stats.pairs_exact > 0);
+        assert!(topk.stats.pruned_fraction() < 1.0);
+
+        let join = engine
+            .execute(&Query::join(ids.clone(), 5.0).build())
+            .unwrap();
+        assert!(join.join().is_some());
+
+        let cluster = engine
+            .execute(&Query::cluster(ids[1], 10, 10, 2.0).build())
+            .unwrap();
+        assert!(cluster.clusters().is_some());
+
+        let measures = engine
+            .execute(&Query::measures(ids[0], ids[1], 1.0).build())
+            .unwrap();
+        let p = measures.measures().unwrap();
+        assert!(p.dfd >= 0.0 && p.hausdorff <= p.dfd + 1e-9);
+        assert_eq!(engine.stats().queries, 5);
+    }
+}

@@ -1,0 +1,775 @@
+//! Typed queries, the fluent [`QueryBuilder`], algorithm selection, and
+//! query outcomes.
+
+use std::time::{Duration, Instant};
+
+use crate::cluster::SubtrajectoryCluster;
+use crate::config::{BoundSelection, MotifConfig};
+use crate::join::JoinResult;
+use crate::result::Motif;
+use crate::search::SearchBudget;
+use crate::stats::SearchStats;
+
+use super::cache::CacheReport;
+use super::TrajId;
+
+/// Where a motif query searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MotifScope {
+    /// Problem 1: the best non-overlapping pair within one trajectory.
+    Within(TrajId),
+    /// The two-trajectory variant: the best cross pair between two
+    /// trajectories.
+    Between(TrajId, TrajId),
+}
+
+/// The workload of a [`Query`].
+///
+/// `#[non_exhaustive]`: build queries through the [`Query`] constructors
+/// so new workloads can be added without breaking matches.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueryKind {
+    /// Motif discovery (Problem 1 or its two-trajectory variant).
+    Motif {
+        /// Search scope.
+        scope: MotifScope,
+    },
+    /// The `k` best index-disjoint motifs within one trajectory.
+    TopK {
+        /// Target trajectory.
+        id: TrajId,
+        /// How many disjoint motifs to report.
+        k: usize,
+    },
+    /// DFD similarity join over whole trajectories.
+    Join {
+        /// Left-hand trajectories.
+        probe: Vec<TrajId>,
+        /// Right-hand trajectories; `None` runs a self-join over `probe`
+        /// (unordered pairs, diagonal excluded).
+        base: Option<Vec<TrajId>>,
+        /// DFD threshold `ε`.
+        epsilon: f64,
+    },
+    /// Leader clustering of sliding subtrajectory windows.
+    Cluster {
+        /// Target trajectory.
+        id: TrajId,
+        /// Window length in points (≥ 2).
+        window: usize,
+        /// Stride between window starts (≥ 1).
+        stride: usize,
+        /// DFD threshold for joining a cluster.
+        epsilon: f64,
+    },
+    /// Whole-trajectory similarity profile under every Table 1 measure
+    /// (ED, DTW, LCSS, EDR, DFD, Hausdorff).
+    Measures {
+        /// First trajectory.
+        a: TrajId,
+        /// Second trajectory.
+        b: TrajId,
+        /// Matching threshold for LCSS/EDR.
+        epsilon: f64,
+    },
+}
+
+/// Which algorithm a motif-style query runs.
+///
+/// [`AlgorithmChoice::Auto`] picks from the trajectory length `n` and the
+/// minimum motif length ξ using the crossovers of the paper's Section 6
+/// evaluation — see [`AlgorithmChoice::resolve`] for the exact rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum AlgorithmChoice {
+    /// Pick automatically from `n` and ξ (see [`AlgorithmChoice::resolve`]).
+    Auto,
+    /// Algorithm 1, the `O(n⁴)` baseline.
+    BruteDp,
+    /// Algorithm 2, bounding-based.
+    Btm,
+    /// Algorithm 3, grouping-based.
+    Gtm,
+    /// Section 5.5, the space-efficient grouping variant.
+    GtmStar,
+    /// `(1+ε)`-approximate search on the GTM machinery.
+    Approx {
+        /// Approximation slack `ε ≥ 0`.
+        epsilon: f64,
+    },
+}
+
+/// Below this length [`AlgorithmChoice::Auto`] picks BruteDP: the search
+/// space is tiny and bound-table precomputation dominates.
+pub const AUTO_BRUTE_MAX_N: usize = 64;
+/// Up to this length — or whenever `8ξ ≥ n` — Auto picks BTM: grouping
+/// needs a large candidate grid relative to τ to amortize (Figure 17/20).
+pub const AUTO_BTM_MAX_N: usize = 512;
+/// Up to this length Auto picks GTM (Figure 18's sweet spot); beyond it
+/// the dense `O(n²)` distance matrix passes ~128 MiB and Auto trades time
+/// for GTM*'s `O(max{(n/τ)², n})` space (Figure 19).
+pub const AUTO_GTM_MAX_N: usize = 4096;
+
+/// The concrete method [`AlgorithmChoice`] resolves to for a given input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResolvedAlgorithm {
+    /// Algorithm 1.
+    BruteDp,
+    /// Algorithm 2.
+    Btm,
+    /// Algorithm 3.
+    Gtm,
+    /// Section 5.5.
+    GtmStar,
+    /// GTM with `(1+ε)` pruning.
+    Approx(f64),
+}
+
+impl ResolvedAlgorithm {
+    /// Display name, matching
+    /// [`crate::MotifDiscovery::name`](crate::MotifDiscovery) for the
+    /// direct implementations.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResolvedAlgorithm::BruteDp => "BruteDP",
+            ResolvedAlgorithm::Btm => "BTM",
+            ResolvedAlgorithm::Gtm => "GTM",
+            ResolvedAlgorithm::GtmStar => "GTM*",
+            ResolvedAlgorithm::Approx(_) => "GTM(1+eps)",
+        }
+    }
+}
+
+impl AlgorithmChoice {
+    /// The names accepted by the [`std::str::FromStr`] implementation.
+    pub const VALID_NAMES: &'static [&'static str] = &[
+        "auto",
+        "brute",
+        "brutedp",
+        "btm",
+        "gtm",
+        "gtm-star",
+        "gtm*",
+        "approx:<eps>",
+    ];
+
+    /// Resolves the choice for a search over (maximum) trajectory length
+    /// `n` and minimum motif length `xi`.
+    ///
+    /// The `Auto` rule encodes the paper's Section 6 crossovers:
+    ///
+    /// 1. `n > `[`AUTO_GTM_MAX_N`] → GTM* — above ~4096 points the dense
+    ///    distance matrix exceeds ~128 MiB, so Auto trades time for space
+    ///    (Figure 19). This memory guard takes precedence over every
+    ///    speed rule below.
+    /// 2. `n ≤ `[`AUTO_BRUTE_MAX_N`] → BruteDP — at toy sizes the bound
+    ///    precomputation costs more than it saves.
+    /// 3. `n ≤ `[`AUTO_BTM_MAX_N`] or `8ξ ≥ n` → BTM — grouping only pays
+    ///    when the candidate grid is large relative to τ.
+    /// 4. otherwise → GTM — the paper's fastest method in its measured
+    ///    range (Figure 18).
+    #[must_use]
+    pub fn resolve(self, n: usize, xi: usize) -> ResolvedAlgorithm {
+        match self {
+            AlgorithmChoice::Auto => {
+                if n > AUTO_GTM_MAX_N {
+                    ResolvedAlgorithm::GtmStar
+                } else if n <= AUTO_BRUTE_MAX_N {
+                    ResolvedAlgorithm::BruteDp
+                } else if n <= AUTO_BTM_MAX_N || xi.saturating_mul(8) >= n {
+                    ResolvedAlgorithm::Btm
+                } else {
+                    ResolvedAlgorithm::Gtm
+                }
+            }
+            AlgorithmChoice::BruteDp => ResolvedAlgorithm::BruteDp,
+            AlgorithmChoice::Btm => ResolvedAlgorithm::Btm,
+            AlgorithmChoice::Gtm => ResolvedAlgorithm::Gtm,
+            AlgorithmChoice::GtmStar => ResolvedAlgorithm::GtmStar,
+            AlgorithmChoice::Approx { epsilon } => ResolvedAlgorithm::Approx(epsilon),
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmChoice {
+    /// The CLI-facing spelling accepted by [`std::str::FromStr`]
+    /// (`auto`, `brute`, `btm`, `gtm`, `gtm-star`, `approx:<eps>`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgorithmChoice::Auto => f.write_str("auto"),
+            AlgorithmChoice::BruteDp => f.write_str("brute"),
+            AlgorithmChoice::Btm => f.write_str("btm"),
+            AlgorithmChoice::Gtm => f.write_str("gtm"),
+            AlgorithmChoice::GtmStar => f.write_str("gtm-star"),
+            AlgorithmChoice::Approx { epsilon } => write!(f, "approx:{epsilon}"),
+        }
+    }
+}
+
+/// Error for an unrecognized algorithm name; its message lists every
+/// valid name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlgorithmError {
+    got: String,
+}
+
+impl std::fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown algorithm {:?} (valid: {})",
+            self.got,
+            AlgorithmChoice::VALID_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+impl std::str::FromStr for AlgorithmChoice {
+    type Err = ParseAlgorithmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(AlgorithmChoice::Auto),
+            "brute" | "brutedp" => Ok(AlgorithmChoice::BruteDp),
+            "btm" => Ok(AlgorithmChoice::Btm),
+            "gtm" => Ok(AlgorithmChoice::Gtm),
+            "gtm-star" | "gtm*" => Ok(AlgorithmChoice::GtmStar),
+            lower => {
+                if let Some(eps) = lower.strip_prefix("approx:") {
+                    if let Ok(epsilon) = eps.parse::<f64>() {
+                        if epsilon >= 0.0 && epsilon.is_finite() {
+                            return Ok(AlgorithmChoice::Approx { epsilon });
+                        }
+                    }
+                }
+                Err(ParseAlgorithmError { got: s.to_string() })
+            }
+        }
+    }
+}
+
+/// An optional resource budget for a motif-search query (motif or
+/// top-k) — the engine stops expanding work when it is spent and flags
+/// the outcome as truncated. Join, cluster, and measures queries cannot
+/// honor a budget; setting one on them is rejected with
+/// [`EngineError::InvalidParameter`] rather than silently ignored.
+///
+/// `#[non_exhaustive]`: start from [`QueryBudget::default`] (unlimited)
+/// and set caps with the `with_*` setters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
+pub struct QueryBudget {
+    /// Wall-clock cap in seconds.
+    pub max_seconds: Option<f64>,
+    /// Cap on candidate subsets expanded (exact-DP invocations).
+    pub max_subsets: Option<u64>,
+}
+
+impl QueryBudget {
+    /// Caps wall-clock time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seconds` is non-finite or negative.
+    #[must_use]
+    pub fn with_max_seconds(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "time budget must be finite and ≥ 0"
+        );
+        self.max_seconds = Some(seconds);
+        self
+    }
+
+    /// Caps the number of candidate-subset expansions.
+    #[must_use]
+    pub const fn with_max_subsets(mut self, subsets: u64) -> Self {
+        self.max_subsets = Some(subsets);
+        self
+    }
+
+    /// Whether no cap is set.
+    #[must_use]
+    pub const fn is_unlimited(&self) -> bool {
+        self.max_seconds.is_none() && self.max_subsets.is_none()
+    }
+
+    pub(crate) fn to_search_budget(self, started: Instant) -> Option<SearchBudget> {
+        if self.is_unlimited() {
+            return None;
+        }
+        // A cap too large to represent as an Instant is no cap at all;
+        // fall back to "no deadline" instead of panicking.
+        let deadline = self
+            .max_seconds
+            .and_then(|s| Duration::try_from_secs_f64(s).ok())
+            .and_then(|d| started.checked_add(d));
+        Some(SearchBudget {
+            deadline,
+            max_subsets: self.max_subsets,
+        })
+    }
+}
+
+/// One typed query against an [`super::Engine`] corpus.
+///
+/// Build with the constructors ([`Query::motif`], [`Query::top_k`],
+/// [`Query::join`], [`Query::cluster`], …) and refine with the fluent
+/// [`QueryBuilder`] they return. `#[non_exhaustive]`: fields may grow;
+/// use the `with_*` setters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct Query {
+    /// The workload.
+    pub kind: QueryKind,
+    /// Minimum motif length ξ (motif/top-k queries; ignored by the rest).
+    pub min_length: usize,
+    /// Bound families for the pruning algorithms.
+    pub bounds: BoundSelection,
+    /// Initial group size τ for GTM/GTM*.
+    pub group_size: usize,
+    /// Algorithm selection for motif-style queries.
+    pub algorithm: AlgorithmChoice,
+    /// Optional resource budget.
+    pub budget: QueryBudget,
+}
+
+impl Query {
+    fn with_kind(kind: QueryKind) -> QueryBuilder {
+        QueryBuilder {
+            query: Query {
+                kind,
+                min_length: 1,
+                bounds: BoundSelection::all_relaxed(),
+                group_size: 32,
+                algorithm: AlgorithmChoice::Auto,
+                budget: QueryBudget::default(),
+            },
+        }
+    }
+
+    /// Motif discovery within one trajectory (Problem 1).
+    #[must_use]
+    pub fn motif(id: TrajId) -> QueryBuilder {
+        Query::with_kind(QueryKind::Motif {
+            scope: MotifScope::Within(id),
+        })
+    }
+
+    /// Motif discovery between two trajectories.
+    #[must_use]
+    pub fn motif_between(a: TrajId, b: TrajId) -> QueryBuilder {
+        Query::with_kind(QueryKind::Motif {
+            scope: MotifScope::Between(a, b),
+        })
+    }
+
+    /// The `k` best index-disjoint motifs within one trajectory.
+    ///
+    /// Top-k always runs the dense BTM machinery (masked rounds over a
+    /// precomputed distance matrix), so it holds `O(n²)` memory even on
+    /// inputs where [`AlgorithmChoice::Auto`] would route a plain motif
+    /// query to the space-efficient GTM*; budget very large trajectories
+    /// accordingly.
+    #[must_use]
+    pub fn top_k(id: TrajId, k: usize) -> QueryBuilder {
+        Query::with_kind(QueryKind::TopK { id, k })
+    }
+
+    /// DFD self-join: all unordered pairs within `ids` with `DFD ≤ eps`.
+    #[must_use]
+    pub fn join(ids: Vec<TrajId>, eps: f64) -> QueryBuilder {
+        Query::with_kind(QueryKind::Join {
+            probe: ids,
+            base: None,
+            epsilon: eps,
+        })
+    }
+
+    /// DFD cross-join: all pairs `(a, b)` with `DFD ≤ eps`.
+    #[must_use]
+    pub fn join_between(a: Vec<TrajId>, b: Vec<TrajId>, eps: f64) -> QueryBuilder {
+        Query::with_kind(QueryKind::Join {
+            probe: a,
+            base: Some(b),
+            epsilon: eps,
+        })
+    }
+
+    /// Leader clustering of sliding windows over one trajectory.
+    #[must_use]
+    pub fn cluster(id: TrajId, window: usize, stride: usize, eps: f64) -> QueryBuilder {
+        Query::with_kind(QueryKind::Cluster {
+            id,
+            window,
+            stride,
+            epsilon: eps,
+        })
+    }
+
+    /// Whole-trajectory similarity profile (ED, DTW, LCSS, EDR, DFD,
+    /// Hausdorff) between two trajectories; `eps` is the LCSS/EDR
+    /// matching threshold.
+    #[must_use]
+    pub fn measures(a: TrajId, b: TrajId, eps: f64) -> QueryBuilder {
+        Query::with_kind(QueryKind::Measures { a, b, epsilon: eps })
+    }
+
+    /// Replaces the minimum motif length ξ.
+    #[must_use]
+    pub fn with_xi(mut self, xi: usize) -> Self {
+        self.min_length = xi;
+        self
+    }
+
+    /// Replaces the bound selection.
+    #[must_use]
+    pub fn with_bounds(mut self, bounds: BoundSelection) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Replaces the initial group size τ.
+    #[must_use]
+    pub fn with_group_size(mut self, tau: usize) -> Self {
+        self.group_size = tau;
+        self
+    }
+
+    /// Replaces the algorithm choice.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: AlgorithmChoice) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Replaces the budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The [`MotifConfig`] this query implies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when ξ or τ is zero; [`super::Engine::execute`] validates
+    /// both beforehand and returns [`EngineError::InvalidParameter`]
+    /// instead.
+    #[must_use]
+    pub fn motif_config(&self) -> MotifConfig {
+        MotifConfig::new(self.min_length)
+            .with_bounds(self.bounds)
+            .with_group_size(self.group_size)
+    }
+}
+
+/// Fluent builder returned by the [`Query`] constructors.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    query: Query,
+}
+
+impl QueryBuilder {
+    /// Sets the minimum motif length ξ.
+    #[must_use]
+    pub fn xi(mut self, xi: usize) -> Self {
+        self.query = self.query.with_xi(xi);
+        self
+    }
+
+    /// Sets the bound selection.
+    #[must_use]
+    pub fn bounds(mut self, bounds: BoundSelection) -> Self {
+        self.query = self.query.with_bounds(bounds);
+        self
+    }
+
+    /// Sets the initial group size τ.
+    #[must_use]
+    pub fn group_size(mut self, tau: usize) -> Self {
+        self.query = self.query.with_group_size(tau);
+        self
+    }
+
+    /// Sets the algorithm choice.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: AlgorithmChoice) -> Self {
+        self.query = self.query.with_algorithm(algorithm);
+        self
+    }
+
+    /// Sets the full budget.
+    #[must_use]
+    pub fn budget(mut self, budget: QueryBudget) -> Self {
+        self.query = self.query.with_budget(budget);
+        self
+    }
+
+    /// Caps wall-clock time.
+    #[must_use]
+    pub fn time_budget(mut self, limit: Duration) -> Self {
+        self.query.budget = self.query.budget.with_max_seconds(limit.as_secs_f64());
+        self
+    }
+
+    /// Caps candidate-subset expansions.
+    #[must_use]
+    pub fn candidate_budget(mut self, subsets: u64) -> Self {
+        self.query.budget = self.query.budget.with_max_subsets(subsets);
+        self
+    }
+
+    /// Finishes the query.
+    #[must_use]
+    pub fn build(self) -> Query {
+        self.query
+    }
+}
+
+/// Whole-trajectory distances under every measure of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct MeasureProfile {
+    /// Lock-step Euclidean distance.
+    pub euclidean: f64,
+    /// Dynamic time warping.
+    pub dtw: f64,
+    /// LCSS distance (`1 − |LCSS|/min(n,m)`).
+    pub lcss: f64,
+    /// Edit distance on real sequences (edit count).
+    pub edr: usize,
+    /// Discrete Fréchet distance.
+    pub dfd: f64,
+    /// Symmetric Hausdorff distance.
+    pub hausdorff: f64,
+    /// The LCSS/EDR matching threshold the profile was computed with.
+    pub epsilon: f64,
+}
+
+/// The per-workload payload of a [`QueryOutcome`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum QueryResults {
+    /// Motif query result (`None` when the input is too short for ξ).
+    Motif(Option<Motif>),
+    /// Top-k query result, best first.
+    TopK(Vec<Motif>),
+    /// Similarity-join result.
+    Join(JoinResult),
+    /// Clustering result, largest cluster first.
+    Cluster(Vec<SubtrajectoryCluster>),
+    /// Similarity profile.
+    Measures(MeasureProfile),
+}
+
+/// What every engine query returns: results, statistics, and provenance.
+///
+/// `#[non_exhaustive]`: fields may grow (it is only ever constructed by
+/// the engine).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct QueryOutcome {
+    /// The workload-specific payload.
+    pub results: QueryResults,
+    /// Name of the algorithm that ran (after `Auto` resolution).
+    pub algorithm: &'static str,
+    /// Search statistics (motif-style queries; zeroed for join/cluster/
+    /// measures, whose counters live in their payloads).
+    pub stats: SearchStats,
+    /// End-to-end wall time of [`super::Engine::execute`] in seconds,
+    /// including cache lookups — compare with `stats.total_seconds` to see
+    /// the facade overhead.
+    pub wall_seconds: f64,
+    /// What this query hit or built in the engine's cache.
+    pub cache: CacheReport,
+    /// Whether a [`QueryBudget`] cut the search short (the result is then
+    /// best-effort, not guaranteed optimal).
+    pub truncated: bool,
+}
+
+impl QueryOutcome {
+    /// The best motif of a motif or top-k query (`None` for the other
+    /// workloads, or when no motif exists).
+    #[must_use]
+    pub fn motif(&self) -> Option<Motif> {
+        match &self.results {
+            QueryResults::Motif(m) => *m,
+            QueryResults::TopK(ms) => ms.first().copied(),
+            _ => None,
+        }
+    }
+
+    /// The motif list of a top-k query (singleton for a motif query).
+    #[must_use]
+    pub fn motifs(&self) -> Vec<Motif> {
+        match &self.results {
+            QueryResults::Motif(m) => m.iter().copied().collect(),
+            QueryResults::TopK(ms) => ms.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The join result, when this was a join query.
+    #[must_use]
+    pub fn join(&self) -> Option<&JoinResult> {
+        match &self.results {
+            QueryResults::Join(j) => Some(j),
+            _ => None,
+        }
+    }
+
+    /// The clusters, when this was a cluster query.
+    #[must_use]
+    pub fn clusters(&self) -> Option<&[SubtrajectoryCluster]> {
+        match &self.results {
+            QueryResults::Cluster(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The similarity profile, when this was a measures query.
+    #[must_use]
+    pub fn measures(&self) -> Option<&MeasureProfile> {
+        match &self.results {
+            QueryResults::Measures(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Why the engine rejected a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A [`TrajId`] does not belong to this engine's corpus.
+    UnknownTrajectory(TrajId),
+    /// A parameter is out of range (message names it).
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownTrajectory(id) => {
+                write!(f, "trajectory {id:?} is not registered with this engine")
+            }
+            EngineError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_rule_matches_documentation() {
+        let a = AlgorithmChoice::Auto;
+        assert_eq!(a.resolve(50, 5), ResolvedAlgorithm::BruteDp);
+        assert_eq!(a.resolve(64, 5), ResolvedAlgorithm::BruteDp);
+        assert_eq!(a.resolve(65, 5), ResolvedAlgorithm::Btm);
+        assert_eq!(a.resolve(512, 20), ResolvedAlgorithm::Btm);
+        assert_eq!(a.resolve(2000, 20), ResolvedAlgorithm::Gtm);
+        // Large ξ relative to n keeps BTM even past the BTM cutoff.
+        assert_eq!(a.resolve(2000, 300), ResolvedAlgorithm::Btm);
+        assert_eq!(a.resolve(4096, 20), ResolvedAlgorithm::Gtm);
+        assert_eq!(a.resolve(5000, 20), ResolvedAlgorithm::GtmStar);
+        // The memory guard outranks the large-ξ BTM rule: at 20k points
+        // the dense matrix would be ~1.6 GB regardless of ξ.
+        assert_eq!(a.resolve(20_000, 3_000), ResolvedAlgorithm::GtmStar);
+    }
+
+    #[test]
+    fn explicit_choices_resolve_to_themselves() {
+        assert_eq!(
+            AlgorithmChoice::BruteDp.resolve(10_000, 1),
+            ResolvedAlgorithm::BruteDp
+        );
+        assert_eq!(AlgorithmChoice::Btm.resolve(5, 1), ResolvedAlgorithm::Btm);
+        assert_eq!(
+            AlgorithmChoice::Approx { epsilon: 0.5 }.resolve(100, 5),
+            ResolvedAlgorithm::Approx(0.5)
+        );
+    }
+
+    #[test]
+    fn algorithm_names_parse_and_errors_list_valid() {
+        assert_eq!("auto".parse::<AlgorithmChoice>(), Ok(AlgorithmChoice::Auto));
+        assert_eq!("BTM".parse::<AlgorithmChoice>(), Ok(AlgorithmChoice::Btm));
+        assert_eq!(
+            "gtm-star".parse::<AlgorithmChoice>(),
+            Ok(AlgorithmChoice::GtmStar)
+        );
+        assert_eq!(
+            "gtm*".parse::<AlgorithmChoice>(),
+            Ok(AlgorithmChoice::GtmStar)
+        );
+        assert_eq!(
+            "brutedp".parse::<AlgorithmChoice>(),
+            Ok(AlgorithmChoice::BruteDp)
+        );
+        assert_eq!(
+            "approx:0.5".parse::<AlgorithmChoice>(),
+            Ok(AlgorithmChoice::Approx { epsilon: 0.5 })
+        );
+        let err = "frobnicate".parse::<AlgorithmChoice>().unwrap_err();
+        let msg = err.to_string();
+        for name in AlgorithmChoice::VALID_NAMES {
+            assert!(msg.contains(name), "{msg:?} missing {name}");
+        }
+        assert!("approx:-1".parse::<AlgorithmChoice>().is_err());
+        assert!("approx:nan".parse::<AlgorithmChoice>().is_err());
+    }
+
+    #[test]
+    fn builder_carries_every_knob() {
+        let id = TrajId::from_index(0);
+        let q = Query::motif(id)
+            .xi(12)
+            .bounds(BoundSelection::cell_only())
+            .group_size(8)
+            .algorithm(AlgorithmChoice::Btm)
+            .candidate_budget(100)
+            .time_budget(Duration::from_millis(250))
+            .build();
+        assert_eq!(q.min_length, 12);
+        assert!(q.bounds.cell && !q.bounds.cross);
+        assert_eq!(q.group_size, 8);
+        assert_eq!(q.algorithm, AlgorithmChoice::Btm);
+        assert_eq!(q.budget.max_subsets, Some(100));
+        assert!(q.budget.max_seconds.is_some());
+        assert!(!q.budget.is_unlimited());
+        let cfg = q.motif_config();
+        assert_eq!(cfg.min_length, 12);
+        assert_eq!(cfg.group_size, 8);
+    }
+
+    #[test]
+    fn oversized_time_budget_degrades_to_no_deadline() {
+        // Larger than any representable Instant offset: must not panic,
+        // and acts as "no deadline".
+        let b = QueryBudget::default().with_max_seconds(1e20);
+        let sb = b.to_search_budget(Instant::now()).unwrap();
+        assert!(sb.deadline.is_none());
+        assert!(!sb.exceeded(u64::MAX - 1));
+    }
+
+    #[test]
+    fn unlimited_budget_maps_to_none() {
+        assert!(QueryBudget::default()
+            .to_search_budget(Instant::now())
+            .is_none());
+        let b = QueryBudget::default().with_max_subsets(5);
+        let sb = b.to_search_budget(Instant::now()).unwrap();
+        assert_eq!(sb.max_subsets, Some(5));
+        assert!(sb.deadline.is_none());
+    }
+}

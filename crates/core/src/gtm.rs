@@ -24,7 +24,7 @@ use crate::domain::Domain;
 use crate::dp::{Bsf, DpBuffers};
 use crate::group::{group_dfd_bounds, GroupGrid, GroupMatrices};
 use crate::result::Motif;
-use crate::search::{build_entries, list_bytes, process_sorted_subsets, ListEntry};
+use crate::search::{build_entries, list_bytes, process_sorted_subsets, ListEntry, SearchBudget};
 use crate::stats::SearchStats;
 
 /// The grouping-based solution of Algorithm 3.
@@ -233,6 +233,20 @@ pub(crate) fn split_pairs(
     out
 }
 
+/// O(1) bail-out when a budget expires during the grouping levels: no
+/// concrete motif exists yet (group levels produce bounds, not pairs),
+/// and everything unaccounted is budget-skipped, not pruned. Shared by
+/// GTM and GTM*.
+pub(crate) fn truncated_mid_grouping(
+    mut stats: SearchStats,
+    started: Instant,
+) -> (Option<Motif>, SearchStats, bool) {
+    stats.subsets_skipped_budget = stats.subsets_total - stats.subsets_expanded;
+    stats.pairs_skipped_budget += stats.pairs_total.saturating_sub(stats.pairs_accounted());
+    stats.total_seconds = started.elapsed().as_secs_f64();
+    (None, stats, false)
+}
+
 /// Initial block-pair enumeration at the coarsest level.
 pub(crate) fn initial_pairs(domain: Domain, xi: usize, grid: &GroupGrid) -> Vec<(u32, u32)> {
     let mut out = Vec::new();
@@ -258,14 +272,45 @@ impl Gtm {
         epsilon: f64,
         started: Instant,
     ) -> (Option<Motif>, SearchStats) {
+        let tables = BoundTables::build(src, domain, config.min_length, config.bounds);
+        let mut buf = DpBuffers::with_width(domain.len_b());
+        let (motif, stats, _) = Self::run_prepared(
+            src, &tables, None, domain, config, epsilon, started, &mut buf, None,
+        );
+        (motif, stats)
+    }
+
+    /// Algorithm 3 over prebuilt bound tables and an external DP buffer —
+    /// the entry point used by [`crate::engine::Engine`] so repeated
+    /// queries on the same trajectory skip the `O(n²)` precomputation.
+    /// When `tables` is the tight variant, `relaxed` may supply prebuilt
+    /// relaxed arrays for the grouping machinery (built locally when
+    /// absent).
+    ///
+    /// The third return value is `false` when `budget` truncated the
+    /// search — a wall-clock deadline is checked between grouping levels
+    /// (bailing out with no motif) and before every subset expansion of
+    /// the final best-first stage.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_prepared<D: DistanceSource>(
+        src: &D,
+        tables: &BoundTables,
+        relaxed: Option<&RelaxedTables>,
+        domain: Domain,
+        config: &MotifConfig,
+        epsilon: f64,
+        started: Instant,
+        buf: &mut DpBuffers,
+        budget: Option<&SearchBudget>,
+    ) -> (Option<Motif>, SearchStats, bool) {
         let xi = config.min_length;
         let sel = config.bounds;
 
-        let tables = BoundTables::build(src, domain, xi, sel);
-        // Group pattern bounds always use relaxed arrays; build them
-        // separately when the final stage runs tight bounds.
+        // Group pattern bounds always use relaxed arrays; take the
+        // caller's (the engine caches them across queries), else build
+        // them when the final stage runs tight bounds.
         let relaxed_extra;
-        let relaxed: &RelaxedTables = match tables.as_relaxed() {
+        let relaxed: &RelaxedTables = match tables.as_relaxed().or(relaxed) {
             Some(r) => r,
             None => {
                 relaxed_extra = RelaxedTables::build(src, domain, xi);
@@ -295,6 +340,13 @@ impl Gtm {
 
         let mut level_tau = tau0;
         while level_tau > 1 && !survivors.is_empty() {
+            // Honor a wall-clock budget between levels too: on large
+            // inputs the grouping DPs are a real share of the runtime,
+            // and the final stage would otherwise be the first place the
+            // deadline is consulted.
+            if budget.is_some_and(|b| b.exceeded(stats.subsets_expanded)) {
+                return truncated_mid_grouping(stats, started);
+            }
             let gm = GroupMatrices::build(src, domain, level_tau);
             stats.bytes_groups = stats.bytes_groups.max(gm.bytes());
             let pattern = GroupPatternBounds::build(relaxed, &gm.grid);
@@ -311,25 +363,26 @@ impl Gtm {
             .iter()
             .map(|&(i, j)| (i as usize, j as usize))
             .filter(|&(i, j)| domain.subset_nonempty(i, j, xi));
-        let mut entries: Vec<ListEntry> = build_entries(src, &tables, sel, starts);
+        let mut entries: Vec<ListEntry> = build_entries(src, tables, sel, starts);
         stats.bytes_lists = stats.bytes_lists.max(list_bytes(&entries));
 
-        let mut buf = DpBuffers::with_width(domain.len_b());
-        stats.bytes_dp = buf.bytes();
-        process_sorted_subsets(
+        let completed = process_sorted_subsets(
             src,
             domain,
             xi,
             sel,
-            &tables,
+            tables,
             &mut entries,
             &mut bsf,
             &mut stats,
-            &mut buf,
+            buf,
+            budget,
         );
 
+        // Recorded after the scan: a shared engine buffer grows lazily.
+        stats.bytes_dp = buf.bytes_for_width(domain.len_b());
         stats.total_seconds = started.elapsed().as_secs_f64();
-        (bsf.motif, stats)
+        (bsf.motif, stats, completed)
     }
 }
 

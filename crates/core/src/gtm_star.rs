@@ -17,9 +17,9 @@ use crate::config::MotifConfig;
 use crate::domain::Domain;
 use crate::dp::{Bsf, DpBuffers};
 use crate::group::{GroupGrid, GroupMatrices};
-use crate::gtm::{initial_pairs, process_group_level, GroupPatternBounds};
+use crate::gtm::{initial_pairs, process_group_level, truncated_mid_grouping, GroupPatternBounds};
 use crate::result::Motif;
-use crate::search::{build_entries, list_bytes, process_sorted_subsets, ListEntry};
+use crate::search::{build_entries, list_bytes, process_sorted_subsets, ListEntry, SearchBudget};
 use crate::stats::SearchStats;
 
 /// The space-efficient grouping solution of Section 5.5.
@@ -27,18 +27,36 @@ use crate::stats::SearchStats;
 pub struct GtmStar;
 
 impl GtmStar {
-    fn run<D: DistanceSource>(
+    /// Runs GTM* over any distance source and an external DP buffer.
+    /// `prepared` may carry relaxed bound tables built earlier (the
+    /// engine caches them per trajectory); tight tables are ignored —
+    /// GTM* always uses the relaxed `O(1)` bounds, because tight tables
+    /// would reintroduce the `O(n²)` memory it exists to avoid.
+    ///
+    /// The third return value is `false` when `budget` truncated the
+    /// search (the [`crate::engine::Engine`] surfaces it as `truncated`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run<D: DistanceSource>(
         src: &D,
         domain: Domain,
         config: &MotifConfig,
         started: Instant,
-    ) -> (Option<Motif>, SearchStats) {
+        buf: &mut DpBuffers,
+        budget: Option<&SearchBudget>,
+        prepared: Option<&BoundTables>,
+    ) -> (Option<Motif>, SearchStats, bool) {
         let xi = config.min_length;
         let sel = config.bounds;
 
-        // GTM* always uses the relaxed O(1) bounds: tight tables would
-        // reintroduce the O(n²) memory it exists to avoid.
-        let relaxed = RelaxedTables::build(src, domain, xi);
+        let tables_local;
+        let tables: &BoundTables = match prepared.filter(|t| t.as_relaxed().is_some()) {
+            Some(t) => t,
+            None => {
+                tables_local = BoundTables::Relaxed(RelaxedTables::build(src, domain, xi));
+                &tables_local
+            }
+        };
+        let relaxed = tables.as_relaxed().expect("relaxed by construction");
 
         let mut stats = SearchStats {
             bytes_distance_matrix: src.bytes(), // 0 for LazyDistances
@@ -61,16 +79,21 @@ impl GtmStar {
         let survivors = if tau > 1 {
             let gm = GroupMatrices::build(src, domain, tau);
             stats.bytes_groups = gm.bytes();
-            let pattern = GroupPatternBounds::build(&relaxed, &gm.grid);
+            let pattern = GroupPatternBounds::build(relaxed, &gm.grid);
             let pairs = initial_pairs(domain, xi, &gm.grid);
             process_group_level(&gm, &pattern, domain, xi, sel, &pairs, &mut bsf, &mut stats)
         } else {
             initial_pairs(domain, xi, &GroupGrid::new(domain, 1))
         };
 
+        // Honor a wall-clock budget before the (possibly large) block
+        // expansion; the final stage re-checks it per subset.
+        if budget.is_some_and(|b| b.exceeded(stats.subsets_expanded)) {
+            return truncated_mid_grouping(stats, started);
+        }
+
         // Expand surviving blocks directly into candidate subsets.
         let grid = GroupGrid::new(domain, tau);
-        let tables = BoundTables::Relaxed(relaxed);
         let mut starts = Vec::new();
         for &(u, v) in &survivors {
             let (Some((alo, ahi)), Some((blo, bhi))) =
@@ -86,25 +109,26 @@ impl GtmStar {
                 }
             }
         }
-        let mut entries: Vec<ListEntry> = build_entries(src, &tables, sel, starts.into_iter());
+        let mut entries: Vec<ListEntry> = build_entries(src, tables, sel, starts.into_iter());
         stats.bytes_lists = stats.bytes_lists.max(list_bytes(&entries));
 
-        let mut buf = DpBuffers::with_width(domain.len_b());
-        stats.bytes_dp = buf.bytes();
-        process_sorted_subsets(
+        let completed = process_sorted_subsets(
             src,
             domain,
             xi,
             sel,
-            &tables,
+            tables,
             &mut entries,
             &mut bsf,
             &mut stats,
-            &mut buf,
+            buf,
+            budget,
         );
 
+        // Recorded after the scan: a shared engine buffer grows lazily.
+        stats.bytes_dp = buf.bytes_for_width(domain.len_b());
         stats.total_seconds = started.elapsed().as_secs_f64();
-        (bsf.motif, stats)
+        (bsf.motif, stats, completed)
     }
 }
 
@@ -123,7 +147,9 @@ impl<P: GroundDistance> MotifDiscovery<P> for GtmStar {
             n: trajectory.len(),
         };
         let src = LazyDistances::within(trajectory.points());
-        Self::run(&src, domain, config, started)
+        let mut buf = DpBuffers::with_width(domain.len_b());
+        let (motif, stats, _) = Self::run(&src, domain, config, started, &mut buf, None, None);
+        (motif, stats)
     }
 
     fn discover_between_with_stats(
@@ -138,7 +164,9 @@ impl<P: GroundDistance> MotifDiscovery<P> for GtmStar {
             m: b.len(),
         };
         let src = LazyDistances::between(a.points(), b.points());
-        Self::run(&src, domain, config, started)
+        let mut buf = DpBuffers::with_width(domain.len_b());
+        let (motif, stats, _) = Self::run(&src, domain, config, started, &mut buf, None, None);
+        (motif, stats)
     }
 }
 

@@ -16,6 +16,8 @@
 //! ([`fremo_similarity::dfd_decision`]), which abandons as soon as no
 //! coupling can stay under `ε`.
 
+use std::borrow::Borrow;
+
 use fremo_similarity::dfd_decision;
 use fremo_trajectory::{GroundDistance, Trajectory};
 
@@ -49,20 +51,23 @@ fn hausdorff_exceeds<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
 
 /// All pairs `(i, j)` with `DFD(a[i], b[j]) ≤ eps`.
 ///
+/// Accepts owned (`&[Trajectory<P>]`) or borrowed (`&[&Trajectory<P>]`)
+/// collections — the engine joins corpus entries without cloning them.
+///
 /// # Panics
 ///
 /// Panics when `eps` is negative or NaN.
 #[must_use]
-pub fn similarity_join<P: GroundDistance>(
-    a: &[Trajectory<P>],
-    b: &[Trajectory<P>],
+pub fn similarity_join<P: GroundDistance, T: Borrow<Trajectory<P>>>(
+    a: &[T],
+    b: &[T],
     eps: f64,
 ) -> JoinResult {
     assert!(eps >= 0.0, "threshold must be non-negative");
     let mut out = JoinResult::default();
     for (i, ta) in a.iter().enumerate() {
         for (j, tb) in b.iter().enumerate() {
-            let (pa, pb) = (ta.points(), tb.points());
+            let (pa, pb) = (ta.borrow().points(), tb.borrow().points());
             if pa.is_empty() || pb.is_empty() {
                 continue;
             }
@@ -92,16 +97,21 @@ pub fn similarity_join<P: GroundDistance>(
 /// Self-join: all unordered pairs `(i, j)`, `i < j`, within one collection
 /// with `DFD ≤ eps`.
 ///
+/// Accepts owned or borrowed collections like [`similarity_join`].
+///
 /// # Panics
 ///
 /// Panics when `eps` is negative or NaN.
 #[must_use]
-pub fn similarity_self_join<P: GroundDistance>(set: &[Trajectory<P>], eps: f64) -> JoinResult {
+pub fn similarity_self_join<P: GroundDistance, T: Borrow<Trajectory<P>>>(
+    set: &[T],
+    eps: f64,
+) -> JoinResult {
     assert!(eps >= 0.0, "threshold must be non-negative");
     let mut out = JoinResult::default();
     for i in 0..set.len() {
         for j in (i + 1)..set.len() {
-            let (pa, pb) = (set[i].points(), set[j].points());
+            let (pa, pb) = (set[i].borrow().points(), set[j].borrow().points());
             if pa.is_empty() || pb.is_empty() {
                 continue;
             }

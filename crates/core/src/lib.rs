@@ -11,7 +11,32 @@
 //! with the smallest discrete Fréchet distance. A variant finds the most
 //! similar subtrajectory pair *between two* trajectories.
 //!
-//! Four exact algorithms, all implementing [`MotifDiscovery`]:
+//! ## The engine (start here)
+//!
+//! The [`engine::Engine`] is the session-oriented entry point: register
+//! trajectories once, then run motif, top-k, join, cluster, and measure
+//! queries against the corpus through one typed [`engine::Query`] API.
+//! The engine caches distance matrices and bound tables per trajectory —
+//! repeated queries skip the `O(n²)` precomputation — and
+//! [`engine::AlgorithmChoice::Auto`] picks the right algorithm from `n`
+//! and `ξ` using the paper's Section 6 crossovers.
+//!
+//! ```
+//! use fremo_core::engine::{Engine, Query};
+//! use fremo_trajectory::gen::planar;
+//!
+//! let mut engine = Engine::new();
+//! let id = engine.register(planar::random_walk(200, 0.4, 7));
+//! let outcome = engine.execute(&Query::motif(id).xi(10).build()).unwrap();
+//! let motif = outcome.motif().expect("motif exists");
+//! assert!(motif.is_valid_within(200, 10));
+//! ```
+//!
+//! ## The expert path: algorithms as values
+//!
+//! Underneath, four exact algorithms implement [`MotifDiscovery`] and can
+//! be invoked directly when you need full control (custom distance
+//! sources, no corpus, no caching):
 //!
 //! | algorithm  | paper        | time           | space               |
 //! |------------|--------------|----------------|---------------------|
@@ -45,6 +70,7 @@ pub mod cluster;
 pub mod config;
 pub mod domain;
 pub mod dp;
+pub mod engine;
 pub mod group;
 mod gtm;
 mod gtm_star;
@@ -62,10 +88,14 @@ pub use btm::Btm;
 pub use cluster::{cluster_subtrajectories, ClusterConfig, SubtrajectoryCluster};
 pub use config::{BoundKind, BoundSelection, MotifConfig};
 pub use domain::Domain;
+pub use engine::{
+    AlgorithmChoice, Engine, EngineError, EngineStats, Query, QueryBuilder, QueryOutcome,
+    QueryResults, TrajId,
+};
 pub use gtm::Gtm;
 pub use gtm_star::GtmStar;
 pub use join::{similarity_join, similarity_self_join, JoinResult};
 pub use parallel::ParallelBtm;
 pub use result::Motif;
 pub use stats::SearchStats;
-pub use topk::{top_k_motifs, ForbiddenIntervals};
+pub use topk::{top_k_motifs, top_k_motifs_with_stats, ForbiddenIntervals};

@@ -1,6 +1,8 @@
 //! Shared best-first processing of a sorted candidate-subset list
 //! (Algorithm 2 lines 3–13, also the final stage of Algorithm 3).
 
+use std::time::Instant;
+
 use fremo_trajectory::DistanceSource;
 
 use crate::bounds::BoundTables;
@@ -8,6 +10,30 @@ use crate::config::{BoundKind, BoundSelection};
 use crate::domain::Domain;
 use crate::dp::{expand_subset, Bsf, DpBuffers};
 use crate::stats::SearchStats;
+
+/// A best-effort resource budget for a motif search.
+///
+/// The best-first scan stops expanding candidate subsets once the deadline
+/// passes or the expansion cap is hit; the best motif found so far is
+/// returned. A truncated search is *not* guaranteed optimal — callers (the
+/// engine's [`crate::engine::QueryOutcome`]) report the truncation so users
+/// can tell a budgeted answer from an exact one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchBudget {
+    /// Hard wall-clock deadline; checked between subset expansions.
+    pub deadline: Option<Instant>,
+    /// Maximum number of candidate subsets to expand (DP runs).
+    pub max_subsets: Option<u64>,
+}
+
+impl SearchBudget {
+    /// Whether the budget is spent after `expanded` subset expansions.
+    #[must_use]
+    pub fn exceeded(&self, expanded: u64) -> bool {
+        self.max_subsets.is_some_and(|cap| expanded >= cap)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
 
 /// One candidate subset in the sorted list `A` of Algorithm 2. 16 bytes.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +71,12 @@ pub fn build_entries<D: DistanceSource>(
 /// Sorts the list ascending by bound and processes it best-first: expand
 /// while `bsf` cannot prune, then attribute everything after the stop point
 /// to the first bound family that disqualifies it (Figure 15's accounting).
+///
+/// Returns `false` when `budget` cut the scan short. Subsets a budget
+/// left unexamined (their bounds do not reach the final `bsf`) are
+/// accounted under `subsets_skipped_budget`/`pairs_skipped_budget`, not
+/// as pruned, so pruning statistics stay honest; the result may then be
+/// suboptimal.
 #[allow(clippy::too_many_arguments)]
 pub fn process_sorted_subsets<D: DistanceSource>(
     src: &D,
@@ -56,14 +88,21 @@ pub fn process_sorted_subsets<D: DistanceSource>(
     bsf: &mut Bsf,
     stats: &mut SearchStats,
     buf: &mut DpBuffers,
-) {
+    budget: Option<&SearchBudget>,
+) -> bool {
     entries.sort_unstable_by(|a, b| a.lb.total_cmp(&b.lb));
 
     let mut stop = entries.len();
+    let mut completed = true;
     let end_tables = if sel.end_cross { Some(tables) } else { None };
     for (idx, e) in entries.iter().enumerate() {
         if bsf.prunable(e.lb) {
             stop = idx;
+            break;
+        }
+        if budget.is_some_and(|b| b.exceeded(stats.subsets_expanded)) {
+            stop = idx;
+            completed = false;
             break;
         }
         let (i, j) = (e.i as usize, e.j as usize);
@@ -72,19 +111,31 @@ pub fn process_sorted_subsets<D: DistanceSource>(
         expand_subset(src, domain, xi, i, j, end_tables, true, bsf, stats, buf);
     }
 
-    // Everything after `stop` is pruned; attribute each subset to the first
-    // family whose component alone reaches the final bsf (cell → cross →
-    // band, the paper's convention for Figure 15).
-    for e in &entries[stop..] {
-        let (i, j) = (e.i as usize, e.j as usize);
-        let comps = tables.subset_bounds(src, sel, i, j);
-        let pairs = domain.pairs_in_subset(i, j, xi);
-        let kind = comps
-            .attribute(|v| bsf.prunable(v))
-            .unwrap_or(BoundKind::Band);
-        stats.record_subset_pruned(kind, pairs);
-        stats.subsets_skipped_sorted += 1;
+    if completed {
+        // Attribute each subset after `stop` to the first family whose
+        // component alone reaches the final bsf (cell → cross → band, the
+        // paper's convention for Figure 15); ties at the stop point
+        // (combined bound == components' max) fall back to Band.
+        for e in &entries[stop..] {
+            let (i, j) = (e.i as usize, e.j as usize);
+            let comps = tables.subset_bounds(src, sel, i, j);
+            let pairs = domain.pairs_in_subset(i, j, xi);
+            let kind = comps
+                .attribute(|v| bsf.prunable(v))
+                .unwrap_or(BoundKind::Band);
+            stats.record_subset_pruned(kind, pairs);
+            stats.subsets_skipped_sorted += 1;
+        }
+    } else {
+        // Budget truncation: account the whole remainder as skipped in
+        // O(1) — a per-entry walk here would itself overshoot a deadline
+        // by O(n²) on large inputs. Entries a bound could have pruned are
+        // lumped in too, so the pruned fraction under-reports pruning
+        // (the conservative direction for a best-effort result).
+        stats.subsets_skipped_budget += (entries.len() - stop) as u64;
+        stats.pairs_skipped_budget += stats.pairs_total.saturating_sub(stats.pairs_accounted());
     }
+    completed
 }
 
 #[cfg(test)]
@@ -143,7 +194,7 @@ mod tests {
             pairs_total: domain.pairs_count(xi),
             ..SearchStats::default()
         };
-        process_sorted_subsets(
+        let completed = process_sorted_subsets(
             &src,
             domain,
             xi,
@@ -153,7 +204,9 @@ mod tests {
             &mut bsf,
             &mut stats2,
             &mut buf,
+            None,
         );
+        assert!(completed, "unbudgeted scan cannot truncate");
 
         let r = reference.motif.expect("reference found a motif");
         let b = bsf.motif.expect("sorted search found a motif");
@@ -199,8 +252,61 @@ mod tests {
             &mut bsf,
             &mut stats,
             &mut buf,
+            None,
         );
         assert!(bsf.motif.is_some());
         assert_eq!(stats.subsets_skipped_sorted, 0); // nothing prunable
+    }
+
+    #[test]
+    fn budget_truncates_and_accounts_remainder() {
+        let points = pts(40);
+        let domain = Domain::Within { n: points.len() };
+        let src = DenseMatrix::within(&points);
+        let xi = 2;
+        let sel = BoundSelection::all_relaxed();
+        let tables = BoundTables::build(&src, domain, xi, sel);
+        let mut entries = build_entries(&src, &tables, sel, domain.subsets(xi));
+        let total = entries.len() as u64;
+        let mut bsf = Bsf::new();
+        let mut stats = SearchStats {
+            pairs_total: domain.pairs_count(xi),
+            ..SearchStats::default()
+        };
+        let mut buf = DpBuffers::default();
+        let budget = SearchBudget {
+            deadline: None,
+            max_subsets: Some(3),
+        };
+        let completed = process_sorted_subsets(
+            &src,
+            domain,
+            xi,
+            sel,
+            &tables,
+            &mut entries,
+            &mut bsf,
+            &mut stats,
+            &mut buf,
+            Some(&budget),
+        );
+        assert!(!completed);
+        assert_eq!(stats.subsets_expanded, 3);
+        assert!(stats.subsets_skipped_budget > 0);
+        assert_eq!(
+            stats.subsets_expanded + stats.subsets_skipped_sorted + stats.subsets_skipped_budget,
+            total
+        );
+        // Pair accounting stays complete even when truncated, and
+        // budget-skipped pairs are not credited to any bound.
+        let accounted = stats.pairs_pruned_cell
+            + stats.pairs_pruned_cross
+            + stats.pairs_pruned_band
+            + stats.pairs_skipped_budget
+            + stats.pairs_exact;
+        assert_eq!(accounted, stats.pairs_total);
+        // Unexamined pairs do not count as pruned.
+        let pruned = stats.pairs_pruned_cell + stats.pairs_pruned_cross + stats.pairs_pruned_band;
+        assert!((stats.pruned_fraction() - pruned as f64 / stats.pairs_total as f64).abs() < 1e-12);
     }
 }

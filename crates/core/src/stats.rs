@@ -23,6 +23,10 @@ pub struct SearchStats {
     /// (sorted list, `bsf ≤ LB` for everything after the stop point). These
     /// count as pruned by whichever bound produced their `LB`.
     pub subsets_skipped_sorted: u64,
+    /// Candidate subsets left unexamined because a
+    /// [`crate::search::SearchBudget`] truncated the scan — not pruned by
+    /// any bound (0 for unbudgeted searches).
+    pub subsets_skipped_budget: u64,
     /// Candidate subsets that required running the shared-DP (exact DFD).
     pub subsets_expanded: u64,
 
@@ -39,6 +43,9 @@ pub struct SearchStats {
     pub pairs_pruned_group_pattern: u128,
     /// Candidate pairs pruned by group-level DFD bounds (GTM).
     pub pairs_pruned_group_dfd: u128,
+    /// Candidate pairs in budget-skipped subsets (see
+    /// [`SearchStats::subsets_skipped_budget`]).
+    pub pairs_skipped_budget: u128,
     /// Candidate pairs whose exact DFD was evaluated (the "DFD" bar segment
     /// of Figure 15).
     pub pairs_exact: u128,
@@ -95,14 +102,33 @@ impl SearchStats {
             + self.bytes_groups
     }
 
+    /// Sum of every candidate pair already attributed — pruned by any
+    /// bound family, budget-skipped, or exactly evaluated. A complete
+    /// search satisfies `pairs_accounted() == pairs_total`; a truncated
+    /// one settles the remainder into `pairs_skipped_budget`.
+    #[must_use]
+    pub fn pairs_accounted(&self) -> u128 {
+        self.pairs_pruned_cell
+            + self.pairs_pruned_cross
+            + self.pairs_pruned_band
+            + self.pairs_pruned_group_pattern
+            + self.pairs_pruned_group_dfd
+            + self.pairs_skipped_budget
+            + self.pairs_exact
+    }
+
     /// Fraction of candidate pairs pruned without exact DFD computation,
-    /// in `[0, 1]` (Figure 13/14's "% of candidates pruned").
+    /// in `[0, 1]` (Figure 13/14's "% of candidates pruned"). Pairs a
+    /// budget left unexamined are not counted as pruned; clamped because
+    /// multi-round searches (top-k) can evaluate more pairs than one
+    /// round's search space holds.
     #[must_use]
     pub fn pruned_fraction(&self) -> f64 {
         if self.pairs_total == 0 {
             return 0.0;
         }
-        1.0 - (self.pairs_exact as f64 / self.pairs_total as f64)
+        (1.0 - ((self.pairs_exact + self.pairs_skipped_budget) as f64 / self.pairs_total as f64))
+            .clamp(0.0, 1.0)
     }
 
     /// Fraction of candidate pairs attributed to one bound family

@@ -16,14 +16,14 @@
 
 use std::time::Instant;
 
-use fremo_trajectory::{DenseMatrix, GroundDistance, Trajectory};
+use fremo_trajectory::{DenseMatrix, DistanceSource, GroundDistance, Trajectory};
 
 use crate::bounds::BoundTables;
 use crate::config::MotifConfig;
 use crate::domain::Domain;
 use crate::dp::{expand_subset_capped, Bsf, DpBuffers};
 use crate::result::Motif;
-use crate::search::build_entries;
+use crate::search::{build_entries, SearchBudget};
 use crate::stats::SearchStats;
 
 /// A set of forbidden index intervals (kept sorted and disjoint).
@@ -99,22 +99,69 @@ pub fn top_k_motifs<P: GroundDistance>(
     config: &MotifConfig,
     k: usize,
 ) -> Vec<Motif> {
+    top_k_motifs_with_stats(trajectory, config, k).0
+}
+
+/// [`top_k_motifs`] with full search statistics (aggregated over the `k`
+/// rounds).
+#[must_use]
+pub fn top_k_motifs_with_stats<P: GroundDistance>(
+    trajectory: &Trajectory<P>,
+    config: &MotifConfig,
+    k: usize,
+) -> (Vec<Motif>, SearchStats) {
     let started = Instant::now();
     let domain = Domain::Within {
         n: trajectory.len(),
     };
     let src = DenseMatrix::within(trajectory.points());
+    let tables = BoundTables::build(&src, domain, config.min_length, config.bounds);
+    let mut buf = DpBuffers::with_width(domain.len_b());
+    let (motifs, stats, _) =
+        top_k_prepared(&src, &tables, domain, config, k, started, &mut buf, None);
+    (motifs, stats)
+}
+
+/// The `k`-round masked BTM search over prebuilt tables and an external DP
+/// buffer — the entry point used by [`crate::engine::Engine`]. The third
+/// return value is `false` when `budget` cut the search short (checked
+/// before every subset expansion; a mid-round truncation still reports
+/// that round's best-so-far motif).
+///
+/// Statistics aggregate over all rounds: later rounds may re-expand a
+/// subset an earlier round already paid for, so `pairs_exact` and
+/// `subsets_expanded` count work done (either can exceed the one-round
+/// totals for large `k`), and `pruned_fraction` is a per-search work
+/// ratio rather than Figure 13/14's single-round pruning ratio.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn top_k_prepared<D: DistanceSource>(
+    src: &D,
+    tables: &BoundTables,
+    domain: Domain,
+    config: &MotifConfig,
+    k: usize,
+    started: Instant,
+    buf: &mut DpBuffers,
+    budget: Option<&SearchBudget>,
+) -> (Vec<Motif>, SearchStats, bool) {
     let xi = config.min_length;
     let sel = config.bounds;
-    let tables = BoundTables::build(&src, domain, xi, sel);
-    let mut buf = DpBuffers::with_width(domain.len_b());
+
+    let mut stats = SearchStats {
+        bytes_distance_matrix: src.bytes(),
+        bytes_bounds: tables.bytes(),
+        subsets_total: domain.subsets_count(xi),
+        pairs_total: domain.pairs_count(xi),
+        precompute_seconds: started.elapsed().as_secs_f64(),
+        ..SearchStats::default()
+    };
 
     let mut forbidden = ForbiddenIntervals::new();
     let mut results = Vec::with_capacity(k);
+    let mut completed = true;
 
     for _round in 0..k {
         let mut bsf = Bsf::new();
-        let mut stats = SearchStats::default();
 
         // Masked candidate-subset list: skip subsets whose start index is
         // forbidden; caps come from the free run at each start.
@@ -131,12 +178,8 @@ pub fn top_k_motifs<P: GroundDistance>(
             })
             .collect();
 
-        let mut entries = build_entries(
-            &src,
-            &tables,
-            sel,
-            starts.iter().map(|&(i, j, _, _)| (i, j)),
-        );
+        let mut entries =
+            build_entries(src, tables, sel, starts.iter().map(|&(i, j, _, _)| (i, j)));
         // Re-attach the caps after the sort by pairing on (i, j).
         let caps: std::collections::HashMap<(u32, u32), (usize, usize)> = starts
             .iter()
@@ -144,26 +187,49 @@ pub fn top_k_motifs<P: GroundDistance>(
             .collect();
         entries.sort_unstable_by(|a, b| a.lb.total_cmp(&b.lb));
 
-        for e in &entries {
+        let mut truncated_at = None;
+        for (idx, e) in entries.iter().enumerate() {
             if bsf.prunable(e.lb) {
+                break;
+            }
+            if budget.is_some_and(|b| b.exceeded(stats.subsets_expanded)) {
+                completed = false;
+                truncated_at = Some(idx);
                 break;
             }
             let (i, j) = (e.i as usize, e.j as usize);
             let cap = caps[&(e.i, e.j)];
-            let end_tables = if sel.end_cross { Some(&tables) } else { None };
+            let end_tables = if sel.end_cross { Some(tables) } else { None };
+            stats.subsets_expanded += 1;
+            stats.pairs_exact += domain.pairs_in_subset_capped(i, j, xi, cap);
             expand_subset_capped(
-                &src, domain, xi, i, j, cap, end_tables, true, &mut bsf, &mut stats, &mut buf,
+                src, domain, xi, i, j, cap, end_tables, true, &mut bsf, &mut stats, buf,
             );
+        }
+        // Keep pruning statistics honest under truncation (subset count
+        // here; the pair remainder is settled arithmetically below so a
+        // blown deadline is not followed by an O(n²) accounting walk).
+        if let Some(start) = truncated_at {
+            stats.subsets_skipped_budget += (entries.len() - start) as u64;
         }
 
         let Some(motif) = bsf.motif else { break };
         forbidden.add(motif.first.0, motif.first.1);
         forbidden.add(motif.second.0, motif.second.1);
         results.push(motif);
+        if !completed {
+            break;
+        }
     }
 
-    let _elapsed = started.elapsed();
-    results
+    if !completed {
+        // Every pair not yet accounted counts as budget-skipped, not
+        // pruned — conservative for the masked rounds, and O(1).
+        stats.pairs_skipped_budget += stats.pairs_total.saturating_sub(stats.pairs_accounted());
+    }
+    stats.bytes_dp = buf.bytes_for_width(domain.len_b());
+    stats.total_seconds = started.elapsed().as_secs_f64();
+    (results, stats, completed)
 }
 
 #[cfg(test)]
@@ -230,6 +296,35 @@ mod tests {
         for m in &top {
             assert!(m.is_valid_within(t.len(), 3));
         }
+    }
+
+    #[test]
+    fn budget_truncation_accounts_skipped_pairs() {
+        let t = planar::random_walk(80, 0.4, 8);
+        let cfg = MotifConfig::new(3);
+        let domain = Domain::Within { n: t.len() };
+        let src = DenseMatrix::within(t.points());
+        let tables = BoundTables::build(&src, domain, 3, cfg.bounds);
+        let mut buf = DpBuffers::with_width(domain.len_b());
+        let budget = SearchBudget {
+            deadline: None,
+            max_subsets: Some(1),
+        };
+        let (_, stats, completed) = top_k_prepared(
+            &src,
+            &tables,
+            domain,
+            &cfg,
+            2,
+            Instant::now(),
+            &mut buf,
+            Some(&budget),
+        );
+        assert!(!completed);
+        assert_eq!(stats.subsets_expanded, 1);
+        // The unexamined remainder is budget-skipped, not "pruned".
+        assert!(stats.pairs_skipped_budget > 0);
+        assert!(stats.pruned_fraction() < 1.0);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! One engine session serving a mixed query stream.
+//!
+//! A production deployment doesn't run one algorithm on one trajectory —
+//! it holds a corpus and answers heterogeneous queries against it. This
+//! example registers a small fleet of trajectories with one [`Engine`]
+//! and runs motif, repeated-motif (cache hit), top-k, cross-trajectory,
+//! join, cluster, and measure queries through the same facade.
+//!
+//! ```bash
+//! cargo run --release --example engine_session
+//! ```
+
+use fremo::prelude::*;
+
+fn main() {
+    let mut engine = Engine::new();
+
+    // A corpus: six commuters' days, 400 samples each.
+    let ids: Vec<TrajId> = engine
+        .register_all((0..6).map(|seed| fremo::trajectory::gen::geolife_like(400, 40 + seed)));
+    println!("corpus: {} trajectories registered", engine.len());
+
+    // 1. Motif discovery; Auto picks the algorithm from n and ξ.
+    let motif_query = Query::motif(ids[0]).xi(30).build();
+    let outcome = engine.execute(&motif_query).expect("valid query");
+    let motif = outcome.motif().expect("long enough for ξ = 30");
+    println!(
+        "\n[1] motif on #0 via {}: {motif}\n    {:.1} ms, built {} cached structures",
+        outcome.algorithm,
+        outcome.wall_seconds * 1e3,
+        outcome.cache.recomputed(),
+    );
+
+    // 2. The same query again: the distance matrix and bound tables come
+    //    from the session cache.
+    let outcome = engine.execute(&motif_query).expect("valid query");
+    println!(
+        "[2] same query again: {:.1} ms, recomputed {} structures, reused {}",
+        outcome.wall_seconds * 1e3,
+        outcome.cache.recomputed(),
+        outcome.cache.reused(),
+    );
+
+    // 3. Top-3 diverse motifs on the same trajectory — still warm.
+    let outcome = engine
+        .execute(&Query::top_k(ids[0], 3).xi(30).build())
+        .expect("valid query");
+    println!(
+        "[3] top-3 disjoint motifs on #0 (cache hits: {}):",
+        outcome.cache.reused()
+    );
+    for (rank, m) in outcome.motifs().iter().enumerate() {
+        println!("    #{} {m}", rank + 1);
+    }
+
+    // 4. Cross-trajectory motif between two commuters.
+    let outcome = engine
+        .execute(&Query::motif_between(ids[0], ids[1]).xi(20).build())
+        .expect("valid query");
+    println!(
+        "[4] motif between #0 and #1 via {}: {}",
+        outcome.algorithm,
+        outcome
+            .motif()
+            .map_or("none".to_string(), |m| m.to_string()),
+    );
+
+    // 5. Similarity self-join across the whole corpus.
+    let outcome = engine
+        .execute(&Query::join(ids.clone(), 500.0).build())
+        .expect("valid query");
+    let join = outcome.join().expect("join result");
+    println!("[5] self-join (ε = 500 m): {}", join.summary());
+
+    // 6. Subtrajectory clustering of one commuter's day.
+    let outcome = engine
+        .execute(&Query::cluster(ids[2], 40, 20, 250.0).build())
+        .expect("valid query");
+    let clusters = outcome.clusters().expect("clusters");
+    println!(
+        "[6] clustering #2: {} clusters, largest has {} windows",
+        clusters.len(),
+        clusters.first().map_or(0, |c| c.len()),
+    );
+
+    // 7. Whole-trajectory measure profile between two commuters.
+    let outcome = engine
+        .execute(&Query::measures(ids[0], ids[1], 25.0).build())
+        .expect("valid query");
+    let p = outcome.measures().expect("profile");
+    println!(
+        "[7] measures #0 vs #1: DFD = {:.1} m, DTW = {:.1}, Hausdorff = {:.1} m",
+        p.dfd, p.dtw, p.hausdorff
+    );
+
+    // Session accounting.
+    let stats = engine.stats();
+    println!(
+        "\nsession: {} queries; cache built {} / reused {} structures; {:.1} MB cached",
+        stats.queries,
+        stats.cache.recomputed(),
+        stats.cache.reused(),
+        engine.cache_bytes() as f64 / (1024.0 * 1024.0),
+    );
+}

@@ -9,23 +9,38 @@
 //! * [`similarity`] — DFD and the alternative measures of the paper's
 //!   Table 1 (ED, DTW, LCSS, EDR, Hausdorff).
 //! * [`motif`] — the paper's contribution: `BruteDP`, `BTM`, `GTM`, `GTM*`
-//!   plus the lower-bound machinery, for motif discovery within one
-//!   trajectory or between two.
+//!   plus the lower-bound machinery, and the session-oriented
+//!   [`Engine`](motif::engine::Engine) serving motif, top-k, join, and
+//!   cluster workloads over a registered corpus.
 //!
 //! ## Quickstart
+//!
+//! Register trajectories with an [`Engine`](motif::engine::Engine) once,
+//! then run typed queries against them. The engine memoizes per-trajectory
+//! search state, so repeated queries on the same corpus skip the `O(n²)`
+//! precomputation, and `AlgorithmChoice::Auto` (the default) picks the
+//! paper's best algorithm for the input size.
 //!
 //! ```
 //! use fremo::prelude::*;
 //!
-//! // A small GeoLife-like trajectory and a motif-length threshold.
-//! let trajectory = fremo::trajectory::gen::geolife_like(300, 42);
-//! let config = MotifConfig::new(20);
-//! let motif = Gtm.discover(&trajectory, &config).expect("found a motif");
+//! let mut engine = Engine::new();
+//! let id = engine.register(fremo::trajectory::gen::geolife_like(300, 42));
+//!
+//! let outcome = engine
+//!     .execute(&Query::motif(id).xi(20).build())
+//!     .expect("valid query");
+//! let motif = outcome.motif().expect("found a motif");
 //! println!(
-//!     "motif: S[{}..={}] ~ S[{}..={}]  dfd = {:.2} m",
-//!     motif.first.0, motif.first.1, motif.second.0, motif.second.1, motif.distance
+//!     "[{}] motif: S[{}..={}] ~ S[{}..={}]  dfd = {:.2} m",
+//!     outcome.algorithm, motif.first.0, motif.first.1, motif.second.0, motif.second.1,
+//!     motif.distance
 //! );
 //! ```
+//!
+//! The algorithms remain directly invocable for expert use (custom
+//! distance sources, no corpus): `Gtm.discover(&trajectory, &config)` —
+//! see [`motif::MotifDiscovery`].
 
 pub use fremo_core as motif;
 pub use fremo_similarity as similarity;
@@ -33,8 +48,13 @@ pub use fremo_trajectory as trajectory;
 
 /// Convenient glob-importable surface of the most used items.
 pub mod prelude {
+    pub use fremo_core::engine::{
+        AlgorithmChoice, CacheReport, Engine, EngineError, EngineStats, MotifScope, Query,
+        QueryBudget, QueryBuilder, QueryKind, QueryOutcome, QueryResults, TrajId,
+    };
     pub use fremo_core::{
-        BoundKind, BruteDp, Btm, Gtm, GtmStar, Motif, MotifConfig, MotifDiscovery, SearchStats,
+        BoundKind, BoundSelection, BruteDp, Btm, Gtm, GtmStar, Motif, MotifConfig, MotifDiscovery,
+        SearchStats,
     };
     pub use fremo_similarity::{dfd, SimilarityMeasure};
     pub use fremo_trajectory::{

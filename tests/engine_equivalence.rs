@@ -1,0 +1,285 @@
+//! Engine-vs-direct equivalence: the `Engine` facade must return results
+//! bit-for-bit identical (motif indices and DFD values) to direct
+//! algorithm calls, for every algorithm choice, on random walks — plus
+//! the cache-reuse and budget contracts that only the engine has.
+
+use fremo::motif::engine::ResolvedAlgorithm;
+use fremo::motif::{cluster_subtrajectories, similarity_self_join, top_k_motifs, ClusterConfig};
+use fremo::prelude::*;
+use fremo::trajectory::gen::planar;
+
+fn choices() -> Vec<(AlgorithmChoice, Box<dyn MotifDiscovery<EuclideanPoint>>)> {
+    vec![
+        (AlgorithmChoice::BruteDp, Box::new(BruteDp)),
+        (AlgorithmChoice::Btm, Box::new(Btm)),
+        (AlgorithmChoice::Gtm, Box::new(Gtm)),
+        (AlgorithmChoice::GtmStar, Box::new(GtmStar)),
+    ]
+}
+
+/// Identical indices and bit-identical DFD between an engine outcome and a
+/// direct call.
+fn assert_same(engine_motif: Option<Motif>, direct: Option<Motif>, context: &str) {
+    match (engine_motif, direct) {
+        (None, None) => {}
+        (Some(e), Some(d)) => {
+            assert_eq!(e.first, d.first, "{context}: first interval differs");
+            assert_eq!(e.second, d.second, "{context}: second interval differs");
+            assert_eq!(
+                e.distance.to_bits(),
+                d.distance.to_bits(),
+                "{context}: DFD differs ({} vs {})",
+                e.distance,
+                d.distance
+            );
+        }
+        (e, d) => panic!("{context}: engine={e:?} direct={d:?}"),
+    }
+}
+
+#[test]
+fn motif_within_matches_every_direct_algorithm() {
+    for seed in 0..5u64 {
+        let t = planar::random_walk(60, 0.4, seed);
+        let cfg = MotifConfig::new(4).with_group_size(8);
+        let mut engine = Engine::new();
+        let id = engine.register(t.clone());
+        for (choice, direct) in choices() {
+            let outcome = engine
+                .execute(
+                    &Query::motif(id)
+                        .xi(4)
+                        .group_size(8)
+                        .algorithm(choice)
+                        .build(),
+                )
+                .expect("valid query");
+            assert_eq!(outcome.algorithm, direct.name());
+            assert!(!outcome.truncated);
+            assert_same(
+                outcome.motif(),
+                direct.discover(&t, &cfg),
+                &format!("seed {seed}, {}", direct.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn motif_between_matches_every_direct_algorithm() {
+    for seed in 0..3u64 {
+        let a = planar::random_walk(44, 0.4, seed);
+        let b = planar::random_walk(38, 0.4, seed + 100);
+        let cfg = MotifConfig::new(3).with_group_size(8);
+        let mut engine = Engine::new();
+        let ida = engine.register(a.clone());
+        let idb = engine.register(b.clone());
+        for (choice, direct) in choices() {
+            let outcome = engine
+                .execute(
+                    &Query::motif_between(ida, idb)
+                        .xi(3)
+                        .group_size(8)
+                        .algorithm(choice)
+                        .build(),
+                )
+                .expect("valid query");
+            assert_same(
+                outcome.motif(),
+                direct.discover_between(&a, &b, &cfg),
+                &format!("seed {seed} between, {}", direct.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_selections_and_short_inputs_agree() {
+    // Equivalence must survive non-default bounds and the no-motif case.
+    let t = planar::random_walk(50, 0.35, 17);
+    let mut engine = Engine::new();
+    let id = engine.register(t.clone());
+    for sel in [
+        BoundSelection::all_relaxed(),
+        BoundSelection::all_tight(),
+        BoundSelection::cell_only(),
+        BoundSelection::none(),
+    ] {
+        let cfg = MotifConfig::new(3).with_bounds(sel);
+        let outcome = engine
+            .execute(
+                &Query::motif(id)
+                    .xi(3)
+                    .bounds(sel)
+                    .algorithm(AlgorithmChoice::Btm)
+                    .build(),
+            )
+            .expect("valid query");
+        assert_same(outcome.motif(), Btm.discover(&t, &cfg), &format!("{sel:?}"));
+    }
+
+    let short = planar::random_walk(6, 0.4, 1);
+    let mut engine = Engine::new();
+    let id = engine.register(short);
+    let outcome = engine
+        .execute(
+            &Query::motif(id)
+                .xi(5)
+                .algorithm(AlgorithmChoice::Btm)
+                .build(),
+        )
+        .expect("valid query");
+    assert!(outcome.motif().is_none());
+}
+
+#[test]
+fn top_k_matches_direct_call() {
+    let t = planar::random_walk(90, 0.4, 6);
+    let cfg = MotifConfig::new(3);
+    let direct = top_k_motifs(&t, &cfg, 4);
+
+    let mut engine = Engine::new();
+    let id = engine.register(t);
+    let outcome = engine
+        .execute(&Query::top_k(id, 4).xi(3).build())
+        .expect("valid query");
+    let motifs = outcome.motifs();
+    assert_eq!(motifs.len(), direct.len());
+    for (e, d) in motifs.iter().zip(&direct) {
+        assert_same(Some(*e), Some(*d), "top-k");
+    }
+}
+
+#[test]
+fn join_and_cluster_match_direct_calls() {
+    let walks: Vec<_> = (0..6).map(|s| planar::random_walk(25, 0.4, s)).collect();
+    let direct = similarity_self_join(&walks, 6.0);
+
+    let mut engine = Engine::new();
+    let ids = engine.register_all(walks.clone());
+    let outcome = engine
+        .execute(&Query::join(ids.clone(), 6.0).build())
+        .expect("valid query");
+    let join = outcome.join().expect("join payload");
+    assert_eq!(join.pairs, direct.pairs);
+    assert_eq!(join.verified, direct.verified);
+
+    let t = planar::random_walk(120, 0.4, 3);
+    let direct = cluster_subtrajectories(&t, &ClusterConfig::new(15, 5, 4.0));
+    let id = engine.register(t);
+    let outcome = engine
+        .execute(&Query::cluster(id, 15, 5, 4.0).build())
+        .expect("valid query");
+    let clusters = outcome.clusters().expect("cluster payload");
+    assert_eq!(clusters.len(), direct.len());
+    for (e, d) in clusters.iter().zip(&direct) {
+        assert_eq!(e.representative, d.representative);
+        assert_eq!(e.members, d.members);
+    }
+}
+
+#[test]
+fn second_query_recomputes_fewer_tables() {
+    let t = planar::random_walk(80, 0.4, 9);
+    let mut engine = Engine::new();
+    let id = engine.register(t);
+    let q = Query::motif(id)
+        .xi(4)
+        .algorithm(AlgorithmChoice::Btm)
+        .build();
+
+    let first = engine.execute(&q).expect("valid query");
+    assert_eq!(first.cache.matrices_built, 1);
+    assert_eq!(first.cache.tables_built, 1);
+    assert_eq!(first.cache.reused(), 0);
+
+    let second = engine.execute(&q).expect("valid query");
+    assert!(
+        second.cache.recomputed() < first.cache.recomputed(),
+        "second query should recompute fewer structures ({} vs {})",
+        second.cache.recomputed(),
+        first.cache.recomputed()
+    );
+    assert_eq!(second.cache.recomputed(), 0);
+    assert_eq!(second.cache.reused(), 2);
+    assert_same(second.motif(), first.motif(), "warm repeat");
+
+    // A different ξ on the same trajectory reuses the matrix but must
+    // rebuild tables.
+    let other = engine
+        .execute(
+            &Query::motif(id)
+                .xi(6)
+                .algorithm(AlgorithmChoice::Btm)
+                .build(),
+        )
+        .expect("valid query");
+    assert_eq!(other.cache.matrices_built, 0);
+    assert_eq!(other.cache.tables_built, 1);
+
+    let stats = engine.stats();
+    assert_eq!(stats.queries, 3);
+    assert_eq!(stats.cache.matrices_built, 1);
+}
+
+#[test]
+fn auto_resolution_follows_documented_crossovers() {
+    use fremo::motif::engine::{AUTO_BRUTE_MAX_N, AUTO_BTM_MAX_N, AUTO_GTM_MAX_N};
+    let auto = AlgorithmChoice::Auto;
+    assert_eq!(
+        auto.resolve(AUTO_BRUTE_MAX_N, 4),
+        ResolvedAlgorithm::BruteDp
+    );
+    assert_eq!(
+        auto.resolve(AUTO_BRUTE_MAX_N + 1, 4),
+        ResolvedAlgorithm::Btm
+    );
+    assert_eq!(auto.resolve(AUTO_BTM_MAX_N + 1, 4), ResolvedAlgorithm::Gtm);
+    assert_eq!(
+        auto.resolve(AUTO_GTM_MAX_N + 1, 4),
+        ResolvedAlgorithm::GtmStar
+    );
+
+    // And the engine actually reports the resolved name.
+    let t = planar::random_walk(40, 0.4, 2);
+    let mut engine = Engine::new();
+    let id = engine.register(t.clone());
+    let outcome = engine
+        .execute(&Query::motif(id).xi(3).build())
+        .expect("valid query");
+    assert_eq!(outcome.algorithm, "BruteDP"); // n = 40 ≤ 64
+    assert_same(
+        outcome.motif(),
+        BruteDp.discover(&t, &MotifConfig::new(3)),
+        "auto",
+    );
+}
+
+#[test]
+fn budget_truncation_is_flagged_and_safe() {
+    let t = planar::random_walk(100, 0.4, 13);
+    let mut engine = Engine::new();
+    let id = engine.register(t);
+    let outcome = engine
+        .execute(
+            &Query::motif(id)
+                .xi(3)
+                .algorithm(AlgorithmChoice::BruteDp)
+                .candidate_budget(1)
+                .build(),
+        )
+        .expect("valid query");
+    assert!(outcome.truncated);
+    assert_eq!(outcome.stats.subsets_expanded, 1);
+    // An unlimited rerun of the same query is not truncated.
+    let outcome = engine
+        .execute(
+            &Query::motif(id)
+                .xi(3)
+                .algorithm(AlgorithmChoice::BruteDp)
+                .build(),
+        )
+        .expect("valid query");
+    assert!(!outcome.truncated);
+    assert!(outcome.motif().is_some());
+}

@@ -5,7 +5,7 @@
 //!
 //! The workspace uses serde derives as forward-looking annotations on the
 //! data model; the only concrete JSON produced today goes through the
-//! `serde_json` shim's [`json!`]-built values, which do not consult these
+//! `serde_json` shim's `json!`-built values, which do not consult these
 //! traits. Swap the path dependency for crates.io `serde = { version = "1",
 //! features = ["derive"] }` once network access is available.
 
