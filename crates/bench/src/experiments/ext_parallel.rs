@@ -1,15 +1,25 @@
-//! Extension experiment: parallel BTM scaling across worker counts.
+//! Extension experiment: parallel execution scaling across worker counts,
+//! measured through the engine's `ExecutionMode` (the same facade
+//! production traffic uses), with a bit-for-bit cross-check against the
+//! serial result on every repetition.
 
-use fremo_core::{MotifConfig, MotifDiscovery, ParallelBtm};
+use fremo_core::engine::ExecutionMode;
+use fremo_core::MotifConfig;
 use fremo_trajectory::gen::Dataset;
 
 use crate::experiments::Titled;
-use crate::runner::{average, run_algorithm, Algorithm, Measurement};
+use crate::runner::{average, run_algorithm_with_mode, Algorithm, Measurement};
 use crate::scale::Scale;
 use crate::table::{fmt_secs, Table};
 use crate::workload::trajectories;
 
 /// Regenerates the parallel-scaling table.
+///
+/// # Panics
+///
+/// Panics when a parallel run returns a different motif DFD than the
+/// serial run — that would falsify the exactness argument, so it must
+/// never be averaged away.
 #[must_use]
 pub fn run(scale: Scale) -> Vec<Titled> {
     let n = scale.default_n();
@@ -20,7 +30,7 @@ pub fn run(scale: Scale) -> Vec<Titled> {
 
     let serial: Vec<Measurement> = ts
         .iter()
-        .map(|t| run_algorithm(Algorithm::Btm, t, &cfg).0)
+        .map(|t| run_algorithm_with_mode(Algorithm::Btm, ExecutionMode::Serial, t, &cfg).0)
         .collect();
     let serial_avg = average(&serial);
 
@@ -31,15 +41,17 @@ pub fn run(scale: Scale) -> Vec<Titled> {
         "1.00x".to_string(),
     ]);
     for workers in [1usize, 2, 4, 8] {
-        let alg = ParallelBtm::new(workers);
+        let mode = ExecutionMode::Parallel { threads: workers };
         let mut times = Vec::new();
         for (t, base) in ts.iter().zip(&serial) {
-            let (motif, stats) = alg.discover_with_stats(t, &cfg);
+            let (m, stats) = run_algorithm_with_mode(Algorithm::Btm, mode, t, &cfg);
             times.push(stats.total_seconds);
-            let d = motif.expect("motif").distance;
-            assert!(
-                (d - base.distance.expect("motif")).abs() < 1e-9,
-                "parallel result diverged"
+            assert_eq!(stats.threads_used, workers);
+            let (d, base_d) = (m.distance.expect("motif"), base.distance.expect("motif"));
+            assert_eq!(
+                d.to_bits(),
+                base_d.to_bits(),
+                "parallel result diverged: {d} vs {base_d}"
             );
         }
         let mean = times.iter().sum::<f64>() / times.len() as f64;
@@ -51,7 +63,7 @@ pub fn run(scale: Scale) -> Vec<Titled> {
     }
 
     vec![(
-        format!("Extension: parallel BTM scaling (n={n}, xi={xi}, GeoLife-like)"),
+        format!("Extension: engine parallel scaling (n={n}, xi={xi}, BTM, GeoLife-like)"),
         table,
     )]
 }

@@ -4,7 +4,7 @@
 //! (cold cache), so the experiments exercise the same facade production
 //! traffic uses while still timing full precomputation as the paper does.
 
-use fremo_core::engine::{AlgorithmChoice, Engine, Query, QueryOutcome};
+use fremo_core::engine::{AlgorithmChoice, Engine, ExecutionMode, Query, QueryOutcome};
 use fremo_core::{MotifConfig, SearchStats};
 use fremo_trajectory::{GeoPoint, Trajectory};
 use serde::Serialize;
@@ -97,9 +97,27 @@ fn configured(builder: fremo_core::engine::QueryBuilder, config: &MotifConfig) -
 
 /// Runs one algorithm on one trajectory and reports the measurement plus
 /// the full statistics.
+///
+/// Execution is pinned to [`ExecutionMode::Serial`]: the paper's figures
+/// are single-threaded measurements, and `Auto` would silently switch
+/// large workloads to the parallel layer. The `parallel_scaling` bench
+/// and the `ext-parallel` experiment measure parallel execution through
+/// [`run_algorithm_with_mode`].
 #[must_use]
 pub fn run_algorithm(
     algorithm: Algorithm,
+    trajectory: &Trajectory<GeoPoint>,
+    config: &MotifConfig,
+) -> (Measurement, SearchStats) {
+    run_algorithm_with_mode(algorithm, ExecutionMode::Serial, trajectory, config)
+}
+
+/// [`run_algorithm`] with an explicit [`ExecutionMode`] — the seam the
+/// parallel-scaling measurements use to sweep worker counts.
+#[must_use]
+pub fn run_algorithm_with_mode(
+    algorithm: Algorithm,
+    mode: ExecutionMode,
     trajectory: &Trajectory<GeoPoint>,
     config: &MotifConfig,
 ) -> (Measurement, SearchStats) {
@@ -109,12 +127,15 @@ pub fn run_algorithm(
     // is O(n) noise against the O(n²)+ search in any measured workload.
     let mut engine = Engine::new();
     let id = engine.register(trajectory.clone());
-    let query = configured(Query::motif(id), config).with_algorithm(algorithm.choice());
+    let query = configured(Query::motif(id), config)
+        .with_algorithm(algorithm.choice())
+        .with_execution(mode);
     let outcome = engine.execute(&query).expect("valid motif query");
     (Measurement::from_outcome(&outcome), outcome.stats)
 }
 
-/// Two-trajectory variant of [`run_algorithm`] (Figure 21).
+/// Two-trajectory variant of [`run_algorithm`] (Figure 21); serial for
+/// the same methodology reasons.
 #[must_use]
 pub fn run_algorithm_between(
     algorithm: Algorithm,
@@ -125,8 +146,9 @@ pub fn run_algorithm_between(
     let mut engine = Engine::new();
     let ida = engine.register(a.clone());
     let idb = engine.register(b.clone());
-    let query =
-        configured(Query::motif_between(ida, idb), config).with_algorithm(algorithm.choice());
+    let query = configured(Query::motif_between(ida, idb), config)
+        .with_algorithm(algorithm.choice())
+        .with_execution(ExecutionMode::Serial);
     let outcome = engine.execute(&query).expect("valid motif query");
     (Measurement::from_outcome(&outcome), outcome.stats)
 }

@@ -11,7 +11,9 @@ use std::path::Path;
 
 use fremo_bench::experiments::{self, print_all};
 use fremo_bench::Scale;
-use fremo_core::engine::{AlgorithmChoice, Engine, Query, QueryBudget, QueryBuilder, QueryOutcome};
+use fremo_core::engine::{
+    AlgorithmChoice, Engine, ExecutionMode, Query, QueryBudget, QueryBuilder, QueryOutcome,
+};
 use fremo_trajectory::gen::Dataset;
 use fremo_trajectory::io::{read_csv, read_plt, write_csv};
 use fremo_trajectory::{GeoPoint, Trajectory, TrajectoryStats};
@@ -39,11 +41,21 @@ fn algorithm(args: &Parsed) -> Result<AlgorithmChoice, String> {
     }
 }
 
-/// Applies the shared tuning flags (`--tau`, `--budget-seconds`,
-/// `--budget-subsets`) to a query builder.
+/// Applies the shared tuning flags (`--tau`, `--threads`,
+/// `--budget-seconds`, `--budget-subsets`) to a query builder.
+///
+/// `--threads <n>` selects parallel execution with `n` workers (`0` =
+/// all cores, or `FREMO_THREADS` when set); without the flag the engine's
+/// `Auto` mode decides from the input size.
 fn tuned(mut builder: QueryBuilder, args: &Parsed) -> Result<QueryBuilder, String> {
     let tau: usize = args.parsed_or("tau", 32)?;
     builder = builder.group_size(tau.max(1));
+    if let Some(raw) = args.optional("threads") {
+        let threads: usize = raw
+            .parse()
+            .map_err(|e| format!("invalid value for --threads: {e}"))?;
+        builder = builder.execution(ExecutionMode::Parallel { threads });
+    }
     let mut budget = QueryBudget::default();
     if let Some(secs) = args.optional("budget-seconds") {
         let secs: f64 = secs
@@ -208,7 +220,7 @@ fn print_outcome(label: &str, outcome: &QueryOutcome, json: bool) -> Result<(), 
 }
 
 /// `fremo discover --input <csv> --xi <len> [--algorithm <a>] [--tau <t>]
-/// [--k <count>] [--epsilon <eps>] [--budget-seconds <s>]
+/// [--threads <n>] [--k <count>] [--epsilon <eps>] [--budget-seconds <s>]
 /// [--budget-subsets <n>] [--json]`
 ///
 /// `--k > 1` switches to diverse top-k discovery (BTM machinery only:

@@ -5,7 +5,7 @@
 //! fremo generate  --dataset geolife --n 1000 --seed 1 --out walk.csv
 //! fremo inspect   --input walk.csv
 //! fremo discover  --input walk.csv --xi 100 [--algorithm auto] [--tau 32]
-//!                 [--k 3] [--epsilon 0.5] [--budget-seconds 1.5]
+//!                 [--threads 4] [--k 3] [--epsilon 0.5] [--budget-seconds 1.5]
 //!                 [--budget-subsets 5000] [--json]
 //! fremo discover-pair --a one.csv --b two.csv --xi 100
 //! fremo compare   --a one.csv --b two.csv [--epsilon 25] [--json]
@@ -55,14 +55,16 @@ USAGE:
   fremo generate  --dataset <geolife|truck|baboon> --n <len> [--seed <u64>] [--out <file>]
   fremo inspect   --input <csv>
   fremo discover  --input <csv> --xi <len> [--algorithm <auto|brute|btm|gtm|gtm-star|approx:<eps>>]
-                  [--tau <group-size>] [--k <count>] [--epsilon <eps>]
+                  [--tau <group-size>] [--threads <n>] [--k <count>] [--epsilon <eps>]
                   [--budget-seconds <s>] [--budget-subsets <n>] [--json]
-  fremo discover-pair --a <csv> --b <csv> --xi <len> [--algorithm ...] [--tau ...] [--json]
+  fremo discover-pair --a <csv> --b <csv> --xi <len> [--algorithm ...] [--tau ...] [--threads <n>] [--json]
   fremo compare   --a <csv> --b <csv> [--epsilon <m>] [--json]
   fremo experiment <table1|fig02|fig03|fig13..fig21|ext-approx|ext-topk|ext-join|ext-parallel>
 
 Trajectories are lat,lon[,t] CSV files (GeoLife PLT is accepted for *.plt inputs).
 The default --algorithm auto picks BruteDP/BTM/GTM/GTM* from n and ξ (paper Section 6).
-Set FREMO_SCALE=smoke|default|full to size the experiments."
+--threads <n> runs the search on the parallel execution layer (0 = all cores; results
+are bit-for-bit identical to serial); without it large inputs parallelize automatically.
+Set FREMO_SCALE=smoke|default|full to size the experiments, FREMO_THREADS to cap workers."
     );
 }

@@ -40,6 +40,30 @@ fn generate_then_discover() {
         file_str,
         "--xi",
         "10",
+        "--threads",
+        "2",
+    ]))
+    .expect("parallel discover");
+    assert!(
+        fremo_cli::run(&argv(&[
+            "discover",
+            "--input",
+            file_str,
+            "--xi",
+            "10",
+            "--threads",
+            "two",
+        ]))
+        .unwrap_err()
+        .contains("--threads"),
+        "bad --threads value must be reported"
+    );
+    fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        file_str,
+        "--xi",
+        "10",
         "--algorithm",
         "btm",
         "--json",

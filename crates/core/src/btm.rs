@@ -24,7 +24,7 @@ use crate::stats::SearchStats;
 pub struct Btm;
 
 impl Btm {
-    pub(crate) fn run<D: DistanceSource>(
+    pub(crate) fn run<D: DistanceSource + Sync>(
         src: &D,
         domain: Domain,
         config: &MotifConfig,
@@ -34,7 +34,7 @@ impl Btm {
         let tables = BoundTables::build(src, domain, config.min_length, config.bounds);
         let mut buf = DpBuffers::with_width(domain.len_b());
         let (motif, stats, _) = Self::run_prepared(
-            src, &tables, domain, config, epsilon, started, &mut buf, None,
+            src, &tables, domain, config, epsilon, started, &mut buf, None, 0,
         );
         (motif, stats)
     }
@@ -42,10 +42,15 @@ impl Btm {
     /// Algorithm 2 over prebuilt bound tables and an external DP buffer —
     /// the entry point used by [`crate::engine::Engine`] so repeated
     /// queries on the same trajectory skip the `O(n²)` precomputation.
+    /// `threads == 0` runs the serial scan on the caller's thread;
+    /// `threads >= 1` scans the sorted list through the parallel
+    /// execution layer ([`crate::parallel`]) with that many workers
+    /// (one worker runs inline but exercises the same code path) —
+    /// bit-for-bit the serial result either way.
     ///
     /// The third return value is `false` when `budget` truncated the scan.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn run_prepared<D: DistanceSource>(
+    pub(crate) fn run_prepared<D: DistanceSource + Sync>(
         src: &D,
         tables: &BoundTables,
         domain: Domain,
@@ -54,11 +59,20 @@ impl Btm {
         started: Instant,
         buf: &mut DpBuffers,
         budget: Option<&SearchBudget>,
+        threads: usize,
     ) -> (Option<Motif>, SearchStats, bool) {
         let xi = config.min_length;
         let sel = config.bounds;
 
-        let mut entries = build_entries(src, tables, sel, domain.subsets(xi));
+        let mut entries = if threads > 1 {
+            // The O(#subsets) bound evaluations are a real share of the
+            // precompute; fan them out (the list is identical to the
+            // serial build — each entry is a pure function of its pair).
+            let starts: Vec<(usize, usize)> = domain.subsets(xi).collect();
+            crate::parallel::build_entries_parallel(src, tables, sel, &starts, threads)
+        } else {
+            build_entries(src, tables, sel, domain.subsets(xi))
+        };
 
         let mut stats = SearchStats {
             bytes_distance_matrix: src.bytes(),
@@ -71,21 +85,40 @@ impl Btm {
         };
 
         let mut bsf = Bsf::approximate(epsilon);
-        let completed = process_sorted_subsets(
-            src,
-            domain,
-            xi,
-            sel,
-            tables,
-            &mut entries,
-            &mut bsf,
-            &mut stats,
-            buf,
-            budget,
-        );
+        let completed = if threads > 0 {
+            crate::parallel::process_sorted_subsets_parallel(
+                src,
+                domain,
+                xi,
+                sel,
+                tables,
+                &mut entries,
+                None,
+                &mut bsf,
+                &mut stats,
+                budget,
+                threads,
+                true,
+            )
+        } else {
+            stats.threads_used = 1;
+            process_sorted_subsets(
+                src,
+                domain,
+                xi,
+                sel,
+                tables,
+                &mut entries,
+                &mut bsf,
+                &mut stats,
+                buf,
+                budget,
+            )
+        };
 
-        // Recorded after the scan: a shared engine buffer grows lazily.
-        stats.bytes_dp = buf.bytes_for_width(domain.len_b());
+        // Recorded after the scan: a shared engine buffer grows lazily;
+        // a parallel scan already recorded its workers' buffers instead.
+        stats.bytes_dp = stats.bytes_dp.max(buf.bytes_for_width(domain.len_b()));
         stats.total_seconds = started.elapsed().as_secs_f64();
         (bsf.motif, stats, completed)
     }

@@ -16,8 +16,12 @@
 //! the flavour of building block the paper's introduction says motifs
 //! feed into (\[16, 31, 12\]).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use fremo_similarity::dfd_decision;
 use fremo_trajectory::{GroundDistance, Trajectory};
+
+use crate::pool::{self, WorkCursor};
 
 /// One cluster of mutually similar, index-disjoint subtrajectory windows.
 #[derive(Debug, Clone)]
@@ -114,36 +118,113 @@ pub fn cluster_subtrajectories<P: GroundDistance>(
     let mut start = 0usize;
     while start + config.window <= n {
         let end = start + config.window - 1;
-        let win = &pts[start..=end];
-
-        let mut placed = false;
-        for cluster in &mut clusters {
-            // Keep members index-disjoint within a cluster.
-            let overlaps = cluster
-                .members
-                .iter()
-                .any(|&(lo, hi)| start <= hi && lo <= end);
-            if overlaps {
-                continue;
-            }
-            let rep = &pts[cluster.representative.0..=cluster.representative.1];
-            if endpoints_exceed(rep, win, config.epsilon)
-                || hausdorff_exceeds(rep, win, config.epsilon)
-                || hausdorff_exceeds(win, rep, config.epsilon)
-            {
-                continue;
-            }
-            if dfd_decision(rep, win, config.epsilon) {
-                cluster.members.push((start, end));
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
-            clusters.push(SubtrajectoryCluster {
+        match clusters
+            .iter()
+            .position(|c| window_joins(c, pts, start, end, config))
+        {
+            Some(c) => clusters[c].members.push((start, end)),
+            None => clusters.push(SubtrajectoryCluster {
                 representative: (start, end),
                 members: vec![(start, end)],
+            }),
+        }
+        start += config.stride;
+    }
+
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
+    clusters
+}
+
+/// Whether window `[start, end]` may join `cluster`: index-disjoint from
+/// every member, passes the cheap filters, and decides under `ε`.
+fn window_joins<P: GroundDistance>(
+    cluster: &SubtrajectoryCluster,
+    pts: &[P],
+    start: usize,
+    end: usize,
+    config: &ClusterConfig,
+) -> bool {
+    // Keep members index-disjoint within a cluster.
+    let overlaps = cluster
+        .members
+        .iter()
+        .any(|&(lo, hi)| start <= hi && lo <= end);
+    if overlaps {
+        return false;
+    }
+    let win = &pts[start..=end];
+    let rep = &pts[cluster.representative.0..=cluster.representative.1];
+    if endpoints_exceed(rep, win, config.epsilon)
+        || hausdorff_exceeds(rep, win, config.epsilon)
+        || hausdorff_exceeds(win, rep, config.epsilon)
+    {
+        return false;
+    }
+    dfd_decision(rep, win, config.epsilon)
+}
+
+/// [`cluster_subtrajectories`] with each window's cluster-membership scan
+/// fanned out over worker threads.
+///
+/// Leader clustering is inherently sequential across *windows* (window
+/// `w`'s assignment depends on the clusters the earlier windows formed),
+/// but for one window the candidate clusters can be tested concurrently:
+/// workers claim cluster indices through an atomic cursor and the
+/// *minimum* matching index wins — exactly the serial "first matching
+/// cluster" rule, so the output is bit-for-bit identical to the serial
+/// clustering. Scans over only a handful of clusters stay serial (the
+/// fan-out would cost more than the tests). `threads == 0` resolves
+/// through the global budget ([`crate::pool::global_threads`]).
+#[must_use]
+pub fn cluster_subtrajectories_parallel<P: GroundDistance + Sync>(
+    trajectory: &Trajectory<P>,
+    config: &ClusterConfig,
+    threads: usize,
+) -> Vec<SubtrajectoryCluster> {
+    let threads = pool::resolve_threads(threads);
+    if threads <= 1 {
+        return cluster_subtrajectories(trajectory, config);
+    }
+    let pts = trajectory.points();
+    let n = pts.len();
+    if n < config.window {
+        return Vec::new();
+    }
+
+    let mut clusters: Vec<SubtrajectoryCluster> = Vec::new();
+    let mut start = 0usize;
+    while start + config.window <= n {
+        let end = start + config.window - 1;
+        // Fan out only when there are enough candidate clusters to pay
+        // for the scoped spawn; the serial position() is the same rule.
+        let hit = if clusters.len() >= threads * 4 {
+            let cursor = WorkCursor::new(clusters.len());
+            let best = AtomicUsize::new(usize::MAX);
+            pool::run_workers(threads, |_| {
+                while let Some(c) = cursor.claim() {
+                    // A match at a smaller index already won; anything at
+                    // or past it cannot change the minimum.
+                    if c >= best.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    if window_joins(&clusters[c], pts, start, end, config) {
+                        best.fetch_min(c, Ordering::Relaxed);
+                    }
+                }
             });
+            let best = best.load(Ordering::Relaxed);
+            (best != usize::MAX).then_some(best)
+        } else {
+            clusters
+                .iter()
+                .position(|c| window_joins(c, pts, start, end, config))
+        };
+        match hit {
+            Some(c) => clusters[c].members.push((start, end)),
+            None => clusters.push(SubtrajectoryCluster {
+                representative: (start, end),
+                members: vec![(start, end)],
+            }),
         }
         start += config.stride;
     }

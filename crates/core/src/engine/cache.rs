@@ -83,11 +83,16 @@ pub(crate) struct CorpusCache {
 
 impl CorpusCache {
     /// The cached (or freshly built) distance matrix for `key`.
-    pub(crate) fn matrix<P: GroundDistance>(
+    ///
+    /// `threads >= 1` builds a cold matrix through the row-chunked
+    /// parallel constructors — bit-for-bit identical to the serial build,
+    /// so one cached matrix serves serial and parallel queries alike.
+    pub(crate) fn matrix<P: GroundDistance + Sync>(
         &mut self,
         key: ScopeKey,
         a: &[P],
         b: Option<&[P]>,
+        threads: usize,
     ) -> &DenseMatrix {
         match self.matrices.entry(key) {
             Entry::Occupied(e) => {
@@ -97,8 +102,8 @@ impl CorpusCache {
             Entry::Vacant(v) => {
                 self.counters.matrices_built += 1;
                 v.insert(match b {
-                    None => DenseMatrix::within(a),
-                    Some(b) => DenseMatrix::between(a, b),
+                    None => DenseMatrix::within_parallel(a, threads),
+                    Some(b) => DenseMatrix::between_parallel(a, b, threads),
                 })
             }
         }
@@ -139,7 +144,8 @@ impl CorpusCache {
     }
 
     /// The cached matrix *and* bound tables for `(key, ξ, sel)`.
-    pub(crate) fn prepared<P: GroundDistance>(
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn prepared<P: GroundDistance + Sync>(
         &mut self,
         key: ScopeKey,
         a: &[P],
@@ -147,8 +153,10 @@ impl CorpusCache {
         domain: Domain,
         xi: usize,
         sel: BoundSelection,
+        threads: usize,
     ) -> (&DenseMatrix, &BoundTables) {
-        let (matrix, tables, _) = self.prepared_with_relaxed(key, a, b, domain, xi, sel, false);
+        let (matrix, tables, _) =
+            self.prepared_with_relaxed(key, a, b, domain, xi, sel, false, threads);
         (matrix, tables)
     }
 
@@ -157,7 +165,7 @@ impl CorpusCache {
     /// bounds (the third return value; `None` when `sel` is already
     /// relaxed or `want_relaxed` is `false`).
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn prepared_with_relaxed<P: GroundDistance>(
+    pub(crate) fn prepared_with_relaxed<P: GroundDistance + Sync>(
         &mut self,
         key: ScopeKey,
         a: &[P],
@@ -166,8 +174,9 @@ impl CorpusCache {
         xi: usize,
         sel: BoundSelection,
         want_relaxed: bool,
+        threads: usize,
     ) -> (&DenseMatrix, &BoundTables, Option<&BoundTables>) {
-        let _ = self.matrix(key, a, b);
+        let _ = self.matrix(key, a, b, threads);
         let matrix = &self.matrices[&key];
 
         let tkey = (key, xi, sel.tight);
@@ -250,19 +259,19 @@ mod tests {
         let domain = Domain::Within { n: t.len() };
         let sel = BoundSelection::all_relaxed();
 
-        let _ = cache.prepared(key, t.points(), None, domain, 3, sel);
+        let _ = cache.prepared(key, t.points(), None, domain, 3, sel, 0);
         assert_eq!(cache.counters.matrices_built, 1);
         assert_eq!(cache.counters.tables_built, 1);
         assert_eq!(cache.counters.reused(), 0);
 
-        let _ = cache.prepared(key, t.points(), None, domain, 3, sel);
+        let _ = cache.prepared(key, t.points(), None, domain, 3, sel, 0);
         assert_eq!(cache.counters.matrices_built, 1);
         assert_eq!(cache.counters.tables_built, 1);
         assert_eq!(cache.counters.matrices_reused, 1);
         assert_eq!(cache.counters.tables_reused, 1);
 
         // A different ξ reuses the matrix but needs new tables.
-        let _ = cache.prepared(key, t.points(), None, domain, 5, sel);
+        let _ = cache.prepared(key, t.points(), None, domain, 5, sel, 0);
         assert_eq!(cache.counters.matrices_built, 1);
         assert_eq!(cache.counters.tables_built, 2);
 
@@ -275,6 +284,7 @@ mod tests {
             domain,
             3,
             BoundSelection::cell_only(),
+            0,
         );
         assert_eq!(cache.counters.tables_built, 2);
         assert_eq!(cache.counters.tables_reused, 2);
@@ -286,6 +296,7 @@ mod tests {
             domain,
             3,
             BoundSelection::all_tight(),
+            0,
         );
         assert_eq!(cache.counters.tables_built, 3);
 

@@ -42,9 +42,9 @@ mod query;
 
 pub use cache::CacheReport;
 pub use query::{
-    AlgorithmChoice, EngineError, MeasureProfile, MotifScope, ParseAlgorithmError, Query,
-    QueryBudget, QueryBuilder, QueryKind, QueryOutcome, QueryResults, ResolvedAlgorithm,
-    AUTO_BRUTE_MAX_N, AUTO_BTM_MAX_N, AUTO_GTM_MAX_N,
+    AlgorithmChoice, EngineError, ExecutionMode, MeasureProfile, MotifScope, ParseAlgorithmError,
+    Query, QueryBudget, QueryBuilder, QueryKind, QueryOutcome, QueryResults, ResolvedAlgorithm,
+    AUTO_BRUTE_MAX_N, AUTO_BTM_MAX_N, AUTO_GTM_MAX_N, PARALLEL_AUTO_MIN_N,
 };
 
 use std::time::Instant;
@@ -53,12 +53,14 @@ use fremo_trajectory::{GroundDistance, LazyDistances, Trajectory};
 
 use crate::brute::BruteDp;
 use crate::btm::Btm;
-use crate::cluster::{cluster_subtrajectories, ClusterConfig};
+use crate::cluster::{cluster_subtrajectories, cluster_subtrajectories_parallel, ClusterConfig};
 use crate::domain::Domain;
 use crate::dp::DpBuffers;
 use crate::gtm::Gtm;
 use crate::gtm_star::GtmStar;
-use crate::join::{similarity_join, similarity_self_join};
+use crate::join::{
+    similarity_join, similarity_join_parallel, similarity_self_join, similarity_self_join_parallel,
+};
 use crate::stats::SearchStats;
 use crate::topk::top_k_prepared;
 
@@ -217,7 +219,12 @@ impl<P: GroundDistance> Engine<P> {
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
+}
 
+/// Query execution. `P: Sync` because the parallel execution layer
+/// shares point slices across worker threads (every concrete point type
+/// in the workspace is `Sync`).
+impl<P: GroundDistance + Sync> Engine<P> {
     /// Executes one query against the corpus.
     ///
     /// # Errors
@@ -243,18 +250,19 @@ impl<P: GroundDistance> Engine<P> {
                             .into(),
                     ));
                 }
+                let threads = query.execution.resolve_explicit();
                 match kind {
                     QueryKind::Join {
                         probe,
                         base,
                         epsilon,
-                    } => self.execute_join(probe, base.as_deref(), *epsilon)?,
+                    } => self.execute_join(probe, base.as_deref(), *epsilon, threads)?,
                     QueryKind::Cluster {
                         id,
                         window,
                         stride,
                         epsilon,
-                    } => self.execute_cluster(*id, *window, *stride, *epsilon)?,
+                    } => self.execute_cluster(*id, *window, *stride, *epsilon, threads)?,
                     QueryKind::Measures { a, b, epsilon } => {
                         self.execute_measures(*a, *b, *epsilon)?
                     }
@@ -315,6 +323,7 @@ impl<P: GroundDistance> Engine<P> {
         };
         let longest = n.max(m.unwrap_or(0));
         let resolved = query.algorithm.resolve(longest, query.min_length);
+        let threads = query.execution.resolve(longest);
 
         let (pa, pb) = match scope {
             MotifScope::Within(id) => (self.corpus[id.index].points(), None),
@@ -333,7 +342,7 @@ impl<P: GroundDistance> Engine<P> {
                 self.cache
                     .gtm_star_prepared(key, pa, pb, domain, config.min_length);
             let tables = Some(tables);
-            let (motif, stats, completed) = match dense {
+            let (motif, mut stats, completed) = match dense {
                 Some(src) => GtmStar::run(
                     src,
                     domain,
@@ -342,6 +351,7 @@ impl<P: GroundDistance> Engine<P> {
                     &mut self.buffers,
                     budget,
                     tables,
+                    threads,
                 ),
                 None => match pb {
                     None => GtmStar::run(
@@ -352,6 +362,7 @@ impl<P: GroundDistance> Engine<P> {
                         &mut self.buffers,
                         budget,
                         tables,
+                        threads,
                     ),
                     Some(pb) => GtmStar::run(
                         &LazyDistances::between(pa, pb),
@@ -361,9 +372,11 @@ impl<P: GroundDistance> Engine<P> {
                         &mut self.buffers,
                         budget,
                         tables,
+                        threads,
                     ),
                 },
             };
+            stats.threads_used = stats.threads_used.max(1);
             return Ok(outcome_skeleton(
                 QueryResults::Motif(motif),
                 resolved.name(),
@@ -372,9 +385,13 @@ impl<P: GroundDistance> Engine<P> {
             ));
         }
 
-        let (motif, stats, completed) = match resolved {
+        let (motif, mut stats, completed) = match resolved {
             ResolvedAlgorithm::BruteDp => {
-                let src = self.cache.matrix(key, pa, pb);
+                // The exhaustive baseline deliberately ignores the
+                // execution mode (Algorithm 1 is measured serial), but a
+                // parallel query still benefits from the parallel matrix
+                // build.
+                let src = self.cache.matrix(key, pa, pb, threads);
                 let pre = started.elapsed().as_secs_f64();
                 BruteDp::run_prepared(
                     src,
@@ -387,9 +404,15 @@ impl<P: GroundDistance> Engine<P> {
                 )
             }
             ResolvedAlgorithm::Btm => {
-                let (src, tables) =
-                    self.cache
-                        .prepared(key, pa, pb, domain, config.min_length, config.bounds);
+                let (src, tables) = self.cache.prepared(
+                    key,
+                    pa,
+                    pb,
+                    domain,
+                    config.min_length,
+                    config.bounds,
+                    threads,
+                );
                 Btm::run_prepared(
                     src,
                     tables,
@@ -399,6 +422,7 @@ impl<P: GroundDistance> Engine<P> {
                     started,
                     &mut self.buffers,
                     budget,
+                    threads,
                 )
             }
             ResolvedAlgorithm::Gtm => {
@@ -410,6 +434,7 @@ impl<P: GroundDistance> Engine<P> {
                     config.min_length,
                     config.bounds,
                     true,
+                    threads,
                 );
                 Gtm::run_prepared(
                     src,
@@ -421,6 +446,7 @@ impl<P: GroundDistance> Engine<P> {
                     started,
                     &mut self.buffers,
                     budget,
+                    threads,
                 )
             }
             ResolvedAlgorithm::Approx(epsilon) => {
@@ -437,6 +463,7 @@ impl<P: GroundDistance> Engine<P> {
                     config.min_length,
                     config.bounds,
                     true,
+                    threads,
                 );
                 Gtm::run_prepared(
                     src,
@@ -448,11 +475,13 @@ impl<P: GroundDistance> Engine<P> {
                     started,
                     &mut self.buffers,
                     budget,
+                    threads,
                 )
             }
             ResolvedAlgorithm::GtmStar => unreachable!("handled above"),
         };
 
+        stats.threads_used = stats.threads_used.max(1);
         Ok(outcome_skeleton(
             QueryResults::Motif(motif),
             resolved.name(),
@@ -487,6 +516,7 @@ impl<P: GroundDistance> Engine<P> {
         let config = query.motif_config();
         let budget = query.budget.to_search_budget(started);
         let n = self.trajectory(id)?.len();
+        let threads = query.execution.resolve(n);
         let domain = Domain::Within { n };
         let pts = self.corpus[id.index].points();
         let (src, tables) = self.cache.prepared(
@@ -496,8 +526,9 @@ impl<P: GroundDistance> Engine<P> {
             domain,
             config.min_length,
             config.bounds,
+            threads,
         );
-        let (motifs, stats, completed) = top_k_prepared(
+        let (motifs, mut stats, completed) = top_k_prepared(
             src,
             tables,
             domain,
@@ -506,7 +537,9 @@ impl<P: GroundDistance> Engine<P> {
             started,
             &mut self.buffers,
             budget.as_ref(),
+            threads,
         );
+        stats.threads_used = stats.threads_used.max(1);
         Ok(outcome_skeleton(
             QueryResults::TopK(motifs),
             "BTM(top-k)",
@@ -520,6 +553,7 @@ impl<P: GroundDistance> Engine<P> {
         probe: &[TrajId],
         base: Option<&[TrajId]>,
         epsilon: f64,
+        threads: usize,
     ) -> Result<QueryOutcome, EngineError> {
         if epsilon.is_nan() || epsilon < 0.0 {
             return Err(EngineError::InvalidParameter(
@@ -530,11 +564,16 @@ impl<P: GroundDistance> Engine<P> {
             ids.iter().map(|&id| self.trajectory(id)).collect()
         };
         let a = resolve(probe)?;
-        let result = match base {
-            None => similarity_self_join(&a, epsilon),
-            Some(base) => {
+        let result = match (base, threads) {
+            (None, 0) => similarity_self_join(&a, epsilon),
+            (None, t) => similarity_self_join_parallel(&a, epsilon, t),
+            (Some(base), t) => {
                 let b = resolve(base)?;
-                similarity_join(&a, &b, epsilon)
+                if t == 0 {
+                    similarity_join(&a, &b, epsilon)
+                } else {
+                    similarity_join_parallel(&a, &b, epsilon, t)
+                }
             }
         };
         Ok(outcome_skeleton(
@@ -551,6 +590,7 @@ impl<P: GroundDistance> Engine<P> {
         window: usize,
         stride: usize,
         epsilon: f64,
+        threads: usize,
     ) -> Result<QueryOutcome, EngineError> {
         if window < 2 {
             return Err(EngineError::InvalidParameter(
@@ -568,7 +608,12 @@ impl<P: GroundDistance> Engine<P> {
             ));
         }
         let t = self.trajectory(id)?;
-        let clusters = cluster_subtrajectories(t, &ClusterConfig::new(window, stride, epsilon));
+        let cfg = ClusterConfig::new(window, stride, epsilon);
+        let clusters = if threads == 0 {
+            cluster_subtrajectories(t, &cfg)
+        } else {
+            cluster_subtrajectories_parallel(t, &cfg, threads)
+        };
         Ok(outcome_skeleton(
             QueryResults::Cluster(clusters),
             "LEADER",

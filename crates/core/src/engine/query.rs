@@ -252,6 +252,86 @@ impl std::str::FromStr for AlgorithmChoice {
     }
 }
 
+/// [`ExecutionMode::Auto`] switches a motif/top-k query to the parallel
+/// layer once the (longest) trajectory passes this length — the same
+/// Section 6 crossover past which BTM hands over to the grouping
+/// methods, i.e. the point where the candidate grid (and the `O(n²)`
+/// matrix precompute) is large enough to amortize worker fan-out.
+pub const PARALLEL_AUTO_MIN_N: usize = AUTO_BTM_MAX_N;
+
+/// How a query's candidate scan executes.
+///
+/// ## Exactness of the parallel mode
+///
+/// Parallel execution changes *scheduling only*, never results. Workers
+/// claim sorted candidate subsets through an atomic cursor and prune
+/// against a **snapshot** of the shared best-so-far. The snapshot may be
+/// stale, but `bsf` only ever decreases — so a stale value is an upper
+/// bound on the live one, and a stale snapshot can only prune *less*
+/// than the final value would, never a candidate that could still win.
+/// Wrongly pruning is therefore impossible; the worst case is wasted
+/// work, which [`crate::SearchStats::subsets_expanded_wasted`] reports.
+/// On top of that safety argument the scan merges candidates by
+/// `(DFD value, sorted-entry index)`, which resolves exact ties the same
+/// way the serial scan's first-winner rule does — making parallel
+/// results **bit-for-bit identical** to serial ones for the exact
+/// algorithms (BTM, GTM, GTM*, top-k, join, cluster). Only the
+/// `(1+ε)`-approximate search may return a different (still
+/// within-guarantee) motif under parallelism.
+///
+/// `Auto` applies the crossover rule to motif and top-k queries; join,
+/// cluster, and measures queries run serially under `Auto` and
+/// parallelize only on an explicit [`ExecutionMode::Parallel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    /// Parallel above the Section-6 crossover sizes
+    /// ([`PARALLEL_AUTO_MIN_N`]), serial below — with thread count from
+    /// the global budget (`FREMO_THREADS` or the machine's available
+    /// parallelism; see [`crate::pool::global_threads`]).
+    #[default]
+    Auto,
+    /// Always scan on the caller's thread.
+    Serial,
+    /// Scan on the parallel execution layer.
+    Parallel {
+        /// Worker threads; `0` resolves through the global budget.
+        threads: usize,
+    },
+}
+
+impl ExecutionMode {
+    /// Resolves the worker count for a motif-style query over (longest)
+    /// trajectory length `n`: `0` = run the legacy serial scan on the
+    /// caller's thread, `t >= 1` = run the parallel layer with `t`
+    /// workers (one worker runs inline, but exercises the same code
+    /// path).
+    #[must_use]
+    pub fn resolve(self, n: usize) -> usize {
+        match self {
+            ExecutionMode::Serial => 0,
+            ExecutionMode::Parallel { threads } => crate::pool::resolve_threads(threads),
+            ExecutionMode::Auto => {
+                if n > PARALLEL_AUTO_MIN_N {
+                    crate::pool::resolve_threads(0)
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Resolution for workloads without an `Auto` crossover (join,
+    /// cluster): explicit `Parallel` resolves its thread count, both
+    /// `Auto` and `Serial` run serially.
+    #[must_use]
+    pub fn resolve_explicit(self) -> usize {
+        match self {
+            ExecutionMode::Parallel { threads } => crate::pool::resolve_threads(threads),
+            ExecutionMode::Auto | ExecutionMode::Serial => 0,
+        }
+    }
+}
+
 /// An optional resource budget for a motif-search query (motif or
 /// top-k) — the engine stops expanding work when it is spent and flags
 /// the outcome as truncated. Join, cluster, and measures queries cannot
@@ -336,6 +416,8 @@ pub struct Query {
     pub algorithm: AlgorithmChoice,
     /// Optional resource budget.
     pub budget: QueryBudget,
+    /// How the candidate scan executes (serial, parallel, or auto).
+    pub execution: ExecutionMode,
 }
 
 impl Query {
@@ -348,6 +430,7 @@ impl Query {
                 group_size: 32,
                 algorithm: AlgorithmChoice::Auto,
                 budget: QueryBudget::default(),
+                execution: ExecutionMode::Auto,
             },
         }
     }
@@ -454,6 +537,13 @@ impl Query {
         self
     }
 
+    /// Replaces the execution mode.
+    #[must_use]
+    pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
+        self
+    }
+
     /// The [`MotifConfig`] this query implies.
     ///
     /// # Panics
@@ -523,6 +613,20 @@ impl QueryBuilder {
     pub fn candidate_budget(mut self, subsets: u64) -> Self {
         self.query.budget = self.query.budget.with_max_subsets(subsets);
         self
+    }
+
+    /// Sets the execution mode.
+    #[must_use]
+    pub fn execution(mut self, execution: ExecutionMode) -> Self {
+        self.query = self.query.with_execution(execution);
+        self
+    }
+
+    /// Shorthand for [`ExecutionMode::Parallel`] with `threads` workers
+    /// (`0` = the global budget, i.e. `FREMO_THREADS` or all cores).
+    #[must_use]
+    pub fn threads(self, threads: usize) -> Self {
+        self.execution(ExecutionMode::Parallel { threads })
     }
 
     /// Finishes the query.
@@ -750,6 +854,27 @@ mod tests {
         let cfg = q.motif_config();
         assert_eq!(cfg.min_length, 12);
         assert_eq!(cfg.group_size, 8);
+    }
+
+    #[test]
+    fn execution_mode_resolution() {
+        assert_eq!(ExecutionMode::default(), ExecutionMode::Auto);
+        assert_eq!(ExecutionMode::Serial.resolve(100_000), 0);
+        assert_eq!(ExecutionMode::Parallel { threads: 3 }.resolve(10), 3);
+        assert!(ExecutionMode::Parallel { threads: 0 }.resolve(10) >= 1);
+        assert_eq!(ExecutionMode::Auto.resolve(PARALLEL_AUTO_MIN_N), 0);
+        assert!(ExecutionMode::Auto.resolve(PARALLEL_AUTO_MIN_N + 1) >= 1);
+        assert_eq!(ExecutionMode::Serial.resolve_explicit(), 0);
+        assert_eq!(ExecutionMode::Auto.resolve_explicit(), 0);
+        assert_eq!(ExecutionMode::Parallel { threads: 2 }.resolve_explicit(), 2);
+        let id = TrajId::from_index(0);
+        let q = Query::motif(id).xi(2).threads(4).build();
+        assert_eq!(q.execution, ExecutionMode::Parallel { threads: 4 });
+        let q = Query::motif(id)
+            .xi(2)
+            .execution(ExecutionMode::Serial)
+            .build();
+        assert_eq!(q.execution, ExecutionMode::Serial);
     }
 
     #[test]

@@ -265,7 +265,7 @@ pub(crate) fn initial_pairs(domain: Domain, xi: usize, grid: &GroupGrid) -> Vec<
 }
 
 impl Gtm {
-    pub(crate) fn run<D: DistanceSource>(
+    pub(crate) fn run<D: DistanceSource + Sync>(
         src: &D,
         domain: Domain,
         config: &MotifConfig,
@@ -275,7 +275,7 @@ impl Gtm {
         let tables = BoundTables::build(src, domain, config.min_length, config.bounds);
         let mut buf = DpBuffers::with_width(domain.len_b());
         let (motif, stats, _) = Self::run_prepared(
-            src, &tables, None, domain, config, epsilon, started, &mut buf, None,
+            src, &tables, None, domain, config, epsilon, started, &mut buf, None, 0,
         );
         (motif, stats)
     }
@@ -291,8 +291,14 @@ impl Gtm {
     /// search — a wall-clock deadline is checked between grouping levels
     /// (bailing out with no motif) and before every subset expansion of
     /// the final best-first stage.
+    ///
+    /// The grouping levels always run serially (their bsf tightening is
+    /// order-dependent, and keeping them serial guarantees the surviving
+    /// candidate list — and therefore the result — is identical across
+    /// execution modes); `threads >= 1` runs the final best-first stage
+    /// through the parallel execution layer ([`crate::parallel`]).
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn run_prepared<D: DistanceSource>(
+    pub(crate) fn run_prepared<D: DistanceSource + Sync>(
         src: &D,
         tables: &BoundTables,
         relaxed: Option<&RelaxedTables>,
@@ -302,6 +308,7 @@ impl Gtm {
         started: Instant,
         buf: &mut DpBuffers,
         budget: Option<&SearchBudget>,
+        threads: usize,
     ) -> (Option<Motif>, SearchStats, bool) {
         let xi = config.min_length;
         let sel = config.bounds;
@@ -366,21 +373,40 @@ impl Gtm {
         let mut entries: Vec<ListEntry> = build_entries(src, tables, sel, starts);
         stats.bytes_lists = stats.bytes_lists.max(list_bytes(&entries));
 
-        let completed = process_sorted_subsets(
-            src,
-            domain,
-            xi,
-            sel,
-            tables,
-            &mut entries,
-            &mut bsf,
-            &mut stats,
-            buf,
-            budget,
-        );
+        let completed = if threads > 0 {
+            crate::parallel::process_sorted_subsets_parallel(
+                src,
+                domain,
+                xi,
+                sel,
+                tables,
+                &mut entries,
+                None,
+                &mut bsf,
+                &mut stats,
+                budget,
+                threads,
+                true,
+            )
+        } else {
+            stats.threads_used = 1;
+            process_sorted_subsets(
+                src,
+                domain,
+                xi,
+                sel,
+                tables,
+                &mut entries,
+                &mut bsf,
+                &mut stats,
+                buf,
+                budget,
+            )
+        };
 
-        // Recorded after the scan: a shared engine buffer grows lazily.
-        stats.bytes_dp = buf.bytes_for_width(domain.len_b());
+        // Recorded after the scan: a shared engine buffer grows lazily;
+        // a parallel scan already recorded its workers' buffers instead.
+        stats.bytes_dp = stats.bytes_dp.max(buf.bytes_for_width(domain.len_b()));
         stats.total_seconds = started.elapsed().as_secs_f64();
         (bsf.motif, stats, completed)
     }

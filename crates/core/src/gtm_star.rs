@@ -35,8 +35,14 @@ impl GtmStar {
     ///
     /// The third return value is `false` when `budget` truncated the
     /// search (the [`crate::engine::Engine`] surfaces it as `truncated`).
+    ///
+    /// The single grouping level runs serially (see [`crate::gtm::Gtm`]);
+    /// `threads >= 1` runs the final best-first stage through the
+    /// parallel execution layer — ground distances are then recomputed
+    /// concurrently by each worker, preserving GTM*'s `O(max{(n/τ)², n})`
+    /// space bound.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn run<D: DistanceSource>(
+    pub(crate) fn run<D: DistanceSource + Sync>(
         src: &D,
         domain: Domain,
         config: &MotifConfig,
@@ -44,6 +50,7 @@ impl GtmStar {
         buf: &mut DpBuffers,
         budget: Option<&SearchBudget>,
         prepared: Option<&BoundTables>,
+        threads: usize,
     ) -> (Option<Motif>, SearchStats, bool) {
         let xi = config.min_length;
         let sel = config.bounds;
@@ -112,27 +119,46 @@ impl GtmStar {
         let mut entries: Vec<ListEntry> = build_entries(src, tables, sel, starts.into_iter());
         stats.bytes_lists = stats.bytes_lists.max(list_bytes(&entries));
 
-        let completed = process_sorted_subsets(
-            src,
-            domain,
-            xi,
-            sel,
-            tables,
-            &mut entries,
-            &mut bsf,
-            &mut stats,
-            buf,
-            budget,
-        );
+        let completed = if threads > 0 {
+            crate::parallel::process_sorted_subsets_parallel(
+                src,
+                domain,
+                xi,
+                sel,
+                tables,
+                &mut entries,
+                None,
+                &mut bsf,
+                &mut stats,
+                budget,
+                threads,
+                true,
+            )
+        } else {
+            stats.threads_used = 1;
+            process_sorted_subsets(
+                src,
+                domain,
+                xi,
+                sel,
+                tables,
+                &mut entries,
+                &mut bsf,
+                &mut stats,
+                buf,
+                budget,
+            )
+        };
 
-        // Recorded after the scan: a shared engine buffer grows lazily.
-        stats.bytes_dp = buf.bytes_for_width(domain.len_b());
+        // Recorded after the scan: a shared engine buffer grows lazily;
+        // a parallel scan already recorded its workers' buffers instead.
+        stats.bytes_dp = stats.bytes_dp.max(buf.bytes_for_width(domain.len_b()));
         stats.total_seconds = started.elapsed().as_secs_f64();
         (bsf.motif, stats, completed)
     }
 }
 
-impl<P: GroundDistance> MotifDiscovery<P> for GtmStar {
+impl<P: GroundDistance + Sync> MotifDiscovery<P> for GtmStar {
     fn name(&self) -> &'static str {
         "GTM*"
     }
@@ -148,7 +174,7 @@ impl<P: GroundDistance> MotifDiscovery<P> for GtmStar {
         };
         let src = LazyDistances::within(trajectory.points());
         let mut buf = DpBuffers::with_width(domain.len_b());
-        let (motif, stats, _) = Self::run(&src, domain, config, started, &mut buf, None, None);
+        let (motif, stats, _) = Self::run(&src, domain, config, started, &mut buf, None, None, 0);
         (motif, stats)
     }
 
@@ -165,7 +191,7 @@ impl<P: GroundDistance> MotifDiscovery<P> for GtmStar {
         };
         let src = LazyDistances::between(a.points(), b.points());
         let mut buf = DpBuffers::with_width(domain.len_b());
-        let (motif, stats, _) = Self::run(&src, domain, config, started, &mut buf, None, None);
+        let (motif, stats, _) = Self::run(&src, domain, config, started, &mut buf, None, None, 0);
         (motif, stats)
     }
 }

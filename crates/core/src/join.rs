@@ -20,6 +20,9 @@ use std::borrow::Borrow;
 
 use fremo_similarity::dfd_decision;
 use fremo_trajectory::{GroundDistance, Trajectory};
+use parking_lot::Mutex;
+
+use crate::pool::{self, WorkCursor};
 
 /// Result of a similarity join.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +52,56 @@ fn hausdorff_exceeds<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
     false
 }
 
+/// Runs the filter chain and (if needed) the decision kernel on one pair,
+/// recording counters into `out` and pushing `(i, j)` on a match. Each
+/// pair's verdict is independent of every other pair — the property that
+/// makes the parallel joins below bit-for-bit equal to the serial loops.
+fn join_one_pair<P: GroundDistance>(
+    pa: &[P],
+    pb: &[P],
+    i: usize,
+    j: usize,
+    eps: f64,
+    out: &mut JoinResult,
+) {
+    if pa.is_empty() || pb.is_empty() {
+        return;
+    }
+    // Filter 1: endpoints.
+    let ends = pa[0]
+        .distance(&pb[0])
+        .max(pa[pa.len() - 1].distance(&pb[pb.len() - 1]));
+    if ends > eps {
+        out.pruned_endpoints += 1;
+        return;
+    }
+    // Filter 2: directed Hausdorff both ways with early exit.
+    if hausdorff_exceeds(pa, pb, eps) || hausdorff_exceeds(pb, pa, eps) {
+        out.pruned_hausdorff += 1;
+        return;
+    }
+    // Exact decision.
+    out.verified += 1;
+    if dfd_decision(pa, pb, eps) {
+        out.pairs.push((i, j));
+    }
+}
+
+/// Merges per-worker join results: counters sum, matched pairs re-sort
+/// into the serial `(i, j)` iteration order.
+fn merge_join_results(locals: Vec<Mutex<JoinResult>>) -> JoinResult {
+    let mut out = JoinResult::default();
+    for local in locals {
+        let l = local.into_inner();
+        out.pruned_endpoints += l.pruned_endpoints;
+        out.pruned_hausdorff += l.pruned_hausdorff;
+        out.verified += l.verified;
+        out.pairs.extend(l.pairs);
+    }
+    out.pairs.sort_unstable();
+    out
+}
+
 /// All pairs `(i, j)` with `DFD(a[i], b[j]) ≤ eps`.
 ///
 /// Accepts owned (`&[Trajectory<P>]`) or borrowed (`&[&Trajectory<P>]`)
@@ -67,31 +120,61 @@ pub fn similarity_join<P: GroundDistance, T: Borrow<Trajectory<P>>>(
     let mut out = JoinResult::default();
     for (i, ta) in a.iter().enumerate() {
         for (j, tb) in b.iter().enumerate() {
-            let (pa, pb) = (ta.borrow().points(), tb.borrow().points());
-            if pa.is_empty() || pb.is_empty() {
-                continue;
-            }
-            // Filter 1: endpoints.
-            let ends = pa[0]
-                .distance(&pb[0])
-                .max(pa[pa.len() - 1].distance(&pb[pb.len() - 1]));
-            if ends > eps {
-                out.pruned_endpoints += 1;
-                continue;
-            }
-            // Filter 2: directed Hausdorff both ways with early exit.
-            if hausdorff_exceeds(pa, pb, eps) || hausdorff_exceeds(pb, pa, eps) {
-                out.pruned_hausdorff += 1;
-                continue;
-            }
-            // Exact decision.
-            out.verified += 1;
-            if dfd_decision(pa, pb, eps) {
-                out.pairs.push((i, j));
-            }
+            join_one_pair(
+                ta.borrow().points(),
+                tb.borrow().points(),
+                i,
+                j,
+                eps,
+                &mut out,
+            );
         }
     }
     out
+}
+
+/// [`similarity_join`] with the pair loop fanned out over worker threads
+/// (workers claim rows of the cross product through an atomic cursor).
+/// Pair verdicts are independent, so the result — matched pairs *and*
+/// filter counters — is bit-for-bit identical to the serial join.
+/// `threads == 0` resolves through the global budget
+/// ([`crate::pool::global_threads`]).
+///
+/// # Panics
+///
+/// Panics when `eps` is negative or NaN.
+#[must_use]
+pub fn similarity_join_parallel<P, T>(a: &[T], b: &[T], eps: f64, threads: usize) -> JoinResult
+where
+    P: GroundDistance + Sync,
+    T: Borrow<Trajectory<P>> + Sync,
+{
+    assert!(eps >= 0.0, "threshold must be non-negative");
+    let threads = pool::resolve_threads(threads);
+    if threads <= 1 {
+        return similarity_join(a, b, eps);
+    }
+    let cursor = WorkCursor::new(a.len());
+    let locals: Vec<Mutex<JoinResult>> = (0..threads)
+        .map(|_| Mutex::new(JoinResult::default()))
+        .collect();
+    pool::run_workers(threads, |w| {
+        let mut local = JoinResult::default();
+        while let Some(i) = cursor.claim() {
+            for (j, tb) in b.iter().enumerate() {
+                join_one_pair(
+                    a[i].borrow().points(),
+                    tb.borrow().points(),
+                    i,
+                    j,
+                    eps,
+                    &mut local,
+                );
+            }
+        }
+        *locals[w].lock() = local;
+    });
+    merge_join_results(locals)
 }
 
 /// Self-join: all unordered pairs `(i, j)`, `i < j`, within one collection
@@ -111,28 +194,59 @@ pub fn similarity_self_join<P: GroundDistance, T: Borrow<Trajectory<P>>>(
     let mut out = JoinResult::default();
     for i in 0..set.len() {
         for j in (i + 1)..set.len() {
-            let (pa, pb) = (set[i].borrow().points(), set[j].borrow().points());
-            if pa.is_empty() || pb.is_empty() {
-                continue;
-            }
-            let ends = pa[0]
-                .distance(&pb[0])
-                .max(pa[pa.len() - 1].distance(&pb[pb.len() - 1]));
-            if ends > eps {
-                out.pruned_endpoints += 1;
-                continue;
-            }
-            if hausdorff_exceeds(pa, pb, eps) || hausdorff_exceeds(pb, pa, eps) {
-                out.pruned_hausdorff += 1;
-                continue;
-            }
-            out.verified += 1;
-            if dfd_decision(pa, pb, eps) {
-                out.pairs.push((i, j));
-            }
+            join_one_pair(
+                set[i].borrow().points(),
+                set[j].borrow().points(),
+                i,
+                j,
+                eps,
+                &mut out,
+            );
         }
     }
     out
+}
+
+/// [`similarity_self_join`] with the unordered-pair loop fanned out over
+/// worker threads; bit-for-bit identical to the serial self-join (see
+/// [`similarity_join_parallel`]). `threads == 0` resolves through the
+/// global budget.
+///
+/// # Panics
+///
+/// Panics when `eps` is negative or NaN.
+#[must_use]
+pub fn similarity_self_join_parallel<P, T>(set: &[T], eps: f64, threads: usize) -> JoinResult
+where
+    P: GroundDistance + Sync,
+    T: Borrow<Trajectory<P>> + Sync,
+{
+    assert!(eps >= 0.0, "threshold must be non-negative");
+    let threads = pool::resolve_threads(threads);
+    if threads <= 1 {
+        return similarity_self_join(set, eps);
+    }
+    let cursor = WorkCursor::new(set.len());
+    let locals: Vec<Mutex<JoinResult>> = (0..threads)
+        .map(|_| Mutex::new(JoinResult::default()))
+        .collect();
+    pool::run_workers(threads, |w| {
+        let mut local = JoinResult::default();
+        while let Some(i) = cursor.claim() {
+            for j in (i + 1)..set.len() {
+                join_one_pair(
+                    set[i].borrow().points(),
+                    set[j].borrow().points(),
+                    i,
+                    j,
+                    eps,
+                    &mut local,
+                );
+            }
+        }
+        *locals[w].lock() = local;
+    });
+    merge_join_results(locals)
 }
 
 impl JoinResult {

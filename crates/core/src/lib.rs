@@ -76,6 +76,7 @@ mod gtm;
 mod gtm_star;
 pub mod join;
 pub mod parallel;
+pub mod pool;
 pub mod result;
 pub mod search;
 pub mod stats;
@@ -85,17 +86,22 @@ pub use algorithm::MotifDiscovery;
 pub use approx::{ApproxBtm, ApproxGtm};
 pub use brute::BruteDp;
 pub use btm::Btm;
-pub use cluster::{cluster_subtrajectories, ClusterConfig, SubtrajectoryCluster};
+pub use cluster::{
+    cluster_subtrajectories, cluster_subtrajectories_parallel, ClusterConfig, SubtrajectoryCluster,
+};
 pub use config::{BoundKind, BoundSelection, MotifConfig};
 pub use domain::Domain;
 pub use engine::{
-    AlgorithmChoice, Engine, EngineError, EngineStats, Query, QueryBuilder, QueryOutcome,
-    QueryResults, TrajId,
+    AlgorithmChoice, Engine, EngineError, EngineStats, ExecutionMode, Query, QueryBuilder,
+    QueryOutcome, QueryResults, TrajId,
 };
 pub use gtm::Gtm;
 pub use gtm_star::GtmStar;
-pub use join::{similarity_join, similarity_self_join, JoinResult};
+pub use join::{
+    similarity_join, similarity_join_parallel, similarity_self_join, similarity_self_join_parallel,
+    JoinResult,
+};
 pub use parallel::ParallelBtm;
 pub use result::Motif;
 pub use stats::SearchStats;
-pub use topk::{top_k_motifs, top_k_motifs_with_stats, ForbiddenIntervals};
+pub use topk::{top_k_motifs, top_k_motifs_parallel, top_k_motifs_with_stats, ForbiddenIntervals};

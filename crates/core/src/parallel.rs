@@ -1,20 +1,62 @@
-//! Parallel BTM: multi-threaded processing of the sorted candidate-subset
-//! list.
+//! The engine-wide parallel execution layer: multi-threaded processing of
+//! the sorted candidate-subset list, shared by BTM, the final stage of
+//! GTM/GTM*, and each masked round of the top-k search.
 //!
-//! The paper evaluates single-threaded (Section 6.1); this module is an
-//! *extension*. The sorted list of Algorithm 2 parallelizes naturally:
-//! workers claim entries in sorted order through an atomic cursor, expand
-//! them against a snapshot of the shared best-so-far, and publish
-//! improvements. Pruning stays safe because `bsf` only decreases — a
-//! snapshot can only prune *less* than the final value would, and a worker
-//! observing a prunable entry may stop outright (the list is sorted, so
-//! every entry after it has an equal or larger bound).
+//! ## Why snapshot pruning is exact
 //!
-//! Exactness therefore holds regardless of interleaving; only the amount
-//! of wasted work varies. Speedups are workload-dependent: with >99% of
-//! subsets pruned the serial fraction (precompute + sort) dominates.
+//! The paper evaluates single-threaded (Section 6.1); parallelism is an
+//! *extension*, but one the paper's own exactness argument licenses. The
+//! sorted list of Algorithm 2 parallelizes naturally: workers claim
+//! entries in sorted order through an atomic cursor
+//! ([`crate::pool::WorkCursor`]), expand them against a *snapshot* of the
+//! shared best-so-far, and publish improvements. Pruning stays safe
+//! because `bsf` only decreases over time — a stale snapshot is an upper
+//! bound on the true best-so-far, so it can only prune *less* than the
+//! final value would, never a candidate that could still win. A worker
+//! observing a prunable entry may stop outright: the list is sorted, so
+//! every entry after it carries an equal or larger bound. Exactness
+//! therefore holds under every interleaving; only the amount of wasted
+//! work varies (reported as [`SearchStats::subsets_expanded_wasted`]).
+//!
+//! ## Why the result is *bit-for-bit* the serial result
+//!
+//! Exact-value equality is not enough for a differential test suite — the
+//! *motif indices* must match too, and distinct candidate pairs can tie on
+//! the exact same DFD (a shared bottleneck ground distance). The serial
+//! scan resolves such ties by order: the winner is the candidate of the
+//! **first sorted entry** achieving the minimum, and within a subset the
+//! first DP cell (in row-major scan order) achieving the subset minimum.
+//! The parallel scan reproduces that rule deterministically:
+//!
+//! * the shared best-so-far carries the sorted-entry index of its holder,
+//!   and publishing merges by `(value, entry index)` lexicographically;
+//! * a worker whose snapshot is held by a *later* entry (or by a
+//!   group-level upper bound, which has no holder) strips the snapshot's
+//!   motif before expanding, which switches [`Bsf`] into its tie-accepting
+//!   mode — exactly the state the serial scan would have been in when it
+//!   reached this entry.
+//!
+//! Within a subset the DP scans cells in a fixed order and its pruning
+//! (row abandoning, end-cross clamping) can only skip cells that cannot
+//! *strictly* improve the current value, so the first cell achieving the
+//! subset minimum is found regardless of the incoming snapshot. Together
+//! this makes the parallel winner `min_{expanded}(value, entry index)` —
+//! precisely the serial winner — for exact searches (`ε = 0`).
+//! `(1+ε)`-approximate searches keep their approximation guarantee under
+//! parallelism but may legitimately return a different (still
+//! within-bound) motif than a serial run.
+//!
+//! ## Budgets
+//!
+//! [`SearchBudget`] deadlines and expansion caps are honored inside the
+//! worker loop: expansion slots are claimed from a shared atomic counter
+//! (so a cap of `k` yields exactly `k` expansions across all workers) and
+//! the deadline is checked before every claim. A truncated scan reports
+//! `completed = false` and accounts the unexamined remainder as
+//! budget-skipped, never as pruned.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use fremo_trajectory::{DenseMatrix, DistanceSource, GroundDistance, Trajectory};
@@ -22,17 +64,301 @@ use parking_lot::Mutex;
 
 use crate::algorithm::MotifDiscovery;
 use crate::bounds::BoundTables;
-use crate::config::MotifConfig;
+use crate::config::{BoundKind, BoundSelection, MotifConfig};
 use crate::domain::Domain;
-use crate::dp::{expand_subset, Bsf, DpBuffers};
+use crate::dp::{expand_subset_capped, Bsf, DpBuffers};
+use crate::pool::{self, WorkCursor};
 use crate::result::Motif;
-use crate::search::{build_entries, list_bytes};
+use crate::search::{ListEntry, SearchBudget};
 use crate::stats::SearchStats;
 
+/// No cap on `ie`/`je` (plain motif scans; top-k rounds pass real caps).
+const NO_CAP: (usize, usize) = (usize::MAX, usize::MAX);
+
+/// Per-subset inclusive `ie`/`je` caps, keyed by `(i, j)` — the top-k
+/// masks (see [`crate::topk`]).
+pub(crate) type SubsetCaps = HashMap<(u32, u32), (usize, usize)>;
+
+/// The shared best-so-far plus the sorted-entry index of its holder
+/// (`usize::MAX` while the value stems from a group upper bound or +∞).
+struct SharedBest {
+    bsf: Bsf,
+    entry_idx: usize,
+}
+
+/// Parallel counterpart of [`crate::search::build_entries`]: computes the
+/// combined lower bound of every start pair across `threads` workers
+/// (chunked round-robin). Each entry is a pure function of its pair, so
+/// the list is identical to the serial build, in the same order.
+pub(crate) fn build_entries_parallel<D: DistanceSource + Sync>(
+    src: &D,
+    tables: &BoundTables,
+    sel: BoundSelection,
+    starts: &[(usize, usize)],
+    threads: usize,
+) -> Vec<ListEntry> {
+    if threads <= 1 || starts.len() < 1024 {
+        return crate::search::build_entries(src, tables, sel, starts.iter().copied());
+    }
+    /// One contiguous slice of output entries plus its start pairs.
+    type EntryChunk<'a> = (&'a mut [ListEntry], &'a [(usize, usize)]);
+    let mut out = vec![
+        ListEntry {
+            lb: 0.0,
+            i: 0,
+            j: 0
+        };
+        starts.len()
+    ];
+    let chunk = (starts.len() / (threads * 8)).max(256);
+    let mut buckets: Vec<Vec<EntryChunk<'_>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (k, (oc, sc)) in out.chunks_mut(chunk).zip(starts.chunks(chunk)).enumerate() {
+        buckets[k % threads].push((oc, sc));
+    }
+    crossbeam::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move |_| {
+                for (oc, sc) in bucket {
+                    for (slot, &(i, j)) in oc.iter_mut().zip(sc) {
+                        *slot = ListEntry {
+                            lb: tables.subset_bounds(src, sel, i, j).combined(),
+                            i: i as u32,
+                            j: j as u32,
+                        };
+                    }
+                }
+            });
+        }
+    })
+    .expect("entry builders do not panic");
+    out
+}
+
+/// Publishes a worker's candidate under the deterministic
+/// `(value, entry index)` merge order.
+fn publish(shared: &Mutex<SharedBest>, motif: Motif, entry_idx: usize) -> bool {
+    let mut g = shared.lock();
+    let better = motif.distance < g.bsf.value
+        || (motif.distance == g.bsf.value && (g.bsf.motif.is_none() || entry_idx < g.entry_idx));
+    if better {
+        g.bsf.value = motif.distance;
+        g.bsf.motif = Some(motif);
+        g.entry_idx = entry_idx;
+    }
+    better
+}
+
+/// Parallel counterpart of [`crate::search::process_sorted_subsets`]:
+/// sorts `entries` ascending by bound and expands them across `threads`
+/// workers with snapshot pruning and the deterministic merge described in
+/// the [module docs](self).
+///
+/// `caps` supplies the top-k per-subset `ie`/`je` caps (`None` for plain
+/// motif scans); `attribute_pruned` controls whether the pruned remainder
+/// is attributed to bound families (BTM/GTM semantics) or left uncounted
+/// (the masked top-k rounds, matching the serial implementation).
+///
+/// Returns `false` when `budget` cut the scan short.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_sorted_subsets_parallel<D: DistanceSource + Sync>(
+    src: &D,
+    domain: Domain,
+    xi: usize,
+    sel: BoundSelection,
+    tables: &BoundTables,
+    entries: &mut [ListEntry],
+    caps: Option<&SubsetCaps>,
+    bsf: &mut Bsf,
+    stats: &mut SearchStats,
+    budget: Option<&SearchBudget>,
+    threads: usize,
+    attribute_pruned: bool,
+) -> bool {
+    debug_assert!(
+        bsf.motif.is_none(),
+        "scans start without a concrete pair (value may be a group UB)"
+    );
+    let threads = threads.max(1);
+    crate::search::sort_entries_parallel(entries, threads);
+    stats.threads_used = threads;
+
+    let cursor = WorkCursor::new(entries.len());
+    let shared = Mutex::new(SharedBest {
+        bsf: bsf.clone(),
+        entry_idx: usize::MAX,
+    });
+    let expanded: Vec<AtomicBool> = entries.iter().map(|_| AtomicBool::new(false)).collect();
+    let truncated = AtomicBool::new(false);
+    // Expansion slots consumed by earlier rounds (top-k) count against
+    // the same cap.
+    let expansions = AtomicU64::new(stats.subsets_expanded);
+    let end_tables = if sel.end_cross { Some(tables) } else { None };
+
+    let worker_stats: Vec<Mutex<SearchStats>> = (0..threads)
+        .map(|_| Mutex::new(SearchStats::default()))
+        .collect();
+
+    pool::run_workers(threads, |w| {
+        let mut local_buf = DpBuffers::with_width(domain.len_b());
+        let mut local_stats = SearchStats::default();
+        while let Some(idx) = cursor.claim() {
+            if truncated.load(Ordering::Relaxed) {
+                break;
+            }
+            let entry = &entries[idx];
+            // Snapshot the shared best-so-far. A holder *later* in the
+            // sorted order (or no holder at all) is state the serial scan
+            // would not yet have seen at this entry: strip the motif so
+            // ties are accepted and pruning stays strict, mirroring the
+            // serial first-winner rule (see module docs).
+            let (mut local_bsf, holder) = {
+                let g = shared.lock();
+                (g.bsf.clone(), g.entry_idx)
+            };
+            if holder > idx {
+                local_bsf.motif = None;
+            }
+            if local_bsf.prunable(entry.lb) {
+                // Sorted list: everything after is prunable too.
+                break;
+            }
+            if let Some(b) = budget {
+                if b.deadline.is_some_and(|d| Instant::now() >= d) {
+                    truncated.store(true, Ordering::Relaxed);
+                    break;
+                }
+                if let Some(cap) = b.max_subsets {
+                    if expansions.fetch_add(1, Ordering::Relaxed) >= cap {
+                        truncated.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            expanded[idx].store(true, Ordering::Relaxed);
+            let (i, j) = (entry.i as usize, entry.j as usize);
+            let cap = caps.map_or(NO_CAP, |c| c[&(entry.i, entry.j)]);
+            local_stats.subsets_expanded += 1;
+            local_stats.pairs_exact += domain.pairs_in_subset_capped(i, j, xi, cap);
+            let updates_before = local_stats.bsf_updates;
+            expand_subset_capped(
+                src,
+                domain,
+                xi,
+                i,
+                j,
+                cap,
+                end_tables,
+                true,
+                &mut local_bsf,
+                &mut local_stats,
+                &mut local_buf,
+            );
+            if local_stats.bsf_updates > updates_before {
+                if let Some(m) = local_bsf.motif {
+                    publish(&shared, m, idx);
+                }
+            }
+        }
+        *worker_stats[w].lock() = local_stats;
+    });
+
+    for ws in worker_stats {
+        let s = ws.into_inner();
+        stats.subsets_expanded += s.subsets_expanded;
+        stats.pairs_exact += s.pairs_exact;
+        stats.dp_cells += s.dp_cells;
+        stats.rows_abandoned += s.rows_abandoned;
+        stats.cells_skipped_end_cross += s.cells_skipped_end_cross;
+        stats.bsf_updates += s.bsf_updates;
+    }
+
+    let shared = shared.into_inner();
+    let completed = !truncated.load(Ordering::Relaxed);
+    if completed {
+        // Attribute the pruned remainder against the final bsf, and count
+        // expansions an oracle scan would have skipped as wasted. The walk
+        // re-evaluates a bound per pruned entry — on heavily-pruned
+        // workloads it is a real share of the scan — so it fans out too;
+        // it only *sums* counters, and integer sums are order-independent,
+        // so the totals equal a serial walk's exactly.
+        let shared = &shared;
+        let walk_cursor = WorkCursor::new(entries.len());
+        let walk_stats: Vec<Mutex<SearchStats>> = (0..threads)
+            .map(|_| Mutex::new(SearchStats::default()))
+            .collect();
+        pool::run_workers(threads, |w| {
+            let mut local = SearchStats::default();
+            while let Some(range) = walk_cursor.claim_chunk(1024) {
+                for idx in range {
+                    let e = &entries[idx];
+                    if expanded[idx].load(Ordering::Relaxed) {
+                        if idx != shared.entry_idx && shared.bsf.prunable(e.lb) {
+                            local.subsets_expanded_wasted += 1;
+                        }
+                        continue;
+                    }
+                    if attribute_pruned {
+                        let (i, j) = (e.i as usize, e.j as usize);
+                        let comps = tables.subset_bounds(src, sel, i, j);
+                        let cap = caps.map_or(NO_CAP, |c| c[&(e.i, e.j)]);
+                        let pairs = domain.pairs_in_subset_capped(i, j, xi, cap);
+                        let kind = comps
+                            .attribute(|v| shared.bsf.prunable(v))
+                            .unwrap_or(BoundKind::Band);
+                        local.record_subset_pruned(kind, pairs);
+                        local.subsets_skipped_sorted += 1;
+                    }
+                }
+            }
+            *walk_stats[w].lock() = local;
+        });
+        for ws in walk_stats {
+            let s = ws.into_inner();
+            stats.subsets_expanded_wasted += s.subsets_expanded_wasted;
+            stats.subsets_pruned_cell += s.subsets_pruned_cell;
+            stats.subsets_pruned_cross += s.subsets_pruned_cross;
+            stats.subsets_pruned_band += s.subsets_pruned_band;
+            stats.pairs_pruned_cell += s.pairs_pruned_cell;
+            stats.pairs_pruned_cross += s.pairs_pruned_cross;
+            stats.pairs_pruned_band += s.pairs_pruned_band;
+            stats.subsets_skipped_sorted += s.subsets_skipped_sorted;
+        }
+    } else {
+        // Budget truncation: account the whole unexamined remainder as
+        // skipped in O(entries) flag reads — never attributed to bounds,
+        // so the pruned fraction stays honest for best-effort results.
+        let expanded_count = expanded
+            .iter()
+            .filter(|f| f.load(Ordering::Relaxed))
+            .count() as u64;
+        stats.subsets_skipped_budget += entries.len() as u64 - expanded_count;
+        stats.pairs_skipped_budget += stats.pairs_total.saturating_sub(stats.pairs_accounted());
+    }
+
+    // Each worker owns a full-width DP row buffer (the caller's shared
+    // serial buffer is untouched by parallel scans) — report their peak
+    // footprint so parallel queries don't under-state DP memory.
+    stats.bytes_dp = stats
+        .bytes_dp
+        .max(threads * 2 * domain.len_b() * std::mem::size_of::<f64>());
+
+    *bsf = shared.bsf;
+    completed
+}
+
 /// BTM with parallel candidate-subset expansion.
+///
+/// `discover` runs the same machinery as [`crate::Btm`] but scans the
+/// sorted candidate list across worker threads; results are bit-for-bit
+/// identical to the serial search (see the [module docs](self)). Budgeted
+/// and cached parallel searches go through
+/// [`crate::engine::Engine`] with
+/// [`crate::engine::ExecutionMode::Parallel`].
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelBtm {
-    /// Worker threads; `0` uses the machine's available parallelism.
+    /// Worker threads; `0` resolves through the global budget
+    /// ([`crate::pool::global_threads`], i.e. `FREMO_THREADS` or the
+    /// machine's available parallelism).
     pub threads: usize,
 }
 
@@ -44,124 +370,7 @@ impl ParallelBtm {
     }
 
     fn worker_count(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        }
-    }
-
-    fn run<D: DistanceSource + Sync>(
-        &self,
-        src: &D,
-        domain: Domain,
-        config: &MotifConfig,
-        started: Instant,
-    ) -> (Option<Motif>, SearchStats) {
-        let xi = config.min_length;
-        let sel = config.bounds;
-
-        let tables = BoundTables::build(src, domain, xi, sel);
-        let mut entries = build_entries(src, &tables, sel, domain.subsets(xi));
-        entries.sort_unstable_by(|a, b| a.lb.total_cmp(&b.lb));
-
-        let mut stats = SearchStats {
-            bytes_distance_matrix: src.bytes(),
-            bytes_bounds: tables.bytes(),
-            bytes_lists: list_bytes(&entries),
-            subsets_total: entries.len() as u64,
-            pairs_total: domain.pairs_count(xi),
-            precompute_seconds: started.elapsed().as_secs_f64(),
-            ..SearchStats::default()
-        };
-
-        let cursor = AtomicUsize::new(0);
-        let shared: Mutex<Bsf> = Mutex::new(Bsf::new());
-        let expanded: Vec<AtomicBool> = entries.iter().map(|_| AtomicBool::new(false)).collect();
-        let end_tables = if sel.end_cross { Some(&tables) } else { None };
-
-        let workers = self.worker_count();
-        let worker_stats: Vec<Mutex<SearchStats>> = (0..workers)
-            .map(|_| Mutex::new(SearchStats::default()))
-            .collect();
-
-        crossbeam::scope(|scope| {
-            for w in 0..workers {
-                let entries = &entries;
-                let cursor = &cursor;
-                let shared = &shared;
-                let expanded = &expanded;
-                let worker_stats = &worker_stats;
-                scope.spawn(move |_| {
-                    let mut buf = DpBuffers::with_width(domain.len_b());
-                    let mut local_stats = SearchStats::default();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(entry) = entries.get(idx) else { break };
-                        // Snapshot the shared best-so-far.
-                        let mut local_bsf = shared.lock().clone();
-                        if local_bsf.prunable(entry.lb) {
-                            // Sorted list: everything after is prunable too.
-                            break;
-                        }
-                        expanded[idx].store(true, Ordering::Relaxed);
-                        let (i, j) = (entry.i as usize, entry.j as usize);
-                        local_stats.subsets_expanded += 1;
-                        local_stats.pairs_exact += domain.pairs_in_subset(i, j, xi);
-                        expand_subset(
-                            src,
-                            domain,
-                            xi,
-                            i,
-                            j,
-                            end_tables,
-                            true,
-                            &mut local_bsf,
-                            &mut local_stats,
-                            &mut buf,
-                        );
-                        // Publish improvements.
-                        if let Some(m) = local_bsf.motif {
-                            let mut global = shared.lock();
-                            if global.offer(m.distance, m) {
-                                local_stats.bsf_updates += 1;
-                            }
-                        }
-                    }
-                    *worker_stats[w].lock() = local_stats;
-                });
-            }
-        })
-        .expect("worker threads do not panic");
-
-        for ws in &worker_stats {
-            let s = ws.lock();
-            stats.subsets_expanded += s.subsets_expanded;
-            stats.pairs_exact += s.pairs_exact;
-            stats.dp_cells += s.dp_cells;
-            stats.rows_abandoned += s.rows_abandoned;
-            stats.cells_skipped_end_cross += s.cells_skipped_end_cross;
-            stats.bsf_updates += s.bsf_updates;
-        }
-
-        // Attribute the pruned remainder against the final bsf.
-        let bsf = shared.into_inner();
-        for (idx, e) in entries.iter().enumerate() {
-            if expanded[idx].load(Ordering::Relaxed) {
-                continue;
-            }
-            let (i, j) = (e.i as usize, e.j as usize);
-            let comps = tables.subset_bounds(src, sel, i, j);
-            let pairs = domain.pairs_in_subset(i, j, xi);
-            let kind = comps
-                .attribute(|v| bsf.prunable(v))
-                .unwrap_or(crate::config::BoundKind::Band);
-            stats.record_subset_pruned(kind, pairs);
-            stats.subsets_skipped_sorted += 1;
-        }
-
-        stats.total_seconds = started.elapsed().as_secs_f64();
-        (bsf.motif, stats)
+        pool::resolve_threads(self.threads)
     }
 }
 
@@ -182,11 +391,17 @@ impl<P: GroundDistance + Sync> MotifDiscovery<P> for ParallelBtm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
+        let threads = self.worker_count();
         let domain = Domain::Within {
             n: trajectory.len(),
         };
-        let src = DenseMatrix::within(trajectory.points());
-        self.run(&src, domain, config, started)
+        let src = DenseMatrix::within_parallel(trajectory.points(), threads);
+        let tables = BoundTables::build(&src, domain, config.min_length, config.bounds);
+        let mut buf = DpBuffers::with_width(domain.len_b());
+        let (motif, stats, _) = crate::btm::Btm::run_prepared(
+            &src, &tables, domain, config, 0.0, started, &mut buf, None, threads,
+        );
+        (motif, stats)
     }
 
     fn discover_between_with_stats(
@@ -196,12 +411,18 @@ impl<P: GroundDistance + Sync> MotifDiscovery<P> for ParallelBtm {
         config: &MotifConfig,
     ) -> (Option<Motif>, SearchStats) {
         let started = Instant::now();
+        let threads = self.worker_count();
         let domain = Domain::Between {
             n: a.len(),
             m: b.len(),
         };
-        let src = DenseMatrix::between(a.points(), b.points());
-        self.run(&src, domain, config, started)
+        let src = DenseMatrix::between_parallel(a.points(), b.points(), threads);
+        let tables = BoundTables::build(&src, domain, config.min_length, config.bounds);
+        let mut buf = DpBuffers::with_width(domain.len_b());
+        let (motif, stats, _) = crate::btm::Btm::run_prepared(
+            &src, &tables, domain, config, 0.0, started, &mut buf, None, threads,
+        );
+        (motif, stats)
     }
 }
 
@@ -212,19 +433,22 @@ mod tests {
     use fremo_trajectory::gen::planar;
 
     #[test]
-    fn agrees_with_serial_btm() {
+    fn agrees_with_serial_btm_bit_for_bit() {
         for seed in 0..4 {
             let t = planar::random_walk(90, 0.4, seed);
             let cfg = MotifConfig::new(5);
             let serial = Btm.discover(&t, &cfg).unwrap();
             for threads in [1, 2, 4] {
                 let par = ParallelBtm::new(threads).discover(&t, &cfg).unwrap();
-                assert!(
-                    (par.distance - serial.distance).abs() < 1e-12,
+                assert_eq!(
+                    par.distance.to_bits(),
+                    serial.distance.to_bits(),
                     "seed {seed} threads {threads}: {} vs {}",
                     par.distance,
                     serial.distance
                 );
+                assert_eq!(par.first, serial.first, "seed {seed} threads {threads}");
+                assert_eq!(par.second, serial.second, "seed {seed} threads {threads}");
             }
         }
     }
@@ -238,7 +462,8 @@ mod tests {
         let par = ParallelBtm::default()
             .discover_between(&a, &b, &cfg)
             .unwrap();
-        assert!((par.distance - serial.distance).abs() < 1e-12);
+        assert_eq!(par.distance.to_bits(), serial.distance.to_bits());
+        assert_eq!((par.first, par.second), (serial.first, serial.second));
     }
 
     #[test]
@@ -246,14 +471,11 @@ mod tests {
         let t = planar::random_walk(80, 0.4, 12);
         let cfg = MotifConfig::new(5);
         let (_, stats) = ParallelBtm::new(3).discover_with_stats(&t, &cfg);
-        let accounted = stats.pairs_pruned_cell
-            + stats.pairs_pruned_cross
-            + stats.pairs_pruned_band
-            + stats.pairs_exact;
-        assert_eq!(accounted, stats.pairs_total);
+        assert_eq!(stats.pairs_accounted(), stats.pairs_total);
         assert_eq!(
             stats.subsets_expanded + stats.subsets_skipped_sorted,
             stats.subsets_total
         );
+        assert_eq!(stats.threads_used, 3);
     }
 }

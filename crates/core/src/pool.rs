@@ -1,0 +1,191 @@
+//! Worker-thread budgeting and fan-out for the engine-wide parallel
+//! execution layer.
+//!
+//! Three small pieces shared by every parallel code path in the
+//! workspace:
+//!
+//! * a **global thread budget** — [`global_threads`] reads the
+//!   `FREMO_THREADS` environment variable (unset, `0`, or unparsable
+//!   falls back to the machine's available parallelism), and
+//!   [`resolve_threads`] refines it with a per-query request;
+//! * [`run_workers`] — scoped fan-out over the vendored `crossbeam`
+//!   shim, so workers may borrow the caller's stack; a single worker
+//!   runs inline on the caller's thread, which means thread-count 1
+//!   exercises exactly the same code path without spawn overhead;
+//! * [`WorkCursor`] — the atomic claim counter behind the dynamic
+//!   scheduling of the sorted-list scans. Claiming one index at a time
+//!   is deliberate: candidate-subset expansions have wildly uneven cost
+//!   (early entries run big DPs, late entries prune instantly), so a
+//!   chunk size of one is what keeps workers balanced — the cheap form
+//!   of work stealing, without a deque per worker.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the global thread budget.
+///
+/// The engine's defaults ([`crate::engine::ExecutionMode::Auto`] and
+/// `Parallel { threads: 0 }`) resolve through it, so CI can pin the
+/// whole test suite to a worker count without touching any query.
+pub const THREADS_ENV: &str = "FREMO_THREADS";
+
+/// The machine's available parallelism (≥ 1).
+#[must_use]
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The global thread budget: `FREMO_THREADS` when set to a positive
+/// integer, else [`hardware_threads`].
+#[must_use]
+pub fn global_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(hardware_threads)
+}
+
+/// Hard ceiling on worker threads per fan-out. Oversubscription beyond
+/// this buys nothing and an unchecked request (`--threads 5000000`)
+/// would otherwise abort on OS thread-spawn failure instead of running.
+pub const MAX_WORKERS: usize = 512;
+
+/// Resolves a per-query thread request against the global budget:
+/// `0` means "use the global default", anything else is taken as-is —
+/// clamped to [`MAX_WORKERS`] either way.
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    let resolved = if requested > 0 {
+        requested
+    } else {
+        global_threads()
+    };
+    resolved.min(MAX_WORKERS)
+}
+
+/// Runs `threads` workers to completion, each receiving its worker index.
+///
+/// Workers may borrow from the caller's stack (scoped threads). With
+/// `threads <= 1` the closure runs inline on the caller's thread — same
+/// logic, no spawn.
+pub fn run_workers<F: Fn(usize) + Sync>(threads: usize, f: F) {
+    if threads <= 1 {
+        f(0);
+        return;
+    }
+    crossbeam::scope(|scope| {
+        for w in 0..threads {
+            let f = &f;
+            scope.spawn(move |_| f(w));
+        }
+    })
+    .expect("worker threads do not panic");
+}
+
+/// An atomic work cursor over `0..len`: workers claim the next unclaimed
+/// index until the range is drained. Every index is handed out exactly
+/// once regardless of interleaving.
+#[derive(Debug)]
+pub struct WorkCursor {
+    next: AtomicUsize,
+    len: usize,
+}
+
+impl WorkCursor {
+    /// Cursor over `0..len`.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        WorkCursor {
+            next: AtomicUsize::new(0),
+            len,
+        }
+    }
+
+    /// Claims the next index, or `None` when the range is drained.
+    #[must_use]
+    pub fn claim(&self) -> Option<usize> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        (idx < self.len).then_some(idx)
+    }
+
+    /// Claims up to `size` consecutive indices at once — one atomic op
+    /// per chunk instead of per item, for loops whose per-item work is
+    /// too small to absorb contended counter traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size` is zero.
+    #[must_use]
+    pub fn claim_chunk(&self, size: usize) -> Option<std::ops::Range<usize>> {
+        assert!(size > 0, "chunk size must be positive");
+        let lo = self.next.fetch_add(size, Ordering::Relaxed);
+        (lo < self.len).then(|| lo..(lo.saturating_add(size)).min(self.len))
+    }
+
+    /// Length of the underlying range.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the range is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn cursor_hands_out_each_index_once() {
+        let cursor = WorkCursor::new(1000);
+        let claimed: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        run_workers(4, |_| {
+            while let Some(idx) = cursor.claim() {
+                claimed[idx].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(claimed.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert_eq!(cursor.claim(), None);
+    }
+
+    #[test]
+    fn chunked_claims_cover_each_index_once() {
+        let cursor = WorkCursor::new(1000);
+        let claimed: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        run_workers(4, |_| {
+            while let Some(range) = cursor.claim_chunk(64) {
+                for idx in range {
+                    claimed[idx].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert!(claimed.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert!(cursor.claim_chunk(64).is_none());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let caller = std::thread::current().id();
+        let hit = std::sync::atomic::AtomicBool::new(false);
+        run_workers(1, |w| {
+            assert_eq!(w, 0);
+            assert_eq!(std::thread::current().id(), caller);
+            hit.store(true, Ordering::Relaxed);
+        });
+        assert!(hit.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_request_and_clamps() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(5_000_000), MAX_WORKERS);
+        assert!(hardware_threads() >= 1);
+        assert!(global_threads() >= 1);
+    }
+}

@@ -52,6 +52,78 @@ pub fn list_bytes(entries: &[ListEntry]) -> usize {
     std::mem::size_of_val(entries)
 }
 
+/// Monotone bijection from `f64` to `u64` whose `u64` order equals
+/// `f64::total_cmp` order (flip the sign bit for positives, all bits for
+/// negatives).
+#[inline]
+fn total_order_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    bits ^ ((((bits as i64) >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+/// The *strict* total sort order of a candidate list: bound first
+/// (`total_cmp` order), then `(i, j)` as an unambiguous tiebreak. Keys
+/// are unique per entry, so the sorted permutation is unique — which is
+/// what lets the serial sort and the parallel chunk-sort-merge produce
+/// the identical array, keeping parallel scans bit-for-bit equal to
+/// serial ones even when bounds tie exactly.
+#[inline]
+fn entry_key(e: &ListEntry) -> (u64, u32, u32) {
+    (total_order_key(e.lb), e.i, e.j)
+}
+
+/// Sorts a candidate list ascending by bound (ties broken by `(i, j)` —
+/// the key order is strict, so the sorted permutation is unique and the
+/// serial and parallel sorts agree exactly, even on tied bounds).
+pub fn sort_entries(entries: &mut [ListEntry]) {
+    entries.sort_unstable_by_key(entry_key);
+}
+
+/// [`sort_entries`] across worker threads: chunk-sort in parallel, then
+/// one serial k-way merge. The strict key order makes the result
+/// identical to the serial sort. Small lists sort serially (the fan-out
+/// would cost more than the sort).
+pub(crate) fn sort_entries_parallel(entries: &mut [ListEntry], threads: usize) {
+    let n = entries.len();
+    if threads <= 1 || n < 8192 {
+        sort_entries(entries);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for part in entries.chunks_mut(chunk) {
+            scope.spawn(move |_| part.sort_unstable_by_key(entry_key));
+        }
+    })
+    .expect("sort workers do not panic");
+
+    // K-way merge of the sorted runs. k = thread count, so a linear scan
+    // over *cached* head keys per pop is cheap; only the advanced run
+    // recomputes its key.
+    let mut heads: Vec<usize> = (0..n).step_by(chunk).collect();
+    let ends: Vec<usize> = heads.iter().map(|&lo| (lo + chunk).min(n)).collect();
+    let mut keys: Vec<Option<(u64, u32, u32)>> = heads
+        .iter()
+        .map(|&h| Some(entry_key(&entries[h])))
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    loop {
+        let mut best: Option<(usize, (u64, u32, u32))> = None;
+        for (run, &key) in keys.iter().enumerate() {
+            if let Some(key) = key {
+                if best.is_none_or(|(_, bk)| key < bk) {
+                    best = Some((run, key));
+                }
+            }
+        }
+        let Some((run, _)) = best else { break };
+        out.push(entries[heads[run]]);
+        heads[run] += 1;
+        keys[run] = (heads[run] < ends[run]).then(|| entry_key(&entries[heads[run]]));
+    }
+    entries.copy_from_slice(&out);
+}
+
 /// Builds list entries for the given start pairs using the combined bound.
 pub fn build_entries<D: DistanceSource>(
     src: &D,
@@ -90,7 +162,7 @@ pub fn process_sorted_subsets<D: DistanceSource>(
     buf: &mut DpBuffers,
     budget: Option<&SearchBudget>,
 ) -> bool {
-    entries.sort_unstable_by(|a, b| a.lb.total_cmp(&b.lb));
+    sort_entries(entries);
 
     let mut stop = entries.len();
     let mut completed = true;
@@ -158,6 +230,43 @@ mod tests {
             out.push(EuclideanPoint::new(px, py));
         }
         out
+    }
+
+    #[test]
+    fn parallel_sort_is_identical_to_serial_sort() {
+        // Deterministic pseudo-random bounds with plenty of exact ties,
+        // above the parallel cutoff.
+        let make = |n: usize| -> Vec<ListEntry> {
+            let mut x: u64 = 0x1234_5678;
+            (0..n)
+                .map(|k| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    ListEntry {
+                        lb: (x % 97) as f64 / 7.0,
+                        i: k as u32,
+                        j: (k + 1) as u32,
+                    }
+                })
+                .collect()
+        };
+        for n in [100usize, 10_000] {
+            let mut reference = make(n);
+            sort_entries(&mut reference);
+            // Strictly increasing keys: the order is unique.
+            for w in reference.windows(2) {
+                assert!(entry_key(&w[0]) < entry_key(&w[1]));
+            }
+            for threads in [1, 2, 3, 4, 8] {
+                let mut entries = make(n);
+                sort_entries_parallel(&mut entries, threads);
+                for (a, b) in entries.iter().zip(&reference) {
+                    assert_eq!(a.lb.to_bits(), b.lb.to_bits(), "n={n} threads={threads}");
+                    assert_eq!((a.i, a.j), (b.i, b.j), "n={n} threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -50,6 +50,20 @@ pub struct SearchStats {
     /// of Figure 15).
     pub pairs_exact: u128,
 
+    /// Subset expansions whose sorted-list bound is prunable under the
+    /// *final* best-so-far — speculative work an oracle scan would have
+    /// skipped. Serial scans report 0 (they stop at the first entry that
+    /// is prunable when reached); parallel workers expanding against
+    /// stale snapshots report their overshoot here. Wasted work affects
+    /// speed only, never the result.
+    pub subsets_expanded_wasted: u64,
+    /// Worker threads used by the candidate scan: `>= 2` means the
+    /// parallel execution layer ran with that many workers, `1` a
+    /// single-worker scan (serial or a 1-worker parallel run), `0` a
+    /// search with no recorded scan (e.g. the zeroed stats of join or
+    /// cluster outcomes).
+    pub threads_used: usize,
+
     /// DP cells expanded across all candidate subsets.
     pub dp_cells: u64,
     /// Cells skipped by the end-cross clamp (Algorithm 2 lines 12–13).

@@ -118,8 +118,35 @@ pub fn top_k_motifs_with_stats<P: GroundDistance>(
     let tables = BoundTables::build(&src, domain, config.min_length, config.bounds);
     let mut buf = DpBuffers::with_width(domain.len_b());
     let (motifs, stats, _) =
-        top_k_prepared(&src, &tables, domain, config, k, started, &mut buf, None);
+        top_k_prepared(&src, &tables, domain, config, k, started, &mut buf, None, 0);
     (motifs, stats)
+}
+
+/// [`top_k_motifs`] with each masked round's candidate scan running on
+/// the parallel execution layer ([`crate::parallel`]). The rounds stay
+/// sequential (round `r+1`'s mask depends on round `r`'s winner), but the
+/// per-round winner is merged deterministically, so the result is
+/// bit-for-bit identical to [`top_k_motifs`]. `threads == 0` resolves
+/// through the global budget ([`crate::pool::global_threads`]).
+#[must_use]
+pub fn top_k_motifs_parallel<P: GroundDistance + Sync>(
+    trajectory: &Trajectory<P>,
+    config: &MotifConfig,
+    k: usize,
+    threads: usize,
+) -> Vec<Motif> {
+    let threads = crate::pool::resolve_threads(threads);
+    let started = Instant::now();
+    let domain = Domain::Within {
+        n: trajectory.len(),
+    };
+    let src = DenseMatrix::within_parallel(trajectory.points(), threads);
+    let tables = BoundTables::build(&src, domain, config.min_length, config.bounds);
+    let mut buf = DpBuffers::with_width(domain.len_b());
+    let (motifs, _, _) = top_k_prepared(
+        &src, &tables, domain, config, k, started, &mut buf, None, threads,
+    );
+    motifs
 }
 
 /// The `k`-round masked BTM search over prebuilt tables and an external DP
@@ -134,7 +161,7 @@ pub fn top_k_motifs_with_stats<P: GroundDistance>(
 /// totals for large `k`), and `pruned_fraction` is a per-search work
 /// ratio rather than Figure 13/14's single-round pruning ratio.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn top_k_prepared<D: DistanceSource>(
+pub(crate) fn top_k_prepared<D: DistanceSource + Sync>(
     src: &D,
     tables: &BoundTables,
     domain: Domain,
@@ -143,6 +170,7 @@ pub(crate) fn top_k_prepared<D: DistanceSource>(
     started: Instant,
     buf: &mut DpBuffers,
     budget: Option<&SearchBudget>,
+    threads: usize,
 ) -> (Vec<Motif>, SearchStats, bool) {
     let xi = config.min_length;
     let sel = config.bounds;
@@ -185,32 +213,55 @@ pub(crate) fn top_k_prepared<D: DistanceSource>(
             .iter()
             .map(|&(i, j, ic, jc)| ((i as u32, j as u32), (ic, jc)))
             .collect();
-        entries.sort_unstable_by(|a, b| a.lb.total_cmp(&b.lb));
 
-        let mut truncated_at = None;
-        for (idx, e) in entries.iter().enumerate() {
-            if bsf.prunable(e.lb) {
-                break;
-            }
-            if budget.is_some_and(|b| b.exceeded(stats.subsets_expanded)) {
-                completed = false;
-                truncated_at = Some(idx);
-                break;
-            }
-            let (i, j) = (e.i as usize, e.j as usize);
-            let cap = caps[&(e.i, e.j)];
-            let end_tables = if sel.end_cross { Some(tables) } else { None };
-            stats.subsets_expanded += 1;
-            stats.pairs_exact += domain.pairs_in_subset_capped(i, j, xi, cap);
-            expand_subset_capped(
-                src, domain, xi, i, j, cap, end_tables, true, &mut bsf, &mut stats, buf,
+        if threads > 0 {
+            // Parallel round: the deterministic merge yields the same
+            // round winner as the serial loop below, so the masks — and
+            // with them every later round — stay identical.
+            completed = crate::parallel::process_sorted_subsets_parallel(
+                src,
+                domain,
+                xi,
+                sel,
+                tables,
+                &mut entries,
+                Some(&caps),
+                &mut bsf,
+                &mut stats,
+                budget,
+                threads,
+                false,
             );
-        }
-        // Keep pruning statistics honest under truncation (subset count
-        // here; the pair remainder is settled arithmetically below so a
-        // blown deadline is not followed by an O(n²) accounting walk).
-        if let Some(start) = truncated_at {
-            stats.subsets_skipped_budget += (entries.len() - start) as u64;
+        } else {
+            stats.threads_used = 1;
+            crate::search::sort_entries(&mut entries);
+
+            let mut truncated_at = None;
+            for (idx, e) in entries.iter().enumerate() {
+                if bsf.prunable(e.lb) {
+                    break;
+                }
+                if budget.is_some_and(|b| b.exceeded(stats.subsets_expanded)) {
+                    completed = false;
+                    truncated_at = Some(idx);
+                    break;
+                }
+                let (i, j) = (e.i as usize, e.j as usize);
+                let cap = caps[&(e.i, e.j)];
+                let end_tables = if sel.end_cross { Some(tables) } else { None };
+                stats.subsets_expanded += 1;
+                stats.pairs_exact += domain.pairs_in_subset_capped(i, j, xi, cap);
+                expand_subset_capped(
+                    src, domain, xi, i, j, cap, end_tables, true, &mut bsf, &mut stats, buf,
+                );
+            }
+            // Keep pruning statistics honest under truncation (subset
+            // count here; the pair remainder is settled arithmetically
+            // below so a blown deadline is not followed by an O(n²)
+            // accounting walk).
+            if let Some(start) = truncated_at {
+                stats.subsets_skipped_budget += (entries.len() - start) as u64;
+            }
         }
 
         let Some(motif) = bsf.motif else { break };
@@ -227,7 +278,7 @@ pub(crate) fn top_k_prepared<D: DistanceSource>(
         // pruned — conservative for the masked rounds, and O(1).
         stats.pairs_skipped_budget += stats.pairs_total.saturating_sub(stats.pairs_accounted());
     }
-    stats.bytes_dp = buf.bytes_for_width(domain.len_b());
+    stats.bytes_dp = stats.bytes_dp.max(buf.bytes_for_width(domain.len_b()));
     stats.total_seconds = started.elapsed().as_secs_f64();
     (results, stats, completed)
 }
@@ -319,6 +370,7 @@ mod tests {
             Instant::now(),
             &mut buf,
             Some(&budget),
+            0,
         );
         assert!(!completed);
         assert_eq!(stats.subsets_expanded, 1);

@@ -99,6 +99,94 @@ impl DenseMatrix {
         }
     }
 
+    /// [`DenseMatrix::within`] with row-chunked parallel construction.
+    ///
+    /// Workers fill the upper triangle (rows are dealt round-robin so the
+    /// shrinking triangle rows balance), then a serial mirror pass copies
+    /// each cell to its transpose. Every cell is therefore produced by the
+    /// same `distance` call as in the serial builder — the result is
+    /// **bit-for-bit identical** to [`DenseMatrix::within`] regardless of
+    /// scheduling, which is what lets the engine cache one matrix per
+    /// trajectory across serial and parallel queries. `threads <= 1` runs
+    /// the serial builder directly.
+    #[must_use]
+    pub fn within_parallel<P: GroundDistance + Sync>(points: &[P], threads: usize) -> Self {
+        let n = points.len();
+        if threads <= 1 || n < 4 {
+            return DenseMatrix::within(points);
+        }
+        let mut data = vec![0.0; n * n];
+        let mut buckets: Vec<Vec<(usize, &mut [f64])>> =
+            (0..threads.min(n)).map(|_| Vec::new()).collect();
+        let workers = buckets.len();
+        for (a, row) in data.chunks_mut(n).enumerate() {
+            buckets[a % workers].push((a, row));
+        }
+        crossbeam::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move |_| {
+                    for (a, row) in bucket {
+                        for (b, slot) in row.iter_mut().enumerate().skip(a + 1) {
+                            *slot = points[a].distance(&points[b]);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("matrix workers do not panic");
+        // Mirror pass: pure copies, no arithmetic — cheap next to the
+        // ground-distance evaluations above.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                data[b * n + a] = data[a * n + b];
+            }
+        }
+        DenseMatrix {
+            len_a: n,
+            len_b: n,
+            data,
+        }
+    }
+
+    /// [`DenseMatrix::between`] with row-chunked parallel construction;
+    /// bit-for-bit identical to the serial builder (see
+    /// [`DenseMatrix::within_parallel`]).
+    #[must_use]
+    pub fn between_parallel<P: GroundDistance + Sync>(
+        a_pts: &[P],
+        b_pts: &[P],
+        threads: usize,
+    ) -> Self {
+        let (na, nb) = (a_pts.len(), b_pts.len());
+        if threads <= 1 || na < 2 || nb == 0 {
+            return DenseMatrix::between(a_pts, b_pts);
+        }
+        let mut data = vec![0.0; na * nb];
+        let mut buckets: Vec<Vec<(usize, &mut [f64])>> =
+            (0..threads.min(na)).map(|_| Vec::new()).collect();
+        let workers = buckets.len();
+        for (a, row) in data.chunks_mut(nb).enumerate() {
+            buckets[a % workers].push((a, row));
+        }
+        crossbeam::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move |_| {
+                    for (a, row) in bucket {
+                        for (b, slot) in row.iter_mut().enumerate() {
+                            *slot = a_pts[a].distance(&b_pts[b]);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("matrix workers do not panic");
+        DenseMatrix {
+            len_a: na,
+            len_b: nb,
+            data,
+        }
+    }
+
     /// Builds a matrix directly from raw row-major values (used by unit
     /// tests to reproduce the paper's Figure 5 worked example).
     ///
@@ -360,6 +448,51 @@ mod tests {
         }
         assert_eq!(lazy.bytes(), 0);
         assert!(dense.bytes() > 0);
+    }
+
+    #[test]
+    fn parallel_builders_are_bitwise_identical_to_serial() {
+        // Deterministic pseudo-random points (xorshift).
+        let mut x: u64 = 0xC0FFEE;
+        let mut pts = Vec::with_capacity(60);
+        for _ in 0..60 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            pts.push(EuclideanPoint::new(
+                (x % 1000) as f64 / 7.0,
+                ((x >> 10) % 1000) as f64 / 11.0,
+            ));
+        }
+        let serial = DenseMatrix::within(&pts);
+        for threads in [1, 2, 3, 4, 8, 100] {
+            let par = DenseMatrix::within_parallel(&pts, threads);
+            assert_eq!(par.len_a(), serial.len_a());
+            for (s, p) in serial.raw().iter().zip(par.raw()) {
+                assert_eq!(s.to_bits(), p.to_bits(), "threads={threads}");
+            }
+        }
+        let (a, b) = pts.split_at(25);
+        let serial = DenseMatrix::between(a, b);
+        for threads in [1, 2, 4, 8] {
+            let par = DenseMatrix::between_parallel(a, b, threads);
+            for (s, p) in serial.raw().iter().zip(par.raw()) {
+                assert_eq!(s.to_bits(), p.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_builders_handle_degenerate_inputs() {
+        let pts = pts(&[(0.0, 0.0), (1.0, 1.0)]);
+        let m = DenseMatrix::within_parallel(&pts, 8);
+        assert_eq!(m.get(0, 1), pts[0].distance(&pts[1]));
+        let empty: Vec<EuclideanPoint> = Vec::new();
+        assert_eq!(DenseMatrix::within_parallel(&empty, 4).raw().len(), 0);
+        assert_eq!(
+            DenseMatrix::between_parallel(&pts, &empty, 4).raw().len(),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Differential suite: parallel execution ≡ serial execution
+//! **bit-for-bit** — DFD values compared by bit pattern and motif indices
+//! by value — for BTM, GTM, GTM*, similarity join, top-k, and clustering,
+//! across worker counts {1, 2, 4, 8}, in the Within and Between variants,
+//! both through the direct APIs and through the engine facade.
+//!
+//! This is the teeth behind the snapshot-pruning exactness argument (see
+//! `fremo_core::parallel`): parallelism may change scheduling and wasted
+//! work, never results.
+
+use std::time::Duration;
+
+use fremo::motif::engine::ExecutionMode;
+use fremo::motif::{
+    cluster_subtrajectories, cluster_subtrajectories_parallel, similarity_join,
+    similarity_join_parallel, similarity_self_join, similarity_self_join_parallel, top_k_motifs,
+    top_k_motifs_parallel, ClusterConfig, JoinResult, ParallelBtm,
+};
+use fremo::prelude::*;
+use fremo::trajectory::gen::planar;
+use fremo::trajectory::Trajectory;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn assert_motif_bits(label: &str, serial: Option<Motif>, parallel: Option<Motif>) {
+    match (serial, parallel) {
+        (None, None) => {}
+        (Some(s), Some(p)) => {
+            assert_eq!(
+                s.distance.to_bits(),
+                p.distance.to_bits(),
+                "{label}: DFD differs ({} vs {})",
+                s.distance,
+                p.distance
+            );
+            assert_eq!(s.first, p.first, "{label}: first interval differs");
+            assert_eq!(s.second, p.second, "{label}: second interval differs");
+        }
+        (s, p) => panic!("{label}: serial={s:?} parallel={p:?}"),
+    }
+}
+
+#[test]
+fn parallel_btm_matches_serial_within_and_between() {
+    for seed in 0..3 {
+        let t = planar::random_walk(110, 0.4, seed);
+        let b = planar::random_walk(90, 0.4, seed + 40);
+        let cfg = MotifConfig::new(5);
+        let serial_within = Btm.discover(&t, &cfg);
+        let serial_between = Btm.discover_between(&t, &b, &cfg);
+        for threads in THREADS {
+            let p = ParallelBtm::new(threads);
+            assert_motif_bits(
+                &format!("btm within seed {seed} threads {threads}"),
+                serial_within,
+                p.discover(&t, &cfg),
+            );
+            assert_motif_bits(
+                &format!("btm between seed {seed} threads {threads}"),
+                serial_between,
+                p.discover_between(&t, &b, &cfg),
+            );
+        }
+    }
+}
+
+/// Engine facade: Serial vs Parallel{t} for every exact algorithm, in
+/// both scopes.
+#[test]
+fn engine_parallel_matches_serial_for_every_algorithm() {
+    let mut engine = Engine::new();
+    let a = engine.register(planar::random_walk(130, 0.4, 7));
+    let b = engine.register(planar::random_walk(100, 0.4, 8));
+
+    for algorithm in [
+        AlgorithmChoice::BruteDp,
+        AlgorithmChoice::Btm,
+        AlgorithmChoice::Gtm,
+        AlgorithmChoice::GtmStar,
+    ] {
+        for (label, builder) in [
+            ("within", Query::motif(a)),
+            ("between", Query::motif_between(a, b)),
+        ] {
+            let base = builder.clone().xi(4).group_size(8).algorithm(algorithm);
+            let serial = engine
+                .execute(&base.clone().execution(ExecutionMode::Serial).build())
+                .unwrap();
+            for threads in THREADS {
+                let parallel = engine
+                    .execute(&base.clone().threads(threads).build())
+                    .unwrap();
+                assert_motif_bits(
+                    &format!("engine {algorithm} {label} threads {threads}"),
+                    serial.motif(),
+                    parallel.motif(),
+                );
+                assert_eq!(parallel.algorithm, serial.algorithm);
+                // BruteDP deliberately ignores the execution mode; every
+                // scanning algorithm must report its worker count.
+                if algorithm != AlgorithmChoice::BruteDp {
+                    assert_eq!(
+                        parallel.stats.threads_used, threads,
+                        "engine {algorithm} {label}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_auto_mode_stays_exact() {
+    // Below the crossover Auto runs serial; the point is that plumbing a
+    // mode through never changes results.
+    let mut engine = Engine::new();
+    let id = engine.register(planar::random_walk(90, 0.4, 3));
+    let auto = engine.execute(&Query::motif(id).xi(4).build()).unwrap();
+    let serial = engine
+        .execute(
+            &Query::motif(id)
+                .xi(4)
+                .execution(ExecutionMode::Serial)
+                .build(),
+        )
+        .unwrap();
+    assert_motif_bits("auto vs serial", serial.motif(), auto.motif());
+}
+
+#[test]
+fn top_k_parallel_matches_serial() {
+    let t = planar::random_walk(150, 0.4, 11);
+    let cfg = MotifConfig::new(4);
+    let serial = top_k_motifs(&t, &cfg, 4);
+    assert!(serial.len() >= 2, "workload should yield disjoint motifs");
+    for threads in THREADS {
+        let parallel = top_k_motifs_parallel(&t, &cfg, 4, threads);
+        assert_eq!(parallel.len(), serial.len(), "threads {threads}");
+        for (rank, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_motif_bits(
+                &format!("top-k rank {rank} threads {threads}"),
+                Some(*s),
+                Some(*p),
+            );
+        }
+    }
+
+    // Same through the engine facade.
+    let mut engine = Engine::new();
+    let id = engine.register(t);
+    let base = Query::top_k(id, 4).xi(4);
+    let serial = engine
+        .execute(&base.clone().execution(ExecutionMode::Serial).build())
+        .unwrap();
+    for threads in THREADS {
+        let parallel = engine
+            .execute(&base.clone().threads(threads).build())
+            .unwrap();
+        let (s, p) = (serial.motifs(), parallel.motifs());
+        assert_eq!(s.len(), p.len());
+        for (rank, (s, p)) in s.iter().zip(&p).enumerate() {
+            assert_motif_bits(
+                &format!("engine top-k rank {rank} threads {threads}"),
+                Some(*s),
+                Some(*p),
+            );
+        }
+        assert_eq!(parallel.stats.threads_used, threads);
+    }
+}
+
+fn assert_join_eq(label: &str, serial: &JoinResult, parallel: &JoinResult) {
+    assert_eq!(serial.pairs, parallel.pairs, "{label}: matched pairs");
+    assert_eq!(
+        serial.pruned_endpoints, parallel.pruned_endpoints,
+        "{label}: endpoint counter"
+    );
+    assert_eq!(
+        serial.pruned_hausdorff, parallel.pruned_hausdorff,
+        "{label}: hausdorff counter"
+    );
+    assert_eq!(serial.verified, parallel.verified, "{label}: verified");
+}
+
+#[test]
+fn join_parallel_matches_serial() {
+    let set: Vec<Trajectory<EuclideanPoint>> = (0..8)
+        .map(|k| planar::random_walk(30, 0.4, 300 + k))
+        .collect();
+    let other: Vec<Trajectory<EuclideanPoint>> = (0..6)
+        .map(|k| planar::random_walk(26, 0.4, 500 + k))
+        .collect();
+    for eps in [1.0, 5.0, 20.0] {
+        let self_serial = similarity_self_join(&set, eps);
+        let cross_serial = similarity_join(&set, &other, eps);
+        for threads in THREADS {
+            assert_join_eq(
+                &format!("self-join eps {eps} threads {threads}"),
+                &self_serial,
+                &similarity_self_join_parallel(&set, eps, threads),
+            );
+            assert_join_eq(
+                &format!("cross-join eps {eps} threads {threads}"),
+                &cross_serial,
+                &similarity_join_parallel(&set, &other, eps, threads),
+            );
+        }
+    }
+
+    // And through the engine facade.
+    let mut engine = Engine::new();
+    let ids = engine.register_all(set);
+    let base = Query::join(ids, 5.0);
+    let serial = engine
+        .execute(&base.clone().execution(ExecutionMode::Serial).build())
+        .unwrap();
+    for threads in THREADS {
+        let parallel = engine
+            .execute(&base.clone().threads(threads).build())
+            .unwrap();
+        assert_join_eq(
+            &format!("engine join threads {threads}"),
+            serial.join().unwrap(),
+            parallel.join().unwrap(),
+        );
+    }
+}
+
+/// A trajectory tracing the same loop several times, so clustering forms
+/// clusters of genuinely similar windows (plus a random walk for the
+/// mostly-singleton regime).
+fn looping(laps: usize, per_lap: usize, jitter: f64) -> Trajectory<EuclideanPoint> {
+    let mut pts = Vec::new();
+    for lap in 0..laps {
+        let off = jitter * lap as f64;
+        for k in 0..per_lap {
+            let a = std::f64::consts::TAU * k as f64 / per_lap as f64;
+            pts.push(EuclideanPoint::new(10.0 * a.cos() + off, 10.0 * a.sin()));
+        }
+    }
+    Trajectory::new(pts)
+}
+
+#[test]
+fn cluster_parallel_matches_serial() {
+    let workloads: Vec<(Trajectory<EuclideanPoint>, ClusterConfig)> = vec![
+        (looping(6, 24, 0.05), ClusterConfig::new(24, 12, 1.0)),
+        (
+            planar::random_walk(240, 0.4, 9),
+            ClusterConfig::new(16, 4, 4.0),
+        ),
+    ];
+    for (wi, (t, cfg)) in workloads.iter().enumerate() {
+        let serial = cluster_subtrajectories(t, cfg);
+        assert!(!serial.is_empty());
+        for threads in THREADS {
+            let parallel = cluster_subtrajectories_parallel(t, cfg, threads);
+            assert_eq!(
+                serial.len(),
+                parallel.len(),
+                "workload {wi} threads {threads}: cluster count"
+            );
+            for (ci, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(
+                    s.representative, p.representative,
+                    "workload {wi} threads {threads} cluster {ci}"
+                );
+                assert_eq!(
+                    s.members, p.members,
+                    "workload {wi} threads {threads} cluster {ci}"
+                );
+            }
+        }
+    }
+
+    // And through the engine facade.
+    let mut engine = Engine::new();
+    let id = engine.register(looping(5, 20, 0.1));
+    let base = Query::cluster(id, 20, 10, 2.0);
+    let serial = engine
+        .execute(&base.clone().execution(ExecutionMode::Serial).build())
+        .unwrap();
+    for threads in THREADS {
+        let parallel = engine
+            .execute(&base.clone().threads(threads).build())
+            .unwrap();
+        let (s, p) = (serial.clusters().unwrap(), parallel.clusters().unwrap());
+        assert_eq!(s.len(), p.len());
+        for (sc, pc) in s.iter().zip(p) {
+            assert_eq!(sc.representative, pc.representative);
+            assert_eq!(sc.members, pc.members);
+        }
+    }
+}
+
+/// Regression for the budget fix: the parallel workers must honor
+/// expansion caps and deadlines instead of over-running, and report the
+/// truncation.
+#[test]
+fn parallel_workers_honor_budgets_and_report_truncation() {
+    let t = planar::random_walk(120, 0.4, 5);
+    let mut engine = Engine::new();
+    let id = engine.register(t);
+
+    // Expansion cap: exactly `cap` expansion slots exist across all
+    // workers, and the unexamined remainder is budget-skipped.
+    for threads in [2, 4, 8] {
+        let q = Query::motif(id)
+            .xi(3)
+            .algorithm(AlgorithmChoice::Btm)
+            .threads(threads)
+            .candidate_budget(2)
+            .build();
+        let outcome = engine.execute(&q).unwrap();
+        assert!(outcome.truncated, "threads {threads}: truncation reported");
+        assert!(
+            outcome.stats.subsets_expanded <= 2,
+            "threads {threads}: cap over-run ({} expansions)",
+            outcome.stats.subsets_expanded
+        );
+        assert!(outcome.stats.subsets_skipped_budget > 0);
+        assert_eq!(outcome.stats.pairs_accounted(), outcome.stats.pairs_total);
+        assert_eq!(
+            outcome.stats.subsets_expanded
+                + outcome.stats.subsets_skipped_sorted
+                + outcome.stats.subsets_skipped_budget,
+            outcome.stats.subsets_total,
+            "threads {threads}"
+        );
+        assert_eq!(outcome.stats.pruned_fraction(), 0.0);
+    }
+
+    // Expired deadline: workers stop before expanding anything.
+    let q = Query::motif(id)
+        .xi(3)
+        .algorithm(AlgorithmChoice::Btm)
+        .threads(4)
+        .time_budget(Duration::ZERO)
+        .build();
+    let outcome = engine.execute(&q).unwrap();
+    assert!(outcome.truncated);
+    assert_eq!(outcome.stats.subsets_expanded, 0);
+    assert!(outcome.motif().is_none());
+    assert_eq!(outcome.stats.pairs_accounted(), outcome.stats.pairs_total);
+
+    // An unbudgeted parallel query on the same engine still completes
+    // exactly (the cached matrix/tables are shared with budgeted runs).
+    let full = engine
+        .execute(
+            &Query::motif(id)
+                .xi(3)
+                .algorithm(AlgorithmChoice::Btm)
+                .threads(4)
+                .build(),
+        )
+        .unwrap();
+    let serial = engine
+        .execute(
+            &Query::motif(id)
+                .xi(3)
+                .algorithm(AlgorithmChoice::Btm)
+                .execution(ExecutionMode::Serial)
+                .build(),
+        )
+        .unwrap();
+    assert!(!full.truncated);
+    assert_motif_bits("post-budget full query", serial.motif(), full.motif());
+}

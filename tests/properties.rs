@@ -1,6 +1,8 @@
 //! Property-based tests (proptest) on the similarity measures and the
-//! motif machinery's core invariants.
+//! motif machinery's core invariants, including the parallel execution
+//! layer's determinism and accounting.
 
+use fremo::motif::ParallelBtm;
 use fremo::prelude::*;
 use fremo::similarity::{dfd_decision, dfd_linear, dfd_with_coupling, dtw, hausdorff};
 use proptest::prelude::*;
@@ -136,6 +138,76 @@ proptest! {
                 prop_assert!((gtm.unwrap().distance - b.distance).abs() < 1e-9);
                 prop_assert!((star.unwrap().distance - b.distance).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_is_deterministic_and_matches_serial(
+        points in proptest::collection::vec(point(), 16..36),
+        xi in 1usize..4,
+        threads in 2usize..5,
+    ) {
+        // For random trajectories and ξ: at a fixed thread count the
+        // parallel result is deterministic across repeated runs, and it
+        // is bit-for-bit the serial result.
+        let t: fremo::trajectory::Trajectory<EuclideanPoint> = points.into_iter().collect();
+        let cfg = MotifConfig::new(xi);
+        let serial = Btm.discover(&t, &cfg);
+        let run1 = ParallelBtm::new(threads).discover(&t, &cfg);
+        let run2 = ParallelBtm::new(threads).discover(&t, &cfg);
+        match (serial, run1, run2) {
+            (None, None, None) => {}
+            (Some(s), Some(a), Some(b)) => {
+                prop_assert_eq!(a.distance.to_bits(), s.distance.to_bits());
+                prop_assert_eq!((a.first, a.second), (s.first, s.second));
+                prop_assert_eq!(b.distance.to_bits(), s.distance.to_bits());
+                prop_assert_eq!((b.first, b.second), (s.first, s.second));
+            }
+            (s, a, b) => prop_assert!(false, "mismatch: serial={s:?} run1={a:?} run2={b:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_accounting_sums_to_the_candidate_total(
+        points in proptest::collection::vec(point(), 16..36),
+        xi in 1usize..3,
+        threads in 1usize..5,
+        cap in 1u64..6,
+    ) {
+        let t: fremo::trajectory::Trajectory<EuclideanPoint> = points.into_iter().collect();
+        let cfg = MotifConfig::new(xi);
+
+        // Unbudgeted: every candidate pair is attributed (pruned by some
+        // family or evaluated exactly) no matter the interleaving.
+        let (_, stats) = ParallelBtm::new(threads).discover_with_stats(&t, &cfg);
+        prop_assert_eq!(stats.pairs_accounted(), stats.pairs_total);
+        prop_assert_eq!(
+            stats.subsets_expanded + stats.subsets_skipped_sorted,
+            stats.subsets_total
+        );
+        prop_assert_eq!(stats.threads_used, threads);
+
+        // Budgeted via the engine: the cap is never over-run and the
+        // skipped remainder settles into the budget counters.
+        let mut engine = Engine::new();
+        let id = engine.register(t);
+        let q = Query::motif(id)
+            .xi(xi)
+            .algorithm(AlgorithmChoice::Btm)
+            .threads(threads)
+            .candidate_budget(cap)
+            .build();
+        let o = engine.execute(&q).unwrap();
+        prop_assert!(o.stats.subsets_expanded <= cap);
+        prop_assert_eq!(o.stats.pairs_accounted(), o.stats.pairs_total);
+        prop_assert_eq!(
+            o.stats.subsets_expanded
+                + o.stats.subsets_skipped_sorted
+                + o.stats.subsets_skipped_budget,
+            o.stats.subsets_total
+        );
+        if o.truncated {
+            prop_assert!(o.stats.subsets_skipped_budget > 0);
         }
     }
 
