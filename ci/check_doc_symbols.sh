@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Fails when a docs/*.md file references a Rust symbol that no longer
+# exists in the source tree, so prose cannot silently rot as the code
+# moves. Checked references are backtick-quoted path tokens of the form
+# `Type::member` or `module::Item` (e.g. `Engine::with_cache_limit`,
+# `CacheReport::hit_rate`); every `::`-separated segment must appear as
+# a word somewhere under crates/ or src/. Plain-word tokens (`Engine`)
+# and file paths are deliberately not checked — too many false
+# positives, no signal.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in docs/*.md; do
+    # Backticked tokens containing `::`, stripped of trailing () / ! and
+    # generic arguments. Skip tokens with spaces or non-path characters
+    # (those are code snippets, not symbol references).
+    symbols=$(grep -o '`[A-Za-z_][A-Za-z0-9_:]*::[A-Za-z_][A-Za-z0-9_]*`' "$doc" \
+        | tr -d '`' | sort -u)
+    [ -n "$symbols" ] || continue
+    while IFS= read -r symbol; do
+        ok=1
+        IFS=':' read -ra parts <<<"${symbol//::/:}"
+        for segment in "${parts[@]}"; do
+            [ -n "$segment" ] || continue
+            if ! grep -rqw --include='*.rs' "$segment" crates/ src/; then
+                ok=0
+                break
+            fi
+        done
+        if [ "$ok" -eq 0 ]; then
+            echo "::error file=$doc::unknown symbol \`$symbol\` (segment \`$segment\` not found in any .rs file)"
+            fail=1
+        fi
+    done <<<"$symbols"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc symbol check failed: update the doc or the code reference above" >&2
+    exit 1
+fi
+echo "doc symbol check: all referenced symbols exist"

@@ -1,0 +1,202 @@
+//! Cache-pressure verdict: under a byte limit sized to ~¼ of the
+//! working set, per-entry LRU eviction must sustain a hit-rate floor
+//! and strictly beat a wholesale drop-everything baseline.
+//!
+//! The workload is a skewed scan over 7 same-size trajectories: every
+//! round touches a hot trio (`h0 h1 h2`) and then one of four cold
+//! trajectories in rotation, so the resident set wants to hold the trio
+//! plus the most recent cold entry — exactly four trajectories' worth —
+//! while the full working set is 7×. Per-entry LRU keeps the trio warm
+//! and cycles only the cold slot; the wholesale baseline (what the
+//! engine did before the buffer manager: drop the whole cache when the
+//! limit is exceeded) rebuilds the trio every other round.
+//!
+//! The verdict is counter-based (`CacheReport::hit_rate`), not
+//! timing-based, so the assertions are deterministic. A spill leg
+//! re-runs the same workload with a disk spill tier and asserts every
+//! matrix is computed exactly once for the engine's lifetime —
+//! re-accessed cold matrices come back from disk, not a rebuild.
+
+use criterion::{criterion_group, Criterion};
+use fremo_core::engine::{AlgorithmChoice, Engine, Query, TrajId};
+use fremo_trajectory::gen::Dataset;
+use fremo_trajectory::GeoPoint;
+
+/// Trajectory length; 100 points keeps a full workload run in the
+/// low-millisecond range while matrices (n²·8 = 80 KB) still dwarf the
+/// bound tables, as they do at paper scale.
+const N: usize = 100;
+const XI: usize = 5;
+/// Hot trajectories touched every round.
+const HOT: usize = 3;
+/// Cold trajectories touched round-robin, one per round.
+const COLD: usize = 4;
+/// Rounds per workload run (each round = HOT + 1 queries).
+const ROUNDS: usize = 16;
+
+fn corpus(engine: &mut Engine<GeoPoint>) -> Vec<TrajId> {
+    engine.register_all((0..(HOT + COLD) as u64).map(|seed| Dataset::GeoLife.generate(N, seed)))
+}
+
+fn motif(id: TrajId) -> Query {
+    Query::motif(id)
+        .xi(XI)
+        .algorithm(AlgorithmChoice::Btm)
+        .build()
+}
+
+/// Bytes one trajectory's cached entries occupy (matrix + bound
+/// tables), measured rather than assumed so the limit tracks any future
+/// change in entry layout.
+fn per_trajectory_footprint() -> usize {
+    let mut engine = Engine::new();
+    let ids = corpus(&mut engine);
+    engine.execute(&motif(ids[0])).unwrap();
+    engine.cache_bytes()
+}
+
+/// The cache limit: room for the hot trio plus one cold trajectory,
+/// with ¼-footprint slack so the fourth insert fits and the *fifth*
+/// evicts. Working set is (HOT+COLD)/4.25 ≈ 1.6× over this.
+fn cache_limit(footprint: usize) -> usize {
+    footprint * 17 / 4
+}
+
+/// One skewed scan: per round the hot trio then one rotating cold
+/// trajectory. `wholesale` simulates the pre-buffer-manager policy by
+/// dropping the whole cache whenever the resident bytes exceed the
+/// limit (the engine itself never does this any more).
+fn run_workload(engine: &mut Engine<GeoPoint>, ids: &[TrajId], limit: usize, wholesale: bool) {
+    for round in 0..ROUNDS {
+        for &hot in &ids[..HOT] {
+            engine.execute(&motif(hot)).unwrap();
+            if wholesale && engine.cache_bytes() > limit {
+                engine.clear_cache();
+            }
+        }
+        let cold = HOT + round % COLD;
+        engine.execute(&motif(ids[cold])).unwrap();
+        if wholesale && engine.cache_bytes() > limit {
+            engine.clear_cache();
+        }
+    }
+}
+
+fn bench_pressure(c: &mut Criterion) {
+    let footprint = per_trajectory_footprint();
+    let limit = cache_limit(footprint);
+    let mut group = c.benchmark_group("cache_pressure");
+    group.sample_size(10);
+    group.bench_function("lru", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new().with_cache_limit(limit);
+            let ids = corpus(&mut engine);
+            run_workload(&mut engine, &ids, limit, false);
+            std::hint::black_box(engine.stats().cache)
+        })
+    });
+    group.bench_function("wholesale_clear", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new();
+            let ids = corpus(&mut engine);
+            run_workload(&mut engine, &ids, limit, true);
+            std::hint::black_box(engine.stats().cache)
+        })
+    });
+    group.bench_function("lru_spill", |b| {
+        let dir = std::env::temp_dir().join(format!("fremo-bench-spill-{}", std::process::id()));
+        b.iter(|| {
+            let mut engine = Engine::new().with_cache_limit(limit).with_spill_dir(&dir);
+            let ids = corpus(&mut engine);
+            run_workload(&mut engine, &ids, limit, false);
+            std::hint::black_box(engine.stats().cache)
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pressure);
+
+/// Counter-based verdict: LRU must hold the hit-rate floor and strictly
+/// beat the wholesale baseline; the spill leg must build each matrix
+/// exactly once.
+fn verify_hit_rates() {
+    let footprint = per_trajectory_footprint();
+    let limit = cache_limit(footprint);
+
+    let mut lru = Engine::new().with_cache_limit(limit);
+    let ids = corpus(&mut lru);
+    run_workload(&mut lru, &ids, limit, false);
+    let lru_report = lru.stats().cache;
+
+    let mut wholesale = Engine::new();
+    let ids = corpus(&mut wholesale);
+    run_workload(&mut wholesale, &ids, limit, true);
+    let wholesale_report = wholesale.stats().cache;
+
+    let spill_dir =
+        std::env::temp_dir().join(format!("fremo-bench-spill-verdict-{}", std::process::id()));
+    let mut spill = Engine::new()
+        .with_cache_limit(limit)
+        .with_spill_dir(&spill_dir);
+    let ids = corpus(&mut spill);
+    run_workload(&mut spill, &ids, limit, false);
+    let spill_report = spill.stats().cache;
+    drop(spill);
+    std::fs::remove_dir_all(&spill_dir).ok();
+
+    let queries = ROUNDS * (HOT + 1);
+    println!(
+        "cache_pressure verdict ({queries} queries over {} trajectories, limit = 4.25 \
+         footprints of {footprint} B, working set {:.1}x the limit):",
+        HOT + COLD,
+        (HOT + COLD) as f64 * footprint as f64 / limit as f64,
+    );
+    println!(
+        "  per-entry LRU     hit rate {:.3}  ({} evictions)",
+        lru_report.hit_rate(),
+        lru_report.evictions
+    );
+    println!(
+        "  wholesale clear   hit rate {:.3}",
+        wholesale_report.hit_rate()
+    );
+    println!(
+        "  LRU + spill tier  hit rate {:.3}  ({} spills, {} loads, {} matrices built)",
+        spill_report.hit_rate(),
+        spill_report.spills,
+        spill_report.spill_loads,
+        spill_report.matrices_built
+    );
+
+    assert!(
+        lru_report.hit_rate() >= 0.65,
+        "per-entry LRU hit rate {:.3} fell below the 0.65 floor",
+        lru_report.hit_rate()
+    );
+    assert!(
+        lru_report.hit_rate() > wholesale_report.hit_rate(),
+        "per-entry LRU ({:.3}) must strictly beat wholesale clearing ({:.3})",
+        lru_report.hit_rate(),
+        wholesale_report.hit_rate()
+    );
+    assert!(
+        lru_report.evictions > 0,
+        "the workload must actually exceed the cache limit"
+    );
+    assert_eq!(
+        spill_report.matrices_built as usize,
+        HOT + COLD,
+        "with a spill tier every matrix is computed exactly once"
+    );
+    assert!(
+        spill_report.spill_loads > 0,
+        "cold re-accesses must rehydrate from disk"
+    );
+}
+
+fn main() {
+    benches();
+    verify_hit_rates();
+}

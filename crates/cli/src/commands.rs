@@ -33,6 +33,48 @@ fn load(path_str: &str) -> Result<Trajectory<GeoPoint>, String> {
     result.map_err(|e| format!("cannot read {path_str}: {e}"))
 }
 
+/// Parses a byte size: a plain integer, optionally suffixed `k`, `m`,
+/// or `g` (case-insensitive, powers of 1024). `"64m"` → 67 108 864.
+fn parse_bytes(raw: &str) -> Result<usize, String> {
+    let raw = raw.trim();
+    let (digits, shift) = match raw.chars().last() {
+        Some('k' | 'K') => (&raw[..raw.len() - 1], 10u32),
+        Some('m' | 'M') => (&raw[..raw.len() - 1], 20),
+        Some('g' | 'G') => (&raw[..raw.len() - 1], 30),
+        _ => (raw, 0),
+    };
+    let base: usize = digits
+        .parse()
+        .map_err(|_| format!("invalid byte size {raw:?} (use e.g. 262144, 256k, 64m, 1g)"))?;
+    base.checked_shl(shift)
+        .filter(|scaled| base == 0 || *scaled >> shift == base)
+        .ok_or_else(|| format!("byte size {raw:?} overflows"))
+}
+
+/// Builds the session [`Engine`] shared by the analysis subcommands,
+/// applying the cache knobs:
+///
+/// * `--cache-limit <bytes>` caps resident cache memory with per-entry
+///   LRU eviction (suffixes `k`/`m`/`g` accepted, e.g. `--cache-limit 64m`);
+/// * `--spill-dir <dir>` writes evicted distance matrices to disk and
+///   rehydrates them bit-identically instead of rebuilding
+///   (see `docs/CACHING.md`).
+fn session_engine(args: &Parsed) -> Result<Engine<GeoPoint>, String> {
+    let mut engine = Engine::new();
+    if let Some(raw) = args.optional("cache-limit") {
+        engine.set_cache_limit(Some(parse_bytes(raw)?));
+    }
+    if let Some(dir) = args.optional("spill-dir") {
+        if args.optional("cache-limit").is_none() {
+            return Err(
+                "--spill-dir has no effect without --cache-limit (nothing is ever evicted)".into(),
+            );
+        }
+        engine.set_spill_dir(Some(Path::new(dir)));
+    }
+    Ok(engine)
+}
+
 /// Parses `--algorithm`; the error lists every valid name.
 fn algorithm(args: &Parsed) -> Result<AlgorithmChoice, String> {
     match args.optional("algorithm") {
@@ -221,7 +263,7 @@ fn print_outcome(label: &str, outcome: &QueryOutcome, json: bool) -> Result<(), 
 
 /// `fremo discover --input <csv> --xi <len> [--algorithm <a>] [--tau <t>]
 /// [--threads <n>] [--k <count>] [--epsilon <eps>] [--budget-seconds <s>]
-/// [--budget-subsets <n>] [--json]`
+/// [--budget-subsets <n>] [--cache-limit <bytes>] [--spill-dir <dir>] [--json]`
 ///
 /// `--k > 1` switches to diverse top-k discovery (BTM machinery only:
 /// combining it with `--epsilon` or a non-BTM `--algorithm` is an error);
@@ -234,7 +276,7 @@ pub fn discover(args: &Parsed) -> Result<(), String> {
         return Err("--xi must be at least 1".into());
     }
 
-    let mut engine = Engine::new();
+    let mut engine = session_engine(args)?;
     let id = engine.register(t);
 
     let k: usize = args.parsed_or("k", 1)?;
@@ -284,7 +326,7 @@ pub fn discover_pair(args: &Parsed) -> Result<(), String> {
         return Err("--xi must be at least 1".into());
     }
 
-    let mut engine = Engine::new();
+    let mut engine = session_engine(args)?;
     let ida = engine.register(a);
     let idb = engine.register(b);
     let query = tuned(Query::motif_between(ida, idb), args)?
@@ -301,7 +343,7 @@ pub fn compare(args: &Parsed) -> Result<(), String> {
     let b = load(args.required("b")?)?;
     let eps: f64 = args.parsed_or("epsilon", 25.0)?;
 
-    let mut engine = Engine::new();
+    let mut engine = session_engine(args)?;
     let ida = engine.register(a);
     let idb = engine.register(b);
     let outcome = engine
@@ -348,4 +390,28 @@ pub fn experiment(argv: &[String]) -> Result<(), String> {
     };
     print_all(name, &tables);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_bytes;
+
+    #[test]
+    fn byte_sizes_parse_with_and_without_suffix() {
+        assert_eq!(parse_bytes("262144").unwrap(), 262_144);
+        assert_eq!(parse_bytes("256k").unwrap(), 256 * 1024);
+        assert_eq!(parse_bytes("64M").unwrap(), 64 * 1024 * 1024);
+        assert_eq!(parse_bytes("1g").unwrap(), 1024 * 1024 * 1024);
+        assert_eq!(parse_bytes(" 8k ").unwrap(), 8192);
+        assert_eq!(parse_bytes("0").unwrap(), 0);
+    }
+
+    #[test]
+    fn bad_byte_sizes_are_rejected() {
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("k").is_err());
+        assert!(parse_bytes("12q").is_err());
+        assert!(parse_bytes("-5k").is_err());
+        assert!(parse_bytes(&format!("{}g", usize::MAX)).is_err());
+    }
 }

@@ -6,7 +6,7 @@
 //! fremo inspect   --input walk.csv
 //! fremo discover  --input walk.csv --xi 100 [--algorithm auto] [--tau 32]
 //!                 [--threads 4] [--k 3] [--epsilon 0.5] [--budget-seconds 1.5]
-//!                 [--budget-subsets 5000] [--json]
+//!                 [--budget-subsets 5000] [--cache-limit 64m] [--spill-dir /tmp] [--json]
 //! fremo discover-pair --a one.csv --b two.csv --xi 100
 //! fremo compare   --a one.csv --b two.csv [--epsilon 25] [--json]
 //! fremo experiment <table1|fig02..fig21|ext-approx|ext-topk|ext-join|ext-parallel>
@@ -56,8 +56,10 @@ USAGE:
   fremo inspect   --input <csv>
   fremo discover  --input <csv> --xi <len> [--algorithm <auto|brute|btm|gtm|gtm-star|approx:<eps>>]
                   [--tau <group-size>] [--threads <n>] [--k <count>] [--epsilon <eps>]
-                  [--budget-seconds <s>] [--budget-subsets <n>] [--json]
-  fremo discover-pair --a <csv> --b <csv> --xi <len> [--algorithm ...] [--tau ...] [--threads <n>] [--json]
+                  [--budget-seconds <s>] [--budget-subsets <n>]
+                  [--cache-limit <bytes>] [--spill-dir <dir>] [--json]
+  fremo discover-pair --a <csv> --b <csv> --xi <len> [--algorithm ...] [--tau ...] [--threads <n>]
+                  [--cache-limit <bytes>] [--spill-dir <dir>] [--json]
   fremo compare   --a <csv> --b <csv> [--epsilon <m>] [--json]
   fremo experiment <table1|fig02|fig03|fig13..fig21|ext-approx|ext-topk|ext-join|ext-parallel>
 
@@ -65,6 +67,9 @@ Trajectories are lat,lon[,t] CSV files (GeoLife PLT is accepted for *.plt inputs
 The default --algorithm auto picks BruteDP/BTM/GTM/GTM* from n and ξ (paper Section 6).
 --threads <n> runs the search on the parallel execution layer (0 = all cores; results
 are bit-for-bit identical to serial); without it large inputs parallelize automatically.
+--cache-limit <bytes> caps resident cache memory with per-entry LRU eviction (suffixes
+k/m/g accepted, e.g. 64m); --spill-dir <dir> keeps evicted distance matrices on disk
+and rehydrates them bit-identically (see docs/CACHING.md).
 Set FREMO_SCALE=smoke|default|full to size the experiments, FREMO_THREADS to cap workers."
     );
 }

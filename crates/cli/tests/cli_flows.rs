@@ -323,6 +323,78 @@ fn budget_flags_are_accepted() {
 }
 
 #[test]
+fn cache_flags_are_applied_and_validated() {
+    let file = temp_path("cache.csv");
+    let s = file.to_str().unwrap();
+    fremo_cli::run(&argv(&[
+        "generate",
+        "--dataset",
+        "geolife",
+        "--n",
+        "120",
+        "--seed",
+        "9",
+        "--out",
+        s,
+    ]))
+    .unwrap();
+
+    // A tiny limit forces eviction mid-session but must not change results.
+    fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "8",
+        "--cache-limit",
+        "16k",
+    ]))
+    .expect("discover under a cache limit");
+
+    // Suffix-free and spill-dir forms.
+    let spill = temp_path("spill-root");
+    fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "8",
+        "--cache-limit",
+        "16384",
+        "--spill-dir",
+        spill.to_str().unwrap(),
+    ]))
+    .expect("discover with spill dir");
+
+    // Bad sizes and a spill dir without a limit are rejected up front.
+    assert!(fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "8",
+        "--cache-limit",
+        "12q",
+    ]))
+    .unwrap_err()
+    .contains("byte size"));
+    assert!(fremo_cli::run(&argv(&[
+        "discover",
+        "--input",
+        s,
+        "--xi",
+        "8",
+        "--spill-dir",
+        spill.to_str().unwrap(),
+    ]))
+    .unwrap_err()
+    .contains("--cache-limit"));
+
+    std::fs::remove_file(&file).ok();
+    std::fs::remove_dir_all(&spill).ok();
+}
+
+#[test]
 fn json_schema_is_stable_across_commands() {
     use fremo_cli::commands::outcome_to_json;
     use fremo_core::engine::{Engine, Query};

@@ -1,0 +1,406 @@
+//! Buffer manager for the engine's memoized search state.
+//!
+//! PR 2's cache made warm queries fast but bounded memory only by
+//! *wholesale* eviction: any limit breach dropped the entire warm set.
+//! This module replaces that with a classic database buffer manager over
+//! variable-size entries:
+//!
+//! * **Per-entry byte accounting** — every cached [`DenseMatrix`] and
+//!   [`BoundTables`] is sized individually ([`Frame::bytes`]), and the
+//!   pool tracks the resident total against an optional byte limit.
+//! * **LRU replacement** — when an insert pushes the pool over its
+//!   limit, victims are chosen entry-by-entry by an exact
+//!   least-recently-used [`replacer::LruReplacer`], so the hot working
+//!   set stays resident while cold entries make room.
+//! * **Pin counts** — entries handed to an executing query are pinned
+//!   and can never be evicted until the query completes. Rust's borrow
+//!   checker already prevents the single-threaded engine from mutating
+//!   the pool while a query holds references (including the parallel
+//!   workers, which borrow inside the query), so pins are the *runtime*
+//!   enforcement of the same rule across the multi-entry build sequences
+//!   inside one lookup: building a query's bound tables may trigger
+//!   eviction, and the matrix pinned moments earlier must survive it.
+//! * **Disk spill** — with a spill directory configured, evicted
+//!   matrices are written to a length-prefixed on-disk format
+//!   ([`spill`]) and rehydrated on a later miss, which costs a
+//!   sequential read instead of `O(n²)` ground-distance evaluations.
+//!
+//! The pool is policy-free about *what* is cached: the key vocabulary
+//! ([`ScopeKey`], [`EntryKey`]) and the build-or-reuse logic live in
+//! [`super::cache::CorpusCache`], which layers the motif-specific
+//! memoization on top of this module's residency management.
+
+pub(crate) mod replacer;
+pub(crate) mod spill;
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use fremo_trajectory::{DenseMatrix, DistanceSource as _};
+
+use crate::bounds::BoundTables;
+
+use super::cache::CacheReport;
+use replacer::LruReplacer;
+use spill::SpillStore;
+
+/// Which distance matrix a cached computation is over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum ScopeKey {
+    /// Within one trajectory (upper-triangle matrix).
+    Within(usize),
+    /// Between two trajectories, in this order.
+    Between(usize, usize),
+}
+
+/// Identity of one buffer-pool entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum EntryKey {
+    /// A dense ground-distance matrix for a scope.
+    Matrix(ScopeKey),
+    /// Bound tables for `(scope, ξ, tight?)`.
+    Tables(ScopeKey, usize, bool),
+}
+
+/// What a frame holds.
+pub(crate) enum Payload {
+    /// A dense ground-distance matrix.
+    Matrix(DenseMatrix),
+    /// Bound tables.
+    Tables(BoundTables),
+}
+
+impl Payload {
+    /// Heap bytes of the held structure (the frame's accounting unit).
+    fn bytes(&self) -> usize {
+        match self {
+            Payload::Matrix(m) => m.bytes(),
+            Payload::Tables(t) => t.bytes(),
+        }
+    }
+}
+
+/// One resident entry: its payload, size, and pin count.
+struct Frame {
+    payload: Payload,
+    /// Byte size at insert time (payloads are immutable).
+    bytes: usize,
+    /// How many times the running query has pinned this entry; only
+    /// entries with `pins == 0` are eviction candidates.
+    pins: u32,
+}
+
+/// The buffer pool: resident frames, replacement state, and the
+/// optional disk spill tier.
+pub(crate) struct BufferPool {
+    frames: HashMap<EntryKey, Frame>,
+    replacer: LruReplacer<EntryKey>,
+    /// Pins taken by the running query, in access order; replayed at
+    /// query end so LRU stamps reflect within-query use order
+    /// deterministically (hash-map iteration order never leaks into
+    /// eviction decisions).
+    pin_log: Vec<EntryKey>,
+    resident_bytes: usize,
+    limit: Option<usize>,
+    spill: Option<SpillStore>,
+    /// Lifetime counters plus the `resident_bytes` gauge.
+    pub(crate) counters: CacheReport,
+}
+
+impl BufferPool {
+    pub(crate) fn new() -> Self {
+        BufferPool {
+            frames: HashMap::new(),
+            replacer: LruReplacer::new(),
+            pin_log: Vec::new(),
+            resident_bytes: 0,
+            limit: None,
+            spill: None,
+            counters: CacheReport::default(),
+        }
+    }
+
+    /// Replaces the byte limit and immediately evicts down to it (all
+    /// entries are unpinned between queries).
+    pub(crate) fn set_limit(&mut self, limit: Option<usize>) {
+        self.limit = limit;
+        self.enforce_limit();
+    }
+
+    /// Enables (or disables) the disk spill tier.
+    pub(crate) fn set_spill(&mut self, root: Option<&Path>, engine_id: u64) {
+        self.spill = root.map(|r| SpillStore::new(r, engine_id));
+    }
+
+    /// Resident heap bytes (spilled entries excluded).
+    pub(crate) fn bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Whether `key` is resident right now.
+    #[cfg(test)]
+    pub(crate) fn contains(&self, key: EntryKey) -> bool {
+        self.frames.contains_key(&key)
+    }
+
+    /// Pins `key` if resident, logging the access; `true` on a hit.
+    pub(crate) fn pin_if_resident(&mut self, key: EntryKey) -> bool {
+        let Some(frame) = self.frames.get_mut(&key) else {
+            return false;
+        };
+        frame.pins += 1;
+        self.replacer.remove(&key);
+        self.pin_log.push(key);
+        true
+    }
+
+    /// Inserts a fresh entry, pinned for the running query, then evicts
+    /// unpinned entries while over the limit. An entry larger than the
+    /// whole limit is still admitted — the query needs it — and falls
+    /// out at query end.
+    pub(crate) fn insert(&mut self, key: EntryKey, payload: Payload) {
+        let bytes = payload.bytes();
+        debug_assert!(!self.frames.contains_key(&key), "insert over resident key");
+        self.frames.insert(
+            key,
+            Frame {
+                payload,
+                bytes,
+                pins: 1,
+            },
+        );
+        self.pin_log.push(key);
+        self.resident_bytes += bytes;
+        self.counters.resident_bytes = self.resident_bytes as u64;
+        self.enforce_limit();
+    }
+
+    /// Rehydrates the spilled matrix for `scope` if the spill tier holds
+    /// one, inserting it pinned; `true` when loaded.
+    pub(crate) fn unspill_matrix(&mut self, scope: ScopeKey) -> bool {
+        let Some(matrix) = self.spill.as_ref().and_then(|s| s.load(scope)) else {
+            return false;
+        };
+        self.counters.spill_loads += 1;
+        self.insert(EntryKey::Matrix(scope), Payload::Matrix(matrix));
+        true
+    }
+
+    /// The resident matrix for `scope`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not resident — callers ensure residency
+    /// (and a pin) first.
+    pub(crate) fn matrix(&self, scope: ScopeKey) -> &DenseMatrix {
+        match &self.frames[&EntryKey::Matrix(scope)].payload {
+            Payload::Matrix(m) => m,
+            Payload::Tables(_) => unreachable!("matrix keys hold matrix payloads"),
+        }
+    }
+
+    /// The resident bound tables for `(scope, ξ, tight?)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tables are not resident.
+    pub(crate) fn tables(&self, scope: ScopeKey, xi: usize, tight: bool) -> &BoundTables {
+        match &self.frames[&EntryKey::Tables(scope, xi, tight)].payload {
+            Payload::Tables(t) => t,
+            Payload::Matrix(_) => unreachable!("table keys hold table payloads"),
+        }
+    }
+
+    /// Ends the running query: releases every pin (replaying accesses in
+    /// order, so LRU stamps match within-query use order) and evicts
+    /// down to the limit now that nothing is in use.
+    pub(crate) fn finish_query(&mut self) {
+        let log = std::mem::take(&mut self.pin_log);
+        for key in log {
+            if let Some(frame) = self.frames.get_mut(&key) {
+                frame.pins = 0;
+                self.replacer.touch(key);
+            }
+        }
+        self.enforce_limit();
+    }
+
+    /// Evicts least-recently-used unpinned entries while over the limit.
+    fn enforce_limit(&mut self) {
+        let Some(limit) = self.limit else { return };
+        while self.resident_bytes > limit {
+            let Some(victim) = self.replacer.victim() else {
+                // Everything left is pinned; the running query's working
+                // set may legitimately exceed the limit until it ends.
+                break;
+            };
+            self.evict(victim);
+        }
+    }
+
+    /// Removes one unpinned entry, spilling matrices when a spill tier
+    /// is configured (a failed spill write degrades to a plain drop:
+    /// memory stays bounded and the matrix rebuilds on its next use).
+    fn evict(&mut self, key: EntryKey) {
+        let frame = self
+            .frames
+            .remove(&key)
+            .expect("replacer only yields resident keys");
+        debug_assert_eq!(frame.pins, 0, "pinned entries are never victims");
+        self.resident_bytes -= frame.bytes;
+        self.counters.evictions += 1;
+        self.counters.resident_bytes = self.resident_bytes as u64;
+        if let (EntryKey::Matrix(scope), Payload::Matrix(m), Some(store)) =
+            (key, &frame.payload, &self.spill)
+        {
+            // Matrices are immutable per key, so a file written by an
+            // earlier eviction is still exact — skip the rewrite.
+            if !store.contains(scope) && store.store(scope, m).is_ok() {
+                self.counters.spills += 1;
+            }
+        }
+    }
+
+    /// Drops every resident entry and spill file (counters are kept —
+    /// they are lifetime totals).
+    pub(crate) fn clear(&mut self) {
+        self.frames.clear();
+        self.replacer.clear();
+        self.pin_log.clear();
+        self.resident_bytes = 0;
+        self.counters.resident_bytes = 0;
+        if let Some(store) = &self.spill {
+            store.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_of(n: usize, fill: f64) -> DenseMatrix {
+        DenseMatrix::from_raw(n, n, vec![fill; n * n])
+    }
+
+    fn pool_with(entries: &[(usize, usize)]) -> BufferPool {
+        // (scope index, matrix side) pairs, inserted and unpinned in order.
+        let mut pool = BufferPool::new();
+        for &(i, n) in entries {
+            pool.insert(
+                EntryKey::Matrix(ScopeKey::Within(i)),
+                Payload::Matrix(matrix_of(n, i as f64)),
+            );
+        }
+        pool.finish_query();
+        pool
+    }
+
+    #[test]
+    fn lru_victim_goes_first_and_accounting_tracks_bytes() {
+        let mut pool = pool_with(&[(0, 8), (1, 8), (2, 8)]);
+        let per_entry = 8 * 8 * 8;
+        assert_eq!(pool.bytes(), 3 * per_entry);
+
+        // Re-use entry 0 so the LRU order becomes 1, 2, 0.
+        assert!(pool.pin_if_resident(EntryKey::Matrix(ScopeKey::Within(0))));
+        pool.finish_query();
+
+        // Room for two entries: the least recently used (1) must go.
+        pool.set_limit(Some(2 * per_entry));
+        assert!(!pool.contains(EntryKey::Matrix(ScopeKey::Within(1))));
+        assert!(pool.contains(EntryKey::Matrix(ScopeKey::Within(0))));
+        assert!(pool.contains(EntryKey::Matrix(ScopeKey::Within(2))));
+        assert_eq!(pool.counters.evictions, 1);
+        assert_eq!(pool.bytes(), 2 * per_entry);
+        assert_eq!(pool.counters.resident_bytes, (2 * per_entry) as u64);
+    }
+
+    #[test]
+    fn pinned_entries_survive_any_pressure() {
+        let mut pool = pool_with(&[(0, 8), (1, 8), (2, 8)]);
+        assert!(pool.pin_if_resident(EntryKey::Matrix(ScopeKey::Within(1))));
+
+        // A zero-byte limit evicts everything evictable — but never the
+        // pinned entry, even though it is far over the limit.
+        pool.set_limit(Some(0));
+        assert!(pool.contains(EntryKey::Matrix(ScopeKey::Within(1))));
+        assert!(!pool.contains(EntryKey::Matrix(ScopeKey::Within(0))));
+        assert!(!pool.contains(EntryKey::Matrix(ScopeKey::Within(2))));
+        assert_eq!(pool.counters.evictions, 2);
+
+        // Once the query ends, the limit applies to it too.
+        pool.finish_query();
+        assert!(!pool.contains(EntryKey::Matrix(ScopeKey::Within(1))));
+        assert_eq!(pool.bytes(), 0);
+        assert_eq!(pool.counters.evictions, 3);
+    }
+
+    #[test]
+    fn oversized_entries_are_admitted_for_the_running_query() {
+        let mut pool = BufferPool::new();
+        pool.set_limit(Some(10));
+        pool.insert(
+            EntryKey::Matrix(ScopeKey::Within(0)),
+            Payload::Matrix(matrix_of(16, 0.5)),
+        );
+        // Pinned: resident despite blowing the limit.
+        assert!(pool.contains(EntryKey::Matrix(ScopeKey::Within(0))));
+        pool.finish_query();
+        // Unpinned at query end: evicted.
+        assert!(!pool.contains(EntryKey::Matrix(ScopeKey::Within(0))));
+    }
+
+    #[test]
+    fn eviction_spills_matrices_and_unspill_restores_them() {
+        let root =
+            std::env::temp_dir().join(format!("fremo-pool-test-{}-spill", std::process::id()));
+        let mut pool = BufferPool::new();
+        pool.set_spill(Some(&root), 9001);
+        let scope = ScopeKey::Within(5);
+        let original = matrix_of(6, 2.5);
+        pool.insert(EntryKey::Matrix(scope), Payload::Matrix(original.clone()));
+        pool.finish_query();
+
+        pool.set_limit(Some(0));
+        assert_eq!(pool.counters.evictions, 1);
+        assert_eq!(pool.counters.spills, 1);
+        assert!(!pool.contains(EntryKey::Matrix(scope)));
+
+        pool.set_limit(None);
+        assert!(pool.unspill_matrix(scope));
+        assert_eq!(pool.counters.spill_loads, 1);
+        for (a, b) in original.raw().iter().zip(pool.matrix(scope).raw()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Re-evicting an already-spilled matrix skips the rewrite.
+        pool.finish_query();
+        pool.set_limit(Some(0));
+        assert_eq!(pool.counters.evictions, 2);
+        assert_eq!(pool.counters.spills, 1);
+
+        pool.clear();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn clear_drops_entries_and_spill_files() {
+        let root =
+            std::env::temp_dir().join(format!("fremo-pool-test-{}-clear", std::process::id()));
+        let mut pool = BufferPool::new();
+        pool.set_spill(Some(&root), 9002);
+        let scope = ScopeKey::Within(1);
+        pool.insert(EntryKey::Matrix(scope), Payload::Matrix(matrix_of(4, 1.0)));
+        pool.finish_query();
+        pool.set_limit(Some(0));
+        assert_eq!(pool.counters.spills, 1);
+
+        pool.set_limit(None);
+        pool.clear();
+        assert_eq!(pool.bytes(), 0);
+        // The spill tier was cleared with the pool: nothing to rehydrate.
+        assert!(!pool.unspill_matrix(scope));
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

@@ -1,0 +1,107 @@
+//! Replacement policy: which unpinned cache entry to evict next.
+//!
+//! The replacer tracks only entries that are *evictable* — the buffer
+//! pool removes a key while it is pinned and re-adds it on unpin, the
+//! classic buffer-manager contract. Stamps come from a monotonic access
+//! clock, so "least recently used" is exact, not approximate.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Exact least-recently-used replacement over abstract frame keys.
+///
+/// `victim` scans all evictable entries for the minimum stamp, which is
+/// `O(entries)` — fine here because the pool holds at most a few dozen
+/// matrices and bound tables, not thousands of fixed-size pages. Clock
+/// stamps are unique (the clock advances on every touch), so victim
+/// selection is deterministic.
+#[derive(Debug, Default)]
+pub(crate) struct LruReplacer<K> {
+    /// Monotonic access clock; advanced by every [`LruReplacer::touch`].
+    clock: u64,
+    /// Last-use stamp per *evictable* key.
+    stamps: HashMap<K, u64>,
+}
+
+impl<K: Eq + Hash + Copy> LruReplacer<K> {
+    pub(crate) fn new() -> Self {
+        LruReplacer {
+            clock: 0,
+            stamps: HashMap::new(),
+        }
+    }
+
+    /// Records a use of `key` and (re-)marks it evictable.
+    pub(crate) fn touch(&mut self, key: K) {
+        self.clock += 1;
+        self.stamps.insert(key, self.clock);
+    }
+
+    /// Removes `key` from the evictable set (it was pinned or evicted).
+    pub(crate) fn remove(&mut self, key: &K) {
+        self.stamps.remove(key);
+    }
+
+    /// Pops the least recently used evictable key, if any.
+    pub(crate) fn victim(&mut self) -> Option<K> {
+        let key = *self
+            .stamps
+            .iter()
+            .min_by_key(|&(_, stamp)| *stamp)
+            .map(|(key, _)| key)?;
+        self.stamps.remove(&key);
+        Some(key)
+    }
+
+    /// Number of evictable entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Drops every entry (the pool was cleared).
+    pub(crate) fn clear(&mut self) {
+        self.stamps.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victims_come_out_in_lru_order() {
+        let mut r = LruReplacer::new();
+        r.touch(1u32);
+        r.touch(2);
+        r.touch(3);
+        r.touch(1); // 1 becomes most recent: order is now 2, 3, 1.
+        assert_eq!(r.victim(), Some(2));
+        assert_eq!(r.victim(), Some(3));
+        assert_eq!(r.victim(), Some(1));
+        assert_eq!(r.victim(), None);
+    }
+
+    #[test]
+    fn removed_keys_are_never_victims() {
+        let mut r = LruReplacer::new();
+        r.touch(10u32);
+        r.touch(20);
+        r.remove(&10);
+        assert_eq!(r.victim(), Some(20));
+        assert_eq!(r.victim(), None);
+        // Re-touching after removal makes the key evictable again.
+        r.touch(10);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.victim(), Some(10));
+    }
+
+    #[test]
+    fn clear_empties_the_candidate_set() {
+        let mut r = LruReplacer::new();
+        r.touch(1u32);
+        r.touch(2);
+        r.clear();
+        assert_eq!(r.victim(), None);
+    }
+}

@@ -1,0 +1,247 @@
+//! Disk spill tier for evicted distance matrices.
+//!
+//! A cold `DenseMatrix` costs `O(n²)` ground-distance evaluations to
+//! rebuild but only a sequential file read to rehydrate, so when the
+//! engine is given a spill directory (`Engine::with_spill_dir`), matrix
+//! victims are written out instead of dropped and reloaded on the next
+//! miss. Bound tables are never spilled: they are an order of magnitude
+//! smaller and derived from the matrix in `O(n²)` *lookups*, not
+//! distance evaluations, so rebuilding them is cheap once the matrix is
+//! back.
+//!
+//! ## File format (`FMX1`)
+//!
+//! One file per matrix, length-prefixed, little-endian:
+//!
+//! ```text
+//! offset  size          field
+//! 0       4             magic "FMX1"
+//! 4       8             len_a  (u64 LE)
+//! 12      8             len_b  (u64 LE)
+//! 20      8·len_a·len_b row-major cell bits (f64::to_bits, u64 LE)
+//! ```
+//!
+//! Cells round-trip through [`f64::to_bits`]/[`f64::from_bits`], so a
+//! rehydrated matrix is **bit-identical** to the evicted one — the same
+//! guarantee the parallel matrix builders give, and what keeps spilled
+//! and resident queries returning identical answers. Writes go to a
+//! `.tmp` sibling and are renamed into place; loads validate the magic,
+//! the header sizes, and the exact file length, and any mismatch is
+//! treated as a miss (the matrix is rebuilt) rather than an error.
+//!
+//! Matrices are immutable for a given corpus entry, so a spill file
+//! written once stays valid for the engine's lifetime: re-evicting an
+//! already-spilled matrix skips the rewrite. The store namespaces its
+//! files under `<dir>/fremo-spill-<pid>-e<engine id>/` so concurrent
+//! engines (or processes) sharing a spill root cannot read each other's
+//! matrices, and the whole subdirectory is removed when the engine is
+//! dropped.
+
+use std::fs;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use fremo_trajectory::DenseMatrix;
+
+use super::ScopeKey;
+
+/// Magic prefix of a spill file (format version 1).
+const MAGIC: [u8; 4] = *b"FMX1";
+/// Bytes before the cell payload: magic + two u64 dimensions.
+const HEADER_BYTES: u64 = 4 + 8 + 8;
+
+/// A directory of spilled matrices, private to one engine instance.
+#[derive(Debug)]
+pub(crate) struct SpillStore {
+    /// The namespaced subdirectory (created lazily on first write).
+    dir: PathBuf,
+}
+
+impl SpillStore {
+    /// A store rooted at `root`, namespaced by process and engine id.
+    pub(crate) fn new(root: &Path, engine_id: u64) -> Self {
+        SpillStore {
+            dir: root.join(format!("fremo-spill-{}-e{engine_id}", std::process::id())),
+        }
+    }
+
+    /// Deterministic file name for a scope key.
+    fn path(&self, key: ScopeKey) -> PathBuf {
+        let name = match key {
+            ScopeKey::Within(i) => format!("w{i}.fmx"),
+            ScopeKey::Between(a, b) => format!("b{a}_{b}.fmx"),
+        };
+        self.dir.join(name)
+    }
+
+    /// Whether a spill file for `key` already exists.
+    pub(crate) fn contains(&self, key: ScopeKey) -> bool {
+        self.path(key).is_file()
+    }
+
+    /// Writes `matrix` to the spill file for `key` (tmp + rename).
+    pub(crate) fn store(&self, key: ScopeKey, matrix: &DenseMatrix) -> io::Result<()> {
+        use fremo_trajectory::DistanceSource as _;
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path(key);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut w = BufWriter::new(fs::File::create(&tmp)?);
+            w.write_all(&MAGIC)?;
+            w.write_all(&(matrix.len_a() as u64).to_le_bytes())?;
+            w.write_all(&(matrix.len_b() as u64).to_le_bytes())?;
+            for cell in matrix.raw() {
+                w.write_all(&cell.to_bits().to_le_bytes())?;
+            }
+            w.flush()?;
+        }
+        fs::rename(&tmp, &path)
+    }
+
+    /// Reads the matrix spilled for `key` back, or `None` when there is
+    /// no file or it fails validation (wrong magic, header/length
+    /// mismatch, I/O error) — callers treat that as a cache miss.
+    pub(crate) fn load(&self, key: ScopeKey) -> Option<DenseMatrix> {
+        let path = self.path(key);
+        let file = fs::File::open(&path).ok()?;
+        let file_len = file.metadata().ok()?.len();
+        let mut r = BufReader::new(file);
+
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).ok()?;
+        if magic != MAGIC {
+            return None;
+        }
+        let mut word = [0u8; 8];
+        r.read_exact(&mut word).ok()?;
+        let len_a = u64::from_le_bytes(word);
+        r.read_exact(&mut word).ok()?;
+        let len_b = u64::from_le_bytes(word);
+
+        // Validate the exact file length before allocating anything, so a
+        // truncated or padded file can never yield a half-filled matrix.
+        let cells = len_a.checked_mul(len_b)?;
+        let expected = HEADER_BYTES.checked_add(cells.checked_mul(8)?)?;
+        if file_len != expected {
+            return None;
+        }
+        let cells = usize::try_from(cells).ok()?;
+        let mut data = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            r.read_exact(&mut word).ok()?;
+            data.push(f64::from_bits(u64::from_le_bytes(word)));
+        }
+        Some(DenseMatrix::from_raw(len_a as usize, len_b as usize, data))
+    }
+
+    /// Removes every spill file (the engine cache was cleared).
+    pub(crate) fn clear(&self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+impl Drop for SpillStore {
+    /// Spill files are scratch state, not a persistence format: remove
+    /// the store's private subdirectory with the engine.
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fremo_trajectory::DistanceSource as _;
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fremo-spill-test-{}-{tag}", std::process::id()))
+    }
+
+    fn sample_matrix() -> DenseMatrix {
+        // Include negative zero, an exact NaN pattern, and infinities so
+        // "bit-identical" is tested beyond ordinary values.
+        DenseMatrix::from_raw(
+            2,
+            3,
+            vec![
+                0.5,
+                -0.0,
+                f64::INFINITY,
+                f64::from_bits(0x7ff8_0000_0000_1234),
+                1e-300,
+                -3.25,
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let root = scratch("roundtrip");
+        let store = SpillStore::new(&root, 1);
+        let m = sample_matrix();
+        let key = ScopeKey::Between(3, 7);
+        assert!(!store.contains(key));
+        store.store(key, &m).unwrap();
+        assert!(store.contains(key));
+        let back = store.load(key).expect("valid spill file");
+        assert_eq!(back.len_a(), m.len_a());
+        assert_eq!(back.len_b(), m.len_b());
+        for (a, b) in m.raw().iter().zip(back.raw()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        drop(store);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn corrupt_or_missing_files_are_misses() {
+        let root = scratch("corrupt");
+        let store = SpillStore::new(&root, 2);
+        let key = ScopeKey::Within(4);
+        assert!(store.load(key).is_none(), "missing file is a miss");
+
+        store.store(key, &sample_matrix()).unwrap();
+        let path = store.path(key);
+
+        // Truncated payload.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 8]).unwrap();
+        assert!(store.load(key).is_none());
+
+        // Wrong magic.
+        let mut bad = full.clone();
+        bad[0] = b'X';
+        fs::write(&path, &bad).unwrap();
+        assert!(store.load(key).is_none());
+
+        // Header claims more cells than the file holds.
+        let mut bad = full;
+        bad[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+        fs::write(&path, &bad).unwrap();
+        assert!(store.load(key).is_none());
+
+        drop(store);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn keys_map_to_distinct_files_and_drop_cleans_up() {
+        let root = scratch("cleanup");
+        let dir;
+        {
+            let store = SpillStore::new(&root, 3);
+            store.store(ScopeKey::Within(1), &sample_matrix()).unwrap();
+            store
+                .store(ScopeKey::Between(1, 2), &sample_matrix())
+                .unwrap();
+            assert_ne!(
+                store.path(ScopeKey::Within(1)),
+                store.path(ScopeKey::Between(1, 2))
+            );
+            dir = store.dir.clone();
+            assert!(dir.is_dir());
+        }
+        assert!(!dir.exists(), "drop removes the private spill directory");
+        let _ = fs::remove_dir_all(root);
+    }
+}

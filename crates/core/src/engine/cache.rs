@@ -1,4 +1,4 @@
-//! Per-corpus memoization of search state.
+//! Per-corpus memoization of search state, buffer-managed.
 //!
 //! The expensive, query-independent part of every dense-matrix algorithm
 //! is the `O(n²)` ground-distance matrix plus the bound tables derived
@@ -6,12 +6,15 @@
 //! tight-vs-relaxed)` (tables) — never on the query's algorithm, budget,
 //! k, or the individual bound-family toggles — so a session serving
 //! repeated traffic on the same corpus can build each exactly once.
-//! This is the same memoization insight that makes tabling pay off for
-//! logic programs: cache the subcomputation keyed by what it actually
-//! depends on.
-
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+//!
+//! [`CorpusCache`] owns that build-or-reuse logic; *residency* — byte
+//! accounting, per-entry LRU eviction, pin counts, and the optional disk
+//! spill tier — is delegated to the [`super::buffer`] module's
+//! [`BufferPool`]. Every lookup pins what it returns, so an entry in use
+//! by the executing query can never be evicted from under it; the engine
+//! releases the pins when the query completes (see
+//! [`CorpusCache::finish_query`]). The full design, including how to
+//! size the limit, is documented in `docs/CACHING.md`.
 
 use fremo_trajectory::{DenseMatrix, GroundDistance, LazyDistances};
 
@@ -19,28 +22,34 @@ use crate::bounds::BoundTables;
 use crate::config::BoundSelection;
 use crate::domain::Domain;
 
-/// Cache key: which distance matrix a computation is over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) enum ScopeKey {
-    /// Within one trajectory (upper-triangle matrix).
-    Within(usize),
-    /// Between two trajectories, in this order.
-    Between(usize, usize),
-}
+use super::buffer::{BufferPool, EntryKey, Payload, ScopeKey};
 
 /// Cache activity of one query (or cumulative totals on
 /// [`super::EngineStats`]).
+///
+/// All fields except [`CacheReport::resident_bytes`] are monotonic
+/// counters; `resident_bytes` is a gauge — the bytes resident at the
+/// moment of the snapshot (for a per-query report, right after the
+/// query's pins were released and the limit enforced).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct CacheReport {
     /// Distance matrices computed from scratch.
     pub matrices_built: u64,
-    /// Distance matrices served from cache.
+    /// Distance matrices served from the resident cache.
     pub matrices_reused: u64,
     /// Bound tables computed from scratch.
     pub tables_built: u64,
-    /// Bound tables served from cache.
+    /// Bound tables served from the resident cache.
     pub tables_reused: u64,
+    /// Entries evicted from the resident set (spilled ones included).
+    pub evictions: u64,
+    /// Matrices written to the disk spill tier on eviction.
+    pub spills: u64,
+    /// Matrices rehydrated from the spill tier instead of rebuilt.
+    pub spill_loads: u64,
+    /// Heap bytes resident at snapshot time (a gauge, not a counter).
+    pub resident_bytes: u64,
 }
 
 impl CacheReport {
@@ -51,42 +60,152 @@ impl CacheReport {
         self.matrices_built + self.tables_built
     }
 
-    /// Total structures served from cache.
+    /// Total structures served from the resident cache (disk rehydrates
+    /// are counted by [`CacheReport::spill_loads`], not here).
     #[must_use]
     pub const fn reused(&self) -> u64 {
         self.matrices_reused + self.tables_reused
     }
 
+    /// Lookups that avoided a recompute: resident reuses plus disk
+    /// rehydrates.
+    #[must_use]
+    pub const fn hits(&self) -> u64 {
+        self.reused() + self.spill_loads
+    }
+
+    /// Total matrix/table lookups (every lookup is exactly one of
+    /// built, reused, or rehydrated, so this equals
+    /// `recomputed() + hits()`).
+    #[must_use]
+    pub const fn lookups(&self) -> u64 {
+        self.recomputed() + self.hits()
+    }
+
+    /// Fraction of lookups served without a recompute (`0.0` when there
+    /// were no lookups).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.hits() as f64 / lookups as f64
+    }
+
+    /// The activity between `earlier` and `self` (two snapshots of the
+    /// same monotonic totals). Counters subtract saturating — totals
+    /// never decrease, so a clamp only guards against misuse — while the
+    /// `resident_bytes` gauge carries the later snapshot's value.
     pub(crate) const fn delta_since(&self, earlier: &CacheReport) -> CacheReport {
         CacheReport {
-            matrices_built: self.matrices_built - earlier.matrices_built,
-            matrices_reused: self.matrices_reused - earlier.matrices_reused,
-            tables_built: self.tables_built - earlier.tables_built,
-            tables_reused: self.tables_reused - earlier.tables_reused,
+            matrices_built: self.matrices_built.saturating_sub(earlier.matrices_built),
+            matrices_reused: self.matrices_reused.saturating_sub(earlier.matrices_reused),
+            tables_built: self.tables_built.saturating_sub(earlier.tables_built),
+            tables_reused: self.tables_reused.saturating_sub(earlier.tables_reused),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            spills: self.spills.saturating_sub(earlier.spills),
+            spill_loads: self.spill_loads.saturating_sub(earlier.spill_loads),
+            resident_bytes: self.resident_bytes,
         }
     }
 }
 
 /// The engine's memo: distance matrices per scope, bound tables per
-/// `(scope, ξ, tight?)`.
+/// `(scope, ξ, tight?)`, resident in a [`BufferPool`].
 ///
 /// [`BoundTables::build`] depends on the selection only through
 /// `sel.tight` (the cell/cross/band/end-cross flags gate *lookups*, not
 /// table construction), so keying by the flag set would rebuild and
 /// store byte-identical tables for every flag combination.
-#[derive(Default)]
 pub(crate) struct CorpusCache {
-    matrices: HashMap<ScopeKey, DenseMatrix>,
-    tables: HashMap<(ScopeKey, usize, bool), BoundTables>,
-    pub(crate) counters: CacheReport,
+    pool: BufferPool,
+}
+
+impl Default for CorpusCache {
+    fn default() -> Self {
+        CorpusCache {
+            pool: BufferPool::new(),
+        }
+    }
 }
 
 impl CorpusCache {
-    /// The cached (or freshly built) distance matrix for `key`.
+    /// Lifetime counters plus the resident-bytes gauge.
+    pub(crate) fn report(&self) -> CacheReport {
+        self.pool.counters
+    }
+
+    /// Caps resident bytes (per-entry LRU eviction; `None` = unbounded).
+    /// Applies immediately: entries are evicted down to the new limit.
+    pub(crate) fn set_limit(&mut self, bytes: Option<usize>) {
+        self.pool.set_limit(bytes);
+    }
+
+    /// Enables (or disables) the disk spill tier under `root`.
+    pub(crate) fn set_spill(&mut self, root: Option<&std::path::Path>, engine_id: u64) {
+        self.pool.set_spill(root, engine_id);
+    }
+
+    /// Releases every pin taken by the completed query and enforces the
+    /// byte limit now that nothing is in use.
+    pub(crate) fn finish_query(&mut self) {
+        self.pool.finish_query();
+    }
+
+    /// Ensures the matrix for `key` is resident and pinned, counting the
+    /// lookup as exactly one of: resident reuse, spill rehydrate, or
+    /// fresh build.
+    fn ensure_matrix<P: GroundDistance + Sync>(
+        &mut self,
+        key: ScopeKey,
+        a: &[P],
+        b: Option<&[P]>,
+        threads: usize,
+    ) {
+        if self.pool.pin_if_resident(EntryKey::Matrix(key)) {
+            self.pool.counters.matrices_reused += 1;
+            return;
+        }
+        if self.pool.unspill_matrix(key) {
+            // `unspill_matrix` counted the rehydrate and pinned the entry.
+            return;
+        }
+        let matrix = match b {
+            None => DenseMatrix::within_parallel(a, threads),
+            Some(b) => DenseMatrix::between_parallel(a, b, threads),
+        };
+        self.pool.counters.matrices_built += 1;
+        self.pool
+            .insert(EntryKey::Matrix(key), Payload::Matrix(matrix));
+    }
+
+    /// Ensures the `(key, ξ, sel.tight)` bound tables are resident and
+    /// pinned, building them from the (already pinned) resident matrix
+    /// on a miss.
+    fn ensure_table(&mut self, key: ScopeKey, domain: Domain, xi: usize, sel: BoundSelection) {
+        if self
+            .pool
+            .pin_if_resident(EntryKey::Tables(key, xi, sel.tight))
+        {
+            self.pool.counters.tables_reused += 1;
+            return;
+        }
+        let tables = BoundTables::build(self.pool.matrix(key), domain, xi, sel);
+        self.pool.counters.tables_built += 1;
+        self.pool.insert(
+            EntryKey::Tables(key, xi, sel.tight),
+            Payload::Tables(tables),
+        );
+    }
+
+    /// The cached (or freshly built) distance matrix for `key`, pinned
+    /// for the running query.
     ///
     /// `threads >= 1` builds a cold matrix through the row-chunked
     /// parallel constructors — bit-for-bit identical to the serial build,
-    /// so one cached matrix serves serial and parallel queries alike.
+    /// so one cached matrix serves serial and parallel queries alike
+    /// (and one spill file serves both after an eviction).
     pub(crate) fn matrix<P: GroundDistance + Sync>(
         &mut self,
         key: ScopeKey,
@@ -94,25 +213,14 @@ impl CorpusCache {
         b: Option<&[P]>,
         threads: usize,
     ) -> &DenseMatrix {
-        match self.matrices.entry(key) {
-            Entry::Occupied(e) => {
-                self.counters.matrices_reused += 1;
-                e.into_mut()
-            }
-            Entry::Vacant(v) => {
-                self.counters.matrices_built += 1;
-                v.insert(match b {
-                    None => DenseMatrix::within_parallel(a, threads),
-                    Some(b) => DenseMatrix::between_parallel(a, b, threads),
-                })
-            }
-        }
+        self.ensure_matrix(key, a, b, threads);
+        self.pool.matrix(key)
     }
 
-    /// GTM*'s working set: the cached dense matrix *if one already
-    /// exists* (never built — GTM* must not create the `O(n²)`
-    /// allocation it avoids) plus the relaxed bound tables, cached and
-    /// built from the best available distance source.
+    /// GTM*'s working set: the cached dense matrix *if one is resident*
+    /// (never built or rehydrated — GTM* must not create the `O(n²)`
+    /// allocation it exists to avoid) plus the relaxed bound tables,
+    /// cached and built from the best available distance source.
     pub(crate) fn gtm_star_prepared<P: GroundDistance>(
         &mut self,
         key: ScopeKey,
@@ -121,29 +229,31 @@ impl CorpusCache {
         domain: Domain,
         xi: usize,
     ) -> (Option<&DenseMatrix>, &BoundTables) {
-        let tkey = (key, xi, false);
-        if self.tables.contains_key(&tkey) {
-            self.counters.tables_reused += 1;
+        let have_matrix = self.pool.pin_if_resident(EntryKey::Matrix(key));
+        if have_matrix {
+            self.pool.counters.matrices_reused += 1;
+        }
+        if self.pool.pin_if_resident(EntryKey::Tables(key, xi, false)) {
+            self.pool.counters.tables_reused += 1;
         } else {
             let sel = BoundSelection::all_relaxed();
-            let t = match self.matrices.get(&key) {
-                Some(m) => BoundTables::build(m, domain, xi, sel),
-                None => match b {
+            let tables = if have_matrix {
+                BoundTables::build(self.pool.matrix(key), domain, xi, sel)
+            } else {
+                match b {
                     None => BoundTables::build(&LazyDistances::within(a), domain, xi, sel),
                     Some(b) => BoundTables::build(&LazyDistances::between(a, b), domain, xi, sel),
-                },
+                }
             };
-            self.tables.insert(tkey, t);
-            self.counters.tables_built += 1;
+            self.pool.counters.tables_built += 1;
+            self.pool
+                .insert(EntryKey::Tables(key, xi, false), Payload::Tables(tables));
         }
-        let matrix = self.matrices.get(&key);
-        if matrix.is_some() {
-            self.counters.matrices_reused += 1;
-        }
-        (matrix, &self.tables[&tkey])
+        let matrix = have_matrix.then(|| self.pool.matrix(key));
+        (matrix, self.pool.tables(key, xi, false))
     }
 
-    /// The cached matrix *and* bound tables for `(key, ξ, sel)`.
+    /// The cached matrix *and* bound tables for `(key, ξ, sel)`, pinned.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn prepared<P: GroundDistance + Sync>(
         &mut self,
@@ -164,6 +274,10 @@ impl CorpusCache {
     /// tables GTM's grouping machinery needs when `sel` selects tight
     /// bounds (the third return value; `None` when `sel` is already
     /// relaxed or `want_relaxed` is `false`).
+    ///
+    /// The matrix is pinned before any table build, so a table insert
+    /// that pushes the pool over its limit can evict cold entries but
+    /// never the matrix this call is about to return.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn prepared_with_relaxed<P: GroundDistance + Sync>(
         &mut self,
@@ -176,73 +290,34 @@ impl CorpusCache {
         want_relaxed: bool,
         threads: usize,
     ) -> (&DenseMatrix, &BoundTables, Option<&BoundTables>) {
-        let _ = self.matrix(key, a, b, threads);
-        let matrix = &self.matrices[&key];
-
-        let tkey = (key, xi, sel.tight);
-        ensure_table(
-            &mut self.tables,
-            &mut self.counters,
-            matrix,
-            tkey,
-            domain,
-            sel,
-        );
-
-        let rkey = (key, xi, false);
-        if want_relaxed && sel.tight {
-            ensure_table(
-                &mut self.tables,
-                &mut self.counters,
-                matrix,
-                rkey,
-                domain,
-                sel.with_tight(false),
-            );
+        self.ensure_matrix(key, a, b, threads);
+        self.ensure_table(key, domain, xi, sel);
+        let want_relaxed = want_relaxed && sel.tight;
+        if want_relaxed {
+            self.ensure_table(key, domain, xi, sel.with_tight(false));
         }
-        let relaxed = if want_relaxed && sel.tight {
-            Some(&self.tables[&rkey])
+        let relaxed = if want_relaxed {
+            Some(self.pool.tables(key, xi, false))
         } else {
             None
         };
-        (matrix, &self.tables[&tkey], relaxed)
+        (
+            self.pool.matrix(key),
+            self.pool.tables(key, xi, sel.tight),
+            relaxed,
+        )
     }
 
-    /// Heap bytes held by every cached structure.
+    /// Heap bytes held by every resident structure (spilled entries are
+    /// on disk and excluded).
     pub(crate) fn bytes(&self) -> usize {
-        use fremo_trajectory::DistanceSource as _;
-        self.matrices
-            .values()
-            .map(DenseMatrix::bytes)
-            .sum::<usize>()
-            + self.tables.values().map(BoundTables::bytes).sum::<usize>()
+        self.pool.bytes()
     }
 
-    /// Drops every cached structure (counters are kept — they are
-    /// lifetime totals).
+    /// Drops every cached structure and spill file (counters are kept —
+    /// they are lifetime totals).
     pub(crate) fn clear(&mut self) {
-        self.matrices.clear();
-        self.tables.clear();
-    }
-}
-
-/// Build-or-reuse of one bound-table entry. A free function over the
-/// individual fields so callers holding a borrow of `matrices` can still
-/// mutate `tables` (disjoint field borrows).
-fn ensure_table(
-    tables: &mut HashMap<(ScopeKey, usize, bool), BoundTables>,
-    counters: &mut CacheReport,
-    matrix: &DenseMatrix,
-    key: (ScopeKey, usize, bool),
-    domain: Domain,
-    sel: BoundSelection,
-) {
-    match tables.entry(key) {
-        Entry::Occupied(_) => counters.tables_reused += 1,
-        Entry::Vacant(v) => {
-            counters.tables_built += 1;
-            v.insert(BoundTables::build(matrix, domain, key.1, sel));
-        }
+        self.pool.clear();
     }
 }
 
@@ -260,20 +335,23 @@ mod tests {
         let sel = BoundSelection::all_relaxed();
 
         let _ = cache.prepared(key, t.points(), None, domain, 3, sel, 0);
-        assert_eq!(cache.counters.matrices_built, 1);
-        assert_eq!(cache.counters.tables_built, 1);
-        assert_eq!(cache.counters.reused(), 0);
+        cache.finish_query();
+        assert_eq!(cache.report().matrices_built, 1);
+        assert_eq!(cache.report().tables_built, 1);
+        assert_eq!(cache.report().reused(), 0);
 
         let _ = cache.prepared(key, t.points(), None, domain, 3, sel, 0);
-        assert_eq!(cache.counters.matrices_built, 1);
-        assert_eq!(cache.counters.tables_built, 1);
-        assert_eq!(cache.counters.matrices_reused, 1);
-        assert_eq!(cache.counters.tables_reused, 1);
+        cache.finish_query();
+        assert_eq!(cache.report().matrices_built, 1);
+        assert_eq!(cache.report().tables_built, 1);
+        assert_eq!(cache.report().matrices_reused, 1);
+        assert_eq!(cache.report().tables_reused, 1);
 
         // A different ξ reuses the matrix but needs new tables.
         let _ = cache.prepared(key, t.points(), None, domain, 5, sel, 0);
-        assert_eq!(cache.counters.matrices_built, 1);
-        assert_eq!(cache.counters.tables_built, 2);
+        cache.finish_query();
+        assert_eq!(cache.report().matrices_built, 1);
+        assert_eq!(cache.report().tables_built, 2);
 
         // Flag-only variants (same `tight`) are warm hits: table
         // construction depends on the selection only through `tight`.
@@ -286,8 +364,9 @@ mod tests {
             BoundSelection::cell_only(),
             0,
         );
-        assert_eq!(cache.counters.tables_built, 2);
-        assert_eq!(cache.counters.tables_reused, 2);
+        cache.finish_query();
+        assert_eq!(cache.report().tables_built, 2);
+        assert_eq!(cache.report().tables_reused, 2);
         // The tight variant is a genuinely different table.
         let _ = cache.prepared(
             key,
@@ -298,11 +377,60 @@ mod tests {
             BoundSelection::all_tight(),
             0,
         );
-        assert_eq!(cache.counters.tables_built, 3);
+        cache.finish_query();
+        assert_eq!(cache.report().tables_built, 3);
 
         assert!(cache.bytes() > 0);
+        assert_eq!(cache.report().resident_bytes, cache.bytes() as u64);
+        // No limit was set: nothing was ever evicted.
+        assert_eq!(cache.report().evictions, 0);
         cache.clear();
         assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn per_entry_eviction_keeps_recent_entries_resident() {
+        // Three same-size trajectories, room for two of everything.
+        let trajectories: Vec<_> = (0..3).map(|s| planar::random_walk(40, 0.4, s)).collect();
+        let mut cache = CorpusCache::default();
+        let domain = Domain::Within { n: 40 };
+        let sel = BoundSelection::all_relaxed();
+
+        let query = |cache: &mut CorpusCache, i: usize| {
+            let _ = cache.prepared(
+                ScopeKey::Within(i),
+                trajectories[i].points(),
+                None,
+                domain,
+                3,
+                sel,
+                0,
+            );
+            cache.finish_query();
+        };
+        query(&mut cache, 0);
+        let per_traj = cache.bytes();
+        cache.set_limit(Some(2 * per_traj));
+
+        query(&mut cache, 1);
+        assert_eq!(cache.report().evictions, 0, "two trajectories fit");
+
+        // Trajectory 2 displaces exactly trajectory 0's entries (LRU),
+        // not the whole cache.
+        query(&mut cache, 2);
+        assert_eq!(cache.report().evictions, 2);
+        let before = cache.report();
+        query(&mut cache, 1);
+        let delta = cache.report().delta_since(&before);
+        assert_eq!(delta.recomputed(), 0, "trajectory 1 stayed resident");
+        assert_eq!(delta.reused(), 2);
+
+        // Trajectory 0 was evicted without a spill tier: full rebuild.
+        let before = cache.report();
+        query(&mut cache, 0);
+        let delta = cache.report().delta_since(&before);
+        assert_eq!(delta.recomputed(), 2);
+        assert_eq!(delta.spill_loads, 0);
     }
 
     #[test]
@@ -312,18 +440,36 @@ mod tests {
             matrices_reused: 1,
             tables_built: 3,
             tables_reused: 4,
+            evictions: 1,
+            spills: 1,
+            spill_loads: 0,
+            resident_bytes: 1000,
         };
         let after = CacheReport {
             matrices_built: 2,
             matrices_reused: 2,
             tables_built: 4,
             tables_reused: 4,
+            evictions: 3,
+            spills: 2,
+            spill_loads: 1,
+            resident_bytes: 800,
         };
         let d = after.delta_since(&before);
         assert_eq!(d.matrices_built, 0);
         assert_eq!(d.matrices_reused, 1);
         assert_eq!(d.tables_built, 1);
+        assert_eq!(d.evictions, 2);
+        assert_eq!(d.spills, 1);
+        assert_eq!(d.spill_loads, 1);
+        // The gauge carries the later snapshot, not a (possibly
+        // negative) difference.
+        assert_eq!(d.resident_bytes, 800);
         assert_eq!(d.recomputed(), 1);
         assert_eq!(d.reused(), 1);
+        assert_eq!(d.hits(), 2);
+        assert_eq!(d.lookups(), 3);
+        assert!((d.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(CacheReport::default().hit_rate(), 0.0);
     }
 }

@@ -10,12 +10,17 @@
 //!
 //! Two things make the facade more than plumbing:
 //!
-//! * **Memoization.** The `O(n²)` distance matrix and the bound tables of
-//!   a trajectory depend only on `(trajectory, ξ, bounds)` — never on the
-//!   algorithm, k, or budget — so the engine caches them per corpus
-//!   entry. Repeated traffic on the same trajectory skips precomputation
-//!   entirely ([`QueryOutcome::cache`] shows what was reused), and one
-//!   shared [`crate::dp::DpBuffers`] serves every query.
+//! * **Memoization, buffer-managed.** The `O(n²)` distance matrix and the
+//!   bound tables of a trajectory depend only on `(trajectory, ξ, bounds)`
+//!   — never on the algorithm, k, or budget — so the engine caches them
+//!   per corpus entry. Repeated traffic on the same trajectory skips
+//!   precomputation entirely ([`QueryOutcome::cache`] shows what was
+//!   reused), and one shared [`crate::dp::DpBuffers`] serves every query.
+//!   Under a byte limit ([`Engine::with_cache_limit`]) the cache behaves
+//!   like a database buffer pool: entries are sized and evicted
+//!   individually (exact LRU), entries in use by the executing query are
+//!   pinned, and with [`Engine::with_spill_dir`] evicted matrices spill
+//!   to disk and rehydrate bit-identically instead of being rebuilt.
 //! * **Selection.** [`AlgorithmChoice::Auto`] picks
 //!   BruteDP/BTM/GTM/GTM* from `n` and ξ using the crossovers measured in
 //!   the paper's Section 6 (see [`AlgorithmChoice::resolve`]).
@@ -37,6 +42,7 @@
 //! assert!(again.cache.reused() > 0);
 //! ```
 
+mod buffer;
 mod cache;
 mod query;
 
@@ -64,7 +70,8 @@ use crate::join::{
 use crate::stats::SearchStats;
 use crate::topk::top_k_prepared;
 
-use cache::{CorpusCache, ScopeKey};
+use buffer::ScopeKey;
+use cache::CorpusCache;
 
 /// Opaque handle to a trajectory registered with an [`Engine`].
 ///
@@ -115,7 +122,6 @@ pub struct Engine<P> {
     cache: CorpusCache,
     buffers: DpBuffers,
     queries: u64,
-    cache_limit: Option<usize>,
 }
 
 impl<P: GroundDistance> Default for Engine<P> {
@@ -134,24 +140,85 @@ impl<P: GroundDistance> Engine<P> {
             cache: CorpusCache::default(),
             buffers: DpBuffers::default(),
             queries: 0,
-            cache_limit: None,
         }
     }
 
-    /// Caps cached memory: after any query that leaves more than `bytes`
-    /// of matrices and tables cached, the whole cache is dropped (crude
-    /// wholesale eviction — bounded memory at the cost of re-warming;
-    /// finer-grained LRU is a natural follow-up). `None` (the default)
-    /// means unbounded: a long-lived session over a large corpus should
-    /// either set a limit or call [`Engine::clear_cache`] periodically.
+    /// Caps resident cache memory at `bytes`, with **per-entry LRU
+    /// eviction**: when an insert pushes the resident set over the
+    /// limit, the least recently used unpinned matrices and bound
+    /// tables are evicted one by one until it fits again, so the hot
+    /// working set stays warm instead of being dropped wholesale.
+    /// Entries in use by the executing query are pinned and never
+    /// evicted mid-query (the limit is re-enforced when the query
+    /// completes). Takes effect immediately — lowering the limit evicts
+    /// right away. `None` (the default) means unbounded: a long-lived
+    /// session over a large corpus should set a limit (see
+    /// `docs/CACHING.md` for how to size it) or call
+    /// [`Engine::clear_cache`] periodically.
     pub fn set_cache_limit(&mut self, bytes: Option<usize>) {
-        self.cache_limit = bytes;
+        self.cache.set_limit(bytes);
     }
 
     /// Builder form of [`Engine::set_cache_limit`].
+    ///
+    /// ```
+    /// use fremo_core::engine::{Engine, Query};
+    /// use fremo_trajectory::gen::planar;
+    ///
+    /// // Room for two 100-point trajectories' matrices + tables (~81 KiB
+    /// // each): caching a third evicts the least recently used entries,
+    /// // not the whole cache.
+    /// let mut engine = Engine::new().with_cache_limit(192 * 1024);
+    /// let ids = engine.register_all((0..3).map(|s| planar::random_walk(100, 0.4, s)));
+    /// for id in ids {
+    ///     engine.execute(&Query::motif(id).xi(5).build()).unwrap();
+    ///     assert!(engine.cache_bytes() <= 192 * 1024);
+    /// }
+    /// assert!(engine.stats().cache.evictions > 0);
+    /// ```
     #[must_use]
     pub fn with_cache_limit(mut self, bytes: usize) -> Self {
-        self.cache_limit = Some(bytes);
+        self.cache.set_limit(Some(bytes));
+        self
+    }
+
+    /// Enables the disk spill tier: matrices evicted under the cache
+    /// limit are written to a private subdirectory of `dir` in a
+    /// length-prefixed binary format and **rehydrated bit-identically**
+    /// on the next miss — a sequential read instead of an `O(n²)`
+    /// rebuild. Spill files are scratch state scoped to this engine:
+    /// they are removed when the engine is dropped (or on
+    /// [`Engine::clear_cache`]). Bound tables are never spilled
+    /// (rebuilding them from a resident matrix is cheap), and GTM*
+    /// keeps its space guarantee — it reads a *resident* matrix but
+    /// never triggers an `O(n²)` rehydrate. A failed spill write
+    /// degrades to a plain drop, so the engine never errors on I/O.
+    pub fn set_spill_dir(&mut self, dir: Option<&std::path::Path>) {
+        self.cache.set_spill(dir, self.id);
+    }
+
+    /// Builder form of [`Engine::set_spill_dir`].
+    ///
+    /// ```
+    /// use fremo_core::engine::{Engine, Query};
+    /// use fremo_trajectory::gen::planar;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("fremo-spill-doc-{}", std::process::id()));
+    /// // A 1-byte limit forces every entry out after each query; with a
+    /// // spill dir the matrix comes back from disk, not a rebuild.
+    /// let mut engine = Engine::new().with_cache_limit(1).with_spill_dir(&dir);
+    /// let id = engine.register(planar::random_walk(60, 0.4, 7));
+    /// let query = Query::motif(id).xi(4).build();
+    ///
+    /// let cold = engine.execute(&query).unwrap();
+    /// let warm = engine.execute(&query).unwrap();
+    /// assert_eq!(warm.motif(), cold.motif());
+    /// assert_eq!(warm.cache.matrices_built, 0);
+    /// assert_eq!(warm.cache.spill_loads, 1);
+    /// ```
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: impl AsRef<std::path::Path>) -> Self {
+        self.set_spill_dir(Some(dir.as_ref()));
         self
     }
 
@@ -200,22 +267,24 @@ impl<P: GroundDistance> Engine<P> {
         self.corpus.is_empty()
     }
 
-    /// Lifetime counters (queries executed, cache hits/builds).
+    /// Lifetime counters (queries executed, cache hits/builds/evictions).
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             queries: self.queries,
-            cache: self.cache.counters,
+            cache: self.cache.report(),
         }
     }
 
-    /// Heap bytes currently held by cached matrices and bound tables.
+    /// Heap bytes currently held by resident matrices and bound tables
+    /// (spilled matrices live on disk and are not counted).
     #[must_use]
     pub fn cache_bytes(&self) -> usize {
         self.cache.bytes()
     }
 
-    /// Drops every cached structure (registered trajectories are kept).
+    /// Drops every cached structure and spill file (registered
+    /// trajectories are kept).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
@@ -235,9 +304,22 @@ impl<P: GroundDistance + Sync> Engine<P> {
     pub fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
         let started = Instant::now();
         self.queries += 1;
-        let cache_before = self.cache.counters;
+        let cache_before = self.cache.report();
 
-        let mut outcome = match &query.kind {
+        let result = self.dispatch(query, started);
+        // Pins are scoped to one query: release them whether the query
+        // succeeded or not, and evict down to the byte limit now that
+        // nothing is in use.
+        self.cache.finish_query();
+
+        let mut outcome = result?;
+        outcome.cache = self.cache.report().delta_since(&cache_before);
+        outcome.wall_seconds = started.elapsed().as_secs_f64();
+        Ok(outcome)
+    }
+
+    fn dispatch(&mut self, query: &Query, started: Instant) -> Result<QueryOutcome, EngineError> {
+        let outcome = match &query.kind {
             QueryKind::Motif { scope } => self.execute_motif(*scope, query, started)?,
             QueryKind::TopK { id, k } => self.execute_top_k(*id, *k, query, started)?,
             kind => {
@@ -272,14 +354,6 @@ impl<P: GroundDistance + Sync> Engine<P> {
                 }
             }
         };
-
-        outcome.cache = self.cache.counters.delta_since(&cache_before);
-        outcome.wall_seconds = started.elapsed().as_secs_f64();
-        if let Some(limit) = self.cache_limit {
-            if self.cache.bytes() > limit {
-                self.cache.clear();
-            }
-        }
         Ok(outcome)
     }
 
@@ -778,8 +852,8 @@ mod tests {
         for id in &ids {
             let outcome = engine.execute(&Query::motif(*id).xi(3).build()).unwrap();
             assert!(outcome.motif().is_some());
-            // Every query overflows the 1-byte limit, so the cache is
-            // dropped right after it — memory stays bounded.
+            // Every entry overflows the 1-byte limit once its query-end
+            // unpin lands, so nothing stays resident — memory is bounded.
             assert_eq!(engine.cache_bytes(), 0);
         }
         // Unbounded engines keep the cache.

@@ -1,0 +1,212 @@
+//! Buffer-manager contracts observed through the public `Engine` API:
+//! eviction under a byte limit never changes results, spilled matrices
+//! rehydrate bit-identically, and `CacheReport` deltas stay consistent
+//! across warm → evicted → rewarmed query streams.
+
+use std::path::PathBuf;
+
+use fremo::prelude::*;
+use fremo::trajectory::gen::planar;
+use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fremo-cache-buffer-{}-{tag}", std::process::id()))
+}
+
+/// Footprint of one trajectory's cached entries for the workload used
+/// in these tests (measured, not assumed).
+fn footprint(n: usize, xi: usize) -> usize {
+    let mut engine = Engine::new();
+    let id = engine.register(planar::random_walk(n, 0.4, 0));
+    engine
+        .execute(
+            &Query::motif(id)
+                .xi(xi)
+                .algorithm(AlgorithmChoice::Btm)
+                .build(),
+        )
+        .unwrap();
+    engine.cache_bytes()
+}
+
+fn motif_query(id: TrajId, xi: usize) -> Query {
+    Query::motif(id)
+        .xi(xi)
+        .algorithm(AlgorithmChoice::Btm)
+        .build()
+}
+
+/// Evicting and rebuilding under a tight limit must not change any
+/// answer: the motif indices and DFD bits match an unbounded engine's
+/// across a query stream that repeatedly displaces entries.
+#[test]
+fn eviction_never_changes_results() {
+    let (n, xi) = (80, 5);
+    let limit = footprint(n, xi) * 3 / 2;
+
+    let mut bounded = Engine::new().with_cache_limit(limit);
+    let mut unbounded = Engine::new();
+    let walks: Vec<_> = (0..4).map(|s| planar::random_walk(n, 0.4, s)).collect();
+    let bounded_ids = bounded.register_all(walks.iter().cloned());
+    let unbounded_ids = unbounded.register_all(walks);
+
+    // Two passes over the corpus: the second pass re-queries evicted
+    // trajectories.
+    for _ in 0..2 {
+        for (&bid, &uid) in bounded_ids.iter().zip(&unbounded_ids) {
+            let b = bounded.execute(&motif_query(bid, xi)).unwrap();
+            let u = unbounded.execute(&motif_query(uid, xi)).unwrap();
+            let (bm, um) = (b.motif().unwrap(), u.motif().unwrap());
+            assert_eq!(bm.first, um.first);
+            assert_eq!(bm.second, um.second);
+            assert_eq!(bm.distance.to_bits(), um.distance.to_bits());
+            assert!(bounded.cache_bytes() <= limit);
+        }
+    }
+    assert!(bounded.stats().cache.evictions > 0, "limit was never hit");
+    assert_eq!(unbounded.stats().cache.evictions, 0);
+}
+
+/// A spilled matrix must come back from disk bit-identical: the warm
+/// re-query reports a spill load, zero matrix builds, and the same DFD
+/// bits as the cold run.
+#[test]
+fn spill_round_trip_is_bit_identical() {
+    let dir = temp_dir("roundtrip");
+    let (n, xi) = (80, 5);
+
+    // Limit of 1 byte: everything is evicted (and matrices spilled) the
+    // moment the query's pins are released.
+    let mut engine = Engine::new().with_cache_limit(1).with_spill_dir(&dir);
+    let id = engine.register(planar::random_walk(n, 0.4, 42));
+    let query = motif_query(id, xi);
+
+    let cold = engine.execute(&query).unwrap();
+    assert!(cold.cache.spills >= 1, "matrix must spill on eviction");
+    let warm = engine.execute(&query).unwrap();
+
+    assert_eq!(warm.cache.matrices_built, 0, "rehydrate, don't rebuild");
+    assert_eq!(warm.cache.spill_loads, 1);
+    let (c, w) = (cold.motif().unwrap(), warm.motif().unwrap());
+    assert_eq!(c.first, w.first);
+    assert_eq!(c.second, w.second);
+    assert_eq!(c.distance.to_bits(), w.distance.to_bits());
+
+    drop(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression for the per-query delta report: across a warm → evicted →
+/// rewarmed stream the deltas must never go "negative" (the u64 fields
+/// would wrap to huge values) and hits can never exceed lookups.
+#[test]
+fn deltas_stay_consistent_across_eviction_churn() {
+    let dir = temp_dir("churn");
+    let (n, xi) = (80, 5);
+    let limit = footprint(n, xi) * 3 / 2;
+
+    let mut engine = Engine::new().with_cache_limit(limit).with_spill_dir(&dir);
+    let ids = engine.register_all((0..4).map(|s| planar::random_walk(n, 0.4, s)));
+
+    let mut previous_totals = engine.stats().cache;
+    // Warm pass, eviction churn pass, rewarm pass.
+    for round in 0..3 {
+        for &id in &ids {
+            let outcome = engine.execute(&motif_query(id, xi)).unwrap();
+            let delta = outcome.cache;
+
+            // "Negative" deltas wrap: any counter near u64::MAX is a wrap.
+            for (field, value) in [
+                ("matrices_built", delta.matrices_built),
+                ("matrices_reused", delta.matrices_reused),
+                ("tables_built", delta.tables_built),
+                ("tables_reused", delta.tables_reused),
+                ("evictions", delta.evictions),
+                ("spills", delta.spills),
+                ("spill_loads", delta.spill_loads),
+            ] {
+                assert!(
+                    value < 1 << 32,
+                    "round {round}: delta {field}={value} looks like a wrapped subtraction"
+                );
+            }
+            assert!(
+                delta.hits() <= delta.lookups(),
+                "round {round}: hits {} > lookups {}",
+                delta.hits(),
+                delta.lookups()
+            );
+            // Every lookup is exactly one of built / reused / rehydrated.
+            assert_eq!(
+                delta.lookups(),
+                delta.recomputed() + delta.reused() + delta.spill_loads
+            );
+            let rate = delta.hit_rate();
+            assert!((0.0..=1.0).contains(&rate));
+
+            // Engine totals are monotonic snapshots of the same counters.
+            let totals = engine.stats().cache;
+            assert!(totals.matrices_built >= previous_totals.matrices_built);
+            assert!(totals.matrices_reused >= previous_totals.matrices_reused);
+            assert!(totals.tables_built >= previous_totals.tables_built);
+            assert!(totals.tables_reused >= previous_totals.tables_reused);
+            assert!(totals.evictions >= previous_totals.evictions);
+            assert!(totals.spills >= previous_totals.spills);
+            assert!(totals.spill_loads >= previous_totals.spill_loads);
+            previous_totals = totals;
+
+            // The gauge reflects the post-query resident set, within limit.
+            assert_eq!(delta.resident_bytes as usize, engine.cache_bytes());
+            assert!(engine.cache_bytes() <= limit);
+        }
+    }
+    assert!(
+        engine.stats().cache.evictions > 0 && engine.stats().cache.spill_loads > 0,
+        "the stream must actually churn"
+    );
+
+    drop(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Counter-sum invariants hold for arbitrary query streams over a
+    /// corpus under a randomized cache limit: per-query lookups resolve
+    /// to exactly one of built/reused/rehydrated, evictions dominate
+    /// spills, and the resident set respects the limit after each query.
+    #[test]
+    fn counter_sums_are_consistent(
+        seeds in proptest::collection::vec(0..4u64, 1..10),
+        limit_fraction in 1..8usize,
+    ) {
+        let (n, xi) = (60, 4);
+        let limit = footprint(n, xi) * limit_fraction / 2;
+        let dir = temp_dir("prop");
+
+        let mut engine = Engine::new().with_cache_limit(limit).with_spill_dir(&dir);
+        let ids = engine.register_all((0..4).map(|s| planar::random_walk(n, 0.4, s)));
+
+        for &seed in &seeds {
+            let outcome = engine.execute(&motif_query(ids[seed as usize], xi)).unwrap();
+            let delta = outcome.cache;
+            prop_assert_eq!(
+                delta.lookups(),
+                delta.matrices_built + delta.matrices_reused
+                    + delta.tables_built + delta.tables_reused
+                    + delta.spill_loads
+            );
+            prop_assert!(engine.cache_bytes() <= limit);
+        }
+        let totals = engine.stats().cache;
+        prop_assert!(totals.evictions >= totals.spills, "only evicted matrices spill");
+        // A spill file written once serves any number of later loads
+        // (re-evicting an already-spilled matrix skips the rewrite), so
+        // loads aren't bounded by spills — but they need at least one.
+        prop_assert!(totals.spills > 0 || totals.spill_loads == 0);
+
+        drop(engine);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
