@@ -49,6 +49,8 @@ impl Btm {
     /// bit-for-bit the serial result either way.
     ///
     /// The third return value is `false` when `budget` truncated the scan.
+    // lint: internal search-kernel entry threading prepared state; a
+    // param struct would churn every call site without adding clarity.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_prepared<D: DistanceSource + Sync>(
         src: &D,

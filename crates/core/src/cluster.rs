@@ -204,14 +204,20 @@ pub fn cluster_subtrajectories_parallel<P: GroundDistance + Sync>(
                 while let Some(c) = cursor.claim() {
                     // A match at a smaller index already won; anything at
                     // or past it cannot change the minimum.
+                    // relaxed: a stale read only skips work that could not
+                    // lower the minimum; no data is published via `best`.
                     if c >= best.load(Ordering::Relaxed) {
                         continue;
                     }
                     if window_joins(&clusters[c], pts, start, end, config) {
+                        // relaxed: fetch_min is monotonic; the authoritative
+                        // value is read after run_workers joins.
                         best.fetch_min(c, Ordering::Relaxed);
                     }
                 }
             });
+            // relaxed: the spawn scope has joined every worker, which
+            // synchronizes all their fetch_min writes with this read.
             let best = best.load(Ordering::Relaxed);
             (best != usize::MAX).then_some(best)
         } else {

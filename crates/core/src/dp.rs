@@ -166,6 +166,8 @@ impl DpBuffers {
 ///
 /// `tables` enables the end-cross clamp; `allow_pruning` turns on both
 /// accelerations (BruteDP runs with `false` to match Algorithm 1 exactly).
+// lint: internal search-kernel entry threading prepared state; a
+// param struct would churn every call site without adding clarity.
 #[allow(clippy::too_many_arguments)]
 pub fn expand_subset<D: DistanceSource>(
     src: &D,
@@ -198,6 +200,8 @@ pub fn expand_subset<D: DistanceSource>(
 /// top-k search to exclude index ranges already claimed by reported motifs
 /// (a subtrajectory is contiguous, so forbidding an interval simply clamps
 /// how far the DP may extend).
+// lint: internal search-kernel entry threading prepared state; a
+// param struct would churn every call site without adding clarity.
 #[allow(clippy::too_many_arguments)]
 pub fn expand_subset_capped<D: DistanceSource>(
     src: &D,

@@ -245,6 +245,9 @@ impl BufferPool {
         let frame = self
             .frames
             .remove(&key)
+            // fremo-lint: allow(L3) -- the replacer's candidate set is kept
+            // in lockstep with `frames` (insert/remove pairs); a miss here
+            // is accounting corruption that must not be papered over.
             .expect("replacer only yields resident keys");
         debug_assert_eq!(frame.pins, 0, "pinned entries are never victims");
         self.resident_bytes -= frame.bytes;

@@ -46,6 +46,9 @@ impl<K: Eq + Hash + Copy> LruReplacer<K> {
     pub(crate) fn victim(&mut self) -> Option<K> {
         let key = *self
             .stamps
+            // fremo-lint: allow(L2) -- clock stamps are unique (the clock
+            // advances on every touch), so the minimum is a single element
+            // and the scan's hash order cannot influence which key wins.
             .iter()
             .min_by_key(|&(_, stamp)| *stamp)
             .map(|(key, _)| key)?;

@@ -254,6 +254,8 @@ impl CorpusCache {
     }
 
     /// The cached matrix *and* bound tables for `(key, ξ, sel)`, pinned.
+    // lint: internal search-kernel entry threading prepared state; a
+    // param struct would churn every call site without adding clarity.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn prepared<P: GroundDistance + Sync>(
         &mut self,
@@ -278,6 +280,8 @@ impl CorpusCache {
     /// The matrix is pinned before any table build, so a table insert
     /// that pushes the pool over its limit can evict cold entries but
     /// never the matrix this call is about to return.
+    // lint: internal search-kernel entry threading prepared state; a
+    // param struct would churn every call site without adding clarity.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn prepared_with_relaxed<P: GroundDistance + Sync>(
         &mut self,

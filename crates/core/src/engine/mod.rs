@@ -78,6 +78,9 @@ use cache::CorpusCache;
 /// Handles carry the issuing engine's identity: passing a handle to a
 /// *different* engine fails with [`EngineError::UnknownTrajectory`] even
 /// when the index happens to be in range there.
+// lint: the PartialOrd derive is required by Ord and lexicographic over
+// integers — a total order; the workspace ban targets ad-hoc float calls.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TrajId {
     engine: u64,
@@ -135,6 +138,8 @@ impl<P: GroundDistance> Engine<P> {
     #[must_use]
     pub fn new() -> Self {
         Engine {
+            // relaxed: the id only needs uniqueness, which fetch_add's
+            // atomicity provides; it orders nothing.
             id: NEXT_ENGINE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             corpus: Vec::new(),
             cache: CorpusCache::default(),

@@ -346,6 +346,8 @@ pub fn group_dfd_bounds(
     }
 }
 
+// lint: internal search-kernel entry threading prepared state; a
+// param struct would churn every call site without adding clarity.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn consider(

@@ -147,6 +147,8 @@ pub(crate) fn block_nonempty(
 /// One grouping level: prune the given block pairs, tighten `bsf` with
 /// group upper bounds, and return the survivors. Shared by GTM (per level)
 /// and GTM* (single level).
+// lint: internal search-kernel entry threading prepared state; a
+// param struct would churn every call site without adding clarity.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn process_group_level(
     gm: &GroupMatrices,
@@ -297,6 +299,8 @@ impl Gtm {
     /// candidate list — and therefore the result — is identical across
     /// execution modes); `threads >= 1` runs the final best-first stage
     /// through the parallel execution layer ([`crate::parallel`]).
+    // lint: internal search-kernel entry threading prepared state; a
+    // param struct would churn every call site without adding clarity.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_prepared<D: DistanceSource + Sync>(
         src: &D,

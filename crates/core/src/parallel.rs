@@ -130,6 +130,8 @@ pub(crate) fn build_entries_parallel<D: DistanceSource + Sync>(
             });
         }
     })
+    // fremo-lint: allow(L3) -- crossbeam::scope only errors when a builder
+    // worker panicked; propagating the panic is correct.
     .expect("entry builders do not panic");
     out
 }
@@ -159,6 +161,8 @@ fn publish(shared: &Mutex<SharedBest>, motif: Motif, entry_idx: usize) -> bool {
 /// (the masked top-k rounds, matching the serial implementation).
 ///
 /// Returns `false` when `budget` cut the scan short.
+// lint: internal search-kernel entry threading prepared state; a
+// param struct would churn every call site without adding clarity.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn process_sorted_subsets_parallel<D: DistanceSource + Sync>(
     src: &D,
@@ -202,6 +206,8 @@ pub(crate) fn process_sorted_subsets_parallel<D: DistanceSource + Sync>(
         let mut local_buf = DpBuffers::with_width(domain.len_b());
         let mut local_stats = SearchStats::default();
         while let Some(idx) = cursor.claim() {
+            // relaxed: the flag is monotonic and only hastens a cooperative
+            // exit; a stale read costs one extra subset, never correctness.
             if truncated.load(Ordering::Relaxed) {
                 break;
             }
@@ -224,16 +230,23 @@ pub(crate) fn process_sorted_subsets_parallel<D: DistanceSource + Sync>(
             }
             if let Some(b) = budget {
                 if b.deadline.is_some_and(|d| Instant::now() >= d) {
+                    // relaxed: monotonic flag; readers act on it cooperatively
+                    // or after the join barrier below.
                     truncated.store(true, Ordering::Relaxed);
                     break;
                 }
                 if let Some(cap) = b.max_subsets {
+                    // relaxed: fetch_add's atomicity alone caps total claimed
+                    // slots at `cap`; no other data rides on the counter.
                     if expansions.fetch_add(1, Ordering::Relaxed) >= cap {
+                        // relaxed: monotonic flag, as above.
                         truncated.store(true, Ordering::Relaxed);
                         break;
                     }
                 }
             }
+            // relaxed: the flags are only *read* after run_workers joins,
+            // and thread join gives the needed happens-before edge.
             expanded[idx].store(true, Ordering::Relaxed);
             let (i, j) = (entry.i as usize, entry.j as usize);
             let cap = caps.map_or(NO_CAP, |c| c[&(entry.i, entry.j)]);
@@ -273,6 +286,7 @@ pub(crate) fn process_sorted_subsets_parallel<D: DistanceSource + Sync>(
     }
 
     let shared = shared.into_inner();
+    // relaxed: every worker has joined; their stores happen-before this read.
     let completed = !truncated.load(Ordering::Relaxed);
     if completed {
         // Attribute the pruned remainder against the final bsf, and count
@@ -291,6 +305,8 @@ pub(crate) fn process_sorted_subsets_parallel<D: DistanceSource + Sync>(
             while let Some(range) = walk_cursor.claim_chunk(1024) {
                 for idx in range {
                     let e = &entries[idx];
+                    // relaxed: the scan workers joined before this walk
+                    // started, so every `expanded` store is visible.
                     if expanded[idx].load(Ordering::Relaxed) {
                         if idx != shared.entry_idx && shared.bsf.prunable(e.lb) {
                             local.subsets_expanded_wasted += 1;
@@ -329,6 +345,7 @@ pub(crate) fn process_sorted_subsets_parallel<D: DistanceSource + Sync>(
         // so the pruned fraction stays honest for best-effort results.
         let expanded_count = expanded
             .iter()
+            // relaxed: post-join read, same happens-before argument as above.
             .filter(|f| f.load(Ordering::Relaxed))
             .count() as u64;
         stats.subsets_skipped_budget += entries.len() as u64 - expanded_count;

@@ -79,6 +79,9 @@ pub fn run_workers<F: Fn(usize) + Sync>(threads: usize, f: F) {
             scope.spawn(move |_| f(w));
         }
     })
+    // fremo-lint: allow(L3) -- crossbeam::scope only errors when a worker
+    // panicked; propagating that panic (instead of swallowing it and
+    // returning partial results) is the correct behavior.
     .expect("worker threads do not panic");
 }
 
@@ -104,6 +107,8 @@ impl WorkCursor {
     /// Claims the next index, or `None` when the range is drained.
     #[must_use]
     pub fn claim(&self) -> Option<usize> {
+        // relaxed: fetch_add's atomicity alone guarantees each index is
+        // handed out once; the cursor publishes no other data.
         let idx = self.next.fetch_add(1, Ordering::Relaxed);
         (idx < self.len).then_some(idx)
     }
@@ -118,6 +123,8 @@ impl WorkCursor {
     #[must_use]
     pub fn claim_chunk(&self, size: usize) -> Option<std::ops::Range<usize>> {
         assert!(size > 0, "chunk size must be positive");
+        // relaxed: same argument as `claim` — atomicity gives disjoint
+        // chunks; no data rides on the counter.
         let lo = self.next.fetch_add(size, Ordering::Relaxed);
         (lo < self.len).then(|| lo..(lo.saturating_add(size)).min(self.len))
     }

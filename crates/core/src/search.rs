@@ -95,6 +95,8 @@ pub(crate) fn sort_entries_parallel(entries: &mut [ListEntry], threads: usize) {
             scope.spawn(move |_| part.sort_unstable_by_key(entry_key));
         }
     })
+    // fremo-lint: allow(L3) -- crossbeam::scope only errors when a sort
+    // worker panicked; propagating the panic is correct.
     .expect("sort workers do not panic");
 
     // K-way merge of the sorted runs. k = thread count, so a linear scan
@@ -149,6 +151,8 @@ pub fn build_entries<D: DistanceSource>(
 /// accounted under `subsets_skipped_budget`/`pairs_skipped_budget`, not
 /// as pruned, so pruning statistics stay honest; the result may then be
 /// suboptimal.
+// lint: internal search-kernel entry threading prepared state; a
+// param struct would churn every call site without adding clarity.
 #[allow(clippy::too_many_arguments)]
 pub fn process_sorted_subsets<D: DistanceSource>(
     src: &D,

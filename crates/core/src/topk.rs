@@ -59,6 +59,8 @@ impl ForbiddenIntervals {
     #[must_use]
     pub fn contains(&self, p: usize) -> bool {
         self.intervals
+            // fremo-lint: allow(L1) -- the comparator orders usize interval
+            // bounds, where raw </> is already a total order; no floats here.
             .binary_search_by(|&(lo, hi)| {
                 if p < lo {
                     std::cmp::Ordering::Greater
@@ -160,6 +162,8 @@ pub fn top_k_motifs_parallel<P: GroundDistance + Sync>(
 /// `subsets_expanded` count work done (either can exceed the one-round
 /// totals for large `k`), and `pruned_fraction` is a per-search work
 /// ratio rather than Figure 13/14's single-round pruning ratio.
+// lint: internal search-kernel entry threading prepared state; a
+// param struct would churn every call site without adding clarity.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn top_k_prepared<D: DistanceSource + Sync>(
     src: &D,

@@ -1,0 +1,106 @@
+//! L7 — doc symbol drift.
+//!
+//! Absorbs the old `ci/check_doc_symbols.sh` gate: backtick-quoted
+//! `Type::member` / `module::Item` references in `docs/*.md` must
+//! resolve to identifiers that still exist somewhere under `crates/` or
+//! `src/`, so prose cannot silently rot as code moves. The rule is the
+//! same as the shell version's: every `::`-separated segment of the
+//! token must appear as a whole word in at least one `.rs` file.
+//! Plain-word tokens (`Engine`) and spans containing `()`/spaces are
+//! deliberately not checked — too many false positives, no signal.
+
+use crate::{Finding, LintId};
+use std::collections::BTreeSet;
+
+/// Extracts checkable symbol tokens from one line of markdown: backtick
+/// spans that consist solely of identifier characters and `::`.
+fn symbol_spans(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('`') else {
+            break;
+        };
+        let span = &after[..close];
+        rest = &after[close + 1..];
+        if is_symbol_path(span) {
+            out.push(span.to_string());
+        }
+    }
+    out
+}
+
+/// Mirrors the shell pattern
+/// `[A-Za-z_][A-Za-z0-9_:]*::[A-Za-z_][A-Za-z0-9_]*`: identifier
+/// segments joined by `::`, at least two of them.
+fn is_symbol_path(span: &str) -> bool {
+    if !span.contains("::") {
+        return false;
+    }
+    let segments: Vec<&str> = span.split("::").collect();
+    segments.len() >= 2
+        && segments.iter().all(|seg| {
+            let mut chars = seg.chars();
+            match chars.next() {
+                Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+                    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+                }
+                _ => false,
+            }
+        })
+}
+
+/// Splits Rust source into grep `-w`-style words and feeds them into
+/// `words`.
+pub fn collect_words(src: &str, words: &mut BTreeSet<String>) {
+    for word in src.split(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
+        if !word.is_empty() {
+            words.insert(word.to_string());
+        }
+    }
+}
+
+/// Checks one markdown document against the known-word set.
+pub fn lint_doc(path: &str, text: &str, words: &BTreeSet<String>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        for span in symbol_spans(line) {
+            if let Some(missing) = span.split("::").find(|seg| !words.contains(*seg)) {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line: (idx + 1) as u32,
+                    lint: LintId::L7,
+                    message: format!(
+                        "unknown symbol `{span}` (segment `{missing}` not found in any .rs file); update the doc or the code reference"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_only_path_like_spans() {
+        let spans = symbol_spans(
+            "see `Engine::execute` and `plain` and `with spaces::x` and `foo::bar()` too",
+        );
+        assert_eq!(spans, vec!["Engine::execute".to_string()]);
+    }
+
+    #[test]
+    fn missing_segment_is_reported() {
+        let mut words = BTreeSet::new();
+        collect_words("impl Engine { fn execute() {} }", &mut words);
+        let ok = lint_doc("docs/x.md", "`Engine::execute`", &words);
+        assert!(ok.is_empty());
+        let bad = lint_doc("docs/x.md", "`Engine::no_such_method`", &words);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("no_such_method"));
+    }
+}

@@ -1,0 +1,365 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The analyzer must never fire on text inside string literals or
+//! comments (`"panic!"` as data is not a panic), and must be able to
+//! *read* comments to check justification markers and suppressions. So
+//! the lexer splits a source file into two streams: code tokens with
+//! line numbers, and comments with line numbers. It is not a full
+//! grammar — no keywords, no precedence — but it gets the hard
+//! tokenization cases right: nested block comments, raw strings with
+//! `#` fences, byte strings, char literals vs. lifetimes, and numeric
+//! literals with type suffixes (`1.0f32` must surface its suffix for
+//! the kernel-exactness lint).
+
+/// What a code token is, as far as the lints care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `for`, and `f32` all land here).
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String/char/numeric literal. Numeric text is preserved so type
+    /// suffixes are visible; string/char bodies are redacted.
+    Literal,
+    /// Lifetime such as `'a` (distinguished from `'a'` char literals).
+    Lifetime,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+    pub text: String,
+}
+
+/// One comment with its 1-based starting line.
+///
+/// `doc` marks rustdoc comments (`///`, `//!`, `/**`, `/*!`). Doc
+/// comments often quote code and lint syntax verbatim, so suppression
+/// and justification markers are only honored in *plain* comments.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+    pub doc: bool,
+}
+
+/// Lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let at = |i: usize| if i < n { b[i] } else { '\0' };
+    let is_ident_start = |c: char| c.is_ascii_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && at(i + 1) == '/' {
+            // Line comment; doc when `///` (but not `////`) or `//!`.
+            let doc = (at(i + 2) == '/' && at(i + 3) != '/') || at(i + 2) == '!';
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..i].iter().collect(),
+                doc,
+            });
+        } else if c == '/' && at(i + 1) == '*' {
+            // Block comment, nested per Rust rules; attributed to its
+            // starting line.
+            let doc =
+                (at(i + 2) == '*' && at(i + 3) != '*' && at(i + 3) != '/') || at(i + 2) == '!';
+            let start_line = line;
+            let start = i;
+            let mut depth = 0usize;
+            while i < n {
+                if at(i) == '/' && at(i + 1) == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if at(i) == '*' && at(i + 1) == '/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..i.min(n)].iter().collect(),
+                doc,
+            });
+        } else if c == '"' {
+            i = lex_string(&b, i, &mut line);
+            out.toks.push(Tok {
+                line,
+                kind: TokKind::Literal,
+                text: "\"…\"".into(),
+            });
+        } else if c == '\'' {
+            // Lifetime or char literal. `'a'` is a char (closing quote
+            // right after one symbol), `'a` / `'static` are lifetimes,
+            // `'\n'` is an escaped char.
+            if at(i + 1) == '\\' {
+                i += 2; // opening quote + backslash
+                if i < n {
+                    i += 1; // escaped char (enough for \n \' \\ \u{..} heads)
+                }
+                while i < n && b[i] != '\'' {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Literal,
+                    text: "'…'".into(),
+                });
+            } else if is_ident(at(i + 1)) && at(i + 2) != '\'' {
+                let start = i;
+                i += 1;
+                while i < n && is_ident(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                });
+            } else {
+                // 'x' or unusual char like '('
+                i += 2;
+                while i < n && b[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Literal,
+                    text: "'…'".into(),
+                });
+            }
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident(b[i]) {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            // Raw/byte string prefixes: r"", r#""#, b"", br"", b'x'.
+            let next = at(i);
+            if (text == "r" || text == "br" || text == "b") && (next == '"' || next == '#') {
+                if let Some(end) = lex_raw_string(&b, i, &mut line) {
+                    i = end;
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Literal,
+                        text: "r\"…\"".into(),
+                    });
+                    continue;
+                }
+            }
+            if text == "b" && next == '\'' {
+                // Byte char literal b'x' / b'\n'.
+                i += 1; // opening quote
+                if at(i) == '\\' {
+                    i += 2;
+                }
+                while i < n && b[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Literal,
+                    text: "b'…'".into(),
+                });
+                continue;
+            }
+            out.toks.push(Tok {
+                line,
+                kind: TokKind::Ident,
+                text,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n {
+                let d = b[i];
+                let continues = is_ident(d)
+                    || (d == '.' && at(i + 1).is_ascii_digit())
+                    || ((d == '+' || d == '-')
+                        && matches!(at(i - 1), 'e' | 'E')
+                        && at(i + 1).is_ascii_digit());
+                if !continues {
+                    break;
+                }
+                i += 1;
+            }
+            out.toks.push(Tok {
+                line,
+                kind: TokKind::Literal,
+                text: b[start..i].iter().collect(),
+            });
+        } else {
+            out.toks.push(Tok {
+                line,
+                kind: TokKind::Punct,
+                text: c.to_string(),
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` string starting at the opening quote; returns the
+/// index just past the closing quote.
+fn lex_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    i += 1; // opening quote
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Consumes a raw string body starting at the `#`/`"` right after the
+/// `r`/`br` prefix. Returns `None` when this is not actually a raw
+/// string (e.g. the ident `r` followed by an attribute's `#`).
+fn lex_raw_string(b: &[char], mut i: usize, line: &mut u32) -> Option<usize> {
+    let n = b.len();
+    let mut fences = 0usize;
+    while i < n && b[i] == '#' {
+        fences += 1;
+        i += 1;
+    }
+    if i >= n || b[i] != '"' {
+        return None;
+    }
+    i += 1; // opening quote
+    while i < n {
+        if b[i] == '\n' {
+            *line += 1;
+        }
+        if b[i] == '"' {
+            let mut k = 0usize;
+            while k < fences && b.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == fences {
+                return Some(i + 1 + fences);
+            }
+        }
+        i += 1;
+    }
+    Some(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code_words() {
+        let src = "// panic! in a comment\n/* unwrap() in /* a nested */ block */\nlet s = \"panic!\";\nlet r = r\"unwrap()\";\n";
+        let ids = idents(src);
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn raw_string_with_fences() {
+        let src = "let x = r##\"has \"quote\" and unwrap()\"##; call();";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "call"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; g(x, c, nl) }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn float_suffix_survives_in_literal_text() {
+        let lexed = lex("let x = 1.0f32 + 2e-3f64;");
+        let lits: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["1.0f32", "2e-3f64"]);
+    }
+
+    #[test]
+    fn doc_comments_are_flagged_as_doc() {
+        let lexed = lex("/// doc\n//! inner\n// plain\n/** block doc */\n/* plain block */\n");
+        let docs: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, vec![true, true, false, true, false]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "let a = 1;\nlet s = \"two\nlines\";\nlet b = 2;";
+        let lexed = lex(src);
+        let b_tok = lexed.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 4);
+    }
+}

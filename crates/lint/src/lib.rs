@@ -1,0 +1,333 @@
+//! `fremo-lint`: the workspace invariant checker.
+//!
+//! The engine's headline guarantees — parallel results bit-for-bit
+//! identical to serial, eviction never changing answers, budgets that
+//! report honest truncation — rest on source-level conventions: total
+//! float orders, no hash-order in result paths, justified relaxed
+//! atomics. This crate turns those conventions into machine-checked
+//! rules. See `docs/LINTS.md` for the catalog.
+//!
+//! The checker is deliberately dependency-free (it must build before
+//! anything else in CI) and hand-rolls its own lexer: with no crates.io
+//! access there is no `syn`, and line-level token analysis is enough
+//! for every rule here.
+//!
+//! # Suppressions
+//!
+//! A true positive that is genuinely sound can be silenced inline:
+//!
+//! ```text
+//! // fremo-lint: allow(L3) -- join only fails if a worker panicked; propagating is correct
+//! ```
+//!
+//! The reason after `--` is mandatory, the suppression must sit on the
+//! offending line or in the comment block directly above it, and an
+//! unused or malformed suppression is itself a finding (L0). Only plain
+//! `//` comments count — doc comments may quote the syntax freely.
+
+pub mod docs;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Identifier of one lint rule. `L0` is suppression hygiene itself;
+/// `L1`–`L6` are source rules; `L7` checks `docs/*.md` symbol drift.
+// lint: the PartialOrd derive is required by Ord on a fieldless enum —
+// a total order; the workspace ban targets ad-hoc float calls.
+#[allow(clippy::disallowed_methods)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintId {
+    L0,
+    L1,
+    L2,
+    L3,
+    L4,
+    L5,
+    L6,
+    L7,
+}
+
+impl LintId {
+    pub const ALL: [LintId; 8] = [
+        LintId::L0,
+        LintId::L1,
+        LintId::L2,
+        LintId::L3,
+        LintId::L4,
+        LintId::L5,
+        LintId::L6,
+        LintId::L7,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintId::L0 => "L0",
+            LintId::L1 => "L1",
+            LintId::L2 => "L2",
+            LintId::L3 => "L3",
+            LintId::L4 => "L4",
+            LintId::L5 => "L5",
+            LintId::L6 => "L6",
+            LintId::L7 => "L7",
+        }
+    }
+
+    /// One-line description, used by `--list` and the docs test.
+    pub fn title(self) -> &'static str {
+        match self {
+            LintId::L0 => "suppression hygiene: well-formed, reasoned, and used",
+            LintId::L1 => "float ordering must be total (total_cmp, not partial_cmp)",
+            LintId::L2 => "hash iteration must not feed results or eviction order",
+            LintId::L3 => "no unwrap/expect/panic!/todo! in library code",
+            LintId::L4 => "Ordering::Relaxed and unsafe need adjacent justification",
+            LintId::L5 => "#[allow(...)] needs a recorded `// lint:` reason",
+            LintId::L6 => "exact DFD kernels stay in f64 (no f32)",
+            LintId::L7 => "docs/*.md symbol references must exist in the source",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<LintId> {
+        LintId::ALL.iter().copied().find(|id| id.as_str() == s)
+    }
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub lint: LintId,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Run configuration.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Lints to skip entirely (their suppressions are also ignored).
+    pub disabled: BTreeSet<LintId>,
+}
+
+/// Result of linting a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files analyzed (test-only files are skipped).
+    pub files_scanned: usize,
+    /// Number of `docs/*.md` files checked by L7.
+    pub docs_scanned: usize,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Stable machine-readable form: one JSON object, findings sorted,
+    /// keys in fixed order. Hand-rolled so the checker stays
+    /// dependency-free.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"file\": \"");
+            json_escape(&f.file, &mut out);
+            out.push_str("\", \"line\": ");
+            out.push_str(&f.line.to_string());
+            out.push_str(", \"lint\": \"");
+            out.push_str(f.lint.as_str());
+            out.push_str("\", \"message\": \"");
+            json_escape(&f.message, &mut out);
+            out.push_str("\"}");
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"count\": ");
+        out.push_str(&self.findings.len().to_string());
+        out.push_str(",\n  \"files_scanned\": ");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\n  \"docs_scanned\": ");
+        out.push_str(&self.docs_scanned.to_string());
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Lints one source string under a virtual workspace-relative path.
+/// This is the entry point the fixture tests use.
+pub fn lint_source(path: &str, src: &str, opts: &Options) -> Vec<Finding> {
+    rules::lint_source(path, src, opts)
+}
+
+/// Walks a workspace root and lints every in-scope source file plus
+/// `docs/*.md`, returning a sorted report.
+///
+/// Scope: `crates/**/*.rs` and `src/**/*.rs`, excluding `target/`,
+/// anything under a `fixtures/` directory (lint test data is *supposed*
+/// to fire), and test-only files (`tests/`, `benches/`, `examples/`),
+/// which are exempt from every source rule. `vendor/` sits outside the
+/// walked roots by construction.
+pub fn run_workspace(root: &Path, opts: &Options) -> io::Result<Report> {
+    let mut rs_files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk_rs(&dir, &mut rs_files)?;
+        }
+    }
+    rs_files.sort();
+
+    let mut report = Report::default();
+    let mut words: BTreeSet<String> = BTreeSet::new();
+    for path in &rs_files {
+        let rel = relative(root, path);
+        let src = fs::read_to_string(path)?;
+        // The word set for L7 mirrors the old shell gate: *all* .rs
+        // files under crates/ and src/, tests included.
+        docs::collect_words(&src, &mut words);
+        if rules::is_test_path(&rel) {
+            continue;
+        }
+        report.files_scanned += 1;
+        report.findings.extend(rules::lint_source(&rel, &src, opts));
+    }
+
+    if !opts.disabled.contains(&LintId::L7) {
+        let docs_dir = root.join("docs");
+        if docs_dir.is_dir() {
+            let mut docs_files: Vec<PathBuf> = fs::read_dir(&docs_dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|e| e == "md"))
+                .collect();
+            docs_files.sort();
+            for path in docs_files {
+                let rel = relative(root, &path);
+                let text = fs::read_to_string(&path)?;
+                report.docs_scanned += 1;
+                report.findings.extend(docs::lint_doc(&rel, &text, &words));
+            }
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(report)
+}
+
+/// Recursive walk collecting `.rs` files; skips `target` and `fixtures`
+/// directories. Entries are sorted by the caller.
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name == "vendor" {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_valid_and_ordered() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/core/src/x.rs".into(),
+                line: 3,
+                lint: LintId::L3,
+                message: "say \"no\"".into(),
+            }],
+            files_scanned: 1,
+            docs_scanned: 0,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"lint\": \"L3\""));
+        assert!(json.contains("say \\\"no\\\""));
+        assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn lint_ids_round_trip() {
+        for id in LintId::ALL {
+            assert_eq!(LintId::parse(id.as_str()), Some(id));
+        }
+        assert_eq!(LintId::parse("L9"), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! fremo-lint --workspace [--root DIR] [--json] [--disable <Lk>]... [--list]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use fremo_lint::{find_workspace_root, run_workspace, LintId, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fremo-lint: workspace invariant checker (see docs/LINTS.md)
+
+USAGE:
+    fremo-lint --workspace [OPTIONS]
+
+OPTIONS:
+    --workspace        Lint the enclosing workspace (crates/, src/, docs/)
+    --root <DIR>       Treat DIR as the workspace root instead of searching
+                       upward from the current directory
+    --json             Emit machine-readable JSON instead of text
+    --disable <ID>     Skip one lint (repeatable); IDs are L0..L7
+    --list             List the lint catalog and exit
+    --help             Show this help
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("fremo-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut opts = Options::default();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory")?;
+                root = Some(PathBuf::from(dir));
+            }
+            "--disable" => {
+                let id = args.next().ok_or("--disable requires a lint id (L0..L7)")?;
+                let id = LintId::parse(&id).ok_or_else(|| format!("unknown lint id `{id}`"))?;
+                opts.disabled.insert(id);
+            }
+            "--list" => {
+                for id in LintId::ALL {
+                    println!("{}  {}", id.as_str(), id.title());
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+
+    if !workspace {
+        return Err(format!("nothing to do: pass --workspace\n\n{USAGE}"));
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd)
+                .ok_or("no enclosing Cargo workspace found; pass --root <DIR>")?
+        }
+    };
+
+    let report = run_workspace(&root, &opts).map_err(|e| format!("{}: {e}", root.display()))?;
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "fremo-lint: {} finding{} across {} source file{} and {} doc{}",
+            report.findings.len(),
+            plural(report.findings.len()),
+            report.files_scanned,
+            plural(report.files_scanned),
+            report.docs_scanned,
+            plural(report.docs_scanned),
+        );
+    }
+
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}

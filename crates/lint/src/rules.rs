@@ -1,0 +1,752 @@
+//! The source-level lint passes (L1–L6) plus suppression handling (L0).
+//!
+//! Every pass walks the token stream produced by [`crate::lexer`], so
+//! nothing fires on comments or string literals, and multi-line method
+//! chains (`map\n.iter()`) are seen as one sequence. Findings inside
+//! `#[cfg(test)]` regions (and files under `tests/`, `benches/`,
+//! `examples/`) are dropped: the invariants protect *library* result
+//! paths, and tests are free to `unwrap()`.
+//!
+//! See `docs/LINTS.md` for the invariant each lint protects and the
+//! exact detection rule.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::{Finding, LintId, Options};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Methods whose comparator closure is checked by L1.
+const SORT_CMP: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "min_by",
+    "max_by",
+    "binary_search_by",
+];
+
+/// Methods whose *key* closure is checked by L1 (a float key is not
+/// totally ordered).
+const SORT_KEY: &[&str] = &[
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "sort_by_cached_key",
+    "min_by_key",
+    "max_by_key",
+];
+
+/// Iteration adaptors that expose hash-order (L2).
+const HASH_ITER: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Panicking calls banned in library code (L3). `unreachable!` is
+/// deliberately absent: it is the idiomatic exhaustiveness guard for
+/// match arms the compiler cannot see through, and banning it would
+/// only breed blanket suppressions.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// File names treated as exact-DFD kernels for L6.
+const KERNEL_FILES: &[&str] = &["dp.rs", "brute.rs", "matrix.rs"];
+
+/// Runs every enabled source lint over one file.
+///
+/// `path` is the workspace-relative path with `/` separators; it drives
+/// the per-lint scope rules, so callers linting fixture text pass a
+/// *virtual* path (e.g. `crates/core/src/fixture.rs`).
+pub fn lint_source(path: &str, src: &str, opts: &Options) -> Vec<Finding> {
+    if is_test_path(path) {
+        return Vec::new();
+    }
+    let lexed = lex(src);
+    let ctx = FileCtx::new(path, &lexed.toks, &lexed.comments);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    if ctx.in_scope_core_similarity() {
+        l1_float_total_order(&ctx, &mut raw);
+        l3_no_panic(&ctx, &mut raw);
+    }
+    if ctx.in_scope_core() {
+        l2_hash_iteration(&ctx, &mut raw);
+    }
+    l4_justified_relaxed_and_unsafe(&ctx, &mut raw);
+    l5_allow_needs_reason(&ctx, &mut raw);
+    if ctx.is_kernel_file() {
+        l6_kernel_exactness(&ctx, &mut raw);
+    }
+
+    raw.retain(|f| !ctx.is_test_line(f.line) && !opts.disabled.contains(&f.lint));
+    ctx.apply_suppressions(raw, opts)
+}
+
+/// Whether a path is test-only code, exempt from all source lints.
+pub fn is_test_path(path: &str) -> bool {
+    path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+        || path.starts_with("tests/")
+        || path.starts_with("benches/")
+        || path.starts_with("examples/")
+        || path.ends_with("build.rs")
+}
+
+/// A parsed `// fremo-lint: allow(<id>) -- <reason>` comment.
+struct Suppression {
+    line: u32,
+    id: LintId,
+    used: bool,
+}
+
+/// Per-file lint context: tokens, comment index, test regions.
+struct FileCtx<'a> {
+    path: &'a str,
+    toks: &'a [Tok],
+    /// Plain (non-doc) comment text per line, concatenated.
+    plain: BTreeMap<u32, String>,
+    /// Lines that hold at least one code token.
+    code_lines: BTreeSet<u32>,
+    /// Inclusive line ranges under `#[cfg(test)]` / `#[test]`.
+    test_ranges: Vec<(u32, u32)>,
+    suppressions: Vec<Suppression>,
+    /// L0 findings produced while parsing suppressions.
+    l0: Vec<Finding>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(path: &'a str, toks: &'a [Tok], comments: &'a [Comment]) -> Self {
+        let mut plain: BTreeMap<u32, String> = BTreeMap::new();
+        for c in comments.iter().filter(|c| !c.doc) {
+            let slot = plain.entry(c.line).or_default();
+            slot.push(' ');
+            slot.push_str(&c.text);
+        }
+        let code_lines: BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
+        let test_ranges = test_regions(toks);
+        let mut ctx = FileCtx {
+            path,
+            toks,
+            plain,
+            code_lines,
+            test_ranges,
+            suppressions: Vec::new(),
+            l0: Vec::new(),
+        };
+        ctx.parse_suppressions();
+        ctx
+    }
+
+    fn in_scope_core(&self) -> bool {
+        self.path.contains("crates/core/")
+    }
+
+    fn in_scope_core_similarity(&self) -> bool {
+        self.path.contains("crates/core/") || self.path.contains("crates/similarity/")
+    }
+
+    fn is_kernel_file(&self) -> bool {
+        self.path.contains("crates/")
+            && KERNEL_FILES
+                .iter()
+                .any(|k| self.path.rsplit('/').next() == Some(*k))
+    }
+
+    fn is_test_line(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// True when a plain comment containing `marker` sits on `line` or
+    /// on one of the two lines above it.
+    fn has_marker(&self, line: u32, marker: &str) -> bool {
+        (line.saturating_sub(2)..=line)
+            .any(|l| self.plain.get(&l).is_some_and(|t| t.contains(marker)))
+    }
+
+    fn parse_suppressions(&mut self) {
+        let lines: Vec<(u32, String)> = self.plain.iter().map(|(l, t)| (*l, t.clone())).collect();
+        for (line, text) in lines {
+            let mut rest = text.as_str();
+            while let Some(pos) = rest.find("fremo-lint:") {
+                let body = rest[pos + "fremo-lint:".len()..].trim_start();
+                rest = &rest[pos + "fremo-lint:".len()..];
+                if self.is_test_line(line) {
+                    continue; // test code needs no suppressions
+                }
+                match parse_suppression_body(body) {
+                    Ok(id) => self.suppressions.push(Suppression {
+                        line,
+                        id,
+                        used: false,
+                    }),
+                    Err(msg) => self.l0.push(Finding {
+                        file: self.path.to_string(),
+                        line,
+                        lint: LintId::L0,
+                        message: msg,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Drops findings covered by a suppression on the same line or in
+    /// the contiguous comment-only block directly above, then reports
+    /// malformed and unused suppressions as L0.
+    fn apply_suppressions(mut self, raw: Vec<Finding>, opts: &Options) -> Vec<Finding> {
+        let mut kept: Vec<Finding> = Vec::new();
+        for f in raw {
+            let mut covered = false;
+            for s in self.suppressions.iter_mut() {
+                if s.id == f.lint && suppression_covers(s.line, f.line, &self.code_lines) {
+                    s.used = true;
+                    covered = true;
+                }
+            }
+            if !covered {
+                kept.push(f);
+            }
+        }
+        if !opts.disabled.contains(&LintId::L0) {
+            kept.append(&mut self.l0);
+            for s in &self.suppressions {
+                if !s.used && !opts.disabled.contains(&s.id) {
+                    kept.push(Finding {
+                        file: self.path.to_string(),
+                        line: s.line,
+                        lint: LintId::L0,
+                        message: format!(
+                            "unused suppression for {}: no matching finding on this or the next code line",
+                            s.id.as_str()
+                        ),
+                    });
+                }
+            }
+        }
+        kept
+    }
+
+    fn finding(&self, out: &mut Vec<Finding>, line: u32, lint: LintId, message: impl Into<String>) {
+        out.push(Finding {
+            file: self.path.to_string(),
+            line,
+            lint,
+            message: message.into(),
+        });
+    }
+}
+
+/// Parses the text after `fremo-lint:`; returns the target lint id or
+/// an L0 message.
+fn parse_suppression_body(body: &str) -> Result<LintId, String> {
+    const SHAPE: &str = "suppression must be `// fremo-lint: allow(<L1..L6>) -- <reason>`";
+    let Some(args) = body.strip_prefix("allow(") else {
+        return Err(SHAPE.to_string());
+    };
+    let Some(close) = args.find(')') else {
+        return Err(SHAPE.to_string());
+    };
+    let id_str = args[..close].trim();
+    let Some(id) = LintId::parse(id_str) else {
+        return Err(format!(
+            "unknown lint id `{id_str}` in suppression; {SHAPE}"
+        ));
+    };
+    if matches!(id, LintId::L0 | LintId::L7) {
+        return Err(format!(
+            "{} cannot be suppressed inline; {SHAPE}",
+            id.as_str()
+        ));
+    }
+    let tail = args[close + 1..].trim_start();
+    let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!(
+            "suppression for {} is missing its reason; {SHAPE}",
+            id.as_str()
+        ));
+    }
+    Ok(id)
+}
+
+/// A suppression at `sline` covers a finding at `fline` when it sits on
+/// the same line, or in the run of comment-only lines immediately above
+/// the finding's line.
+fn suppression_covers(sline: u32, fline: u32, code_lines: &BTreeSet<u32>) -> bool {
+    if sline == fline {
+        return true;
+    }
+    if sline >= fline {
+        return false;
+    }
+    // Every line strictly between the suppression and the finding must
+    // be free of code tokens (comment-only or blank).
+    ((sline)..fline).skip(1).all(|l| !code_lines.contains(&l)) && !code_lines.contains(&sline)
+}
+
+/// Computes `#[cfg(test)]` / `#[test]` item ranges from the token
+/// stream: after a test attribute, the region runs to the matching `}`
+/// of the next brace (or the terminating `;` for brace-less items).
+fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct && toks[i].text == "#" {
+            let attr_line = toks[i].line;
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].text == "!" {
+                j += 1; // inner attribute: same bracket skipping below
+            }
+            if j < toks.len() && toks[j].text == "[" {
+                let (end, is_test) = scan_attr(toks, j);
+                if is_test {
+                    let close = item_end(toks, end + 1);
+                    ranges.push((attr_line, close));
+                    i = end + 1;
+                    continue;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Scans one `[...]` attribute starting at the opening bracket; returns
+/// (index of closing bracket, whether it marks test-only code).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_cfg = false;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut first_ident: Option<&str> = None;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "[") => depth += 1,
+            (TokKind::Punct, "]") => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            (TokKind::Ident, name) => {
+                if first_ident.is_none() {
+                    first_ident = Some(&toks[i].text);
+                }
+                if name == "cfg" {
+                    has_cfg = true;
+                }
+                if name == "test" || name == "bench" {
+                    has_test = true;
+                }
+                // `#[cfg(not(test))]` gates *library* code; treating it
+                // as a test region would blind every lint to it.
+                if name == "not" {
+                    has_not = true;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let direct = matches!(first_ident, Some("test") | Some("bench"));
+    (i, (has_cfg && has_test && !has_not) || direct)
+}
+
+/// Finds the line where the item following an attribute ends: the
+/// matching `}` of its first brace, or a `;` seen before any brace.
+fn item_end(toks: &[Tok], from: usize) -> u32 {
+    let mut i = from;
+    // Skip any further attributes between the test attr and the item.
+    while i + 1 < toks.len() && toks[i].text == "#" && toks[i + 1].text == "[" {
+        let (end, _) = scan_attr(toks, i + 1);
+        i = end + 1;
+    }
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            ";" if depth == 0 => return toks[i].line,
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return toks[i].line;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.last().map_or(0, |t| t.line)
+}
+
+/// Returns the token index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len() - 1
+}
+
+// ---------------------------------------------------------------------
+// L1 — float ordering must be total
+// ---------------------------------------------------------------------
+
+fn l1_float_total_order(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if name == "partial_cmp" {
+            ctx.finding(
+                out,
+                toks[i].line,
+                LintId::L1,
+                "partial_cmp is not a total order over floats (NaN breaks sort/merge determinism); use f64::total_cmp",
+            );
+            continue;
+        }
+        let next_is_paren = toks.get(i + 1).is_some_and(|t| t.text == "(");
+        if !next_is_paren {
+            continue;
+        }
+        if SORT_CMP.contains(&name) {
+            let close = matching_paren(toks, i + 1);
+            let body = &toks[i + 1..close];
+            // A real comparator call (`x.total_cmp(y)`, `Ord::cmp`), not
+            // a bare path segment like `std::cmp::Ordering`.
+            let has_total = body.iter().zip(body.iter().skip(1)).any(|(t, next)| {
+                t.kind == TokKind::Ident
+                    && (t.text == "total_cmp" || t.text == "cmp")
+                    && next.text == "("
+            });
+            let has_raw_compare = body
+                .iter()
+                .any(|t| t.kind == TokKind::Punct && (t.text == "<" || t.text == ">"));
+            if !has_total && has_raw_compare {
+                ctx.finding(
+                    out,
+                    toks[i].line,
+                    LintId::L1,
+                    format!("{name} comparator uses a raw </> comparison; compare with f64::total_cmp (or Ord::cmp) so the order is total"),
+                );
+            }
+        } else if SORT_KEY.contains(&name) {
+            let close = matching_paren(toks, i + 1);
+            let floaty = toks[i + 1..close].iter().any(|t| match t.kind {
+                TokKind::Ident => t.text == "f32" || t.text == "f64",
+                TokKind::Literal => t.text.ends_with("f32") || t.text.ends_with("f64"),
+                _ => false,
+            });
+            if floaty {
+                ctx.finding(
+                    out,
+                    toks[i].line,
+                    LintId::L1,
+                    format!("{name} with a float key is not a total order; sort with total_cmp or an integer key (f64::to_bits trick)"),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L2 — hash iteration must not feed results or eviction
+// ---------------------------------------------------------------------
+
+fn l2_hash_iteration(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    // Hash-typed names: `HashMap`/`HashSet` plus file-local aliases
+    // (`type SubsetCaps = HashMap<...>`).
+    let mut hash_tys: BTreeSet<&str> = ["HashMap", "HashSet"].into();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "type"
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            let mut j = i + 2;
+            let mut rhs_hash = false;
+            while j < toks.len() && toks[j].text != ";" {
+                if toks[j].text == "HashMap" || toks[j].text == "HashSet" {
+                    rhs_hash = true;
+                }
+                j += 1;
+            }
+            if rhs_hash {
+                hash_tys.insert(toks[i + 1].text.as_str());
+            }
+        }
+    }
+
+    // Names bound to hash types: annotations (`name: [&mut] Hash<..>`,
+    // through `Option`/`Box`/`Arc`/`Rc` wrappers and path prefixes) and
+    // `let [mut] name = Hash::new()/with_capacity()/default()`.
+    let mut tracked: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || !hash_tys.contains(toks[i].text.as_str()) {
+            continue;
+        }
+        if let Some(name) = annotated_name(toks, i) {
+            tracked.insert(name);
+        }
+        if toks.get(i + 1).is_some_and(|t| t.text == ":")
+            && toks.get(i + 2).is_some_and(|t| t.text == ":")
+            && toks.get(i + 3).is_some_and(|t| {
+                matches!(
+                    t.text.as_str(),
+                    "new" | "with_capacity" | "default" | "from"
+                )
+            })
+        {
+            // Walk back a short window for `let [mut] name [: ty] =`.
+            let lo = i.saturating_sub(16);
+            for k in (lo..i).rev() {
+                if toks[k].kind == TokKind::Ident && toks[k].text == "let" {
+                    let mut n = k + 1;
+                    if toks.get(n).is_some_and(|t| t.text == "mut") {
+                        n += 1;
+                    }
+                    if toks.get(n).is_some_and(|t| t.kind == TokKind::Ident) {
+                        tracked.insert(toks[n].text.as_str());
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    if tracked.is_empty() {
+        return;
+    }
+
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || !tracked.contains(toks[i].text.as_str()) {
+            continue;
+        }
+        // name.iter() and friends, possibly across lines.
+        if toks.get(i + 1).is_some_and(|t| t.text == ".")
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident && HASH_ITER.contains(&t.text.as_str()))
+            && toks.get(i + 3).is_some_and(|t| t.text == "(")
+        {
+            ctx.finding(
+                out,
+                toks[i + 2].line,
+                LintId::L2,
+                format!(
+                    "iteration over hash-ordered `{}` ({}): hash order is nondeterministic and must not feed results or eviction; use a sorted/indexed structure or keyed lookups",
+                    toks[i].text, toks[i + 2].text
+                ),
+            );
+        }
+        // `for pat in [&[mut]] [path.]name {` — the loop iterates the
+        // container itself.
+        if toks.get(i + 1).is_some_and(|t| t.text == "{") {
+            // Walk back: the `in` keyword must appear before any `{`/`;`.
+            let lo = i.saturating_sub(8);
+            for k in (lo..i).rev() {
+                let t = &toks[k];
+                if t.kind == TokKind::Ident && t.text == "in" {
+                    ctx.finding(
+                        out,
+                        toks[i].line,
+                        LintId::L2,
+                        format!(
+                            "for-loop over hash-ordered `{}`: hash order is nondeterministic and must not feed results or eviction",
+                            toks[i].text
+                        ),
+                    );
+                    break;
+                }
+                let path_part = t.text == "." || t.text == "&" || t.kind == TokKind::Ident;
+                if !path_part {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// For a hash-type token at `i`, walks left through type wrappers and
+/// path prefixes looking for an `name :` annotation.
+fn annotated_name(toks: &[Tok], i: usize) -> Option<&str> {
+    let mut j = i.checked_sub(1)?;
+    loop {
+        let t = toks.get(j)?;
+        let skip = match t.kind {
+            TokKind::Punct => matches!(t.text.as_str(), "&" | "<"),
+            TokKind::Ident => matches!(
+                t.text.as_str(),
+                "mut" | "dyn" | "Option" | "Box" | "Arc" | "Rc" | "Mutex" | "RwLock"
+            ),
+            TokKind::Lifetime => true,
+            _ => false,
+        };
+        if skip {
+            j = j.checked_sub(1)?;
+            continue;
+        }
+        // Path prefix `seg::` — skip the two colons and the segment.
+        if t.text == ":" && toks.get(j.checked_sub(1)?).map(|p| p.text.as_str()) == Some(":") {
+            j = j.checked_sub(3)?;
+            continue;
+        }
+        if t.text == ":" {
+            let prev = toks.get(j.checked_sub(1)?)?;
+            if prev.kind == TokKind::Ident {
+                return Some(prev.text.as_str());
+            }
+            return None;
+        }
+        return None;
+    }
+}
+
+// ---------------------------------------------------------------------
+// L3 — no panicking calls in library code
+// ---------------------------------------------------------------------
+
+fn l3_no_panic(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let is_method_call = |m: &str| {
+            name == m
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).is_some_and(|t| t.text == "(")
+        };
+        if is_method_call("unwrap") || is_method_call("expect") {
+            ctx.finding(
+                out,
+                toks[i].line,
+                LintId::L3,
+                format!(".{name}() in library code can panic on live queries; return an error, or suppress with a documented invariant"),
+            );
+        }
+        if PANIC_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|t| t.text == "!") {
+            ctx.finding(
+                out,
+                toks[i].line,
+                LintId::L3,
+                format!("{name}! in library code aborts live queries; return an error instead"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L4 — Relaxed atomics and unsafe need adjacent justification
+// ---------------------------------------------------------------------
+
+fn l4_justified_relaxed_and_unsafe(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Relaxed"
+            && i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].text == "Ordering"
+            && !ctx.has_marker(t.line, "relaxed:")
+        {
+            ctx.finding(
+                out,
+                t.line,
+                LintId::L4,
+                "Ordering::Relaxed without an adjacent `// relaxed:` justification; state why no ordering is needed (or use a stronger ordering)",
+            );
+        }
+        if t.text == "unsafe" && !ctx.has_marker(t.line, "SAFETY:") {
+            ctx.finding(
+                out,
+                t.line,
+                LintId::L4,
+                "unsafe without an adjacent `// SAFETY:` comment stating the invariant that makes it sound",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L5 — #[allow(...)] needs a recorded reason
+// ---------------------------------------------------------------------
+
+fn l5_allow_needs_reason(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if toks[i].text != "#" {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "!") {
+            j += 1;
+        }
+        if toks.get(j).is_some_and(|t| t.text == "[")
+            && toks
+                .get(j + 1)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text == "allow")
+            && !ctx.has_marker(toks[i].line, "lint:")
+        {
+            ctx.finding(
+                out,
+                toks[i].line,
+                LintId::L5,
+                "#[allow(...)] without an adjacent `// lint:` reason; say why the warning is wrong here",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L6 — exact kernels stay in f64
+// ---------------------------------------------------------------------
+
+fn l6_kernel_exactness(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for t in ctx.toks {
+        let is_f32 = match t.kind {
+            TokKind::Ident => t.text == "f32",
+            TokKind::Literal => t.text.ends_with("f32"),
+            _ => false,
+        };
+        if is_f32 {
+            ctx.finding(
+                out,
+                t.line,
+                LintId::L6,
+                "f32 inside an exact DFD kernel: results must stay bit-exact in f64 until the opt-in approximate mode lands (ROADMAP item 4)",
+            );
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Per-lint fixture tests: each lint has a firing fixture that produces
+//! only that lint's findings (and goes quiet when the lint is disabled,
+//! proving the finding comes from that pass and not a neighbour) and a
+//! clean fixture that produces none.
+
+use fremo_lint::{lint_source, run_workspace, LintId, Options};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+/// Lints fixture text under a virtual in-scope path.
+fn lint_fixture(name: &str, virtual_path: &str, opts: &Options) -> Vec<fremo_lint::Finding> {
+    lint_source(virtual_path, &fixture(name), opts)
+}
+
+fn disabled(id: LintId) -> Options {
+    let mut set = BTreeSet::new();
+    set.insert(id);
+    Options { disabled: set }
+}
+
+/// The core assertion: the firing fixture yields findings for exactly
+/// `id` (nothing else), and disabling `id` silences the file entirely.
+fn assert_fires_only(name: &str, virtual_path: &str, id: LintId) {
+    let findings = lint_fixture(name, virtual_path, &Options::default());
+    assert!(
+        !findings.is_empty(),
+        "{name}: expected {} findings, got none",
+        id.as_str()
+    );
+    for f in &findings {
+        assert_eq!(
+            f.lint,
+            id,
+            "{name}: expected only {} findings, got {f}",
+            id.as_str()
+        );
+    }
+    let silenced = lint_fixture(name, virtual_path, &disabled(id));
+    assert!(
+        silenced.is_empty(),
+        "{name}: disabling {} should silence the fixture, got {silenced:?}",
+        id.as_str()
+    );
+}
+
+fn assert_clean(name: &str, virtual_path: &str) {
+    let findings = lint_fixture(name, virtual_path, &Options::default());
+    assert!(
+        findings.is_empty(),
+        "{name}: expected clean, got {findings:?}"
+    );
+}
+
+const CORE_PATH: &str = "crates/core/src/fixture.rs";
+const KERNEL_PATH: &str = "crates/core/src/dp.rs";
+
+#[test]
+fn l1_partial_cmp_and_raw_comparators_fire() {
+    assert_fires_only("l1_firing.rs", CORE_PATH, LintId::L1);
+}
+
+#[test]
+fn l1_total_orders_are_clean() {
+    assert_clean("l1_clean.rs", CORE_PATH);
+}
+
+#[test]
+fn l2_hash_iteration_fires() {
+    assert_fires_only("l2_firing.rs", CORE_PATH, LintId::L2);
+}
+
+#[test]
+fn l2_keyed_lookups_and_btree_iteration_are_clean() {
+    assert_clean("l2_clean.rs", CORE_PATH);
+}
+
+#[test]
+fn l3_panicking_calls_fire() {
+    assert_fires_only("l3_firing.rs", CORE_PATH, LintId::L3);
+}
+
+#[test]
+fn l3_propagated_errors_tests_and_reasoned_suppression_are_clean() {
+    assert_clean("l3_clean.rs", CORE_PATH);
+}
+
+#[test]
+fn l3_is_scoped_to_core_and_similarity() {
+    // The same panicking source outside the scoped crates is not a
+    // finding (the CLI crates may unwrap at the top level).
+    assert_clean("l3_firing.rs", "crates/cli/src/main.rs");
+}
+
+#[test]
+fn l4_unjustified_relaxed_and_unsafe_fire() {
+    assert_fires_only("l4_firing.rs", CORE_PATH, LintId::L4);
+}
+
+#[test]
+fn l4_justified_sites_are_clean() {
+    assert_clean("l4_clean.rs", CORE_PATH);
+}
+
+#[test]
+fn l5_allow_without_reason_fires() {
+    assert_fires_only("l5_firing.rs", CORE_PATH, LintId::L5);
+}
+
+#[test]
+fn l5_reasoned_allow_is_clean() {
+    assert_clean("l5_clean.rs", CORE_PATH);
+}
+
+#[test]
+fn l6_f32_in_kernel_fires() {
+    assert_fires_only("l6_firing.rs", KERNEL_PATH, LintId::L6);
+}
+
+#[test]
+fn l6_fires_on_every_kernel_file_but_not_elsewhere() {
+    for kernel in ["dp.rs", "brute.rs", "matrix.rs"] {
+        let path = format!("crates/core/src/{kernel}");
+        assert_fires_only("l6_firing.rs", &path, LintId::L6);
+    }
+    // f32 outside the exact kernels is allowed.
+    assert_clean("l6_firing.rs", CORE_PATH);
+}
+
+#[test]
+fn l6_exact_kernel_is_clean() {
+    assert_clean("l6_clean.rs", KERNEL_PATH);
+}
+
+#[test]
+fn l0_malformed_unknown_and_unused_suppressions_fire() {
+    let findings = lint_fixture("l0_firing.rs", CORE_PATH, &Options::default());
+    let l0: Vec<_> = findings.iter().filter(|f| f.lint == LintId::L0).collect();
+    assert_eq!(l0.len(), 3, "expected 3 L0 findings, got {findings:?}");
+    let msgs: Vec<&str> = l0.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("-- <reason>")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("unknown lint id")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("unused suppression")),
+        "{msgs:?}"
+    );
+    // The malformed suppression does not mask the underlying L3.
+    assert!(
+        findings.iter().any(|f| f.lint == LintId::L3),
+        "malformed suppression must not cover the finding: {findings:?}"
+    );
+}
+
+#[test]
+fn l0_used_reasoned_suppression_is_clean() {
+    assert_clean("l0_clean.rs", CORE_PATH);
+}
+
+#[test]
+fn test_paths_are_exempt_from_source_lints() {
+    // Firing content under tests/ never produces findings.
+    let findings = lint_fixture(
+        "l3_firing.rs",
+        "crates/core/tests/fixture.rs",
+        &Options::default(),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+fn ws_root(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn l7_stale_doc_symbol_fires() {
+    let report = run_workspace(&ws_root("ws_firing"), &Options::default()).expect("lint ws_firing");
+    let l7: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == LintId::L7)
+        .collect();
+    assert_eq!(
+        l7.len(),
+        1,
+        "expected one L7 finding, got {:?}",
+        report.findings
+    );
+    assert_eq!(l7[0].file, "docs/guide.md");
+    assert!(
+        l7[0].message.contains("Engine::missing_method"),
+        "{}",
+        l7[0].message
+    );
+    // Disabling L7 removes exactly the doc finding.
+    let without = run_workspace(&ws_root("ws_firing"), &disabled(LintId::L7))
+        .expect("lint ws_firing without L7");
+    assert!(without.findings.iter().all(|f| f.lint != LintId::L7));
+    assert_eq!(without.findings.len(), report.findings.len() - 1);
+}
+
+#[test]
+fn l7_resolvable_doc_symbols_are_clean() {
+    let report = run_workspace(&ws_root("ws_clean"), &Options::default()).expect("lint ws_clean");
+    assert!(report.clean(), "{:?}", report.findings);
+    assert_eq!(report.docs_scanned, 1);
+}

@@ -1,0 +1,6 @@
+// L0 clean fixture: one well-formed, reasoned, and *used* suppression.
+
+pub fn head(xs: &[u64]) -> u64 {
+    // fremo-lint: allow(L3) -- callers uphold the non-empty contract.
+    *xs.first().expect("non-empty by contract")
+}

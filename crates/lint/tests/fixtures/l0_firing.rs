@@ -1,0 +1,12 @@
+// L0 firing fixture: suppression hygiene violations.
+
+// fremo-lint: allow(L3)
+pub fn missing_reason(xs: &[u64]) -> u64 {
+    *xs.first().expect("non-empty")
+}
+
+// fremo-lint: allow(L9) -- there is no ninth lint
+pub fn unknown_id() {}
+
+// fremo-lint: allow(L4) -- nothing on the next line is an atomic
+pub fn unused_suppression() {}

@@ -1,0 +1,18 @@
+// L1 clean fixture: total orders only.
+
+pub fn sort_total(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn sort_integer_key(xs: &mut [(u32, u32)]) {
+    xs.sort_unstable_by_key(|p| p.0);
+}
+
+pub fn min_by_ord(xs: &[(u32, u32)]) -> Option<&(u32, u32)> {
+    xs.iter().min_by(|a, b| a.0.cmp(&b.0))
+}
+
+pub fn integer_widening_key(xs: &mut Vec<u32>) {
+    // A key closure with no floats must not trip the float-key check.
+    xs.sort_unstable_by_key(|p| u64::from(*p));
+}

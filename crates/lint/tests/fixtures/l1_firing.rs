@@ -1,0 +1,19 @@
+// L1 firing fixture: every construct below breaks float total ordering.
+
+pub fn sort_partial(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn sort_raw_compare(xs: &mut [f64]) {
+    xs.sort_unstable_by(|a, b| {
+        if a < b {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+}
+
+pub fn min_with_float_key(xs: &[(u32, f64)]) -> Option<&(u32, f64)> {
+    xs.iter().min_by_key(|p| p.1 as f64 as u64)
+}

@@ -1,0 +1,36 @@
+// L2 clean fixture: keyed hash lookups plus ordered-container iteration.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Cache {
+    frames: HashMap<u64, usize>,
+    lru: BTreeMap<u64, usize>,
+}
+
+impl Cache {
+    pub fn get(&self, key: u64) -> Option<usize> {
+        self.frames.get(&key).copied()
+    }
+
+    pub fn put(&mut self, key: u64, v: usize) {
+        self.frames.insert(key, v);
+    }
+
+    pub fn known(&self, key: u64) -> bool {
+        self.frames.contains_key(&key)
+    }
+
+    pub fn ordered(&self) -> Vec<u64> {
+        // BTreeMap iteration is deterministic; only hash containers are
+        // restricted.
+        self.lru.keys().copied().collect()
+    }
+}
+
+pub fn sum(items: &[u64]) -> u64 {
+    let mut total = 0;
+    for v in items {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,29 @@
+// L2 firing fixture: hash-order iteration feeding results.
+
+use std::collections::HashMap;
+
+pub struct Cache {
+    frames: HashMap<u64, usize>,
+}
+
+impl Cache {
+    pub fn order(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for k in self.frames.keys() {
+            out.push(*k);
+        }
+        out
+    }
+
+    pub fn first(&self) -> Option<u64> {
+        self.frames.iter().next().map(|(k, _)| *k)
+    }
+}
+
+pub fn sweep(map: HashMap<String, u64>) -> u64 {
+    let mut sum = 0;
+    for v in map {
+        sum += v.1;
+    }
+    sum
+}

@@ -1,0 +1,29 @@
+// L3 clean fixture: errors propagate; panics stay in tests or behind a
+// reasoned suppression.
+
+pub fn take_first(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+pub fn must_parse(s: &str) -> Result<u64, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn with_default(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or_default()
+}
+
+pub fn head(xs: &[u64]) -> u64 {
+    // fremo-lint: allow(L3) -- callers uphold the non-empty contract;
+    // returning a default would hide their bug.
+    *xs.first().expect("non-empty by contract")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let xs = vec![1u64];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+// L3 firing fixture: panicking calls on library paths.
+
+pub fn take_first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn must_parse(s: &str) -> u64 {
+    s.parse().expect("caller passes digits")
+}
+
+pub fn not_yet() -> u64 {
+    todo!()
+}
+
+pub fn boom(flag: bool) -> u64 {
+    if flag {
+        panic!("flag was set");
+    }
+    0
+}

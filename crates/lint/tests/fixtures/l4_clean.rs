@@ -1,0 +1,18 @@
+// L4 clean fixture: every Relaxed and unsafe carries its argument.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn check(flag: &AtomicBool) -> bool {
+    // relaxed: monotonic flag; a stale read only delays a cooperative exit.
+    flag.load(Ordering::Relaxed)
+}
+
+pub fn set(flag: &AtomicBool) {
+    flag.store(true, std::sync::atomic::Ordering::Relaxed) // relaxed: see check()
+}
+
+pub fn reinterpret(x: u64) -> f64 {
+    // SAFETY: u64 and f64 have the same size and any bit pattern is a
+    // valid f64.
+    unsafe { std::mem::transmute(x) }
+}

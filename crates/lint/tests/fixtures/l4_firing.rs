@@ -1,0 +1,15 @@
+// L4 firing fixture: unjustified Relaxed atomics and bare unsafe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn check(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}
+
+pub fn set(flag: &AtomicBool) {
+    flag.store(true, std::sync::atomic::Ordering::Relaxed)
+}
+
+pub fn reinterpret(x: u64) -> f64 {
+    unsafe { std::mem::transmute(x) }
+}

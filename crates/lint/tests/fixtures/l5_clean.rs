@@ -1,0 +1,12 @@
+// L5 clean fixture: every allow records why the warning is wrong here.
+
+// lint: kept as an extension seam for the next PR's wiring.
+#[allow(dead_code)]
+fn helper() {}
+
+// lint: kernel entry threading prepared state; a struct would churn call
+// sites.
+#[allow(clippy::too_many_arguments)]
+pub fn wide(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) -> u8 {
+    a + b + c + d + e + f + g + h
+}

@@ -1,0 +1,9 @@
+// L5 firing fixture: allow attributes with no recorded reason.
+
+#[allow(dead_code)]
+fn helper() {}
+
+#[allow(clippy::too_many_arguments)]
+pub fn wide(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) -> u8 {
+    a + b + c + d + e + f + g + h
+}

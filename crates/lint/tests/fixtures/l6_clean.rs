@@ -1,0 +1,6 @@
+// L6 clean fixture (linted under a kernel path): exact f64 throughout.
+
+pub fn cell(a: f64, b: f64) -> f64 {
+    let scale = 1.5f64;
+    a.max(b) * scale
+}

@@ -1,0 +1,8 @@
+// L6 firing fixture (linted under a kernel path such as
+// crates/core/src/dp.rs): f32 arithmetic inside an exact kernel.
+
+pub fn cell(a: f64, b: f64) -> f64 {
+    let narrowed = a as f32;
+    let scale = 1.5f32;
+    f64::from(narrowed * scale) + b
+}

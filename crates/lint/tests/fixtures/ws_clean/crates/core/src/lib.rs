@@ -1,0 +1,9 @@
+//! Mini workspace used by the integration tests: fully clean.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn execute(&self, xs: &mut [f64]) {
+        xs.sort_by(|a, b| a.total_cmp(b));
+    }
+}

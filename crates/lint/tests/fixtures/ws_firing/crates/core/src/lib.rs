@@ -1,0 +1,9 @@
+//! Mini workspace used by the integration tests: one L1 violation.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn execute(&self, xs: &mut [f64]) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    }
+}

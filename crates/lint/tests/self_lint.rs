@@ -1,0 +1,121 @@
+//! The checker applied to its own workspace, plus CLI-level contract
+//! tests (exit codes and JSON output stability).
+
+use fremo_lint::{run_workspace, Options};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn ws_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn workspace_self_lint_is_clean() {
+    let report = run_workspace(&repo_root(), &Options::default()).expect("lint workspace");
+    assert!(
+        report.clean(),
+        "workspace must self-lint clean; findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually visited the real tree, not an empty dir.
+    assert!(report.files_scanned > 50, "{}", report.files_scanned);
+    assert!(report.docs_scanned >= 2, "{}", report.docs_scanned);
+}
+
+fn run_cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fremo-lint"))
+        .args(args)
+        .output()
+        .expect("spawn fremo-lint")
+}
+
+#[test]
+fn cli_exits_zero_on_clean_tree() {
+    let root = ws_root("ws_clean");
+    let out = run_cli(&["--workspace", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("0 findings"), "{text}");
+}
+
+#[test]
+fn cli_exits_one_on_findings() {
+    let root = ws_root("ws_firing");
+    let out = run_cli(&["--workspace", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("L1"), "{text}");
+    assert!(text.contains("L7"), "{text}");
+}
+
+#[test]
+fn cli_exits_two_on_usage_error() {
+    let out = run_cli(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn json_output_is_stable_across_runs() {
+    let root = ws_root("ws_firing");
+    let args = ["--workspace", "--root", root.to_str().unwrap(), "--json"];
+    let first = run_cli(&args);
+    let second = run_cli(&args);
+    assert_eq!(first.status.code(), Some(1));
+    assert_eq!(
+        first.stdout, second.stdout,
+        "JSON output must be byte-identical across runs"
+    );
+
+    let text = String::from_utf8(first.stdout).unwrap();
+    // Fixed schema markers consumers can rely on.
+    assert!(text.contains("\"version\": 1"), "{text}");
+    assert!(text.contains("\"count\": 2"), "{text}");
+    assert!(
+        text.contains("\"file\": \"crates/core/src/lib.rs\""),
+        "{text}"
+    );
+    assert!(text.contains("\"file\": \"docs/guide.md\""), "{text}");
+    assert!(text.contains("\"lint\": \"L1\""), "{text}");
+    assert!(text.contains("\"lint\": \"L7\""), "{text}");
+
+    // Findings are sorted by (file, line, lint): source before docs.
+    let l1_pos = text.find("\"lint\": \"L1\"").unwrap();
+    let l7_pos = text.find("\"lint\": \"L7\"").unwrap();
+    assert!(l1_pos < l7_pos, "{text}");
+}
+
+#[test]
+fn json_empty_report_shape_is_stable() {
+    let root = ws_root("ws_clean");
+    let out = run_cli(&["--workspace", "--root", root.to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"findings\": []"), "{text}");
+    assert!(text.contains("\"count\": 0"), "{text}");
+}
+
+#[test]
+fn disable_flag_silences_a_lint_end_to_end() {
+    let root = ws_root("ws_firing");
+    let out = run_cli(&[
+        "--workspace",
+        "--root",
+        root.to_str().unwrap(),
+        "--disable",
+        "L1",
+        "--disable",
+        "L7",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}

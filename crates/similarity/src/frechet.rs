@@ -120,6 +120,8 @@ pub fn dfd_with_coupling<P: GroundDistance>(a: &[P], b: &[P]) -> (f64, Vec<(usiz
                 best = Some((pi, pj, v));
             }
         }
+        // fremo-lint: allow(L3) -- the loop guard `i > 0 || j > 0` makes at
+        // least one of (-1,0)/(0,-1) land in bounds, so `best` is Some.
         let (pi, pj, _) = best.expect("interior cell always has a predecessor");
         i = pi;
         j = pj;
