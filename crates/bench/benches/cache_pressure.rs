@@ -34,7 +34,7 @@ const COLD: usize = 4;
 /// Rounds per workload run (each round = HOT + 1 queries).
 const ROUNDS: usize = 16;
 
-fn corpus(engine: &mut Engine<GeoPoint>) -> Vec<TrajId> {
+fn corpus(engine: &Engine<GeoPoint>) -> Vec<TrajId> {
     engine.register_all((0..(HOT + COLD) as u64).map(|seed| Dataset::GeoLife.generate(N, seed)))
 }
 
@@ -49,8 +49,8 @@ fn motif(id: TrajId) -> Query {
 /// tables), measured rather than assumed so the limit tracks any future
 /// change in entry layout.
 fn per_trajectory_footprint() -> usize {
-    let mut engine = Engine::new();
-    let ids = corpus(&mut engine);
+    let engine = Engine::new();
+    let ids = corpus(&engine);
     engine.execute(&motif(ids[0])).unwrap();
     engine.cache_bytes()
 }
@@ -66,7 +66,7 @@ fn cache_limit(footprint: usize) -> usize {
 /// trajectory. `wholesale` simulates the pre-buffer-manager policy by
 /// dropping the whole cache whenever the resident bytes exceed the
 /// limit (the engine itself never does this any more).
-fn run_workload(engine: &mut Engine<GeoPoint>, ids: &[TrajId], limit: usize, wholesale: bool) {
+fn run_workload(engine: &Engine<GeoPoint>, ids: &[TrajId], limit: usize, wholesale: bool) {
     for round in 0..ROUNDS {
         for &hot in &ids[..HOT] {
             engine.execute(&motif(hot)).unwrap();
@@ -89,26 +89,29 @@ fn bench_pressure(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("lru", |b| {
         b.iter(|| {
-            let mut engine = Engine::new().with_cache_limit(limit);
-            let ids = corpus(&mut engine);
-            run_workload(&mut engine, &ids, limit, false);
+            let engine = Engine::new().with_cache_limit(limit);
+            let ids = corpus(&engine);
+            run_workload(&engine, &ids, limit, false);
             std::hint::black_box(engine.stats().cache)
         })
     });
     group.bench_function("wholesale_clear", |b| {
         b.iter(|| {
-            let mut engine = Engine::new();
-            let ids = corpus(&mut engine);
-            run_workload(&mut engine, &ids, limit, true);
+            let engine = Engine::new();
+            let ids = corpus(&engine);
+            run_workload(&engine, &ids, limit, true);
             std::hint::black_box(engine.stats().cache)
         })
     });
     group.bench_function("lru_spill", |b| {
         let dir = std::env::temp_dir().join(format!("fremo-bench-spill-{}", std::process::id()));
         b.iter(|| {
-            let mut engine = Engine::new().with_cache_limit(limit).with_spill_dir(&dir);
-            let ids = corpus(&mut engine);
-            run_workload(&mut engine, &ids, limit, false);
+            let engine = Engine::new()
+                .with_cache_limit(limit)
+                .with_spill_dir(&dir)
+                .unwrap();
+            let ids = corpus(&engine);
+            run_workload(&engine, &ids, limit, false);
             std::hint::black_box(engine.stats().cache)
         });
         std::fs::remove_dir_all(&dir).ok();
@@ -125,23 +128,24 @@ fn verify_hit_rates() {
     let footprint = per_trajectory_footprint();
     let limit = cache_limit(footprint);
 
-    let mut lru = Engine::new().with_cache_limit(limit);
-    let ids = corpus(&mut lru);
-    run_workload(&mut lru, &ids, limit, false);
+    let lru = Engine::new().with_cache_limit(limit);
+    let ids = corpus(&lru);
+    run_workload(&lru, &ids, limit, false);
     let lru_report = lru.stats().cache;
 
-    let mut wholesale = Engine::new();
-    let ids = corpus(&mut wholesale);
-    run_workload(&mut wholesale, &ids, limit, true);
+    let wholesale = Engine::new();
+    let ids = corpus(&wholesale);
+    run_workload(&wholesale, &ids, limit, true);
     let wholesale_report = wholesale.stats().cache;
 
     let spill_dir =
         std::env::temp_dir().join(format!("fremo-bench-spill-verdict-{}", std::process::id()));
-    let mut spill = Engine::new()
+    let spill = Engine::new()
         .with_cache_limit(limit)
-        .with_spill_dir(&spill_dir);
-    let ids = corpus(&mut spill);
-    run_workload(&mut spill, &ids, limit, false);
+        .with_spill_dir(&spill_dir)
+        .unwrap();
+    let ids = corpus(&spill);
+    run_workload(&spill, &ids, limit, false);
     let spill_report = spill.stats().cache;
     drop(spill);
     std::fs::remove_dir_all(&spill_dir).ok();

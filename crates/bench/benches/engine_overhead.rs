@@ -39,7 +39,7 @@ fn bench_overhead(c: &mut Criterion) {
     });
 
     group.bench_function("engine_btm_cold", |b| {
-        let (mut engine, ids) = corpus(Dataset::GeoLife, N, 1, 7);
+        let (engine, ids) = corpus(Dataset::GeoLife, N, 1, 7);
         let q = query(ids[0]);
         b.iter(|| {
             engine.clear_cache();
@@ -48,7 +48,7 @@ fn bench_overhead(c: &mut Criterion) {
     });
 
     group.bench_function("engine_btm_warm", |b| {
-        let (mut engine, ids) = corpus(Dataset::GeoLife, N, 1, 7);
+        let (engine, ids) = corpus(Dataset::GeoLife, N, 1, 7);
         let q = query(ids[0]);
         b.iter(|| engine.execute(std::hint::black_box(&q)).unwrap())
     });
@@ -67,7 +67,7 @@ fn median_seconds(mut samples: Vec<f64>) -> f64 {
 /// `(direct, cold, warm)` median seconds.
 fn measure_medians(reps: usize) -> (f64, f64, f64) {
     let (t, cfg) = workload();
-    let (mut engine, ids) = corpus(Dataset::GeoLife, N, 1, 7);
+    let (engine, ids) = corpus(Dataset::GeoLife, N, 1, 7);
     let q = query(ids[0]);
 
     let mut direct = Vec::with_capacity(reps);

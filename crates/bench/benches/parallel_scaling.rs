@@ -25,7 +25,7 @@ const N: usize = 768;
 const XI: usize = 16;
 
 fn session() -> (Engine<GeoPoint>, TrajId) {
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(Dataset::GeoLife.generate(N, 31));
     (engine, id)
 }
@@ -47,7 +47,7 @@ fn bench_scaling(c: &mut Criterion) {
         ("parallel_4", ExecutionMode::Parallel { threads: 4 }),
     ] {
         group.bench_function(label, |b| {
-            let (mut engine, id) = session();
+            let (engine, id) = session();
             let q = query(id, mode);
             b.iter(|| {
                 engine.clear_cache();
@@ -68,7 +68,7 @@ fn median_seconds(mut samples: Vec<f64>) -> f64 {
 /// Interleaved cold-query medians for serial and 4-worker parallel
 /// execution, plus the bit-for-bit cross-check.
 fn measure_medians(reps: usize) -> (f64, f64) {
-    let (mut engine, id) = session();
+    let (engine, id) = session();
     let serial_q = query(id, ExecutionMode::Serial);
     let parallel_q = query(id, ExecutionMode::Parallel { threads: 4 });
 

@@ -125,7 +125,7 @@ pub fn run_algorithm_with_mode(
     // inside execute(), so Measurement.seconds (what the figures plot)
     // covers exactly the search + precomputation, as before; the clone
     // is O(n) noise against the O(n²)+ search in any measured workload.
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(trajectory.clone());
     let query = configured(Query::motif(id), config)
         .with_algorithm(algorithm.choice())
@@ -143,7 +143,7 @@ pub fn run_algorithm_between(
     b: &Trajectory<GeoPoint>,
     config: &MotifConfig,
 ) -> (Measurement, SearchStats) {
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let ida = engine.register(a.clone());
     let idb = engine.register(b.clone());
     let query = configured(Query::motif_between(ida, idb), config)

@@ -44,7 +44,7 @@ pub fn corpus(
     reps: usize,
     base_seed: u64,
 ) -> (Engine<GeoPoint>, Vec<TrajId>) {
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let ids = engine.register_all(trajectories(dataset, n, reps, base_seed));
     (engine, ids)
 }

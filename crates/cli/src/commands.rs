@@ -20,7 +20,7 @@ use fremo_trajectory::{GeoPoint, Trajectory, TrajectoryStats};
 
 use crate::args::Parsed;
 
-fn load(path_str: &str) -> Result<Trajectory<GeoPoint>, String> {
+pub(crate) fn load(path_str: &str) -> Result<Trajectory<GeoPoint>, String> {
     let path = Path::new(path_str);
     let result = if path
         .extension()
@@ -59,8 +59,8 @@ fn parse_bytes(raw: &str) -> Result<usize, String> {
 /// * `--spill-dir <dir>` writes evicted distance matrices to disk and
 ///   rehydrates them bit-identically instead of rebuilding
 ///   (see `docs/CACHING.md`).
-fn session_engine(args: &Parsed) -> Result<Engine<GeoPoint>, String> {
-    let mut engine = Engine::new();
+pub(crate) fn session_engine(args: &Parsed) -> Result<Engine<GeoPoint>, String> {
+    let engine = Engine::new();
     if let Some(raw) = args.optional("cache-limit") {
         engine.set_cache_limit(Some(parse_bytes(raw)?));
     }
@@ -70,7 +70,9 @@ fn session_engine(args: &Parsed) -> Result<Engine<GeoPoint>, String> {
                 "--spill-dir has no effect without --cache-limit (nothing is ever evicted)".into(),
             );
         }
-        engine.set_spill_dir(Some(Path::new(dir)));
+        engine
+            .set_spill_dir(Some(Path::new(dir)))
+            .map_err(|e| format!("--spill-dir {dir:?}: {e}"))?;
     }
     Ok(engine)
 }
@@ -151,14 +153,19 @@ pub fn inspect(args: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// The one stable JSON schema every engine-backed subcommand emits:
+/// The one stable JSON schema every engine-backed subcommand (and the
+/// `serve` protocol) emits:
 ///
 /// ```json
 /// {
-///   "query": "<motif|topk|motif-pair|compare>",
+///   "query": "<motif|topk|motif-pair|compare|join|cluster>",
 ///   "algorithm": "<resolved algorithm name>",
 ///   "motifs": [ { "first": {"start", "end"}, "second": {...}, "dfd" } ],
 ///   "measures": { ... } | null,
+///   "join": { "pairs": [[a,b], ...], "pruned_endpoints",
+///             "pruned_hausdorff", "verified" } | null,
+///   "clusters": [ { "representative": {"start", "end"},
+///                   "members": [ {"start", "end"}, ... ] } ] | null,
 ///   "stats": { "seconds", "peak_bytes", "pruned_fraction",
 ///              "subsets_total", "subsets_expanded" },
 ///   "wall_seconds": <engine wall time>,
@@ -193,11 +200,35 @@ pub fn outcome_to_json(label: &str, outcome: &QueryOutcome) -> serde_json::Value
             "epsilon": p.epsilon,
         })
     });
+    let span = |(start, end): (usize, usize)| serde_json::json!({ "start": start, "end": end });
+    let join = outcome.join().map(|j| {
+        serde_json::json!({
+            "pairs": j.pairs
+                .iter()
+                .map(|&(a, b)| serde_json::json!([a, b]))
+                .collect::<Vec<_>>(),
+            "pruned_endpoints": j.pruned_endpoints,
+            "pruned_hausdorff": j.pruned_hausdorff,
+            "verified": j.verified,
+        })
+    });
+    let clusters = outcome.clusters().map(|cs| {
+        cs.iter()
+            .map(|c| {
+                serde_json::json!({
+                    "representative": span(c.representative),
+                    "members": c.members.iter().map(|&m| span(m)).collect::<Vec<_>>(),
+                })
+            })
+            .collect::<Vec<_>>()
+    });
     serde_json::json!({
         "query": label,
         "algorithm": outcome.algorithm,
         "motifs": motifs,
         "measures": measures,
+        "join": join,
+        "clusters": clusters,
         "stats": {
             "seconds": outcome.stats.total_seconds,
             "peak_bytes": outcome.stats.peak_bytes(),
@@ -276,7 +307,7 @@ pub fn discover(args: &Parsed) -> Result<(), String> {
         return Err("--xi must be at least 1".into());
     }
 
-    let mut engine = session_engine(args)?;
+    let engine = session_engine(args)?;
     let id = engine.register(t);
 
     let k: usize = args.parsed_or("k", 1)?;
@@ -326,7 +357,7 @@ pub fn discover_pair(args: &Parsed) -> Result<(), String> {
         return Err("--xi must be at least 1".into());
     }
 
-    let mut engine = session_engine(args)?;
+    let engine = session_engine(args)?;
     let ida = engine.register(a);
     let idb = engine.register(b);
     let query = tuned(Query::motif_between(ida, idb), args)?
@@ -343,7 +374,7 @@ pub fn compare(args: &Parsed) -> Result<(), String> {
     let b = load(args.required("b")?)?;
     let eps: f64 = args.parsed_or("epsilon", 25.0)?;
 
-    let mut engine = session_engine(args)?;
+    let engine = session_engine(args)?;
     let ida = engine.register(a);
     let idb = engine.register(b);
     let outcome = engine

@@ -10,14 +10,17 @@
 //! fremo discover-pair --a one.csv --b two.csv --xi 100
 //! fremo compare   --a one.csv --b two.csv [--epsilon 25] [--json]
 //! fremo experiment <table1|fig02..fig21|ext-approx|ext-topk|ext-join|ext-parallel>
+//! fremo serve     --corpus a.csv,b.csv [--addr 127.0.0.1:0] [--max-clients 32] ...
 //! ```
 //!
 //! Analysis subcommands run through the [`fremo_core::engine::Engine`]
 //! facade; `--json` emits the stable schema documented on
-//! [`commands::outcome_to_json`].
+//! [`commands::outcome_to_json`]. `serve` answers the same schema over a
+//! line-delimited JSON socket protocol (see `docs/SERVING.md`).
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 
 /// Dispatches a full argument vector (without the program name).
 ///
@@ -38,6 +41,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "discover-pair" => commands::discover_pair(&args::Parsed::parse(rest)?),
         "compare" => commands::compare(&args::Parsed::parse(rest)?),
         "experiment" => commands::experiment(rest),
+        "serve" => serve::serve(&args::Parsed::parse(rest)?),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -62,6 +66,11 @@ USAGE:
                   [--cache-limit <bytes>] [--spill-dir <dir>] [--json]
   fremo compare   --a <csv> --b <csv> [--epsilon <m>] [--json]
   fremo experiment <table1|fig02|fig03|fig13..fig21|ext-approx|ext-topk|ext-join|ext-parallel>
+  fremo serve     [--addr 127.0.0.1:0] [--corpus <csv[,csv...]>]
+                  [--dataset <name> --n <len> --count <k> --seed <u64>]
+                  [--max-clients 32] [--tenant-queries 4] [--tenant-threads <n>]
+                  [--budget-seconds <s>] [--budget-subsets <n>]
+                  [--cache-limit <bytes>] [--spill-dir <dir>]
 
 Trajectories are lat,lon[,t] CSV files (GeoLife PLT is accepted for *.plt inputs).
 The default --algorithm auto picks BruteDP/BTM/GTM/GTM* from n and ξ (paper Section 6).
@@ -70,6 +79,9 @@ are bit-for-bit identical to serial); without it large inputs parallelize automa
 --cache-limit <bytes> caps resident cache memory with per-entry LRU eviction (suffixes
 k/m/g accepted, e.g. 64m); --spill-dir <dir> keeps evicted distance matrices on disk
 and rehydrates them bit-identically (see docs/CACHING.md).
+serve answers the same JSON schema over a line protocol on a TCP socket: one request
+object per line in, one response per line out (docs/SERVING.md has the schema); it
+prints `listening <addr>` once bound and drains cleanly on an {{\"op\":\"shutdown\"}} request.
 Set FREMO_SCALE=smoke|default|full to size the experiments, FREMO_THREADS to cap workers."
     );
 }

@@ -1,0 +1,694 @@
+//! `fremo serve` — a thread-per-connection query server over one shared
+//! [`Engine`].
+//!
+//! The server loads (or generates) a trajectory corpus once, then serves
+//! concurrent clients over a line protocol: each request is one JSON
+//! object on one line, each response is one JSON object on one line, in
+//! request order per connection. Results are computed through per-client
+//! [`fremo_core::engine::Session`] handles on the shared engine, so
+//! concurrent clients share cached distance matrices and bound tables —
+//! and, by the engine's core guarantee, see answers bit-for-bit identical
+//! to a serial run on a private engine. See `docs/SERVING.md` for the
+//! full protocol schema and the concurrency model.
+//!
+//! ## Admission control
+//!
+//! Three independent gates bound what a busy server takes on:
+//!
+//! * `--max-clients <n>` caps concurrent connections; a client over the
+//!   cap receives one `{"ok":false,"error":"server at capacity"}` line
+//!   and is disconnected (fail fast beats queueing connects).
+//! * `--tenant-queries <n>` caps *in-flight queries per tenant* (the
+//!   optional `"tenant"` request field; connections that send none share
+//!   the `""` tenant). Excess queries block in admission until a slot
+//!   frees — order within one connection is preserved regardless.
+//! * `--tenant-threads <n>` clamps the worker threads any single query
+//!   may use, after the usual [`resolve_threads`] resolution of the
+//!   request's `"threads"` field against `FREMO_THREADS`. Clamping never
+//!   changes answers (parallel results are bit-identical to serial).
+//!
+//! `--budget-seconds` / `--budget-subsets` set server-side ceilings on
+//! every query's [`QueryBudget`]; a client may request a *smaller* budget
+//! but cannot exceed the server's.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use fremo_core::engine::{
+    AlgorithmChoice, Engine, ExecutionMode, Query, QueryBudget, QueryBuilder, TrajId,
+};
+use fremo_core::pool::resolve_threads;
+use fremo_trajectory::gen::Dataset;
+use fremo_trajectory::GeoPoint;
+use serde_json::Value;
+
+use crate::args::Parsed;
+use crate::commands::{load, outcome_to_json, session_engine};
+
+/// How long a connection handler waits on a quiet socket before
+/// re-checking the shutdown flag. Bounds the drain time of `shutdown`
+/// without imposing any request timeout on clients.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Server configuration resolved from the command line.
+struct ServeConfig {
+    addr: String,
+    max_clients: usize,
+    tenant_queries: usize,
+    tenant_threads: usize,
+    budget_seconds: Option<f64>,
+    budget_subsets: Option<u64>,
+}
+
+impl ServeConfig {
+    fn from_args(args: &Parsed) -> Result<Self, String> {
+        let max_clients: usize = args.parsed_or("max-clients", 32)?;
+        if max_clients == 0 {
+            return Err("--max-clients must be at least 1".into());
+        }
+        let tenant_queries: usize = args.parsed_or("tenant-queries", 4)?;
+        if tenant_queries == 0 {
+            return Err("--tenant-queries must be at least 1".into());
+        }
+        let budget_seconds = match args.optional("budget-seconds") {
+            None => None,
+            Some(raw) => {
+                let secs: f64 = raw
+                    .parse()
+                    .map_err(|e| format!("invalid value for --budget-seconds: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--budget-seconds must be finite and ≥ 0".into());
+                }
+                Some(secs)
+            }
+        };
+        Ok(ServeConfig {
+            addr: args.optional("addr").unwrap_or("127.0.0.1:0").to_string(),
+            max_clients,
+            tenant_queries,
+            tenant_threads: args.parsed_or("tenant-threads", 0)?,
+            budget_seconds,
+            budget_subsets: match args.optional("budget-subsets") {
+                None => None,
+                Some(raw) => Some(
+                    raw.parse()
+                        .map_err(|e| format!("invalid value for --budget-subsets: {e}"))?,
+                ),
+            },
+        })
+    }
+}
+
+/// Per-tenant in-flight query gate: [`TenantGate::admit`] blocks while
+/// the tenant is at its cap, and the returned permit frees the slot on
+/// drop (including panic unwinds).
+struct TenantGate {
+    cap: usize,
+    inflight: Mutex<HashMap<String, usize>>,
+    freed: Condvar,
+}
+
+impl TenantGate {
+    fn new(cap: usize) -> Self {
+        TenantGate {
+            cap,
+            inflight: Mutex::new(HashMap::new()),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn admit<'g>(&'g self, tenant: &str) -> TenantPermit<'g> {
+        let mut inflight = self.inflight.lock().expect("tenant gate poisoned");
+        loop {
+            let count = inflight.entry(tenant.to_string()).or_insert(0);
+            if *count < self.cap {
+                *count += 1;
+                return TenantPermit {
+                    gate: self,
+                    tenant: tenant.to_string(),
+                };
+            }
+            inflight = self.freed.wait(inflight).expect("tenant gate poisoned");
+        }
+    }
+}
+
+struct TenantPermit<'g> {
+    gate: &'g TenantGate,
+    tenant: String,
+}
+
+impl Drop for TenantPermit<'_> {
+    fn drop(&mut self) {
+        let mut inflight = self.gate.inflight.lock().expect("tenant gate poisoned");
+        if let Some(count) = inflight.get_mut(&self.tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                inflight.remove(&self.tenant);
+            }
+        }
+        drop(inflight);
+        self.gate.freed.notify_all();
+    }
+}
+
+/// Builds the corpus: every `--corpus` CSV/PLT path (comma-separated),
+/// plus `--count` generated trajectories when `--dataset` is given.
+fn build_corpus(args: &Parsed, engine: &Engine<GeoPoint>) -> Result<Vec<TrajId>, String> {
+    let mut ids = Vec::new();
+    if let Some(list) = args.optional("corpus") {
+        for path in list.split(',').filter(|p| !p.trim().is_empty()) {
+            ids.push(engine.register(load(path.trim())?));
+        }
+    }
+    if let Some(raw) = args.optional("dataset") {
+        let dataset: Dataset = raw.parse()?;
+        let n: usize = args.required_parsed("n")?;
+        let count: usize = args.parsed_or("count", 1)?;
+        let seed: u64 = args.parsed_or("seed", 1)?;
+        for i in 0..count {
+            ids.push(engine.register(dataset.generate(n, seed.wrapping_add(i as u64))));
+        }
+    }
+    if ids.is_empty() {
+        return Err(
+            "empty corpus: pass --corpus <csv[,csv...]> and/or --dataset <name> --n <len> \
+             [--count <k>] [--seed <u64>]"
+                .into(),
+        );
+    }
+    Ok(ids)
+}
+
+/// `fremo serve [--addr 127.0.0.1:0] [--corpus <csv[,csv...]>]
+/// [--dataset <name> --n <len> --count <k> --seed <u64>]
+/// [--max-clients 32] [--tenant-queries 4] [--tenant-threads <n>]
+/// [--budget-seconds <s>] [--budget-subsets <n>]
+/// [--cache-limit <bytes>] [--spill-dir <dir>]`
+///
+/// Prints `listening <addr>` on stdout once the socket is bound (with
+/// `--addr` port 0 this is how callers learn the ephemeral port), then
+/// serves until a client sends `{"op":"shutdown"}`. Shutdown drains:
+/// the listener stops accepting and every open connection finishes its
+/// in-flight request before the process exits.
+pub fn serve(args: &Parsed) -> Result<(), String> {
+    let config = ServeConfig::from_args(args)?;
+    let engine = session_engine(args)?;
+    let corpus = build_corpus(args, &engine)?;
+
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve local addr: {e}"))?;
+    println!("listening {local}");
+    // The line above is the readiness signal clients wait for; make sure
+    // it is not sitting in a stdio buffer.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {} trajectories; max {} clients, {} queries/tenant",
+        corpus.len(),
+        config.max_clients,
+        config.tenant_queries
+    );
+
+    let shutdown = AtomicBool::new(false);
+    let active = AtomicUsize::new(0);
+    let gate = TenantGate::new(config.tenant_queries);
+
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            // The shutdown response the client already received is the
+            // only ordering that matters; it was flushed pre-store.
+            // relaxed: standalone flag, no data rides on it.
+            if shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Best-effort admission count: an off-by-one race briefly
+            // over-admits, it cannot corrupt anything.
+            // relaxed: gate-only counter (increment and undo alike).
+            if active.fetch_add(1, Ordering::Relaxed) >= config.max_clients {
+                active.fetch_sub(1, Ordering::Relaxed);
+                reject_over_capacity(stream);
+                continue;
+            }
+            let engine = &engine;
+            let corpus = &corpus;
+            let config = &config;
+            let shutdown = &shutdown;
+            let active = &active;
+            let gate = &gate;
+            scope.spawn(move || {
+                let _ = handle_connection(stream, engine, corpus, config, gate, shutdown, local);
+                // relaxed: see the admission count above.
+                active.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    });
+    Ok(())
+}
+
+/// Tells an over-capacity client why it is being disconnected.
+fn reject_over_capacity(stream: TcpStream) {
+    let mut out = BufWriter::new(stream);
+    let _ = writeln!(
+        out,
+        r#"{{"ok":false,"error":"server at capacity, retry later"}}"#
+    );
+}
+
+/// One connection: read a request line, answer it, repeat until EOF or
+/// shutdown. Responses stay in request order because each connection is
+/// handled by exactly one thread.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine<GeoPoint>,
+    corpus: &[TrajId],
+    config: &ServeConfig,
+    gate: &TenantGate,
+    shutdown: &AtomicBool,
+    local: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut session = engine.session();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // relaxed: standalone flag, polled; see `serve`.
+                if shutdown.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond(&line, &mut session, corpus, config, gate, shutdown);
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+        // relaxed: standalone flag; the response just flushed is the
+        // only thing the client must see before we go away.
+        if shutdown.load(Ordering::Relaxed) {
+            // Wake the accept loop so `serve` can observe the flag even
+            // with no further client connecting.
+            let _ = TcpStream::connect(local);
+            return Ok(());
+        }
+    }
+}
+
+/// Answers one request line with one response line (never panics on bad
+/// input; protocol errors become `{"ok":false,...}` responses).
+fn respond(
+    line: &str,
+    session: &mut fremo_core::engine::Session<'_, GeoPoint>,
+    corpus: &[TrajId],
+    config: &ServeConfig,
+    gate: &TenantGate,
+    shutdown: &AtomicBool,
+) -> String {
+    let request = match serde_json::from_str(line.trim()) {
+        Ok(v) => v,
+        Err(e) => return error_line(None, &format!("bad JSON: {e}")),
+    };
+    let seq = request.get("seq").and_then(Value::as_u64);
+    match answer(&request, session, corpus, config, gate, shutdown) {
+        Ok(mut body) => {
+            finish_line(&mut body, seq, true);
+            body.to_string()
+        }
+        Err(msg) => error_line(seq, &msg),
+    }
+}
+
+fn error_line(seq: Option<u64>, msg: &str) -> String {
+    let mut body = serde_json::json!({ "error": msg });
+    finish_line(&mut body, seq, false);
+    body.to_string()
+}
+
+/// Prepends `"ok"` (and the echoed `"seq"`, when the client sent one) to
+/// a response object.
+fn finish_line(body: &mut Value, seq: Option<u64>, ok: bool) {
+    if let Value::Object(entries) = body {
+        if let Some(seq) = seq {
+            entries.insert(0, ("seq".to_string(), Value::from(seq)));
+        }
+        entries.insert(0, ("ok".to_string(), Value::Bool(ok)));
+    }
+}
+
+/// Dispatches one parsed request. Query ops run through the session and
+/// serialize via [`outcome_to_json`] — the same schema the `--json` CLI
+/// flag emits.
+fn answer(
+    request: &Value,
+    session: &mut fremo_core::engine::Session<'_, GeoPoint>,
+    corpus: &[TrajId],
+    config: &ServeConfig,
+    gate: &TenantGate,
+    shutdown: &AtomicBool,
+) -> Result<Value, String> {
+    let op = request
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"op\"")?;
+    match op {
+        "shutdown" => {
+            // relaxed: standalone flag; the acknowledging response is
+            // written (and flushed) after this store by the caller.
+            shutdown.store(true, Ordering::Relaxed);
+            Ok(serde_json::json!({ "shutdown": true }))
+        }
+        "stats" => {
+            let engine = session.engine();
+            let stats = engine.stats();
+            Ok(serde_json::json!({
+                "trajectories": corpus.len(),
+                "queries": stats.queries,
+                "cache_bytes": engine.cache_bytes(),
+            }))
+        }
+        _ => {
+            let (label, query) = build_query(op, request, corpus, config)?;
+            let tenant = request.get("tenant").and_then(Value::as_str).unwrap_or("");
+            let permit = gate.admit(tenant);
+            let outcome = session.execute(&query).map_err(|e| e.to_string())?;
+            drop(permit);
+            Ok(outcome_to_json(label, &outcome))
+        }
+    }
+}
+
+/// Looks a corpus index up, by request field name.
+fn traj(request: &Value, field: &str, corpus: &[TrajId]) -> Result<TrajId, String> {
+    let idx = request
+        .get(field)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field {field:?}"))? as usize;
+    corpus
+        .get(idx)
+        .copied()
+        .ok_or_else(|| format!("{field}={idx} out of range (corpus has {})", corpus.len()))
+}
+
+/// Looks an array of corpus indices up, by request field name.
+fn traj_list(request: &Value, field: &str, corpus: &[TrajId]) -> Result<Vec<TrajId>, String> {
+    let items = request
+        .get(field)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing array field {field:?}"))?;
+    items
+        .iter()
+        .map(|v| {
+            let idx = v
+                .as_u64()
+                .ok_or_else(|| format!("field {field:?} must hold non-negative integers"))?
+                as usize;
+            corpus
+                .get(idx)
+                .copied()
+                .ok_or_else(|| format!("{field}[{idx}] out of range (corpus has {})", corpus.len()))
+        })
+        .collect()
+}
+
+fn positive_f64(request: &Value, field: &str) -> Result<f64, String> {
+    let eps = request
+        .get(field)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing number field {field:?}"))?;
+    if !eps.is_finite() || eps < 0.0 {
+        return Err(format!("field {field:?} must be finite and ≥ 0"));
+    }
+    Ok(eps)
+}
+
+/// Translates a request object into an engine [`Query`], applying the
+/// server's tenant thread clamp and budget ceilings.
+fn build_query(
+    op: &str,
+    request: &Value,
+    corpus: &[TrajId],
+    config: &ServeConfig,
+) -> Result<(&'static str, Query), String> {
+    let xi = || -> Result<usize, String> {
+        let xi = request
+            .get("xi")
+            .and_then(Value::as_u64)
+            .ok_or("missing integer field \"xi\"")? as usize;
+        if xi == 0 {
+            return Err("field \"xi\" must be at least 1".into());
+        }
+        Ok(xi)
+    };
+    let (label, builder): (&'static str, QueryBuilder) = match op {
+        "motif" => (
+            "motif",
+            Query::motif(traj(request, "id", corpus)?).xi(xi()?),
+        ),
+        "topk" => {
+            let k = request.get("k").and_then(Value::as_u64).unwrap_or(1) as usize;
+            (
+                "topk",
+                Query::top_k(traj(request, "id", corpus)?, k).xi(xi()?),
+            )
+        }
+        "motif-between" => (
+            "motif-pair",
+            Query::motif_between(traj(request, "a", corpus)?, traj(request, "b", corpus)?)
+                .xi(xi()?),
+        ),
+        "join" => (
+            "join",
+            Query::join(
+                traj_list(request, "ids", corpus)?,
+                positive_f64(request, "eps")?,
+            ),
+        ),
+        "join-between" => (
+            "join",
+            Query::join_between(
+                traj_list(request, "a", corpus)?,
+                traj_list(request, "b", corpus)?,
+                positive_f64(request, "eps")?,
+            ),
+        ),
+        "cluster" => {
+            let window = request
+                .get("window")
+                .and_then(Value::as_u64)
+                .ok_or("missing integer field \"window\"")? as usize;
+            let stride = request
+                .get("stride")
+                .and_then(Value::as_u64)
+                .ok_or("missing integer field \"stride\"")? as usize;
+            (
+                "cluster",
+                Query::cluster(
+                    traj(request, "id", corpus)?,
+                    window,
+                    stride,
+                    positive_f64(request, "eps")?,
+                ),
+            )
+        }
+        "measures" => (
+            "compare",
+            Query::measures(
+                traj(request, "a", corpus)?,
+                traj(request, "b", corpus)?,
+                positive_f64(request, "eps")?,
+            ),
+        ),
+        other => return Err(format!("unknown op {other:?}")),
+    };
+
+    let mut builder = builder;
+    if let Some(tau) = request.get("tau").and_then(Value::as_u64) {
+        builder = builder.group_size((tau as usize).max(1));
+    }
+    if let Some(name) = request.get("algorithm").and_then(Value::as_str) {
+        let choice: AlgorithmChoice = name.parse().map_err(|e| format!("{e}"))?;
+        builder = builder.algorithm(choice);
+    }
+
+    // Thread clamp: resolve the request (0 = global budget) exactly as
+    // the CLI would, then apply the per-tenant ceiling. Clamping cannot
+    // change results — parallel answers are bit-identical to serial.
+    let requested = request
+        .get("threads")
+        .and_then(Value::as_u64)
+        .map(|t| t as usize);
+    if requested.is_some() || config.tenant_threads > 0 {
+        let mut threads = resolve_threads(requested.unwrap_or(0));
+        if config.tenant_threads > 0 {
+            threads = threads.min(config.tenant_threads);
+        }
+        builder = builder.execution(ExecutionMode::Parallel { threads });
+    }
+
+    // Budget: the client may shrink its own budget but never exceed the
+    // server ceiling.
+    let secs = match (
+        request.get("budget_seconds").and_then(Value::as_f64),
+        config.budget_seconds,
+    ) {
+        (Some(client), Some(cap)) => Some(client.min(cap)),
+        (client, cap) => client.or(cap),
+    };
+    let subsets = match (
+        request.get("budget_subsets").and_then(Value::as_u64),
+        config.budget_subsets,
+    ) {
+        (Some(client), Some(cap)) => Some(client.min(cap)),
+        (client, cap) => client.or(cap),
+    };
+    let mut budget = QueryBudget::default();
+    if let Some(secs) = secs {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err("field \"budget_seconds\" must be finite and ≥ 0".into());
+        }
+        budget = budget.with_max_seconds(secs);
+    }
+    if let Some(subsets) = subsets {
+        budget = budget.with_max_subsets(subsets);
+    }
+    if !budget.is_unlimited() {
+        builder = builder.budget(budget);
+    }
+    Ok((label, builder.build()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus_of(engine: &Engine<GeoPoint>, count: usize) -> Vec<TrajId> {
+        engine.register_all((0..count).map(|s| Dataset::GeoLife.generate(64, s as u64)))
+    }
+
+    #[test]
+    fn requests_map_to_queries_and_bad_input_is_an_error() {
+        let engine = Engine::new();
+        let ids = corpus_of(&engine, 3);
+        assert_eq!(ids.len(), 3);
+        let config = ServeConfig {
+            addr: String::new(),
+            max_clients: 4,
+            tenant_queries: 2,
+            tenant_threads: 2,
+            budget_seconds: Some(10.0),
+            budget_subsets: None,
+        };
+        let ok = serde_json::from_str(r#"{"op":"motif","id":0,"xi":8,"threads":16}"#).unwrap();
+        let (label, _query) = build_query("motif", &ok, &ids, &config).unwrap();
+        assert_eq!(label, "motif");
+
+        for bad in [
+            r#"{"op":"motif","xi":8}"#,                  // missing id
+            r#"{"op":"motif","id":9,"xi":8}"#,           // out of range
+            r#"{"op":"motif","id":0}"#,                  // missing xi
+            r#"{"op":"motif","id":0,"xi":0}"#,           // zero xi
+            r#"{"op":"join","ids":[0,"x"],"eps":1.0}"#,  // non-integer id
+            r#"{"op":"cluster","id":0,"eps":1.0}"#,      // missing window
+            r#"{"op":"measures","a":0,"b":1,"eps":-1}"#, // negative eps
+        ] {
+            let v = serde_json::from_str(bad).unwrap();
+            let op = v["op"].as_str().unwrap().to_string();
+            assert!(
+                build_query(&op, &v, &ids, &config).is_err(),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_carry_ok_flag_and_echo_seq() {
+        let engine = Engine::new();
+        let ids = corpus_of(&engine, 1);
+        let config = ServeConfig {
+            addr: String::new(),
+            max_clients: 4,
+            tenant_queries: 2,
+            tenant_threads: 0,
+            budget_seconds: None,
+            budget_subsets: None,
+        };
+        let gate = TenantGate::new(config.tenant_queries);
+        let shutdown = AtomicBool::new(false);
+        let mut session = engine.session();
+
+        let good = respond(
+            r#"{"op":"motif","id":0,"xi":8,"seq":7}"#,
+            &mut session,
+            &ids,
+            &config,
+            &gate,
+            &shutdown,
+        );
+        let v = serde_json::from_str(&good).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v["seq"].as_u64(), Some(7));
+        assert_eq!(v["query"].as_str(), Some("motif"));
+
+        let bad = respond("not json", &mut session, &ids, &config, &gate, &shutdown);
+        let v = serde_json::from_str(&bad).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        assert!(v["error"].as_str().unwrap().contains("bad JSON"));
+
+        let down = respond(
+            r#"{"op":"shutdown"}"#,
+            &mut session,
+            &ids,
+            &config,
+            &gate,
+            &shutdown,
+        );
+        let v = serde_json::from_str(&down).unwrap();
+        assert_eq!(v["shutdown"].as_bool(), Some(true));
+        assert!(shutdown.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn tenant_gate_blocks_at_cap_and_frees_on_drop() {
+        let gate = TenantGate::new(1);
+        let a = gate.admit("t");
+        // A second tenant is unaffected by the first's slot.
+        let other = gate.admit("u");
+        drop(other);
+        // The same tenant's next query blocks until the permit drops.
+        let blocked = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _b = gate.admit("t");
+                blocked.store(true, Ordering::Relaxed);
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(!blocked.load(Ordering::Relaxed), "cap was not enforced");
+            drop(a);
+        });
+        assert!(blocked.load(Ordering::Relaxed));
+    }
+}

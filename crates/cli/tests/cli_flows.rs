@@ -400,7 +400,7 @@ fn json_schema_is_stable_across_commands() {
     use fremo_core::engine::{Engine, Query};
     use fremo_trajectory::gen::Dataset;
 
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let a = engine.register(Dataset::GeoLife.generate(120, 1));
     let b = engine.register(Dataset::GeoLife.generate(100, 2));
 

@@ -1,0 +1,260 @@
+//! Smoke test for `fremo serve`: spawn the real binary, fire pipelined
+//! queries at it from many client threads at once, and diff every
+//! response against a serial run of the same corpus through the library
+//! engine.
+//!
+//! Eight clients × seven pipelined requests each = 56 concurrent
+//! queries over one shared server engine. Responses must arrive in
+//! request order per connection (the protocol guarantee), echo their
+//! `seq`, and carry results bit-identical to the serial baseline —
+//! timing fields (`stats`, `wall_seconds`, `cache`) are the only parts
+//! of the schema allowed to differ.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use fremo_cli::commands::outcome_to_json;
+use fremo_core::engine::{Engine, ExecutionMode, Query, QueryBuilder, TrajId};
+use fremo_trajectory::gen::Dataset;
+use serde_json::Value;
+
+const CLIENTS: usize = 8;
+const CORPUS: usize = 3;
+const N: usize = 64;
+const SEED: u64 = 11;
+
+/// The request set every client pipelines, as (request-JSON, label,
+/// builder) triples. `seq` is attached per client.
+fn request_set(ids: &[TrajId]) -> Vec<(String, &'static str, Query)> {
+    let parallel = |b: QueryBuilder| b.execution(ExecutionMode::Parallel { threads: 2 });
+    vec![
+        (
+            r#"{"op":"motif","id":0,"xi":8}"#.into(),
+            "motif",
+            Query::motif(ids[0]).xi(8).build(),
+        ),
+        (
+            r#"{"op":"motif","id":1,"xi":10,"threads":2}"#.into(),
+            "motif",
+            parallel(Query::motif(ids[1]).xi(10)).build(),
+        ),
+        (
+            r#"{"op":"topk","id":0,"k":3,"xi":8}"#.into(),
+            "topk",
+            Query::top_k(ids[0], 3).xi(8).build(),
+        ),
+        (
+            r#"{"op":"motif-between","a":0,"b":2,"xi":8}"#.into(),
+            "motif-pair",
+            Query::motif_between(ids[0], ids[2]).xi(8).build(),
+        ),
+        (
+            r#"{"op":"join","ids":[0,1,2],"eps":120.0}"#.into(),
+            "join",
+            Query::join(ids.to_vec(), 120.0).build(),
+        ),
+        (
+            r#"{"op":"cluster","id":2,"window":16,"stride":8,"eps":60.0}"#.into(),
+            "cluster",
+            Query::cluster(ids[2], 16, 8, 60.0).build(),
+        ),
+        (
+            r#"{"op":"measures","a":1,"b":2,"eps":25.0}"#.into(),
+            "compare",
+            Query::measures(ids[1], ids[2], 25.0).build(),
+        ),
+    ]
+}
+
+/// Serial baseline: the deterministic part of each expected response.
+fn baseline() -> Vec<Value> {
+    let engine = Engine::new();
+    let ids: Vec<TrajId> =
+        engine.register_all((0..CORPUS).map(|i| Dataset::GeoLife.generate(N, SEED + i as u64)));
+    request_set(&ids)
+        .into_iter()
+        .map(|(_, label, query)| {
+            let outcome = engine.execute(&query).unwrap();
+            deterministic(&outcome_to_json(label, &outcome))
+        })
+        .collect()
+}
+
+/// Strips the timing fields a live server cannot reproduce, keeping
+/// everything the determinism guarantee covers.
+fn deterministic(response: &Value) -> Value {
+    let keep = [
+        "query",
+        "algorithm",
+        "motifs",
+        "measures",
+        "join",
+        "clusters",
+        "truncated",
+    ];
+    match response {
+        Value::Object(entries) => Value::Object(
+            entries
+                .iter()
+                .filter(|(k, _)| keep.contains(&k.as_str()))
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn spawn() -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_fremo"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--dataset",
+                "geolife",
+                "--n",
+                &N.to_string(),
+                "--count",
+                &CORPUS.to_string(),
+                "--seed",
+                &SEED.to_string(),
+                "--max-clients",
+                "16",
+                "--tenant-queries",
+                "2",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn fremo serve");
+        let stdout = child.stdout.take().expect("captured stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read readiness line");
+        let addr = line
+            .strip_prefix("listening ")
+            .unwrap_or_else(|| panic!("unexpected readiness line {line:?}"))
+            .trim()
+            .to_string();
+        Server { child, addr }
+    }
+
+    fn shutdown(mut self) {
+        let stream = TcpStream::connect(&self.addr).expect("connect for shutdown");
+        let mut writer = stream.try_clone().expect("clone stream");
+        writeln!(writer, r#"{{"op":"shutdown"}}"#).expect("send shutdown");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_line(&mut response)
+            .expect("read shutdown ack");
+        assert!(response.contains("\"shutdown\":true"), "got {response:?}");
+        let status = self.child.wait().expect("server exit status");
+        assert!(status.success(), "server exited with {status:?}");
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Only reached when an assertion failed before `shutdown`.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn pipelined_concurrent_clients_match_the_serial_baseline() {
+    let expected = baseline();
+    let server = Server::spawn();
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let addr = server.addr.clone();
+            let expected = &expected;
+            scope.spawn(move || {
+                let stream = TcpStream::connect(&addr).expect("connect");
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+
+                // Pipeline the full request set in one burst — no
+                // waiting for responses in between — with a per-client
+                // tenant so the admission gate sees distinct tenants.
+                let engine = Engine::new();
+                let ids: Vec<TrajId> = engine.register_all(
+                    (0..CORPUS).map(|i| Dataset::GeoLife.generate(N, SEED + i as u64)),
+                );
+                let requests = request_set(&ids);
+                let mut burst = String::new();
+                for (i, (json, _, _)) in requests.iter().enumerate() {
+                    let mut line = json.clone();
+                    let insert = format!(r#""seq":{},"tenant":"client-{client}","#, i + 1);
+                    line.insert_str(1, &insert);
+                    burst.push_str(&line);
+                    burst.push('\n');
+                }
+                writer.write_all(burst.as_bytes()).expect("send burst");
+                writer.flush().expect("flush burst");
+
+                for (i, want) in expected.iter().enumerate() {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("read response");
+                    let response: Value =
+                        serde_json::from_str(line.trim()).expect("parse response");
+                    assert_eq!(
+                        response["ok"].as_bool(),
+                        Some(true),
+                        "client {client} request {i}: {line}"
+                    );
+                    assert_eq!(
+                        response["seq"].as_u64(),
+                        Some(i as u64 + 1),
+                        "client {client}: responses out of order"
+                    );
+                    assert_eq!(
+                        &deterministic(&response),
+                        want,
+                        "client {client} request {i} diverged from serial baseline"
+                    );
+                }
+            });
+        }
+    });
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_errors_without_killing_the_connection() {
+    let server = Server::spawn();
+
+    let stream = TcpStream::connect(&server.addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut ask = |req: &str| -> Value {
+        writeln!(writer, "{req}").expect("send");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        serde_json::from_str(line.trim()).expect("parse")
+    };
+
+    assert_eq!(ask("this is not json")["ok"].as_bool(), Some(false));
+    assert_eq!(ask(r#"{"op":"warp"}"#)["ok"].as_bool(), Some(false));
+    assert_eq!(
+        ask(r#"{"op":"motif","id":99,"xi":8}"#)["ok"].as_bool(),
+        Some(false)
+    );
+    // The connection survives all of the above.
+    let good = ask(r#"{"op":"stats"}"#);
+    assert_eq!(good["ok"].as_bool(), Some(true));
+    assert_eq!(good["trajectories"].as_u64(), Some(CORPUS as u64));
+
+    server.shutdown();
+}

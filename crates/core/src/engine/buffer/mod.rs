@@ -1,40 +1,72 @@
-//! Buffer manager for the engine's memoized search state.
+//! Buffer manager for the engine's memoized search state, safe for
+//! concurrent sessions.
 //!
-//! PR 2's cache made warm queries fast but bounded memory only by
-//! *wholesale* eviction: any limit breach dropped the entire warm set.
-//! This module replaces that with a classic database buffer manager over
-//! variable-size entries:
+//! PR 4 built a classic database buffer manager — per-entry byte
+//! accounting, exact-LRU replacement, pin counts, an optional disk spill
+//! tier — but its pin log and eviction paths were designed single-writer:
+//! one query at a time pinned entries, and `finish_query` zeroed every
+//! pin wholesale. This revision re-proves the same invariants when pins
+//! from concurrent sessions interleave:
 //!
-//! * **Per-entry byte accounting** — every cached [`DenseMatrix`] and
-//!   [`BoundTables`] is sized individually ([`Frame::bytes`]), and the
-//!   pool tracks the resident total against an optional byte limit.
-//! * **LRU replacement** — when an insert pushes the pool over its
-//!   limit, victims are chosen entry-by-entry by an exact
-//!   least-recently-used [`replacer::LruReplacer`], so the hot working
-//!   set stays resident while cold entries make room.
-//! * **Pin counts** — entries handed to an executing query are pinned
-//!   and can never be evicted until the query completes. Rust's borrow
-//!   checker already prevents the single-threaded engine from mutating
-//!   the pool while a query holds references (including the parallel
-//!   workers, which borrow inside the query), so pins are the *runtime*
-//!   enforcement of the same rule across the multi-entry build sequences
-//!   inside one lookup: building a query's bound tables may trigger
-//!   eviction, and the matrix pinned moments earlier must survive it.
-//! * **Disk spill** — with a spill directory configured, evicted
-//!   matrices are written to a length-prefixed on-disk format
-//!   ([`spill`]) and rehydrated on a later miss, which costs a
-//!   sequential read instead of `O(n²)` ground-distance evaluations.
+//! * **Sharded residency.** Frames live in [`SHARDS`] hash-map shards,
+//!   each behind its own `parking_lot::RwLock`. The hot path — pinning a
+//!   resident entry and cloning its [`Payload`] out — takes one shard
+//!   *read* lock plus one atomic pin increment, so concurrent warm
+//!   queries on different (or the same) entries never serialize on a
+//!   global lock.
+//! * **One residency ledger.** Byte accounting, the exact-LRU
+//!   [`replacer::LruReplacer`], the spill tier handle, and the lifetime
+//!   counters live under a single `meta` mutex: exact global LRU needs a
+//!   global order of accesses, so the ledger is deliberately *not*
+//!   sharded — but it is only touched on insert, query finish, and
+//!   eviction, never on a warm hit.
+//! * **Per-session pin logs.** Every pin is recorded in the *session's*
+//!   [`PinLog`], not pool state. `finish_query` replays that log in
+//!   access order — decrementing exactly the pins this session took and
+//!   stamping the replacer deterministically — so two sessions finishing
+//!   concurrently release only their own pins. (The old design's
+//!   `pins = 0` wholesale release would have dropped another session's
+//!   pins on the floor.)
+//! * **Single-flight builds.** A cold miss on a key announces the build
+//!   in an [`Inflight`] table; concurrent sessions missing the same key
+//!   wait on a condvar instead of redundantly recomputing the same
+//!   `O(n²)` matrix, then pin the builder's insert.
 //!
-//! The pool is policy-free about *what* is cached: the key vocabulary
-//! ([`ScopeKey`], [`EntryKey`]) and the build-or-reuse logic live in
-//! [`super::cache::CorpusCache`], which layers the motif-specific
-//! memoization on top of this module's residency management.
+//! ## Lock order
+//!
+//! `corpus → meta → shard` — the engine's corpus lock (if held at all) is
+//! released before any cache call, `meta` is acquired before any shard
+//! lock on the mutating paths, at most one shard lock is held at a time,
+//! and the `Inflight` mutex is a leaf (never held while acquiring
+//! anything else). The read path (`pin_if_resident`) takes only a shard
+//! lock, which is always safe to acquire under `meta` and never acquires
+//! `meta` itself. See `docs/SERVING.md` for the full argument.
+//!
+//! ## Why eviction stays exact
+//!
+//! A frame is evictable only when its atomic pin count is zero. Pin
+//! *increments* happen only under a shard **read** lock; the evictor
+//! holds that shard's **write** lock when it checks the count, so no pin
+//! can land between the check and the removal. Pin *decrements* happen
+//! only under `meta`, which the evictor also holds — so an eviction
+//! decision can never race a release either. A session that skipped a
+//! pinned victim loses nothing: the pinning session re-stamps the entry
+//! into the replacer when its log replays.
+//!
+//! The pool remains policy-free about *what* is cached: the key
+//! vocabulary ([`ScopeKey`], [`EntryKey`]) and the build-or-reuse logic
+//! live in [`super::cache::CorpusCache`].
 
 pub(crate) mod replacer;
 pub(crate) mod spill;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
+
+use parking_lot::{Mutex, RwLock};
 
 use fremo_trajectory::{DenseMatrix, DistanceSource as _};
 
@@ -62,12 +94,16 @@ pub(crate) enum EntryKey {
     Tables(ScopeKey, usize, bool),
 }
 
-/// What a frame holds.
+/// What a frame holds. Payloads are `Arc`-shared: a session clones the
+/// handle out of the pool under a shard read lock and keeps using it
+/// even if the frame is evicted mid-query (the pin prevents that, but
+/// the `Arc` makes it safe by construction).
+#[derive(Clone)]
 pub(crate) enum Payload {
     /// A dense ground-distance matrix.
-    Matrix(DenseMatrix),
+    Matrix(Arc<DenseMatrix>),
     /// Bound tables.
-    Tables(BoundTables),
+    Tables(Arc<BoundTables>),
 }
 
 impl Payload {
@@ -80,199 +116,378 @@ impl Payload {
     }
 }
 
+/// One session's record of the pins it took, in access order. Replayed
+/// by [`BufferPool::finish_query`] so LRU stamps reflect within-query
+/// use order deterministically and only this session's pins are
+/// released.
+#[derive(Default)]
+pub(crate) struct PinLog(Vec<EntryKey>);
+
+impl PinLog {
+    /// Whether this log holds no unreleased pins.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
 /// One resident entry: its payload, size, and pin count.
 struct Frame {
     payload: Payload,
     /// Byte size at insert time (payloads are immutable).
     bytes: usize,
-    /// How many times the running query has pinned this entry; only
-    /// entries with `pins == 0` are eviction candidates.
-    pins: u32,
+    /// How many outstanding session pins reference this entry; only
+    /// frames with `pins == 0` are eviction candidates. Incremented
+    /// under a shard read lock, decremented under `meta` — see the
+    /// module docs for why eviction can race neither.
+    pins: AtomicU32,
 }
 
-/// The buffer pool: resident frames, replacement state, and the
-/// optional disk spill tier.
-pub(crate) struct BufferPool {
-    frames: HashMap<EntryKey, Frame>,
+/// Number of frame-map shards. Eight is plenty: entries are `O(n²)`
+/// matrices, so a pool holds dozens of frames, not thousands, and the
+/// shards exist to keep warm *pin traffic* from serializing, not to
+/// scale the map itself.
+const SHARDS: usize = 8;
+
+/// Deterministic shard index for a key (no `RandomState`: shard choice
+/// must not vary between processes, or spill/debug output would).
+fn shard_index(key: &EntryKey) -> usize {
+    let (scope, salt) = match key {
+        EntryKey::Matrix(s) => (s, 0usize),
+        EntryKey::Tables(s, xi, tight) => (s, 1 + xi.wrapping_mul(2) + usize::from(*tight)),
+    };
+    let base = match scope {
+        ScopeKey::Within(i) => i.wrapping_mul(2),
+        ScopeKey::Between(a, b) => a.wrapping_mul(31).wrapping_add(*b).wrapping_mul(2) + 1,
+    };
+    base.wrapping_mul(0x9E37_79B9)
+        .wrapping_add(salt.wrapping_mul(0x85EB_CA6B))
+        % SHARDS
+}
+
+/// The single residency ledger: replacement state, byte accounting,
+/// the spill tier, and lifetime counters.
+struct PoolMeta {
     replacer: LruReplacer<EntryKey>,
-    /// Pins taken by the running query, in access order; replayed at
-    /// query end so LRU stamps reflect within-query use order
-    /// deterministically (hash-map iteration order never leaks into
-    /// eviction decisions).
-    pin_log: Vec<EntryKey>,
     resident_bytes: usize,
     limit: Option<usize>,
-    spill: Option<SpillStore>,
-    /// Lifetime counters plus the `resident_bytes` gauge.
-    pub(crate) counters: CacheReport,
+    /// `Arc` so spill I/O can run outside the `meta` lock on the load
+    /// path; the store's drop (which removes its directory) then waits
+    /// for the last in-flight load.
+    spill: Option<Arc<SpillStore>>,
+    /// Lifetime counters plus the `resident_bytes` gauge. Lookup
+    /// counters are merged in at query end; eviction counters at
+    /// eviction time.
+    counters: CacheReport,
+}
+
+/// Single-flight table: keys currently being built by some session.
+struct Inflight {
+    building: StdMutex<HashSet<EntryKey>>,
+    done: Condvar,
+}
+
+impl Inflight {
+    fn lock(&self) -> MutexGuard<'_, HashSet<EntryKey>> {
+        // A panic while holding this mutex can only come from a build
+        // closure, and the BuildPermit drop guard has already removed
+        // the key by the time the poison propagates — recover the map.
+        self.building.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Proof that the holder is the unique builder of `key`; removing the
+/// key and waking waiters on drop keeps the table correct even if a
+/// build unwinds.
+pub(crate) struct BuildPermit<'a> {
+    inflight: &'a Inflight,
+    key: EntryKey,
+}
+
+impl Drop for BuildPermit<'_> {
+    fn drop(&mut self) {
+        self.inflight.lock().remove(&self.key);
+        self.inflight.done.notify_all();
+    }
+}
+
+/// Outcome of announcing a build: either this session owns it, or it
+/// waited for another session's build to finish and must re-probe.
+pub(crate) enum BuildSlot<'a> {
+    /// No other session is building `key`: the caller builds, inserts,
+    /// then drops the permit.
+    Builder(BuildPermit<'a>),
+    /// Another session was building `key`; its insert has landed (or its
+    /// build failed) — re-probe residency.
+    Waited,
+}
+
+/// The buffer pool: sharded resident frames, one residency ledger, and
+/// the single-flight build table. All methods take `&self`; concurrent
+/// sessions share one pool.
+pub(crate) struct BufferPool {
+    shards: Vec<RwLock<HashMap<EntryKey, Frame>>>,
+    meta: Mutex<PoolMeta>,
+    inflight: Inflight,
 }
 
 impl BufferPool {
     pub(crate) fn new() -> Self {
         BufferPool {
-            frames: HashMap::new(),
-            replacer: LruReplacer::new(),
-            pin_log: Vec::new(),
-            resident_bytes: 0,
-            limit: None,
-            spill: None,
-            counters: CacheReport::default(),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            meta: Mutex::new(PoolMeta {
+                replacer: LruReplacer::new(),
+                resident_bytes: 0,
+                limit: None,
+                spill: None,
+                counters: CacheReport::default(),
+            }),
+            inflight: Inflight {
+                building: StdMutex::new(HashSet::new()),
+                done: Condvar::new(),
+            },
         }
     }
 
-    /// Replaces the byte limit and immediately evicts down to it (all
-    /// entries are unpinned between queries).
-    pub(crate) fn set_limit(&mut self, limit: Option<usize>) {
-        self.limit = limit;
-        self.enforce_limit();
+    /// Replaces the byte limit and immediately evicts down to it.
+    /// Entries pinned by running sessions survive (the limit re-applies
+    /// when they finish); evictions are charged to the pool's lifetime
+    /// counters but no session's per-query report.
+    pub(crate) fn set_limit(&self, limit: Option<usize>) {
+        let mut scratch = CacheReport::default();
+        let mut meta = self.meta.lock();
+        meta.limit = limit;
+        self.enforce_limit(&mut meta, &mut scratch);
     }
 
     /// Enables (or disables) the disk spill tier.
-    pub(crate) fn set_spill(&mut self, root: Option<&Path>, engine_id: u64) {
-        self.spill = root.map(|r| SpillStore::new(r, engine_id));
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpillStore::new`]'s error when the per-engine spill
+    /// directory cannot be created (including a name collision with a
+    /// live directory — see the spill module docs).
+    pub(crate) fn set_spill(&self, root: Option<&Path>, engine_id: u64) -> io::Result<()> {
+        let store = match root {
+            Some(r) => Some(Arc::new(SpillStore::new(r, engine_id)?)),
+            None => None,
+        };
+        self.meta.lock().spill = store;
+        Ok(())
+    }
+
+    /// The spill tier handle, if configured (cloned out so file I/O
+    /// runs outside the `meta` lock).
+    pub(crate) fn spill_store(&self) -> Option<Arc<SpillStore>> {
+        self.meta.lock().spill.clone()
     }
 
     /// Resident heap bytes (spilled entries excluded).
     pub(crate) fn bytes(&self) -> usize {
-        self.resident_bytes
+        self.meta.lock().resident_bytes
+    }
+
+    /// Lifetime counters plus the resident-bytes gauge. Session-local
+    /// lookup counters merge in at `finish_query`, so totals advance at
+    /// query granularity.
+    pub(crate) fn counters(&self) -> CacheReport {
+        self.meta.lock().counters
     }
 
     /// Whether `key` is resident right now.
     #[cfg(test)]
     pub(crate) fn contains(&self, key: EntryKey) -> bool {
-        self.frames.contains_key(&key)
+        self.shards[shard_index(&key)].read().contains_key(&key)
     }
 
-    /// Pins `key` if resident, logging the access; `true` on a hit.
-    pub(crate) fn pin_if_resident(&mut self, key: EntryKey) -> bool {
-        let Some(frame) = self.frames.get_mut(&key) else {
-            return false;
-        };
-        frame.pins += 1;
-        self.replacer.remove(&key);
-        self.pin_log.push(key);
-        true
+    /// Pins `key` if resident — logging the pin in the *session's* log —
+    /// and clones its payload handle out; `None` on a miss.
+    pub(crate) fn pin_if_resident(&self, key: EntryKey, log: &mut PinLog) -> Option<Payload> {
+        let shard = self.shards[shard_index(&key)].read();
+        let frame = shard.get(&key)?;
+        // The count is a pure gate: the evictor reads it holding this
+        // shard's write lock (excluding this increment) and the meta
+        // lock (excluding decrements); no data is published through it.
+        // relaxed: gate-only counter, guarded by the locks above.
+        frame.pins.fetch_add(1, Ordering::Relaxed);
+        log.0.push(key);
+        Some(frame.payload.clone())
     }
 
-    /// Inserts a fresh entry, pinned for the running query, then evicts
-    /// unpinned entries while over the limit. An entry larger than the
-    /// whole limit is still admitted — the query needs it — and falls
-    /// out at query end.
-    pub(crate) fn insert(&mut self, key: EntryKey, payload: Payload) {
+    /// Announces a build of `key`, or waits for another session's
+    /// in-flight build of the same key to finish. Callers loop:
+    /// probe residency → `begin_build` → on [`BuildSlot::Builder`]
+    /// re-probe once (the prior builder may have just landed), build,
+    /// insert; on [`BuildSlot::Waited`] re-probe.
+    pub(crate) fn begin_build(&self, key: EntryKey) -> BuildSlot<'_> {
+        let mut building = self.inflight.lock();
+        if building.insert(key) {
+            return BuildSlot::Builder(BuildPermit {
+                inflight: &self.inflight,
+                key,
+            });
+        }
+        while building.contains(&key) {
+            building = self
+                .inflight
+                .done
+                .wait(building)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        BuildSlot::Waited
+    }
+
+    /// Inserts a fresh entry, pinned for the calling session, then
+    /// evicts unpinned entries while over the limit (evictions are
+    /// charged to `local`). An entry larger than the whole limit is
+    /// still admitted — the query needs it — and falls out at query end.
+    ///
+    /// If `key` is already resident (two sessions raced past the
+    /// single-flight gate, e.g. builder finished between a waiter's
+    /// probe and its own build), the *resident* payload wins: it is
+    /// pinned and returned, and the duplicate build is dropped — every
+    /// session must end up reading the same allocation.
+    #[cfg(test)]
+    pub(crate) fn insert(&self, key: EntryKey, payload: Payload, log: &mut PinLog) -> Payload {
+        self.insert_tallied(key, payload, log, &mut CacheReport::default())
+    }
+
+    /// [`BufferPool::insert`] with evictions charged to the session's
+    /// local report.
+    pub(crate) fn insert_tallied(
+        &self,
+        key: EntryKey,
+        payload: Payload,
+        log: &mut PinLog,
+        local: &mut CacheReport,
+    ) -> Payload {
         let bytes = payload.bytes();
-        debug_assert!(!self.frames.contains_key(&key), "insert over resident key");
-        self.frames.insert(
-            key,
-            Frame {
-                payload,
-                bytes,
-                pins: 1,
-            },
-        );
-        self.pin_log.push(key);
-        self.resident_bytes += bytes;
-        self.counters.resident_bytes = self.resident_bytes as u64;
-        self.enforce_limit();
-    }
-
-    /// Rehydrates the spilled matrix for `scope` if the spill tier holds
-    /// one, inserting it pinned; `true` when loaded.
-    pub(crate) fn unspill_matrix(&mut self, scope: ScopeKey) -> bool {
-        let Some(matrix) = self.spill.as_ref().and_then(|s| s.load(scope)) else {
-            return false;
+        let mut meta = self.meta.lock();
+        let out = {
+            let mut shard = self.shards[shard_index(&key)].write();
+            match shard.get(&key) {
+                Some(existing) => {
+                    // relaxed: same gate-only argument as in
+                    // `pin_if_resident`; we also hold shard-write + meta.
+                    existing.pins.fetch_add(1, Ordering::Relaxed);
+                    log.0.push(key);
+                    return existing.payload.clone();
+                }
+                None => {
+                    let out = payload.clone();
+                    shard.insert(
+                        key,
+                        Frame {
+                            payload,
+                            bytes,
+                            pins: AtomicU32::new(1),
+                        },
+                    );
+                    out
+                }
+            }
         };
-        self.counters.spill_loads += 1;
-        self.insert(EntryKey::Matrix(scope), Payload::Matrix(matrix));
-        true
+        log.0.push(key);
+        meta.resident_bytes += bytes;
+        meta.counters.resident_bytes = meta.resident_bytes as u64;
+        self.enforce_limit(&mut meta, local);
+        out
     }
 
-    /// The resident matrix for `scope`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the matrix is not resident — callers ensure residency
-    /// (and a pin) first.
-    pub(crate) fn matrix(&self, scope: ScopeKey) -> &DenseMatrix {
-        match &self.frames[&EntryKey::Matrix(scope)].payload {
-            Payload::Matrix(m) => m,
-            Payload::Tables(_) => unreachable!("matrix keys hold matrix payloads"),
-        }
-    }
-
-    /// The resident bound tables for `(scope, ξ, tight?)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the tables are not resident.
-    pub(crate) fn tables(&self, scope: ScopeKey, xi: usize, tight: bool) -> &BoundTables {
-        match &self.frames[&EntryKey::Tables(scope, xi, tight)].payload {
-            Payload::Tables(t) => t,
-            Payload::Matrix(_) => unreachable!("table keys hold table payloads"),
-        }
-    }
-
-    /// Ends the running query: releases every pin (replaying accesses in
-    /// order, so LRU stamps match within-query use order) and evicts
-    /// down to the limit now that nothing is in use.
-    pub(crate) fn finish_query(&mut self) {
-        let log = std::mem::take(&mut self.pin_log);
-        for key in log {
-            if let Some(frame) = self.frames.get_mut(&key) {
-                frame.pins = 0;
-                self.replacer.touch(key);
+    /// Ends one session's query: replays the session's pin log in
+    /// access order (stamping the replacer and releasing exactly the
+    /// pins that session took), merges the session's lookup counters
+    /// into the lifetime totals, enforces the byte limit, and returns
+    /// the completed per-query report with the post-enforcement
+    /// resident-bytes gauge.
+    pub(crate) fn finish_query(&self, log: &mut PinLog, local: &mut CacheReport) -> CacheReport {
+        let mut meta = self.meta.lock();
+        for key in std::mem::take(&mut log.0) {
+            let shard = self.shards[shard_index(&key)].read();
+            if let Some(frame) = shard.get(&key) {
+                // Decrements happen only here, under meta; the evictor
+                // also holds meta, so it cannot observe a torn release.
+                // relaxed: gate-only counter, serialized by meta.
+                frame.pins.fetch_sub(1, Ordering::Relaxed);
+                drop(shard);
+                meta.replacer.touch(key);
             }
         }
-        self.enforce_limit();
+        meta.counters.matrices_built += local.matrices_built;
+        meta.counters.matrices_reused += local.matrices_reused;
+        meta.counters.tables_built += local.tables_built;
+        meta.counters.tables_reused += local.tables_reused;
+        meta.counters.spill_loads += local.spill_loads;
+        self.enforce_limit(&mut meta, local);
+        let mut report = *local;
+        report.resident_bytes = meta.resident_bytes as u64;
+        *local = CacheReport::default();
+        report
     }
 
     /// Evicts least-recently-used unpinned entries while over the limit.
-    fn enforce_limit(&mut self) {
-        let Some(limit) = self.limit else { return };
-        while self.resident_bytes > limit {
-            let Some(victim) = self.replacer.victim() else {
-                // Everything left is pinned; the running query's working
-                // set may legitimately exceed the limit until it ends.
+    /// Runs under `meta` (acquiring one shard write lock per victim —
+    /// the documented `meta → shard` order). Pinned victims are skipped;
+    /// their pinning sessions re-stamp them into the replacer at finish.
+    fn enforce_limit(&self, meta: &mut PoolMeta, local: &mut CacheReport) {
+        let Some(limit) = meta.limit else { return };
+        while meta.resident_bytes > limit {
+            let Some(victim) = meta.replacer.victim() else {
+                // Everything left is pinned (or already popped as
+                // pinned); running sessions' working sets may
+                // legitimately exceed the limit until they end.
                 break;
             };
-            self.evict(victim);
+            self.evict(meta, victim, local);
         }
     }
 
-    /// Removes one unpinned entry, spilling matrices when a spill tier
-    /// is configured (a failed spill write degrades to a plain drop:
-    /// memory stays bounded and the matrix rebuilds on its next use).
-    fn evict(&mut self, key: EntryKey) {
-        let frame = self
-            .frames
-            .remove(&key)
-            // fremo-lint: allow(L3) -- the replacer's candidate set is kept
-            // in lockstep with `frames` (insert/remove pairs); a miss here
-            // is accounting corruption that must not be papered over.
-            .expect("replacer only yields resident keys");
-        debug_assert_eq!(frame.pins, 0, "pinned entries are never victims");
-        self.resident_bytes -= frame.bytes;
-        self.counters.evictions += 1;
-        self.counters.resident_bytes = self.resident_bytes as u64;
+    /// Removes one entry if it is resident and unpinned, spilling
+    /// matrices when a spill tier is configured (a failed spill write
+    /// degrades to a plain drop: memory stays bounded and the matrix
+    /// rebuilds on its next use). Evictions and spills are charged to
+    /// both the lifetime counters and `local`.
+    fn evict(&self, meta: &mut PoolMeta, key: EntryKey, local: &mut CacheReport) {
+        let removed = {
+            let mut shard = self.shards[shard_index(&key)].write();
+            match shard.get(&key) {
+                // Pin increments require this shard's read lock (we hold
+                // write); decrements require meta (we hold it) — so this
+                // relaxed: load cannot race any pin transition.
+                Some(frame) if frame.pins.load(Ordering::Relaxed) == 0 => shard.remove(&key),
+                // Pinned, or cleared from under the replacer: skip.
+                _ => None,
+            }
+        };
+        let Some(frame) = removed else { return };
+        meta.resident_bytes -= frame.bytes;
+        meta.counters.evictions += 1;
+        local.evictions += 1;
+        meta.counters.resident_bytes = meta.resident_bytes as u64;
         if let (EntryKey::Matrix(scope), Payload::Matrix(m), Some(store)) =
-            (key, &frame.payload, &self.spill)
+            (key, &frame.payload, &meta.spill)
         {
             // Matrices are immutable per key, so a file written by an
             // earlier eviction is still exact — skip the rewrite.
             if !store.contains(scope) && store.store(scope, m).is_ok() {
-                self.counters.spills += 1;
+                meta.counters.spills += 1;
+                local.spills += 1;
             }
         }
     }
 
     /// Drops every resident entry and spill file (counters are kept —
-    /// they are lifetime totals).
-    pub(crate) fn clear(&mut self) {
-        self.frames.clear();
-        self.replacer.clear();
-        self.pin_log.clear();
-        self.resident_bytes = 0;
-        self.counters.resident_bytes = 0;
-        if let Some(store) = &self.spill {
+    /// they are lifetime totals). Safe to call while sessions run:
+    /// their `Arc` payload handles stay valid, and their pin-log replay
+    /// tolerates the missing frames.
+    pub(crate) fn clear(&self) {
+        let mut meta = self.meta.lock();
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        meta.replacer.clear();
+        meta.resident_bytes = 0;
+        meta.counters.resident_bytes = 0;
+        if let Some(store) = &meta.spill {
             store.clear();
         }
     }
@@ -282,47 +497,55 @@ impl BufferPool {
 mod tests {
     use super::*;
 
-    fn matrix_of(n: usize, fill: f64) -> DenseMatrix {
-        DenseMatrix::from_raw(n, n, vec![fill; n * n])
+    fn matrix_of(n: usize, fill: f64) -> Payload {
+        Payload::Matrix(Arc::new(DenseMatrix::from_raw(n, n, vec![fill; n * n])))
     }
 
     fn pool_with(entries: &[(usize, usize)]) -> BufferPool {
         // (scope index, matrix side) pairs, inserted and unpinned in order.
-        let mut pool = BufferPool::new();
+        let pool = BufferPool::new();
+        let mut log = PinLog::default();
         for &(i, n) in entries {
             pool.insert(
                 EntryKey::Matrix(ScopeKey::Within(i)),
-                Payload::Matrix(matrix_of(n, i as f64)),
+                matrix_of(n, i as f64),
+                &mut log,
             );
         }
-        pool.finish_query();
+        pool.finish_query(&mut log, &mut CacheReport::default());
         pool
     }
 
     #[test]
     fn lru_victim_goes_first_and_accounting_tracks_bytes() {
-        let mut pool = pool_with(&[(0, 8), (1, 8), (2, 8)]);
+        let pool = pool_with(&[(0, 8), (1, 8), (2, 8)]);
         let per_entry = 8 * 8 * 8;
         assert_eq!(pool.bytes(), 3 * per_entry);
 
         // Re-use entry 0 so the LRU order becomes 1, 2, 0.
-        assert!(pool.pin_if_resident(EntryKey::Matrix(ScopeKey::Within(0))));
-        pool.finish_query();
+        let mut log = PinLog::default();
+        assert!(pool
+            .pin_if_resident(EntryKey::Matrix(ScopeKey::Within(0)), &mut log)
+            .is_some());
+        pool.finish_query(&mut log, &mut CacheReport::default());
 
         // Room for two entries: the least recently used (1) must go.
         pool.set_limit(Some(2 * per_entry));
         assert!(!pool.contains(EntryKey::Matrix(ScopeKey::Within(1))));
         assert!(pool.contains(EntryKey::Matrix(ScopeKey::Within(0))));
         assert!(pool.contains(EntryKey::Matrix(ScopeKey::Within(2))));
-        assert_eq!(pool.counters.evictions, 1);
+        assert_eq!(pool.counters().evictions, 1);
         assert_eq!(pool.bytes(), 2 * per_entry);
-        assert_eq!(pool.counters.resident_bytes, (2 * per_entry) as u64);
+        assert_eq!(pool.counters().resident_bytes, (2 * per_entry) as u64);
     }
 
     #[test]
     fn pinned_entries_survive_any_pressure() {
-        let mut pool = pool_with(&[(0, 8), (1, 8), (2, 8)]);
-        assert!(pool.pin_if_resident(EntryKey::Matrix(ScopeKey::Within(1))));
+        let pool = pool_with(&[(0, 8), (1, 8), (2, 8)]);
+        let mut log = PinLog::default();
+        assert!(pool
+            .pin_if_resident(EntryKey::Matrix(ScopeKey::Within(1)), &mut log)
+            .is_some());
 
         // A zero-byte limit evicts everything evictable — but never the
         // pinned entry, even though it is far over the limit.
@@ -330,58 +553,139 @@ mod tests {
         assert!(pool.contains(EntryKey::Matrix(ScopeKey::Within(1))));
         assert!(!pool.contains(EntryKey::Matrix(ScopeKey::Within(0))));
         assert!(!pool.contains(EntryKey::Matrix(ScopeKey::Within(2))));
-        assert_eq!(pool.counters.evictions, 2);
+        assert_eq!(pool.counters().evictions, 2);
 
         // Once the query ends, the limit applies to it too.
-        pool.finish_query();
+        pool.finish_query(&mut log, &mut CacheReport::default());
         assert!(!pool.contains(EntryKey::Matrix(ScopeKey::Within(1))));
         assert_eq!(pool.bytes(), 0);
-        assert_eq!(pool.counters.evictions, 3);
+        assert_eq!(pool.counters().evictions, 3);
+    }
+
+    #[test]
+    fn interleaved_session_pins_release_independently() {
+        // Session A and session B pin the same entry; finishing A must
+        // not release B's pin — the regression the multi-session
+        // redesign exists to prevent (the old wholesale `pins = 0`
+        // release would have).
+        let pool = pool_with(&[(7, 8)]);
+        let key = EntryKey::Matrix(ScopeKey::Within(7));
+        let (mut log_a, mut log_b) = (PinLog::default(), PinLog::default());
+        assert!(pool.pin_if_resident(key, &mut log_a).is_some());
+        assert!(pool.pin_if_resident(key, &mut log_b).is_some());
+
+        pool.finish_query(&mut log_a, &mut CacheReport::default());
+        // B still pins the entry: a zero limit cannot evict it.
+        pool.set_limit(Some(0));
+        assert!(pool.contains(key), "B's pin must survive A's finish");
+
+        pool.finish_query(&mut log_b, &mut CacheReport::default());
+        assert!(!pool.contains(key), "all pins released: limit applies");
+        assert_eq!(pool.bytes(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_pins_the_resident_entry() {
+        let pool = BufferPool::new();
+        let key = EntryKey::Matrix(ScopeKey::Within(3));
+        let mut log_a = PinLog::default();
+        let first = pool.insert(key, matrix_of(4, 1.0), &mut log_a);
+
+        // A racing session inserts the same key: the resident payload
+        // wins and both sessions share one allocation.
+        let mut log_b = PinLog::default();
+        let second = pool.insert(key, matrix_of(4, 1.0), &mut log_b);
+        let (Payload::Matrix(a), Payload::Matrix(b)) = (&first, &second) else {
+            panic!("matrix payloads");
+        };
+        assert!(Arc::ptr_eq(a, b), "duplicate insert must dedupe");
+        assert_eq!(pool.bytes(), 4 * 4 * 8, "duplicate bytes not counted");
+
+        pool.finish_query(&mut log_a, &mut CacheReport::default());
+        pool.set_limit(Some(0));
+        assert!(pool.contains(key), "B's pin from the dup insert holds");
+        pool.finish_query(&mut log_b, &mut CacheReport::default());
+        assert!(!pool.contains(key));
     }
 
     #[test]
     fn oversized_entries_are_admitted_for_the_running_query() {
-        let mut pool = BufferPool::new();
+        let pool = BufferPool::new();
         pool.set_limit(Some(10));
+        let mut log = PinLog::default();
         pool.insert(
             EntryKey::Matrix(ScopeKey::Within(0)),
-            Payload::Matrix(matrix_of(16, 0.5)),
+            matrix_of(16, 0.5),
+            &mut log,
         );
         // Pinned: resident despite blowing the limit.
         assert!(pool.contains(EntryKey::Matrix(ScopeKey::Within(0))));
-        pool.finish_query();
+        pool.finish_query(&mut log, &mut CacheReport::default());
         // Unpinned at query end: evicted.
         assert!(!pool.contains(EntryKey::Matrix(ScopeKey::Within(0))));
+    }
+
+    #[test]
+    fn single_flight_admits_exactly_one_builder() {
+        let pool = BufferPool::new();
+        let key = EntryKey::Matrix(ScopeKey::Within(9));
+        let BuildSlot::Builder(permit) = pool.begin_build(key) else {
+            panic!("first announcement owns the build");
+        };
+        // A second announcement from another thread blocks until the
+        // permit drops, then reports Waited.
+        let waited = std::thread::scope(|s| {
+            let handle = s.spawn(|| matches!(pool.begin_build(key), BuildSlot::Waited));
+            // Give the waiter time to block, then finish the build.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(permit);
+            handle.join().expect("waiter thread")
+        });
+        assert!(waited);
+        // The key is free again: a new announcement becomes the builder.
+        assert!(matches!(pool.begin_build(key), BuildSlot::Builder(_)));
     }
 
     #[test]
     fn eviction_spills_matrices_and_unspill_restores_them() {
         let root =
             std::env::temp_dir().join(format!("fremo-pool-test-{}-spill", std::process::id()));
-        let mut pool = BufferPool::new();
-        pool.set_spill(Some(&root), 9001);
+        let _ = std::fs::remove_dir_all(&root);
+        let pool = BufferPool::new();
+        pool.set_spill(Some(&root), 9001).unwrap();
         let scope = ScopeKey::Within(5);
-        let original = matrix_of(6, 2.5);
-        pool.insert(EntryKey::Matrix(scope), Payload::Matrix(original.clone()));
-        pool.finish_query();
+        let original = DenseMatrix::from_raw(6, 6, vec![2.5; 36]);
+        let mut log = PinLog::default();
+        pool.insert(
+            EntryKey::Matrix(scope),
+            Payload::Matrix(Arc::new(original.clone())),
+            &mut log,
+        );
+        pool.finish_query(&mut log, &mut CacheReport::default());
 
         pool.set_limit(Some(0));
-        assert_eq!(pool.counters.evictions, 1);
-        assert_eq!(pool.counters.spills, 1);
+        assert_eq!(pool.counters().evictions, 1);
+        assert_eq!(pool.counters().spills, 1);
         assert!(!pool.contains(EntryKey::Matrix(scope)));
 
         pool.set_limit(None);
-        assert!(pool.unspill_matrix(scope));
-        assert_eq!(pool.counters.spill_loads, 1);
-        for (a, b) in original.raw().iter().zip(pool.matrix(scope).raw()) {
+        let store = pool.spill_store().expect("spill configured");
+        let back = store.load(scope).expect("spill file valid");
+        for (a, b) in original.raw().iter().zip(back.raw()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
 
         // Re-evicting an already-spilled matrix skips the rewrite.
-        pool.finish_query();
+        let mut log = PinLog::default();
+        pool.insert(
+            EntryKey::Matrix(scope),
+            Payload::Matrix(Arc::new(back)),
+            &mut log,
+        );
+        pool.finish_query(&mut log, &mut CacheReport::default());
         pool.set_limit(Some(0));
-        assert_eq!(pool.counters.evictions, 2);
-        assert_eq!(pool.counters.spills, 1);
+        assert_eq!(pool.counters().evictions, 2);
+        assert_eq!(pool.counters().spills, 1);
 
         pool.clear();
         let _ = std::fs::remove_dir_all(root);
@@ -391,19 +695,41 @@ mod tests {
     fn clear_drops_entries_and_spill_files() {
         let root =
             std::env::temp_dir().join(format!("fremo-pool-test-{}-clear", std::process::id()));
-        let mut pool = BufferPool::new();
-        pool.set_spill(Some(&root), 9002);
+        let _ = std::fs::remove_dir_all(&root);
+        let pool = BufferPool::new();
+        pool.set_spill(Some(&root), 9002).unwrap();
         let scope = ScopeKey::Within(1);
-        pool.insert(EntryKey::Matrix(scope), Payload::Matrix(matrix_of(4, 1.0)));
-        pool.finish_query();
+        let mut log = PinLog::default();
+        pool.insert(EntryKey::Matrix(scope), matrix_of(4, 1.0), &mut log);
+        pool.finish_query(&mut log, &mut CacheReport::default());
         pool.set_limit(Some(0));
-        assert_eq!(pool.counters.spills, 1);
+        assert_eq!(pool.counters().spills, 1);
 
         pool.set_limit(None);
         pool.clear();
         assert_eq!(pool.bytes(), 0);
         // The spill tier was cleared with the pool: nothing to rehydrate.
-        assert!(!pool.unspill_matrix(scope));
+        assert!(pool
+            .spill_store()
+            .expect("still configured")
+            .load(scope)
+            .is_none());
         let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        for i in 0..64 {
+            let k = EntryKey::Matrix(ScopeKey::Within(i));
+            assert!(shard_index(&k) < SHARDS);
+            assert_eq!(shard_index(&k), shard_index(&k));
+            let t = EntryKey::Tables(ScopeKey::Between(i, i + 1), 5, true);
+            assert!(shard_index(&t) < SHARDS);
+        }
+        // Matrix and table keys for the same scope need not collide.
+        assert!(
+            (0..64).any(|i| shard_index(&EntryKey::Matrix(ScopeKey::Within(i)))
+                != shard_index(&EntryKey::Tables(ScopeKey::Within(i), 3, false)))
+        );
     }
 }

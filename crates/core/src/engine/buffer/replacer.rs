@@ -1,9 +1,13 @@
 //! Replacement policy: which unpinned cache entry to evict next.
 //!
-//! The replacer tracks only entries that are *evictable* — the buffer
-//! pool removes a key while it is pinned and re-adds it on unpin, the
-//! classic buffer-manager contract. Stamps come from a monotonic access
-//! clock, so "least recently used" is exact, not approximate.
+//! The replacer tracks eviction *candidates*, not pin state: pins are
+//! atomic counts on the frames themselves (sessions pin under a shard
+//! read lock, where replacer state cannot be touched). A popped victim
+//! that turns out to be pinned is simply skipped by the pool — it
+//! leaves the candidate set here and re-enters when the pinning
+//! session's log replay touches it at query end. Stamps come from a
+//! monotonic access clock, so "least recently used" is exact, not
+//! approximate.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -37,7 +41,8 @@ impl<K: Eq + Hash + Copy> LruReplacer<K> {
         self.stamps.insert(key, self.clock);
     }
 
-    /// Removes `key` from the evictable set (it was pinned or evicted).
+    /// Removes `key` from the candidate set without electing it.
+    #[cfg(test)]
     pub(crate) fn remove(&mut self, key: &K) {
         self.stamps.remove(key);
     }

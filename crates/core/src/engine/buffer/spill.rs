@@ -36,6 +36,16 @@
 //! engines (or processes) sharing a spill root cannot read each other's
 //! matrices, and the whole subdirectory is removed when the engine is
 //! dropped.
+//!
+//! The namespaced directory is claimed **eagerly and exclusively**:
+//! [`SpillStore::new`] runs `fs::create_dir` (not `create_dir_all`) and
+//! errors on collision. The lazy `create_dir_all`-on-first-write this
+//! replaces raced when two stores resolved to the same path — one
+//! store's `Drop` could remove the directory while the other was
+//! writing into it, and the survivor would silently adopt the dead
+//! store's write-once files (stale `contains` answers, skipped
+//! rewrites). Failing loudly at construction turns that latent race
+//! into a configuration error.
 
 use std::fs;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -53,16 +63,40 @@ const HEADER_BYTES: u64 = 4 + 8 + 8;
 /// A directory of spilled matrices, private to one engine instance.
 #[derive(Debug)]
 pub(crate) struct SpillStore {
-    /// The namespaced subdirectory (created lazily on first write).
+    /// The namespaced subdirectory (claimed exclusively at construction).
     dir: PathBuf,
 }
 
 impl SpillStore {
     /// A store rooted at `root`, namespaced by process and engine id.
-    pub(crate) fn new(root: &Path, engine_id: u64) -> Self {
-        SpillStore {
-            dir: root.join(format!("fremo-spill-{}-e{engine_id}", std::process::id())),
-        }
+    /// Claims the namespaced subdirectory exclusively, creating `root`
+    /// itself if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if `root` cannot be created, and
+    /// an [`io::ErrorKind::AlreadyExists`] error if the namespaced
+    /// directory already exists — another live store owns it, and
+    /// sharing write-once spill files between stores is unsound (see the
+    /// module docs).
+    pub(crate) fn new(root: &Path, engine_id: u64) -> io::Result<Self> {
+        let dir = root.join(format!("fremo-spill-{}-e{engine_id}", std::process::id()));
+        fs::create_dir_all(root)?;
+        fs::create_dir(&dir).map_err(|e| {
+            if e.kind() == io::ErrorKind::AlreadyExists {
+                io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!(
+                        "spill directory {} already exists; refusing to share \
+                         write-once spill files with another live store",
+                        dir.display()
+                    ),
+                )
+            } else {
+                e
+            }
+        })?;
+        Ok(SpillStore { dir })
     }
 
     /// Deterministic file name for a scope key.
@@ -82,7 +116,6 @@ impl SpillStore {
     /// Writes `matrix` to the spill file for `key` (tmp + rename).
     pub(crate) fn store(&self, key: ScopeKey, matrix: &DenseMatrix) -> io::Result<()> {
         use fremo_trajectory::DistanceSource as _;
-        fs::create_dir_all(&self.dir)?;
         let path = self.path(key);
         let tmp = path.with_extension("tmp");
         {
@@ -134,17 +167,20 @@ impl SpillStore {
         Some(DenseMatrix::from_raw(len_a as usize, len_b as usize, data))
     }
 
-    /// Removes every spill file (the engine cache was cleared).
+    /// Removes every spill file (the engine cache was cleared) while
+    /// keeping the exclusively-claimed directory itself alive.
     pub(crate) fn clear(&self) {
         let _ = fs::remove_dir_all(&self.dir);
+        let _ = fs::create_dir(&self.dir);
     }
 }
 
 impl Drop for SpillStore {
     /// Spill files are scratch state, not a persistence format: remove
-    /// the store's private subdirectory with the engine.
+    /// the store's private subdirectory with the engine, releasing the
+    /// exclusive claim taken in [`SpillStore::new`].
     fn drop(&mut self) {
-        self.clear();
+        let _ = fs::remove_dir_all(&self.dir);
     }
 }
 
@@ -177,7 +213,7 @@ mod tests {
     #[test]
     fn round_trip_is_bit_identical() {
         let root = scratch("roundtrip");
-        let store = SpillStore::new(&root, 1);
+        let store = SpillStore::new(&root, 1).unwrap();
         let m = sample_matrix();
         let key = ScopeKey::Between(3, 7);
         assert!(!store.contains(key));
@@ -196,7 +232,7 @@ mod tests {
     #[test]
     fn corrupt_or_missing_files_are_misses() {
         let root = scratch("corrupt");
-        let store = SpillStore::new(&root, 2);
+        let store = SpillStore::new(&root, 2).unwrap();
         let key = ScopeKey::Within(4);
         assert!(store.load(key).is_none(), "missing file is a miss");
 
@@ -229,7 +265,7 @@ mod tests {
         let root = scratch("cleanup");
         let dir;
         {
-            let store = SpillStore::new(&root, 3);
+            let store = SpillStore::new(&root, 3).unwrap();
             store.store(ScopeKey::Within(1), &sample_matrix()).unwrap();
             store
                 .store(ScopeKey::Between(1, 2), &sample_matrix())
@@ -242,6 +278,37 @@ mod tests {
             assert!(dir.is_dir());
         }
         assert!(!dir.exists(), "drop removes the private spill directory");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn colliding_directories_are_an_error_not_a_shared_store() {
+        let root = scratch("collide");
+        let first = SpillStore::new(&root, 4).unwrap();
+        let err = SpillStore::new(&root, 4).expect_err("same pid + engine id must collide");
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        // The loser must not have destroyed the winner's directory.
+        assert!(first.dir.is_dir());
+        // A different engine id namespaces cleanly alongside.
+        let other = SpillStore::new(&root, 5).unwrap();
+        assert_ne!(first.dir, other.dir);
+        drop(first);
+        drop(other);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn clear_keeps_the_exclusive_claim() {
+        let root = scratch("clear-claim");
+        let store = SpillStore::new(&root, 6).unwrap();
+        let key = ScopeKey::Within(2);
+        store.store(key, &sample_matrix()).unwrap();
+        store.clear();
+        assert!(store.load(key).is_none(), "cleared files are misses");
+        // The directory survives the clear, so later spills still land.
+        store.store(key, &sample_matrix()).unwrap();
+        assert!(store.load(key).is_some());
+        drop(store);
         let _ = fs::remove_dir_all(root);
     }
 }

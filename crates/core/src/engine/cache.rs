@@ -1,20 +1,31 @@
-//! Per-corpus memoization of search state, buffer-managed.
+//! Per-corpus memoization of search state, buffer-managed and shared
+//! between concurrent sessions.
 //!
 //! The expensive, query-independent part of every dense-matrix algorithm
 //! is the `O(n²)` ground-distance matrix plus the bound tables derived
 //! from it. Both depend only on the trajectory (matrix) and on `(ξ,
 //! tight-vs-relaxed)` (tables) — never on the query's algorithm, budget,
-//! k, or the individual bound-family toggles — so a session serving
-//! repeated traffic on the same corpus can build each exactly once.
+//! k, or the individual bound-family toggles — so *every session* serving
+//! traffic on the same corpus can share each structure, built exactly
+//! once.
 //!
 //! [`CorpusCache`] owns that build-or-reuse logic; *residency* — byte
 //! accounting, per-entry LRU eviction, pin counts, and the optional disk
 //! spill tier — is delegated to the [`super::buffer`] module's
-//! [`BufferPool`]. Every lookup pins what it returns, so an entry in use
-//! by the executing query can never be evicted from under it; the engine
-//! releases the pins when the query completes (see
-//! [`CorpusCache::finish_query`]). The full design, including how to
-//! size the limit, is documented in `docs/CACHING.md`.
+//! [`BufferPool`]. Every method here takes `&self`: per-query state (the
+//! pin log and the session-local activity tallies) lives in the caller's
+//! [`QueryCtx`], not in the cache. Every lookup pins what it returns and
+//! records the pin in the session's log, so an entry in use by one
+//! session's query can never be evicted from under it — even while other
+//! sessions churn the pool; the session releases exactly its own pins
+//! when the query completes (see [`CorpusCache::finish_query`]). Cold
+//! misses are single-flight: concurrent sessions missing the same key
+//! build it once and share the result. The full design, including how to
+//! size the limit, is documented in `docs/CACHING.md`; the concurrency
+//! argument is in `docs/SERVING.md`.
+
+use std::io;
+use std::sync::Arc;
 
 use fremo_trajectory::{DenseMatrix, GroundDistance, LazyDistances};
 
@@ -22,7 +33,7 @@ use crate::bounds::BoundTables;
 use crate::config::BoundSelection;
 use crate::domain::Domain;
 
-use super::buffer::{BufferPool, EntryKey, Payload, ScopeKey};
+use super::buffer::{BufferPool, BuildSlot, EntryKey, Payload, PinLog, ScopeKey};
 
 /// Cache activity of one query (or cumulative totals on
 /// [`super::EngineStats`]).
@@ -31,6 +42,11 @@ use super::buffer::{BufferPool, EntryKey, Payload, ScopeKey};
 /// counters; `resident_bytes` is a gauge — the bytes resident at the
 /// moment of the snapshot (for a per-query report, right after the
 /// query's pins were released and the limit enforced).
+///
+/// Per-query reports are **session-local tallies**, not differences of
+/// global snapshots: a query counts exactly the lookups *it* performed,
+/// so concurrent sessions' activity can never bleed into (or mask) each
+/// other's reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct CacheReport {
@@ -93,26 +109,90 @@ impl CacheReport {
         self.hits() as f64 / lookups as f64
     }
 
-    /// The activity between `earlier` and `self` (two snapshots of the
-    /// same monotonic totals). Counters subtract saturating — totals
-    /// never decrease, so a clamp only guards against misuse — while the
-    /// `resident_bytes` gauge carries the later snapshot's value.
-    pub(crate) const fn delta_since(&self, earlier: &CacheReport) -> CacheReport {
+    /// The activity between `earlier` and `self`, two snapshots of the
+    /// same cumulative totals (e.g. [`super::EngineStats`]`::cache`
+    /// taken before and after a batch).
+    ///
+    /// Totals are monotonic, so `earlier` exceeding `self` means the
+    /// snapshots were taken from different engines or out of order —
+    /// a misuse this method reports via `debug_assert!` rather than
+    /// masking with silent saturation (the release build still clamps
+    /// rather than wrapping). The `resident_bytes` gauge carries the
+    /// later snapshot's value.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CacheReport) -> CacheReport {
+        let sub = |field: &str, now: u64, then: u64| {
+            debug_assert!(
+                now >= then,
+                "delta_since: `{field}` went backwards ({now} < {then}); \
+                 snapshots are from different engines or swapped"
+            );
+            now.saturating_sub(then)
+        };
         CacheReport {
-            matrices_built: self.matrices_built.saturating_sub(earlier.matrices_built),
-            matrices_reused: self.matrices_reused.saturating_sub(earlier.matrices_reused),
-            tables_built: self.tables_built.saturating_sub(earlier.tables_built),
-            tables_reused: self.tables_reused.saturating_sub(earlier.tables_reused),
-            evictions: self.evictions.saturating_sub(earlier.evictions),
-            spills: self.spills.saturating_sub(earlier.spills),
-            spill_loads: self.spill_loads.saturating_sub(earlier.spill_loads),
+            matrices_built: sub(
+                "matrices_built",
+                self.matrices_built,
+                earlier.matrices_built,
+            ),
+            matrices_reused: sub(
+                "matrices_reused",
+                self.matrices_reused,
+                earlier.matrices_reused,
+            ),
+            tables_built: sub("tables_built", self.tables_built, earlier.tables_built),
+            tables_reused: sub("tables_reused", self.tables_reused, earlier.tables_reused),
+            evictions: sub("evictions", self.evictions, earlier.evictions),
+            spills: sub("spills", self.spills, earlier.spills),
+            spill_loads: sub("spill_loads", self.spill_loads, earlier.spill_loads),
             resident_bytes: self.resident_bytes,
         }
     }
 }
 
+/// One query's cache context: the pin log (which entries to unpin at
+/// query end, in access order) and the session-local activity tallies.
+/// Owned by the session, lent to the cache for the query's duration —
+/// pool-global mutable query state is what made the old design
+/// single-writer.
+#[derive(Default)]
+pub(crate) struct QueryCtx {
+    /// Pins taken by this query, in access order.
+    pub(crate) log: PinLog,
+    /// This query's lookup/eviction tallies (merged into the engine
+    /// totals at [`CorpusCache::finish_query`]).
+    pub(crate) local: CacheReport,
+}
+
+impl QueryCtx {
+    /// Whether the context holds no unreleased pins.
+    pub(crate) fn is_clean(&self) -> bool {
+        self.log.is_empty()
+    }
+}
+
+/// Unwraps a matrix payload.
+fn as_matrix(payload: Payload) -> Arc<DenseMatrix> {
+    match payload {
+        Payload::Matrix(m) => m,
+        // `EntryKey::Matrix` slots only ever receive `Payload::Matrix`
+        // (both insert sites are in this file), so this arm is dead.
+        Payload::Tables(_) => unreachable!("matrix key held a tables payload"),
+    }
+}
+
+/// Unwraps a tables payload.
+fn as_tables(payload: Payload) -> Arc<BoundTables> {
+    match payload {
+        Payload::Tables(t) => t,
+        // `EntryKey::Tables` slots only ever receive `Payload::Tables`.
+        Payload::Matrix(_) => unreachable!("tables key held a matrix payload"),
+    }
+}
+
 /// The engine's memo: distance matrices per scope, bound tables per
-/// `(scope, ξ, tight?)`, resident in a [`BufferPool`].
+/// `(scope, ξ, tight?)`, resident in a [`BufferPool`] shared by all
+/// sessions.
 ///
 /// [`BoundTables::build`] depends on the selection only through
 /// `sel.tight` (the cell/cross/band/end-cross flags gate *lookups*, not
@@ -133,88 +213,141 @@ impl Default for CorpusCache {
 impl CorpusCache {
     /// Lifetime counters plus the resident-bytes gauge.
     pub(crate) fn report(&self) -> CacheReport {
-        self.pool.counters
+        self.pool.counters()
     }
 
     /// Caps resident bytes (per-entry LRU eviction; `None` = unbounded).
-    /// Applies immediately: entries are evicted down to the new limit.
-    pub(crate) fn set_limit(&mut self, bytes: Option<usize>) {
+    /// Applies immediately: entries are evicted down to the new limit
+    /// (running sessions' pinned entries excepted).
+    pub(crate) fn set_limit(&self, bytes: Option<usize>) {
         self.pool.set_limit(bytes);
     }
 
     /// Enables (or disables) the disk spill tier under `root`.
-    pub(crate) fn set_spill(&mut self, root: Option<&std::path::Path>, engine_id: u64) {
-        self.pool.set_spill(root, engine_id);
-    }
-
-    /// Releases every pin taken by the completed query and enforces the
-    /// byte limit now that nothing is in use.
-    pub(crate) fn finish_query(&mut self) {
-        self.pool.finish_query();
-    }
-
-    /// Ensures the matrix for `key` is resident and pinned, counting the
-    /// lookup as exactly one of: resident reuse, spill rehydrate, or
-    /// fresh build.
-    fn ensure_matrix<P: GroundDistance + Sync>(
-        &mut self,
-        key: ScopeKey,
-        a: &[P],
-        b: Option<&[P]>,
-        threads: usize,
-    ) {
-        if self.pool.pin_if_resident(EntryKey::Matrix(key)) {
-            self.pool.counters.matrices_reused += 1;
-            return;
+    ///
+    /// # Errors
+    ///
+    /// Fails when the per-engine spill directory cannot be created or
+    /// collides with a live one (see [`super::buffer::spill`]).
+    pub(crate) fn set_spill(
+        &self,
+        root: Option<&std::path::Path>,
+        engine_id: u64,
+    ) -> io::Result<()> {
+        if root.is_some() {
+            // Release any previous store first: its Drop removes the
+            // claimed directory, so re-configuring the same engine to
+            // the same root is not a collision with itself.
+            self.pool.set_spill(None, engine_id)?;
         }
-        if self.pool.unspill_matrix(key) {
-            // `unspill_matrix` counted the rehydrate and pinned the entry.
-            return;
-        }
-        let matrix = match b {
-            None => DenseMatrix::within_parallel(a, threads),
-            Some(b) => DenseMatrix::between_parallel(a, b, threads),
-        };
-        self.pool.counters.matrices_built += 1;
-        self.pool
-            .insert(EntryKey::Matrix(key), Payload::Matrix(matrix));
+        self.pool.set_spill(root, engine_id)
     }
 
-    /// Ensures the `(key, ξ, sel.tight)` bound tables are resident and
-    /// pinned, building them from the (already pinned) resident matrix
-    /// on a miss.
-    fn ensure_table(&mut self, key: ScopeKey, domain: Domain, xi: usize, sel: BoundSelection) {
-        if self
-            .pool
-            .pin_if_resident(EntryKey::Tables(key, xi, sel.tight))
-        {
-            self.pool.counters.tables_reused += 1;
-            return;
-        }
-        let tables = BoundTables::build(self.pool.matrix(key), domain, xi, sel);
-        self.pool.counters.tables_built += 1;
-        self.pool.insert(
-            EntryKey::Tables(key, xi, sel.tight),
-            Payload::Tables(tables),
-        );
+    /// Completes one query: releases exactly the pins in `ctx`'s log,
+    /// folds its tallies into the lifetime totals, enforces the byte
+    /// limit, and returns the per-query report (with the
+    /// post-enforcement resident-bytes gauge). Resets `ctx` for the
+    /// session's next query.
+    pub(crate) fn finish_query(&self, ctx: &mut QueryCtx) -> CacheReport {
+        self.pool.finish_query(&mut ctx.log, &mut ctx.local)
     }
 
-    /// The cached (or freshly built) distance matrix for `key`, pinned
-    /// for the running query.
+    /// The distance matrix for `key`, resident and pinned for `ctx`'s
+    /// query — counting the lookup as exactly one of: resident reuse,
+    /// spill rehydrate, or fresh build.
     ///
     /// `threads >= 1` builds a cold matrix through the row-chunked
-    /// parallel constructors — bit-for-bit identical to the serial build,
-    /// so one cached matrix serves serial and parallel queries alike
-    /// (and one spill file serves both after an eviction).
+    /// parallel constructors — bit-for-bit identical to the serial
+    /// build, so one cached matrix serves serial and parallel queries
+    /// alike (and one spill file serves both after an eviction).
     pub(crate) fn matrix<P: GroundDistance + Sync>(
-        &mut self,
+        &self,
         key: ScopeKey,
         a: &[P],
         b: Option<&[P]>,
         threads: usize,
-    ) -> &DenseMatrix {
-        self.ensure_matrix(key, a, b, threads);
-        self.pool.matrix(key)
+        ctx: &mut QueryCtx,
+    ) -> Arc<DenseMatrix> {
+        let ekey = EntryKey::Matrix(key);
+        loop {
+            if let Some(p) = self.pool.pin_if_resident(ekey, &mut ctx.log) {
+                ctx.local.matrices_reused += 1;
+                return as_matrix(p);
+            }
+            match self.pool.begin_build(ekey) {
+                BuildSlot::Builder(_permit) => {
+                    // The previous builder may have landed between our
+                    // probe and winning the permit: re-probe once.
+                    if let Some(p) = self.pool.pin_if_resident(ekey, &mut ctx.log) {
+                        ctx.local.matrices_reused += 1;
+                        return as_matrix(p);
+                    }
+                    if let Some(store) = self.pool.spill_store() {
+                        if let Some(m) = store.load(key) {
+                            ctx.local.spill_loads += 1;
+                            let p = self.pool.insert_tallied(
+                                ekey,
+                                Payload::Matrix(Arc::new(m)),
+                                &mut ctx.log,
+                                &mut ctx.local,
+                            );
+                            return as_matrix(p);
+                        }
+                    }
+                    let matrix = match b {
+                        None => DenseMatrix::within_parallel(a, threads),
+                        Some(b) => DenseMatrix::between_parallel(a, b, threads),
+                    };
+                    ctx.local.matrices_built += 1;
+                    let p = self.pool.insert_tallied(
+                        ekey,
+                        Payload::Matrix(Arc::new(matrix)),
+                        &mut ctx.log,
+                        &mut ctx.local,
+                    );
+                    return as_matrix(p);
+                }
+                BuildSlot::Waited => continue,
+            }
+        }
+    }
+
+    /// The `(key, ξ, sel.tight)` bound tables, resident and pinned for
+    /// `ctx`'s query, built from `matrix` on a miss.
+    fn ensure_table(
+        &self,
+        key: ScopeKey,
+        matrix: &DenseMatrix,
+        domain: Domain,
+        xi: usize,
+        sel: BoundSelection,
+        ctx: &mut QueryCtx,
+    ) -> Arc<BoundTables> {
+        let ekey = EntryKey::Tables(key, xi, sel.tight);
+        loop {
+            if let Some(p) = self.pool.pin_if_resident(ekey, &mut ctx.log) {
+                ctx.local.tables_reused += 1;
+                return as_tables(p);
+            }
+            match self.pool.begin_build(ekey) {
+                BuildSlot::Builder(_permit) => {
+                    if let Some(p) = self.pool.pin_if_resident(ekey, &mut ctx.log) {
+                        ctx.local.tables_reused += 1;
+                        return as_tables(p);
+                    }
+                    let tables = BoundTables::build(matrix, domain, xi, sel);
+                    ctx.local.tables_built += 1;
+                    let p = self.pool.insert_tallied(
+                        ekey,
+                        Payload::Tables(Arc::new(tables)),
+                        &mut ctx.log,
+                        &mut ctx.local,
+                    );
+                    return as_tables(p);
+                }
+                BuildSlot::Waited => continue,
+            }
+        }
     }
 
     /// GTM*'s working set: the cached dense matrix *if one is resident*
@@ -222,43 +355,65 @@ impl CorpusCache {
     /// allocation it exists to avoid) plus the relaxed bound tables,
     /// cached and built from the best available distance source.
     pub(crate) fn gtm_star_prepared<P: GroundDistance>(
-        &mut self,
+        &self,
         key: ScopeKey,
         a: &[P],
         b: Option<&[P]>,
         domain: Domain,
         xi: usize,
-    ) -> (Option<&DenseMatrix>, &BoundTables) {
-        let have_matrix = self.pool.pin_if_resident(EntryKey::Matrix(key));
-        if have_matrix {
-            self.pool.counters.matrices_reused += 1;
+        ctx: &mut QueryCtx,
+    ) -> (Option<Arc<DenseMatrix>>, Arc<BoundTables>) {
+        let matrix = self
+            .pool
+            .pin_if_resident(EntryKey::Matrix(key), &mut ctx.log)
+            .map(as_matrix);
+        if matrix.is_some() {
+            ctx.local.matrices_reused += 1;
         }
-        if self.pool.pin_if_resident(EntryKey::Tables(key, xi, false)) {
-            self.pool.counters.tables_reused += 1;
-        } else {
-            let sel = BoundSelection::all_relaxed();
-            let tables = if have_matrix {
-                BoundTables::build(self.pool.matrix(key), domain, xi, sel)
-            } else {
-                match b {
-                    None => BoundTables::build(&LazyDistances::within(a), domain, xi, sel),
-                    Some(b) => BoundTables::build(&LazyDistances::between(a, b), domain, xi, sel),
+        let ekey = EntryKey::Tables(key, xi, false);
+        let tables = loop {
+            if let Some(p) = self.pool.pin_if_resident(ekey, &mut ctx.log) {
+                ctx.local.tables_reused += 1;
+                break as_tables(p);
+            }
+            match self.pool.begin_build(ekey) {
+                BuildSlot::Builder(_permit) => {
+                    if let Some(p) = self.pool.pin_if_resident(ekey, &mut ctx.log) {
+                        ctx.local.tables_reused += 1;
+                        break as_tables(p);
+                    }
+                    let sel = BoundSelection::all_relaxed();
+                    let tables = match &matrix {
+                        Some(m) => BoundTables::build(m.as_ref(), domain, xi, sel),
+                        None => match b {
+                            None => BoundTables::build(&LazyDistances::within(a), domain, xi, sel),
+                            Some(b) => {
+                                BoundTables::build(&LazyDistances::between(a, b), domain, xi, sel)
+                            }
+                        },
+                    };
+                    ctx.local.tables_built += 1;
+                    let p = self.pool.insert_tallied(
+                        ekey,
+                        Payload::Tables(Arc::new(tables)),
+                        &mut ctx.log,
+                        &mut ctx.local,
+                    );
+                    break as_tables(p);
                 }
-            };
-            self.pool.counters.tables_built += 1;
-            self.pool
-                .insert(EntryKey::Tables(key, xi, false), Payload::Tables(tables));
-        }
-        let matrix = have_matrix.then(|| self.pool.matrix(key));
-        (matrix, self.pool.tables(key, xi, false))
+                BuildSlot::Waited => continue,
+            }
+        };
+        (matrix, tables)
     }
 
-    /// The cached matrix *and* bound tables for `(key, ξ, sel)`, pinned.
+    /// The cached matrix *and* bound tables for `(key, ξ, sel)`, pinned
+    /// for `ctx`'s query.
     // lint: internal search-kernel entry threading prepared state; a
     // param struct would churn every call site without adding clarity.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn prepared<P: GroundDistance + Sync>(
-        &mut self,
+        &self,
         key: ScopeKey,
         a: &[P],
         b: Option<&[P]>,
@@ -266,9 +421,10 @@ impl CorpusCache {
         xi: usize,
         sel: BoundSelection,
         threads: usize,
-    ) -> (&DenseMatrix, &BoundTables) {
+        ctx: &mut QueryCtx,
+    ) -> (Arc<DenseMatrix>, Arc<BoundTables>) {
         let (matrix, tables, _) =
-            self.prepared_with_relaxed(key, a, b, domain, xi, sel, false, threads);
+            self.prepared_with_relaxed(key, a, b, domain, xi, sel, false, threads, ctx);
         (matrix, tables)
     }
 
@@ -279,12 +435,12 @@ impl CorpusCache {
     ///
     /// The matrix is pinned before any table build, so a table insert
     /// that pushes the pool over its limit can evict cold entries but
-    /// never the matrix this call is about to return.
+    /// never the matrix this call returns.
     // lint: internal search-kernel entry threading prepared state; a
     // param struct would churn every call site without adding clarity.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn prepared_with_relaxed<P: GroundDistance + Sync>(
-        &mut self,
+        &self,
         key: ScopeKey,
         a: &[P],
         b: Option<&[P]>,
@@ -293,23 +449,13 @@ impl CorpusCache {
         sel: BoundSelection,
         want_relaxed: bool,
         threads: usize,
-    ) -> (&DenseMatrix, &BoundTables, Option<&BoundTables>) {
-        self.ensure_matrix(key, a, b, threads);
-        self.ensure_table(key, domain, xi, sel);
-        let want_relaxed = want_relaxed && sel.tight;
-        if want_relaxed {
-            self.ensure_table(key, domain, xi, sel.with_tight(false));
-        }
-        let relaxed = if want_relaxed {
-            Some(self.pool.tables(key, xi, false))
-        } else {
-            None
-        };
-        (
-            self.pool.matrix(key),
-            self.pool.tables(key, xi, sel.tight),
-            relaxed,
-        )
+        ctx: &mut QueryCtx,
+    ) -> (Arc<DenseMatrix>, Arc<BoundTables>, Option<Arc<BoundTables>>) {
+        let matrix = self.matrix(key, a, b, threads, ctx);
+        let tables = self.ensure_table(key, &matrix, domain, xi, sel, ctx);
+        let relaxed = (want_relaxed && sel.tight)
+            .then(|| self.ensure_table(key, &matrix, domain, xi, sel.with_tight(false), ctx));
+        (matrix, tables, relaxed)
     }
 
     /// Heap bytes held by every resident structure (spilled entries are
@@ -320,7 +466,7 @@ impl CorpusCache {
 
     /// Drops every cached structure and spill file (counters are kept —
     /// they are lifetime totals).
-    pub(crate) fn clear(&mut self) {
+    pub(crate) fn clear(&self) {
         self.pool.clear();
     }
 }
@@ -333,27 +479,29 @@ mod tests {
     #[test]
     fn matrix_and_tables_are_built_once() {
         let t = planar::random_walk(40, 0.4, 1);
-        let mut cache = CorpusCache::default();
+        let cache = CorpusCache::default();
+        let mut ctx = QueryCtx::default();
         let key = ScopeKey::Within(0);
         let domain = Domain::Within { n: t.len() };
         let sel = BoundSelection::all_relaxed();
 
-        let _ = cache.prepared(key, t.points(), None, domain, 3, sel, 0);
-        cache.finish_query();
+        let _ = cache.prepared(key, t.points(), None, domain, 3, sel, 0, &mut ctx);
+        cache.finish_query(&mut ctx);
+        assert!(ctx.is_clean(), "finish resets the context");
         assert_eq!(cache.report().matrices_built, 1);
         assert_eq!(cache.report().tables_built, 1);
         assert_eq!(cache.report().reused(), 0);
 
-        let _ = cache.prepared(key, t.points(), None, domain, 3, sel, 0);
-        cache.finish_query();
+        let _ = cache.prepared(key, t.points(), None, domain, 3, sel, 0, &mut ctx);
+        cache.finish_query(&mut ctx);
         assert_eq!(cache.report().matrices_built, 1);
         assert_eq!(cache.report().tables_built, 1);
         assert_eq!(cache.report().matrices_reused, 1);
         assert_eq!(cache.report().tables_reused, 1);
 
         // A different ξ reuses the matrix but needs new tables.
-        let _ = cache.prepared(key, t.points(), None, domain, 5, sel, 0);
-        cache.finish_query();
+        let _ = cache.prepared(key, t.points(), None, domain, 5, sel, 0, &mut ctx);
+        cache.finish_query(&mut ctx);
         assert_eq!(cache.report().matrices_built, 1);
         assert_eq!(cache.report().tables_built, 2);
 
@@ -367,8 +515,9 @@ mod tests {
             3,
             BoundSelection::cell_only(),
             0,
+            &mut ctx,
         );
-        cache.finish_query();
+        cache.finish_query(&mut ctx);
         assert_eq!(cache.report().tables_built, 2);
         assert_eq!(cache.report().tables_reused, 2);
         // The tight variant is a genuinely different table.
@@ -380,8 +529,9 @@ mod tests {
             3,
             BoundSelection::all_tight(),
             0,
+            &mut ctx,
         );
-        cache.finish_query();
+        cache.finish_query(&mut ctx);
         assert_eq!(cache.report().tables_built, 3);
 
         assert!(cache.bytes() > 0);
@@ -396,11 +546,12 @@ mod tests {
     fn per_entry_eviction_keeps_recent_entries_resident() {
         // Three same-size trajectories, room for two of everything.
         let trajectories: Vec<_> = (0..3).map(|s| planar::random_walk(40, 0.4, s)).collect();
-        let mut cache = CorpusCache::default();
+        let cache = CorpusCache::default();
         let domain = Domain::Within { n: 40 };
         let sel = BoundSelection::all_relaxed();
 
-        let query = |cache: &mut CorpusCache, i: usize| {
+        let query = |cache: &CorpusCache, i: usize| -> CacheReport {
+            let mut ctx = QueryCtx::default();
             let _ = cache.prepared(
                 ScopeKey::Within(i),
                 trajectories[i].points(),
@@ -409,32 +560,73 @@ mod tests {
                 3,
                 sel,
                 0,
+                &mut ctx,
             );
-            cache.finish_query();
+            cache.finish_query(&mut ctx)
         };
-        query(&mut cache, 0);
+        query(&cache, 0);
         let per_traj = cache.bytes();
         cache.set_limit(Some(2 * per_traj));
 
-        query(&mut cache, 1);
+        query(&cache, 1);
         assert_eq!(cache.report().evictions, 0, "two trajectories fit");
 
         // Trajectory 2 displaces exactly trajectory 0's entries (LRU),
         // not the whole cache.
-        query(&mut cache, 2);
+        query(&cache, 2);
         assert_eq!(cache.report().evictions, 2);
-        let before = cache.report();
-        query(&mut cache, 1);
-        let delta = cache.report().delta_since(&before);
+        let delta = query(&cache, 1);
         assert_eq!(delta.recomputed(), 0, "trajectory 1 stayed resident");
         assert_eq!(delta.reused(), 2);
 
         // Trajectory 0 was evicted without a spill tier: full rebuild.
-        let before = cache.report();
-        query(&mut cache, 0);
-        let delta = cache.report().delta_since(&before);
+        let delta = query(&cache, 0);
         assert_eq!(delta.recomputed(), 2);
         assert_eq!(delta.spill_loads, 0);
+    }
+
+    #[test]
+    fn concurrent_sessions_share_builds_and_release_their_own_pins() {
+        let t = planar::random_walk(48, 0.4, 9);
+        let cache = CorpusCache::default();
+        let key = ScopeKey::Within(0);
+        let domain = Domain::Within { n: t.len() };
+        let sel = BoundSelection::all_relaxed();
+
+        // Eight sessions race the same cold key.
+        let reports: Vec<CacheReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut ctx = QueryCtx::default();
+                        let (m, tb) =
+                            cache.prepared(key, t.points(), None, domain, 3, sel, 0, &mut ctx);
+                        drop((m, tb));
+                        cache.finish_query(&mut ctx)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Single-flight: exactly one session built each structure, the
+        // other seven reused it (possibly after waiting on the build).
+        let built: u64 = reports.iter().map(CacheReport::recomputed).sum();
+        assert_eq!(built, 2, "one matrix + one table build across all sessions");
+        let totals = cache.report();
+        assert_eq!(totals.matrices_built, 1);
+        assert_eq!(totals.tables_built, 1);
+        assert_eq!(totals.matrices_reused, 7);
+        assert_eq!(totals.tables_reused, 7);
+        // Every lookup in every session's report is exactly one of
+        // built / reused / rehydrated.
+        for r in &reports {
+            assert_eq!(r.lookups(), 2);
+        }
+
+        // All pins were released: a zero limit empties the pool.
+        cache.set_limit(Some(0));
+        assert_eq!(cache.bytes(), 0, "no pinned-frame leaks");
     }
 
     #[test]
@@ -475,5 +667,16 @@ mod tests {
         assert_eq!(d.lookups(), 3);
         assert!((d.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(CacheReport::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    #[cfg(debug_assertions)]
+    fn delta_from_swapped_snapshots_is_reported() {
+        let newer = CacheReport {
+            matrices_built: 3,
+            ..CacheReport::default()
+        };
+        let _ = CacheReport::default().delta_since(&newer);
     }
 }

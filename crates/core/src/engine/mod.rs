@@ -1,4 +1,5 @@
-//! The session-oriented query engine: one facade over every workload.
+//! The query engine: one shared, concurrently-usable facade over every
+//! workload.
 //!
 //! [`Engine`] owns a corpus of registered trajectories (lightweight
 //! [`TrajId`] handles) and executes typed [`Query`] values — motif
@@ -8,19 +9,26 @@
 //! [`QueryOutcome`] bundling results, [`crate::SearchStats`], the
 //! resolved algorithm name, wall time, and cache activity.
 //!
-//! Two things make the facade more than plumbing:
+//! Three things make the facade more than plumbing:
 //!
 //! * **Memoization, buffer-managed.** The `O(n²)` distance matrix and the
 //!   bound tables of a trajectory depend only on `(trajectory, ξ, bounds)`
 //!   — never on the algorithm, k, or budget — so the engine caches them
 //!   per corpus entry. Repeated traffic on the same trajectory skips
 //!   precomputation entirely ([`QueryOutcome::cache`] shows what was
-//!   reused), and one shared [`crate::dp::DpBuffers`] serves every query.
-//!   Under a byte limit ([`Engine::with_cache_limit`]) the cache behaves
-//!   like a database buffer pool: entries are sized and evicted
-//!   individually (exact LRU), entries in use by the executing query are
+//!   reused). Under a byte limit ([`Engine::with_cache_limit`]) the cache
+//!   behaves like a database buffer pool: entries are sized and evicted
+//!   individually (exact LRU), entries in use by an executing query are
 //!   pinned, and with [`Engine::with_spill_dir`] evicted matrices spill
 //!   to disk and rehydrate bit-identically instead of being rebuilt.
+//! * **Sessions.** The engine itself is an immutable shared core:
+//!   `execute` takes `&self`, so any number of [`Session`] handles (one
+//!   per thread, tenant, or connection) can query **the same engine
+//!   concurrently**, sharing the corpus and the warm cache. Per-query
+//!   mutable state — DP scratch buffers and the cache pin log — lives in
+//!   the session, not the engine. Results are bit-for-bit identical to
+//!   running the same queries serially; see `docs/SERVING.md` for the
+//!   locking argument.
 //! * **Selection.** [`AlgorithmChoice::Auto`] picks
 //!   BruteDP/BTM/GTM/GTM* from `n` and ξ using the crossovers measured in
 //!   the paper's Section 6 (see [`AlgorithmChoice::resolve`]).
@@ -29,7 +37,7 @@
 //! use fremo_core::engine::{AlgorithmChoice, Engine, Query};
 //! use fremo_trajectory::gen::planar;
 //!
-//! let mut engine = Engine::new();
+//! let engine = Engine::new();
 //! let id = engine.register(planar::random_walk(200, 0.4, 7));
 //!
 //! let query = Query::motif(id).xi(10).build();
@@ -40,6 +48,28 @@
 //! // The second query recomputed nothing: matrix and tables were cached.
 //! assert_eq!(again.cache.recomputed(), 0);
 //! assert!(again.cache.reused() > 0);
+//! ```
+//!
+//! Concurrent sessions over one shared engine:
+//!
+//! ```
+//! use fremo_core::engine::{Engine, Query};
+//! use fremo_trajectory::gen::planar;
+//!
+//! let engine = Engine::new();
+//! let id = engine.register(planar::random_walk(120, 0.4, 7));
+//! let query = Query::motif(id).xi(6).build();
+//! let baseline = engine.execute(&query).unwrap();
+//!
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         s.spawn(|| {
+//!             let mut session = engine.session();
+//!             let outcome = session.execute(&query).unwrap();
+//!             assert_eq!(outcome.motif(), baseline.motif());
+//!         });
+//!     }
+//! });
 //! ```
 
 mod buffer;
@@ -53,7 +83,12 @@ pub use query::{
     AUTO_BRUTE_MAX_N, AUTO_BTM_MAX_N, AUTO_GTM_MAX_N, PARALLEL_AUTO_MIN_N,
 };
 
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+use parking_lot::RwLock;
 
 use fremo_trajectory::{GroundDistance, LazyDistances, Trajectory};
 
@@ -71,7 +106,7 @@ use crate::stats::SearchStats;
 use crate::topk::top_k_prepared;
 
 use buffer::ScopeKey;
-use cache::CorpusCache;
+use cache::{CorpusCache, QueryCtx};
 
 /// Opaque handle to a trajectory registered with an [`Engine`].
 ///
@@ -104,27 +139,34 @@ impl TrajId {
 
 /// Engine identities, so [`TrajId`]s cannot cross engines (ids start
 /// at 1; see [`TrajId::from_index`]).
-static NEXT_ENGINE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Lifetime counters of an [`Engine`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct EngineStats {
-    /// Queries executed (successful or not).
+    /// Queries executed (successful or not), across all sessions.
     pub queries: u64,
-    /// Cumulative cache activity.
+    /// Cumulative cache activity, across all sessions.
     pub cache: CacheReport,
 }
 
-/// A session-oriented query engine over a corpus of trajectories.
+/// A query engine over a corpus of trajectories, shareable across
+/// threads (`&Engine` executes queries; see [`Engine::session`]).
 ///
-/// See the [module docs](self) for the full picture and an example.
+/// The engine is an immutable shared core: the corpus sits behind a
+/// `parking_lot::RwLock` (registration appends under a brief write lock,
+/// queries clone `Arc` handles out under a read lock), and the cache is
+/// internally synchronized by its sharded buffer pool. The **lock
+/// order** is `corpus → meta → shard`: a corpus lock is never held
+/// across a cache call, the cache's residency ledger (`meta`) is
+/// acquired before any frame shard, and at most one shard lock is held
+/// at a time. See the [module docs](self) and `docs/SERVING.md`.
 pub struct Engine<P> {
     id: u64,
-    corpus: Vec<Trajectory<P>>,
+    corpus: RwLock<Vec<Arc<Trajectory<P>>>>,
     cache: CorpusCache,
-    buffers: DpBuffers,
-    queries: u64,
+    queries: AtomicU64,
 }
 
 impl<P: GroundDistance> Default for Engine<P> {
@@ -140,11 +182,25 @@ impl<P: GroundDistance> Engine<P> {
         Engine {
             // relaxed: the id only needs uniqueness, which fetch_add's
             // atomicity provides; it orders nothing.
-            id: NEXT_ENGINE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-            corpus: Vec::new(),
+            id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            corpus: RwLock::new(Vec::new()),
             cache: CorpusCache::default(),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// A session handle for running queries against this engine: it
+    /// owns the per-query mutable state (DP scratch buffers, cache pin
+    /// log), so each thread, tenant, or connection gets its own while
+    /// all of them share this engine's corpus and warm cache. Sessions
+    /// are cheap (two empty `Vec`s) but reusing one across queries
+    /// keeps its scratch allocations warm.
+    #[must_use]
+    pub fn session(&self) -> Session<'_, P> {
+        Session {
+            engine: self,
             buffers: DpBuffers::default(),
-            queries: 0,
+            ctx: QueryCtx::default(),
         }
     }
 
@@ -153,14 +209,14 @@ impl<P: GroundDistance> Engine<P> {
     /// limit, the least recently used unpinned matrices and bound
     /// tables are evicted one by one until it fits again, so the hot
     /// working set stays warm instead of being dropped wholesale.
-    /// Entries in use by the executing query are pinned and never
-    /// evicted mid-query (the limit is re-enforced when the query
+    /// Entries in use by an executing query are pinned and never
+    /// evicted mid-query (the limit is re-enforced as each query
     /// completes). Takes effect immediately — lowering the limit evicts
     /// right away. `None` (the default) means unbounded: a long-lived
-    /// session over a large corpus should set a limit (see
+    /// engine over a large corpus should set a limit (see
     /// `docs/CACHING.md` for how to size it) or call
     /// [`Engine::clear_cache`] periodically.
-    pub fn set_cache_limit(&mut self, bytes: Option<usize>) {
+    pub fn set_cache_limit(&self, bytes: Option<usize>) {
         self.cache.set_limit(bytes);
     }
 
@@ -173,7 +229,7 @@ impl<P: GroundDistance> Engine<P> {
     /// // Room for two 100-point trajectories' matrices + tables (~81 KiB
     /// // each): caching a third evicts the least recently used entries,
     /// // not the whole cache.
-    /// let mut engine = Engine::new().with_cache_limit(192 * 1024);
+    /// let engine = Engine::new().with_cache_limit(192 * 1024);
     /// let ids = engine.register_all((0..3).map(|s| planar::random_walk(100, 0.4, s)));
     /// for id in ids {
     ///     engine.execute(&Query::motif(id).xi(5).build()).unwrap();
@@ -182,7 +238,7 @@ impl<P: GroundDistance> Engine<P> {
     /// assert!(engine.stats().cache.evictions > 0);
     /// ```
     #[must_use]
-    pub fn with_cache_limit(mut self, bytes: usize) -> Self {
+    pub fn with_cache_limit(self, bytes: usize) -> Self {
         self.cache.set_limit(Some(bytes));
         self
     }
@@ -196,10 +252,17 @@ impl<P: GroundDistance> Engine<P> {
     /// [`Engine::clear_cache`]). Bound tables are never spilled
     /// (rebuilding them from a resident matrix is cheap), and GTM*
     /// keeps its space guarantee — it reads a *resident* matrix but
-    /// never triggers an `O(n²)` rehydrate. A failed spill write
-    /// degrades to a plain drop, so the engine never errors on I/O.
-    pub fn set_spill_dir(&mut self, dir: Option<&std::path::Path>) {
-        self.cache.set_spill(dir, self.id);
+    /// never triggers an `O(n²)` rehydrate. A failed spill *write*
+    /// degrades to a plain drop, so a configured engine never errors on
+    /// I/O mid-query.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the engine's private spill directory cannot be created,
+    /// or already exists — each live engine claims its directory
+    /// exclusively rather than silently sharing write-once spill files.
+    pub fn set_spill_dir(&self, dir: Option<&std::path::Path>) -> io::Result<()> {
+        self.cache.set_spill(dir, self.id)
     }
 
     /// Builder form of [`Engine::set_spill_dir`].
@@ -211,7 +274,7 @@ impl<P: GroundDistance> Engine<P> {
     /// let dir = std::env::temp_dir().join(format!("fremo-spill-doc-{}", std::process::id()));
     /// // A 1-byte limit forces every entry out after each query; with a
     /// // spill dir the matrix comes back from disk, not a rebuild.
-    /// let mut engine = Engine::new().with_cache_limit(1).with_spill_dir(&dir);
+    /// let engine = Engine::new().with_cache_limit(1).with_spill_dir(&dir).unwrap();
     /// let id = engine.register(planar::random_walk(60, 0.4, 7));
     /// let query = Query::motif(id).xi(4).build();
     ///
@@ -221,62 +284,74 @@ impl<P: GroundDistance> Engine<P> {
     /// assert_eq!(warm.cache.matrices_built, 0);
     /// assert_eq!(warm.cache.spill_loads, 1);
     /// ```
-    #[must_use]
-    pub fn with_spill_dir(mut self, dir: impl AsRef<std::path::Path>) -> Self {
-        self.set_spill_dir(Some(dir.as_ref()));
-        self
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::set_spill_dir`].
+    pub fn with_spill_dir(self, dir: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        self.set_spill_dir(Some(dir.as_ref()))?;
+        Ok(self)
     }
 
-    /// Registers a trajectory, returning its handle.
-    pub fn register(&mut self, trajectory: Trajectory<P>) -> TrajId {
-        self.corpus.push(trajectory);
+    /// Registers a trajectory, returning its handle. Registration is
+    /// safe while sessions are querying (handles index an append-only
+    /// corpus).
+    pub fn register(&self, trajectory: Trajectory<P>) -> TrajId {
+        let mut corpus = self.corpus.write();
+        corpus.push(Arc::new(trajectory));
         TrajId {
             engine: self.id,
-            index: self.corpus.len() - 1,
+            index: corpus.len() - 1,
         }
     }
 
     /// Registers every trajectory of an iterator, returning the handles
     /// in order.
     pub fn register_all(
-        &mut self,
+        &self,
         trajectories: impl IntoIterator<Item = Trajectory<P>>,
     ) -> Vec<TrajId> {
         trajectories.into_iter().map(|t| self.register(t)).collect()
     }
 
-    /// The trajectory behind a handle.
+    /// The trajectory behind a handle (a shared `Arc`, cloned out of a
+    /// brief corpus read lock).
     ///
     /// # Errors
     ///
     /// [`EngineError::UnknownTrajectory`] when the handle is not from
     /// this engine.
-    pub fn trajectory(&self, id: TrajId) -> Result<&Trajectory<P>, EngineError> {
+    pub fn trajectory(&self, id: TrajId) -> Result<Arc<Trajectory<P>>, EngineError> {
         if id.engine != self.id {
             return Err(EngineError::UnknownTrajectory(id));
         }
         self.corpus
+            .read()
             .get(id.index)
+            .cloned()
             .ok_or(EngineError::UnknownTrajectory(id))
     }
 
     /// Number of registered trajectories.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.corpus.len()
+        self.corpus.read().len()
     }
 
     /// Whether the corpus is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.corpus.is_empty()
+        self.corpus.read().is_empty()
     }
 
-    /// Lifetime counters (queries executed, cache hits/builds/evictions).
+    /// Lifetime counters (queries executed, cache hits/builds/evictions)
+    /// across all sessions.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            queries: self.queries,
+            // relaxed: a monotonic counter read for reporting; it
+            // synchronizes nothing.
+            queries: self.queries.load(Ordering::Relaxed),
             cache: self.cache.report(),
         }
     }
@@ -289,8 +364,9 @@ impl<P: GroundDistance> Engine<P> {
     }
 
     /// Drops every cached structure and spill file (registered
-    /// trajectories are kept).
-    pub fn clear_cache(&mut self) {
+    /// trajectories are kept). Safe while sessions run: their in-flight
+    /// queries keep using the structures they already pinned.
+    pub fn clear_cache(&self) {
         self.cache.clear();
     }
 }
@@ -299,26 +375,82 @@ impl<P: GroundDistance> Engine<P> {
 /// shares point slices across worker threads (every concrete point type
 /// in the workspace is `Sync`).
 impl<P: GroundDistance + Sync> Engine<P> {
-    /// Executes one query against the corpus.
+    /// Executes one query against the corpus, on a transient session.
+    ///
+    /// This is the one-shot convenience form: each call builds (and
+    /// drops) a [`Session`], so repeated callers — and anything
+    /// latency-sensitive — should hold their own session via
+    /// [`Engine::session`] to keep its scratch buffers warm. Because it
+    /// takes `&self`, any number of threads may call it (or run their
+    /// own sessions) concurrently; results are bit-identical to serial
+    /// execution.
     ///
     /// # Errors
     ///
     /// [`EngineError::UnknownTrajectory`] for foreign handles,
     /// [`EngineError::InvalidParameter`] for out-of-range parameters
     /// (ξ = 0, τ = 0, k = 0, negative ε, window < 2, stride = 0).
+    pub fn execute(&self, query: &Query) -> Result<QueryOutcome, EngineError> {
+        self.session().execute(query)
+    }
+}
+
+/// One query stream over a shared [`Engine`]: the engine's view plus
+/// the per-query mutable state (DP scratch buffers and the cache pin
+/// log) that used to force `execute` to take `&mut Engine`.
+///
+/// Create one per thread/tenant/connection with [`Engine::session`];
+/// sessions are independent — each runs one query at a time
+/// (`execute(&mut self)`), while the engine serves all of them
+/// concurrently.
+pub struct Session<'e, P> {
+    engine: &'e Engine<P>,
+    buffers: DpBuffers,
+    ctx: QueryCtx,
+}
+
+impl<'e, P> Session<'e, P> {
+    /// The shared engine this session queries.
+    #[must_use]
+    pub fn engine(&self) -> &'e Engine<P> {
+        self.engine
+    }
+}
+
+impl<P> Drop for Session<'_, P> {
+    /// A session dropped mid-query (a panicking kernel unwound through
+    /// `execute`) still holds cache pins; release them so the shared
+    /// pool never leaks pinned frames.
+    fn drop(&mut self) {
+        if !self.ctx.is_clean() {
+            let _ = self.engine.cache.finish_query(&mut self.ctx);
+        }
+    }
+}
+
+impl<P: GroundDistance + Sync> Session<'_, P> {
+    /// Executes one query. See [`Engine::execute`] for the error
+    /// contract; outcomes are identical — a session only adds reusable
+    /// scratch state.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownTrajectory`] for foreign handles,
+    /// [`EngineError::InvalidParameter`] for out-of-range parameters.
     pub fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
         let started = Instant::now();
-        self.queries += 1;
-        let cache_before = self.cache.report();
+        // relaxed: a monotonic counter; nothing is ordered by it.
+        self.engine.queries.fetch_add(1, Ordering::Relaxed);
 
         let result = self.dispatch(query, started);
-        // Pins are scoped to one query: release them whether the query
-        // succeeded or not, and evict down to the byte limit now that
-        // nothing is in use.
-        self.cache.finish_query();
+        // Pins are scoped to one query: release exactly this session's
+        // pins whether the query succeeded or not, fold its tallies
+        // into the engine totals, and let the pool evict down to the
+        // byte limit now that this query holds nothing.
+        let report = self.engine.cache.finish_query(&mut self.ctx);
 
         let mut outcome = result?;
-        outcome.cache = self.cache.report().delta_since(&cache_before);
+        outcome.cache = report;
         outcome.wall_seconds = started.elapsed().as_secs_f64();
         Ok(outcome)
     }
@@ -391,39 +523,42 @@ impl<P: GroundDistance + Sync> Engine<P> {
             MotifScope::Within(id) => (ScopeKey::Within(id.index), id, None),
             MotifScope::Between(a, b) => (ScopeKey::Between(a.index, b.index), a, Some(b)),
         };
-        let a = self.trajectory(a_id)?;
+        // Clone Arc handles out of the corpus lock: algorithm execution
+        // must never run under it.
+        let a = self.engine.trajectory(a_id)?;
+        let b = match b_id {
+            None => None,
+            Some(id) => Some(self.engine.trajectory(id)?),
+        };
         let n = a.len();
-        let (domain, m) = match b_id {
+        let (domain, m) = match &b {
             None => (Domain::Within { n }, None),
-            Some(b) => {
-                let b = self.trajectory(b)?;
-                (Domain::Between { n, m: b.len() }, Some(b.len()))
-            }
+            Some(b) => (Domain::Between { n, m: b.len() }, Some(b.len())),
         };
         let longest = n.max(m.unwrap_or(0));
         let resolved = query.algorithm.resolve(longest, query.min_length);
         let threads = query.execution.resolve(longest);
 
-        let (pa, pb) = match scope {
-            MotifScope::Within(id) => (self.corpus[id.index].points(), None),
-            MotifScope::Between(ai, bi) => (
-                self.corpus[ai.index].points(),
-                Some(self.corpus[bi.index].points()),
-            ),
-        };
+        let pa = a.points();
+        let pb = b.as_deref().map(Trajectory::points);
 
         // GTM* exists to avoid allocating the O(n²) matrix, so it never
         // *builds* one — but a matrix another algorithm already paid for
         // is free to read, and its relaxed bound tables are cached like
         // everyone else's, so warm queries skip precomputation.
         if let ResolvedAlgorithm::GtmStar = resolved {
-            let (dense, tables) =
-                self.cache
-                    .gtm_star_prepared(key, pa, pb, domain, config.min_length);
-            let tables = Some(tables);
-            let (motif, mut stats, completed) = match dense {
+            let (dense, tables) = self.engine.cache.gtm_star_prepared(
+                key,
+                pa,
+                pb,
+                domain,
+                config.min_length,
+                &mut self.ctx,
+            );
+            let tables = Some(tables.as_ref());
+            let (motif, mut stats, completed) = match &dense {
                 Some(src) => GtmStar::run(
-                    src,
+                    src.as_ref(),
                     domain,
                     &config,
                     started,
@@ -470,10 +605,13 @@ impl<P: GroundDistance + Sync> Engine<P> {
                 // execution mode (Algorithm 1 is measured serial), but a
                 // parallel query still benefits from the parallel matrix
                 // build.
-                let src = self.cache.matrix(key, pa, pb, threads);
+                let src = self
+                    .engine
+                    .cache
+                    .matrix(key, pa, pb, threads, &mut self.ctx);
                 let pre = started.elapsed().as_secs_f64();
                 BruteDp::run_prepared(
-                    src,
+                    src.as_ref(),
                     domain,
                     &config,
                     pre,
@@ -483,7 +621,7 @@ impl<P: GroundDistance + Sync> Engine<P> {
                 )
             }
             ResolvedAlgorithm::Btm => {
-                let (src, tables) = self.cache.prepared(
+                let (src, tables) = self.engine.cache.prepared(
                     key,
                     pa,
                     pb,
@@ -491,10 +629,11 @@ impl<P: GroundDistance + Sync> Engine<P> {
                     config.min_length,
                     config.bounds,
                     threads,
+                    &mut self.ctx,
                 );
                 Btm::run_prepared(
-                    src,
-                    tables,
+                    src.as_ref(),
+                    tables.as_ref(),
                     domain,
                     &config,
                     0.0,
@@ -505,7 +644,7 @@ impl<P: GroundDistance + Sync> Engine<P> {
                 )
             }
             ResolvedAlgorithm::Gtm => {
-                let (src, tables, relaxed) = self.cache.prepared_with_relaxed(
+                let (src, tables, relaxed) = self.engine.cache.prepared_with_relaxed(
                     key,
                     pa,
                     pb,
@@ -514,11 +653,12 @@ impl<P: GroundDistance + Sync> Engine<P> {
                     config.bounds,
                     true,
                     threads,
+                    &mut self.ctx,
                 );
                 Gtm::run_prepared(
-                    src,
-                    tables,
-                    relaxed.and_then(|t| t.as_relaxed()),
+                    src.as_ref(),
+                    tables.as_ref(),
+                    relaxed.as_deref().and_then(|t| t.as_relaxed()),
                     domain,
                     &config,
                     0.0,
@@ -534,7 +674,7 @@ impl<P: GroundDistance + Sync> Engine<P> {
                         "approximation ε must be finite and ≥ 0".into(),
                     ));
                 }
-                let (src, tables, relaxed) = self.cache.prepared_with_relaxed(
+                let (src, tables, relaxed) = self.engine.cache.prepared_with_relaxed(
                     key,
                     pa,
                     pb,
@@ -543,11 +683,12 @@ impl<P: GroundDistance + Sync> Engine<P> {
                     config.bounds,
                     true,
                     threads,
+                    &mut self.ctx,
                 );
                 Gtm::run_prepared(
-                    src,
-                    tables,
-                    relaxed.and_then(|t| t.as_relaxed()),
+                    src.as_ref(),
+                    tables.as_ref(),
+                    relaxed.as_deref().and_then(|t| t.as_relaxed()),
                     domain,
                     &config,
                     epsilon,
@@ -594,22 +735,23 @@ impl<P: GroundDistance + Sync> Engine<P> {
         }
         let config = query.motif_config();
         let budget = query.budget.to_search_budget(started);
-        let n = self.trajectory(id)?.len();
+        let traj = self.engine.trajectory(id)?;
+        let n = traj.len();
         let threads = query.execution.resolve(n);
         let domain = Domain::Within { n };
-        let pts = self.corpus[id.index].points();
-        let (src, tables) = self.cache.prepared(
+        let (src, tables) = self.engine.cache.prepared(
             ScopeKey::Within(id.index),
-            pts,
+            traj.points(),
             None,
             domain,
             config.min_length,
             config.bounds,
             threads,
+            &mut self.ctx,
         );
         let (motifs, mut stats, completed) = top_k_prepared(
-            src,
-            tables,
+            src.as_ref(),
+            tables.as_ref(),
             domain,
             &config,
             k,
@@ -639,15 +781,19 @@ impl<P: GroundDistance + Sync> Engine<P> {
                 "join threshold ε must be non-negative".into(),
             ));
         }
-        let resolve = |ids: &[TrajId]| -> Result<Vec<&Trajectory<P>>, EngineError> {
-            ids.iter().map(|&id| self.trajectory(id)).collect()
+        let resolve = |ids: &[TrajId]| -> Result<Vec<Arc<Trajectory<P>>>, EngineError> {
+            ids.iter().map(|&id| self.engine.trajectory(id)).collect()
         };
-        let a = resolve(probe)?;
+        // The join kernels take plain `&Trajectory` slices (Sync needs
+        // only `P: Sync` that way); the Arcs just keep them alive.
+        let a_arcs = resolve(probe)?;
+        let a: Vec<&Trajectory<P>> = a_arcs.iter().map(Arc::as_ref).collect();
         let result = match (base, threads) {
             (None, 0) => similarity_self_join(&a, epsilon),
             (None, t) => similarity_self_join_parallel(&a, epsilon, t),
             (Some(base), t) => {
-                let b = resolve(base)?;
+                let b_arcs = resolve(base)?;
+                let b: Vec<&Trajectory<P>> = b_arcs.iter().map(Arc::as_ref).collect();
                 if t == 0 {
                     similarity_join(&a, &b, epsilon)
                 } else {
@@ -686,12 +832,12 @@ impl<P: GroundDistance + Sync> Engine<P> {
                 "cluster threshold ε must be non-negative".into(),
             ));
         }
-        let t = self.trajectory(id)?;
+        let t = self.engine.trajectory(id)?;
         let cfg = ClusterConfig::new(window, stride, epsilon);
         let clusters = if threads == 0 {
-            cluster_subtrajectories(t, &cfg)
+            cluster_subtrajectories(t.as_ref(), &cfg)
         } else {
-            cluster_subtrajectories_parallel(t, &cfg, threads)
+            cluster_subtrajectories_parallel(t.as_ref(), &cfg, threads)
         };
         Ok(outcome_skeleton(
             QueryResults::Cluster(clusters),
@@ -712,8 +858,8 @@ impl<P: GroundDistance + Sync> Engine<P> {
                 "measure threshold ε must be non-negative".into(),
             ));
         }
-        let ta = self.trajectory(a)?;
-        let tb = self.trajectory(b)?;
+        let ta = self.engine.trajectory(a)?;
+        let tb = self.engine.trajectory(b)?;
         let (pa, pb) = (ta.points(), tb.points());
         let profile = MeasureProfile {
             euclidean: fremo_similarity::lockstep_euclidean(pa, pb),
@@ -733,7 +879,7 @@ impl<P: GroundDistance + Sync> Engine<P> {
     }
 }
 
-/// An outcome with cache/wall fields left for [`Engine::execute`] to fill.
+/// An outcome with cache/wall fields left for [`Session::execute`] to fill.
 fn outcome_skeleton(
     results: QueryResults,
     algorithm: &'static str,
@@ -759,17 +905,17 @@ mod tests {
 
     #[test]
     fn register_and_lookup() {
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         assert!(engine.is_empty());
         let ids = engine.register_all((0..3).map(|s| planar::random_walk(30, 0.4, s)));
         assert_eq!(engine.len(), 3);
         assert_eq!(ids[2].index(), 2);
         assert!(engine.trajectory(ids[1]).is_ok());
         let foreign = TrajId::from_index(99);
-        assert_eq!(
+        assert!(matches!(
             engine.trajectory(foreign),
-            Err(EngineError::UnknownTrajectory(foreign))
-        );
+            Err(EngineError::UnknownTrajectory(f)) if f == foreign
+        ));
     }
 
     #[test]
@@ -777,7 +923,7 @@ mod tests {
         let t = planar::random_walk(60, 0.4, 11);
         let direct = crate::Btm.discover(&t, &MotifConfig::new(4)).unwrap();
 
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let id = engine.register(t);
         let q = Query::motif(id)
             .xi(4)
@@ -804,7 +950,7 @@ mod tests {
 
     #[test]
     fn invalid_parameters_are_rejected_not_panicked() {
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let id = engine.register(planar::random_walk(40, 0.4, 1));
         for q in [
             Query::motif(id).xi(0).build(),
@@ -837,8 +983,8 @@ mod tests {
 
     #[test]
     fn handles_do_not_cross_engines() {
-        let mut a = Engine::new();
-        let mut b = Engine::new();
+        let a = Engine::new();
+        let b = Engine::new();
         let id_a = a.register(planar::random_walk(30, 0.4, 1));
         let _id_b = b.register(planar::random_walk(30, 0.4, 2));
         // Same in-range index, wrong engine: must be rejected, not
@@ -852,7 +998,7 @@ mod tests {
 
     #[test]
     fn cache_limit_bounds_memory() {
-        let mut engine = Engine::new().with_cache_limit(1);
+        let engine = Engine::new().with_cache_limit(1);
         let ids = engine.register_all((0..3).map(|s| planar::random_walk(40, 0.4, s)));
         for id in &ids {
             let outcome = engine.execute(&Query::motif(*id).xi(3).build()).unwrap();
@@ -862,7 +1008,7 @@ mod tests {
             assert_eq!(engine.cache_bytes(), 0);
         }
         // Unbounded engines keep the cache.
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let id = engine.register(planar::random_walk(40, 0.4, 9));
         engine.execute(&Query::motif(id).xi(3).build()).unwrap();
         assert!(engine.cache_bytes() > 0);
@@ -877,7 +1023,7 @@ mod tests {
         let direct = crate::GtmStar
             .discover(&t, &MotifConfig::new(4).with_group_size(8))
             .unwrap();
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let id = engine.register(t);
         let q = Query::motif(id)
             .xi(4)
@@ -915,7 +1061,7 @@ mod tests {
     #[test]
     fn budget_truncation_is_reported() {
         let t = planar::random_walk(90, 0.4, 5);
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let id = engine.register(t);
         let q = Query::motif(id)
             .xi(3)
@@ -938,7 +1084,7 @@ mod tests {
     #[test]
     fn tight_gtm_caches_relaxed_tables_for_warm_queries() {
         let t = planar::random_walk(70, 0.4, 21);
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let id = engine.register(t);
         let q = Query::motif(id)
             .xi(4)
@@ -956,14 +1102,17 @@ mod tests {
     }
 
     #[test]
-    fn mixed_workloads_share_one_session() {
-        let mut engine = Engine::new();
+    fn mixed_workloads_share_one_engine() {
+        let engine = Engine::new();
         let ids = engine.register_all((0..4).map(|s| planar::random_walk(50, 0.4, s)));
+        let mut session = engine.session();
 
-        let motif = engine.execute(&Query::motif(ids[0]).xi(3).build()).unwrap();
+        let motif = session
+            .execute(&Query::motif(ids[0]).xi(3).build())
+            .unwrap();
         assert!(motif.motif().is_some());
 
-        let topk = engine
+        let topk = session
             .execute(&Query::top_k(ids[0], 2).xi(3).build())
             .unwrap();
         assert!(!topk.motifs().is_empty());
@@ -990,5 +1139,54 @@ mod tests {
         let p = measures.measures().unwrap();
         assert!(p.dfd >= 0.0 && p.hausdorff <= p.dfd + 1e-9);
         assert_eq!(engine.stats().queries, 5);
+    }
+
+    #[test]
+    fn concurrent_sessions_match_serial_and_leak_no_pins() {
+        let trajectories: Vec<_> = (0..3).map(|s| planar::random_walk(50, 0.4, s)).collect();
+
+        // Serial baseline on a private engine.
+        let serial = Engine::new();
+        let sids = serial.register_all(trajectories.iter().cloned());
+        let queries: Vec<Query> = (0..3)
+            .flat_map(|i| {
+                [
+                    Query::motif(sids[i]).xi(3).build(),
+                    Query::top_k(sids[i], 2).xi(3).build(),
+                ]
+            })
+            .collect();
+        let baseline: Vec<_> = queries.iter().map(|q| serial.execute(q).unwrap()).collect();
+
+        // The same queries, raced from four sessions on one shared
+        // engine (handles are index-compatible: same registration order).
+        let shared = Engine::new();
+        let ids = shared.register_all(trajectories.iter().cloned());
+        assert_eq!(ids.len(), sids.len());
+        let rebased: Vec<Query> = (0..3)
+            .flat_map(|i| {
+                [
+                    Query::motif(ids[i]).xi(3).build(),
+                    Query::top_k(ids[i], 2).xi(3).build(),
+                ]
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut session = shared.session();
+                    for (q, want) in rebased.iter().zip(&baseline) {
+                        let got = session.execute(q).unwrap();
+                        assert_eq!(got.motif(), want.motif());
+                        assert_eq!(got.motifs(), want.motifs());
+                    }
+                });
+            }
+        });
+
+        // No pinned-frame leaks: with every session finished, a zero
+        // limit can evict the whole resident set.
+        shared.set_cache_limit(Some(0));
+        assert_eq!(shared.cache_bytes(), 0);
     }
 }

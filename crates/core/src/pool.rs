@@ -20,6 +20,7 @@
 //!   of work stealing, without a deque per worker.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Environment variable overriding the global thread budget.
 ///
@@ -36,13 +37,25 @@ pub fn hardware_threads() -> usize {
 
 /// The global thread budget: `FREMO_THREADS` when set to a positive
 /// integer, else [`hardware_threads`].
+///
+/// Read from the environment **once**, at first use, and cached for the
+/// process lifetime. Re-reading per call would let two sessions of one
+/// engine resolve different global budgets mid-run if the environment
+/// changed under them — and mutating it concurrently is UB-adjacent
+/// anyway, which is why the workspace clippy config bans
+/// `std::env::set_var` outright. One read at first use makes that ban's
+/// rationale hold structurally: after this function's first call, the
+/// environment cannot influence thread budgets at all.
 #[must_use]
 pub fn global_threads() -> usize {
-    std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&t| t > 0)
-        .unwrap_or_else(hardware_threads)
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(hardware_threads)
+    })
 }
 
 /// Hard ceiling on worker threads per fan-out. Oversubscription beyond

@@ -13,7 +13,7 @@
 use fremo::prelude::*;
 
 fn main() {
-    let mut engine = Engine::new();
+    let engine = Engine::new();
 
     // A corpus: six commuters' days, 400 samples each.
     let ids: Vec<TrajId> = engine

@@ -24,7 +24,7 @@
 //! ```
 //! use fremo::prelude::*;
 //!
-//! let mut engine = Engine::new();
+//! let engine = Engine::new();
 //! let id = engine.register(fremo::trajectory::gen::geolife_like(300, 42));
 //!
 //! let outcome = engine
@@ -50,7 +50,7 @@ pub use fremo_trajectory as trajectory;
 pub mod prelude {
     pub use fremo_core::engine::{
         AlgorithmChoice, CacheReport, Engine, EngineError, EngineStats, ExecutionMode, MotifScope,
-        Query, QueryBudget, QueryBuilder, QueryKind, QueryOutcome, QueryResults, TrajId,
+        Query, QueryBudget, QueryBuilder, QueryKind, QueryOutcome, QueryResults, Session, TrajId,
     };
     pub use fremo_core::{
         BoundKind, BoundSelection, BruteDp, Btm, Gtm, GtmStar, Motif, MotifConfig, MotifDiscovery,

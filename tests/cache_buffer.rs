@@ -16,7 +16,7 @@ fn temp_dir(tag: &str) -> PathBuf {
 /// Footprint of one trajectory's cached entries for the workload used
 /// in these tests (measured, not assumed).
 fn footprint(n: usize, xi: usize) -> usize {
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(planar::random_walk(n, 0.4, 0));
     engine
         .execute(
@@ -44,8 +44,8 @@ fn eviction_never_changes_results() {
     let (n, xi) = (80, 5);
     let limit = footprint(n, xi) * 3 / 2;
 
-    let mut bounded = Engine::new().with_cache_limit(limit);
-    let mut unbounded = Engine::new();
+    let bounded = Engine::new().with_cache_limit(limit);
+    let unbounded = Engine::new();
     let walks: Vec<_> = (0..4).map(|s| planar::random_walk(n, 0.4, s)).collect();
     let bounded_ids = bounded.register_all(walks.iter().cloned());
     let unbounded_ids = unbounded.register_all(walks);
@@ -77,7 +77,10 @@ fn spill_round_trip_is_bit_identical() {
 
     // Limit of 1 byte: everything is evicted (and matrices spilled) the
     // moment the query's pins are released.
-    let mut engine = Engine::new().with_cache_limit(1).with_spill_dir(&dir);
+    let engine = Engine::new()
+        .with_cache_limit(1)
+        .with_spill_dir(&dir)
+        .unwrap();
     let id = engine.register(planar::random_walk(n, 0.4, 42));
     let query = motif_query(id, xi);
 
@@ -105,7 +108,10 @@ fn deltas_stay_consistent_across_eviction_churn() {
     let (n, xi) = (80, 5);
     let limit = footprint(n, xi) * 3 / 2;
 
-    let mut engine = Engine::new().with_cache_limit(limit).with_spill_dir(&dir);
+    let engine = Engine::new()
+        .with_cache_limit(limit)
+        .with_spill_dir(&dir)
+        .unwrap();
     let ids = engine.register_all((0..4).map(|s| planar::random_walk(n, 0.4, s)));
 
     let mut previous_totals = engine.stats().cache;
@@ -185,7 +191,7 @@ proptest! {
         let limit = footprint(n, xi) * limit_fraction / 2;
         let dir = temp_dir("prop");
 
-        let mut engine = Engine::new().with_cache_limit(limit).with_spill_dir(&dir);
+        let engine = Engine::new().with_cache_limit(limit).with_spill_dir(&dir).unwrap();
         let ids = engine.register_all((0..4).map(|s| planar::random_walk(n, 0.4, s)));
 
         for &seed in &seeds {

@@ -1,0 +1,223 @@
+//! Differential suite: concurrent sessions on one shared engine ≡ a
+//! serial run on a private engine, **bit-for-bit**.
+//!
+//! A mixed workload — motif within and between trajectories, top-k,
+//! similarity join (self and cross), clustering, and the measures
+//! profile, at several worker counts per query — first runs serially on
+//! a private engine to record the canonical answers. Then N threads
+//! replay the same workload concurrently through per-thread
+//! [`Session`] handles on one shared engine, each thread starting at a
+//! different offset so cache hits, single-flight builds, and evictions
+//! interleave differently per thread. Every result must match the
+//! serial baseline by bit pattern (`f64::to_bits` for distances).
+//!
+//! Run the suite under `FREMO_THREADS=1` and `FREMO_THREADS=4` (CI's
+//! `concurrency` job does both): the global budget feeds every query
+//! that does not pin its own worker count, so the two runs exercise
+//! different parallel schedules against the same baseline.
+//!
+//! The final check is the pin ledger: after every session has dropped,
+//! shrinking the cache limit to zero must evict *everything* — a single
+//! leaked pin from any session would keep its frame resident.
+
+use fremo::prelude::*;
+use fremo::trajectory::gen::planar;
+
+const SESSIONS: usize = 4;
+
+fn corpus() -> Vec<Trajectory<EuclideanPoint>> {
+    (0..5).map(|s| planar::random_walk(60, 0.45, s)).collect()
+}
+
+/// The mixed workload, rebuilt per engine because [`TrajId`]s are
+/// engine-scoped. Labels identify mismatches in assertion messages.
+fn workload(ids: &[TrajId]) -> Vec<(String, Query)> {
+    let mut queries = Vec::new();
+    for (i, &id) in ids.iter().enumerate().take(3) {
+        queries.push((format!("motif[{i}]"), Query::motif(id).xi(6 + i).build()));
+        queries.push((
+            format!("motif-parallel[{i}]"),
+            Query::motif(id)
+                .xi(6)
+                .execution(ExecutionMode::Parallel { threads: 2 })
+                .build(),
+        ));
+    }
+    queries.push((
+        "motif-between".into(),
+        Query::motif_between(ids[0], ids[1]).xi(6).build(),
+    ));
+    queries.push((
+        "motif-between-parallel".into(),
+        Query::motif_between(ids[2], ids[3])
+            .xi(6)
+            .execution(ExecutionMode::Parallel { threads: 3 })
+            .build(),
+    ));
+    queries.push(("topk".into(), Query::top_k(ids[0], 3).xi(6).build()));
+    queries.push((
+        "topk-parallel".into(),
+        Query::top_k(ids[1], 2)
+            .xi(7)
+            .execution(ExecutionMode::Parallel { threads: 2 })
+            .build(),
+    ));
+    queries.push(("join-self".into(), Query::join(ids.to_vec(), 6.0).build()));
+    queries.push((
+        "join-between".into(),
+        Query::join_between(ids[..2].to_vec(), ids[2..].to_vec(), 6.0)
+            .execution(ExecutionMode::Parallel { threads: 2 })
+            .build(),
+    ));
+    queries.push(("cluster".into(), Query::cluster(ids[0], 15, 5, 4.0).build()));
+    queries.push((
+        "measures".into(),
+        Query::measures(ids[0], ids[1], 2.5).build(),
+    ));
+    queries
+}
+
+/// Bit-exact fingerprint of a query result: every float is rendered by
+/// bit pattern, so two fingerprints are equal iff the results are
+/// bit-for-bit identical.
+fn fingerprint(outcome: &QueryOutcome) -> String {
+    let motif_bits = |m: &Motif| {
+        format!(
+            "({:?},{:?},{:016x})",
+            m.first,
+            m.second,
+            m.distance.to_bits()
+        )
+    };
+    match &outcome.results {
+        QueryResults::Motif(m) => {
+            format!("motif:{:?}", m.as_ref().map(motif_bits))
+        }
+        QueryResults::TopK(ms) => {
+            let items: Vec<String> = ms.iter().map(motif_bits).collect();
+            format!("topk:[{}]", items.join(","))
+        }
+        QueryResults::Join(j) => format!(
+            "join:{:?}/{}/{}/{}",
+            j.pairs, j.pruned_endpoints, j.pruned_hausdorff, j.verified
+        ),
+        QueryResults::Cluster(cs) => {
+            let items: Vec<String> = cs
+                .iter()
+                .map(|c| format!("({:?}<-{:?})", c.representative, c.members))
+                .collect();
+            format!("cluster:[{}]", items.join(","))
+        }
+        QueryResults::Measures(p) => format!(
+            "measures:{:016x}/{:016x}/{:016x}/{}/{:016x}/{:016x}",
+            p.euclidean.to_bits(),
+            p.dtw.to_bits(),
+            p.lcss.to_bits(),
+            p.edr,
+            p.dfd.to_bits(),
+            p.hausdorff.to_bits()
+        ),
+        other => format!("other:{other:?}"),
+    }
+}
+
+/// Serial baseline on a private engine: label → fingerprint.
+fn baseline() -> Vec<(String, String)> {
+    let engine = Engine::new();
+    let ids = engine.register_all(corpus());
+    workload(&ids)
+        .iter()
+        .map(|(label, query)| {
+            let outcome = engine.execute(query).unwrap();
+            (label.clone(), fingerprint(&outcome))
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_mixed_workload_matches_serial_bit_for_bit() {
+    let expected = baseline();
+
+    let shared = Engine::new();
+    let ids = shared.register_all(corpus());
+    let queries = workload(&ids);
+    assert_eq!(queries.len(), expected.len());
+
+    std::thread::scope(|scope| {
+        for offset in 0..SESSIONS {
+            let queries = &queries;
+            let expected = &expected;
+            let shared = &shared;
+            scope.spawn(move || {
+                let mut session = shared.session();
+                // Each thread starts the workload at a different query,
+                // so builds, hits, and evictions interleave differently.
+                for i in 0..queries.len() {
+                    let idx = (i + offset * 3) % queries.len();
+                    let (label, query) = &queries[idx];
+                    let outcome = session.execute(query).unwrap();
+                    assert_eq!(
+                        fingerprint(&outcome),
+                        expected[idx].1,
+                        "session {offset}: {label} diverged from the serial baseline"
+                    );
+                }
+            });
+        }
+    });
+
+    // Pin-leak check: with every session dropped, no frame may remain
+    // pinned — a zero limit must evict the whole cache.
+    assert!(
+        shared.cache_bytes() > 0,
+        "workload should have cached entries"
+    );
+    shared.set_cache_limit(Some(0));
+    assert_eq!(
+        shared.cache_bytes(),
+        0,
+        "a session leaked a pin: zero-limit eviction left frames resident"
+    );
+}
+
+#[test]
+fn concurrent_sessions_under_memory_pressure_match_serial() {
+    let expected = baseline();
+
+    // A limit small enough to force evictions mid-workload: concurrent
+    // sessions then race pins against the evictor, and answers must
+    // still be bit-identical (rebuilds are deterministic).
+    let shared = Engine::new().with_cache_limit(96 * 1024);
+    let ids = shared.register_all(corpus());
+    let queries = workload(&ids);
+
+    std::thread::scope(|scope| {
+        for offset in 0..SESSIONS {
+            let queries = &queries;
+            let expected = &expected;
+            let shared = &shared;
+            scope.spawn(move || {
+                let mut session = shared.session();
+                for i in 0..queries.len() {
+                    let idx = (i + offset * 5) % queries.len();
+                    let (label, query) = &queries[idx];
+                    let outcome = session.execute(query).unwrap();
+                    assert_eq!(
+                        fingerprint(&outcome),
+                        expected[idx].1,
+                        "session {offset} under pressure: {label} diverged"
+                    );
+                }
+            });
+        }
+    });
+
+    let report = shared.stats().cache;
+    assert!(
+        report.evictions > 0,
+        "the limit was meant to force evictions (resident {} bytes)",
+        shared.cache_bytes()
+    );
+    shared.set_cache_limit(Some(0));
+    assert_eq!(shared.cache_bytes(), 0, "leaked pin under memory pressure");
+}

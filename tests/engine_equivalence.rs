@@ -42,7 +42,7 @@ fn motif_within_matches_every_direct_algorithm() {
     for seed in 0..5u64 {
         let t = planar::random_walk(60, 0.4, seed);
         let cfg = MotifConfig::new(4).with_group_size(8);
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let id = engine.register(t.clone());
         for (choice, direct) in choices() {
             let outcome = engine
@@ -71,7 +71,7 @@ fn motif_between_matches_every_direct_algorithm() {
         let a = planar::random_walk(44, 0.4, seed);
         let b = planar::random_walk(38, 0.4, seed + 100);
         let cfg = MotifConfig::new(3).with_group_size(8);
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let ida = engine.register(a.clone());
         let idb = engine.register(b.clone());
         for (choice, direct) in choices() {
@@ -97,7 +97,7 @@ fn motif_between_matches_every_direct_algorithm() {
 fn bound_selections_and_short_inputs_agree() {
     // Equivalence must survive non-default bounds and the no-motif case.
     let t = planar::random_walk(50, 0.35, 17);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(t.clone());
     for sel in [
         BoundSelection::all_relaxed(),
@@ -119,7 +119,7 @@ fn bound_selections_and_short_inputs_agree() {
     }
 
     let short = planar::random_walk(6, 0.4, 1);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(short);
     let outcome = engine
         .execute(
@@ -138,7 +138,7 @@ fn top_k_matches_direct_call() {
     let cfg = MotifConfig::new(3);
     let direct = top_k_motifs(&t, &cfg, 4);
 
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(t);
     let outcome = engine
         .execute(&Query::top_k(id, 4).xi(3).build())
@@ -155,7 +155,7 @@ fn join_and_cluster_match_direct_calls() {
     let walks: Vec<_> = (0..6).map(|s| planar::random_walk(25, 0.4, s)).collect();
     let direct = similarity_self_join(&walks, 6.0);
 
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let ids = engine.register_all(walks.clone());
     let outcome = engine
         .execute(&Query::join(ids.clone(), 6.0).build())
@@ -181,7 +181,7 @@ fn join_and_cluster_match_direct_calls() {
 #[test]
 fn second_query_recomputes_fewer_tables() {
     let t = planar::random_walk(80, 0.4, 9);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(t);
     let q = Query::motif(id)
         .xi(4)
@@ -242,7 +242,7 @@ fn auto_resolution_follows_documented_crossovers() {
 
     // And the engine actually reports the resolved name.
     let t = planar::random_walk(40, 0.4, 2);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(t.clone());
     let outcome = engine
         .execute(&Query::motif(id).xi(3).build())
@@ -258,7 +258,7 @@ fn auto_resolution_follows_documented_crossovers() {
 #[test]
 fn budget_truncation_is_flagged_and_safe() {
     let t = planar::random_walk(100, 0.4, 13);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(t);
     let outcome = engine
         .execute(

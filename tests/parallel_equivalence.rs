@@ -68,7 +68,7 @@ fn parallel_btm_matches_serial_within_and_between() {
 /// both scopes.
 #[test]
 fn engine_parallel_matches_serial_for_every_algorithm() {
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let a = engine.register(planar::random_walk(130, 0.4, 7));
     let b = engine.register(planar::random_walk(100, 0.4, 8));
 
@@ -113,7 +113,7 @@ fn engine_parallel_matches_serial_for_every_algorithm() {
 fn engine_auto_mode_stays_exact() {
     // Below the crossover Auto runs serial; the point is that plumbing a
     // mode through never changes results.
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(planar::random_walk(90, 0.4, 3));
     let auto = engine.execute(&Query::motif(id).xi(4).build()).unwrap();
     let serial = engine
@@ -146,7 +146,7 @@ fn top_k_parallel_matches_serial() {
     }
 
     // Same through the engine facade.
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(t);
     let base = Query::top_k(id, 4).xi(4);
     let serial = engine
@@ -208,7 +208,7 @@ fn join_parallel_matches_serial() {
     }
 
     // And through the engine facade.
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let ids = engine.register_all(set);
     let base = Query::join(ids, 5.0);
     let serial = engine
@@ -274,7 +274,7 @@ fn cluster_parallel_matches_serial() {
     }
 
     // And through the engine facade.
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(looping(5, 20, 0.1));
     let base = Query::cluster(id, 20, 10, 2.0);
     let serial = engine
@@ -299,7 +299,7 @@ fn cluster_parallel_matches_serial() {
 #[test]
 fn parallel_workers_honor_budgets_and_report_truncation() {
     let t = planar::random_walk(120, 0.4, 5);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let id = engine.register(t);
 
     // Expansion cap: exactly `cap` expansion slots exist across all

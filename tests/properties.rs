@@ -189,7 +189,7 @@ proptest! {
 
         // Budgeted via the engine: the cap is never over-run and the
         // skipped remainder settles into the budget counters.
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let id = engine.register(t);
         let q = Query::motif(id)
             .xi(xi)

@@ -1,8 +1,9 @@
 //! Minimal, API-compatible subset of `serde_json`, vendored so the
 //! workspace builds offline: a [`Value`] tree, the [`json!`] macro (objects,
-//! arrays, `null`, and arbitrary expressions convertible via [`From`]), and
-//! [`to_string`] / [`to_string_pretty`] over `Value`. Object key order is
-//! preserved (insertion order), matching what the CLI prints.
+//! arrays, `null`, and arbitrary expressions convertible via [`From`]),
+//! [`to_string`] / [`to_string_pretty`] over `Value`, and a strict
+//! recursive-descent [`from_str`] parser. Object key order is preserved
+//! (insertion order), matching what the CLI prints.
 //!
 //! Swap the path dependency for crates.io `serde_json = "1"` once network
 //! access is available; the `json!` call sites need no changes.
@@ -92,6 +93,28 @@ impl Value {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when this is a non-negative integer number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.trunc() == *n && *n <= 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, when this is an integer number.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.trunc() == *n && n.abs() <= 9_007_199_254_740_992.0 => {
+                Some(*n as i64)
+            }
             _ => None,
         }
     }
@@ -287,13 +310,26 @@ impl fmt::Display for Value {
     }
 }
 
-/// Serialization error (the shim's writer is infallible; kept for API parity).
+/// Serialization or parse error. The shim's writer is infallible; parse
+/// errors carry a message and the byte offset where parsing failed.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error {
+    msg: String,
+    offset: usize,
+}
+
+impl Error {
+    fn parse(msg: impl Into<String>, offset: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            offset,
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json shim error")
+        write!(f, "{} at byte {}", self.msg, self.offset)
     }
 }
 
@@ -322,6 +358,285 @@ pub fn to_string_pretty(value: &Value) -> Result<String> {
     let mut out = String::new();
     write_value(value, &mut out, true, 0);
     Ok(out)
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Strict: the whole input must be one JSON value (plus surrounding
+/// whitespace) — trailing garbage, trailing commas, comments, `NaN`, and
+/// `Infinity` are all rejected, matching real `serde_json`. Duplicate
+/// object keys keep the last occurrence.
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the problem and the byte offset where the
+/// parser stopped.
+pub fn from_str(input: &str) -> Result<Value> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error::parse("trailing characters", p.pos));
+    }
+    Ok(value)
+}
+
+/// Nesting depth cap for [`from_str`]; inputs deeper than this error out
+/// instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(
+                format!("expected {:?}", char::from(b)),
+                self.pos,
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse("recursion depth exceeded", self.pos));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(Error::parse("unexpected character", self.pos)),
+            None => Err(Error::parse("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            // Last duplicate wins, as in real serde_json's default map.
+            if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = value;
+            } else {
+                entries.push((key, value));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(Error::parse("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(Error::parse("invalid escape", start)),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(Error::parse("control character in string", self.pos));
+                }
+                Some(_) => {
+                    // Copy a maximal run of plain UTF-8 bytes at once.
+                    let mut end = self.pos;
+                    while let Some(&b) = self.bytes.get(end) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| Error::parse("invalid UTF-8 in string", self.pos))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char> {
+        let hex4 = |p: &mut Self| -> Result<u32> {
+            let start = p.pos;
+            let digits = p
+                .bytes
+                .get(p.pos..p.pos + 4)
+                .ok_or_else(|| Error::parse("truncated \\u escape", start))?;
+            let s = std::str::from_utf8(digits)
+                .map_err(|_| Error::parse("invalid \\u escape", start))?;
+            let code = u32::from_str_radix(s, 16)
+                .map_err(|_| Error::parse("invalid \\u escape", start))?;
+            p.pos += 4;
+            Ok(code)
+        };
+        let start = self.pos;
+        let hi = hex4(self)?;
+        // Surrogate pairs arrive as two consecutive \u escapes.
+        let code = if (0xD800..0xDC00).contains(&hi) {
+            if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                return Err(Error::parse("unpaired surrogate", start));
+            }
+            self.pos += 2;
+            let lo = hex4(self)?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(Error::parse("invalid low surrogate", start));
+            }
+            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+        } else if (0xDC00..0xE000).contains(&hi) {
+            return Err(Error::parse("unpaired surrogate", start));
+        } else {
+            hi
+        };
+        char::from_u32(code).ok_or_else(|| Error::parse("invalid code point", start))
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(Error::parse("expected digits", self.pos));
+        }
+        // JSON forbids leading zeros: 0 is fine, 01 is not.
+        if self.pos - digits_from > 1 && self.bytes[digits_from] == b'0' {
+            return Err(Error::parse("leading zero", digits_from));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(Error::parse("expected fraction digits", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(Error::parse("expected exponent digits", self.pos));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse("invalid number", start))?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| Error::parse("invalid number", start))?;
+        if n.is_finite() {
+            Ok(Value::Number(n))
+        } else {
+            Err(Error::parse("number out of range", start))
+        }
+    }
 }
 
 /// Builds a [`Value`] from JSON-like syntax: objects, arrays, `null`, and
@@ -410,5 +725,73 @@ mod tests {
         assert_eq!(super::number_to_string(3.0), "3");
         assert_eq!(super::number_to_string(3.25), "3.25");
         assert_eq!(super::number_to_string(f64::NAN), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_serialization() {
+        let v = json!({
+            "op": "motif",
+            "ids": [0, 1, 2],
+            "tau": 32,
+            "eps": 0.5,
+            "nested": { "deep": [true, false, json!(null)] },
+            "text": "a\"b\\c\nd",
+        });
+        let s = super::to_string(&v).unwrap();
+        assert_eq!(super::from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_handles_numbers_strings_and_escapes() {
+        assert_eq!(super::from_str("-1.5e3").unwrap(), Value::Number(-1500.0));
+        assert_eq!(super::from_str("0").unwrap().as_u64(), Some(0));
+        assert_eq!(super::from_str("42").unwrap().as_i64(), Some(42));
+        assert_eq!(super::from_str("1.5").unwrap().as_u64(), None);
+        assert_eq!(super::from_str("-3").unwrap().as_u64(), None);
+        assert_eq!(
+            super::from_str(r#""Aé😀""#).unwrap(),
+            Value::String("A\u{e9}\u{1f600}".into())
+        );
+        assert_eq!(
+            super::from_str("  [1, 2]  ").unwrap(),
+            json!([1.0_f64, 2.0_f64])
+        );
+    }
+
+    #[test]
+    fn parse_keeps_last_duplicate_key() {
+        let v = super::from_str(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v["a"].as_u64(), Some(2));
+        assert_eq!(super::to_string(&v).unwrap(), r#"{"a":2}"#);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "tru",
+            "nul",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "01",
+            "1.",
+            "1e",
+            "--1",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\ud800 unpaired\"",
+            "[1] trailing",
+            "[1,]",
+            "{\"a\":1,}",
+            "NaN",
+            "Infinity",
+            "1e999",
+        ] {
+            assert!(super::from_str(bad).is_err(), "accepted {bad:?}");
+        }
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(super::from_str(&deep).is_err());
     }
 }
