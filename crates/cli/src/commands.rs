@@ -167,7 +167,7 @@ pub fn inspect(args: &Parsed) -> Result<(), String> {
 ///   "clusters": [ { "representative": {"start", "end"},
 ///                   "members": [ {"start", "end"}, ... ] } ] | null,
 ///   "stats": { "seconds", "peak_bytes", "pruned_fraction",
-///              "subsets_total", "subsets_expanded" },
+///              "subsets_total", "subsets_expanded", "kernel" },
 ///   "wall_seconds": <engine wall time>,
 ///   "truncated": <budget hit>
 /// }
@@ -235,6 +235,7 @@ pub fn outcome_to_json(label: &str, outcome: &QueryOutcome) -> serde_json::Value
             "pruned_fraction": outcome.stats.pruned_fraction(),
             "subsets_total": outcome.stats.subsets_total,
             "subsets_expanded": outcome.stats.subsets_expanded,
+            "kernel": outcome.stats.kernel,
         },
         "wall_seconds": outcome.wall_seconds,
         "truncated": outcome.truncated,

@@ -388,6 +388,7 @@ fn answer(
                 "trajectories": corpus.len(),
                 "queries": stats.queries,
                 "cache_bytes": engine.cache_bytes(),
+                "kernel": fremo_trajectory::Kernel::active().name(),
             }))
         }
         _ => {

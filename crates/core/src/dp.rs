@@ -129,10 +129,17 @@ impl Default for Bsf {
 }
 
 /// Reusable DP row buffers (allocated once per search).
+///
+/// `prev`/`curr` are the two rolling DP rows; `mins` holds the
+/// vectorized pre-pass `mins[k] = min(prev[k], prev[k-1])` and `dists`
+/// the gathered `dG` row, so the irreducible scalar scan touches only
+/// sequential reads (see `docs/KERNELS.md`).
 #[derive(Debug, Default)]
 pub struct DpBuffers {
     prev: Vec<f64>,
     curr: Vec<f64>,
+    mins: Vec<f64>,
+    dists: Vec<f64>,
 }
 
 impl DpBuffers {
@@ -142,22 +149,25 @@ impl DpBuffers {
         DpBuffers {
             prev: vec![0.0; width],
             curr: vec![0.0; width],
+            mins: vec![0.0; width],
+            dists: vec![0.0; width],
         }
     }
 
     /// Heap bytes.
     #[must_use]
     pub fn bytes(&self) -> usize {
-        (self.prev.capacity() + self.curr.capacity()) * std::mem::size_of::<f64>()
+        (self.prev.capacity() + self.curr.capacity() + self.mins.capacity() + self.dists.capacity())
+            * std::mem::size_of::<f64>()
     }
 
     /// Heap bytes attributable to a search of DP row width `width`: a
     /// shared (engine) buffer never shrinks, so the allocation is capped
-    /// at the two rows this search actually touches — keeping per-query
+    /// at the four rows this search actually touches — keeping per-query
     /// memory reports independent of earlier, larger queries.
     #[must_use]
     pub fn bytes_for_width(&self, width: usize) -> usize {
-        self.bytes().min(2 * width * std::mem::size_of::<f64>())
+        self.bytes().min(4 * width * std::mem::size_of::<f64>())
     }
 }
 
@@ -225,14 +235,20 @@ pub fn expand_subset_capped<D: DistanceSource>(
     if buf.prev.len() < width {
         buf.prev.resize(width, 0.0);
         buf.curr.resize(width, 0.0);
+        buf.mins.resize(width, 0.0);
+        buf.dists.resize(width, 0.0);
     }
     let mut prev = std::mem::take(&mut buf.prev);
     let mut curr = std::mem::take(&mut buf.curr);
+    let mut mins = std::mem::take(&mut buf.mins);
+    let mut dists = std::mem::take(&mut buf.dists);
 
-    // Boundary row ie = i: running max of dG(i, j..=je_max).
+    // Boundary row ie = i: running max of dG(i, j..=je_max), over a row
+    // gathered in one (possibly vectorized) `fill_row` call.
+    src.fill_row(i, j, &mut dists[..width]);
     let mut running = 0.0_f64;
-    for (k, slot) in prev.iter_mut().enumerate().take(width) {
-        running = running.max(src.get(i, j + k));
+    for (slot, &d) in prev.iter_mut().zip(&dists[..width]) {
+        running = running.max(d);
         *slot = running;
     }
 
@@ -247,15 +263,26 @@ pub fn expand_subset_capped<D: DistanceSource>(
         }
         stats.cells_skipped_end_cross += (width - 1 - jend) as u64;
 
+        // Vectorizable pre-pass: gather the dG row and fold the two
+        // prev-row predecessors, leaving the scalar scan below with the
+        // single irreducible `curr[k-1]` dependency. Operand order is
+        // preserved — `mins[k].min(curr[k-1])` associates exactly like
+        // the historical `prev[k].min(prev[k-1]).min(curr[k-1])` — so
+        // results stay bit-identical (the rows contain no NaN and no
+        // negative zero, where vector and scalar `min` agree; see
+        // `docs/KERNELS.md`).
+        src.fill_row(ie, j, &mut dists[..=jend]);
+        fremo_trajectory::kernel::pairwise_min(&prev[1..=jend], &prev[..jend], &mut mins[1..=jend]);
+
         // Boundary column je = j.
-        curr[0] = prev[0].max(src.get(ie, j));
+        curr[0] = prev[0].max(dists[0]);
         let mut row_min = curr[0];
 
         let ie_valid = ie > i + xi;
         for k in 1..=jend {
             let je = j + k;
-            let reach = prev[k].min(prev[k - 1]).min(curr[k - 1]);
-            let v = reach.max(src.get(ie, je));
+            let reach = mins[k].min(curr[k - 1]);
+            let v = reach.max(dists[k]);
             curr[k] = v;
             if v < row_min {
                 row_min = v;
@@ -291,6 +318,8 @@ pub fn expand_subset_capped<D: DistanceSource>(
 
     buf.prev = prev;
     buf.curr = curr;
+    buf.mins = mins;
+    buf.dists = dists;
 }
 
 #[cfg(test)]

@@ -78,9 +78,9 @@ mod query;
 
 pub use cache::CacheReport;
 pub use query::{
-    AlgorithmChoice, EngineError, ExecutionMode, MeasureProfile, MotifScope, ParseAlgorithmError,
-    Query, QueryBudget, QueryBuilder, QueryKind, QueryOutcome, QueryResults, ResolvedAlgorithm,
-    AUTO_BRUTE_MAX_N, AUTO_BTM_MAX_N, AUTO_GTM_MAX_N, PARALLEL_AUTO_MIN_N,
+    AlgorithmChoice, EngineError, ExecutionMode, MatrixPrecision, MeasureProfile, MotifScope,
+    ParseAlgorithmError, Query, QueryBudget, QueryBuilder, QueryKind, QueryOutcome, QueryResults,
+    ResolvedAlgorithm, AUTO_BRUTE_MAX_N, AUTO_BTM_MAX_N, AUTO_GTM_MAX_N, PARALLEL_AUTO_MIN_N,
 };
 
 use std::io;
@@ -90,8 +90,9 @@ use std::time::Instant;
 
 use parking_lot::RwLock;
 
-use fremo_trajectory::{GroundDistance, LazyDistances, Trajectory};
+use fremo_trajectory::{DenseMatrixF32, GroundDistance, LazyDistances, Trajectory};
 
+use crate::bounds::BoundTables;
 use crate::brute::BruteDp;
 use crate::btm::Btm;
 use crate::cluster::{cluster_subtrajectories, cluster_subtrajectories_parallel, ClusterConfig};
@@ -456,6 +457,17 @@ impl<P: GroundDistance + Sync> Session<'_, P> {
     }
 
     fn dispatch(&mut self, query: &Query, started: Instant) -> Result<QueryOutcome, EngineError> {
+        // Narrowed matrices are admissible only where the answer already
+        // carries an error bound, i.e. the approx motif regime; every other
+        // workload promises exactness and must not see rounded distances.
+        if query.precision != MatrixPrecision::F64 && !matches!(query.kind, QueryKind::Motif { .. })
+        {
+            return Err(EngineError::InvalidParameter(
+                "f32 matrix precision applies to motif queries only (and only with \
+                 algorithm approx{ε}); see docs/KERNELS.md"
+                    .into(),
+            ));
+        }
         let outcome = match &query.kind {
             QueryKind::Motif { scope } => self.execute_motif(*scope, query, started)?,
             QueryKind::TopK { id, k } => self.execute_top_k(*id, *k, query, started)?,
@@ -541,6 +553,62 @@ impl<P: GroundDistance + Sync> Session<'_, P> {
 
         let pa = a.points();
         let pb = b.as_deref().map(Trajectory::points);
+
+        // Opt-in single-precision matrix regime: only the approximate
+        // search may trade one f32 rounding step per cell for half the
+        // matrix bytes. The narrowed matrix and its bound tables are
+        // query-local — the shared cache stores f64 artifacts only, so a
+        // later exact query can never observe rounded distances.
+        if query.precision == MatrixPrecision::F32 {
+            let ResolvedAlgorithm::Approx(epsilon) = resolved else {
+                return Err(EngineError::InvalidParameter(
+                    "f32 matrix precision is admissible only under algorithm approx{ε}; \
+                     exact algorithms keep f64 matrices (see docs/KERNELS.md)"
+                        .into(),
+                ));
+            };
+            if !(epsilon >= 0.0 && epsilon.is_finite()) {
+                return Err(EngineError::InvalidParameter(
+                    "approximation ε must be finite and ≥ 0".into(),
+                ));
+            }
+            let src = match pb {
+                None => DenseMatrixF32::within(pa),
+                Some(pb) => DenseMatrixF32::between(pa, pb),
+            };
+            let tables = BoundTables::build(&src, domain, config.min_length, config.bounds);
+            // GTM's group pattern bounds always read relaxed arrays; when
+            // the selection asked for tight tables, build the relaxed set
+            // alongside, exactly as the cache does for the f64 path.
+            let relaxed_tables = config.bounds.tight.then(|| {
+                BoundTables::build(
+                    &src,
+                    domain,
+                    config.min_length,
+                    config.bounds.with_tight(false),
+                )
+            });
+            let relaxed = relaxed_tables.as_ref().unwrap_or(&tables).as_relaxed();
+            let (motif, mut stats, completed) = Gtm::run_prepared(
+                &src,
+                &tables,
+                relaxed,
+                domain,
+                &config,
+                epsilon,
+                started,
+                &mut self.buffers,
+                budget,
+                threads,
+            );
+            stats.threads_used = stats.threads_used.max(1);
+            return Ok(outcome_skeleton(
+                QueryResults::Motif(motif),
+                resolved.name(),
+                stats,
+                !completed,
+            ));
+        }
 
         // GTM* exists to avoid allocating the O(n²) matrix, so it never
         // *builds* one — but a matrix another algorithm already paid for
@@ -883,9 +951,12 @@ impl<P: GroundDistance + Sync> Session<'_, P> {
 fn outcome_skeleton(
     results: QueryResults,
     algorithm: &'static str,
-    stats: SearchStats,
+    mut stats: SearchStats,
     truncated: bool,
 ) -> QueryOutcome {
+    // Stamp the distance-kernel variant this query dispatched under so
+    // bench JSON and `fremo serve` responses can attribute timings.
+    stats.kernel = fremo_trajectory::Kernel::active().name();
     QueryOutcome {
         results,
         algorithm,

@@ -395,6 +395,25 @@ impl QueryBudget {
     }
 }
 
+/// Storage precision of the per-query ground-distance matrix.
+///
+/// [`MatrixPrecision::F32`] halves matrix bytes by rounding each
+/// distance once to single precision, which perturbs results by at most
+/// one `f32` rounding step per cell — admissible **only** for the
+/// approximate algorithm ([`AlgorithmChoice::Approx`]), whose answer
+/// already carries an additive error bound. The engine rejects `F32` on
+/// every exact workload so that bit-exactness guarantees (and the
+/// shared engine cache) are never silently weakened; see
+/// `docs/KERNELS.md`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum MatrixPrecision {
+    /// Full double precision — bit-exact, cacheable, the default.
+    #[default]
+    F64,
+    /// Single-precision matrix cells for `Approx{eps}` queries only.
+    F32,
+}
+
 /// One typed query against an [`super::Engine`] corpus.
 ///
 /// Build with the constructors ([`Query::motif`], [`Query::top_k`],
@@ -418,6 +437,8 @@ pub struct Query {
     pub budget: QueryBudget,
     /// How the candidate scan executes (serial, parallel, or auto).
     pub execution: ExecutionMode,
+    /// Distance-matrix storage precision (approximate queries only).
+    pub precision: MatrixPrecision,
 }
 
 impl Query {
@@ -431,6 +452,7 @@ impl Query {
                 algorithm: AlgorithmChoice::Auto,
                 budget: QueryBudget::default(),
                 execution: ExecutionMode::Auto,
+                precision: MatrixPrecision::F64,
             },
         }
     }
@@ -544,6 +566,13 @@ impl Query {
         self
     }
 
+    /// Replaces the distance-matrix precision (see [`MatrixPrecision`]).
+    #[must_use]
+    pub fn with_precision(mut self, precision: MatrixPrecision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// The [`MotifConfig`] this query implies.
     ///
     /// # Panics
@@ -627,6 +656,15 @@ impl QueryBuilder {
     #[must_use]
     pub fn threads(self, threads: usize) -> Self {
         self.execution(ExecutionMode::Parallel { threads })
+    }
+
+    /// Sets the distance-matrix precision. [`MatrixPrecision::F32`] is
+    /// accepted only together with [`AlgorithmChoice::Approx`]; the
+    /// engine rejects it on exact workloads.
+    #[must_use]
+    pub fn matrix_precision(mut self, precision: MatrixPrecision) -> Self {
+        self.query = self.query.with_precision(precision);
+        self
     }
 
     /// Finishes the query.

@@ -102,6 +102,12 @@ pub struct SearchStats {
     pub precompute_seconds: f64,
     /// Total wall-clock seconds of the search.
     pub total_seconds: f64,
+
+    /// Which distance-kernel variant the engine dispatched this query
+    /// under: `"avx2"`, `"sse2"`, `"neon"` or `"scalar"` (see
+    /// `fremo_trajectory::kernel`). Empty for stats produced outside
+    /// the engine (direct algorithm calls leave the default).
+    pub kernel: &'static str,
 }
 
 impl SearchStats {

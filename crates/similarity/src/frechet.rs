@@ -22,6 +22,7 @@
 //!   row abandoning, cheaper than computing the exact value when only a
 //!   comparison is needed.
 
+use fremo_trajectory::kernel;
 use fremo_trajectory::GroundDistance;
 
 use crate::measure::SimilarityMeasure;
@@ -49,19 +50,31 @@ pub fn dfd_linear<P: GroundDistance>(a: &[P], b: &[P]) -> f64 {
 
     let mut prev = vec![0.0_f64; m];
     let mut curr = vec![0.0_f64; m];
+    let mut mins = vec![0.0_f64; m];
+    let mut dists = vec![0.0_f64; m];
 
-    // First row: dF(0, j) = max(dG(0, 0..=j)).
+    // First row: dF(0, j) = max(dG(0, 0..=j)), over a vectorized
+    // distance row.
+    outer[0].distance_row(inner, &mut dists);
     let mut running = 0.0_f64;
-    for (j, q) in inner.iter().enumerate() {
-        running = running.max(outer[0].distance(q));
-        prev[j] = running;
+    for (slot, &d) in prev.iter_mut().zip(&dists) {
+        running = running.max(d);
+        *slot = running;
     }
 
     for p in &outer[1..] {
-        curr[0] = prev[0].max(p.distance(&inner[0]));
+        // Vectorizable pre-pass (same split as `expand_subset` in
+        // fremo-core): gather the distance row, fold the two prev-row
+        // predecessors, then run the irreducible scalar scan.
+        // `mins[j].min(curr[j-1])` associates exactly like the
+        // historical `prev[j].min(prev[j-1]).min(curr[j-1])`, so the
+        // result is bit-identical.
+        p.distance_row(inner, &mut dists);
+        kernel::pairwise_min(&prev[1..], &prev[..m - 1], &mut mins[1..]);
+        curr[0] = prev[0].max(dists[0]);
         for j in 1..m {
-            let reach = prev[j].min(prev[j - 1]).min(curr[j - 1]);
-            curr[j] = reach.max(p.distance(&inner[j]));
+            let reach = mins[j].min(curr[j - 1]);
+            curr[j] = reach.max(dists[j]);
         }
         std::mem::swap(&mut prev, &mut curr);
     }
@@ -147,10 +160,13 @@ pub fn dfd_decision<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
     let m = inner.len();
     let mut prev = vec![f64::INFINITY; m];
     let mut curr = vec![f64::INFINITY; m];
+    let mut mins = vec![f64::INFINITY; m];
+    let mut dists = vec![0.0_f64; m];
 
+    outer[0].distance_row(inner, &mut dists);
     let mut running = 0.0_f64;
-    for (j, q) in inner.iter().enumerate() {
-        running = running.max(outer[0].distance(q));
+    for (j, &d) in dists.iter().enumerate() {
+        running = running.max(d);
         prev[j] = if running <= eps {
             running
         } else {
@@ -158,10 +174,7 @@ pub fn dfd_decision<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
         };
         if prev[j].is_infinite() {
             // Everything to the right of an infeasible first-row cell is
-            // infeasible too.
-            for slot in prev.iter_mut().skip(j + 1) {
-                *slot = f64::INFINITY;
-            }
+            // infeasible too (`prev` already starts at `+∞`).
             break;
         }
     }
@@ -170,7 +183,12 @@ pub fn dfd_decision<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
     }
 
     for p in &outer[1..] {
-        let d0 = p.distance(&inner[0]);
+        // Same vectorized row-gather + min pre-pass as `dfd_linear`;
+        // the clamp logic below is unchanged. `+∞` cells pass through
+        // both kernels exactly (no NaN is ever produced).
+        p.distance_row(inner, &mut dists);
+        kernel::pairwise_min(&prev[1..], &prev[..m - 1], &mut mins[1..]);
+        let d0 = dists[0];
         curr[0] = if d0 <= eps && prev[0].is_finite() {
             prev[0].max(d0)
         } else {
@@ -178,8 +196,8 @@ pub fn dfd_decision<P: GroundDistance>(a: &[P], b: &[P], eps: f64) -> bool {
         };
         let mut any_feasible = curr[0].is_finite();
         for j in 1..m {
-            let reach = prev[j].min(prev[j - 1]).min(curr[j - 1]);
-            let v = reach.max(p.distance(&inner[j]));
+            let reach = mins[j].min(curr[j - 1]);
+            let v = reach.max(dists[j]);
             curr[j] = if v <= eps { v } else { f64::INFINITY };
             any_feasible |= curr[j].is_finite();
         }

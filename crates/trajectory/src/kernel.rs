@@ -1,0 +1,553 @@
+//! SIMD kernels for the ground-distance hot loops, with a bit-exact
+//! scalar fallback.
+//!
+//! Every workload in the paper bottoms out in two loops: the O(n²)
+//! Euclidean distance-matrix build and the per-row `min` pre-pass of the
+//! discrete-Fréchet DP recurrence. This module vectorizes both with
+//! `core::arch` intrinsics — AVX2 or SSE2 on `x86_64` (runtime feature
+//! detection), NEON on `aarch64`, and a portable scalar loop everywhere
+//! else — while keeping results **bit-for-bit identical** to the scalar
+//! code:
+//!
+//! * No FMA and no reassociation: each lane computes exactly
+//!   `dx*dx + dy*dy` followed by a correctly-rounded `sqrt`, the same
+//!   IEEE-754 operation sequence as
+//!   [`EuclideanPoint::distance`](crate::GroundDistance::distance)
+//!   evaluates per element. IEEE addition and multiplication of numeric
+//!   values are commutative, `(-x)*(-x) == x*x`, and hardware vector
+//!   `sqrt` is correctly rounded, so every lane reproduces the scalar
+//!   bits.
+//! * Vector `min` (`MINPD` / `FMINNM`) agrees with [`f64::min`] on the
+//!   kernel domain (non-NaN, no negative zero — distances and DP cells
+//!   are always in `[0, +∞]`).
+//!
+//! Selection order: [`force_scalar`] (a test/bench hook) beats the
+//! `FREMO_NO_SIMD` environment variable, which beats [`Kernel::detect`].
+//! See `docs/KERNELS.md` for the full exactness argument.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use crate::point::EuclideanPoint;
+
+/// A vector instruction set the distance kernels can run on.
+///
+/// All variants exist on every architecture so tests and stats can name
+/// them portably; [`Kernel::supported`] reports whether the current CPU
+/// can actually execute a variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// 256-bit AVX2 path, 4 distances per iteration (`x86_64` only).
+    Avx2,
+    /// 128-bit SSE2 path, 2 distances per iteration (`x86_64` baseline).
+    Sse2,
+    /// 128-bit NEON path, 2 distances per iteration (`aarch64` baseline).
+    Neon,
+    /// Portable scalar loop; the reference all other kernels must match.
+    Scalar,
+}
+
+/// Returns whether the running CPU supports AVX2.
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Test/bench hook: when set, [`Kernel::active`] reports [`Kernel::Scalar`]
+/// and all dispatching entry points take the scalar path.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Cached environment-level kernel choice (`FREMO_NO_SIMD` or detection).
+static ENV_CHOICE: OnceLock<Kernel> = OnceLock::new();
+
+/// Forces (or releases) the scalar kernel process-wide.
+///
+/// Exists so differential tests and benches can flip between SIMD and
+/// scalar without mutating the environment (which races parallel
+/// tests). Callers that toggle this should serialize on a lock and
+/// restore `false` afterwards.
+pub fn force_scalar(on: bool) {
+    // A standalone flag with no dependent data; readers only need to
+    // eventually observe the toggle, and tests needing strictness lock.
+    // relaxed: see above — nothing is ordered by this flag.
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+impl Kernel {
+    /// Short lowercase name (`"avx2"`, `"sse2"`, `"neon"`, `"scalar"`)
+    /// as reported in `SearchStats` and bench JSON.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Kernel::Avx2 => "avx2",
+            Kernel::Sse2 => "sse2",
+            Kernel::Neon => "neon",
+            Kernel::Scalar => "scalar",
+        }
+    }
+
+    /// Best kernel the running CPU supports, ignoring overrides.
+    #[must_use]
+    pub fn detect() -> Kernel {
+        if avx2_available() {
+            Kernel::Avx2
+        } else if cfg!(target_arch = "x86_64") {
+            Kernel::Sse2
+        } else if cfg!(target_arch = "aarch64") {
+            Kernel::Neon
+        } else {
+            Kernel::Scalar
+        }
+    }
+
+    /// Whether the running CPU can execute this kernel.
+    #[must_use]
+    pub fn supported(self) -> bool {
+        match self {
+            Kernel::Avx2 => avx2_available(),
+            Kernel::Sse2 => cfg!(target_arch = "x86_64"),
+            Kernel::Neon => cfg!(target_arch = "aarch64"),
+            Kernel::Scalar => true,
+        }
+    }
+
+    /// The kernel the dispatching entry points will use right now:
+    /// [`force_scalar`] override, then `FREMO_NO_SIMD` (set to anything
+    /// but `""`/`"0"`), then [`Kernel::detect`].
+    #[must_use]
+    pub fn active() -> Kernel {
+        // relaxed: see `force_scalar`.
+        if FORCE_SCALAR.load(Ordering::Relaxed) {
+            return Kernel::Scalar;
+        }
+        *ENV_CHOICE.get_or_init(|| {
+            let no_simd = match std::env::var("FREMO_NO_SIMD") {
+                Ok(v) => !v.is_empty() && v != "0",
+                Err(_) => false,
+            };
+            if no_simd {
+                Kernel::Scalar
+            } else {
+                Kernel::detect()
+            }
+        })
+    }
+}
+
+/// Fills `out[i]` with the Euclidean distance from `origin` to
+/// `targets[i]` using the currently [`Kernel::active`] kernel.
+///
+/// Only the common prefix `min(targets.len(), out.len())` is written.
+/// Results are bit-identical to calling
+/// [`EuclideanPoint::distance`](crate::GroundDistance::distance) per
+/// element, whichever kernel runs.
+#[inline]
+pub fn euclid_row(origin: EuclideanPoint, targets: &[EuclideanPoint], out: &mut [f64]) {
+    euclid_row_with(Kernel::active(), origin, targets, out);
+}
+
+/// [`euclid_row`] with an explicit kernel choice.
+///
+/// A kernel the CPU does not support falls back to the scalar loop, so
+/// the call is always safe and always bit-exact.
+pub fn euclid_row_with(
+    kernel: Kernel,
+    origin: EuclideanPoint,
+    targets: &[EuclideanPoint],
+    out: &mut [f64],
+) {
+    let n = targets.len().min(out.len());
+    let targets = &targets[..n];
+    let out = &mut out[..n];
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 if avx2_available() => {
+            // SAFETY: the match guard just verified AVX2 is available on
+            // this CPU, which is the only requirement of the callee.
+            unsafe { x86::euclid_row_avx2(origin, targets, out) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => x86::euclid_row_sse2(origin, targets, out),
+        #[cfg(target_arch = "aarch64")]
+        Kernel::Neon => arm::euclid_row_neon(origin, targets, out),
+        _ => euclid_row_scalar(origin, targets, out),
+    }
+}
+
+/// Fills `out[i] = a[i].min(b[i])` using the currently [`Kernel::active`]
+/// kernel; the DP pre-pass (`m[k] = min(prev[k-1], prev[k])`) runs on
+/// this.
+///
+/// Only the common prefix of the three slices is written. Vector and
+/// scalar kernels agree bit-for-bit whenever the inputs contain no NaN
+/// and no negative zero — always true for DP rows, whose cells are
+/// ground distances or `+∞` boundary values, i.e. in `[0, +∞]`.
+#[inline]
+pub fn pairwise_min(a: &[f64], b: &[f64], out: &mut [f64]) {
+    pairwise_min_with(Kernel::active(), a, b, out);
+}
+
+/// [`pairwise_min`] with an explicit kernel choice; unsupported kernels
+/// fall back to the scalar loop.
+pub fn pairwise_min_with(kernel: Kernel, a: &[f64], b: &[f64], out: &mut [f64]) {
+    let n = a.len().min(b.len()).min(out.len());
+    let a = &a[..n];
+    let b = &b[..n];
+    let out = &mut out[..n];
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 if avx2_available() => {
+            // SAFETY: the match guard just verified AVX2 is available on
+            // this CPU, which is the only requirement of the callee.
+            unsafe { x86::pairwise_min_avx2(a, b, out) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => x86::pairwise_min_sse2(a, b, out),
+        #[cfg(target_arch = "aarch64")]
+        Kernel::Neon => arm::pairwise_min_neon(a, b, out),
+        _ => pairwise_min_scalar(a, b, out),
+    }
+}
+
+/// Reference scalar loop: per-element [`GroundDistance::distance`]
+/// (`crate::GroundDistance`).
+fn euclid_row_scalar(origin: EuclideanPoint, targets: &[EuclideanPoint], out: &mut [f64]) {
+    for (slot, target) in out.iter_mut().zip(targets) {
+        let dx = origin.x - target.x;
+        let dy = origin.y - target.y;
+        *slot = (dx * dx + dy * dy).sqrt();
+    }
+}
+
+/// Reference scalar loop: per-element [`f64::min`].
+fn pairwise_min_scalar(a: &[f64], b: &[f64], out: &mut [f64]) {
+    for ((slot, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *slot = x.min(y);
+    }
+}
+
+/// `x86_64` vector kernels: AVX2 (4 lanes) and SSE2 (2 lanes, always in
+/// the `x86_64` baseline, so callable without runtime detection).
+///
+/// Trajectory points are loaded as an array-of-structs `[x0, y0, x1,
+/// y1, ...]` — sound because [`EuclideanPoint`] is `#[repr(C)]` with
+/// two `f64` fields — then squared coordinates are de-interleaved with
+/// `unpacklo`/`unpackhi` so each output lane computes exactly
+/// `dx*dx + dy*dy` in scalar operand order before one correctly-rounded
+/// vector square root.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{euclid_row_scalar, pairwise_min_scalar};
+    use crate::point::EuclideanPoint;
+    use core::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_min_pd, _mm256_mul_pd, _mm256_permute4x64_pd,
+        _mm256_setr_pd, _mm256_sqrt_pd, _mm256_storeu_pd, _mm256_sub_pd, _mm256_unpackhi_pd,
+        _mm256_unpacklo_pd, _mm_add_pd, _mm_loadu_pd, _mm_min_pd, _mm_mul_pd, _mm_setr_pd,
+        _mm_sqrt_pd, _mm_storeu_pd, _mm_sub_pd, _mm_unpackhi_pd, _mm_unpacklo_pd,
+    };
+
+    /// AVX2 Euclidean row: 4 points per iteration, scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (`is_x86_feature_detected!("avx2")`).
+    // SAFETY: contract is AVX2 availability, checked by the dispatcher.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn euclid_row_avx2(
+        origin: EuclideanPoint,
+        targets: &[EuclideanPoint],
+        out: &mut [f64],
+    ) {
+        let chunks = targets.len() / 4;
+        let base = targets.as_ptr().cast::<f64>();
+        // `base` points at `targets.len()` `#[repr(C)]` EuclideanPoint
+        // values, i.e. `2 * targets.len()` contiguous f64s, so every
+        // `base.add(..)` below stays in bounds for the `chunks * 4`
+        // points read, and `out` has slots for every unaligned store.
+        // SAFETY: in-bounds per above; AVX2 is this fn's contract.
+        unsafe {
+            let o = _mm256_setr_pd(origin.x, origin.y, origin.x, origin.y);
+            for c in 0..chunks {
+                let p = base.add(c * 8);
+                // [x0, y0, x1, y1] and [x2, y2, x3, y3].
+                let p01 = _mm256_loadu_pd(p);
+                let p23 = _mm256_loadu_pd(p.add(4));
+                let d01 = _mm256_sub_pd(o, p01);
+                let d23 = _mm256_sub_pd(o, p23);
+                let s01 = _mm256_mul_pd(d01, d01);
+                let s23 = _mm256_mul_pd(d23, d23);
+                // De-interleave squares: xs = [dx0², dx2², dx1², dx3²],
+                // ys likewise, so xs + ys is dx² + dy² in scalar order.
+                let xs = _mm256_unpacklo_pd(s01, s23);
+                let ys = _mm256_unpackhi_pd(s01, s23);
+                let sums = _mm256_add_pd(xs, ys);
+                // [d0, d2, d1, d3] -> [d0, d1, d2, d3].
+                let ordered = _mm256_permute4x64_pd::<0b1101_1000>(sums);
+                _mm256_storeu_pd(out.as_mut_ptr().add(c * 4), _mm256_sqrt_pd(ordered));
+            }
+        }
+        euclid_row_scalar(origin, &targets[chunks * 4..], &mut out[chunks * 4..]);
+    }
+
+    /// SSE2 Euclidean row: 2 points per iteration, scalar tail.
+    pub(super) fn euclid_row_sse2(
+        origin: EuclideanPoint,
+        targets: &[EuclideanPoint],
+        out: &mut [f64],
+    ) {
+        let chunks = targets.len() / 2;
+        let base = targets.as_ptr().cast::<f64>();
+        // `base` covers `2 * targets.len()` contiguous f64s (see
+        // `euclid_row_avx2`), so loads and stores stay in bounds.
+        // SAFETY: in-bounds per above; SSE2 is in the x86_64 baseline.
+        unsafe {
+            let o = _mm_setr_pd(origin.x, origin.y);
+            for c in 0..chunks {
+                let p = base.add(c * 4);
+                let p0 = _mm_loadu_pd(p);
+                let p1 = _mm_loadu_pd(p.add(2));
+                let d0 = _mm_sub_pd(o, p0);
+                let d1 = _mm_sub_pd(o, p1);
+                let s0 = _mm_mul_pd(d0, d0);
+                let s1 = _mm_mul_pd(d1, d1);
+                let xs = _mm_unpacklo_pd(s0, s1);
+                let ys = _mm_unpackhi_pd(s0, s1);
+                let sums = _mm_add_pd(xs, ys);
+                _mm_storeu_pd(out.as_mut_ptr().add(c * 2), _mm_sqrt_pd(sums));
+            }
+        }
+        euclid_row_scalar(origin, &targets[chunks * 2..], &mut out[chunks * 2..]);
+    }
+
+    /// AVX2 lane-wise minimum; `MINPD` equals `f64::min` on NaN-free,
+    /// negative-zero-free inputs.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2; `a`, `b` and `out` must share one
+    /// length (the dispatcher trims them).
+    // SAFETY: contract is AVX2 availability, checked by the dispatcher.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn pairwise_min_avx2(a: &[f64], b: &[f64], out: &mut [f64]) {
+        let chunks = out.len() / 4;
+        // The three slices share `out.len()` elements per this fn's
+        // contract, so each 4-lane load/store at `c * 4` is in bounds.
+        // SAFETY: in-bounds per above; AVX2 per this fn's contract.
+        unsafe {
+            for c in 0..chunks {
+                let av = _mm256_loadu_pd(a.as_ptr().add(c * 4));
+                let bv = _mm256_loadu_pd(b.as_ptr().add(c * 4));
+                _mm256_storeu_pd(out.as_mut_ptr().add(c * 4), _mm256_min_pd(av, bv));
+            }
+        }
+        pairwise_min_scalar(&a[chunks * 4..], &b[chunks * 4..], &mut out[chunks * 4..]);
+    }
+
+    /// SSE2 lane-wise minimum, 2 lanes per iteration.
+    pub(super) fn pairwise_min_sse2(a: &[f64], b: &[f64], out: &mut [f64]) {
+        let chunks = out.len() / 2;
+        // The dispatcher trims `a`, `b` and `out` to one shared length,
+        // so each 2-lane load/store at `c * 2 < out.len()` is in bounds.
+        // SAFETY: in-bounds per above; SSE2 is in the x86_64 baseline.
+        unsafe {
+            for c in 0..chunks {
+                let av = _mm_loadu_pd(a.as_ptr().add(c * 2));
+                let bv = _mm_loadu_pd(b.as_ptr().add(c * 2));
+                _mm_storeu_pd(out.as_mut_ptr().add(c * 2), _mm_min_pd(av, bv));
+            }
+        }
+        pairwise_min_scalar(&a[chunks * 2..], &b[chunks * 2..], &mut out[chunks * 2..]);
+    }
+}
+
+/// `aarch64` NEON kernels (2 lanes; NEON is in the `aarch64` baseline).
+///
+/// Points load as two `[x, y]` pairs that `vuzp1q`/`vuzp2q`
+/// de-interleave into x- and y-vectors; `FMINNM` (`vminnmq_f64`)
+/// matches `f64::min` on the NaN-free kernel domain.
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use super::{euclid_row_scalar, pairwise_min_scalar};
+    use crate::point::EuclideanPoint;
+    use core::arch::aarch64::{
+        vaddq_f64, vdupq_n_f64, vld1q_f64, vminnmq_f64, vmulq_f64, vsqrtq_f64, vst1q_f64,
+        vsubq_f64, vuzp1q_f64, vuzp2q_f64,
+    };
+
+    /// NEON Euclidean row: 2 points per iteration, scalar tail.
+    pub(super) fn euclid_row_neon(
+        origin: EuclideanPoint,
+        targets: &[EuclideanPoint],
+        out: &mut [f64],
+    ) {
+        let chunks = targets.len() / 2;
+        let base = targets.as_ptr().cast::<f64>();
+        // `base` points at `2 * targets.len()` contiguous f64s
+        // (EuclideanPoint is `#[repr(C)] { x: f64, y: f64 }`), so all
+        // point loads and matching `out` stores below stay in bounds.
+        // SAFETY: in-bounds per above; NEON is in the aarch64 baseline.
+        unsafe {
+            let ox = vdupq_n_f64(origin.x);
+            let oy = vdupq_n_f64(origin.y);
+            for c in 0..chunks {
+                let p = base.add(c * 4);
+                let q0 = vld1q_f64(p);
+                let q1 = vld1q_f64(p.add(2));
+                let xs = vuzp1q_f64(q0, q1);
+                let ys = vuzp2q_f64(q0, q1);
+                let dx = vsubq_f64(ox, xs);
+                let dy = vsubq_f64(oy, ys);
+                let sums = vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy));
+                vst1q_f64(out.as_mut_ptr().add(c * 2), vsqrtq_f64(sums));
+            }
+        }
+        euclid_row_scalar(origin, &targets[chunks * 2..], &mut out[chunks * 2..]);
+    }
+
+    /// NEON lane-wise minimum via `FMINNM`, 2 lanes per iteration.
+    pub(super) fn pairwise_min_neon(a: &[f64], b: &[f64], out: &mut [f64]) {
+        let chunks = out.len() / 2;
+        // The dispatcher trims `a`, `b` and `out` to one shared length,
+        // so each 2-lane load/store at `c * 2 < out.len()` is in bounds.
+        // SAFETY: in-bounds per above; NEON is in the aarch64 baseline.
+        unsafe {
+            for c in 0..chunks {
+                let av = vld1q_f64(a.as_ptr().add(c * 2));
+                let bv = vld1q_f64(b.as_ptr().add(c * 2));
+                vst1q_f64(out.as_mut_ptr().add(c * 2), vminnmq_f64(av, bv));
+            }
+        }
+        pairwise_min_scalar(&a[chunks * 2..], &b[chunks * 2..], &mut out[chunks * 2..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroundDistance;
+
+    fn walk(n: usize, seed: u64) -> Vec<EuclideanPoint> {
+        // Small deterministic LCG walk; values span sign changes and
+        // repeated points.
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut pts = Vec::with_capacity(n);
+        let (mut x, mut y) = (0.0f64, 0.0f64);
+        for i in 0..n {
+            if i % 7 != 3 {
+                // Occasionally keep the previous point (duplicates).
+                x += next();
+                y += next();
+            }
+            pts.push(EuclideanPoint::new(x, y));
+        }
+        pts
+    }
+
+    #[test]
+    fn every_supported_kernel_matches_scalar_bitwise() {
+        for n in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9, 31, 64, 65] {
+            let pts = walk(n, 42 + n as u64);
+            let origin = EuclideanPoint::new(0.25, -0.75);
+            let mut reference = vec![0.0; n];
+            euclid_row_with(Kernel::Scalar, origin, &pts, &mut reference);
+            for (slot, p) in reference.iter().zip(&pts) {
+                assert_eq!(slot.to_bits(), origin.distance(p).to_bits());
+            }
+            for kernel in [Kernel::Avx2, Kernel::Sse2, Kernel::Neon] {
+                if !kernel.supported() {
+                    continue;
+                }
+                let mut got = vec![f64::NAN; n];
+                euclid_row_with(kernel, origin, &pts, &mut got);
+                for (k, (g, r)) in got.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        r.to_bits(),
+                        "kernel {kernel:?} lane {k} of {n} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_kernel_falls_back_to_scalar() {
+        let pts = walk(9, 7);
+        let origin = EuclideanPoint::new(1.0, 2.0);
+        let mut reference = vec![0.0; 9];
+        euclid_row_with(Kernel::Scalar, origin, &pts, &mut reference);
+        // On any given host at least one of these is unsupported; the
+        // call must still produce scalar-identical output.
+        for kernel in [Kernel::Avx2, Kernel::Sse2, Kernel::Neon] {
+            let mut got = vec![0.0; 9];
+            euclid_row_with(kernel, origin, &pts, &mut got);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_min_matches_scalar_including_infinities() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 33] {
+            let mut a: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5).collect();
+            let mut b: Vec<f64> = (0..n).map(|i| ((n - i) as f64) * 0.25).collect();
+            if n > 2 {
+                a[1] = f64::INFINITY;
+                b[2] = f64::INFINITY;
+                a[0] = 0.0;
+                b[0] = 0.0;
+            }
+            let mut reference = vec![0.0; n];
+            pairwise_min_with(Kernel::Scalar, &a, &b, &mut reference);
+            for kernel in [Kernel::Avx2, Kernel::Sse2, Kernel::Neon] {
+                if !kernel.supported() {
+                    continue;
+                }
+                let mut got = vec![f64::NAN; n];
+                pairwise_min_with(kernel, &a, &b, &mut got);
+                for (g, r) in got.iter().zip(&reference) {
+                    assert_eq!(g.to_bits(), r.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_prefix_is_written() {
+        let pts = walk(6, 1);
+        let origin = EuclideanPoint::new(0.0, 0.0);
+        let mut out = vec![-1.0; 4];
+        euclid_row(origin, &pts, &mut out);
+        assert!(out.iter().all(|v| *v >= 0.0));
+        let mut short = vec![-1.0; 8];
+        euclid_row(origin, &pts[..2], &mut short);
+        assert!(short[2..].iter().all(|v| *v == -1.0));
+    }
+
+    #[test]
+    fn kernel_names_and_detection_are_consistent() {
+        assert_eq!(Kernel::Scalar.name(), "scalar");
+        assert_eq!(Kernel::Avx2.name(), "avx2");
+        assert_eq!(Kernel::Sse2.name(), "sse2");
+        assert_eq!(Kernel::Neon.name(), "neon");
+        assert!(Kernel::Scalar.supported());
+        assert!(Kernel::detect().supported());
+        assert!(Kernel::active().supported());
+    }
+}

@@ -20,6 +20,11 @@
 //! * [`matrix`] — dense `O(n^2)` all-pair ground-distance matrices, the
 //!   on-the-fly variant used by GTM*, and the row/column minima (`Rmin`,
 //!   `Cmin`) backing the paper's relaxed lower bounds.
+//! * [`kernel`] — runtime-dispatched SIMD kernels (AVX2/SSE2/NEON with a
+//!   scalar fallback) for Euclidean distance rows and the DP `min`
+//!   pre-pass, bit-identical to the scalar loops (`docs/KERNELS.md`).
+//! * [`matrix_f32`] — opt-in single-precision distance matrix for the
+//!   approximate algorithms only; exact kernels stay `f64`.
 //! * [`io`] — GeoLife PLT and CSV readers/writers.
 //! * [`gen`] — synthetic workload generators standing in for the GeoLife,
 //!   Truck and Wild-Baboon datasets (see `DESIGN.md` §5 for the
@@ -33,7 +38,9 @@ pub mod distance;
 pub mod error;
 pub mod gen;
 pub mod io;
+pub mod kernel;
 pub mod matrix;
+pub mod matrix_f32;
 pub mod point;
 pub mod resample;
 pub mod simplify;
@@ -42,7 +49,9 @@ pub mod trajectory;
 
 pub use distance::{Equirectangular, Euclidean, Haversine, Metric, Native, EARTH_RADIUS_M};
 pub use error::{Error, Result};
+pub use kernel::Kernel;
 pub use matrix::{DenseMatrix, DistanceSource, LazyDistances, RowColMins, ValidRegion};
+pub use matrix_f32::DenseMatrixF32;
 pub use point::{Euclidean3dPoint, EuclideanPoint, GeoPoint, GroundDistance};
 pub use resample::{resample_count, resample_uniform, Lerp};
 pub use simplify::{simplify_euclidean, simplify_geo};

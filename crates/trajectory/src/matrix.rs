@@ -16,6 +16,8 @@
 //! the [`ValidRegion::UpperTriangle`] region. For motif discovery between two
 //! different trajectories every cell is valid ([`ValidRegion::Full`]).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crate::point::GroundDistance;
 
 /// Which cells of the distance matrix a motif path may visit.
@@ -47,6 +49,21 @@ pub trait DistanceSource {
     /// Approximate heap footprint in bytes, for the paper's Figure 19 space
     /// accounting.
     fn bytes(&self) -> usize;
+
+    /// Fills `out[i] = self.get(a, b_start + i)` for the whole of `out`.
+    ///
+    /// The default loops over [`DistanceSource::get`]; [`DenseMatrix`]
+    /// overrides it with a contiguous row copy and [`LazyDistances`]
+    /// with the SIMD row kernel via
+    /// [`GroundDistance::distance_row`], all bit-identical to the
+    /// default. The DP inner loop gathers each `dG` row through this
+    /// before its scalar scan.
+    #[inline]
+    fn fill_row(&self, a: usize, b_start: usize, out: &mut [f64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.get(a, b_start + i);
+        }
+    }
 }
 
 /// Precomputed dense `len_a × len_b` ground-distance matrix (row-major,
@@ -64,15 +81,45 @@ impl DenseMatrix {
     /// The matrix is symmetric; both halves are stored so that `get` stays a
     /// single multiply-add (the paper's methods index `dG` heavily in inner
     /// loops).
+    ///
+    /// Construction dispatches on [`Kernel::active`](crate::Kernel::active):
+    /// SIMD kernels fill the upper triangle in cache-blocked tiles and
+    /// mirror each tile while it is cache-resident, the scalar fallback
+    /// keeps the straightforward row-then-column reference layout. Both
+    /// produce **bit-for-bit identical** matrices (see `docs/KERNELS.md`),
+    /// so cached matrices stay shareable across modes.
     #[must_use]
     pub fn within<P: GroundDistance>(points: &[P]) -> Self {
         let n = points.len();
         let mut data = vec![0.0; n * n];
-        for a in 0..n {
-            for b in (a + 1)..n {
-                let d = points[a].distance(&points[b]);
-                data[a * n + b] = d;
-                data[b * n + a] = d;
+        if crate::kernel::Kernel::active() == crate::kernel::Kernel::Scalar || n < 4 {
+            // Reference layout (also the `FREMO_NO_SIMD` / forced-scalar
+            // path the differential suite compares against): fill the
+            // strict upper part of each row, then mirror it into the
+            // column with strided writes. Simple and obviously correct,
+            // but the column scatter misses a cache line per cell once
+            // `n` rows outgrow the caches.
+            for a in 0..n {
+                let row = a * n;
+                points[a].distance_row(&points[a + 1..], &mut data[row + a + 1..row + n]);
+                for b in (a + 1)..n {
+                    data[b * n + a] = data[row + b];
+                }
+            }
+        } else {
+            // Kernel layout: walk the upper triangle in `TILE × TILE`
+            // blocks and mirror each block while its lines are still
+            // cache-resident — the same tiles (and therefore the same
+            // per-cell writes) the parallel builder claims off its
+            // cursor, just visited by one thread. Every cell is produced
+            // by the identical `distance` computation, so the result is
+            // bit-for-bit the reference layout's.
+            let cells = SharedCells(data.as_mut_ptr());
+            let tiles_per_side = n.div_ceil(MATRIX_TILE);
+            for ta in 0..tiles_per_side {
+                for tb in ta..tiles_per_side {
+                    fill_tile(points, n, MATRIX_TILE, ta, tb, &cells);
+                }
             }
         }
         DenseMatrix {
@@ -86,10 +133,12 @@ impl DenseMatrix {
     #[must_use]
     pub fn between<P: GroundDistance>(a_pts: &[P], b_pts: &[P]) -> Self {
         let (na, nb) = (a_pts.len(), b_pts.len());
-        let mut data = Vec::with_capacity(na * nb);
-        for a in a_pts {
-            for b in b_pts {
-                data.push(a.distance(b));
+        // Pre-sized + indexed row fills: no per-cell capacity check, and
+        // each row goes through the vectorized `distance_row`.
+        let mut data = vec![0.0; na * nb];
+        if nb > 0 {
+            for (pa, row) in a_pts.iter().zip(data.chunks_mut(nb)) {
+                pa.distance_row(b_pts, row);
             }
         }
         DenseMatrix {
@@ -99,48 +148,53 @@ impl DenseMatrix {
         }
     }
 
-    /// [`DenseMatrix::within`] with row-chunked parallel construction.
+    /// [`DenseMatrix::within`] with cache-blocked parallel construction.
     ///
-    /// Workers fill the upper triangle (rows are dealt round-robin so the
-    /// shrinking triangle rows balance), then a serial mirror pass copies
-    /// each cell to its transpose. Every cell is therefore produced by the
-    /// same `distance` call as in the serial builder — the result is
-    /// **bit-for-bit identical** to [`DenseMatrix::within`] regardless of
-    /// scheduling, which is what lets the engine cache one matrix per
-    /// trajectory across serial and parallel queries. `threads <= 1` runs
-    /// the serial builder directly.
+    /// The upper triangle is cut into `TILE × TILE` tiles; workers claim
+    /// tiles off an atomic cursor, fill each tile's rows with the
+    /// vectorized [`GroundDistance::distance_row`], and mirror their own
+    /// cells into the transpose immediately — while the tile's cache
+    /// lines are still hot — instead of the old serial whole-matrix
+    /// mirror pass. Every cell (and its mirror) is written by exactly
+    /// one tile owner, and every value is produced by the same
+    /// `distance` computation as the serial builder, so the result is
+    /// **bit-for-bit identical** to [`DenseMatrix::within`] regardless
+    /// of scheduling — which is what lets the engine cache one matrix
+    /// per trajectory across serial and parallel queries. `threads <= 1`
+    /// runs the serial builder directly.
     #[must_use]
     pub fn within_parallel<P: GroundDistance + Sync>(points: &[P], threads: usize) -> Self {
+        const TILE: usize = MATRIX_TILE;
         let n = points.len();
         if threads <= 1 || n < 4 {
             return DenseMatrix::within(points);
         }
-        let mut data = vec![0.0; n * n];
-        let mut buckets: Vec<Vec<(usize, &mut [f64])>> =
-            (0..threads.min(n)).map(|_| Vec::new()).collect();
-        let workers = buckets.len();
-        for (a, row) in data.chunks_mut(n).enumerate() {
-            buckets[a % workers].push((a, row));
+        let tiles_per_side = n.div_ceil(TILE);
+        let mut tiles = Vec::with_capacity(tiles_per_side * (tiles_per_side + 1) / 2);
+        for ta in 0..tiles_per_side {
+            for tb in ta..tiles_per_side {
+                tiles.push((ta, tb));
+            }
         }
+        let mut data = vec![0.0; n * n];
+        let cells = SharedCells(data.as_mut_ptr());
+        let cursor = AtomicUsize::new(0);
+        let workers = threads.min(tiles.len());
         crossbeam::scope(|scope| {
-            for bucket in buckets {
-                scope.spawn(move |_| {
-                    for (a, row) in bucket {
-                        for (b, slot) in row.iter_mut().enumerate().skip(a + 1) {
-                            *slot = points[a].distance(&points[b]);
-                        }
-                    }
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    // The cursor only hands out disjoint tile indices
+                    // (fetch_add is atomic); the scope join publishes
+                    // relaxed: writes, nothing else is ordered by it.
+                    let t = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(ta, tb)) = tiles.get(t) else {
+                        break;
+                    };
+                    fill_tile(points, n, TILE, ta, tb, &cells);
                 });
             }
         })
         .expect("matrix workers do not panic");
-        // Mirror pass: pure copies, no arithmetic — cheap next to the
-        // ground-distance evaluations above.
-        for a in 0..n {
-            for b in (a + 1)..n {
-                data[b * n + a] = data[a * n + b];
-            }
-        }
         DenseMatrix {
             len_a: n,
             len_b: n,
@@ -172,9 +226,7 @@ impl DenseMatrix {
             for bucket in buckets {
                 scope.spawn(move |_| {
                     for (a, row) in bucket {
-                        for (b, slot) in row.iter_mut().enumerate() {
-                            *slot = a_pts[a].distance(&b_pts[b]);
-                        }
+                        a_pts[a].distance_row(b_pts, row);
                     }
                 });
             }
@@ -206,6 +258,60 @@ impl DenseMatrix {
     }
 }
 
+/// Tile edge of the blocked `within` builders: 64² f64 cells = 32 KiB,
+/// comfortably L1/L2-resident together with the mirrored column stripe.
+const MATRIX_TILE: usize = 64;
+
+/// Raw pointer to the matrix buffer, shared across tile workers.
+///
+/// The tile-claiming protocol in [`DenseMatrix::within_parallel`]
+/// guarantees disjoint writes: upper-triangle cell `(a, b)` (`a < b`)
+/// and its mirror `(b, a)` are written only by the owner of tile
+/// `(a / TILE, b / TILE)`, and the atomic cursor hands each tile to
+/// exactly one worker.
+#[derive(Clone, Copy)]
+struct SharedCells(*mut f64);
+
+// Workers never alias — see the ownership argument on `SharedCells`.
+// The buffer outlives the crossbeam scope that borrows the pointer.
+// SAFETY: disjoint writes per above; sending the pointer is sound.
+unsafe impl Send for SharedCells {}
+// SAFETY: as above — all access is to disjoint cells, so shared
+// references across threads cannot race.
+unsafe impl Sync for SharedCells {}
+
+/// Fills tile `(ta, tb)` of the upper triangle and mirrors its cells.
+fn fill_tile<P: GroundDistance>(
+    points: &[P],
+    n: usize,
+    tile: usize,
+    ta: usize,
+    tb: usize,
+    cells: &SharedCells,
+) {
+    let a_end = ((ta + 1) * tile).min(n);
+    let b0 = tb * tile;
+    let b_end = ((tb + 1) * tile).min(n);
+    for a in (ta * tile)..a_end {
+        let lo = b0.max(a + 1);
+        if lo >= b_end {
+            continue;
+        }
+        // This worker exclusively owns tile (ta, tb), hence row segment
+        // [a*n + lo, a*n + b_end) with lo > a; the segment lies inside
+        // the n*n allocation because a < n and lo..b_end ⊆ [0, n).
+        // SAFETY: exclusive, in-bounds range per above.
+        let row = unsafe { std::slice::from_raw_parts_mut(cells.0.add(a * n + lo), b_end - lo) };
+        points[a].distance_row(&points[lo..b_end], row);
+        for (slot, b) in row.iter().zip(lo..b_end) {
+            // Mirror cell (b, a) of owned cell (a, b) belongs to the
+            // same tile owner; b < n, a < n keep the write in bounds.
+            // SAFETY: exclusive, in-bounds write per above.
+            unsafe { *cells.0.add(b * n + a) = *slot };
+        }
+    }
+}
+
 impl DistanceSource for DenseMatrix {
     #[inline]
     fn len_a(&self) -> usize {
@@ -225,6 +331,12 @@ impl DistanceSource for DenseMatrix {
 
     fn bytes(&self) -> usize {
         self.data.capacity() * std::mem::size_of::<f64>()
+    }
+
+    #[inline]
+    fn fill_row(&self, a: usize, b_start: usize, out: &mut [f64]) {
+        let start = a * self.len_b + b_start;
+        out.copy_from_slice(&self.data[start..start + out.len()]);
     }
 }
 
@@ -271,6 +383,11 @@ impl<P: GroundDistance> DistanceSource for LazyDistances<'_, P> {
 
     fn bytes(&self) -> usize {
         0
+    }
+
+    #[inline]
+    fn fill_row(&self, a: usize, b_start: usize, out: &mut [f64]) {
+        self.a_pts[a].distance_row(&self.b_pts[b_start..b_start + out.len()], out);
     }
 }
 
@@ -450,12 +567,9 @@ mod tests {
         assert!(dense.bytes() > 0);
     }
 
-    #[test]
-    fn parallel_builders_are_bitwise_identical_to_serial() {
-        // Deterministic pseudo-random points (xorshift).
-        let mut x: u64 = 0xC0FFEE;
-        let mut pts = Vec::with_capacity(60);
-        for _ in 0..60 {
+    fn xorshift_pts(n: usize, mut x: u64) -> Vec<EuclideanPoint> {
+        let mut pts = Vec::with_capacity(n);
+        for _ in 0..n {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
@@ -464,20 +578,78 @@ mod tests {
                 ((x >> 10) % 1000) as f64 / 11.0,
             ));
         }
-        let serial = DenseMatrix::within(&pts);
-        for threads in [1, 2, 3, 4, 8, 100] {
-            let par = DenseMatrix::within_parallel(&pts, threads);
-            assert_eq!(par.len_a(), serial.len_a());
-            for (s, p) in serial.raw().iter().zip(par.raw()) {
-                assert_eq!(s.to_bits(), p.to_bits(), "threads={threads}");
+        pts
+    }
+
+    #[test]
+    fn parallel_builders_are_bitwise_identical_to_serial() {
+        // 60 stays inside one 64-wide tile; 150 crosses tile boundaries
+        // in both directions and exercises ragged edge tiles.
+        for n in [60usize, 150] {
+            let pts = xorshift_pts(n, 0xC0FFEE);
+            let serial = DenseMatrix::within(&pts);
+            for threads in [1, 2, 3, 4, 8, 100] {
+                let par = DenseMatrix::within_parallel(&pts, threads);
+                assert_eq!(par.len_a(), serial.len_a());
+                for (s, p) in serial.raw().iter().zip(par.raw()) {
+                    assert_eq!(s.to_bits(), p.to_bits(), "n={n} threads={threads}");
+                }
+            }
+            let (a, b) = pts.split_at(n / 2 - 5);
+            let serial = DenseMatrix::between(a, b);
+            for threads in [1, 2, 4, 8] {
+                let par = DenseMatrix::between_parallel(a, b, threads);
+                for (s, p) in serial.raw().iter().zip(par.raw()) {
+                    assert_eq!(s.to_bits(), p.to_bits(), "n={n} threads={threads}");
+                }
             }
         }
-        let (a, b) = pts.split_at(25);
-        let serial = DenseMatrix::between(a, b);
-        for threads in [1, 2, 4, 8] {
-            let par = DenseMatrix::between_parallel(a, b, threads);
-            for (s, p) in serial.raw().iter().zip(par.raw()) {
-                assert_eq!(s.to_bits(), p.to_bits(), "threads={threads}");
+    }
+
+    #[test]
+    fn between_parallel_row_chunks_match_serial_across_shapes() {
+        // Tall, wide, square and single-row shapes, so every row-chunk
+        // split the bucket dealer can produce is exercised.
+        for (na, nb) in [(1usize, 40usize), (40, 1), (7, 33), (33, 7), (20, 20)] {
+            let a = xorshift_pts(na, 0xDEAD_BEEF);
+            let b = xorshift_pts(nb, 0xFACE_FEED);
+            let serial = DenseMatrix::between(&a, &b);
+            assert_eq!(serial.raw().len(), na * nb);
+            for (i, pa) in a.iter().enumerate() {
+                for (j, pb) in b.iter().enumerate() {
+                    assert_eq!(serial.get(i, j).to_bits(), pa.distance(pb).to_bits());
+                }
+            }
+            for threads in [2, 3, 8, 64] {
+                let par = DenseMatrix::between_parallel(&a, &b, threads);
+                for (s, p) in serial.raw().iter().zip(par.raw()) {
+                    assert_eq!(
+                        s.to_bits(),
+                        p.to_bits(),
+                        "na={na} nb={nb} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_row_overrides_match_get() {
+        let pts = xorshift_pts(37, 0xABCD);
+        let (a, b) = pts.split_at(17);
+        let dense = DenseMatrix::between(a, b);
+        let lazy = LazyDistances::between(a, b);
+        for row in 0..a.len() {
+            for (start, len) in [(0usize, b.len()), (3, 9), (b.len() - 1, 1), (5, 0)] {
+                let mut from_dense = vec![f64::NAN; len];
+                let mut from_lazy = vec![f64::NAN; len];
+                dense.fill_row(row, start, &mut from_dense);
+                lazy.fill_row(row, start, &mut from_lazy);
+                for (i, (d, l)) in from_dense.iter().zip(&from_lazy).enumerate() {
+                    let want = dense.get(row, start + i);
+                    assert_eq!(d.to_bits(), want.to_bits());
+                    assert_eq!(l.to_bits(), want.to_bits());
+                }
             }
         }
     }

@@ -1,0 +1,171 @@
+//! Opt-in single-precision distance matrix for approximate search.
+//!
+//! The exact algorithms keep their `f64` matrices (fremo-lint L6 bans
+//! `f32` from the exact kernel files); this module exists solely for
+//! the `Approx{eps}` / Table-1 baseline regime, where the answer
+//! already carries an additive error bound and halving matrix bytes
+//! doubles the working set the engine cache can hold.
+//!
+//! Distances are computed in `f64` by the same (SIMD-accelerated)
+//! [`GroundDistance::distance_row`] the exact builders use, then
+//! rounded once to `f32` per cell. [`DistanceSource::get`] widens back
+//! to `f64`, so each stored cell satisfies
+//! `|widened - exact| <= exact * 2^-24` (one `f32` rounding step) —
+//! negligible against any meaningful `eps`, but **not** bit-exact: see
+//! `docs/KERNELS.md` for when this mode is admissible.
+
+use crate::matrix::DistanceSource;
+use crate::point::GroundDistance;
+
+/// Precomputed dense `len_a × len_b` single-precision ground-distance
+/// matrix (row-major, indexed `a * len_b + b`), half the bytes of
+/// [`DenseMatrix`](crate::DenseMatrix).
+#[derive(Debug, Clone)]
+pub struct DenseMatrixF32 {
+    len_a: usize,
+    len_b: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrixF32 {
+    /// Single-precision [`DenseMatrix::within`](crate::DenseMatrix::within):
+    /// symmetric all-pair distances within one point sequence, each cell
+    /// rounded from the exact `f64` value.
+    #[must_use]
+    pub fn within<P: GroundDistance>(points: &[P]) -> Self {
+        let n = points.len();
+        let mut data = vec![0.0f32; n * n];
+        let mut scratch = vec![0.0f64; n.saturating_sub(1)];
+        for a in 0..n {
+            let row = &mut scratch[..n - a - 1];
+            points[a].distance_row(&points[a + 1..], row);
+            for (off, d) in row.iter().enumerate() {
+                let b = a + 1 + off;
+                let narrowed = *d as f32;
+                data[a * n + b] = narrowed;
+                data[b * n + a] = narrowed;
+            }
+        }
+        DenseMatrixF32 {
+            len_a: n,
+            len_b: n,
+            data,
+        }
+    }
+
+    /// Single-precision
+    /// [`DenseMatrix::between`](crate::DenseMatrix::between): all-pair
+    /// distances between two point sequences.
+    #[must_use]
+    pub fn between<P: GroundDistance>(a_pts: &[P], b_pts: &[P]) -> Self {
+        let (na, nb) = (a_pts.len(), b_pts.len());
+        let mut data = vec![0.0f32; na * nb];
+        let mut scratch = vec![0.0f64; nb];
+        for (a, pa) in a_pts.iter().enumerate() {
+            pa.distance_row(b_pts, &mut scratch);
+            for (slot, d) in data[a * nb..(a + 1) * nb].iter_mut().zip(&scratch) {
+                *slot = *d as f32;
+            }
+        }
+        DenseMatrixF32 {
+            len_a: na,
+            len_b: nb,
+            data,
+        }
+    }
+}
+
+impl DistanceSource for DenseMatrixF32 {
+    #[inline]
+    fn len_a(&self) -> usize {
+        self.len_a
+    }
+
+    #[inline]
+    fn len_b(&self) -> usize {
+        self.len_b
+    }
+
+    #[inline]
+    fn get(&self, a: usize, b: usize) -> f64 {
+        debug_assert!(a < self.len_a && b < self.len_b);
+        f64::from(self.data[a * self.len_b + b])
+    }
+
+    fn bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
+    #[inline]
+    fn fill_row(&self, a: usize, b_start: usize, out: &mut [f64]) {
+        let start = a * self.len_b + b_start;
+        let end = start + out.len();
+        for (slot, d) in out.iter_mut().zip(&self.data[start..end]) {
+            *slot = f64::from(*d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DenseMatrix;
+    use crate::point::EuclideanPoint;
+
+    fn pts(n: usize) -> Vec<EuclideanPoint> {
+        let mut x: u64 = 0xF00D;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                EuclideanPoint::new((x % 997) as f64 / 13.0, ((x >> 9) % 997) as f64 / 17.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f32_matrix_is_one_rounding_step_from_exact() {
+        let p = pts(40);
+        let exact = DenseMatrix::within(&p);
+        let narrow = DenseMatrixF32::within(&p);
+        assert_eq!(narrow.len_a(), 40);
+        for a in 0..40 {
+            for b in 0..40 {
+                let e = exact.get(a, b);
+                let w = narrow.get(a, b);
+                assert_eq!(w, f64::from(e as f32), "one rounding step, a={a} b={b}");
+                assert!((w - e).abs() <= e.abs() * (f32::EPSILON as f64));
+                assert_eq!(narrow.get(a, b), narrow.get(b, a));
+            }
+            assert_eq!(narrow.get(a, a), 0.0);
+        }
+    }
+
+    #[test]
+    fn f32_between_and_fill_row_agree_with_get() {
+        let p = pts(30);
+        let (a, b) = p.split_at(12);
+        let m = DenseMatrixF32::between(a, b);
+        let exact = DenseMatrix::between(a, b);
+        assert_eq!(m.len_a(), 12);
+        assert_eq!(m.len_b(), 18);
+        for i in 0..m.len_a() {
+            let mut row = vec![0.0; m.len_b()];
+            m.fill_row(i, 0, &mut row);
+            for (j, r) in row.iter().enumerate() {
+                assert_eq!(r.to_bits(), m.get(i, j).to_bits());
+                assert_eq!(*r, f64::from(exact.get(i, j) as f32));
+            }
+        }
+    }
+
+    #[test]
+    fn f32_matrix_halves_bytes() {
+        let p = pts(32);
+        let exact = DenseMatrix::within(&p);
+        let narrow = DenseMatrixF32::within(&p);
+        assert!(narrow.bytes() <= exact.bytes() / 2);
+        assert!(narrow.bytes() >= 32 * 32 * 4);
+    }
+}

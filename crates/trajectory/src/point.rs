@@ -22,6 +22,21 @@ pub trait GroundDistance: Copy {
     /// Distance from `self` to `other` in the point type's native unit
     /// (metres for [`GeoPoint`], coordinate units for [`EuclideanPoint`]).
     fn distance(&self, other: &Self) -> f64;
+
+    /// Fills `out[i]` with `self.distance(&targets[i])` for the common
+    /// prefix `min(targets.len(), out.len())`.
+    ///
+    /// The default is a scalar loop over [`GroundDistance::distance`];
+    /// [`EuclideanPoint`] overrides it with the SIMD kernels in
+    /// [`crate::kernel`], which are **bit-identical** to the scalar
+    /// loop. Matrix builders call this so every point type gets the
+    /// fastest available row fill without changing results.
+    #[inline]
+    fn distance_row(&self, targets: &[Self], out: &mut [f64]) {
+        for (slot, target) in out.iter_mut().zip(targets) {
+            *slot = self.distance(target);
+        }
+    }
 }
 
 /// A geographic point: latitude/longitude in **degrees** plus an optional
@@ -115,7 +130,12 @@ impl GroundDistance for GeoPoint {
 /// abstract distance matrix), for unit-square synthetic workloads, and for
 /// applications such as sports analysis where positions live on a pitch
 /// rather than the globe.
+///
+/// `#[repr(C)]` so a `&[EuclideanPoint]` is a contiguous `[x0, y0, x1,
+/// y1, ...]` array of `f64` — the layout the SIMD kernels in
+/// [`crate::kernel`] load directly.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
 pub struct EuclideanPoint {
     /// X coordinate.
     pub x: f64,
@@ -145,6 +165,11 @@ impl GroundDistance for EuclideanPoint {
     #[inline]
     fn distance(&self, other: &Self) -> f64 {
         self.distance_sq(other).sqrt()
+    }
+
+    #[inline]
+    fn distance_row(&self, targets: &[Self], out: &mut [f64]) {
+        crate::kernel::euclid_row(*self, targets, out);
     }
 }
 

@@ -1,0 +1,185 @@
+//! Property-based SIMD ≡ scalar bit-identity for the distance kernels.
+//!
+//! Every supported kernel must reproduce the scalar reference loop
+//! bit-for-bit on adversarial inputs: random walks with duplicate
+//! points, axis-aligned segments (dx or dy exactly zero), sub-normal
+//! coordinates, and every remainder-lane count around the 2- and 4-wide
+//! vector widths. The matrix builders are additionally checked under
+//! [`force_scalar`] because their blocked (SIMD) and reference (scalar)
+//! layouts must stay interchangeable for the engine cache.
+
+use std::sync::Mutex;
+
+use fremo_trajectory::kernel::{euclid_row_with, force_scalar, pairwise_min_with};
+use fremo_trajectory::{DenseMatrix, DistanceSource, EuclideanPoint, GroundDistance, Kernel};
+use proptest::prelude::*;
+
+/// Serializes tests that toggle the process-global [`force_scalar`].
+static SCALAR_TOGGLE: Mutex<()> = Mutex::new(());
+
+const KERNELS: [Kernel; 3] = [Kernel::Avx2, Kernel::Sse2, Kernel::Neon];
+
+/// Coordinates drawn from regimes that historically break vector code:
+/// ordinary magnitudes, huge, tiny, sub-normal, exact zero.
+fn coord() -> impl Strategy<Value = f64> {
+    (0u32..9, -1.0..1.0_f64).prop_map(|(kind, v)| match kind {
+        0 => 0.0,
+        1 => v * 1.0e300,
+        2 => v * 1.0e-300,
+        // Sub-normals: the smallest representable magnitudes.
+        3 => f64::from_bits((v.abs() * 1.0e3) as u64 + 1),
+        _ => v * 1.0e3,
+    })
+}
+
+/// A walk that duplicates points (step dropped) and emits axis-aligned
+/// segments (one delta zeroed) with high probability.
+fn walk(max_len: usize) -> impl Strategy<Value = Vec<EuclideanPoint>> {
+    let step = (coord(), coord(), 0u32..4);
+    proptest::collection::vec(step, 0..max_len).prop_map(|steps| {
+        let (mut x, mut y) = (0.0f64, 0.0f64);
+        steps
+            .into_iter()
+            .map(|(dx, dy, mode)| {
+                match mode {
+                    0 => {} // duplicate point
+                    1 => x += dx,
+                    2 => y += dy,
+                    _ => {
+                        x += dx;
+                        y += dy;
+                    }
+                }
+                EuclideanPoint::new(x, y)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn euclid_row_kernels_match_scalar_bitwise(
+        pts in walk(70),
+        (ox, oy) in (coord(), coord()),
+    ) {
+        let origin = EuclideanPoint::new(ox, oy);
+        let mut reference = vec![0.0; pts.len()];
+        euclid_row_with(Kernel::Scalar, origin, &pts, &mut reference);
+        for (slot, p) in reference.iter().zip(&pts) {
+            prop_assert_eq!(slot.to_bits(), origin.distance(p).to_bits());
+        }
+        for kernel in KERNELS {
+            if !kernel.supported() {
+                continue;
+            }
+            let mut got = vec![f64::NAN; pts.len()];
+            euclid_row_with(kernel, origin, &pts, &mut got);
+            for (lane, (g, r)) in got.iter().zip(&reference).enumerate() {
+                prop_assert!(
+                    g.to_bits() == r.to_bits(),
+                    "kernel {:?} lane {} of {} diverged",
+                    kernel,
+                    lane,
+                    pts.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_min_kernels_match_scalar_bitwise(
+        mut a in proptest::collection::vec(0.0..1.0e6_f64, 0..70),
+        b in proptest::collection::vec(0.0..1.0e6_f64, 0..70),
+        inf_at in 0usize..70,
+    ) {
+        // DP rows mix finite distances with +∞ boundary cells.
+        if inf_at < a.len() {
+            a[inf_at] = f64::INFINITY;
+        }
+        let n = a.len().min(b.len());
+        let mut reference = vec![0.0; n];
+        pairwise_min_with(Kernel::Scalar, &a, &b, &mut reference);
+        for kernel in KERNELS {
+            if !kernel.supported() {
+                continue;
+            }
+            let mut got = vec![f64::NAN; n];
+            pairwise_min_with(kernel, &a, &b, &mut got);
+            for (g, r) in got.iter().zip(&reference) {
+                prop_assert_eq!(g.to_bits(), r.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_builders_match_forced_scalar_bitwise(pts in walk(40)) {
+        let _guard = SCALAR_TOGGLE.lock().unwrap();
+        force_scalar(true);
+        let reference_within = DenseMatrix::within(&pts);
+        let reference_between = pts
+            .split_first()
+            .map(|(first, rest)| DenseMatrix::between(std::slice::from_ref(first), rest));
+        force_scalar(false);
+        let active_within = DenseMatrix::within(&pts);
+        let n = pts.len();
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    active_within.get(a, b).to_bits(),
+                    reference_within.get(a, b).to_bits()
+                );
+            }
+        }
+        if let Some(reference) = reference_between {
+            let active = DenseMatrix::between(std::slice::from_ref(&pts[0]), &pts[1..]);
+            for b in 0..n - 1 {
+                prop_assert_eq!(active.get(0, b).to_bits(), reference.get(0, b).to_bits());
+            }
+        }
+    }
+}
+
+/// Remainder lanes deserve an exhaustive (non-random) pass: every length
+/// around the 2- and 4-wide chunk boundaries, plus one well past them.
+#[test]
+fn remainder_lane_counts_are_exact() {
+    let pts: Vec<EuclideanPoint> = (0..67)
+        .map(|i| {
+            let f = f64::from(i);
+            EuclideanPoint::new(f * 0.37 - 9.0, (f * 0.91).sin() * 40.0)
+        })
+        .collect();
+    let origin = EuclideanPoint::new(-2.5, 3.25);
+    for n in (0..=9).chain([15, 16, 17, 31, 32, 33, 63, 64, 65, 66, 67]) {
+        let mut reference = vec![0.0; n];
+        euclid_row_with(Kernel::Scalar, origin, &pts[..n], &mut reference);
+        for kernel in KERNELS {
+            if !kernel.supported() {
+                continue;
+            }
+            let mut got = vec![f64::NAN; n];
+            euclid_row_with(kernel, origin, &pts[..n], &mut got);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "kernel {kernel:?} at n={n}"
+            );
+        }
+    }
+}
+
+/// With `FREMO_NO_SIMD` set (the CI kernels job exports it), the active
+/// kernel must be scalar end-to-end; without it, detection rules.
+#[test]
+fn no_simd_env_selects_scalar() {
+    // The matrix-builder property test toggles `force_scalar`, which
+    // would shadow the env/detect choice this test asserts on.
+    let _guard = SCALAR_TOGGLE.lock().unwrap();
+    let expects_scalar = std::env::var("FREMO_NO_SIMD").map(|v| !v.is_empty() && v != "0");
+    match expects_scalar {
+        Ok(true) => assert_eq!(Kernel::active(), Kernel::Scalar),
+        _ => assert_eq!(Kernel::active(), Kernel::detect()),
+    }
+}

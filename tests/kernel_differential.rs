@@ -1,0 +1,226 @@
+//! End-to-end SIMD ≡ scalar differential suite.
+//!
+//! Runs every algorithm (BruteDP, BTM, GTM, GTM*, and approx) through
+//! the engine twice — once under the active SIMD kernel, once with the
+//! scalar reference forced — over both motif scopes and worker counts
+//! {1, 4}, and demands **bit-for-bit identical** motifs. This is the
+//! acceptance gate for the kernel layer: if a vector path rounds even
+//! one distance differently, a motif tie can break the other way and
+//! this suite fails. The CI `kernels` job additionally repeats the whole
+//! test binary under `FREMO_NO_SIMD=1` so the scalar end-to-end path is
+//! exercised as the ambient default too.
+//!
+//! [`force_scalar`] is process-global, so the whole suite lives in a
+//! handful of tests that serialize on one mutex.
+
+use std::sync::Mutex;
+
+use fremo::motif::engine::MatrixPrecision;
+use fremo::prelude::*;
+use fremo::similarity::{dfd_decision, dfd_linear};
+use fremo::trajectory::gen::planar;
+use fremo::trajectory::kernel::force_scalar;
+use fremo::trajectory::Kernel;
+
+/// Serializes every test that toggles the global scalar override.
+static SCALAR_TOGGLE: Mutex<()> = Mutex::new(());
+
+const N: usize = 72;
+const XI: usize = 8;
+
+fn algorithms() -> [AlgorithmChoice; 5] {
+    [
+        AlgorithmChoice::BruteDp,
+        AlgorithmChoice::Btm,
+        AlgorithmChoice::Gtm,
+        AlgorithmChoice::GtmStar,
+        AlgorithmChoice::Approx { epsilon: 0.25 },
+    ]
+}
+
+fn build(
+    scope_between: bool,
+    algorithm: AlgorithmChoice,
+    threads: usize,
+) -> (Engine<fremo::trajectory::EuclideanPoint>, Query) {
+    let engine = Engine::new();
+    let a = engine.register(planar::random_walk(N, 0.6, 11));
+    let builder = if scope_between {
+        let b = engine.register(planar::random_walk(N + 9, 0.6, 13));
+        Query::motif_between(a, b)
+    } else {
+        Query::motif(a)
+    };
+    let execution = if threads <= 1 {
+        ExecutionMode::Serial
+    } else {
+        ExecutionMode::Parallel { threads }
+    };
+    let query = builder
+        .xi(XI)
+        .algorithm(algorithm)
+        .execution(execution)
+        .build();
+    (engine, query)
+}
+
+#[test]
+fn every_algorithm_is_bitwise_identical_under_simd_and_scalar() {
+    let _guard = SCALAR_TOGGLE.lock().unwrap();
+    for scope_between in [false, true] {
+        for algorithm in algorithms() {
+            for threads in [1usize, 4] {
+                let (engine, query) = build(scope_between, algorithm, threads);
+
+                force_scalar(true);
+                let reference = engine.execute(&query).expect("scalar run succeeds");
+                engine.clear_cache();
+                force_scalar(false);
+                let active = engine.execute(&query).expect("active run succeeds");
+                force_scalar(false);
+
+                let label = format!("{algorithm:?} between={scope_between} threads={threads}");
+                assert_eq!(reference.stats.kernel, "scalar", "{label}");
+                assert_eq!(active.stats.kernel, Kernel::active().name(), "{label}");
+                let (r, a) = (reference.motif(), active.motif());
+                match (r, a) {
+                    (Some(r), Some(a)) => {
+                        assert_eq!(
+                            r.distance.to_bits(),
+                            a.distance.to_bits(),
+                            "distance bits diverged: {label}"
+                        );
+                        assert_eq!(
+                            (r.first, r.second),
+                            (a.first, a.second),
+                            "motif spans diverged: {label}"
+                        );
+                    }
+                    (None, None) => {}
+                    other => panic!("one path found a motif, the other none: {label}: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dfd_kernels_are_bitwise_identical_under_simd_and_scalar() {
+    let _guard = SCALAR_TOGGLE.lock().unwrap();
+    let a = planar::random_walk(150, 0.4, 5);
+    let b = planar::random_walk(133, 0.4, 6);
+    force_scalar(true);
+    let reference = dfd_linear(a.points(), b.points());
+    let decision_ref: Vec<bool> = [0.5, 0.9, 1.0, 1.1]
+        .iter()
+        .map(|f| dfd_decision(a.points(), b.points(), reference * f))
+        .collect();
+    force_scalar(false);
+    let active = dfd_linear(a.points(), b.points());
+    let decision_active: Vec<bool> = [0.5, 0.9, 1.0, 1.1]
+        .iter()
+        .map(|f| dfd_decision(a.points(), b.points(), reference * f))
+        .collect();
+    assert_eq!(reference.to_bits(), active.to_bits());
+    assert_eq!(decision_ref, decision_active);
+}
+
+#[test]
+fn f32_precision_is_rejected_outside_approx_motifs() {
+    let engine = Engine::new();
+    let a = engine.register(planar::random_walk(N, 0.6, 11));
+    let b = engine.register(planar::random_walk(N, 0.6, 13));
+
+    // Exact motif algorithms must not see rounded distances.
+    for algorithm in [
+        AlgorithmChoice::BruteDp,
+        AlgorithmChoice::Btm,
+        AlgorithmChoice::Gtm,
+        AlgorithmChoice::GtmStar,
+    ] {
+        let query = Query::motif(a)
+            .xi(XI)
+            .algorithm(algorithm)
+            .matrix_precision(MatrixPrecision::F32)
+            .build();
+        let err = engine.execute(&query).expect_err("f32 must be rejected");
+        assert!(
+            matches!(err, EngineError::InvalidParameter(_)),
+            "{algorithm:?}: {err:?}"
+        );
+    }
+
+    // Non-motif workloads reject it outright.
+    for query in [
+        Query::top_k(a, 2)
+            .xi(XI)
+            .matrix_precision(MatrixPrecision::F32)
+            .build(),
+        Query::measures(a, b, 1.0)
+            .matrix_precision(MatrixPrecision::F32)
+            .build(),
+    ] {
+        let err = engine.execute(&query).expect_err("f32 must be rejected");
+        assert!(matches!(err, EngineError::InvalidParameter(_)), "{err:?}");
+    }
+}
+
+#[test]
+fn f32_approx_runs_and_halves_matrix_bytes() {
+    let engine = Engine::new();
+    let a = engine.register(planar::random_walk(N, 0.6, 11));
+    let exact = engine
+        .execute(
+            &Query::motif(a)
+                .xi(XI)
+                .algorithm(AlgorithmChoice::Approx { epsilon: 0.25 })
+                .build(),
+        )
+        .expect("f64 approx run succeeds");
+    engine.clear_cache();
+    let narrowed = engine
+        .execute(
+            &Query::motif(a)
+                .xi(XI)
+                .algorithm(AlgorithmChoice::Approx { epsilon: 0.25 })
+                .matrix_precision(MatrixPrecision::F32)
+                .build(),
+        )
+        .expect("f32 approx run succeeds");
+
+    let (e, n) = (
+        exact.motif().expect("exact approx finds a motif"),
+        narrowed.motif().expect("narrowed approx finds a motif"),
+    );
+    // One f32 rounding step per cell is far inside the approx regime's
+    // slack: the (1+ε) guarantee still holds relative to the exact
+    // optimum, so the found distance stays within a relative 2^-24 of a
+    // legitimate f64 approx answer.
+    assert!(
+        (e.distance - n.distance).abs() <= e.distance * 1e-6,
+        "f32 approx drifted: {e:?} vs {n:?}"
+    );
+    assert!(
+        narrowed.stats.bytes_distance_matrix <= exact.stats.bytes_distance_matrix / 2 + 16,
+        "f32 matrix did not halve bytes: {} vs {}",
+        narrowed.stats.bytes_distance_matrix,
+        exact.stats.bytes_distance_matrix
+    );
+}
+
+/// The engine stamps the ambient kernel even for workloads that never
+/// touch a Euclidean row (joins, measures), so `--json` consumers can
+/// always attribute timings.
+#[test]
+fn stats_kernel_is_always_stamped() {
+    let _guard = SCALAR_TOGGLE.lock().unwrap();
+    force_scalar(false);
+    let engine = Engine::new();
+    let a = engine.register(planar::random_walk(40, 0.6, 3));
+    let b = engine.register(planar::random_walk(40, 0.6, 4));
+    let outcome = engine
+        .execute(&Query::measures(a, b, 2.0).build())
+        .expect("measures run succeeds");
+    assert_eq!(outcome.stats.kernel, Kernel::active().name());
+    assert!(!outcome.stats.kernel.is_empty());
+}
