@@ -1,0 +1,274 @@
+//! Multi-tenant traffic verdict: batched execution of a skewed mixed
+//! workload must beat sequential execution by ≥ 1.5× QPS while
+//! answering bit-for-bit identically.
+//!
+//! The workload models what `fremo serve` sees from pipelined tenants:
+//! 96 queries drawn (seeded LCG, fixed forever) from a small pool of
+//! distinct requests over 6 trajectories, with a hot skew — most draws
+//! hit a few popular queries on two popular trajectories, the tail
+//! touches the cold rest. The server-side drain batches such traffic in
+//! windows of 16, so that is the batch size here.
+//!
+//! Batching wins on this traffic three ways, all visible in
+//! `BatchStats`: repeated identical queries are answered once
+//! (`queries_deduped`), queries sharing a (trajectory, scope, ξ) group
+//! reuse one cached build (`builds_shared`), and compatible serial
+//! scans over one group fuse into a single pass over the sorted
+//! candidate list (`scans_fused`).
+//!
+//! The verdict run reports QPS, the engine cache hit rate, and
+//! nearest-rank p50/p90/p99 wall-time percentiles per scenario as one
+//! stable-schema JSON line each ([`LatencyPercentiles`] field names are
+//! frozen), then asserts the ≥ 1.5× QPS gate and cross-checks the two
+//! scenarios' answers bit-for-bit. `FREMO_TRAFFIC_TOLERATE=1` downgrades
+//! the QPS gate to a warning for noisy/oversubscribed CI hosts — the
+//! bit-identity check always stays fatal.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use fremo_bench::LatencyPercentiles;
+use fremo_core::engine::{
+    AlgorithmChoice, Engine, ExecutionMode, Query, QueryOutcome, QueryResults, TrajId,
+};
+use fremo_trajectory::gen::Dataset;
+use fremo_trajectory::GeoPoint;
+
+/// Trajectory length: 100 points keeps one workload pass fast while the
+/// per-group build (n²·8 matrix + bound tables) still costs enough that
+/// sharing it matters, as at paper scale.
+const N: usize = 100;
+/// Corpus size; the skew concentrates on the first [`HOT_TRAJ`].
+const TRAJ: usize = 6;
+const HOT_TRAJ: usize = 2;
+/// Queries per workload pass.
+const DRAWS: usize = 96;
+/// The server drain window the batched scenario replays.
+const BATCH: usize = 16;
+
+fn corpus(engine: &Engine<GeoPoint>) -> Vec<TrajId> {
+    engine.register_all((0..TRAJ as u64).map(|seed| Dataset::GeoLife.generate(N, seed)))
+}
+
+/// The distinct requests in flight, hot first: the pool's head runs
+/// motif/top-k variants on the two popular trajectories (these group
+/// and fuse), the tail is one cold motif query per remaining
+/// trajectory.
+fn pool(ids: &[TrajId]) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for &hot in &ids[..HOT_TRAJ] {
+        for xi in [5, 8] {
+            queries.push(
+                Query::motif(hot)
+                    .xi(xi)
+                    .algorithm(AlgorithmChoice::Btm)
+                    .execution(ExecutionMode::Serial)
+                    .build(),
+            );
+            queries.push(
+                Query::top_k(hot, 2)
+                    .xi(xi)
+                    .algorithm(AlgorithmChoice::Btm)
+                    .execution(ExecutionMode::Serial)
+                    .build(),
+            );
+        }
+    }
+    for &cold in &ids[HOT_TRAJ..] {
+        queries.push(
+            Query::motif(cold)
+                .xi(5)
+                .algorithm(AlgorithmChoice::Btm)
+                .execution(ExecutionMode::Serial)
+                .build(),
+        );
+    }
+    queries
+}
+
+/// The draw sequence, fixed forever: ¾ of draws hit the hot head of the
+/// pool, ¼ rotate through the cold tail.
+fn draws(pool_len: usize) -> Vec<usize> {
+    let hot = pool_len - (TRAJ - HOT_TRAJ);
+    let mut state: u64 = 0x5DEECE66D;
+    let mut out = Vec::with_capacity(DRAWS);
+    for _ in 0..DRAWS {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = (state >> 33) as usize;
+        out.push(if r % 4 != 3 {
+            r % hot
+        } else {
+            hot + (r / 4) % (pool_len - hot)
+        });
+    }
+    out
+}
+
+/// Materializes the workload against one engine (trajectory ids are
+/// engine-scoped, so each scenario builds its own copy).
+fn workload(engine: &Engine<GeoPoint>) -> Vec<Query> {
+    let ids = corpus(engine);
+    let pool = pool(&ids);
+    draws(pool.len()).iter().map(|&i| pool[i].clone()).collect()
+}
+
+struct Scenario {
+    outcomes: Vec<QueryOutcome>,
+    /// Per-query end-to-end wall seconds: what a client waits, so in
+    /// the batched scenario every member of a window observes the
+    /// window's wall time.
+    latencies: Vec<f64>,
+    elapsed: f64,
+    hit_rate: f64,
+}
+
+fn run_sequential(engine: &Engine<GeoPoint>, queries: &[Query]) -> Scenario {
+    let mut outcomes = Vec::with_capacity(queries.len());
+    let mut latencies = Vec::with_capacity(queries.len());
+    let start = Instant::now();
+    for query in queries {
+        let t = Instant::now();
+        outcomes.push(engine.execute(query).expect("valid query"));
+        latencies.push(t.elapsed().as_secs_f64());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    Scenario {
+        outcomes,
+        latencies,
+        elapsed,
+        hit_rate: engine.stats().cache.hit_rate(),
+    }
+}
+
+fn run_batched(engine: &Engine<GeoPoint>, queries: &[Query]) -> Scenario {
+    let mut outcomes = Vec::with_capacity(queries.len());
+    let mut latencies = Vec::with_capacity(queries.len());
+    let start = Instant::now();
+    for window in queries.chunks(BATCH) {
+        let t = Instant::now();
+        let batch = engine.execute_batch(window);
+        let wall = t.elapsed().as_secs_f64();
+        for outcome in batch.outcomes {
+            outcomes.push(outcome.expect("valid query"));
+            latencies.push(wall);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    Scenario {
+        outcomes,
+        latencies,
+        elapsed,
+        hit_rate: engine.stats().cache.hit_rate(),
+    }
+}
+
+/// Result bits that must match between scenarios (timing and cache
+/// residency excluded, as in `tests/batch_equivalence.rs`).
+fn fingerprint(outcome: &QueryOutcome) -> Vec<u64> {
+    let mut bits = Vec::new();
+    let mut push = |motif: &fremo_core::Motif| {
+        bits.extend([
+            motif.first.0 as u64,
+            motif.first.1 as u64,
+            motif.second.0 as u64,
+            motif.second.1 as u64,
+            motif.distance.to_bits(),
+        ]);
+    };
+    match &outcome.results {
+        QueryResults::Motif(found) => {
+            if let Some(motif) = found {
+                push(motif);
+            }
+        }
+        QueryResults::TopK(motifs) => motifs.iter().for_each(push),
+        other => panic!("unexpected result shape in the traffic workload: {other:?}"),
+    }
+    bits.push(u64::from(outcome.truncated));
+    bits
+}
+
+fn report(label: &str, s: &Scenario) -> f64 {
+    let qps = DRAWS as f64 / s.elapsed;
+    let p = LatencyPercentiles::from_samples(&s.latencies);
+    let line = serde_json::json!({
+        "bench": "traffic",
+        "scenario": label,
+        "queries": DRAWS,
+        "batch_size": if label == "batched" { BATCH } else { 1 },
+        "qps": qps,
+        "cache_hit_rate": s.hit_rate,
+        "latency": { "p50": p.p50, "p90": p.p90, "p99": p.p99 },
+    });
+    println!("{line}");
+    qps
+}
+
+/// One timed pass per scenario, then the asserted verdict.
+fn verify_traffic() {
+    let sequential_engine = Engine::new();
+    let sequential = run_sequential(&sequential_engine, &workload(&sequential_engine));
+
+    let batched_engine = Engine::new();
+    let batched = run_batched(&batched_engine, &workload(&batched_engine));
+
+    assert_eq!(sequential.outcomes.len(), batched.outcomes.len());
+    for (i, (a, b)) in sequential
+        .outcomes
+        .iter()
+        .zip(&batched.outcomes)
+        .enumerate()
+    {
+        assert_eq!(
+            fingerprint(a),
+            fingerprint(b),
+            "query {i} answered differently under batching"
+        );
+    }
+
+    let qps_sequential = report("sequential", &sequential);
+    let qps_batched = report("batched", &batched);
+    let speedup = qps_batched / qps_sequential;
+    println!(
+        "traffic verdict: batched {qps_batched:.0} qps vs sequential {qps_sequential:.0} qps \
+         ({speedup:.2}x, gate 1.50x); answers bit-identical"
+    );
+    if speedup < 1.5 {
+        let tolerate = std::env::var("FREMO_TRAFFIC_TOLERATE").is_ok_and(|v| v == "1");
+        assert!(
+            tolerate,
+            "batched execution is only {speedup:.2}x sequential QPS (gate: 1.5x); \
+             set FREMO_TRAFFIC_TOLERATE=1 to tolerate on a noisy host"
+        );
+        println!("traffic verdict: below the 1.5x gate, tolerated (FREMO_TRAFFIC_TOLERATE=1)");
+    }
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let engine = Engine::new();
+            let queries = workload(&engine);
+            std::hint::black_box(run_sequential(&engine, &queries).outcomes.len())
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let engine = Engine::new();
+            let queries = workload(&engine);
+            std::hint::black_box(run_batched(&engine, &queries).outcomes.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+
+fn main() {
+    benches();
+    verify_traffic();
+}

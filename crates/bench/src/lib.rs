@@ -20,6 +20,6 @@ pub mod scale;
 pub mod table;
 pub mod workload;
 
-pub use runner::{run_algorithm, Algorithm, Measurement};
+pub use runner::{run_algorithm, Algorithm, LatencyPercentiles, Measurement};
 pub use scale::Scale;
 pub use table::Table;

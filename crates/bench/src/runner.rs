@@ -153,6 +153,45 @@ pub fn run_algorithm_between(
     (Measurement::from_outcome(&outcome), outcome.stats)
 }
 
+/// Wall-time latency percentiles over a set of per-query samples, in
+/// seconds. Part of the stable bench JSON schema (the `traffic` bench
+/// emits one object per scenario), so field names must not change.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencyPercentiles {
+    /// Median wall seconds.
+    pub p50: f64,
+    /// 90th-percentile wall seconds.
+    pub p90: f64,
+    /// 99th-percentile wall seconds.
+    pub p99: f64,
+}
+
+impl LatencyPercentiles {
+    /// Nearest-rank percentiles (the ceil(p·n)-th smallest sample, the
+    /// classic definition — no interpolation, so every reported value is
+    /// an actually observed latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty or contains a NaN.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "no latency samples");
+        assert!(samples.iter().all(|s| !s.is_nan()), "NaN latency sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |p: f64| {
+            let idx = (p * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        LatencyPercentiles {
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+        }
+    }
+}
+
 /// Averages seconds/bytes over repetitions and cross-checks that every
 /// repetition returned the same motif distance per algorithm.
 #[must_use]
@@ -205,5 +244,25 @@ mod tests {
         assert_eq!(avg.seconds, 2.0);
         assert_eq!(avg.bytes, 200);
         assert!((avg.pruned_fraction - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        // 1..=100 shuffled: pXX must be exactly XX.
+        let mut samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        samples.reverse();
+        let p = LatencyPercentiles::from_samples(&samples);
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p99, 99.0);
+
+        // Nearest-rank on a short run picks observed values only.
+        let p = LatencyPercentiles::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(p.p50, 2.0);
+        assert_eq!(p.p90, 3.0);
+        assert_eq!(p.p99, 3.0);
+
+        let p = LatencyPercentiles::from_samples(&[7.5]);
+        assert_eq!((p.p50, p.p90, p.p99), (7.5, 7.5, 7.5));
     }
 }

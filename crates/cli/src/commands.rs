@@ -35,7 +35,7 @@ pub(crate) fn load(path_str: &str) -> Result<Trajectory<GeoPoint>, String> {
 
 /// Parses a byte size: a plain integer, optionally suffixed `k`, `m`,
 /// or `g` (case-insensitive, powers of 1024). `"64m"` → 67 108 864.
-fn parse_bytes(raw: &str) -> Result<usize, String> {
+pub(crate) fn parse_bytes(raw: &str) -> Result<usize, String> {
     let raw = raw.trim();
     let (digits, shift) = match raw.chars().last() {
         Some('k' | 'K') => (&raw[..raw.len() - 1], 10u32),
@@ -422,6 +422,113 @@ pub fn experiment(argv: &[String]) -> Result<(), String> {
     };
     print_all(name, &tables);
     Ok(())
+}
+
+/// `fremo batch (--corpus <csv[,csv...]> | --dataset <name> --n <len>
+/// [--count <k>] [--seed <u64>]) [--input <jsonl|->]
+/// [--cache-limit <bytes>] [--spill-dir <dir>]`
+///
+/// Reads line-delimited query JSON (the `fremo serve` request schema,
+/// one object per line; see `docs/SERVING.md`) from `--input` (default
+/// `-`, stdin) and executes the whole set through
+/// [`Engine::execute_batch`], so queries that share a trajectory, scope,
+/// and ξ build their cached state once and compatible serial scans fuse
+/// into one pass — with answers bit-identical to running each query
+/// alone (see `docs/BATCHING.md`).
+///
+/// Output: one response line per input line, in input order, in the
+/// [`outcome_to_json`] schema with `"ok"` and any echoed `"seq"`
+/// prepended — exactly what `serve` would answer — followed by one
+/// trailing `{"batch":{...}}` line with the [`BatchStats`] counters
+/// (`groups`, `builds_shared`, `scans_fused`, `queries_deduped`).
+///
+/// [`Engine::execute_batch`]: fremo_core::engine::Engine::execute_batch
+/// [`BatchStats`]: fremo_core::engine::BatchStats
+pub fn batch(args: &Parsed) -> Result<(), String> {
+    use crate::serve::{build_corpus, error_line, finish_line, QueryLimits};
+
+    let engine = session_engine(args)?;
+    let ids = build_corpus(args, &engine)?;
+    let input = args.optional("input").unwrap_or("-");
+    let text = if input == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?
+    };
+
+    // Translate every line up front so the whole set goes through one
+    // `execute_batch` call; lines that fail to parse keep their slot and
+    // answer with an error line, exactly as `serve` would.
+    enum Slot {
+        Failed(String),
+        Query {
+            seq: Option<u64>,
+            label: &'static str,
+        },
+    }
+    let limits = QueryLimits::none();
+    let mut slots = Vec::new();
+    let mut queries = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let request: serde_json::Value = match serde_json::from_str(line.trim()) {
+            Ok(v) => v,
+            Err(e) => {
+                slots.push(Slot::Failed(error_line(None, &format!("bad JSON: {e}"))));
+                continue;
+            }
+        };
+        let seq = request.get("seq").and_then(serde_json::Value::as_u64);
+        let op = request.get("op").and_then(serde_json::Value::as_str);
+        let built = match op {
+            None => Err("missing string field \"op\"".to_string()),
+            Some(op @ ("stats" | "shutdown")) => Err(format!(
+                "op {op:?} is a server request; not valid in a batch file"
+            )),
+            Some(op) => crate::serve::build_query(op, &request, &ids, &limits),
+        };
+        match built {
+            Ok((label, query)) => {
+                slots.push(Slot::Query { seq, label });
+                queries.push(query);
+            }
+            Err(e) => slots.push(Slot::Failed(error_line(seq, &e))),
+        }
+    }
+
+    let outcome = engine.execute_batch(&queries);
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut results = outcome.outcomes.iter();
+    for slot in &slots {
+        let line = match slot {
+            Slot::Failed(line) => line.clone(),
+            Slot::Query { seq, label } => match results.next().expect("one outcome per query") {
+                Ok(result) => {
+                    let mut body = outcome_to_json(label, result);
+                    finish_line(&mut body, *seq, true);
+                    body.to_string()
+                }
+                Err(e) => error_line(*seq, &e.to_string()),
+            },
+        };
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+    }
+    let stats = outcome.stats;
+    let mut summary = serde_json::json!({
+        "batch": {
+            "queries": queries.len(),
+            "groups": stats.groups,
+            "builds_shared": stats.builds_shared,
+            "scans_fused": stats.scans_fused,
+            "queries_deduped": stats.queries_deduped,
+        }
+    });
+    finish_line(&mut summary, None, true);
+    writeln!(out, "{summary}").map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! fremo discover-pair --a one.csv --b two.csv --xi 100
 //! fremo compare   --a one.csv --b two.csv [--epsilon 25] [--json]
 //! fremo experiment <table1|fig02..fig21|ext-approx|ext-topk|ext-join|ext-parallel>
+//! fremo batch     --corpus a.csv,b.csv --input queries.jsonl
 //! fremo serve     --corpus a.csv,b.csv [--addr 127.0.0.1:0] [--max-clients 32] ...
 //! ```
 //!
@@ -41,6 +42,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "discover-pair" => commands::discover_pair(&args::Parsed::parse(rest)?),
         "compare" => commands::compare(&args::Parsed::parse(rest)?),
         "experiment" => commands::experiment(rest),
+        "batch" => commands::batch(&args::Parsed::parse(rest)?),
         "serve" => serve::serve(&args::Parsed::parse(rest)?),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -66,10 +68,12 @@ USAGE:
                   [--cache-limit <bytes>] [--spill-dir <dir>] [--json]
   fremo compare   --a <csv> --b <csv> [--epsilon <m>] [--json]
   fremo experiment <table1|fig02|fig03|fig13..fig21|ext-approx|ext-topk|ext-join|ext-parallel>
+  fremo batch     (--corpus <csv[,csv...]> | --dataset <name> --n <len> [--count <k>] [--seed <u64>])
+                  [--input <jsonl|->] [--cache-limit <bytes>] [--spill-dir <dir>]
   fremo serve     [--addr 127.0.0.1:0] [--corpus <csv[,csv...]>]
                   [--dataset <name> --n <len> --count <k> --seed <u64>]
-                  [--max-clients 32] [--tenant-queries 4] [--tenant-threads <n>]
-                  [--budget-seconds <s>] [--budget-subsets <n>]
+                  [--max-clients 32] [--tenant-queries 4] [--tenant-bytes <bytes>]
+                  [--tenant-threads <n>] [--budget-seconds <s>] [--budget-subsets <n>]
                   [--cache-limit <bytes>] [--spill-dir <dir>]
 
 Trajectories are lat,lon[,t] CSV files (GeoLife PLT is accepted for *.plt inputs).
@@ -79,6 +83,10 @@ are bit-for-bit identical to serial); without it large inputs parallelize automa
 --cache-limit <bytes> caps resident cache memory with per-entry LRU eviction (suffixes
 k/m/g accepted, e.g. 64m); --spill-dir <dir> keeps evicted distance matrices on disk
 and rehydrates them bit-identically (see docs/CACHING.md).
+batch reads line-delimited query JSON (the serve request schema) from --input or stdin,
+runs the whole set through the engine's batch executor (shared builds, fused scans,
+bit-identical answers; docs/BATCHING.md), and prints one response line per query plus
+a trailing batch-stats line.
 serve answers the same JSON schema over a line protocol on a TCP socket: one request
 object per line in, one response per line out (docs/SERVING.md has the schema); it
 prints `listening <addr>` once bound and drains cleanly on an {{\"op\":\"shutdown\"}} request.

@@ -54,14 +54,37 @@ use crate::commands::{load, outcome_to_json, session_engine};
 /// without imposing any request timeout on clients.
 const IDLE_POLL: Duration = Duration::from_millis(200);
 
+/// Server-side constraints applied to every translated query (see
+/// [`build_query`]). Split from [`ServeConfig`] so the CLI `batch` verb
+/// can reuse the request→[`Query`] translation with no server attached
+/// ([`QueryLimits::none`]).
+pub(crate) struct QueryLimits {
+    /// Per-query worker-thread ceiling (0 = unconstrained).
+    pub(crate) tenant_threads: usize,
+    /// Wall-clock budget ceiling in seconds.
+    pub(crate) budget_seconds: Option<f64>,
+    /// Candidate-subset budget ceiling.
+    pub(crate) budget_subsets: Option<u64>,
+}
+
+impl QueryLimits {
+    /// No thread clamp, no budget ceilings.
+    pub(crate) fn none() -> Self {
+        QueryLimits {
+            tenant_threads: 0,
+            budget_seconds: None,
+            budget_subsets: None,
+        }
+    }
+}
+
 /// Server configuration resolved from the command line.
 struct ServeConfig {
     addr: String,
     max_clients: usize,
     tenant_queries: usize,
-    tenant_threads: usize,
-    budget_seconds: Option<f64>,
-    budget_subsets: Option<u64>,
+    tenant_bytes: Option<usize>,
+    limits: QueryLimits,
 }
 
 impl ServeConfig {
@@ -74,6 +97,17 @@ impl ServeConfig {
         if tenant_queries == 0 {
             return Err("--tenant-queries must be at least 1".into());
         }
+        let tenant_bytes = match args.optional("tenant-bytes") {
+            None => None,
+            Some(raw) => {
+                let bytes = crate::commands::parse_bytes(raw)
+                    .map_err(|e| format!("--tenant-bytes: {e}"))?;
+                if bytes == 0 {
+                    return Err("--tenant-bytes must be at least 1".into());
+                }
+                Some(bytes)
+            }
+        };
         let budget_seconds = match args.optional("budget-seconds") {
             None => None,
             Some(raw) => {
@@ -90,14 +124,17 @@ impl ServeConfig {
             addr: args.optional("addr").unwrap_or("127.0.0.1:0").to_string(),
             max_clients,
             tenant_queries,
-            tenant_threads: args.parsed_or("tenant-threads", 0)?,
-            budget_seconds,
-            budget_subsets: match args.optional("budget-subsets") {
-                None => None,
-                Some(raw) => Some(
-                    raw.parse()
-                        .map_err(|e| format!("invalid value for --budget-subsets: {e}"))?,
-                ),
+            tenant_bytes,
+            limits: QueryLimits {
+                tenant_threads: args.parsed_or("tenant-threads", 0)?,
+                budget_seconds,
+                budget_subsets: match args.optional("budget-subsets") {
+                    None => None,
+                    Some(raw) => Some(
+                        raw.parse()
+                            .map_err(|e| format!("invalid value for --budget-subsets: {e}"))?,
+                    ),
+                },
             },
         })
     }
@@ -121,15 +158,28 @@ impl TenantGate {
         }
     }
 
+    #[cfg(test)]
     fn admit<'g>(&'g self, tenant: &str) -> TenantPermit<'g> {
+        self.admit_many(tenant, 1)
+    }
+
+    /// Admits `count` queries from one tenant **atomically**: the caller
+    /// either takes all the slots in one step or holds none while it
+    /// waits. Batch admission must go through this — two connections
+    /// each holding part of a tenant's cap while waiting for the rest
+    /// would deadlock. `count` must not exceed the cap (the batch
+    /// chunker guarantees it).
+    fn admit_many<'g>(&'g self, tenant: &str, count: usize) -> TenantPermit<'g> {
+        assert!(count <= self.cap, "chunk exceeds the tenant query cap");
         let mut inflight = self.inflight.lock().expect("tenant gate poisoned");
         loop {
-            let count = inflight.entry(tenant.to_string()).or_insert(0);
-            if *count < self.cap {
-                *count += 1;
+            let current = inflight.entry(tenant.to_string()).or_insert(0);
+            if *current + count <= self.cap {
+                *current += count;
                 return TenantPermit {
                     gate: self,
                     tenant: tenant.to_string(),
+                    count,
                 };
             }
             inflight = self.freed.wait(inflight).expect("tenant gate poisoned");
@@ -140,13 +190,14 @@ impl TenantGate {
 struct TenantPermit<'g> {
     gate: &'g TenantGate,
     tenant: String,
+    count: usize,
 }
 
 impl Drop for TenantPermit<'_> {
     fn drop(&mut self) {
         let mut inflight = self.gate.inflight.lock().expect("tenant gate poisoned");
         if let Some(count) = inflight.get_mut(&self.tenant) {
-            *count = count.saturating_sub(1);
+            *count = count.saturating_sub(self.count);
             if *count == 0 {
                 inflight.remove(&self.tenant);
             }
@@ -156,9 +207,131 @@ impl Drop for TenantPermit<'_> {
     }
 }
 
+/// Per-tenant in-flight **byte** budget (`--tenant-bytes`): the resident
+/// bytes a tenant's running queries are estimated to pin may not exceed
+/// the cap. A single query estimated over the whole budget is rejected
+/// outright (with the estimate in the message); anything smaller queues
+/// in admission until the tenant's in-flight bytes leave room. With no
+/// cap configured every admission is a free no-op.
+struct TenantByteGate {
+    cap: Option<usize>,
+    inflight: Mutex<HashMap<String, usize>>,
+    freed: Condvar,
+}
+
+impl TenantByteGate {
+    fn new(cap: Option<usize>) -> Self {
+        TenantByteGate {
+            cap,
+            inflight: Mutex::new(HashMap::new()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Reserves `bytes` for `tenant`, atomically (all or nothing, like
+    /// [`TenantGate::admit_many`]).
+    ///
+    /// # Errors
+    ///
+    /// When `bytes` alone exceeds the whole budget — no amount of
+    /// queueing would ever admit it.
+    fn admit<'g>(&'g self, tenant: &str, bytes: usize) -> Result<BytePermit<'g>, String> {
+        let Some(cap) = self.cap else {
+            return Ok(BytePermit {
+                gate: self,
+                tenant: String::new(),
+                bytes: 0,
+            });
+        };
+        if bytes > cap {
+            return Err(format!(
+                "rejected: query needs ~{bytes} resident bytes, over the per-tenant \
+                 budget of {cap} (--tenant-bytes)"
+            ));
+        }
+        let mut inflight = self.inflight.lock().expect("byte gate poisoned");
+        loop {
+            let current = inflight.entry(tenant.to_string()).or_insert(0);
+            if *current + bytes <= cap {
+                *current += bytes;
+                return Ok(BytePermit {
+                    gate: self,
+                    tenant: tenant.to_string(),
+                    bytes,
+                });
+            }
+            inflight = self.freed.wait(inflight).expect("byte gate poisoned");
+        }
+    }
+}
+
+struct BytePermit<'g> {
+    gate: &'g TenantByteGate,
+    tenant: String,
+    bytes: usize,
+}
+
+impl Drop for BytePermit<'_> {
+    fn drop(&mut self) {
+        if self.bytes == 0 {
+            return;
+        }
+        let mut inflight = self.gate.inflight.lock().expect("byte gate poisoned");
+        if let Some(bytes) = inflight.get_mut(&self.tenant) {
+            *bytes = bytes.saturating_sub(self.bytes);
+            if *bytes == 0 {
+                inflight.remove(&self.tenant);
+            }
+        }
+        drop(inflight);
+        self.gate.freed.notify_all();
+    }
+}
+
+/// Both tenant gates, bundled so connection handlers thread one
+/// reference around.
+struct Gates {
+    queries: TenantGate,
+    bytes: TenantByteGate,
+}
+
+/// Estimated resident bytes a query will pin while it runs: its dense
+/// distance matrix (`n·m` f64 cells), the dominant cache footprint.
+/// GTM*-resolved motifs skip the dense build, and join/cluster/measures
+/// bypass the cache entirely — those estimate 0. Bound tables are O(n)
+/// and ignored.
+fn resident_estimate(engine: &Engine<GeoPoint>, query: &Query) -> usize {
+    use fremo_core::engine::{MotifScope, QueryKind, ResolvedAlgorithm};
+    let len = |id: TrajId| engine.trajectory(id).map(|t| t.len()).unwrap_or(0);
+    let (n, m) = match &query.kind {
+        QueryKind::Motif {
+            scope: MotifScope::Within(id),
+        } => (len(*id), None),
+        QueryKind::Motif {
+            scope: MotifScope::Between(a, b),
+        } => (len(*a), Some(len(*b))),
+        QueryKind::TopK { id, .. } => (len(*id), None),
+        _ => return 0,
+    };
+    let longest = n.max(m.unwrap_or(0));
+    if matches!(query.kind, QueryKind::Motif { .. })
+        && matches!(
+            query.algorithm.resolve(longest, query.min_length),
+            ResolvedAlgorithm::GtmStar
+        )
+    {
+        return 0;
+    }
+    n.saturating_mul(m.unwrap_or(n))
+        .saturating_mul(std::mem::size_of::<f64>())
+}
+
 /// Builds the corpus: every `--corpus` CSV/PLT path (comma-separated),
 /// plus `--count` generated trajectories when `--dataset` is given.
-fn build_corpus(args: &Parsed, engine: &Engine<GeoPoint>) -> Result<Vec<TrajId>, String> {
+pub(crate) fn build_corpus(
+    args: &Parsed,
+    engine: &Engine<GeoPoint>,
+) -> Result<Vec<TrajId>, String> {
     let mut ids = Vec::new();
     if let Some(list) = args.optional("corpus") {
         for path in list.split(',').filter(|p| !p.trim().is_empty()) {
@@ -186,8 +359,8 @@ fn build_corpus(args: &Parsed, engine: &Engine<GeoPoint>) -> Result<Vec<TrajId>,
 
 /// `fremo serve [--addr 127.0.0.1:0] [--corpus <csv[,csv...]>]
 /// [--dataset <name> --n <len> --count <k> --seed <u64>]
-/// [--max-clients 32] [--tenant-queries 4] [--tenant-threads <n>]
-/// [--budget-seconds <s>] [--budget-subsets <n>]
+/// [--max-clients 32] [--tenant-queries 4] [--tenant-bytes <bytes>]
+/// [--tenant-threads <n>] [--budget-seconds <s>] [--budget-subsets <n>]
 /// [--cache-limit <bytes>] [--spill-dir <dir>]`
 ///
 /// Prints `listening <addr>` on stdout once the socket is bound (with
@@ -218,7 +391,10 @@ pub fn serve(args: &Parsed) -> Result<(), String> {
 
     let shutdown = AtomicBool::new(false);
     let active = AtomicUsize::new(0);
-    let gate = TenantGate::new(config.tenant_queries);
+    let gates = Gates {
+        queries: TenantGate::new(config.tenant_queries),
+        bytes: TenantByteGate::new(config.tenant_bytes),
+    };
 
     std::thread::scope(|scope| {
         for stream in listener.incoming() {
@@ -245,9 +421,9 @@ pub fn serve(args: &Parsed) -> Result<(), String> {
             let config = &config;
             let shutdown = &shutdown;
             let active = &active;
-            let gate = &gate;
+            let gates = &gates;
             scope.spawn(move || {
-                let _ = handle_connection(stream, engine, corpus, config, gate, shutdown, local);
+                let _ = handle_connection(stream, engine, corpus, config, gates, shutdown, local);
                 // relaxed: see the admission count above.
                 active.fetch_sub(1, Ordering::Relaxed);
             });
@@ -265,15 +441,20 @@ fn reject_over_capacity(stream: TcpStream) {
     );
 }
 
-/// One connection: read a request line, answer it, repeat until EOF or
-/// shutdown. Responses stay in request order because each connection is
-/// handled by exactly one thread.
+/// One connection: read a request line, opportunistically drain any
+/// further complete lines the client has already pipelined (only bytes
+/// in the read buffer — a lone request never waits for company), answer
+/// the whole run, and repeat until EOF or shutdown. Consecutive query
+/// requests in a drained run execute as one [`Engine::execute_batch`]
+/// call, sharing builds and fusing scans; responses are written in
+/// request order with each request's `seq` echoed, exactly as in
+/// one-at-a-time service.
 fn handle_connection(
     stream: TcpStream,
     engine: &Engine<GeoPoint>,
     corpus: &[TrajId],
     config: &ServeConfig,
-    gate: &TenantGate,
+    gates: &Gates,
     shutdown: &AtomicBool,
     local: std::net::SocketAddr,
 ) -> std::io::Result<()> {
@@ -304,10 +485,23 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let response = respond(&line, &mut session, corpus, config, gate, shutdown);
-        writeln!(writer, "{response}")?;
+        let mut lines = vec![std::mem::take(&mut line)];
+        // Drain-to-batch: while a complete line is already buffered,
+        // take it. `read_line` stops at the buffered newline without
+        // touching the socket, so this never blocks.
+        while reader.buffer().contains(&b'\n') {
+            let mut next = String::new();
+            reader.read_line(&mut next)?;
+            if !next.trim().is_empty() {
+                lines.push(next);
+            }
+        }
+        let responses = respond_all(&lines, &mut session, corpus, config, gates, shutdown);
+        for response in &responses {
+            writeln!(writer, "{response}")?;
+        }
         writer.flush()?;
-        // relaxed: standalone flag; the response just flushed is the
+        // relaxed: standalone flag; the responses just flushed are the
         // only thing the client must see before we go away.
         if shutdown.load(Ordering::Relaxed) {
             // Wake the accept loop so `serve` can observe the flag even
@@ -318,31 +512,305 @@ fn handle_connection(
     }
 }
 
+/// A drained request line after parsing/translation: either a response
+/// that is already final (admin ops, rejects, protocol errors) or a
+/// query awaiting execution.
+enum LineItem {
+    Done(String),
+    Query {
+        seq: Option<u64>,
+        tenant: String,
+        label: &'static str,
+        query: Query,
+        bytes: usize,
+    },
+}
+
+/// Answers a run of request lines, in order. Single lines take the
+/// direct path; drained runs batch their consecutive query requests
+/// through [`Engine::execute_batch`]. Admin ops (`stats`, `shutdown`)
+/// cut a batch run at their position — and after a `shutdown` the
+/// remaining lines are not executed, matching the one-at-a-time loop,
+/// which disconnects right after acknowledging the shutdown.
+fn respond_all(
+    lines: &[String],
+    session: &mut fremo_core::engine::Session<'_, GeoPoint>,
+    corpus: &[TrajId],
+    config: &ServeConfig,
+    gates: &Gates,
+    shutdown: &AtomicBool,
+) -> Vec<String> {
+    let mut responses = Vec::with_capacity(lines.len());
+    let mut run: Vec<LineItem> = Vec::new();
+    for line in lines {
+        // relaxed: standalone stop flag; the shutdown response the
+        // peer already received is the only ordering that matters.
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match classify(line, session.engine(), corpus, config) {
+            item @ LineItem::Query { .. } => run.push(item),
+            LineItem::Done(response) => {
+                // An already-final line (admin op, reject, bad JSON)
+                // keeps its position: flush the query run before it.
+                flush_run(&mut run, &mut responses, session, gates);
+                // Admin ops act only now, so a shutdown cannot overtake
+                // queries that arrived before it.
+                if let Some(admin) = admin_response(line, session, corpus, shutdown) {
+                    responses.push(admin);
+                } else {
+                    responses.push(response);
+                }
+            }
+        }
+    }
+    flush_run(&mut run, &mut responses, session, gates);
+    responses
+}
+
+/// Parses one line into a [`LineItem`] without executing anything.
+fn classify(
+    line: &str,
+    engine: &Engine<GeoPoint>,
+    corpus: &[TrajId],
+    config: &ServeConfig,
+) -> LineItem {
+    let request: Value = match serde_json::from_str(line.trim()) {
+        Ok(v) => v,
+        Err(e) => return LineItem::Done(error_line(None, &format!("bad JSON: {e}"))),
+    };
+    let seq = request.get("seq").and_then(Value::as_u64);
+    let op = match request.get("op").and_then(Value::as_str) {
+        Some(op) => op,
+        None => return LineItem::Done(error_line(seq, "missing string field \"op\"")),
+    };
+    if matches!(op, "shutdown" | "stats") {
+        // Placeholder response; `respond_all` substitutes the live
+        // admin answer at the item's position.
+        return LineItem::Done(String::new());
+    }
+    match build_query(op, &request, corpus, &config.limits) {
+        Ok((label, query)) => LineItem::Query {
+            seq,
+            tenant: request
+                .get("tenant")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            label,
+            query: query.clone(),
+            bytes: resident_estimate(engine, &query),
+        },
+        Err(msg) => LineItem::Done(error_line(seq, &msg)),
+    }
+}
+
+/// Executes an admin op (`stats`/`shutdown`) at its position in the
+/// run; `None` for lines that already carry their final response.
+fn admin_response(
+    line: &str,
+    session: &mut fremo_core::engine::Session<'_, GeoPoint>,
+    corpus: &[TrajId],
+    shutdown: &AtomicBool,
+) -> Option<String> {
+    let request: Value = serde_json::from_str(line.trim()).ok()?;
+    let seq = request.get("seq").and_then(Value::as_u64);
+    let mut body = match request.get("op").and_then(Value::as_str)? {
+        "shutdown" => {
+            // relaxed: standalone flag; the acknowledging response is
+            // flushed after this store by the connection loop.
+            shutdown.store(true, Ordering::Relaxed);
+            serde_json::json!({ "shutdown": true })
+        }
+        "stats" => {
+            let engine = session.engine();
+            let stats = engine.stats();
+            serde_json::json!({
+                "trajectories": corpus.len(),
+                "queries": stats.queries,
+                "cache_bytes": engine.cache_bytes(),
+                "kernel": fremo_trajectory::Kernel::active().name(),
+            })
+        }
+        _ => return None,
+    };
+    finish_line(&mut body, seq, true);
+    Some(body.to_string())
+}
+
+/// Executes a pending query run and appends its responses in order.
+///
+/// Admission happens per *chunk*: queries are grouped greedily while
+/// every tenant stays under its query-count cap and byte budget, each
+/// chunk's per-tenant totals are admitted atomically (see
+/// [`TenantGate::admit_many`] — partial holds would deadlock two
+/// batching connections against each other), tenants acquired in
+/// sorted order so concurrent connections cannot form an acquisition
+/// cycle. A chunk of one runs on the session directly; larger chunks go
+/// through [`Engine::execute_batch`].
+fn flush_run(
+    run: &mut Vec<LineItem>,
+    responses: &mut Vec<String>,
+    session: &mut fremo_core::engine::Session<'_, GeoPoint>,
+    gates: &Gates,
+) {
+    for chunk in chunk_run(std::mem::take(run), gates) {
+        match chunk {
+            Chunk::Rejected { seq, message } => responses.push(error_line(seq, &message)),
+            Chunk::Admitted(items) => {
+                // Atomic per-tenant admission, tenants in sorted order.
+                let mut totals: Vec<(&str, usize, usize)> = Vec::new();
+                for item in &items {
+                    let LineItem::Query { tenant, bytes, .. } = item else {
+                        unreachable!("chunks hold queries only");
+                    };
+                    match totals.iter_mut().find(|(t, _, _)| t == tenant) {
+                        Some((_, count, total)) => {
+                            *count += 1;
+                            *total += *bytes;
+                        }
+                        None => totals.push((tenant, 1, *bytes)),
+                    }
+                }
+                totals.sort_by_key(|&(tenant, _, _)| tenant);
+                let mut permits = Vec::with_capacity(totals.len() * 2);
+                for &(tenant, count, total) in &totals {
+                    let query_permit = gates.queries.admit_many(tenant, count);
+                    // The chunker bounded every tenant's total, so this
+                    // cannot hit the reject path.
+                    let byte_permit = gates
+                        .bytes
+                        .admit(tenant, total)
+                        .expect("chunk fits the byte budget");
+                    permits.push((query_permit, byte_permit));
+                }
+                execute_chunk(&items, responses, session);
+                drop(permits);
+            }
+        }
+    }
+}
+
+/// One admission unit of a query run.
+enum Chunk {
+    /// Queries executing together under one set of permits.
+    Admitted(Vec<LineItem>),
+    /// A query whose byte estimate exceeds the whole tenant budget —
+    /// no queueing would ever admit it.
+    Rejected { seq: Option<u64>, message: String },
+}
+
+/// Greedily slices a run into chunks whose per-tenant totals fit both
+/// gates, preserving order. Oversized single queries become rejects.
+fn chunk_run(run: Vec<LineItem>, gates: &Gates) -> Vec<Chunk> {
+    let mut chunks = Vec::new();
+    let mut current: Vec<LineItem> = Vec::new();
+    let mut counts: HashMap<String, (usize, usize)> = HashMap::new();
+    for item in run {
+        let LineItem::Query {
+            seq,
+            ref tenant,
+            bytes,
+            ..
+        } = item
+        else {
+            unreachable!("runs hold queries only");
+        };
+        if gates.bytes.cap.is_some_and(|cap| bytes > cap) {
+            if !current.is_empty() {
+                chunks.push(Chunk::Admitted(std::mem::take(&mut current)));
+                counts.clear();
+            }
+            chunks.push(Chunk::Rejected {
+                seq,
+                message: format!(
+                    "rejected: query needs ~{bytes} resident bytes, over the per-tenant \
+                     budget of {} (--tenant-bytes)",
+                    gates.bytes.cap.unwrap_or(0)
+                ),
+            });
+            continue;
+        }
+        let (count, total) = counts.get(tenant).copied().unwrap_or((0, 0));
+        let fits =
+            count < gates.queries.cap && gates.bytes.cap.is_none_or(|cap| total + bytes <= cap);
+        if !fits {
+            chunks.push(Chunk::Admitted(std::mem::take(&mut current)));
+            counts.clear();
+        }
+        let (count, total) = counts.entry(tenant.clone()).or_insert((0, 0));
+        *count += 1;
+        *total += bytes;
+        current.push(item);
+    }
+    if !current.is_empty() {
+        chunks.push(Chunk::Admitted(current));
+    }
+    chunks
+}
+
+/// Runs one admitted chunk: a singleton through the session's solo
+/// path, anything larger as a batch, then serializes outcomes in order.
+fn execute_chunk(
+    items: &[LineItem],
+    responses: &mut Vec<String>,
+    session: &mut fremo_core::engine::Session<'_, GeoPoint>,
+) {
+    if let [LineItem::Query {
+        seq, label, query, ..
+    }] = items
+    {
+        responses.push(match session.execute(query) {
+            Ok(outcome) => {
+                let mut body = outcome_to_json(label, &outcome);
+                finish_line(&mut body, *seq, true);
+                body.to_string()
+            }
+            Err(e) => error_line(*seq, &e.to_string()),
+        });
+        return;
+    }
+    let queries: Vec<Query> = items
+        .iter()
+        .map(|item| match item {
+            LineItem::Query { query, .. } => query.clone(),
+            LineItem::Done(_) => unreachable!("chunks hold queries only"),
+        })
+        .collect();
+    let batch = session.engine().execute_batch(&queries);
+    for (item, outcome) in items.iter().zip(batch.outcomes) {
+        let LineItem::Query { seq, label, .. } = item else {
+            unreachable!("chunks hold queries only");
+        };
+        responses.push(match outcome {
+            Ok(outcome) => {
+                let mut body = outcome_to_json(label, &outcome);
+                finish_line(&mut body, *seq, true);
+                body.to_string()
+            }
+            Err(e) => error_line(*seq, &e.to_string()),
+        });
+    }
+}
+
 /// Answers one request line with one response line (never panics on bad
 /// input; protocol errors become `{"ok":false,...}` responses).
+#[cfg(test)]
 fn respond(
     line: &str,
     session: &mut fremo_core::engine::Session<'_, GeoPoint>,
     corpus: &[TrajId],
     config: &ServeConfig,
-    gate: &TenantGate,
+    gates: &Gates,
     shutdown: &AtomicBool,
 ) -> String {
-    let request = match serde_json::from_str(line.trim()) {
-        Ok(v) => v,
-        Err(e) => return error_line(None, &format!("bad JSON: {e}")),
-    };
-    let seq = request.get("seq").and_then(Value::as_u64);
-    match answer(&request, session, corpus, config, gate, shutdown) {
-        Ok(mut body) => {
-            finish_line(&mut body, seq, true);
-            body.to_string()
-        }
-        Err(msg) => error_line(seq, &msg),
-    }
+    let lines = [line.to_string()];
+    respond_all(&lines, session, corpus, config, gates, shutdown)
+        .pop()
+        .unwrap_or_else(|| error_line(None, "empty request"))
 }
 
-fn error_line(seq: Option<u64>, msg: &str) -> String {
+pub(crate) fn error_line(seq: Option<u64>, msg: &str) -> String {
     let mut body = serde_json::json!({ "error": msg });
     finish_line(&mut body, seq, false);
     body.to_string()
@@ -350,55 +818,12 @@ fn error_line(seq: Option<u64>, msg: &str) -> String {
 
 /// Prepends `"ok"` (and the echoed `"seq"`, when the client sent one) to
 /// a response object.
-fn finish_line(body: &mut Value, seq: Option<u64>, ok: bool) {
+pub(crate) fn finish_line(body: &mut Value, seq: Option<u64>, ok: bool) {
     if let Value::Object(entries) = body {
         if let Some(seq) = seq {
             entries.insert(0, ("seq".to_string(), Value::from(seq)));
         }
         entries.insert(0, ("ok".to_string(), Value::Bool(ok)));
-    }
-}
-
-/// Dispatches one parsed request. Query ops run through the session and
-/// serialize via [`outcome_to_json`] — the same schema the `--json` CLI
-/// flag emits.
-fn answer(
-    request: &Value,
-    session: &mut fremo_core::engine::Session<'_, GeoPoint>,
-    corpus: &[TrajId],
-    config: &ServeConfig,
-    gate: &TenantGate,
-    shutdown: &AtomicBool,
-) -> Result<Value, String> {
-    let op = request
-        .get("op")
-        .and_then(Value::as_str)
-        .ok_or("missing string field \"op\"")?;
-    match op {
-        "shutdown" => {
-            // relaxed: standalone flag; the acknowledging response is
-            // written (and flushed) after this store by the caller.
-            shutdown.store(true, Ordering::Relaxed);
-            Ok(serde_json::json!({ "shutdown": true }))
-        }
-        "stats" => {
-            let engine = session.engine();
-            let stats = engine.stats();
-            Ok(serde_json::json!({
-                "trajectories": corpus.len(),
-                "queries": stats.queries,
-                "cache_bytes": engine.cache_bytes(),
-                "kernel": fremo_trajectory::Kernel::active().name(),
-            }))
-        }
-        _ => {
-            let (label, query) = build_query(op, request, corpus, config)?;
-            let tenant = request.get("tenant").and_then(Value::as_str).unwrap_or("");
-            let permit = gate.admit(tenant);
-            let outcome = session.execute(&query).map_err(|e| e.to_string())?;
-            drop(permit);
-            Ok(outcome_to_json(label, &outcome))
-        }
     }
 }
 
@@ -447,12 +872,13 @@ fn positive_f64(request: &Value, field: &str) -> Result<f64, String> {
 }
 
 /// Translates a request object into an engine [`Query`], applying the
-/// server's tenant thread clamp and budget ceilings.
-fn build_query(
+/// given thread clamp and budget ceilings. Shared with the CLI `batch`
+/// verb, which passes [`QueryLimits::none`].
+pub(crate) fn build_query(
     op: &str,
     request: &Value,
     corpus: &[TrajId],
-    config: &ServeConfig,
+    limits: &QueryLimits,
 ) -> Result<(&'static str, Query), String> {
     let xi = || -> Result<usize, String> {
         let xi = request
@@ -542,10 +968,10 @@ fn build_query(
         .get("threads")
         .and_then(Value::as_u64)
         .map(|t| t as usize);
-    if requested.is_some() || config.tenant_threads > 0 {
+    if requested.is_some() || limits.tenant_threads > 0 {
         let mut threads = resolve_threads(requested.unwrap_or(0));
-        if config.tenant_threads > 0 {
-            threads = threads.min(config.tenant_threads);
+        if limits.tenant_threads > 0 {
+            threads = threads.min(limits.tenant_threads);
         }
         builder = builder.execution(ExecutionMode::Parallel { threads });
     }
@@ -554,14 +980,14 @@ fn build_query(
     // server ceiling.
     let secs = match (
         request.get("budget_seconds").and_then(Value::as_f64),
-        config.budget_seconds,
+        limits.budget_seconds,
     ) {
         (Some(client), Some(cap)) => Some(client.min(cap)),
         (client, cap) => client.or(cap),
     };
     let subsets = match (
         request.get("budget_subsets").and_then(Value::as_u64),
-        config.budget_subsets,
+        limits.budget_subsets,
     ) {
         (Some(client), Some(cap)) => Some(client.min(cap)),
         (client, cap) => client.or(cap),
@@ -590,21 +1016,35 @@ mod tests {
         engine.register_all((0..count).map(|s| Dataset::GeoLife.generate(64, s as u64)))
     }
 
+    fn test_config(tenant_bytes: Option<usize>) -> ServeConfig {
+        ServeConfig {
+            addr: String::new(),
+            max_clients: 4,
+            tenant_queries: 2,
+            tenant_bytes,
+            limits: QueryLimits::none(),
+        }
+    }
+
+    fn test_gates(config: &ServeConfig) -> Gates {
+        Gates {
+            queries: TenantGate::new(config.tenant_queries),
+            bytes: TenantByteGate::new(config.tenant_bytes),
+        }
+    }
+
     #[test]
     fn requests_map_to_queries_and_bad_input_is_an_error() {
         let engine = Engine::new();
         let ids = corpus_of(&engine, 3);
         assert_eq!(ids.len(), 3);
-        let config = ServeConfig {
-            addr: String::new(),
-            max_clients: 4,
-            tenant_queries: 2,
+        let limits = QueryLimits {
             tenant_threads: 2,
             budget_seconds: Some(10.0),
             budget_subsets: None,
         };
         let ok = serde_json::from_str(r#"{"op":"motif","id":0,"xi":8,"threads":16}"#).unwrap();
-        let (label, _query) = build_query("motif", &ok, &ids, &config).unwrap();
+        let (label, _query) = build_query("motif", &ok, &ids, &limits).unwrap();
         assert_eq!(label, "motif");
 
         for bad in [
@@ -619,7 +1059,7 @@ mod tests {
             let v = serde_json::from_str(bad).unwrap();
             let op = v["op"].as_str().unwrap().to_string();
             assert!(
-                build_query(&op, &v, &ids, &config).is_err(),
+                build_query(&op, &v, &ids, &limits).is_err(),
                 "accepted {bad}"
             );
         }
@@ -629,15 +1069,8 @@ mod tests {
     fn responses_carry_ok_flag_and_echo_seq() {
         let engine = Engine::new();
         let ids = corpus_of(&engine, 1);
-        let config = ServeConfig {
-            addr: String::new(),
-            max_clients: 4,
-            tenant_queries: 2,
-            tenant_threads: 0,
-            budget_seconds: None,
-            budget_subsets: None,
-        };
-        let gate = TenantGate::new(config.tenant_queries);
+        let config = test_config(None);
+        let gates = test_gates(&config);
         let shutdown = AtomicBool::new(false);
         let mut session = engine.session();
 
@@ -646,7 +1079,7 @@ mod tests {
             &mut session,
             &ids,
             &config,
-            &gate,
+            &gates,
             &shutdown,
         );
         let v = serde_json::from_str(&good).unwrap();
@@ -654,7 +1087,7 @@ mod tests {
         assert_eq!(v["seq"].as_u64(), Some(7));
         assert_eq!(v["query"].as_str(), Some("motif"));
 
-        let bad = respond("not json", &mut session, &ids, &config, &gate, &shutdown);
+        let bad = respond("not json", &mut session, &ids, &config, &gates, &shutdown);
         let v = serde_json::from_str(&bad).unwrap();
         assert_eq!(v["ok"].as_bool(), Some(false));
         assert!(v["error"].as_str().unwrap().contains("bad JSON"));
@@ -664,12 +1097,127 @@ mod tests {
             &mut session,
             &ids,
             &config,
-            &gate,
+            &gates,
             &shutdown,
         );
         let v = serde_json::from_str(&down).unwrap();
         assert_eq!(v["shutdown"].as_bool(), Some(true));
         assert!(shutdown.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn drained_runs_batch_and_keep_request_order() {
+        let engine = Engine::new();
+        let ids = corpus_of(&engine, 2);
+        let config = test_config(None);
+        let gates = test_gates(&config);
+        let shutdown = AtomicBool::new(false);
+        let mut session = engine.session();
+
+        // A pipelined run: queries (two identical — dedup inside the
+        // batch), a protocol error mid-run, a stats op, more queries.
+        let lines: Vec<String> = [
+            r#"{"op":"motif","id":0,"xi":8,"seq":1}"#,
+            r#"{"op":"motif","id":0,"xi":8,"seq":2}"#,
+            r#"{"op":"motif","id":9,"xi":8,"seq":3}"#,
+            r#"{"op":"stats","seq":4}"#,
+            r#"{"op":"topk","id":0,"k":2,"xi":8,"seq":5}"#,
+            r#"{"op":"measures","a":0,"b":1,"eps":2.5,"seq":6}"#,
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+        let responses = respond_all(&lines, &mut session, &ids, &config, &gates, &shutdown);
+        assert_eq!(responses.len(), lines.len());
+        for (i, response) in responses.iter().enumerate() {
+            let v: Value = serde_json::from_str(response).unwrap();
+            assert_eq!(v["seq"].as_u64(), Some(i as u64 + 1), "response {i}");
+            let expect_ok = i != 2; // the out-of-range id
+            assert_eq!(v["ok"].as_bool(), Some(expect_ok), "response {i}");
+        }
+        // The two identical motif queries answered identically.
+        let a: Value = serde_json::from_str(&responses[0]).unwrap();
+        let b: Value = serde_json::from_str(&responses[1]).unwrap();
+        assert_eq!(a["motifs"], b["motifs"]);
+
+        // Nothing leaked a permit: both gates are idle again.
+        assert!(gates.queries.inflight.lock().unwrap().is_empty());
+        assert!(gates.bytes.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn byte_gate_rejects_oversized_and_queues_within_budget() {
+        let gate = TenantByteGate::new(Some(1000));
+        let err = match gate.admit("t", 1001) {
+            Err(e) => e,
+            Ok(_) => panic!("oversized admit should be rejected"),
+        };
+        assert!(err.contains("1001") && err.contains("1000"), "{err}");
+
+        let a = gate.admit("t", 800).unwrap();
+        // Another tenant has its own budget.
+        drop(gate.admit("u", 900).unwrap());
+        // The same tenant's next query queues until bytes free up.
+        let admitted = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _b = gate.admit("t", 300).unwrap();
+                admitted.store(true, Ordering::Relaxed);
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(!admitted.load(Ordering::Relaxed), "budget was not enforced");
+            drop(a);
+        });
+        assert!(admitted.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn tenant_byte_budget_rejects_through_the_protocol() {
+        let engine = Engine::new();
+        let ids = corpus_of(&engine, 1);
+        // 64-point trajectory → dense matrix ≈ 64·64·8 = 32768 bytes;
+        // a 1000-byte budget cannot ever hold it.
+        let config = test_config(Some(1000));
+        let gates = test_gates(&config);
+        let shutdown = AtomicBool::new(false);
+        let mut session = engine.session();
+        let response = respond(
+            r#"{"op":"motif","id":0,"xi":8,"seq":1}"#,
+            &mut session,
+            &ids,
+            &config,
+            &gates,
+            &shutdown,
+        );
+        let v: Value = serde_json::from_str(&response).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        let msg = v["error"].as_str().unwrap();
+        assert!(
+            msg.contains("32768") && msg.contains("1000") && msg.contains("tenant-bytes"),
+            "reject message should name the estimate and the budget: {msg}"
+        );
+    }
+
+    #[test]
+    fn chunking_respects_tenant_caps() {
+        let engine = Engine::new();
+        let ids = corpus_of(&engine, 2);
+        let config = test_config(Some(100));
+        let gates = test_gates(&config);
+        let query = || LineItem::Query {
+            seq: None,
+            tenant: "t".into(),
+            label: "motif",
+            query: Query::measures(ids[0], ids[1], 1.0).build(),
+            bytes: 60,
+        };
+        // Three 60-byte queries under a 100-byte budget and a 2-query
+        // cap: every chunk must hold exactly one.
+        let chunks = chunk_run(vec![query(), query(), query()], &gates);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks
+            .iter()
+            .all(|c| matches!(c, Chunk::Admitted(items) if items.len() == 1)));
     }
 
     #[test]

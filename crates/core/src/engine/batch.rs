@@ -1,0 +1,731 @@
+//! Batch execution and multi-query optimization ([`Engine::execute_batch`]).
+//!
+//! Production traffic is many queries over the same corpus; executing
+//! them one at a time repays the `O(n²)` matrix/bound precomputation
+//! (and the candidate-list build + sort) once per query. The batch
+//! executor recovers that shared work in four steps, each preserving
+//! per-query outcomes **bit-identical to solo execution**
+//! (`tests/batch_equivalence.rs` is the differential proof):
+//!
+//! 1. **Dedup.** Bit-identical queries ([`Query`] equality) execute
+//!    once; duplicates receive a clone of the original's outcome.
+//! 2. **Grouping.** Unique queries are grouped by
+//!    `(scope, ξ, bounds)` — the exact identity of their cached
+//!    `DenseMatrix` + `BoundTables` — so each group builds and pins its
+//!    precomputation once, in a group-level pin context held across all
+//!    members (warm hits even under cache pressure).
+//! 3. **Fusion.** Compatible motif/top-k consumers in a group (serial
+//!    BTM scans over the same tables) are answered by **one** pass over
+//!    the shared sorted candidate list: each consumer keeps its own
+//!    best-so-far, budget, and [`SearchStats`], replaying exactly the
+//!    decision sequence of its solo scan.
+//! 4. **Scheduling.** Groups run across the worker pool, largest group
+//!    first, so hot entries are built before they are needed;
+//!    [`super::ExecutionMode`] semantics stay per-query.
+//!
+//! See `docs/BATCHING.md` for the full rules and the pin lifecycle.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use fremo_trajectory::{DenseMatrix, DistanceSource, GroundDistance, Trajectory};
+
+use crate::bounds::BoundTables;
+use crate::config::{BoundKind, BoundSelection};
+use crate::domain::Domain;
+use crate::dp::{expand_subset, Bsf, DpBuffers};
+use crate::search::{build_entries, list_bytes, sort_entries, SearchBudget};
+use crate::stats::SearchStats;
+use crate::topk::{top_k_rounds, ForbiddenIntervals};
+
+use super::buffer::ScopeKey;
+use super::cache::QueryCtx;
+use super::{
+    outcome_skeleton, AlgorithmChoice, Engine, EngineError, MatrixPrecision, MotifScope, Query,
+    QueryKind, QueryOutcome, QueryResults, ResolvedAlgorithm, Session, TrajId,
+};
+
+/// What one [`Engine::execute_batch`] call shared, fused, and deduped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct BatchStats {
+    /// Groups formed over the unique queries (shared-precomputation
+    /// groups and singleton groups alike).
+    pub groups: usize,
+    /// Queries that ran against a group-pinned matrix/table build paid
+    /// for by another member (group cache users beyond the first).
+    pub builds_shared: usize,
+    /// Queries answered inside a fused candidate scan (counted only
+    /// when at least two consumers actually fused).
+    pub scans_fused: usize,
+    /// Duplicate queries answered by cloning an identical query's
+    /// outcome instead of executing.
+    pub queries_deduped: usize,
+}
+
+/// Everything [`Engine::execute_batch`] returns: one result per input
+/// query, in input order, plus the batch-level sharing diagnostics.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct BatchOutcome {
+    /// Per-query results, index-aligned with the input slice. Each entry
+    /// is exactly what [`Engine::execute`] would have returned for that
+    /// query (results and scan counters bit-identical; cache counters
+    /// and wall times reflect the batch's sharing).
+    pub outcomes: Vec<Result<QueryOutcome, EngineError>>,
+    /// What the batch shared, fused, and deduped.
+    pub stats: BatchStats,
+}
+
+/// Identity of a batch group: queries with equal keys share their cached
+/// precomputation (and possibly a fused scan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum GroupKey {
+    /// Motif/top-k queries over one cache entry family. `bounds`
+    /// includes `tight`, which is part of the table cache key.
+    Shared {
+        scope: ScopeKey,
+        xi: usize,
+        bounds: BoundSelection,
+    },
+    /// Join/cluster/measures (and anything else without cacheable
+    /// precomputation): a singleton group, scheduled but never shared.
+    Solo(usize),
+}
+
+/// The trajectory handles a motif-style query reads (`None` for
+/// workloads without a single scope).
+fn member_ids(query: &Query) -> Option<(TrajId, Option<TrajId>)> {
+    match &query.kind {
+        QueryKind::Motif {
+            scope: MotifScope::Within(id),
+        } => Some((*id, None)),
+        QueryKind::Motif {
+            scope: MotifScope::Between(a, b),
+        } => Some((*a, Some(*b))),
+        QueryKind::TopK { id, .. } => Some((*id, None)),
+        _ => None,
+    }
+}
+
+/// The group key of a query: its cache-entry identity when it has one,
+/// else a singleton key from its batch position.
+fn group_key(query: &Query, index: usize) -> GroupKey {
+    let scope = match &query.kind {
+        QueryKind::Motif {
+            scope: MotifScope::Within(id),
+        } => ScopeKey::Within(id.index()),
+        QueryKind::Motif {
+            scope: MotifScope::Between(a, b),
+        } => ScopeKey::Between(a.index(), b.index()),
+        QueryKind::TopK { id, .. } => ScopeKey::Within(id.index()),
+        _ => return GroupKey::Solo(index),
+    };
+    GroupKey::Shared {
+        scope,
+        xi: query.min_length,
+        bounds: query.bounds,
+    }
+}
+
+/// What one group member needs pinned, and whether it can join the
+/// fused scan. Mirrors `Session::dispatch`'s validation order exactly:
+/// a member the dispatcher would reject before touching the cache
+/// contributes nothing here (it still runs solo to produce its error).
+#[derive(Debug, Clone, Copy, Default)]
+struct MemberNeeds {
+    /// Performs cache lookups at all (shares the group's pinned build).
+    uses_cache: bool,
+    /// Reads the dense distance matrix.
+    dense: bool,
+    /// Reads bound tables at the group's `(ξ, tight)`.
+    tables: bool,
+    /// Additionally reads the relaxed tables (GTM-family grouping).
+    relaxed: bool,
+    /// GTM*: relaxed tables only, never triggers a dense build.
+    star: bool,
+    /// Resolved scan worker count (0 = serial).
+    threads: usize,
+    /// Serial BTM motif / top-k: eligible for the fused scan.
+    fusable: bool,
+}
+
+fn member_needs<P: GroundDistance>(
+    engine: &Engine<P>,
+    query: &Query,
+    longest: usize,
+) -> MemberNeeds {
+    let none = MemberNeeds::default();
+    let ids_ok = member_ids(query).is_some_and(|(a, b)| {
+        engine.trajectory(a).is_ok() && b.is_none_or(|b| engine.trajectory(b).is_ok())
+    });
+    if !ids_ok || query.min_length == 0 || query.group_size == 0 {
+        return none;
+    }
+    match &query.kind {
+        QueryKind::Motif { .. } => {
+            if query.precision != MatrixPrecision::F64 {
+                // The f32 regime builds query-local artifacts; the shared
+                // cache never sees them.
+                return none;
+            }
+            let threads = query.execution.resolve(longest);
+            match query.algorithm.resolve(longest, query.min_length) {
+                ResolvedAlgorithm::BruteDp => MemberNeeds {
+                    uses_cache: true,
+                    dense: true,
+                    threads,
+                    ..none
+                },
+                ResolvedAlgorithm::Btm => MemberNeeds {
+                    uses_cache: true,
+                    dense: true,
+                    tables: true,
+                    threads,
+                    fusable: threads == 0,
+                    ..none
+                },
+                ResolvedAlgorithm::Gtm => MemberNeeds {
+                    uses_cache: true,
+                    dense: true,
+                    tables: true,
+                    relaxed: true,
+                    threads,
+                    ..none
+                },
+                ResolvedAlgorithm::Approx(e) if e >= 0.0 && e.is_finite() => MemberNeeds {
+                    uses_cache: true,
+                    dense: true,
+                    tables: true,
+                    relaxed: true,
+                    threads,
+                    ..none
+                },
+                // Invalid ε is rejected before any cache call.
+                ResolvedAlgorithm::Approx(_) => none,
+                ResolvedAlgorithm::GtmStar => MemberNeeds {
+                    uses_cache: true,
+                    star: true,
+                    threads,
+                    ..none
+                },
+            }
+        }
+        QueryKind::TopK { k, .. } => {
+            if query.precision != MatrixPrecision::F64 || *k == 0 {
+                return none;
+            }
+            if !matches!(
+                query.algorithm,
+                AlgorithmChoice::Auto | AlgorithmChoice::Btm
+            ) {
+                return none;
+            }
+            let threads = query.execution.resolve(longest);
+            MemberNeeds {
+                uses_cache: true,
+                dense: true,
+                tables: true,
+                threads,
+                fusable: threads == 0,
+                ..none
+            }
+        }
+        _ => none,
+    }
+}
+
+/// Per-group execution results plus its (builds_shared, scans_fused)
+/// tallies.
+type GroupResult = Vec<(usize, Result<QueryOutcome, EngineError>)>;
+
+/// The trajectory (pair) a shared group runs over.
+type GroupTrajectories<P> = (Arc<Trajectory<P>>, Option<Arc<Trajectory<P>>>);
+
+struct SharedState {
+    slots: Vec<Option<Result<QueryOutcome, EngineError>>>,
+    builds_shared: usize,
+    scans_fused: usize,
+}
+
+/// The batch execution path behind [`Engine::execute_batch`].
+pub(super) fn execute<P: GroundDistance + Send + Sync>(
+    engine: &Engine<P>,
+    queries: &[Query],
+) -> BatchOutcome {
+    // 1. Dedup: map each query to its first bit-identical occurrence.
+    let mut canonical: Vec<usize> = (0..queries.len()).collect();
+    for i in 0..queries.len() {
+        for j in 0..i {
+            if canonical[j] == j && queries[j] == queries[i] {
+                canonical[i] = j;
+                break;
+            }
+        }
+    }
+    let queries_deduped = canonical
+        .iter()
+        .enumerate()
+        .filter(|&(i, &c)| c != i)
+        .count();
+
+    // 2. Group the unique queries by cache-entry identity, preserving
+    // first-appearance order (the map only indexes into `groups`; no
+    // result ever depends on hash iteration order).
+    let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
+    let mut by_key: HashMap<GroupKey, usize> = HashMap::new();
+    for (i, query) in queries.iter().enumerate() {
+        if canonical[i] != i {
+            continue;
+        }
+        let key = group_key(query, i);
+        if let Some(&g) = by_key.get(&key) {
+            groups[g].1.push(i);
+        } else {
+            by_key.insert(key, groups.len());
+            groups.push((key, vec![i]));
+        }
+    }
+
+    // 4. Schedule hottest groups first (stable on ties), so the builds
+    // with the most consumers land in the cache before anything else
+    // wants them.
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by_key(|&g| std::cmp::Reverse(groups[g].1.len()));
+
+    let state = Mutex::new(SharedState {
+        slots: (0..queries.len()).map(|_| None).collect(),
+        builds_shared: 0,
+        scans_fused: 0,
+    });
+    let cursor = crate::pool::WorkCursor::new(order.len());
+    let workers = crate::pool::resolve_threads(0).min(order.len()).max(1);
+    crate::pool::run_workers(workers, |_| {
+        let mut session = engine.session();
+        while let Some(slot) = cursor.claim() {
+            let (key, members) = &groups[order[slot]];
+            let (out, shared, fused) = execute_group(engine, queries, *key, members, &mut session);
+            let mut state = state.lock();
+            for (idx, result) in out {
+                state.slots[idx] = Some(result);
+            }
+            state.builds_shared += shared;
+            state.scans_fused += fused;
+        }
+    });
+
+    let SharedState {
+        mut slots,
+        builds_shared,
+        scans_fused,
+    } = state.into_inner();
+    for i in 0..queries.len() {
+        if canonical[i] != i {
+            slots[i] = slots[canonical[i]].clone();
+        }
+    }
+    let outcomes = slots
+        .into_iter()
+        // fremo-lint: allow(L3) -- the worker loop above drained the
+        // whole group order, so every canonical slot was filled, and
+        // the dedup pass just copied canonical slots into duplicates.
+        .map(|slot| slot.expect("every batch query is executed exactly once"))
+        .collect();
+    BatchOutcome {
+        outcomes,
+        stats: BatchStats {
+            groups: groups.len(),
+            builds_shared,
+            scans_fused,
+            queries_deduped,
+        },
+    }
+}
+
+/// Executes one group: pin its shared precomputation, answer fusable
+/// members in one scan, run the rest through the ordinary solo path
+/// (which now hits warm), and release the group pins last.
+fn execute_group<P: GroundDistance + Sync>(
+    engine: &Engine<P>,
+    queries: &[Query],
+    key: GroupKey,
+    members: &[usize],
+    session: &mut Session<'_, P>,
+) -> (GroupResult, usize, usize) {
+    let GroupKey::Shared { scope, xi, bounds } = key else {
+        let out = members
+            .iter()
+            .map(|&i| (i, session.execute(&queries[i])))
+            .collect();
+        return (out, 0, 0);
+    };
+
+    // Resolve the group's trajectories through the first member whose
+    // handles this engine issued (all valid members of a group address
+    // the same corpus indices; invalid ones error through the solo path).
+    let resolved: Option<GroupTrajectories<P>> = members.iter().find_map(|&i| {
+        let (a, b) = member_ids(&queries[i])?;
+        let a = engine.trajectory(a).ok()?;
+        let b = match b {
+            None => None,
+            Some(b) => Some(engine.trajectory(b).ok()?),
+        };
+        Some((a, b))
+    });
+
+    let mut out = GroupResult::with_capacity(members.len());
+    let mut builds_shared = 0;
+    let mut scans_fused = 0;
+    let mut fused: Vec<usize> = Vec::new();
+    let mut gctx = QueryCtx::default();
+    let mut group_pinned = false;
+
+    if let Some((a, b)) = &resolved {
+        let pa = a.points();
+        let pb = b.as_deref().map(Trajectory::points);
+        let n = a.len();
+        let m = b.as_ref().map(|b| b.len());
+        let domain = match m {
+            None => Domain::Within { n },
+            Some(m) => Domain::Between { n, m },
+        };
+        let longest = n.max(m.unwrap_or(0));
+
+        let mut dense = false;
+        let mut tables = false;
+        let mut relaxed = false;
+        let mut star = false;
+        let mut build_threads = 0;
+        let mut cache_users = 0;
+        for &i in members {
+            let needs = member_needs(engine, &queries[i], longest);
+            dense |= needs.dense;
+            tables |= needs.tables;
+            relaxed |= needs.relaxed;
+            star |= needs.star;
+            build_threads = build_threads.max(needs.threads);
+            cache_users += usize::from(needs.uses_cache);
+            if needs.fusable {
+                fused.push(i);
+            }
+        }
+
+        // Build/pin the group's artifacts exactly once, in a dedicated
+        // pin context held until every member has run: member queries
+        // then hit resident entries even under a tight cache limit.
+        // Parallel builds are bit-identical to serial ones, so the max
+        // member thread count is safe (and fastest) for the cold build.
+        if cache_users >= 2 {
+            // GTM* reads the relaxed table entry `(ξ, tight=false)`; when
+            // the group's own tables are tight it needs the relaxed set
+            // built alongside, exactly like GTM's grouping machinery.
+            let want_relaxed = relaxed || (star && bounds.tight);
+            if tables {
+                let _ = engine.cache.prepared_with_relaxed(
+                    scope,
+                    pa,
+                    pb,
+                    domain,
+                    xi,
+                    bounds,
+                    want_relaxed,
+                    build_threads,
+                    &mut gctx,
+                );
+            } else {
+                if dense {
+                    let _ = engine.cache.matrix(scope, pa, pb, build_threads, &mut gctx);
+                }
+                if star {
+                    let _ = engine
+                        .cache
+                        .gtm_star_prepared(scope, pa, pb, domain, xi, &mut gctx);
+                }
+            }
+            group_pinned = true;
+            builds_shared = cache_users - 1;
+        }
+
+        if fused.len() >= 2 {
+            scans_fused = fused.len();
+            let fused_members: Vec<(usize, &Query)> =
+                fused.iter().map(|&i| (i, &queries[i])).collect();
+            for (idx, outcome) in execute_fused(
+                engine,
+                scope,
+                pa,
+                pb,
+                domain,
+                xi,
+                bounds,
+                &fused_members,
+                &mut session.buffers,
+            ) {
+                out.push((idx, Ok(outcome)));
+            }
+        } else {
+            fused.clear();
+        }
+    }
+
+    for &i in members {
+        if !fused.contains(&i) {
+            out.push((i, session.execute(&queries[i])));
+        }
+    }
+
+    // Release the group pins only after the last member ran warm.
+    if group_pinned {
+        let _ = engine.cache.finish_query(&mut gctx);
+    }
+    (out, builds_shared, scans_fused)
+}
+
+/// A fusable query's role in the shared scan.
+#[derive(Debug, Clone, Copy)]
+enum FuseKind {
+    /// Serial BTM motif: one best-first walk.
+    Motif,
+    /// Serial diverse top-k: round 0 runs inside the fused walk (with no
+    /// forbidden intervals, the masked candidate list *is* the shared
+    /// list), rounds 1..k continue through `top_k_rounds`.
+    TopK(usize),
+}
+
+/// One consumer of the fused walk: its own best-so-far, budget, pins,
+/// and statistics — the walk interleaves consumers per entry, but each
+/// consumer's decision sequence is exactly its solo scan's.
+struct Consumer<'q> {
+    qidx: usize,
+    query: &'q Query,
+    kind: FuseKind,
+    started: Instant,
+    ctx: QueryCtx,
+    budget: Option<SearchBudget>,
+    bsf: Bsf,
+    stats: SearchStats,
+    /// Sorted-list index where this consumer stopped (`None` = ran the
+    /// full list).
+    stop: Option<usize>,
+    completed: bool,
+}
+
+/// One pass over the shared sorted candidate list answering every
+/// consumer, bit-identical per consumer to its solo serial scan: the
+/// entry list and its strict-total-order sort are pure functions of the
+/// shared tables, and each consumer applies its own prune/budget/expand
+/// decisions with its own `Bsf` and counters. The DP scratch buffer is
+/// shared — expansions never read prior scratch contents, so results
+/// cannot depend on the interleaving.
+// lint: internal search-kernel entry threading prepared state; a
+// param struct would churn every call site without adding clarity.
+#[allow(clippy::too_many_arguments)]
+fn execute_fused<P: GroundDistance + Sync>(
+    engine: &Engine<P>,
+    key: ScopeKey,
+    pa: &[P],
+    pb: Option<&[P]>,
+    domain: Domain,
+    xi: usize,
+    sel: BoundSelection,
+    members: &[(usize, &Query)],
+    buf: &mut DpBuffers,
+) -> Vec<(usize, QueryOutcome)> {
+    // Per-member prologue, mirroring `Session::execute`: count the
+    // query, take its own pins (warm hits on the group-pinned entries)
+    // so its outcome carries an honest per-query cache report.
+    let mut shared: Option<(Arc<DenseMatrix>, Arc<BoundTables>)> = None;
+    let mut consumers: Vec<Consumer<'_>> = Vec::with_capacity(members.len());
+    for &(qidx, query) in members {
+        let started = Instant::now();
+        // relaxed: a monotonic counter; nothing is ordered by it.
+        engine.queries.fetch_add(1, Ordering::Relaxed);
+        let mut ctx = QueryCtx::default();
+        let (src, tables) = engine
+            .cache
+            .prepared(key, pa, pb, domain, xi, sel, 0, &mut ctx);
+        if shared.is_none() {
+            shared = Some((src, tables));
+        }
+        let kind = match &query.kind {
+            QueryKind::TopK { k, .. } => FuseKind::TopK(*k),
+            _ => FuseKind::Motif,
+        };
+        consumers.push(Consumer {
+            qidx,
+            query,
+            kind,
+            started,
+            ctx,
+            budget: query.budget.to_search_budget(started),
+            // The engine's BTM motif path searches exactly (ε = 0);
+            // each top-k round starts from a fresh best-so-far.
+            bsf: match kind {
+                FuseKind::Motif => Bsf::approximate(0.0),
+                FuseKind::TopK(_) => Bsf::new(),
+            },
+            stats: SearchStats::default(),
+            stop: None,
+            completed: true,
+        });
+    }
+    // fremo-lint: allow(L3) -- execute_group only calls execute_fused
+    // with ≥ 2 fusable members, and the prologue loop sets `shared`
+    // unconditionally on its first iteration.
+    let (src, tables) = shared.expect("fused scan requires at least one consumer");
+    let (src, tables) = (src.as_ref(), tables.as_ref());
+
+    // One candidate list, one sort. The strict total key makes the
+    // sorted permutation unique, so this is the list every solo serial
+    // scan would have walked — including top-k round 0, whose unmasked
+    // start set is all subsets with uncapped extents.
+    let mut entries = build_entries(src, tables, sel, domain.subsets(xi));
+    sort_entries(&mut entries);
+
+    for c in &mut consumers {
+        c.stats = SearchStats {
+            bytes_distance_matrix: src.bytes(),
+            bytes_bounds: tables.bytes(),
+            pairs_total: domain.pairs_count(xi),
+            precompute_seconds: c.started.elapsed().as_secs_f64(),
+            threads_used: 1,
+            ..SearchStats::default()
+        };
+        match c.kind {
+            FuseKind::Motif => {
+                c.stats.bytes_lists = list_bytes(&entries);
+                c.stats.subsets_total = entries.len() as u64;
+            }
+            FuseKind::TopK(_) => {
+                c.stats.subsets_total = domain.subsets_count(xi);
+            }
+        }
+    }
+
+    // The fused walk: per entry, every still-active consumer replays its
+    // solo loop body — prune check first, then budget, then expansion
+    // with its own bsf/stats.
+    let end_tables = if sel.end_cross { Some(tables) } else { None };
+    let mut active = consumers.len();
+    for (idx, e) in entries.iter().enumerate() {
+        for c in &mut consumers {
+            if c.stop.is_some() {
+                continue;
+            }
+            if c.bsf.prunable(e.lb) {
+                c.stop = Some(idx);
+                active -= 1;
+                continue;
+            }
+            if c.budget
+                .as_ref()
+                .is_some_and(|b| b.exceeded(c.stats.subsets_expanded))
+            {
+                c.stop = Some(idx);
+                c.completed = false;
+                active -= 1;
+                continue;
+            }
+            let (i, j) = (e.i as usize, e.j as usize);
+            c.stats.subsets_expanded += 1;
+            c.stats.pairs_exact += domain.pairs_in_subset(i, j, xi);
+            expand_subset(
+                src,
+                domain,
+                xi,
+                i,
+                j,
+                end_tables,
+                true,
+                &mut c.bsf,
+                &mut c.stats,
+                buf,
+            );
+        }
+        if active == 0 {
+            break;
+        }
+    }
+
+    // Per-consumer epilogue: exactly the solo path's post-scan
+    // accounting for its kind.
+    let mut out = Vec::with_capacity(consumers.len());
+    for mut c in consumers {
+        let stop = c.stop.unwrap_or(entries.len());
+        let mut stats = std::mem::take(&mut c.stats);
+        let mut outcome = match c.kind {
+            FuseKind::Motif => {
+                if c.completed {
+                    // `process_sorted_subsets`' attribution walk over the
+                    // skipped tail, against the final best-so-far.
+                    for e in &entries[stop..] {
+                        let (i, j) = (e.i as usize, e.j as usize);
+                        let comps = tables.subset_bounds(src, sel, i, j);
+                        let pairs = domain.pairs_in_subset(i, j, xi);
+                        let kind = comps
+                            .attribute(|v| c.bsf.prunable(v))
+                            .unwrap_or(BoundKind::Band);
+                        stats.record_subset_pruned(kind, pairs);
+                        stats.subsets_skipped_sorted += 1;
+                    }
+                } else {
+                    stats.subsets_skipped_budget += (entries.len() - stop) as u64;
+                    stats.pairs_skipped_budget +=
+                        stats.pairs_total.saturating_sub(stats.pairs_accounted());
+                }
+                stats.bytes_dp = stats.bytes_dp.max(buf.bytes_for_width(domain.len_b()));
+                stats.total_seconds = c.started.elapsed().as_secs_f64();
+                outcome_skeleton(QueryResults::Motif(c.bsf.motif), "BTM", stats, !c.completed)
+            }
+            FuseKind::TopK(k) => {
+                // Round-0 epilogue of `top_k_rounds`' serial leg: a
+                // truncated round accounts its skipped subsets (a
+                // prunable stop accounts nothing — later rounds revisit).
+                if !c.completed {
+                    stats.subsets_skipped_budget += (entries.len() - stop) as u64;
+                }
+                let mut results = Vec::with_capacity(k);
+                let mut completed = c.completed;
+                if let Some(motif) = c.bsf.motif {
+                    let mut forbidden = ForbiddenIntervals::new();
+                    forbidden.add(motif.first.0, motif.first.1);
+                    forbidden.add(motif.second.0, motif.second.1);
+                    results.push(motif);
+                    if completed {
+                        let config = c.query.motif_config();
+                        completed = top_k_rounds(
+                            src,
+                            tables,
+                            domain,
+                            &config,
+                            k,
+                            buf,
+                            c.budget.as_ref(),
+                            0,
+                            &mut forbidden,
+                            &mut results,
+                            &mut stats,
+                        );
+                    }
+                }
+                if !completed {
+                    stats.pairs_skipped_budget +=
+                        stats.pairs_total.saturating_sub(stats.pairs_accounted());
+                }
+                stats.bytes_dp = stats.bytes_dp.max(buf.bytes_for_width(domain.len_b()));
+                stats.total_seconds = c.started.elapsed().as_secs_f64();
+                outcome_skeleton(QueryResults::TopK(results), "BTM(top-k)", stats, !completed)
+            }
+        };
+        // Mirror `Session::execute`'s epilogue per consumer.
+        let report = engine.cache.finish_query(&mut c.ctx);
+        outcome.cache = report;
+        outcome.wall_seconds = c.started.elapsed().as_secs_f64();
+        out.push((c.qidx, outcome));
+    }
+    out
+}

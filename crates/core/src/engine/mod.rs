@@ -72,10 +72,12 @@
 //! });
 //! ```
 
+mod batch;
 mod buffer;
 mod cache;
 mod query;
 
+pub use batch::{BatchOutcome, BatchStats};
 pub use cache::CacheReport;
 pub use query::{
     AlgorithmChoice, EngineError, ExecutionMode, MatrixPrecision, MeasureProfile, MotifScope,
@@ -393,6 +395,27 @@ impl<P: GroundDistance + Sync> Engine<P> {
     /// (ξ = 0, τ = 0, k = 0, negative ε, window < 2, stride = 0).
     pub fn execute(&self, query: &Query) -> Result<QueryOutcome, EngineError> {
         self.session().execute(query)
+    }
+}
+
+impl<P: GroundDistance + Send + Sync> Engine<P> {
+    /// Executes a batch of queries, sharing work across them: duplicate
+    /// queries execute once, queries over the same `(scope, ξ, bounds)`
+    /// build and pin their matrix/bound precomputation once, compatible
+    /// serial motif/top-k scans fuse into one pass over the shared
+    /// candidate list, and groups are scheduled across the worker pool
+    /// hottest-first. Per-query results and scan statistics are
+    /// **bit-identical** to calling [`Engine::execute`] once per query
+    /// in isolation (cache counters and wall times reflect the
+    /// sharing); outcomes come back index-aligned with the input.
+    ///
+    /// `P: Send` is required (beyond [`Engine::execute`]) because
+    /// groups run on pool workers that share `&self` across threads.
+    ///
+    /// See `docs/BATCHING.md` for grouping and fusion rules.
+    #[must_use]
+    pub fn execute_batch(&self, queries: &[Query]) -> BatchOutcome {
+        batch::execute(self, queries)
     }
 }
 

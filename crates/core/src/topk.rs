@@ -177,7 +177,6 @@ pub(crate) fn top_k_prepared<D: DistanceSource + Sync>(
     threads: usize,
 ) -> (Vec<Motif>, SearchStats, bool) {
     let xi = config.min_length;
-    let sel = config.bounds;
 
     let mut stats = SearchStats {
         bytes_distance_matrix: src.bytes(),
@@ -190,9 +189,59 @@ pub(crate) fn top_k_prepared<D: DistanceSource + Sync>(
 
     let mut forbidden = ForbiddenIntervals::new();
     let mut results = Vec::with_capacity(k);
+    let completed = top_k_rounds(
+        src,
+        tables,
+        domain,
+        config,
+        k,
+        buf,
+        budget,
+        threads,
+        &mut forbidden,
+        &mut results,
+        &mut stats,
+    );
+
+    if !completed {
+        // Every pair not yet accounted counts as budget-skipped, not
+        // pruned — conservative for the masked rounds, and O(1).
+        stats.pairs_skipped_budget += stats.pairs_total.saturating_sub(stats.pairs_accounted());
+    }
+    stats.bytes_dp = stats.bytes_dp.max(buf.bytes_for_width(domain.len_b()));
+    stats.total_seconds = started.elapsed().as_secs_f64();
+    (results, stats, completed)
+}
+
+/// The masked BTM rounds of [`top_k_prepared`], resumable: rounds run
+/// from `results.len()` (each successful round pushes exactly one motif)
+/// up to `k`, extending `forbidden`/`results`/`stats` in place. The batch
+/// executor's fused scan answers round 0 inside the shared candidate
+/// walk and continues rounds 1..k through this exact code, which is what
+/// keeps fused top-k bit-identical to solo execution. Returns `false`
+/// when `budget` cut a round short (the caller settles the pair
+/// remainder and the bytes/timing epilogue).
+// lint: internal search-kernel entry threading prepared state; a
+// param struct would churn every call site without adding clarity.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn top_k_rounds<D: DistanceSource + Sync>(
+    src: &D,
+    tables: &BoundTables,
+    domain: Domain,
+    config: &MotifConfig,
+    k: usize,
+    buf: &mut DpBuffers,
+    budget: Option<&SearchBudget>,
+    threads: usize,
+    forbidden: &mut ForbiddenIntervals,
+    results: &mut Vec<Motif>,
+    stats: &mut SearchStats,
+) -> bool {
+    let xi = config.min_length;
+    let sel = config.bounds;
     let mut completed = true;
 
-    for _round in 0..k {
+    for _round in results.len()..k {
         let mut bsf = Bsf::new();
 
         // Masked candidate-subset list: skip subsets whose start index is
@@ -231,7 +280,7 @@ pub(crate) fn top_k_prepared<D: DistanceSource + Sync>(
                 &mut entries,
                 Some(&caps),
                 &mut bsf,
-                &mut stats,
+                stats,
                 budget,
                 threads,
                 false,
@@ -256,7 +305,7 @@ pub(crate) fn top_k_prepared<D: DistanceSource + Sync>(
                 stats.subsets_expanded += 1;
                 stats.pairs_exact += domain.pairs_in_subset_capped(i, j, xi, cap);
                 expand_subset_capped(
-                    src, domain, xi, i, j, cap, end_tables, true, &mut bsf, &mut stats, buf,
+                    src, domain, xi, i, j, cap, end_tables, true, &mut bsf, stats, buf,
                 );
             }
             // Keep pruning statistics honest under truncation (subset
@@ -277,14 +326,7 @@ pub(crate) fn top_k_prepared<D: DistanceSource + Sync>(
         }
     }
 
-    if !completed {
-        // Every pair not yet accounted counts as budget-skipped, not
-        // pruned — conservative for the masked rounds, and O(1).
-        stats.pairs_skipped_budget += stats.pairs_total.saturating_sub(stats.pairs_accounted());
-    }
-    stats.bytes_dp = stats.bytes_dp.max(buf.bytes_for_width(domain.len_b()));
-    stats.total_seconds = started.elapsed().as_secs_f64();
-    (results, stats, completed)
+    completed
 }
 
 #[cfg(test)]

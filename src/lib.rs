@@ -49,8 +49,9 @@ pub use fremo_trajectory as trajectory;
 /// Convenient glob-importable surface of the most used items.
 pub mod prelude {
     pub use fremo_core::engine::{
-        AlgorithmChoice, CacheReport, Engine, EngineError, EngineStats, ExecutionMode, MotifScope,
-        Query, QueryBudget, QueryBuilder, QueryKind, QueryOutcome, QueryResults, Session, TrajId,
+        AlgorithmChoice, BatchOutcome, BatchStats, CacheReport, Engine, EngineError, EngineStats,
+        ExecutionMode, MotifScope, Query, QueryBudget, QueryBuilder, QueryKind, QueryOutcome,
+        QueryResults, Session, TrajId,
     };
     pub use fremo_core::{
         BoundKind, BoundSelection, BruteDp, Btm, Gtm, GtmStar, Motif, MotifConfig, MotifDiscovery,

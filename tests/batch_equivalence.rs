@@ -1,0 +1,560 @@
+//! Differential suite: [`Engine::execute_batch`] ≡ one-at-a-time
+//! [`Engine::execute`], **bit-for-bit**.
+//!
+//! Batching is pure mechanism — dedup, shared builds, fused scans,
+//! pool scheduling — so every per-query outcome must match the solo
+//! path exactly: results by bit pattern (`f64::to_bits`), the
+//! `truncated` flag, and for serially-resolved queries the full
+//! deterministic slice of [`SearchStats`] (expansion, pruning, and
+//! budget counters; cache/byte/timing fields legitimately differ under
+//! sharing). The workload sweeps all four algorithms × Within/Between
+//! scopes × serial and pinned-parallel execution × subset budgets, and
+//! the batch is replayed in shuffled orders. A proptest layer draws
+//! random batch compositions (duplicates likely) and diffs each
+//! against solo execution.
+//!
+//! [`TrajId`]s are engine-scoped, so workloads are described by
+//! engine-independent specs and materialized per engine — the baseline
+//! engine and the batch engine register the same corpus and their
+//! handles line up by registration order.
+//!
+//! Run under `FREMO_THREADS=1` and `4` (CI's `concurrency` job does
+//! both): the global budget drives both the batch group scheduler and
+//! every `ExecutionMode::Auto` query, so the two runs exercise
+//! different schedules against the same solo baseline.
+
+use fremo::prelude::*;
+use fremo::trajectory::gen::planar;
+
+use proptest::prelude::*;
+
+fn corpus() -> Vec<Trajectory<EuclideanPoint>> {
+    (0..5).map(|s| planar::random_walk(60, 0.45, s)).collect()
+}
+
+/// Bit-exact fingerprint of a query result (every float by bit
+/// pattern), plus the truncation flag.
+fn fingerprint(outcome: &QueryOutcome) -> String {
+    let motif_bits = |m: &Motif| {
+        format!(
+            "({:?},{:?},{:016x})",
+            m.first,
+            m.second,
+            m.distance.to_bits()
+        )
+    };
+    let results = match &outcome.results {
+        QueryResults::Motif(m) => format!("motif:{:?}", m.as_ref().map(motif_bits)),
+        QueryResults::TopK(ms) => {
+            let items: Vec<String> = ms.iter().map(motif_bits).collect();
+            format!("topk:[{}]", items.join(","))
+        }
+        QueryResults::Measures(p) => format!(
+            "measures:{:016x}/{:016x}/{:016x}/{}/{:016x}/{:016x}",
+            p.euclidean.to_bits(),
+            p.dtw.to_bits(),
+            p.lcss.to_bits(),
+            p.edr,
+            p.dfd.to_bits(),
+            p.hausdorff.to_bits()
+        ),
+        other => format!("other:{other:?}"),
+    };
+    format!(
+        "{}/{}/truncated={}",
+        outcome.algorithm, results, outcome.truncated
+    )
+}
+
+/// The deterministic slice of [`SearchStats`]: everything the scan's
+/// decision sequence fixes, nothing that depends on cache residency,
+/// buffer reuse, or the clock.
+fn scan_counters(s: &SearchStats) -> String {
+    format!(
+        "{}/{}/{}/{}/{}/{}/{} {}/{}/{}/{}/{}/{}/{}/{} {}/{}/{}/{}",
+        s.subsets_total,
+        s.subsets_pruned_cell,
+        s.subsets_pruned_cross,
+        s.subsets_pruned_band,
+        s.subsets_skipped_sorted,
+        s.subsets_skipped_budget,
+        s.subsets_expanded,
+        s.pairs_total,
+        s.pairs_pruned_cell,
+        s.pairs_pruned_cross,
+        s.pairs_pruned_band,
+        s.pairs_pruned_group_pattern,
+        s.pairs_pruned_group_dfd,
+        s.pairs_skipped_budget,
+        s.pairs_exact,
+        s.dp_cells,
+        s.cells_skipped_end_cross,
+        s.rows_abandoned,
+        s.bsf_updates,
+    )
+}
+
+/// Engine-independent description of one workload query; materialized
+/// against a specific engine's [`TrajId`]s with [`QuerySpec::build`].
+#[derive(Debug, Clone, Copy)]
+enum QuerySpec {
+    Motif {
+        traj: usize,
+        xi: usize,
+        algorithm: AlgorithmChoice,
+        execution: ExecutionMode,
+        budget: Option<u64>,
+    },
+    Between {
+        a: usize,
+        b: usize,
+        xi: usize,
+        algorithm: AlgorithmChoice,
+        execution: ExecutionMode,
+    },
+    TopK {
+        traj: usize,
+        k: usize,
+        xi: usize,
+        execution: ExecutionMode,
+        budget: Option<u64>,
+    },
+    Measures {
+        a: usize,
+        b: usize,
+    },
+}
+
+impl QuerySpec {
+    fn motif(traj: usize, xi: usize) -> Self {
+        QuerySpec::Motif {
+            traj,
+            xi,
+            algorithm: AlgorithmChoice::Auto,
+            execution: ExecutionMode::Auto,
+            budget: None,
+        }
+    }
+
+    fn build(&self, ids: &[TrajId]) -> Query {
+        match *self {
+            QuerySpec::Motif {
+                traj,
+                xi,
+                algorithm,
+                execution,
+                budget,
+            } => {
+                let builder = Query::motif(ids[traj])
+                    .xi(xi)
+                    .algorithm(algorithm)
+                    .execution(execution);
+                match budget {
+                    Some(subsets) => builder.candidate_budget(subsets).build(),
+                    None => builder.build(),
+                }
+            }
+            QuerySpec::Between {
+                a,
+                b,
+                xi,
+                algorithm,
+                execution,
+            } => Query::motif_between(ids[a], ids[b])
+                .xi(xi)
+                .algorithm(algorithm)
+                .execution(execution)
+                .build(),
+            QuerySpec::TopK {
+                traj,
+                k,
+                xi,
+                execution,
+                budget,
+            } => {
+                let builder = Query::top_k(ids[traj], k).xi(xi).execution(execution);
+                match budget {
+                    Some(subsets) => builder.candidate_budget(subsets).build(),
+                    None => builder.build(),
+                }
+            }
+            QuerySpec::Measures { a, b } => Query::measures(ids[a], ids[b], 2.5).build(),
+        }
+    }
+
+    /// `true` when the query's scan runs serially on every engine —
+    /// only then is the full counter slice deterministic (parallel
+    /// scans are bit-identical in *results*, not in counters).
+    fn serial_resolved(&self) -> bool {
+        let execution = match *self {
+            QuerySpec::Motif { execution, .. }
+            | QuerySpec::Between { execution, .. }
+            | QuerySpec::TopK { execution, .. } => execution,
+            QuerySpec::Measures { .. } => return true,
+        };
+        matches!(execution, ExecutionMode::Serial)
+            || (matches!(execution, ExecutionMode::Auto)
+                && fremo::motif::pool::resolve_threads(0) == 0)
+    }
+}
+
+/// The mixed workload: all four algorithms, both scopes, serial and
+/// pinned-parallel execution, budgeted variants, top-k at several k,
+/// measures, and deliberate bit-identical duplicates.
+fn workload() -> Vec<QuerySpec> {
+    let mut specs = Vec::new();
+    for traj in 0..3 {
+        specs.push(QuerySpec::motif(traj, 6 + traj));
+        for algorithm in [
+            AlgorithmChoice::BruteDp,
+            AlgorithmChoice::Btm,
+            AlgorithmChoice::Gtm,
+            AlgorithmChoice::GtmStar,
+            AlgorithmChoice::Approx { epsilon: 0.25 },
+        ] {
+            specs.push(QuerySpec::Motif {
+                traj,
+                xi: 6,
+                algorithm,
+                execution: ExecutionMode::Auto,
+                budget: None,
+            });
+        }
+    }
+    for algorithm in [AlgorithmChoice::Auto, AlgorithmChoice::Gtm] {
+        specs.push(QuerySpec::Between {
+            a: 0,
+            b: 1,
+            xi: 6,
+            algorithm,
+            execution: ExecutionMode::Auto,
+        });
+    }
+    specs.push(QuerySpec::Between {
+        a: 2,
+        b: 3,
+        xi: 6,
+        algorithm: AlgorithmChoice::Auto,
+        execution: ExecutionMode::Parallel { threads: 3 },
+    });
+    specs.push(QuerySpec::Motif {
+        traj: 1,
+        xi: 6,
+        algorithm: AlgorithmChoice::Auto,
+        execution: ExecutionMode::Parallel { threads: 2 },
+        budget: None,
+    });
+    // Budgeted queries: the per-query subset budget must bind inside a
+    // fused scan exactly as it does solo.
+    specs.push(QuerySpec::Motif {
+        traj: 0,
+        xi: 6,
+        algorithm: AlgorithmChoice::Auto,
+        execution: ExecutionMode::Serial,
+        budget: Some(7),
+    });
+    specs.push(QuerySpec::TopK {
+        traj: 0,
+        k: 3,
+        xi: 6,
+        execution: ExecutionMode::Serial,
+        budget: Some(9),
+    });
+    for k in [1, 2, 4] {
+        specs.push(QuerySpec::TopK {
+            traj: 0,
+            k,
+            xi: 6,
+            execution: ExecutionMode::Auto,
+            budget: None,
+        });
+    }
+    specs.push(QuerySpec::TopK {
+        traj: 2,
+        k: 2,
+        xi: 7,
+        execution: ExecutionMode::Auto,
+        budget: None,
+    });
+    specs.push(QuerySpec::Measures { a: 0, b: 1 });
+    specs.push(QuerySpec::Measures { a: 2, b: 3 });
+    // Bit-identical duplicates of earlier entries.
+    specs.push(QuerySpec::motif(0, 6));
+    specs.push(QuerySpec::TopK {
+        traj: 0,
+        k: 3,
+        xi: 6,
+        execution: ExecutionMode::Serial,
+        budget: Some(9),
+    });
+    specs
+}
+
+/// Solo baseline on a private engine: one `execute` per spec, recording
+/// the result fingerprint and (for serial specs) the counter slice.
+fn solo_baseline(specs: &[QuerySpec]) -> Vec<(String, Option<String>)> {
+    let engine = Engine::new();
+    let ids = engine.register_all(corpus());
+    specs
+        .iter()
+        .map(|spec| {
+            let outcome = engine
+                .execute(&spec.build(&ids))
+                .expect("workload queries are valid");
+            let counters = spec
+                .serial_resolved()
+                .then(|| scan_counters(&outcome.stats));
+            (fingerprint(&outcome), counters)
+        })
+        .collect()
+}
+
+fn assert_batch_matches(
+    specs: &[QuerySpec],
+    queries: &[Query],
+    expected: &[(String, Option<String>)],
+    batch: &BatchOutcome,
+    context: &str,
+) {
+    assert_eq!(batch.outcomes.len(), queries.len(), "{context}: arity");
+    for (i, outcome) in batch.outcomes.iter().enumerate() {
+        let outcome = outcome.as_ref().expect("workload queries are valid");
+        assert_eq!(
+            fingerprint(outcome),
+            expected[i].0,
+            "{context}: query {i} ({:?}) result diverged from solo execution",
+            specs[i]
+        );
+        if let Some(counters) = &expected[i].1 {
+            assert_eq!(
+                &scan_counters(&outcome.stats),
+                counters,
+                "{context}: query {i} ({:?}) scan counters diverged from solo execution",
+                specs[i]
+            );
+        }
+        if let Some(max) = queries[i].budget.max_subsets {
+            assert!(
+                outcome.stats.subsets_expanded <= max,
+                "{context}: query {i} expanded {} subsets over its budget of {max}",
+                outcome.stats.subsets_expanded
+            );
+        }
+    }
+}
+
+/// Materialize the specs, run them as one batch, and diff against the
+/// solo expectations.
+fn run_batch_and_check(
+    specs: &[QuerySpec],
+    expected: &[(String, Option<String>)],
+    context: &str,
+) -> BatchStats {
+    let engine = Engine::new();
+    let ids = engine.register_all(corpus());
+    let queries: Vec<Query> = specs.iter().map(|s| s.build(&ids)).collect();
+    let batch = engine.execute_batch(&queries);
+    assert_batch_matches(specs, &queries, expected, &batch, context);
+    batch.stats
+}
+
+#[test]
+fn batch_matches_solo_bit_for_bit() {
+    let specs = workload();
+    let expected = solo_baseline(&specs);
+    let stats = run_batch_and_check(&specs, &expected, "in-order batch");
+
+    // The final two workload entries duplicate earlier ones.
+    assert!(
+        stats.queries_deduped >= 2,
+        "expected the workload duplicates to dedup, got {stats:?}"
+    );
+    assert!(
+        stats.groups > 0 && stats.builds_shared > 0,
+        "expected shared builds on the shared-scope workload, got {stats:?}"
+    );
+}
+
+#[test]
+fn shuffled_batch_orders_match_solo() {
+    let specs = workload();
+    let expected = solo_baseline(&specs);
+
+    // Deterministic shuffles (LCG) of the same workload: outcomes must
+    // still line up with the permuted solo expectations.
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    for round in 0..3 {
+        let mut order: Vec<usize> = (0..specs.len()).collect();
+        for i in (1..order.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let shuffled: Vec<QuerySpec> = order.iter().map(|&i| specs[i]).collect();
+        let shuffled_expected: Vec<(String, Option<String>)> =
+            order.iter().map(|&i| expected[i].clone()).collect();
+        run_batch_and_check(&shuffled, &shuffled_expected, &format!("shuffle {round}"));
+    }
+}
+
+#[test]
+fn batch_dedup_and_group_accounting() {
+    let engine = Engine::new();
+    let ids = engine.register_all(corpus());
+
+    // Four bit-identical queries + two distinct ones on the same scope
+    // + one on another trajectory: 2 groups, 3 dedups, the shared
+    // scope's build paid once for three unique consumers, and all three
+    // unique serial BTM-family scans fused into one walk. (Explicit
+    // `Btm`: at n = 60, `Auto` resolves to BruteDp, which shares the
+    // matrix build but never fuses.)
+    let q = Query::motif(ids[0])
+        .xi(6)
+        .algorithm(AlgorithmChoice::Btm)
+        .execution(ExecutionMode::Serial)
+        .build();
+    let batch = engine.execute_batch(&[
+        q.clone(),
+        q.clone(),
+        Query::motif(ids[0])
+            .xi(6)
+            .algorithm(AlgorithmChoice::Btm)
+            .execution(ExecutionMode::Serial)
+            .candidate_budget(1000)
+            .build(),
+        q.clone(),
+        Query::top_k(ids[0], 2)
+            .xi(6)
+            .execution(ExecutionMode::Serial)
+            .build(),
+        q.clone(),
+        Query::motif(ids[1]).xi(6).build(),
+    ]);
+    assert_eq!(batch.stats.queries_deduped, 3, "{:?}", batch.stats);
+    assert_eq!(batch.stats.groups, 2, "{:?}", batch.stats);
+    assert_eq!(batch.stats.builds_shared, 2, "{:?}", batch.stats);
+    assert_eq!(batch.stats.scans_fused, 3, "{:?}", batch.stats);
+
+    // All four copies of `q` returned the same bits.
+    let f0 = fingerprint(batch.outcomes[0].as_ref().unwrap());
+    for i in [1, 3, 5] {
+        assert_eq!(fingerprint(batch.outcomes[i].as_ref().unwrap()), f0);
+    }
+}
+
+#[test]
+fn batch_preserves_per_query_errors() {
+    let engine = Engine::new();
+    let ids = engine.register_all(corpus());
+    let foreign = {
+        let other = Engine::<EuclideanPoint>::new();
+        other.register(planar::random_walk(30, 0.45, 99))
+    };
+
+    let queries = vec![
+        Query::motif(ids[0]).xi(6).build(),
+        Query::motif(foreign).xi(6).build(),
+        Query::motif(ids[1]).xi(0).build(),
+        Query::top_k(ids[0], 0).xi(6).build(),
+        Query::motif(ids[0]).xi(6).build(),
+    ];
+    let batch = engine.execute_batch(&queries);
+    for (i, query) in queries.iter().enumerate() {
+        let solo = engine.execute(query);
+        match (&batch.outcomes[i], &solo) {
+            (Ok(b), Ok(s)) => assert_eq!(fingerprint(b), fingerprint(s), "query {i}"),
+            (Err(b), Err(s)) => assert_eq!(b, s, "query {i}"),
+            (b, s) => panic!("query {i}: batch {b:?} vs solo {s:?}"),
+        }
+    }
+}
+
+#[test]
+fn empty_batch_is_empty() {
+    let engine = Engine::<EuclideanPoint>::new();
+    engine.register_all(corpus());
+    let batch = engine.execute_batch(&[]);
+    assert!(batch.outcomes.is_empty());
+    assert_eq!(batch.stats, BatchStats::default());
+}
+
+/// One spec from a small deterministic menu, parameterized enough to
+/// hit every grouping/fusion/dedup path (duplicates are likely at
+/// batch sizes near 12). Decoded from one integer draw because the
+/// vendored proptest shim only implements ranges and small tuples:
+/// 6 kinds × 3 trajectories × 3 ξ steps × parallel × budgeted = 216.
+fn arb_spec() -> impl Strategy<Value = QuerySpec> {
+    (0..216usize).prop_map(|raw| {
+        let (kind, traj, xi_step, parallel, budgeted) = (
+            raw % 6,
+            (raw / 6) % 3,
+            (raw / 18) % 3,
+            (raw / 54) % 2 == 1,
+            (raw / 108) % 2 == 1,
+        );
+        {
+            let xi = 5 + xi_step;
+            let execution = if parallel {
+                ExecutionMode::Parallel { threads: 2 }
+            } else {
+                ExecutionMode::Serial
+            };
+            let budget = budgeted.then_some(8);
+            match kind {
+                0 => QuerySpec::Motif {
+                    traj,
+                    xi,
+                    algorithm: AlgorithmChoice::Auto,
+                    execution,
+                    budget,
+                },
+                1 => QuerySpec::Motif {
+                    traj,
+                    xi,
+                    algorithm: AlgorithmChoice::Btm,
+                    execution,
+                    budget,
+                },
+                2 => QuerySpec::Motif {
+                    traj,
+                    xi,
+                    algorithm: AlgorithmChoice::GtmStar,
+                    execution,
+                    budget: None,
+                },
+                3 => QuerySpec::Between {
+                    a: traj,
+                    b: traj + 1,
+                    xi,
+                    algorithm: AlgorithmChoice::Auto,
+                    execution,
+                },
+                4 => QuerySpec::TopK {
+                    traj,
+                    k: 1 + xi_step,
+                    xi,
+                    execution,
+                    budget,
+                },
+                _ => QuerySpec::Measures {
+                    a: traj,
+                    b: traj + 1,
+                },
+            }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random batch compositions match solo execution query-for-query.
+    #[test]
+    fn random_batch_compositions_match_solo(
+        specs in proptest::collection::vec(arb_spec(), 1..12)
+    ) {
+        let expected = solo_baseline(&specs);
+        run_batch_and_check(&specs, &expected, "proptest batch");
+    }
+}
